@@ -1,0 +1,103 @@
+//! Platform calibration for software baselines.
+//!
+//! The paper times MKL on a 6-core Core-i7 5930K, cuSPARSE/CUSP on a
+//! TITAN Xp, and Armadillo on a 4-core ARM A53. We run the same
+//! *algorithm classes* (Gustavson / hash / ESC / naive inner product) in
+//! Rust on the build host, then scale measured throughput by a constant
+//! per platform class so the absolute axis lands in the paper's regime.
+//!
+//! The constants are deliberately simple and documented — they do not
+//! affect the *shape* of any comparison across matrices (which is
+//! algorithmic), only the axis scale; EXPERIMENTS.md reports both raw and
+//! calibrated numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// The baseline platform classes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Intel MKL on a 6-core desktop CPU → Gustavson row-wise algorithm.
+    Mkl,
+    /// NVIDIA cuSPARSE on a TITAN Xp → row-parallel hash-table algorithm.
+    CuSparse,
+    /// CUSP on a TITAN Xp → ESC (expand–sort–compress) algorithm.
+    Cusp,
+    /// Armadillo on a 4-core ARM A53 → naive inner-product algorithm.
+    Armadillo,
+}
+
+impl Platform {
+    /// All platforms, in the paper's reporting order.
+    pub const ALL: [Platform; 4] =
+        [Platform::Mkl, Platform::CuSparse, Platform::Cusp, Platform::Armadillo];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::Mkl => "MKL",
+            Platform::CuSparse => "cuSPARSE",
+            Platform::Cusp => "CUSP",
+            Platform::Armadillo => "Armadillo",
+        }
+    }
+
+    /// Throughput multiplier from one single-threaded host core to the
+    /// paper's platform:
+    ///
+    /// * MKL: 6 cores with imperfect SpGEMM scaling → ×4,
+    /// * cuSPARSE / CUSP: a TITAN Xp sustains roughly an order of
+    ///   magnitude over one desktop core on irregular SpGEMM; ×10 keeps
+    ///   the GPU libraries in MKL's class, as the paper measures (its
+    ///   geomean speedups over MKL/cuSPARSE/CUSP are 19×/18×/17× — all
+    ///   the same magnitude),
+    /// * Armadillo: a mobile A53 core is several times slower than a
+    ///   desktop core and the library is single-threaded → ×0.2; the
+    ///   paper measures it ~68× below MKL (1285× vs 19× under SpArch),
+    ///   and our heap-class host kernel is already ~2× below Gustavson.
+    pub fn throughput_scale(&self) -> f64 {
+        match self {
+            Platform::Mkl => 4.0,
+            Platform::CuSparse => 10.0,
+            Platform::Cusp => 10.0,
+            Platform::Armadillo => 0.2,
+        }
+    }
+
+    /// Published average power draw in watts used for the energy
+    /// comparison (paper §III-A measures dynamic power: pcm-power for
+    /// MKL, nvidia-smi for the GPU libraries, a power meter for the ARM
+    /// board; these are representative dynamic figures for those
+    /// platforms running SpGEMM).
+    pub fn power_w(&self) -> f64 {
+        match self {
+            Platform::Mkl => 65.0,
+            Platform::CuSparse => 120.0,
+            Platform::Cusp => 120.0,
+            Platform::Armadillo => 2.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_names() {
+        let names: Vec<&str> = Platform::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["MKL", "cuSPARSE", "CUSP", "Armadillo"]);
+    }
+
+    #[test]
+    fn armadillo_is_slowest_class() {
+        for p in Platform::ALL {
+            assert!(p.throughput_scale() >= Platform::Armadillo.throughput_scale());
+        }
+    }
+
+    #[test]
+    fn power_ordering_is_sane() {
+        assert!(Platform::CuSparse.power_w() > Platform::Mkl.power_w());
+        assert!(Platform::Armadillo.power_w() < Platform::Mkl.power_w());
+    }
+}

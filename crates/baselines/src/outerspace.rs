@@ -1,0 +1,148 @@
+//! Analytical model of OuterSPACE (Pal et al., HPCA 2018) — the paper's
+//! primary comparison point.
+//!
+//! OuterSPACE executes the outer product in two *separate* phases: the
+//! multiply phase writes **every** partial product to DRAM, and the merge
+//! phase reads them all back to produce the result. The paper's §III-C
+//! model: with `M` multiplications and ≈ `0.5 M` final results, "the
+//! memory access is roughly 2.5M" elements — M partial writes, M partial
+//! reads, 0.5 M final writes — plus both input matrices once.
+//!
+//! Published characteristics (Table II): 128 GB/s HBM at 48.3 % bandwidth
+//! utilization, 87 mm² at 32 nm, 12.39 W, 4.95 nJ/FLOP (Table III),
+//! reaching ≈ 2.5 GFLOP/s on the evaluation suite (10.4 % of its
+//! theoretical peak, §I).
+
+use serde::{Deserialize, Serialize};
+use sparch_mem::{TrafficCategory, TrafficCounter};
+use sparch_sparse::{algo, Csr};
+
+/// The OuterSPACE performance/energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OuterSpaceModel {
+    /// DRAM bandwidth in GB/s (shared with SpArch for fairness: 128).
+    pub bandwidth_gbs: f64,
+    /// Published sustained bandwidth utilization (0.483).
+    pub utilization: f64,
+    /// Published energy per FLOP in nJ (Table III: 4.95).
+    pub nj_per_flop: f64,
+    /// Published area in mm² (Table II: 87, at 32 nm).
+    pub area_mm2: f64,
+    /// Published power in watts (Table II: 12.39).
+    pub power_w: f64,
+}
+
+impl Default for OuterSpaceModel {
+    fn default() -> Self {
+        OuterSpaceModel {
+            bandwidth_gbs: 128.0,
+            utilization: 0.483,
+            nj_per_flop: 4.95,
+            area_mm2: 87.0,
+            power_w: 12.39,
+        }
+    }
+}
+
+/// Modelled outcome of one OuterSPACE run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OuterSpaceReport {
+    /// Per-category DRAM traffic.
+    pub traffic: TrafficCounter,
+    /// Modelled execution time in seconds.
+    pub seconds: f64,
+    /// Attained GFLOP/s (2 FLOPs per scalar multiply).
+    pub gflops: f64,
+    /// Scalar multiplications `M`.
+    pub multiplies: u64,
+    /// FLOPs (`2M`).
+    pub flops: u64,
+    /// Result non-zeros.
+    pub output_nnz: u64,
+    /// Modelled energy in joules.
+    pub energy_j: f64,
+}
+
+impl OuterSpaceModel {
+    /// Models `C = A × B` on OuterSPACE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn run(&self, a: &Csr, b: &Csr) -> OuterSpaceReport {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let multiplies = algo::multiply_flops(a, b);
+        let output_nnz = algo::product_nnz(a, b);
+        let flops = 2 * multiplies;
+
+        // Multiply phase: inputs once (perfect reuse), all partial
+        // products out. Merge phase: all partial products back in, final
+        // result out. Partial products are COO (16 B), inputs/outputs CSR
+        // (12 B per element + row pointers).
+        let mut traffic = TrafficCounter::new();
+        traffic.record(TrafficCategory::MatA, a.dram_bytes());
+        traffic.record(TrafficCategory::MatB, b.dram_bytes());
+        traffic.record(TrafficCategory::PartialWrite, multiplies * 16);
+        traffic.record(TrafficCategory::PartialRead, multiplies * 16);
+        traffic.record(
+            TrafficCategory::FinalWrite,
+            output_nnz * 12 + (a.rows() as u64 + 1) * 8,
+        );
+
+        // Memory-bound timing at the published sustained utilization.
+        let effective_bw = self.bandwidth_gbs * 1e9 * self.utilization;
+        let seconds = traffic.total_bytes() as f64 / effective_bw;
+        let gflops = if seconds > 0.0 { flops as f64 / seconds / 1e9 } else { 0.0 };
+        OuterSpaceReport {
+            traffic,
+            seconds,
+            gflops,
+            multiplies,
+            flops,
+            output_nnz,
+            energy_j: flops as f64 * self.nj_per_flop * 1e-9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparch_sparse::gen;
+
+    #[test]
+    fn traffic_matches_2_5m_model() {
+        // On a task with compression factor ~2 the element traffic is
+        // ~2.5M (2M partials at 16B + 0.5M finals at 12B) plus inputs.
+        let a = gen::uniform_random(400, 400, 2400, 1);
+        let r = OuterSpaceModel::default().run(&a, &a);
+        let partial_elems = 2 * r.multiplies;
+        assert_eq!(r.traffic.partial_bytes(), partial_elems * 16);
+        let expected_min = partial_elems * 16 + r.output_nnz * 12;
+        assert!(r.traffic.total_bytes() as f64 > expected_min as f64 * 0.99);
+    }
+
+    #[test]
+    fn gflops_in_published_ballpark() {
+        // The paper quotes ~2.5 GFLOP/s average. Accept the magnitude.
+        let a = gen::rmat_graph500(2048, 8, 2);
+        let r = OuterSpaceModel::default().run(&a, &a);
+        assert!(r.gflops > 0.5 && r.gflops < 8.0, "gflops = {}", r.gflops);
+    }
+
+    #[test]
+    fn energy_tracks_flops() {
+        let a = gen::uniform_random(100, 100, 600, 3);
+        let r = OuterSpaceModel::default().run(&a, &a);
+        assert!((r.energy_j - r.flops as f64 * 4.95e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_task() {
+        let z = Csr::zero(8, 8);
+        let r = OuterSpaceModel::default().run(&z, &z);
+        assert_eq!(r.multiplies, 0);
+        assert_eq!(r.gflops, 0.0);
+        assert!(r.traffic.total_bytes() > 0, "row pointers still move");
+    }
+}

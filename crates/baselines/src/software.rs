@@ -1,0 +1,116 @@
+//! Timed software baselines.
+//!
+//! Runs the algorithm class behind each of the paper's software baselines
+//! (see [`crate::calibrate::Platform`]) on the host, measuring wall-clock
+//! time of the core SpGEMM only — mirroring the paper's methodology of
+//! discarding "memory allocation and transportation time" and timing
+//! `mkl_sparse_spmm` / `cusparseDcsrgemm` / `generalized_spgemm` /
+//! the overloaded `*` alone.
+
+use crate::calibrate::Platform;
+use serde::{Deserialize, Serialize};
+use sparch_sparse::{algo, Csr};
+use std::time::Instant;
+
+/// Outcome of one timed software run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftwareResult {
+    /// Which platform class ran.
+    pub platform: Platform,
+    /// Host wall-clock seconds of the kernel.
+    pub host_seconds: f64,
+    /// Raw host GFLOP/s (2 FLOPs per multiply).
+    pub host_gflops: f64,
+    /// Calibrated GFLOP/s on the paper's platform class
+    /// (`host × throughput_scale`).
+    pub calibrated_gflops: f64,
+    /// Modelled energy on the paper's platform in joules
+    /// (`power × calibrated time`).
+    pub energy_j: f64,
+    /// FLOPs of the task.
+    pub flops: u64,
+    /// Result non-zeros.
+    pub output_nnz: u64,
+}
+
+/// Runs the platform's algorithm class on the host and calibrates.
+///
+/// The result matrix itself is validated in tests and then discarded; only
+/// the measurements are returned.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn run_software(platform: Platform, a: &Csr, b: &Csr) -> SoftwareResult {
+    let flops = 2 * algo::multiply_flops(a, b);
+    let start = Instant::now();
+    let result = match platform {
+        Platform::Mkl => algo::gustavson(a, b),
+        Platform::CuSparse => algo::hash_spgemm(a, b),
+        Platform::Cusp => algo::sort_merge(a, b),
+        // Armadillo's sparse `*` is an ordered-accumulator algorithm of
+        // the heap class — algorithmically sane; the platform (one mobile
+        // A53 core) is what makes it slow. Mapping it to the naive inner
+        // product would be unfairly pessimistic.
+        Platform::Armadillo => algo::heap_spgemm(a, b),
+    };
+    let host_seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let host_gflops = flops as f64 / host_seconds / 1e9;
+    let calibrated_gflops = host_gflops * platform.throughput_scale();
+    let calibrated_seconds = host_seconds / platform.throughput_scale();
+    SoftwareResult {
+        platform,
+        host_seconds,
+        host_gflops,
+        calibrated_gflops,
+        energy_j: platform.power_w() * calibrated_seconds,
+        flops,
+        output_nnz: result.nnz() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparch_sparse::gen;
+
+    #[test]
+    fn all_platforms_produce_measurements() {
+        let a = gen::uniform_random(80, 80, 400, 1);
+        for p in Platform::ALL {
+            let r = run_software(p, &a, &a);
+            assert!(r.host_seconds > 0.0, "{p:?}");
+            assert!(r.host_gflops > 0.0, "{p:?}");
+            assert_eq!(r.flops, 2 * algo::multiply_flops(&a, &a));
+            assert!(r.output_nnz > 0);
+            assert!(
+                (r.calibrated_gflops - r.host_gflops * p.throughput_scale()).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn naive_class_does_far_more_work() {
+        // Wall-clock comparisons are flaky under parallel test load, so
+        // compare the deterministic work counts behind the platform
+        // classes instead: the naive inner product performs far more
+        // index comparisons than Gustavson performs multiplies.
+        let a = gen::rmat_graph500(1024, 8, 4);
+        let useful = algo::multiply_flops(&a, &a);
+        let (_, stats) = algo::inner_product_stats(&a, &a);
+        assert!(
+            stats.comparisons > 10 * useful,
+            "inner product comparisons {} vs useful multiplies {}",
+            stats.comparisons,
+            useful
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_time_and_power() {
+        let a = gen::uniform_random(60, 60, 300, 2);
+        let r = run_software(Platform::Mkl, &a, &a);
+        let expected = 65.0 * (r.host_seconds / 4.0);
+        assert!((r.energy_j - expected).abs() < expected * 1e-6);
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion micro-benches for the merge hardware models: flat vs
+//! hierarchical comparator mergers and the full merge tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparch_engine::{ComparatorMerger, HierarchicalMerger, MergeItem, MergeTree, MergeTreeConfig};
+
+fn stream(n: usize, offset: u64, stride: u64) -> Vec<MergeItem> {
+    (0..n as u64)
+        .map(|i| MergeItem { coord: offset + i * stride, value: 1.0 })
+        .collect()
+}
+
+fn bench_binary_mergers(c: &mut Criterion) {
+    let a = stream(8192, 0, 2);
+    let b = stream(8192, 1, 2);
+    let mut group = c.benchmark_group("binary_merger");
+    group.throughput(Throughput::Elements(16384));
+    for width in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("flat", width), &width, |bench, &w| {
+            bench.iter(|| ComparatorMerger::new(w).merge(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical", width), &width, |bench, &w| {
+            let chunk = if w >= 16 { 4 } else { 2 };
+            bench.iter(|| HierarchicalMerger::new(w, chunk).merge(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_tree");
+    for layers in [2usize, 4, 6] {
+        let ways = 1usize << layers;
+        let inputs: Vec<Vec<MergeItem>> =
+            (0..ways).map(|k| stream(2048, k as u64, ways as u64)).collect();
+        group.throughput(Throughput::Elements((2048 * ways) as u64));
+        group.bench_with_input(BenchmarkId::new("layers", layers), &inputs, |bench, inputs| {
+            let tree = MergeTree::new(MergeTreeConfig { layers, ..Default::default() });
+            bench.iter(|| tree.merge(inputs.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binary_mergers, bench_merge_tree);
+criterion_main!(benches);

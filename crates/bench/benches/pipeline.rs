@@ -1,0 +1,40 @@
+//! Criterion end-to-end benches of the SpArch simulator and the
+//! OuterSPACE model on small suite surrogates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparch_baselines::OuterSpaceModel;
+use sparch_bench::catalog;
+use sparch_core::{SpArchConfig, SpArchSim};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparch_sim");
+    group.sample_size(10);
+    for entry in catalog().into_iter().take(4) {
+        let a = entry.build(0.01);
+        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &a, |b, a| {
+            let sim = SpArchSim::new(SpArchConfig::default());
+            b.iter(|| sim.run(a, a))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let a = catalog()[0].build(0.01);
+    let mut group = c.benchmark_group("sparch_ablation");
+    group.sample_size(10);
+    for (name, config) in SpArchConfig::ablation_ladder() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            let sim = SpArchSim::new(config.clone());
+            b.iter(|| sim.run(&a, &a))
+        });
+    }
+    group.bench_function("outerspace_model", |b| {
+        let model = OuterSpaceModel::default();
+        b.iter(|| model.run(&a, &a))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benches for the Huffman scheduler and the
+//! windowed-Bélády prefetch buffer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparch_core::prefetch::{PrefetchConfig, RowPrefetcher};
+use sparch_core::{MergePlan, SchedulerKind};
+use sparch_sparse::gen;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let weights: Vec<u64> = (0..2000).map(|i| (i * 7919 + 13) % 5000 + 1).collect();
+    let mut group = c.benchmark_group("scheduler_2000_leaves");
+    for kind in [SchedulerKind::Huffman, SchedulerKind::Sequential, SchedulerKind::Random(3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| b.iter(|| MergePlan::build(kind, &weights, 64)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_prefetcher(c: &mut Criterion) {
+    let b = gen::rmat_graph500(8192, 8, 5);
+    let a = gen::rmat_graph500(8192, 8, 6);
+    let mut accesses = Vec::new();
+    for r in 0..a.rows() {
+        let (cols, _) = a.row(r);
+        accesses.extend(cols.iter().copied());
+    }
+    let mut group = c.benchmark_group("belady_buffer");
+    group.throughput(Throughput::Elements(accesses.len() as u64));
+    group.sample_size(10);
+    for lookahead in [1024usize, 8192] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lookahead),
+            &lookahead,
+            |bench, &lookahead| {
+                let cfg = PrefetchConfig { lookahead, ..Default::default() };
+                bench.iter(|| {
+                    let mut p = RowPrefetcher::new(&b, &cfg, accesses.clone());
+                    p.run_to_end()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_prefetcher);
+criterion_main!(benches);

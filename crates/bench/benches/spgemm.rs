@@ -1,0 +1,38 @@
+//! Criterion micro-benches for the software SpGEMM algorithm classes —
+//! the kernels behind the paper's MKL / cuSPARSE / CUSP / HeapSpGEMM
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparch_sparse::{algo, gen};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let a = gen::rmat_graph500(4096, 8, 1);
+    let flops = 2 * algo::multiply_flops(&a, &a);
+    let mut group = c.benchmark_group("spgemm_rmat4k_x8");
+    group.throughput(Throughput::Elements(flops));
+    group.sample_size(10);
+    group.bench_function("gustavson (MKL class)", |b| b.iter(|| algo::gustavson(&a, &a)));
+    group.bench_function("hash (cuSPARSE class)", |b| b.iter(|| algo::hash_spgemm(&a, &a)));
+    group.bench_function("sort_merge (CUSP class)", |b| b.iter(|| algo::sort_merge(&a, &a)));
+    group.bench_function("heap (HeapSpGEMM class)", |b| b.iter(|| algo::heap_spgemm(&a, &a)));
+    group.bench_function("outer_product (OuterSPACE dataflow)", |b| {
+        b.iter(|| algo::outer_product(&a, &a))
+    });
+    group.finish();
+}
+
+fn bench_density_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gustavson_density");
+    group.sample_size(10);
+    for degree in [4usize, 16, 32] {
+        let a = gen::rmat_graph500(2048, degree, 2);
+        group.throughput(Throughput::Elements(2 * algo::multiply_flops(&a, &a)));
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &a, |b, a| {
+            b.iter(|| algo::gustavson(a, a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_density_sweep);
+criterion_main!(benches);

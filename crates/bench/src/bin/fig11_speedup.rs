@@ -1,0 +1,90 @@
+//! Figure 11: speedup of SpArch over OuterSPACE, MKL, cuSPARSE, CUSP and
+//! ARM Armadillo on the 20-benchmark suite (A × A on square surrogates).
+//!
+//! The paper's geometric means: 4.2× / 18.7× / 17.6× / 16.6× / 1285×.
+//! Absolute factors here depend on the surrogate scale and the platform
+//! calibration constants (DESIGN.md §5); the *shape* — SpArch wins on
+//! every matrix, OuterSPACE is the closest, Armadillo is orders of
+//! magnitude behind — is the reproduction target.
+
+use serde::Serialize;
+use sparch_baselines::{run_software, OuterSpaceModel, Platform};
+use sparch_bench::{catalog, geomean, parse_args, print_table, runner};
+use sparch_core::{SpArchConfig, SpArchSim};
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    sparch_gflops: f64,
+    over_outerspace: f64,
+    over_mkl: f64,
+    over_cusparse: f64,
+    over_cusp: f64,
+    over_armadillo: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let sim = SpArchSim::new(SpArchConfig::default());
+    let outerspace = OuterSpaceModel::default();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for entry in catalog() {
+        let a = entry.build(args.scale);
+        let report = sim.run(&a, &a);
+        let os = outerspace.run(&a, &a);
+
+        let mut speedups = [0.0f64; 4];
+        for (i, p) in Platform::ALL.iter().enumerate() {
+            let gflops = run_software(*p, &a, &a).calibrated_gflops;
+            speedups[i] = report.perf.gflops / gflops;
+        }
+
+        rows.push(Row {
+            name: entry.name.to_string(),
+            sparch_gflops: report.perf.gflops,
+            over_outerspace: report.perf.gflops / os.gflops,
+            over_mkl: speedups[0],
+            over_cusparse: speedups[1],
+            over_cusp: speedups[2],
+            over_armadillo: speedups[3],
+        });
+        eprintln!("done {}", entry.name);
+    }
+
+    let gm = |f: fn(&Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    let geo = Row {
+        name: "GeoMean".into(),
+        sparch_gflops: gm(|r| r.sparch_gflops),
+        over_outerspace: gm(|r| r.over_outerspace),
+        over_mkl: gm(|r| r.over_mkl),
+        over_cusparse: gm(|r| r.over_cusparse),
+        over_cusp: gm(|r| r.over_cusp),
+        over_armadillo: gm(|r| r.over_armadillo),
+    };
+    rows.push(geo);
+
+    println!(
+        "Figure 11 — speedup of SpArch over baselines (scale {}, paper geomeans: 4.2/18.7/17.6/16.6/1285)\n",
+        args.scale
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.2}", r.sparch_gflops),
+                format!("{:.2}", r.over_outerspace),
+                format!("{:.1}", r.over_mkl),
+                format!("{:.1}", r.over_cusparse),
+                format!("{:.1}", r.over_cusp),
+                format!("{:.0}", r.over_armadillo),
+            ]
+        })
+        .collect();
+    print_table(
+        &["matrix", "SpArch GFLOPS", "vs OuterSPACE", "vs MKL", "vs cuSPARSE", "vs CUSP", "vs Armadillo"],
+        &table,
+    );
+    runner::dump_json(&args.json, &rows);
+}

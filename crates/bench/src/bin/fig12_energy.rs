@@ -1,0 +1,89 @@
+//! Figure 12: energy saving of SpArch over OuterSPACE, MKL, cuSPARSE,
+//! CUSP and ARM Armadillo on the 20-benchmark suite.
+//!
+//! The paper's geometric means: 6.1× / 164× / 435× / 307× / 62×. SpArch's
+//! energy comes from the simulator's activity counts × the calibrated
+//! per-event constants; OuterSPACE uses its published 4.95 nJ/FLOP;
+//! software platforms use `published power × calibrated time`.
+
+use serde::Serialize;
+use sparch_baselines::{run_software, OuterSpaceModel, Platform};
+use sparch_bench::{catalog, geomean, parse_args, print_table, runner};
+use sparch_core::{SpArchConfig, SpArchSim};
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    sparch_nj_per_flop: f64,
+    over_outerspace: f64,
+    over_mkl: f64,
+    over_cusparse: f64,
+    over_cusp: f64,
+    over_armadillo: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let sim = SpArchSim::new(SpArchConfig::default());
+    let outerspace = OuterSpaceModel::default();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for entry in catalog() {
+        let a = entry.build(args.scale);
+        let report = sim.run(&a, &a);
+        let sparch_energy = report.energy_total();
+        let os = outerspace.run(&a, &a);
+
+        let mut savings = [0.0f64; 4];
+        for (i, p) in Platform::ALL.iter().enumerate() {
+            let sw = run_software(*p, &a, &a).energy_j;
+            savings[i] = sw / sparch_energy;
+        }
+
+        rows.push(Row {
+            name: entry.name.to_string(),
+            sparch_nj_per_flop: report.nj_per_flop(),
+            over_outerspace: os.energy_j / sparch_energy,
+            over_mkl: savings[0],
+            over_cusparse: savings[1],
+            over_cusp: savings[2],
+            over_armadillo: savings[3],
+        });
+        eprintln!("done {}", entry.name);
+    }
+
+    let gm = |f: fn(&Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    rows.push(Row {
+        name: "GeoMean".into(),
+        sparch_nj_per_flop: gm(|r| r.sparch_nj_per_flop),
+        over_outerspace: gm(|r| r.over_outerspace),
+        over_mkl: gm(|r| r.over_mkl),
+        over_cusparse: gm(|r| r.over_cusparse),
+        over_cusp: gm(|r| r.over_cusp),
+        over_armadillo: gm(|r| r.over_armadillo),
+    });
+
+    println!(
+        "Figure 12 — energy saving of SpArch over baselines (scale {}, paper geomeans: 6.1/164/435/307/62)\n",
+        args.scale
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.3}", r.sparch_nj_per_flop),
+                format!("{:.2}", r.over_outerspace),
+                format!("{:.0}", r.over_mkl),
+                format!("{:.0}", r.over_cusparse),
+                format!("{:.0}", r.over_cusp),
+                format!("{:.0}", r.over_armadillo),
+            ]
+        })
+        .collect();
+    print_table(
+        &["matrix", "SpArch nJ/FLOP", "vs OuterSPACE", "vs MKL", "vs cuSPARSE", "vs CUSP", "vs Armadillo"],
+        &table,
+    );
+    runner::dump_json(&args.json, &rows);
+}

@@ -1,0 +1,85 @@
+//! Figure 13: area (a) and power (b) breakdown of SpArch per component.
+//!
+//! Area comes from the configuration-anchored model (exact at the default
+//! configuration). Power is the simulator's measured per-component energy
+//! divided by the task time, compared against the paper's published
+//! milliwatt breakdown.
+
+use sparch_bench::{catalog, parse_args, print_table};
+use sparch_core::{SpArchConfig, SpArchSim};
+use sparch_mem::EnergyModel;
+
+fn main() {
+    let args = parse_args();
+    let sim = SpArchSim::new(SpArchConfig::default());
+
+    // Representative run: aggregate energy/time over a few suite matrices.
+    let mut component_j = [0.0f64; 6];
+    let mut seconds = 0.0f64;
+    let mut area = None;
+    for entry in catalog().into_iter().take(6) {
+        let a = entry.build(args.scale);
+        let r = sim.run(&a, &a);
+        component_j[0] += r.energy.column_fetcher;
+        component_j[1] += r.energy.row_prefetcher;
+        component_j[2] += r.energy.multiplier_array;
+        component_j[3] += r.energy.merge_tree;
+        component_j[4] += r.energy.partial_writer;
+        component_j[5] += r.energy.hbm;
+        seconds += r.perf.seconds;
+        area = Some(r.area);
+    }
+    let area = area.expect("at least one run");
+
+    println!("Figure 13(a) — area breakdown (mm2)\n");
+    let total_area = area.total();
+    let area_rows = vec![
+        ("Column Fetcher", area.column_fetcher, 2.64),
+        ("Row Prefetcher", area.row_prefetcher, 5.8),
+        ("Multiplier Array", area.multiplier_array, 0.45),
+        ("Merge Tree", area.merge_tree, 17.27),
+        ("Partial Mat Writer", area.partial_writer, 2.34),
+    ];
+    print_table(
+        &["component", "mm2", "share", "paper mm2"],
+        &area_rows
+            .iter()
+            .map(|(n, v, p)| {
+                vec![
+                    n.to_string(),
+                    format!("{v:.2}"),
+                    format!("{:.1}%", v / total_area * 100.0),
+                    format!("{p:.2}"),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("total: {total_area:.2} mm2 (paper: 28.49)\n");
+
+    println!("Figure 13(b) — power breakdown (mW) over {} suite matrices\n", 6);
+    let paper_mw = EnergyModel::paper_power_breakdown_mw();
+    let names = [
+        "Column Fetcher",
+        "Row Prefetcher",
+        "Multiplier Array",
+        "Merge Tree",
+        "Partial Mat Writer",
+        "HBM",
+    ];
+    let total_w: f64 = component_j.iter().sum::<f64>() / seconds;
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let mw = component_j[i] / seconds * 1e3;
+            vec![
+                n.to_string(),
+                format!("{mw:.1}"),
+                format!("{:.1}%", mw / (total_w * 1e3) * 100.0),
+                format!("{:.1}", paper_mw[i].1),
+            ]
+        })
+        .collect();
+    print_table(&["component", "mW (measured)", "share", "paper mW"], &rows);
+    println!("total: {:.2} W (paper: 9.26 W incl. static)", total_w);
+}

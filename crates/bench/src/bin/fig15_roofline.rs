@@ -1,0 +1,58 @@
+//! Figure 15: roofline analysis.
+//!
+//! The paper computes a theoretical operational intensity of
+//! 0.19 FLOP/byte on its suite, a bandwidth roof of 23.9 GFLOP/s at that
+//! intensity (128 GB/s), and a compute roof of 32 GFLOP/s. SpArch attains
+//! 10.4 GFLOP/s — 2.3× under the roof — vs OuterSPACE's 2.5.
+
+use sparch_baselines::OuterSpaceModel;
+use sparch_bench::{catalog, geomean, parse_args, print_table};
+use sparch_core::{roofline, Roofline, SpArchConfig, SpArchSim};
+
+fn main() {
+    let args = parse_args();
+    let sim = SpArchSim::new(SpArchConfig::default());
+    let outerspace = OuterSpaceModel::default();
+    let model = Roofline::paper_default();
+
+    let mut intensities = Vec::new();
+    let mut sparch_gflops = Vec::new();
+    let mut outer_gflops = Vec::new();
+    for entry in catalog() {
+        let a = entry.build(args.scale);
+        intensities.push(roofline::theoretical_intensity(&a, &a));
+        sparch_gflops.push(sim.run(&a, &a).perf.gflops);
+        outer_gflops.push(outerspace.run(&a, &a).gflops);
+        eprintln!("done {}", entry.name);
+    }
+    let oi = geomean(&intensities);
+    let ours = geomean(&sparch_gflops);
+    let outer = geomean(&outer_gflops);
+    let point = model.place(oi, ours);
+
+    println!("Figure 15 — roofline (scale {})\n", args.scale);
+    print_table(
+        &["quantity", "measured", "paper"],
+        &[
+            vec!["operational intensity (FLOP/B)".into(), format!("{oi:.3}"), "0.19".into()],
+            vec!["compute roof (GFLOP/s)".into(), format!("{:.1}", model.compute_roof_gflops), "32.0".into()],
+            vec![
+                "bandwidth roof @ OI (GFLOP/s)".into(),
+                format!("{:.1}", point.roof_gflops),
+                "23.9".into(),
+            ],
+            vec!["SpArch attained (GFLOP/s)".into(), format!("{ours:.1}"), "10.4".into()],
+            vec!["OuterSPACE attained (GFLOP/s)".into(), format!("{outer:.1}"), "2.5".into()],
+            vec![
+                "roof / SpArch".into(),
+                format!("{:.1}x", point.roof_gflops / ours),
+                "2.3x".into(),
+            ],
+            vec![
+                "SpArch / OuterSPACE".into(),
+                format!("{:.1}x", ours / outer),
+                "4.2x".into(),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,93 @@
+//! Figure 16 (and Figure 2): dissecting the performance gain.
+//!
+//! The ablation ladder relative to OuterSPACE: pipelining multiply/merge
+//! alone *slows down* by 5.7× (partially merged results thrash DRAM);
+//! matrix condensing then gives 8.8×; the Huffman scheduler 1.5×; the row
+//! prefetcher 1.8×; overall 4.2× over OuterSPACE with 2.8× less DRAM
+//! traffic.
+
+use serde::Serialize;
+use sparch_baselines::OuterSpaceModel;
+use sparch_bench::{catalog, geomean, parse_args, print_table, runner};
+use sparch_core::{SpArchConfig, SpArchSim};
+
+#[derive(Serialize)]
+struct Step {
+    name: String,
+    gflops: f64,
+    dram_mb: f64,
+    vs_outerspace: f64,
+    step_speedup: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let outerspace = OuterSpaceModel::default();
+    // The full suite is expensive × 4 configs; use a representative
+    // subset by default (every other matrix) and let --scale control size.
+    let entries: Vec<_> = catalog().into_iter().step_by(2).collect();
+
+    let mut baseline_gflops = Vec::new();
+    let mut baseline_mb = Vec::new();
+    for entry in &entries {
+        let a = entry.build(args.scale);
+        let r = outerspace.run(&a, &a);
+        baseline_gflops.push(r.gflops);
+        baseline_mb.push(r.traffic.total_mb());
+    }
+    let os_gflops = geomean(&baseline_gflops);
+    let os_mb = geomean(&baseline_mb);
+
+    let mut steps: Vec<Step> = vec![Step {
+        name: "OuterSPACE baseline".into(),
+        gflops: os_gflops,
+        dram_mb: os_mb,
+        vs_outerspace: 1.0,
+        step_speedup: 1.0,
+    }];
+
+    let mut prev = os_gflops;
+    for (name, config) in SpArchConfig::ablation_ladder() {
+        let mut gflops = Vec::new();
+        let mut mbs = Vec::new();
+        for entry in &entries {
+            let a = entry.build(args.scale);
+            let r = SpArchSim::new(config.clone()).run(&a, &a);
+            gflops.push(r.perf.gflops);
+            mbs.push(r.dram_mb());
+        }
+        let g = geomean(&gflops);
+        steps.push(Step {
+            name: name.into(),
+            gflops: g,
+            dram_mb: geomean(&mbs),
+            vs_outerspace: g / os_gflops,
+            step_speedup: g / prev,
+        });
+        prev = g;
+        eprintln!("done {name}");
+    }
+
+    println!(
+        "Figure 16 — stepwise gains (scale {}, {} matrices; paper: 0.17x, x8.8, x1.5, x1.8 => 4.2x overall)\n",
+        args.scale,
+        entries.len()
+    );
+    let table: Vec<Vec<String>> = steps
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{:.2}", s.gflops),
+                format!("{:.1}", s.dram_mb),
+                format!("{:.2}x", s.vs_outerspace),
+                format!("{:.2}x", s.step_speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        &["configuration", "GFLOPS", "DRAM MB", "vs OuterSPACE", "step speedup"],
+        &table,
+    );
+    runner::dump_json(&args.json, &steps);
+}

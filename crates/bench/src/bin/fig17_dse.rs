@@ -1,0 +1,141 @@
+//! Figure 17: design space exploration on buffer sizes and array sizes.
+//!
+//! Four sweeps (select with `--sweep line|lines|merger|lookahead`, or run
+//! all by default):
+//!
+//! * (a) prefetch-buffer **line size** 24..96 at 1024 lines — longer lines
+//!   help until diminishing returns (paper picks 48),
+//! * (b) **line count** at fixed 49152-element capacity — more lines cut
+//!   DRAM but replacement logic slows past 1024 (paper picks 1024×48),
+//! * (c) **comparator array size** 1×1..16×16 — linear until memory-bound
+//!   (paper picks 16×16),
+//! * (d) **look-ahead FIFO** 1k..16k — better replacement vs longer
+//!   round startup (paper picks 8192).
+
+use serde::Serialize;
+use sparch_bench::{catalog, geomean, parse_args, print_table, runner};
+use sparch_core::{SpArchConfig, SpArchSim};
+
+#[derive(Serialize)]
+struct Point {
+    sweep: &'static str,
+    setting: String,
+    gflops: f64,
+    dram_mb: f64,
+}
+
+fn measure(config: SpArchConfig, scale: f64) -> (f64, f64) {
+    let entries: Vec<_> = catalog().into_iter().step_by(3).collect();
+    let sim = SpArchSim::new(config);
+    let mut gflops = Vec::new();
+    let mut mbs = Vec::new();
+    for entry in entries {
+        let a = entry.build(scale);
+        let r = sim.run(&a, &a);
+        gflops.push(r.perf.gflops);
+        mbs.push(r.dram_mb());
+    }
+    (geomean(&gflops), geomean(&mbs))
+}
+
+fn main() {
+    let args = parse_args();
+    let which = args.sweep.clone().unwrap_or_else(|| "all".into());
+    let mut points: Vec<Point> = Vec::new();
+
+    if which == "all" || which == "line" {
+        println!("Figure 17(a) — prefetch buffer line size (1024 lines)\n");
+        for line in [24usize, 36, 48, 60, 72, 84, 96] {
+            let mut c = SpArchConfig::default();
+            c.prefetch.line_elems = line;
+            let (g, mb) = measure(c, args.scale);
+            points.push(Point {
+                sweep: "line",
+                setting: format!("1024x{line}"),
+                gflops: g,
+                dram_mb: mb,
+            });
+            eprintln!("done line {line}");
+        }
+        print_sweep(&points, "line");
+    }
+
+    if which == "all" || which == "lines" {
+        println!("\nFigure 17(b) — line count at fixed 49152-element capacity\n");
+        for (lines, elems) in [(2048usize, 24usize), (1024, 48), (512, 96), (256, 192)] {
+            let mut c = SpArchConfig::default();
+            c.prefetch.lines = lines;
+            c.prefetch.line_elems = elems;
+            let (g, mb) = measure(c, args.scale);
+            points.push(Point {
+                sweep: "lines",
+                setting: format!("{lines}x{elems}"),
+                gflops: g,
+                dram_mb: mb,
+            });
+            eprintln!("done lines {lines}");
+        }
+        print_sweep(&points, "lines");
+    }
+
+    if which == "all" || which == "merger" {
+        println!("\nFigure 17(c) — comparator array size\n");
+        for n in [1usize, 2, 4, 8, 16] {
+            let c = SpArchConfig::default().with_merger_width(n);
+            let (g, mb) = measure(c, args.scale);
+            points.push(Point {
+                sweep: "merger",
+                setting: format!("{n}x{n}"),
+                gflops: g,
+                dram_mb: mb,
+            });
+            eprintln!("done merger {n}");
+        }
+        print_sweep(&points, "merger");
+    }
+
+    if which == "all" || which == "policy" {
+        println!("\nExtension — replacement policy ablation (Bélády vs LRU)\n");
+        for (name, policy) in [
+            ("belady (paper)", sparch_core::ReplacementPolicy::Belady),
+            ("lru", sparch_core::ReplacementPolicy::Lru),
+        ] {
+            let mut c = SpArchConfig::default();
+            c.prefetch.policy = policy;
+            let (g, mb) = measure(c, args.scale);
+            points.push(Point { sweep: "policy", setting: name.into(), gflops: g, dram_mb: mb });
+            eprintln!("done policy {name}");
+        }
+        print_sweep(&points, "policy");
+    }
+
+    if which == "all" || which == "lookahead" {
+        println!("\nFigure 17(d) — look-ahead FIFO size\n");
+        for size in [1024usize, 2048, 4096, 8192, 16384] {
+            let mut c = SpArchConfig::default();
+            c.prefetch.lookahead = size;
+            let (g, mb) = measure(c, args.scale);
+            points.push(Point {
+                sweep: "lookahead",
+                setting: size.to_string(),
+                gflops: g,
+                dram_mb: mb,
+            });
+            eprintln!("done lookahead {size}");
+        }
+        print_sweep(&points, "lookahead");
+    }
+
+    runner::dump_json(&args.json, &points);
+}
+
+fn print_sweep(points: &[Point], sweep: &str) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .filter(|p| p.sweep == sweep)
+        .map(|p| {
+            vec![p.setting.clone(), format!("{:.2}", p.gflops), format!("{:.1}", p.dram_mb)]
+        })
+        .collect();
+    print_table(&["setting", "GFLOPS", "DRAM MB"], &rows);
+}

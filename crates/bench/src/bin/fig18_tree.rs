@@ -1,0 +1,59 @@
+//! Figure 18: design space exploration on the merge-tree size.
+//!
+//! Sweeps 2–7 layers (4- to 128-way merge). "A merge tree of 6 layers and
+//! 64 ports is good enough, and the larger one does not contribute to the
+//! speedup" — DRAM access keeps falling slightly, GFLOPS saturates.
+
+use serde::Serialize;
+use sparch_bench::{catalog, geomean, parse_args, print_table, runner};
+use sparch_core::{SpArchConfig, SpArchSim};
+
+#[derive(Serialize)]
+struct Point {
+    layers: usize,
+    ways: usize,
+    gflops: f64,
+    dram_mb: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let entries: Vec<_> = catalog().into_iter().step_by(2).collect();
+    let mut points = Vec::new();
+    for layers in 2..=7usize {
+        let sim = SpArchSim::new(SpArchConfig::default().with_tree_layers(layers));
+        let mut gflops = Vec::new();
+        let mut mbs = Vec::new();
+        for entry in &entries {
+            let a = entry.build(args.scale);
+            let r = sim.run(&a, &a);
+            gflops.push(r.perf.gflops);
+            mbs.push(r.dram_mb());
+        }
+        points.push(Point {
+            layers,
+            ways: 1 << layers,
+            gflops: geomean(&gflops),
+            dram_mb: geomean(&mbs),
+        });
+        eprintln!("done {layers} layers");
+    }
+
+    println!(
+        "Figure 18 — merge tree size (scale {}, paper: 6 layers saturate at 10.45 GFLOPS)\n",
+        args.scale
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.layers.to_string(),
+                p.ways.to_string(),
+                format!("{:.2}", p.gflops),
+                format!("{:.1}", p.dram_mb),
+            ]
+        })
+        .collect();
+    print_table(&["layers", "ways", "GFLOPS", "DRAM MB"], &rows);
+    runner::dump_json(&args.json, &points);
+}

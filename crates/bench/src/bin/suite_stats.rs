@@ -1,0 +1,52 @@
+//! Workload characterization of the 20-benchmark suite surrogates:
+//! the structural quantities SpArch's behaviour keys on, next to the
+//! originals' published shapes. Complements DESIGN.md §5's substitution
+//! argument with measurable evidence.
+
+use sparch_bench::{catalog, parse_args, print_table};
+use sparch_sparse::stats::{MatrixStats, TaskStats};
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Suite surrogate characterization at scale {} (original shapes in parentheses)\n",
+        args.scale
+    );
+    let mut rows = Vec::new();
+    for entry in catalog() {
+        let a = entry.build(args.scale);
+        let m = MatrixStats::of(&a);
+        let t = TaskStats::of(&a, &a);
+        rows.push(vec![
+            entry.name.to_string(),
+            format!("{} ({})", m.rows, entry.rows),
+            format!("{} ({})", m.nnz, entry.nnz),
+            format!("{:.1} ({:.1})", m.avg_row_nnz, entry.avg_degree()),
+            format!("{:.2}", m.row_cv),
+            t.condensed_cols.to_string(),
+            t.occupied_cols.to_string(),
+            format!("{:.2}", t.compression_factor),
+            format!("{:.3}", t.operational_intensity),
+        ]);
+        eprintln!("done {}", entry.name);
+    }
+    print_table(
+        &[
+            "matrix",
+            "rows",
+            "nnz",
+            "deg",
+            "row CV",
+            "cond cols",
+            "occ cols",
+            "compress",
+            "OI",
+        ],
+        &rows,
+    );
+    println!(
+        "\ncond cols = partial matrices after condensing (paper: 100-1000); \
+         occ cols = partial matrices without condensing; \
+         OI = theoretical operational intensity (paper suite mean: 0.19)"
+    );
+}

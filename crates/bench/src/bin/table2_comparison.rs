@@ -1,0 +1,61 @@
+//! Table II: comparison with OuterSPACE on area, power and memory
+//! bandwidth utilization.
+//!
+//! Area and the utilization are produced by our models; power is the
+//! measured average over a slice of the suite. OuterSPACE's column uses
+//! its published figures (87 mm² at 32 nm, 12.39 W, 48.3 % utilization).
+
+use sparch_baselines::OuterSpaceModel;
+use sparch_bench::{catalog, parse_args, print_table};
+use sparch_core::{SpArchConfig, SpArchSim};
+
+fn main() {
+    let args = parse_args();
+    let sim = SpArchSim::new(SpArchConfig::default());
+    let os = OuterSpaceModel::default();
+
+    let mut power = Vec::new();
+    let mut util = Vec::new();
+    let mut area = None;
+    for entry in catalog().into_iter().step_by(2) {
+        let a = entry.build(args.scale);
+        let r = sim.run(&a, &a);
+        power.push(r.avg_power_w());
+        util.push(r.perf.bandwidth_utilization);
+        area = Some(r.area.total());
+        eprintln!("done {}", entry.name);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+
+    println!("Table II — comparison with OuterSPACE (scale {})\n", args.scale);
+    print_table(
+        &["quantity", "SpArch (measured)", "SpArch (paper)", "OuterSPACE (published)"],
+        &[
+            vec!["technology".into(), "40 nm (modelled)".into(), "40 nm".into(), "32 nm".into()],
+            vec![
+                "area (mm2)".into(),
+                format!("{:.2}", area.unwrap()),
+                "28.49".into(),
+                format!("{:.0}", os.area_mm2),
+            ],
+            vec![
+                "power (W)".into(),
+                format!("{:.2}", avg(&power)),
+                "9.26".into(),
+                format!("{:.2}", os.power_w),
+            ],
+            vec![
+                "DRAM".into(),
+                "HBM @ 128 GB/s".into(),
+                "HBM @ 128 GB/s".into(),
+                "HBM @ 128 GB/s".into(),
+            ],
+            vec![
+                "bandwidth utilization".into(),
+                format!("{:.1}%", avg(&util) * 100.0),
+                "68.6%".into(),
+                format!("{:.1}%", os.utilization * 100.0),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,49 @@
+//! Table III: energy breakdown per FLOP (computation / SRAM / DRAM),
+//! SpArch measured vs the paper's published values and OuterSPACE's.
+
+use sparch_bench::{catalog, parse_args, print_table};
+use sparch_core::{SpArchConfig, SpArchSim};
+use sparch_mem::EnergyModel;
+
+fn main() {
+    let args = parse_args();
+    let sim = SpArchSim::new(SpArchConfig::default());
+
+    let mut comp = 0.0f64;
+    let mut sram = 0.0f64;
+    let mut dram = 0.0f64;
+    let mut flops = 0u64;
+    for entry in catalog().into_iter().step_by(2) {
+        let a = entry.build(args.scale);
+        let r = sim.run(&a, &a);
+        let (c, s, d) = r.energy.by_category();
+        comp += c;
+        sram += s;
+        dram += d;
+        flops += r.perf.flops;
+        eprintln!("done {}", entry.name);
+    }
+    let nj = |j: f64| j * 1e9 / flops as f64;
+    let (pc, ps, pd, pt) = EnergyModel::paper_nj_per_flop();
+
+    println!("Table III — energy breakdown, nJ/FLOP (scale {})\n", args.scale);
+    print_table(
+        &["category", "SpArch measured", "SpArch paper", "OuterSPACE published"],
+        &[
+            vec!["computation".into(), format!("{:.3}", nj(comp)), format!("{pc}"), "3.19".into()],
+            vec!["SRAM".into(), format!("{:.3}", nj(sram)), format!("{ps}"), "0.35".into()],
+            vec!["DRAM".into(), format!("{:.3}", nj(dram)), format!("{pd}"), "1.20".into()],
+            vec!["crossbar".into(), "n/a".into(), "n/a".into(), "0.21".into()],
+            vec![
+                "overall".into(),
+                format!("{:.3}", nj(comp + sram + dram)),
+                format!("{pt}"),
+                "4.95".into(),
+            ],
+        ],
+    );
+    println!(
+        "\narea: merge tree {:.1} mm2 + prefetcher {:.1} mm2 dominate (paper Table III: 24.4 mm2 SRAM, 4.1 mm2 compute)",
+        17.27, 5.8
+    );
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness for the SpArch reproduction.
+//!
+//! One binary per table/figure of the paper's evaluation section (see
+//! DESIGN.md §4 for the full index), plus criterion micro-benches. This
+//! library holds the shared pieces:
+//!
+//! * [`suite`] — the 20-benchmark catalog (SuiteSparse/SNAP surrogates),
+//! * [`runner`] — measurement helpers (geometric means, table printing,
+//!   argument parsing, JSON dumps).
+
+pub mod runner;
+pub mod suite;
+
+pub use runner::{geomean, parse_args, print_table, Args};
+pub use suite::{catalog, MatrixClass, SuiteEntry};

@@ -1,0 +1,152 @@
+//! Measurement and reporting helpers shared by the per-figure binaries.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Command-line options common to all figure binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Linear scale applied to the suite matrices (default 0.04 keeps the
+    /// whole suite tractable on a laptop; raise toward 1.0 for fidelity).
+    pub scale: f64,
+    /// Optional path to dump machine-readable JSON results.
+    pub json: Option<PathBuf>,
+    /// Free-form sub-selector (e.g. `--sweep buffer` for fig17).
+    pub sweep: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args { scale: 0.04, json: None, sweep: None }
+    }
+}
+
+/// Parses `--scale X`, `--json PATH` and `--sweep NAME` from `std::env`.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed arguments.
+pub fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                args.scale = v.parse().expect("--scale needs a number");
+                assert!(
+                    args.scale > 0.0 && args.scale <= 1.0,
+                    "--scale must be in (0, 1]"
+                );
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().expect("--json needs a path")));
+            }
+            "--sweep" => {
+                args.sweep = Some(it.next().expect("--sweep needs a name"));
+            }
+            "--help" | "-h" => {
+                println!("options: --scale <0..1]  --json <path>  --sweep <name>");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?} (try --help)"),
+        }
+    }
+    args
+}
+
+/// Geometric mean, the paper's aggregate for speedups/savings.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean needs positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            } else {
+                s.push_str(&format!("  {:>width$}", cell, width = widths[i]));
+            }
+        }
+        s
+    };
+    println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Writes `value` as pretty JSON to `path` if given.
+///
+/// # Panics
+///
+/// Panics on serialization or I/O failure (benchmarks want loud errors).
+pub fn dump_json<T: Serialize>(path: &Option<PathBuf>, value: &T) {
+    if let Some(path) = path {
+        let json = serde_json::to_string_pretty(value).expect("serialize results");
+        std::fs::write(path, json).expect("write json results");
+        eprintln!("results written to {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_known_values() {
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            &["matrix", "speedup"],
+            &[
+                vec!["wiki-Vote".into(), "3.96".into()],
+                vec!["cit-Patents".into(), "3.93".into()],
+            ],
+        );
+    }
+
+    #[test]
+    fn default_args() {
+        let a = Args::default();
+        assert!(a.scale > 0.0 && a.scale <= 1.0);
+        assert!(a.json.is_none());
+    }
+}

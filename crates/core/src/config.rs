@@ -1,0 +1,244 @@
+//! SpArch configuration (paper Table I) and ablation switches.
+
+use crate::prefetch::PrefetchConfig;
+use serde::{Deserialize, Serialize};
+use sparch_mem::{EnergyModel, HbmConfig};
+
+/// Which merge-order scheduler drives the rounds (§II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// k-ary Huffman tree over estimated column sizes — the paper's
+    /// scheduler, near-optimal for total partial-result traffic.
+    Huffman,
+    /// Balanced pairwise reduction in the given order (Figure 8(a)'s
+    /// "sequential scheduler" comparison point).
+    Sequential,
+    /// Uniformly random merge order (the §III-C ablation baseline:
+    /// "use a random order to select initial columns and partially merged
+    /// results"). The seed makes runs reproducible.
+    Random(u64),
+}
+
+/// Full architectural configuration. Defaults reproduce Table I:
+///
+/// | unit | setting |
+/// |---|---|
+/// | array merger | 16×16 hierarchical (4×4 top + 4×4 low), 1 GHz |
+/// | merge tree | 6 layers → 64-way merge |
+/// | multipliers | 2 × 8 double-precision |
+/// | MatA column fetcher | 8192-element look-ahead, 64 column fetchers |
+/// | MatB row prefetcher | 1024 lines × 48 elements × 12 B, 16 fetchers |
+/// | partial matrix writer | 1024-element FIFO |
+/// | main memory | 16 × 64-bit HBM channels, 8 GB/s each |
+///
+/// # Example
+///
+/// ```
+/// use sparch_core::SpArchConfig;
+///
+/// let config = SpArchConfig::default();
+/// assert_eq!(config.merge_ways(), 64);
+/// let ablation = SpArchConfig::default().without_condensing();
+/// assert!(!ablation.condensing);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpArchConfig {
+    /// Merge-tree layers; the tree merges `2^tree_layers` streams at once.
+    pub tree_layers: usize,
+    /// Elements per cycle through each layer's merger.
+    pub merger_width: usize,
+    /// Low-level chunk size of the hierarchical merger.
+    pub merger_chunk: usize,
+    /// Parallel double-precision multipliers.
+    pub multipliers: usize,
+    /// Partial-matrix writer FIFO capacity in elements.
+    pub writer_fifo: usize,
+    /// Row-prefetcher geometry and enable flag.
+    pub prefetch: PrefetchConfig,
+    /// Main-memory model.
+    pub hbm: HbmConfig,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Matrix condensing enabled (ablation switch; §II-B).
+    pub condensing: bool,
+    /// Merge-order scheduler (ablation switch; §II-C).
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for SpArchConfig {
+    fn default() -> Self {
+        SpArchConfig {
+            tree_layers: 6,
+            merger_width: 16,
+            merger_chunk: 4,
+            multipliers: 16,
+            writer_fifo: 1024,
+            prefetch: PrefetchConfig::default(),
+            hbm: HbmConfig::default(),
+            energy: EnergyModel::default(),
+            condensing: true,
+            scheduler: SchedulerKind::Huffman,
+        }
+    }
+}
+
+impl SpArchConfig {
+    /// Number of streams merged per round: `2^tree_layers` (64 for the
+    /// default 6-layer tree).
+    pub fn merge_ways(&self) -> usize {
+        1 << self.tree_layers
+    }
+
+    /// Peak floating-point throughput in GFLOP/s at 1 GHz: every multiply
+    /// may be paired with one merge-add ("The peak multiplication
+    /// performance is 16 GFlops/s, and the overall peak performance
+    /// (multiplication+addition) is 32 GFlops/s", §III-B).
+    pub fn peak_gflops(&self) -> f64 {
+        2.0 * self.multipliers as f64 * self.hbm.clock_hz / 1e9
+    }
+
+    /// Returns the configuration with condensing disabled (the left matrix
+    /// is processed by original CSC columns).
+    pub fn without_condensing(mut self) -> Self {
+        self.condensing = false;
+        self
+    }
+
+    /// Returns the configuration with the given scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Returns the configuration with the prefetcher disabled (every right
+    /// -matrix row access goes to DRAM).
+    pub fn without_prefetcher(mut self) -> Self {
+        self.prefetch.enabled = false;
+        self
+    }
+
+    /// Returns the configuration with `layers` merge-tree layers.
+    pub fn with_tree_layers(mut self, layers: usize) -> Self {
+        self.tree_layers = layers;
+        self
+    }
+
+    /// Returns the configuration with an `n`-wide merger.
+    pub fn with_merger_width(mut self, n: usize) -> Self {
+        self.merger_width = n;
+        // Keep the hierarchical split legal: largest chunk dividing n,
+        // close to n^(1/3) rounded to a divisor.
+        self.merger_chunk = best_chunk(n);
+        self
+    }
+
+    /// The ablation ladder of Figure 16, in order: pipelined-only,
+    /// +condensing, +Huffman scheduler, +prefetcher (= default).
+    pub fn ablation_ladder() -> [(&'static str, SpArchConfig); 4] {
+        [
+            (
+                "pipelined multiply-merge only",
+                SpArchConfig::default()
+                    .without_condensing()
+                    .with_scheduler(SchedulerKind::Random(17))
+                    .without_prefetcher(),
+            ),
+            (
+                "+ matrix condensing",
+                SpArchConfig::default()
+                    .with_scheduler(SchedulerKind::Random(17))
+                    .without_prefetcher(),
+            ),
+            ("+ huffman scheduler", SpArchConfig::default().without_prefetcher()),
+            ("+ row prefetcher (full SpArch)", SpArchConfig::default()),
+        ]
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is degenerate (zero sizes, chunk not
+    /// dividing the merger width).
+    pub fn validate(&self) {
+        assert!(self.tree_layers > 0, "tree must have at least one layer");
+        assert!(self.merger_width > 0, "merger width must be positive");
+        assert!(
+            self.merger_width % self.merger_chunk == 0,
+            "merger chunk must divide merger width"
+        );
+        assert!(self.multipliers > 0, "need at least one multiplier");
+        assert!(self.writer_fifo > 0, "writer FIFO must be positive");
+        self.prefetch.validate();
+    }
+}
+
+/// Largest divisor of `n` not exceeding `ceil(n^(1/2))` — a reasonable
+/// low-level chunk for an `n`-wide hierarchical merger (4 for n = 16, as
+/// in Table I).
+fn best_chunk(n: usize) -> usize {
+    let target = (n as f64).sqrt().ceil() as usize;
+    (1..=target).rev().find(|d| n % d == 0).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_i() {
+        let c = SpArchConfig::default();
+        c.validate();
+        assert_eq!(c.tree_layers, 6);
+        assert_eq!(c.merge_ways(), 64);
+        assert_eq!(c.merger_width, 16);
+        assert_eq!(c.merger_chunk, 4);
+        assert_eq!(c.multipliers, 16);
+        assert_eq!(c.prefetch.lines, 1024);
+        assert_eq!(c.prefetch.line_elems, 48);
+        assert_eq!(c.prefetch.lookahead, 8192);
+        assert!((c.peak_gflops() - 32.0).abs() < 1e-9);
+        assert!(c.condensing);
+        assert_eq!(c.scheduler, SchedulerKind::Huffman);
+    }
+
+    #[test]
+    fn ablation_ladder_is_monotone_in_features() {
+        let ladder = SpArchConfig::ablation_ladder();
+        assert!(!ladder[0].1.condensing);
+        assert!(ladder[1].1.condensing);
+        assert!(matches!(ladder[1].1.scheduler, SchedulerKind::Random(_)));
+        assert_eq!(ladder[2].1.scheduler, SchedulerKind::Huffman);
+        assert!(!ladder[2].1.prefetch.enabled);
+        assert!(ladder[3].1.prefetch.enabled);
+        for (_, c) in &ladder {
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn merger_width_adjusts_chunk() {
+        assert_eq!(SpArchConfig::default().with_merger_width(16).merger_chunk, 4);
+        assert_eq!(SpArchConfig::default().with_merger_width(8).merger_chunk, 2);
+        assert_eq!(SpArchConfig::default().with_merger_width(1).merger_chunk, 1);
+        for n in [1usize, 2, 4, 8, 16, 12] {
+            SpArchConfig::default().with_merger_width(n).validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_chunk_rejected() {
+        let mut c = SpArchConfig::default();
+        c.merger_chunk = 5;
+        c.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SpArchConfig::default().with_tree_layers(4);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SpArchConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,408 @@
+//! Cycle-accurate co-simulation of one multiply-and-merge round.
+//!
+//! The paper's evaluation infrastructure is a cycle-accurate simulator
+//! (§III-A). The whole-task simulator in [`crate::simulator`] uses a
+//! round-level cost model for speed; this module provides the detailed
+//! counterpart for one round — the multiplier array feeding the merge
+//! tree's leaf FIFOs *while* the tree merges, exactly the pipelining of
+//! Figure 5/10 — and is used to validate the cost model (see
+//! `tests/model_validation.rs` and the unit tests here).
+//!
+//! Per cycle, in hardware order:
+//!
+//! 1. the partial-matrix writer drains the root FIFO (merger width per
+//!    cycle, 16 bytes per element of DRAM write),
+//! 2. each tree layer's shared merger serves one node (round-robin),
+//! 3. the multiplier array produces up to `multipliers` partial products,
+//!    round-robin across the round's columns, pushing into leaf FIFOs
+//!    with backpressure.
+//!
+//! The co-simulation is functionally exact: its output equals the
+//! functional k-way merge.
+
+use crate::condense::CondensedElement;
+use crate::config::SpArchConfig;
+use serde::{Deserialize, Serialize};
+use sparch_engine::MergeItem;
+use sparch_sparse::Csr;
+use std::collections::VecDeque;
+
+/// Counters and output of one co-simulated round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleRoundReport {
+    /// Total cycles from first multiply to last writer drain.
+    pub cycles: u64,
+    /// The merged (duplicate-folded) output stream.
+    pub output: Vec<MergeItem>,
+    /// Scalar multiplications performed.
+    pub multiplies: u64,
+    /// Cycles in which the multiplier array was stalled by full leaf
+    /// FIFOs (backpressure from the tree).
+    pub multiplier_stalls: u64,
+    /// Cycles in which any layer's merger found no serviceable node.
+    pub merger_idle: u64,
+}
+
+struct Node {
+    fifo: VecDeque<MergeItem>,
+    finished: bool,
+}
+
+/// Per-column generator state: walks the column's elements and, within
+/// each element, the corresponding row of B.
+struct ColumnCursor<'a> {
+    col: &'a [CondensedElement],
+    b: &'a Csr,
+    elem: usize,
+    pos: usize,
+}
+
+impl ColumnCursor<'_> {
+    fn next_product(&mut self) -> Option<MergeItem> {
+        while self.elem < self.col.len() {
+            let e = self.col[self.elem];
+            let (cols, vals) = self.b.row(e.orig_col as usize);
+            if self.pos < cols.len() {
+                let item = MergeItem::new(e.row, cols[self.pos], e.value * vals[self.pos]);
+                self.pos += 1;
+                return Some(item);
+            }
+            self.elem += 1;
+            self.pos = 0;
+        }
+        None
+    }
+
+    fn exhausted(&self) -> bool {
+        self.elem >= self.col.len()
+            || (self.elem == self.col.len() - 1 && {
+                let e = self.col[self.elem];
+                self.pos >= self.b.row_nnz(e.orig_col as usize)
+            })
+    }
+}
+
+/// Co-simulates one round of multiplying `columns` against `b` and merging
+/// through the tree described by `config`.
+///
+/// # Panics
+///
+/// Panics if more columns than the tree's leaf ports are supplied, or if
+/// the simulation fails to converge (internal bug guard).
+pub fn simulate_round(
+    columns: &[Vec<CondensedElement>],
+    b: &Csr,
+    config: &SpArchConfig,
+) -> CycleRoundReport {
+    config.validate();
+    let layers = config.tree_layers;
+    let leaves = 1usize << layers;
+    assert!(
+        columns.len() <= leaves,
+        "{} columns exceed the tree's {leaves} leaf ports",
+        columns.len()
+    );
+    let width = config.merger_width;
+    let fifo_capacity = (2 * width).max(64);
+
+    let mut levels: Vec<Vec<Node>> = (0..=layers)
+        .map(|l| {
+            (0..(1usize << l))
+                .map(|_| Node { fifo: VecDeque::new(), finished: false })
+                .collect()
+        })
+        .collect();
+    // Leaves beyond the column count are trivially finished.
+    for (i, node) in levels[layers].iter_mut().enumerate() {
+        node.finished = i >= columns.len();
+    }
+
+    let mut cursors: Vec<ColumnCursor> = columns
+        .iter()
+        .map(|col| ColumnCursor { col, b, elem: 0, pos: 0 })
+        .collect();
+    let total_products: u64 = columns
+        .iter()
+        .flatten()
+        .map(|e| b.row_nnz(e.orig_col as usize) as u64)
+        .sum();
+
+    let mut report = CycleRoundReport {
+        cycles: 0,
+        output: Vec::new(),
+        multiplies: 0,
+        multiplier_stalls: 0,
+        merger_idle: 0,
+    };
+    let mut rr: Vec<usize> = vec![0; layers];
+    let mut mult_rr = 0usize;
+    let cycle_cap = 1000 + total_products * (layers as u64 + 3);
+
+    loop {
+        report.cycles += 1;
+        assert!(
+            report.cycles < cycle_cap.max(10_000),
+            "cycle co-simulation failed to converge"
+        );
+
+        // 1. Writer drains the root, folding straddled duplicates.
+        {
+            let root = &mut levels[0][0];
+            let take = root.fifo.len().min(width);
+            for _ in 0..take {
+                let item = root.fifo.pop_front().expect("len checked");
+                match report.output.last_mut() {
+                    Some(last) if last.coord == item.coord => last.value += item.value,
+                    _ => report.output.push(item),
+                }
+            }
+        }
+
+        // 2. Layer mergers, root-first (one-cycle latency per level).
+        for l in 0..layers {
+            let parents = 1usize << l;
+            let mut served = false;
+            for probe in 0..parents {
+                let p = (rr[l] + probe) % parents;
+                if service(&mut levels, l, p, width, fifo_capacity) {
+                    rr[l] = (p + 1) % parents;
+                    served = true;
+                    break;
+                }
+            }
+            if !served {
+                report.merger_idle += 1;
+            }
+        }
+
+        // 3. Multiplier array fills leaf FIFOs, round-robin with
+        //    backpressure.
+        if !columns.is_empty() {
+            let mut budget = config.multipliers;
+            let mut blocked = 0usize;
+            let mut probes = 0usize;
+            while budget > 0 && probes < 2 * columns.len() {
+                let k = mult_rr % columns.len();
+                mult_rr += 1;
+                probes += 1;
+                let leaf = &mut levels[layers][k];
+                if leaf.finished {
+                    continue;
+                }
+                if cursors[k].exhausted() && leaf.fifo.is_empty() {
+                    // nothing left to produce; finished once FIFO drains
+                }
+                if leaf.fifo.len() >= fifo_capacity {
+                    blocked += 1;
+                    continue;
+                }
+                match cursors[k].next_product() {
+                    Some(item) => {
+                        leaf.fifo.push_back(item);
+                        report.multiplies += 1;
+                        budget -= 1;
+                    }
+                    None => {
+                        leaf.finished = true;
+                    }
+                }
+            }
+            if budget == config.multipliers && blocked > 0 {
+                report.multiplier_stalls += 1;
+            }
+        }
+        // Columns that ran dry this cycle finish their leaves.
+        for (k, cursor) in cursors.iter().enumerate() {
+            if cursor.exhausted() {
+                levels[layers][k].finished = true;
+            }
+        }
+
+        let root = &levels[0][0];
+        if root.finished && root.fifo.is_empty() {
+            break;
+        }
+    }
+    report
+}
+
+/// One merger service (same discipline as `sparch_engine::MergeTree`).
+fn service(
+    levels: &mut [Vec<Node>],
+    l: usize,
+    p: usize,
+    width: usize,
+    fifo_capacity: usize,
+) -> bool {
+    let (c0, c1) = (2 * p, 2 * p + 1);
+    let (upper, lower) = levels.split_at_mut(l + 1);
+    let parent = &mut upper[l][p];
+    if parent.finished {
+        return false;
+    }
+    let (left_nodes, right_nodes) = lower[0].split_at_mut(c1);
+    let left = &mut left_nodes[c0];
+    let right = &mut right_nodes[0];
+
+    let mut moved = 0usize;
+    let mut staging: Vec<MergeItem> = Vec::with_capacity(width);
+    while moved < width && parent.fifo.len() + staging.len() < fifo_capacity {
+        let take_right = match (left.fifo.front(), right.fifo.front()) {
+            (Some(a), Some(b)) => a.coord >= b.coord,
+            (Some(_), None) => {
+                if right.finished {
+                    false
+                } else {
+                    break;
+                }
+            }
+            (None, Some(_)) => {
+                if left.finished {
+                    true
+                } else {
+                    break;
+                }
+            }
+            (None, None) => break,
+        };
+        let item = if take_right {
+            right.fifo.pop_front().expect("head checked")
+        } else {
+            left.fifo.pop_front().expect("head checked")
+        };
+        staging.push(item);
+        moved += 1;
+    }
+    let (folded, _) = sparch_engine::adder::fold_duplicates(&staging);
+    for item in folded {
+        match parent.fifo.back_mut() {
+            Some(back) if back.coord == item.coord => back.value += item.value,
+            _ => parent.fifo.push_back(item),
+        }
+    }
+    if left.finished && right.finished && left.fifo.is_empty() && right.fifo.is_empty() {
+        parent.finished = true;
+        return true;
+    }
+    moved > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condense::CondensedView;
+    use crate::pipeline::kway_merge_fold;
+    use sparch_sparse::{algo, gen};
+
+    fn columns_of(a: &Csr) -> Vec<Vec<CondensedElement>> {
+        let view = CondensedView::new(a);
+        (0..view.num_cols()).map(|j| view.col(j).collect()).collect()
+    }
+
+    #[test]
+    fn co_simulation_is_functionally_exact() {
+        let a = gen::uniform_random(80, 80, 480, 4);
+        let columns = columns_of(&a);
+        assert!(columns.len() <= 64);
+        let report = simulate_round(&columns, &a, &SpArchConfig::default());
+
+        // Reference: functional k-way merge of the same streams.
+        let streams: Vec<Vec<MergeItem>> = columns
+            .iter()
+            .map(|col| {
+                let mut s = Vec::new();
+                for e in col {
+                    let (cols, vals) = a.row(e.orig_col as usize);
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        s.push(MergeItem::new(e.row, c, e.value * v));
+                    }
+                }
+                s
+            })
+            .collect();
+        let refs: Vec<&[MergeItem]> = streams.iter().map(|s| s.as_slice()).collect();
+        let (expected, _) = kway_merge_fold(&refs);
+        assert_eq!(report.output.len(), expected.len());
+        for (got, want) in report.output.iter().zip(&expected) {
+            assert_eq!(got.coord, want.coord);
+            assert!((got.value - want.value).abs() < 1e-12);
+        }
+        assert_eq!(report.multiplies, algo::multiply_flops(&a, &a));
+    }
+
+    #[test]
+    fn matches_gustavson_end_to_end() {
+        let a = gen::rmat_graph500(96, 4, 7);
+        let columns = columns_of(&a);
+        if columns.len() > 64 {
+            return; // single-round co-sim only
+        }
+        let report = simulate_round(&columns, &a, &SpArchConfig::default());
+        let mut builder = sparch_sparse::CsrBuilder::new(a.rows(), a.cols());
+        for item in &report.output {
+            builder.push(item.row(), item.col(), item.value);
+        }
+        assert!(builder.finish().approx_eq(&algo::gustavson(&a, &a), 1e-9));
+    }
+
+    #[test]
+    fn throughput_bounded_by_multipliers_and_root() {
+        let a = gen::uniform_random(120, 120, 960, 6);
+        let columns = columns_of(&a);
+        let config = SpArchConfig::default();
+        let report = simulate_round(&columns, &a, &config);
+        // Lower bound: can't finish faster than either the multiply
+        // bound or the root-drain bound.
+        let multiply_bound = report.multiplies / config.multipliers as u64;
+        let root_bound = report.output.len() as u64 / config.merger_width as u64;
+        assert!(report.cycles >= multiply_bound.max(root_bound));
+        // Upper bound: pipelining means far less than the serial sum.
+        let serial = report.multiplies + report.output.len() as u64;
+        assert!(
+            report.cycles < serial,
+            "pipelined round ({}) must beat serial execution ({serial})",
+            report.cycles
+        );
+    }
+
+    #[test]
+    fn cost_model_tracks_co_simulation() {
+        use crate::pipeline::{CostParams, RoundCost};
+        let a = gen::uniform_random(200, 200, 1600, 8);
+        let columns = columns_of(&a);
+        let config = SpArchConfig::default();
+        let report = simulate_round(&columns, &a, &config);
+        let params = CostParams {
+            bytes_per_cycle: config.hbm.bytes_per_cycle(),
+            dram_latency: config.hbm.access_latency,
+            tree_layers: config.tree_layers,
+            merger_width: config.merger_width,
+            multipliers: config.multipliers,
+            lookahead: config.prefetch.lookahead,
+            buffer_lines: config.prefetch.lines,
+            fetchers: config.prefetch.fetchers,
+        };
+        let cost = RoundCost {
+            multiplies: report.multiplies,
+            input_elements: report.multiplies,
+            output_elements: report.output.len() as u64,
+            dram_bytes: 0, // compute-side comparison
+            ..Default::default()
+        };
+        let modelled = params.round_cycles(&cost) - params.startup_cycles(&cost);
+        let ratio = report.cycles as f64 / modelled.max(1) as f64;
+        assert!(
+            (0.4..=3.0).contains(&ratio),
+            "co-sim {} vs model {} (ratio {ratio:.2})",
+            report.cycles,
+            modelled
+        );
+    }
+
+    #[test]
+    fn empty_round() {
+        let report = simulate_round(&[], &Csr::zero(4, 4), &SpArchConfig::default());
+        assert!(report.output.is_empty());
+        assert_eq!(report.multiplies, 0);
+    }
+}

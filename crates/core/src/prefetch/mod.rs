@@ -1,0 +1,147 @@
+//! The MatB row prefetcher (paper §II-D, Figure 9).
+//!
+//! Matrix condensing destroys the right operand's perfect reuse: one
+//! condensed column touches many different rows of `B`. The prefetcher
+//! restores most of it with an on-chip row buffer whose replacement policy
+//! is *near-Bélády-optimal*: because the left matrix streams through a
+//! look-ahead FIFO, the exact sequence of future row accesses is known up
+//! to the FIFO depth, so "we can replace the line with the furthest next
+//! use".
+//!
+//! The buffer is organized in lines (Table I: 1024 lines × 48 elements ×
+//! 12 bytes); rows occupy `ceil(nnz/48)` lines, and spilling/refetching
+//! happens **line by line** — Figure 9's example shows a partially
+//! evicted row needing only its missing lines reloaded.
+//!
+//! [`RowPrefetcher`] simulates the policy exactly over a known access
+//! sequence, with the look-ahead horizon enforced: rows whose next use is
+//! beyond the look-ahead window are indistinguishable to the hardware and
+//! are evicted first, oldest-resident first.
+
+mod belady;
+
+pub use belady::RowPrefetcher;
+
+use serde::{Deserialize, Serialize};
+
+/// Buffer replacement policy.
+///
+/// The paper's contribution is the look-ahead-driven Bélády policy; LRU is
+/// provided as the conventional comparison point to quantify how much the
+/// look-ahead FIFO actually buys (used by the `policy` design-space
+/// sweep and the property test `belady_never_loses_to_lru`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Furthest next use within the look-ahead window (the paper's).
+    Belady,
+    /// Least recently used (no future knowledge).
+    Lru,
+}
+
+/// Row-prefetcher geometry (Table I defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// Whether the prefetcher (and its buffer) is present. When disabled,
+    /// every access streams the full row from DRAM.
+    pub enabled: bool,
+    /// Number of buffer lines (1024).
+    pub lines: usize,
+    /// Elements per line (48; 12 bytes each).
+    pub line_elems: usize,
+    /// Look-ahead FIFO depth in left-matrix elements (8192): the horizon
+    /// within which future row uses are visible to the replacement policy.
+    pub lookahead: usize,
+    /// Independent DRAM-channel fetchers (16) — used by the timing model
+    /// to overlap fetch latency.
+    pub fetchers: usize,
+    /// Which replacement policy the buffer runs.
+    pub policy: ReplacementPolicy,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            enabled: true,
+            lines: 1024,
+            line_elems: 48,
+            lookahead: 8192,
+            fetchers: 16,
+            policy: ReplacementPolicy::Belady,
+        }
+    }
+}
+
+impl PrefetchConfig {
+    /// Total buffer capacity in bytes (12 bytes per element).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.lines as u64 * self.line_elems as u64 * 12
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized lines or line elements.
+    pub fn validate(&self) {
+        assert!(self.lines > 0, "buffer must have at least one line");
+        assert!(self.line_elems > 0, "lines must hold at least one element");
+        assert!(self.fetchers > 0, "need at least one data fetcher");
+    }
+}
+
+/// Counters from a prefetcher simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchStats {
+    /// Left-matrix elements processed (row-access requests).
+    pub row_accesses: u64,
+    /// Buffer lines needed across all accesses.
+    pub line_requests: u64,
+    /// Lines already resident when needed.
+    pub line_hits: u64,
+    /// Lines fetched from DRAM.
+    pub line_misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Bytes fetched from DRAM for matrix B.
+    pub dram_bytes: u64,
+    /// Bytes the multipliers consumed from the buffer.
+    pub buffer_read_bytes: u64,
+    /// Bytes written into the buffer by fills.
+    pub buffer_write_bytes: u64,
+}
+
+impl PrefetchStats {
+    /// Line-level hit rate. The paper reports 62 % on its suite.
+    pub fn hit_rate(&self) -> f64 {
+        if self.line_requests == 0 {
+            0.0
+        } else {
+            self.line_hits as f64 / self.line_requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_i() {
+        let c = PrefetchConfig::default();
+        c.validate();
+        assert_eq!(c.lines, 1024);
+        assert_eq!(c.line_elems, 48);
+        assert_eq!(c.lookahead, 8192);
+        assert_eq!(c.fetchers, 16);
+        assert_eq!(c.capacity_bytes(), 1024 * 48 * 12);
+    }
+
+    #[test]
+    fn hit_rate_division() {
+        let mut s = PrefetchStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.line_requests = 100;
+        s.line_hits = 62;
+        assert!((s.hit_rate() - 0.62).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,178 @@
+//! Simulation reports: everything the paper's evaluation section measures
+//! for one SpGEMM task.
+
+use serde::{Deserialize, Serialize};
+use sparch_mem::{ActivityCounts, AreaBreakdown, EnergyBreakdown, TrafficCounter};
+use sparch_sparse::Csr;
+
+use crate::prefetch::PrefetchStats;
+
+/// Timing and throughput summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerfSummary {
+    /// Total estimated cycles (1 GHz clock).
+    pub cycles: u64,
+    /// Wall-clock seconds at the configured clock.
+    pub seconds: f64,
+    /// Attained GFLOP/s, counting 2 FLOPs per scalar multiply (multiply +
+    /// merge-add), the paper's convention.
+    pub gflops: f64,
+    /// Scalar multiplications (`M`).
+    pub multiplies: u64,
+    /// `2 * multiplies`.
+    pub flops: u64,
+    /// Non-zeros in the result.
+    pub output_nnz: u64,
+    /// Merge rounds executed.
+    pub rounds: usize,
+    /// Fraction of cycles the DRAM bus was busy (Table II's "Bandwidth
+    /// Utilization").
+    pub bandwidth_utilization: f64,
+}
+
+/// Complete output of one simulated SpGEMM task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The exact result matrix `C = A × B`.
+    result: Csr,
+    /// Per-category DRAM traffic.
+    pub traffic: TrafficCounter,
+    /// Timing and throughput.
+    pub perf: PerfSummary,
+    /// Row-prefetcher counters (hit rate etc.).
+    pub prefetch: PrefetchStats,
+    /// Raw activity counts (for energy accounting and ablations).
+    pub activity: ActivityCounts,
+    /// Energy attributed per component (joules).
+    pub energy: EnergyBreakdown,
+    /// Component areas for the simulated configuration (mm²).
+    pub area: AreaBreakdown,
+    /// Number of partial matrices before merging (condensed columns, or
+    /// occupied CSC columns when condensing is off).
+    pub partial_matrices: usize,
+    /// The scheduler's estimated total node weight (Figure 8's metric).
+    pub estimated_total_weight: u64,
+}
+
+impl SimReport {
+    /// Creates a report (crate-internal; produced by the simulator).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        result: Csr,
+        traffic: TrafficCounter,
+        perf: PerfSummary,
+        prefetch: PrefetchStats,
+        activity: ActivityCounts,
+        energy: EnergyBreakdown,
+        area: AreaBreakdown,
+        partial_matrices: usize,
+        estimated_total_weight: u64,
+    ) -> Self {
+        SimReport {
+            result,
+            traffic,
+            perf,
+            prefetch,
+            activity,
+            energy,
+            area,
+            partial_matrices,
+            estimated_total_weight,
+        }
+    }
+
+    /// The exact result matrix.
+    pub fn result(&self) -> &Csr {
+        &self.result
+    }
+
+    /// Consumes the report, returning the result matrix.
+    pub fn into_result(self) -> Csr {
+        self.result
+    }
+
+    /// Total energy in joules.
+    pub fn energy_total(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Energy per FLOP in nanojoules (Table III's metric).
+    pub fn nj_per_flop(&self) -> f64 {
+        if self.perf.flops == 0 {
+            0.0
+        } else {
+            self.energy_total() * 1e9 / self.perf.flops as f64
+        }
+    }
+
+    /// Average power in watts over the task.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.perf.seconds == 0.0 {
+            0.0
+        } else {
+            self.energy_total() / self.perf.seconds
+        }
+    }
+
+    /// DRAM traffic in megabytes (the Figure 17/18 y-axis).
+    pub fn dram_mb(&self) -> f64 {
+        self.traffic.total_mb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparch_mem::TrafficCategory;
+
+    fn sample() -> SimReport {
+        let mut traffic = TrafficCounter::new();
+        traffic.record(TrafficCategory::MatA, 1_000_000);
+        SimReport::new(
+            Csr::identity(4),
+            traffic,
+            PerfSummary {
+                cycles: 1000,
+                seconds: 1e-6,
+                gflops: 10.0,
+                multiplies: 5000,
+                flops: 10_000,
+                output_nnz: 4,
+                rounds: 1,
+                bandwidth_utilization: 0.5,
+            },
+            PrefetchStats::default(),
+            ActivityCounts { multiplies: 5000, ..Default::default() },
+            EnergyBreakdown { multiplier_array: 1e-7, hbm: 2.35e-5, ..Default::default() },
+            AreaBreakdown::default(),
+            12,
+            365,
+        )
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = sample();
+        assert!((r.energy_total() - 2.36e-5).abs() < 1e-9);
+        assert!((r.nj_per_flop() - 2.36).abs() < 1e-3);
+        assert!((r.avg_power_w() - 23.6).abs() < 0.1);
+        assert!((r.dram_mb() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let r = sample();
+        assert_eq!(r.result().nnz(), 4);
+        assert_eq!(r.into_result().rows(), 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.perf, r.perf);
+        assert_eq!(back.traffic, r.traffic);
+        assert_eq!(back.result(), r.result());
+    }
+}

@@ -1,0 +1,112 @@
+//! Roofline analysis (paper §III-B, Figure 15).
+//!
+//! The paper places SpArch on a roofline with operational intensity
+//! 0.19 FLOP/byte (outer-product FLOPs over the two inputs plus the final
+//! output), a computation roof of 32 GFLOP/s (16 multipliers + 16 adders
+//! at 1 GHz), and a bandwidth roof of 128 GB/s. SpArch attains
+//! 10.4 GFLOP/s — 2.3× below its roof — versus OuterSPACE's 2.5.
+
+use serde::{Deserialize, Serialize};
+use sparch_sparse::{algo, Csr};
+
+/// A roofline model: compute ceiling plus bandwidth slope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak computation in GFLOP/s.
+    pub compute_roof_gflops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// One measured point placed on the roofline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Operational intensity in FLOP/byte.
+    pub intensity: f64,
+    /// Attained performance in GFLOP/s.
+    pub attained_gflops: f64,
+    /// The roof at this intensity.
+    pub roof_gflops: f64,
+}
+
+impl Roofline {
+    /// The paper's configuration: 32 GFLOP/s compute, 128 GB/s HBM.
+    pub fn paper_default() -> Self {
+        Roofline { compute_roof_gflops: 32.0, bandwidth_gbs: 128.0 }
+    }
+
+    /// The roof at a given operational intensity:
+    /// `min(compute, intensity × bandwidth)`.
+    pub fn roof_at(&self, intensity: f64) -> f64 {
+        self.compute_roof_gflops.min(intensity * self.bandwidth_gbs)
+    }
+
+    /// Intensity at which the machine turns compute-bound.
+    pub fn knee(&self) -> f64 {
+        self.compute_roof_gflops / self.bandwidth_gbs
+    }
+
+    /// Places a measured run on the roofline.
+    pub fn place(&self, intensity: f64, attained_gflops: f64) -> RooflinePoint {
+        RooflinePoint { intensity, attained_gflops, roof_gflops: self.roof_at(intensity) }
+    }
+}
+
+/// The paper's *theoretical* operational intensity of an outer-product
+/// SpGEMM task: FLOPs divided by the bytes of both inputs plus the merged
+/// final output (no partial-matrix traffic) — "calculated to be
+/// 0.19 FLOPs/Byte" on the evaluation suite.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn theoretical_intensity(a: &Csr, b: &Csr) -> f64 {
+    let flops = 2 * algo::multiply_flops(a, b);
+    let out_elems = algo::product_nnz(a, b);
+    let bytes = a.dram_bytes() + b.dram_bytes() + out_elems * 12;
+    if bytes == 0 {
+        0.0
+    } else {
+        flops as f64 / bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparch_sparse::gen;
+
+    #[test]
+    fn paper_roofline_shape() {
+        let r = Roofline::paper_default();
+        // Below the knee the roof is bandwidth-limited.
+        assert!((r.roof_at(0.1) - 12.8).abs() < 1e-9);
+        // The paper's 0.19 FLOP/byte point: 24.3 GFLOP/s roof.
+        assert!((r.roof_at(0.19) - 24.32).abs() < 0.01);
+        // Far right: compute roof.
+        assert_eq!(r.roof_at(10.0), 32.0);
+        assert!((r.knee() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn place_clamps_nothing_but_reports_roof() {
+        let r = Roofline::paper_default();
+        let p = r.place(0.19, 10.4);
+        assert!(p.attained_gflops < p.roof_gflops);
+        assert!((p.roof_gflops / p.attained_gflops - 2.34) < 0.1, "paper: 2.3x below roof");
+    }
+
+    #[test]
+    fn sparse_tasks_sit_left_of_the_knee() {
+        // Very sparse matrices are memory-bound: intensity below 0.25.
+        let a = gen::rmat_graph500(1024, 8, 3);
+        let oi = theoretical_intensity(&a, &a);
+        assert!(oi > 0.01 && oi < Roofline::paper_default().knee() * 4.0, "oi = {oi}");
+    }
+
+    #[test]
+    fn intensity_of_empty_task_is_zero_safe() {
+        let z = Csr::zero(5, 5);
+        assert!(theoretical_intensity(&z, &z) >= 0.0);
+    }
+}

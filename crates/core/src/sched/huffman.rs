@@ -1,0 +1,120 @@
+//! The k-ary Huffman scheduler (paper §II-C).
+//!
+//! "In our real implementation, the Huffman tree is built on the fly with
+//! a priority queue ... we firstly add the weights of leaf nodes to the
+//! queue and sort them. For a m-way merger, in each iteration, the first m
+//! partial matrices are merged, and the weight of the merged matrix is
+//! added to the queue." The first round merges `kinit` nodes (Formula 1)
+//! so the root is always full.
+
+use super::{kinit, MergePlan, PlanNode, PlanRound};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Builds the k-ary Huffman merge plan for the given leaf weights.
+pub fn huffman_plan(leaf_weights: &[u64], ways: usize) -> MergePlan {
+    let n = leaf_weights.len();
+    let mut plan = MergePlan {
+        num_leaves: n,
+        ways,
+        rounds: Vec::new(),
+        leaf_weights: leaf_weights.to_vec(),
+    };
+    if n <= 1 {
+        return plan;
+    }
+    // Min-heap of (weight, node). Ties resolve toward leaves with lower
+    // index for determinism.
+    let mut heap: BinaryHeap<Reverse<(u64, usize, PlanNode)>> = leaf_weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| Reverse((w, i, PlanNode::Leaf(i))))
+        .collect();
+
+    let mut first = true;
+    while heap.len() > 1 {
+        let take = if first { kinit(n, ways) } else { ways.min(heap.len()) };
+        first = false;
+        let mut children = Vec::with_capacity(take);
+        let mut weight = 0u64;
+        for _ in 0..take {
+            let Reverse((w, _, node)) = heap.pop().expect("heap size checked");
+            weight += w;
+            children.push(node);
+        }
+        let round_id = plan.rounds.len();
+        plan.rounds.push(PlanRound { children, estimated_weight: weight });
+        heap.push(Reverse((weight, n + round_id, PlanNode::Round(round_id))));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_huffman_structure() {
+        // Textbook: weights 1,1,2,3,5 with 2-way merging.
+        let plan = huffman_plan(&[1, 1, 2, 3, 5], 2);
+        plan.validate();
+        // Internal nodes: 2 (1+1), 4 (2+2), 7 (3+4), 12 (5+7) = 25.
+        assert_eq!(plan.estimated_internal_weight(), 25);
+        assert_eq!(plan.rounds.len(), 4);
+    }
+
+    #[test]
+    fn figure8c_round_structure() {
+        // 4-way on the Figure 8 weights: rounds merge {2,2,2}→6,
+        // {2,2,3,6}→13, {7,9,12,13}→41, {13,15,15,41}→84.
+        let weights = [15u64, 15, 13, 12, 9, 7, 3, 2, 2, 2, 2, 2];
+        let plan = huffman_plan(&weights, 4);
+        plan.validate();
+        let round_weights: Vec<u64> = plan.rounds.iter().map(|r| r.estimated_weight).collect();
+        assert_eq!(round_weights, vec![6, 13, 41, 84]);
+        assert_eq!(plan.rounds[0].children.len(), 3, "kinit = 3");
+        assert!(plan.rounds[1..].iter().all(|r| r.children.len() == 4));
+    }
+
+    #[test]
+    fn root_is_always_full() {
+        // Formula 1's purpose: whatever the leaf count, the last round
+        // merges exactly `ways` nodes.
+        for n in 2..40 {
+            let weights: Vec<u64> = (0..n).map(|i| i as u64 + 1).collect();
+            for ways in [2usize, 3, 4, 7, 64] {
+                let plan = huffman_plan(&weights, ways);
+                plan.validate();
+                let last = plan.rounds.last().unwrap();
+                assert_eq!(
+                    last.children.len(),
+                    ways.min(n),
+                    "n = {n}, ways = {ways}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_columns_merge_late() {
+        // "The long columns can be scheduled near the root node in the
+        // Huffman Tree, so they will not generate partially merged
+        // results" (§III-C). The heaviest leaf must appear in the final
+        // round for these weights.
+        let weights = [1000u64, 1, 1, 1, 1, 1, 1, 1];
+        let plan = huffman_plan(&weights, 4);
+        let last = plan.rounds.last().unwrap();
+        assert!(
+            last.children.contains(&PlanNode::Leaf(0)),
+            "heaviest leaf should merge in the final round: {last:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let weights = [2u64; 10];
+        let a = huffman_plan(&weights, 4);
+        let b = huffman_plan(&weights, 4);
+        assert_eq!(a, b);
+    }
+}

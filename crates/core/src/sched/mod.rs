@@ -1,0 +1,278 @@
+//! Merge-order scheduling (paper §II-C, Figure 8).
+//!
+//! When the number of partial matrices (condensed columns) exceeds the
+//! merge tree's 64 ways, merging takes multiple rounds and every
+//! intermediate (partially merged) result round-trips through DRAM. "The
+//! order of the merge matters: the earlier a matrix is merged, the more
+//! rounds of DRAM read and write it needs." The total partial-result
+//! traffic equals the sum of internal-node weights of the merge tree, so
+//! the optimal order is a k-ary Huffman tree over the column sizes.
+//!
+//! A [`MergePlan`] is the scheduler-agnostic output: an ordered list of
+//! rounds, each merging up to `ways` previously-unconsumed nodes (leaves
+//! or earlier rounds' results) into a new node. The simulator executes the
+//! plan; [`MergePlan::estimated_internal_weight`] predicts its traffic.
+
+mod huffman;
+mod random;
+mod sequential;
+
+pub use huffman::huffman_plan;
+pub use random::random_plan;
+pub use sequential::sequential_plan;
+
+use crate::config::SchedulerKind;
+use serde::{Deserialize, Serialize};
+
+/// A node consumed by a merge round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PlanNode {
+    /// An initial partial matrix: condensed column `i` (multiplied on the
+    /// fly; never stored to DRAM as a partial result).
+    Leaf(usize),
+    /// The output of round `r` (spilled to DRAM when produced, read back
+    /// when consumed — unless it is the final round's output).
+    Round(usize),
+}
+
+/// One merge round: the tree merges `children` into one result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanRound {
+    /// The nodes merged in this round (2 ..= ways entries).
+    pub children: Vec<PlanNode>,
+    /// Estimated size (elements) of this round's output, by the paper's
+    /// sum approximation ("the weight of a parent node is the sum of the
+    /// children's weights").
+    pub estimated_weight: u64,
+}
+
+/// A complete merge schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergePlan {
+    /// Number of initial partial matrices.
+    pub num_leaves: usize,
+    /// Merger ways (64 for the default 6-layer tree).
+    pub ways: usize,
+    /// Rounds in execution order; the last round produces the final result.
+    pub rounds: Vec<PlanRound>,
+    /// Leaf weights the plan was built from.
+    pub leaf_weights: Vec<u64>,
+}
+
+impl MergePlan {
+    /// Builds a plan with the given scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways < 2`.
+    pub fn build(kind: SchedulerKind, leaf_weights: &[u64], ways: usize) -> MergePlan {
+        assert!(ways >= 2, "a merger needs at least 2 ways");
+        match kind {
+            SchedulerKind::Huffman => huffman_plan(leaf_weights, ways),
+            SchedulerKind::Sequential => sequential_plan(leaf_weights, ways),
+            SchedulerKind::Random(seed) => random_plan(leaf_weights, ways, seed),
+        }
+    }
+
+    /// Sum of all internal-node weights **including the root** — the
+    /// paper's proxy for partial-result DRAM traffic plus the final write
+    /// ("The memory access amount of all partially merged results equals
+    /// to the sum of all internal node weights").
+    pub fn estimated_internal_weight(&self) -> u64 {
+        self.rounds.iter().map(|r| r.estimated_weight).sum()
+    }
+
+    /// Figure 8's reported metric: leaves + internal nodes + root.
+    pub fn estimated_total_weight(&self) -> u64 {
+        self.leaf_weights.iter().sum::<u64>() + self.estimated_internal_weight()
+    }
+
+    /// Sum of internal weights excluding the final round — proportional to
+    /// the spilled-partial traffic only (the root is the final result,
+    /// written once as `C`).
+    pub fn estimated_spill_weight(&self) -> u64 {
+        self.estimated_internal_weight()
+            - self.rounds.last().map_or(0, |r| r.estimated_weight)
+    }
+
+    /// Validates structural invariants: every node consumed exactly once,
+    /// children precede their round, round sizes within `2..=ways` (the
+    /// final round of a 1-leaf plan is allowed a single child), and the
+    /// plan terminates in exactly one unconsumed node.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn validate(&self) {
+        if self.num_leaves <= 1 {
+            assert!(self.rounds.is_empty(), "0/1 leaves need no merge rounds");
+            return;
+        }
+        let mut consumed_leaves = vec![false; self.num_leaves];
+        let mut consumed_rounds = vec![false; self.rounds.len()];
+        for (i, round) in self.rounds.iter().enumerate() {
+            assert!(
+                round.children.len() >= 2 && round.children.len() <= self.ways,
+                "round {i} merges {} nodes (ways = {})",
+                round.children.len(),
+                self.ways
+            );
+            for &child in &round.children {
+                match child {
+                    PlanNode::Leaf(l) => {
+                        assert!(l < self.num_leaves, "round {i}: leaf {l} out of range");
+                        assert!(!consumed_leaves[l], "leaf {l} consumed twice");
+                        consumed_leaves[l] = true;
+                    }
+                    PlanNode::Round(r) => {
+                        assert!(r < i, "round {i} consumes future round {r}");
+                        assert!(!consumed_rounds[r], "round {r} consumed twice");
+                        consumed_rounds[r] = true;
+                    }
+                }
+            }
+        }
+        assert!(
+            consumed_leaves.iter().all(|&c| c),
+            "every leaf must be consumed"
+        );
+        let unconsumed = consumed_rounds.iter().filter(|&&c| !c).count();
+        assert_eq!(unconsumed, 1, "exactly the final round must remain unconsumed");
+        assert!(
+            !consumed_rounds[self.rounds.len() - 1],
+            "the last round must be the root"
+        );
+    }
+}
+
+/// The paper's Formula 1: how many nodes the *first* Huffman round merges
+/// so that the final round is always full:
+/// `kinit = (num_cols - 2) mod (ways - 1) + 2`.
+pub fn kinit(num_leaves: usize, ways: usize) -> usize {
+    debug_assert!(num_leaves >= 2 && ways >= 2);
+    (num_leaves - 2) % (ways - 1) + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of Figure 8: 12 columns with these sizes.
+    pub(crate) const FIGURE8_WEIGHTS: [u64; 12] = [15, 15, 13, 12, 9, 7, 3, 2, 2, 2, 2, 2];
+
+    #[test]
+    fn kinit_formula() {
+        // 12 leaves, 2-way: (12-2) % 1 + 2 = 2.
+        assert_eq!(kinit(12, 2), 2);
+        // 12 leaves, 4-way: (12-2) % 3 + 2 = 3 (Figure 8(c)'s first round
+        // merges J, K, L — three nodes).
+        assert_eq!(kinit(12, 4), 3);
+        // 64 ways, 100 leaves: (98) % 63 + 2 = 37.
+        assert_eq!(kinit(100, 64), 37);
+        // Exactly `ways` leaves: one full round.
+        assert_eq!(kinit(64, 64), 64);
+    }
+
+    #[test]
+    fn figure8_totals() {
+        // (b) 2-way Huffman: total weight of all nodes 354.
+        let plan2 = MergePlan::build(SchedulerKind::Huffman, &FIGURE8_WEIGHTS, 2);
+        plan2.validate();
+        assert_eq!(plan2.estimated_total_weight(), 354);
+        // (c) 4-way Huffman: 228.
+        let plan4 = MergePlan::build(SchedulerKind::Huffman, &FIGURE8_WEIGHTS, 4);
+        plan4.validate();
+        assert_eq!(plan4.estimated_total_weight(), 228);
+        // (a) 2-way sequential scheduler: 365.
+        let seq = MergePlan::build(SchedulerKind::Sequential, &FIGURE8_WEIGHTS, 2);
+        seq.validate();
+        assert_eq!(seq.estimated_total_weight(), 365);
+    }
+
+    #[test]
+    fn huffman_beats_or_ties_everything() {
+        let weights: Vec<u64> = (0..50).map(|i| (i * 37 + 11) % 100 + 1).collect();
+        for ways in [2usize, 4, 8, 64] {
+            let h = MergePlan::build(SchedulerKind::Huffman, &weights, ways);
+            let s = MergePlan::build(SchedulerKind::Sequential, &weights, ways);
+            let r = MergePlan::build(SchedulerKind::Random(3), &weights, ways);
+            h.validate();
+            s.validate();
+            r.validate();
+            assert!(h.estimated_total_weight() <= s.estimated_total_weight());
+            assert!(h.estimated_total_weight() <= r.estimated_total_weight());
+        }
+    }
+
+    #[test]
+    fn single_round_when_leaves_fit() {
+        let weights = [5u64, 4, 3];
+        for kind in [SchedulerKind::Huffman, SchedulerKind::Sequential, SchedulerKind::Random(1)]
+        {
+            let plan = MergePlan::build(kind, &weights, 64);
+            plan.validate();
+            assert_eq!(plan.rounds.len(), 1);
+            assert_eq!(plan.rounds[0].children.len(), 3);
+            assert_eq!(plan.estimated_internal_weight(), 12);
+        }
+    }
+
+    #[test]
+    fn degenerate_plans() {
+        for kind in [SchedulerKind::Huffman, SchedulerKind::Sequential, SchedulerKind::Random(0)]
+        {
+            let empty = MergePlan::build(kind, &[], 4);
+            empty.validate();
+            assert!(empty.rounds.is_empty());
+            let one = MergePlan::build(kind, &[42], 4);
+            one.validate();
+            assert!(one.rounds.is_empty());
+        }
+    }
+
+    #[test]
+    fn spill_weight_excludes_root() {
+        let plan = MergePlan::build(SchedulerKind::Huffman, &FIGURE8_WEIGHTS, 4);
+        let root = plan.rounds.last().unwrap().estimated_weight;
+        assert_eq!(root, 84);
+        assert_eq!(
+            plan.estimated_spill_weight(),
+            plan.estimated_internal_weight() - 84
+        );
+    }
+
+    #[test]
+    fn huffman_matches_bruteforce_optimum_small() {
+        // Exhaustive check on tiny inputs: Huffman total = minimum over
+        // all possible merge orders (2-way).
+        fn brute(weights: &mut Vec<u64>) -> u64 {
+            if weights.len() <= 1 {
+                return 0;
+            }
+            let mut best = u64::MAX;
+            for i in 0..weights.len() {
+                for j in (i + 1)..weights.len() {
+                    let (a, b) = (weights[i], weights[j]);
+                    let mut rest: Vec<u64> = weights
+                        .iter()
+                        .enumerate()
+                        .filter(|&(k, _)| k != i && k != j)
+                        .map(|(_, &w)| w)
+                        .collect();
+                    rest.push(a + b);
+                    best = best.min(a + b + brute(&mut rest));
+                }
+            }
+            best
+        }
+        for weights in [vec![1u64, 2, 3, 4], vec![5, 5, 5], vec![1, 10, 100, 1000, 7]] {
+            let plan = MergePlan::build(SchedulerKind::Huffman, &weights, 2);
+            let optimal = brute(&mut weights.clone());
+            assert_eq!(
+                plan.estimated_internal_weight(),
+                optimal,
+                "weights {weights:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The random-order scheduler — the §III-C ablation baseline: "use a
+//! random order to select initial columns and partially merged results to
+//! merge".
+//!
+//! Pending nodes sit in a queue in shuffled order; each round consumes
+//! `ways` nodes from the front and appends its result at a random
+//! position, so partially merged results keep re-entering future merges
+//! in no particular order — the behaviour whose expected cost the paper
+//! derives in Equations 2–7.
+
+use super::{MergePlan, PlanNode, PlanRound};
+
+/// A tiny deterministic PRNG (xorshift64*), enough to shuffle
+/// reproducibly without pulling `rand` into this crate.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Builds a random-order merge plan with the given seed.
+pub fn random_plan(leaf_weights: &[u64], ways: usize, seed: u64) -> MergePlan {
+    let n = leaf_weights.len();
+    let mut plan = MergePlan {
+        num_leaves: n,
+        ways,
+        rounds: Vec::new(),
+        leaf_weights: leaf_weights.to_vec(),
+    };
+    if n <= 1 {
+        return plan;
+    }
+    let mut rng = XorShift::new(seed);
+    let mut pending: Vec<(PlanNode, u64)> = leaf_weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (PlanNode::Leaf(i), w))
+        .collect();
+    // Fisher–Yates shuffle.
+    for i in (1..pending.len()).rev() {
+        pending.swap(i, rng.below(i + 1));
+    }
+    while pending.len() > 1 {
+        let take = ways.min(pending.len());
+        let group: Vec<(PlanNode, u64)> = pending.drain(..take).collect();
+        let children: Vec<PlanNode> = group.iter().map(|&(node, _)| node).collect();
+        let weight: u64 = group.iter().map(|&(_, w)| w).sum();
+        let round_id = plan.rounds.len();
+        plan.rounds.push(PlanRound { children, estimated_weight: weight });
+        let pos = if pending.is_empty() { 0 } else { rng.below(pending.len() + 1) };
+        pending.insert(pos, (PlanNode::Round(round_id), weight));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use crate::sched::MergePlan as Plan;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = [5u64, 3, 8, 1, 9, 2, 7];
+        assert_eq!(random_plan(&w, 3, 42), random_plan(&w, 3, 42));
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let w: Vec<u64> = (1..=20).collect();
+        let a = random_plan(&w, 2, 1);
+        let b = random_plan(&w, 2, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn valid_for_many_shapes() {
+        for n in [2usize, 5, 17, 100] {
+            let w: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+            for ways in [2usize, 4, 64] {
+                random_plan(&w, ways, 7).validate();
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_no_better_than_huffman_on_average() {
+        let w: Vec<u64> = (0..60).map(|i| (i * 13 + 3) % 50 + 1).collect();
+        let h = Plan::build(SchedulerKind::Huffman, &w, 4).estimated_total_weight();
+        let mut worse = 0;
+        for seed in 0..10 {
+            if random_plan(&w, 4, seed).estimated_total_weight() >= h {
+                worse += 1;
+            }
+        }
+        assert_eq!(worse, 10, "huffman must be a lower bound");
+    }
+}

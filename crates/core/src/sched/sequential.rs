@@ -1,0 +1,99 @@
+//! The sequential (non-Huffman) scheduler — Figure 8(a)'s comparison
+//! point.
+//!
+//! A balanced pairwise reduction: each level groups the pending node list
+//! into `ways`-sized merges **from the small end** (the tail of the list,
+//! which Figure 8 draws in descending weight order), and any leftover
+//! nodes at the large end pass through to the next level unmerged (they
+//! stay in DRAM without being rewritten). On the Figure 8 example this
+//! reproduces the paper's total of 365.
+
+use super::{MergePlan, PlanNode, PlanRound};
+
+/// Builds the level-by-level sequential merge plan.
+pub fn sequential_plan(leaf_weights: &[u64], ways: usize) -> MergePlan {
+    let n = leaf_weights.len();
+    let mut plan = MergePlan {
+        num_leaves: n,
+        ways,
+        rounds: Vec::new(),
+        leaf_weights: leaf_weights.to_vec(),
+    };
+    if n <= 1 {
+        return plan;
+    }
+    // Pending nodes in the order given (Figure 8 lists columns largest
+    // first; the simulator passes condensed-column order).
+    let mut pending: Vec<(PlanNode, u64)> = leaf_weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (PlanNode::Leaf(i), w))
+        .collect();
+
+    while pending.len() > 1 {
+        if pending.len() <= ways {
+            // Final level: everything fits one merge.
+            let children: Vec<PlanNode> = pending.iter().map(|&(node, _)| node).collect();
+            let weight: u64 = pending.iter().map(|&(_, w)| w).sum();
+            plan.rounds.push(PlanRound { children, estimated_weight: weight });
+            break;
+        }
+        let mut next_level: Vec<(PlanNode, u64)> = Vec::new();
+        // Leftover at the large end passes through unmerged; full groups
+        // of `ways` form from the small (tail) end.
+        let leftover = pending.len() % ways;
+        next_level.extend(pending[..leftover].iter().copied());
+        for group in pending[leftover..].chunks(ways) {
+            let children: Vec<PlanNode> = group.iter().map(|&(node, _)| node).collect();
+            let weight: u64 = group.iter().map(|&(_, w)| w).sum();
+            let round_id = plan.rounds.len();
+            plan.rounds.push(PlanRound { children, estimated_weight: weight });
+            next_level.push((PlanNode::Round(round_id), weight));
+        }
+        pending = next_level;
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8a_total_is_365() {
+        let weights = [15u64, 15, 13, 12, 9, 7, 3, 2, 2, 2, 2, 2];
+        let plan = sequential_plan(&weights, 2);
+        plan.validate();
+        assert_eq!(plan.estimated_total_weight(), 365);
+    }
+
+    #[test]
+    fn figure8a_level_structure() {
+        // Level 1 merges adjacent pairs: 30, 25, 16, 5, 4, 4 (sum 84).
+        // Level 2: 55, 21, 8. Level 3: leftover 55, merge (21, 8) = 29.
+        // Level 4: (55, 29) = 84.
+        let weights = [15u64, 15, 13, 12, 9, 7, 3, 2, 2, 2, 2, 2];
+        let plan = sequential_plan(&weights, 2);
+        let round_weights: Vec<u64> = plan.rounds.iter().map(|r| r.estimated_weight).collect();
+        assert_eq!(round_weights, vec![30, 25, 16, 5, 4, 4, 55, 21, 8, 29, 84]);
+    }
+
+    #[test]
+    fn leftover_passes_through_unmerged() {
+        // 5 leaves, 2-way: leftover of 1 at the front each odd level.
+        let plan = sequential_plan(&[10, 1, 1, 1, 1], 2);
+        plan.validate();
+        // Level 1: leftover [10], merges (1,1)=2, (1,1)=2.
+        // Level 2: leftover [10], merge (2,2)=4. Level 3: (10,4)=14.
+        let round_weights: Vec<u64> = plan.rounds.iter().map(|r| r.estimated_weight).collect();
+        assert_eq!(round_weights, vec![2, 2, 4, 14]);
+    }
+
+    #[test]
+    fn wide_merger_single_round() {
+        let plan = sequential_plan(&[1, 2, 3, 4, 5], 8);
+        plan.validate();
+        assert_eq!(plan.rounds.len(), 1);
+        assert_eq!(plan.estimated_internal_weight(), 15);
+    }
+}

@@ -1,0 +1,480 @@
+//! The whole-task SpArch simulator (paper §II-E, Figure 10).
+//!
+//! One [`SpArchSim::run`] models a complete `C = A × B` task:
+//!
+//! 1. the left matrix is viewed by condensed columns (§II-B) — or by
+//!    original CSC columns when the condensing ablation is off,
+//! 2. the scheduler (§II-C) turns the column sizes into a merge plan,
+//! 3. the MatB row accesses implied by the plan drive the windowed-Bélády
+//!    prefetch buffer (§II-D), attributing exact DRAM reads per round,
+//! 4. each round multiplies its fresh columns, streams them together with
+//!    re-fetched partial results through the merge tree, folds duplicate
+//!    coordinates, and writes the output back (partial) or out (final),
+//! 5. per-round cycles are the max of the memory-bound and compute-bound
+//!    times plus startup latencies.
+//!
+//! The result matrix is exact; traffic is exact given the model's
+//! element-granularity layouts; cycles/energy come from the calibrated
+//! cost models.
+
+use crate::condense::{CondensedElement, CondensedView};
+use crate::config::SpArchConfig;
+use crate::pipeline::{kway_merge_fold, CostParams, RoundCost};
+use crate::prefetch::RowPrefetcher;
+use crate::report::{PerfSummary, SimReport};
+use crate::sched::{MergePlan, PlanNode};
+use sparch_engine::{HierarchicalMerger, MergeItem};
+use sparch_mem::{ActivityCounts, AreaModel, TrafficCategory, TrafficCounter};
+use sparch_sparse::{Csr, CsrBuilder, Index};
+
+/// The SpArch accelerator simulator.
+///
+/// # Example
+///
+/// ```
+/// use sparch_core::{SpArchConfig, SpArchSim};
+/// use sparch_sparse::gen;
+///
+/// let a = gen::rmat_graph500(128, 4, 7);
+/// let report = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
+/// assert_eq!(report.result().rows(), 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpArchSim {
+    config: SpArchConfig,
+}
+
+impl SpArchSim {
+    /// Creates a simulator with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SpArchConfig::validate`]).
+    pub fn new(config: SpArchConfig) -> Self {
+        config.validate();
+        SpArchSim { config }
+    }
+
+    /// The simulator's configuration.
+    pub fn config(&self) -> &SpArchConfig {
+        &self.config
+    }
+
+    /// Simulates `C = A × B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn run(&self, a: &Csr, b: &Csr) -> SimReport {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let cfg = &self.config;
+
+        // ------------------------------------------------------------------
+        // 1. Left-matrix view: condensed columns or original CSC columns.
+        // ------------------------------------------------------------------
+        let leaves: Vec<Vec<CondensedElement>> = if cfg.condensing {
+            let view = CondensedView::new(a);
+            (0..view.num_cols()).map(|j| view.col(j).collect()).collect()
+        } else {
+            let csc = a.to_csc();
+            (0..a.cols())
+                .filter(|&k| csc.col_nnz(k) > 0)
+                .map(|k| {
+                    let (rows, vals) = csc.col(k);
+                    rows.iter()
+                        .zip(vals)
+                        .map(|(&r, &v)| CondensedElement {
+                            row: r,
+                            orig_col: k as Index,
+                            value: v,
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let partial_matrices = leaves.len();
+
+        // ------------------------------------------------------------------
+        // 2. Merge plan from estimated column sizes.
+        // ------------------------------------------------------------------
+        let leaf_weights: Vec<u64> = leaves
+            .iter()
+            .map(|col| col.iter().map(|e| b.row_nnz(e.orig_col as usize) as u64).sum())
+            .collect();
+        let plan = MergePlan::build(cfg.scheduler, &leaf_weights, cfg.merge_ways());
+        let estimated_total_weight = plan.estimated_total_weight();
+
+        // Rounds to execute: the plan's rounds, or one pass-through round
+        // covering all leaves when no merging is needed (0 or 1 leaf).
+        let pseudo_rounds: Vec<Vec<PlanNode>> = if plan.rounds.is_empty() {
+            vec![(0..leaves.len()).map(PlanNode::Leaf).collect()]
+        } else {
+            plan.rounds.iter().map(|r| r.children.clone()).collect()
+        };
+        let num_rounds = pseudo_rounds.len();
+
+        // ------------------------------------------------------------------
+        // 3. MatB access sequence (round-robin across each round's fresh
+        //    columns, Figure 7's load sequence) drives the prefetcher.
+        // ------------------------------------------------------------------
+        let mut accesses: Vec<Index> = Vec::new();
+        let mut round_access_counts: Vec<usize> = Vec::with_capacity(num_rounds);
+        for children in &pseudo_rounds {
+            let round_cols: Vec<Vec<crate::condense::CondensedElement>> = children
+                .iter()
+                .filter_map(|&n| match n {
+                    PlanNode::Leaf(i) => Some(leaves[i].clone()),
+                    PlanNode::Round(_) => None,
+                })
+                .collect();
+            let before = accesses.len();
+            accesses.extend(crate::fetch::ColumnFetcher::new(&round_cols).map(|e| e.orig_col));
+            round_access_counts.push(accesses.len() - before);
+        }
+        let mut prefetcher = RowPrefetcher::new(b, &cfg.prefetch, accesses);
+
+        // ------------------------------------------------------------------
+        // 4 + 5. Execute rounds, accounting traffic, cycles and activity.
+        // ------------------------------------------------------------------
+        let cost_params = CostParams {
+            bytes_per_cycle: cfg.hbm.bytes_per_cycle(),
+            dram_latency: cfg.hbm.access_latency,
+            tree_layers: cfg.tree_layers,
+            merger_width: cfg.merger_width,
+            multipliers: cfg.multipliers,
+            lookahead: cfg.prefetch.lookahead,
+            buffer_lines: cfg.prefetch.lines,
+            fetchers: cfg.prefetch.fetchers,
+        };
+        let ops_per_element_level = HierarchicalMerger::new(cfg.merger_width, cfg.merger_chunk)
+            .comparators() as f64
+            / cfg.merger_width as f64;
+
+        let mut traffic = TrafficCounter::new();
+        let mut activity = ActivityCounts::default();
+        let mut total_cycles = 0u64;
+        let mut round_outputs: Vec<Option<Vec<MergeItem>>> = Vec::new();
+        let mut final_stream: Vec<MergeItem> = Vec::new();
+
+        for (round_idx, children) in pseudo_rounds.iter().enumerate() {
+            let is_final = round_idx + 1 == num_rounds;
+            let mut cost = RoundCost::default();
+
+            // MatB reads for this round's fresh columns, via the
+            // prefetcher's exact per-access accounting.
+            let misses_before = prefetcher.stats().line_misses;
+            let mut mat_b_bytes = 0u64;
+            let mut row_fetches = 0u64;
+            for _ in 0..round_access_counts[round_idx] {
+                let bytes = prefetcher.access_next();
+                mat_b_bytes += bytes;
+                if bytes > 0 {
+                    row_fetches += 1;
+                }
+            }
+            traffic.record(TrafficCategory::MatB, mat_b_bytes);
+            cost.line_misses = prefetcher.stats().line_misses - misses_before;
+            if !cfg.prefetch.enabled {
+                cost.unhidden_fetches = row_fetches;
+            }
+
+            // Generate/fetch the child streams.
+            let mut partial_read_bytes = 0u64;
+            let mut streams: Vec<Vec<MergeItem>> = Vec::with_capacity(children.len());
+            for &child in children {
+                match child {
+                    PlanNode::Leaf(i) => {
+                        let col = &leaves[i];
+                        let mut stream = Vec::new();
+                        for e in col {
+                            let (cols, vals) = b.row(e.orig_col as usize);
+                            for (&c, &v) in cols.iter().zip(vals) {
+                                stream.push(MergeItem::new(e.row, c, e.value * v));
+                            }
+                        }
+                        cost.multiplies += stream.len() as u64;
+                        cost.mat_a_elements += col.len() as u64;
+                        traffic.record(TrafficCategory::MatA, col.len() as u64 * 12);
+                        activity.fetcher_elements += col.len() as u64;
+                        streams.push(stream);
+                    }
+                    PlanNode::Round(r) => {
+                        let stream =
+                            round_outputs[r].take().expect("plan consumes each round once");
+                        partial_read_bytes += stream.len() as u64 * 16;
+                        streams.push(stream);
+                    }
+                }
+            }
+            traffic.record(TrafficCategory::PartialRead, partial_read_bytes);
+
+            let input_elements: u64 = streams.iter().map(|s| s.len() as u64).sum();
+            let refs: Vec<&[MergeItem]> = streams.iter().map(|s| s.as_slice()).collect();
+            let (merged, adds) = kway_merge_fold(&refs);
+            drop(streams);
+
+            let out_bytes = if is_final {
+                merged.len() as u64 * 12 + (a.rows() as u64 + 1) * 8
+            } else {
+                merged.len() as u64 * 16
+            };
+            traffic.record(
+                if is_final { TrafficCategory::FinalWrite } else { TrafficCategory::PartialWrite },
+                out_bytes,
+            );
+
+            // Cycle estimate for the round.
+            cost.input_elements = input_elements;
+            cost.output_elements = merged.len() as u64;
+            cost.dram_bytes =
+                cost.mat_a_elements * 12 + mat_b_bytes + partial_read_bytes + out_bytes;
+            total_cycles += cost_params.round_cycles(&cost);
+
+            // Activity accounting: each element crosses one merger level
+            // per doubling of the round's fan-in.
+            let levels = (children.len().max(2) as f64).log2().ceil() as u64;
+            activity.multiplies += cost.multiplies;
+            activity.adds += adds;
+            activity.merge_tree_elements += input_elements * levels;
+            activity.comparator_ops +=
+                (input_elements as f64 * levels as f64 * ops_per_element_level) as u64;
+            activity.writer_elements += merged.len() as u64;
+
+            if is_final {
+                final_stream = merged;
+            } else {
+                round_outputs.push(Some(merged));
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Result assembly and report.
+        // ------------------------------------------------------------------
+        let mut builder = CsrBuilder::with_capacity(a.rows(), b.cols(), final_stream.len());
+        for item in &final_stream {
+            builder.push(item.row(), item.col(), item.value);
+        }
+        let result = builder.finish();
+
+        let prefetch_stats = *prefetcher.stats();
+        activity.buffer_bytes =
+            prefetch_stats.buffer_read_bytes + prefetch_stats.buffer_write_bytes;
+        activity.dram_read_bytes = traffic.read_bytes();
+        activity.dram_write_bytes = traffic.write_bytes();
+
+        let multiplies = activity.multiplies;
+        let flops = 2 * multiplies;
+        let seconds = total_cycles as f64 / cfg.hbm.clock_hz;
+        let busy_cycles =
+            (traffic.total_bytes() as f64 / cfg.hbm.bytes_per_cycle()).ceil() as u64;
+        let perf = PerfSummary {
+            cycles: total_cycles,
+            seconds,
+            gflops: if seconds > 0.0 { flops as f64 / seconds / 1e9 } else { 0.0 },
+            multiplies,
+            flops,
+            output_nnz: result.nnz() as u64,
+            rounds: num_rounds,
+            bandwidth_utilization: if total_cycles > 0 {
+                (busy_cycles as f64 / total_cycles as f64).min(1.0)
+            } else {
+                0.0
+            },
+        };
+
+        let energy = cfg.energy.estimate(&activity);
+        let area = AreaModel {
+            lookahead_elements: cfg.prefetch.lookahead,
+            buffer_bytes: cfg.prefetch.capacity_bytes() as usize,
+            multipliers: cfg.multipliers,
+            tree_layers: cfg.tree_layers,
+            merger_width: cfg.merger_width,
+            writer_elements: cfg.writer_fifo,
+        }
+        .estimate();
+
+        SimReport::new(
+            result,
+            traffic,
+            perf,
+            prefetch_stats,
+            activity,
+            energy,
+            area,
+            partial_matrices,
+            estimated_total_weight,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use sparch_sparse::{algo, gen, Dense};
+
+    fn check_exact(a: &Csr, b: &Csr, config: SpArchConfig) -> SimReport {
+        let report = SpArchSim::new(config).run(a, b);
+        let reference = algo::gustavson(a, b);
+        assert!(
+            report.result().approx_eq(&reference, 1e-9),
+            "simulated result differs from software reference"
+        );
+        report
+    }
+
+    #[test]
+    fn exact_result_on_random_square() {
+        let a = gen::uniform_random(120, 120, 700, 1);
+        let b = gen::uniform_random(120, 120, 700, 2);
+        let report = check_exact(&a, &b, SpArchConfig::default());
+        assert!(report.perf.cycles > 0);
+        assert!(report.perf.gflops > 0.0);
+        assert_eq!(report.perf.multiplies, algo::multiply_flops(&a, &b));
+    }
+
+    #[test]
+    fn exact_result_on_rectangular() {
+        let a = gen::uniform_random(60, 90, 400, 3);
+        let b = gen::uniform_random(90, 40, 350, 4);
+        check_exact(&a, &b, SpArchConfig::default());
+    }
+
+    #[test]
+    fn exact_result_on_powerlaw_squared() {
+        let a = gen::rmat_graph500(256, 8, 5);
+        check_exact(&a, &a, SpArchConfig::default());
+    }
+
+    #[test]
+    fn exact_under_all_ablations() {
+        let a = gen::rmat_graph500(128, 6, 6);
+        let b = gen::rmat_graph500(128, 6, 7);
+        for (name, config) in SpArchConfig::ablation_ladder() {
+            let report = SpArchSim::new(config).run(&a, &b);
+            let reference = algo::gustavson(&a, &b);
+            assert!(
+                report.result().approx_eq(&reference, 1e-9),
+                "ablation '{name}' produced a wrong result"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_round_schedule_still_exact() {
+        // Tiny tree (2 layers = 4 ways) forces many rounds.
+        let a = gen::uniform_random(100, 100, 1500, 8);
+        let config = SpArchConfig::default().with_tree_layers(2);
+        let report = check_exact(&a, &a, config);
+        assert!(report.perf.rounds > 3, "expected multiple rounds");
+        assert!(
+            report.traffic.partial_bytes() > 0,
+            "multi-round merging must spill partials"
+        );
+    }
+
+    #[test]
+    fn single_round_spills_nothing() {
+        // Few condensed columns fit the 64-way tree in one round.
+        let a = gen::uniform_random(200, 200, 1200, 9);
+        let report = check_exact(&a, &a, SpArchConfig::default());
+        assert_eq!(report.perf.rounds, 1);
+        assert_eq!(report.traffic.partial_bytes(), 0);
+    }
+
+    #[test]
+    fn condensing_reduces_partial_matrices() {
+        let a = gen::uniform_random(300, 300, 1800, 10);
+        let with = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
+        let without =
+            SpArchSim::new(SpArchConfig::default().without_condensing()).run(&a, &a);
+        assert!(
+            with.partial_matrices * 10 < without.partial_matrices,
+            "{} vs {}",
+            with.partial_matrices,
+            without.partial_matrices
+        );
+        assert!(with.traffic.total_bytes() < without.traffic.total_bytes());
+    }
+
+    #[test]
+    fn huffman_beats_random_on_traffic() {
+        let a = gen::rmat_graph500(512, 8, 11);
+        let base = SpArchConfig::default().with_tree_layers(3).without_prefetcher();
+        let huffman = SpArchSim::new(base.clone()).run(&a, &a);
+        let random = SpArchSim::new(
+            base.with_scheduler(SchedulerKind::Random(5)),
+        )
+        .run(&a, &a);
+        assert!(
+            huffman.traffic.partial_bytes() <= random.traffic.partial_bytes(),
+            "huffman {} vs random {}",
+            huffman.traffic.partial_bytes(),
+            random.traffic.partial_bytes()
+        );
+    }
+
+    #[test]
+    fn prefetcher_reduces_mat_b_traffic() {
+        let a = gen::rmat_graph500(512, 8, 12);
+        let with = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
+        let without = SpArchSim::new(SpArchConfig::default().without_prefetcher()).run(&a, &a);
+        let b_with = with.traffic.bytes(TrafficCategory::MatB);
+        let b_without = without.traffic.bytes(TrafficCategory::MatB);
+        assert!(
+            b_with < b_without,
+            "prefetcher must reduce B reads: {b_with} vs {b_without}"
+        );
+        assert!(with.prefetch.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn identity_product() {
+        let i = Csr::identity(50);
+        let report = check_exact(&i, &i, SpArchConfig::default());
+        assert_eq!(report.result().nnz(), 50);
+        assert_eq!(report.partial_matrices, 1, "identity condenses to one column");
+    }
+
+    #[test]
+    fn empty_matrix_product() {
+        let a = Csr::zero(10, 10);
+        let report = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
+        assert_eq!(report.result().nnz(), 0);
+        assert_eq!(report.perf.multiplies, 0);
+    }
+
+    #[test]
+    fn known_small_product() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[0.0, 3.0]]).to_csr();
+        let b = Dense::from_rows(&[&[0.0, 4.0], &[5.0, 0.0]]).to_csr();
+        let report = SpArchSim::new(SpArchConfig::default()).run(&a, &b);
+        assert_eq!(
+            report.result().to_dense(),
+            Dense::from_rows(&[&[10.0, 4.0], &[15.0, 0.0]])
+        );
+    }
+
+    #[test]
+    fn traffic_categories_are_consistent() {
+        let a = gen::uniform_random(150, 150, 900, 13);
+        let report = SpArchSim::new(SpArchConfig::default().with_tree_layers(2)).run(&a, &a);
+        let t = &report.traffic;
+        // A is read exactly once: nnz * 12 bytes.
+        assert_eq!(t.bytes(TrafficCategory::MatA), a.nnz() as u64 * 12);
+        // Partial writes equal partial reads (every spill is re-read once).
+        assert_eq!(
+            t.bytes(TrafficCategory::PartialWrite),
+            t.bytes(TrafficCategory::PartialRead)
+        );
+        // Final write covers the result.
+        assert!(
+            t.bytes(TrafficCategory::FinalWrite) >= report.perf.output_nnz * 12
+        );
+        // Energy components respond to the activity.
+        assert!(report.energy_total() > 0.0);
+        assert!(report.perf.bandwidth_utilization > 0.0);
+        assert!(report.perf.bandwidth_utilization <= 1.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The comparator-array merge unit (paper §II-A1, Figure 3).
+//!
+//! An N×N array of 64-bit comparators merges two sorted windows in a
+//! single cycle. Entry `(i, j)` holds `a_i ≥ b_j`; a *boundary* is drawn
+//! between the `≥` and `<` regions, and the tiles are grouped by
+//! anti-diagonals so that the boundary tile of group `k` outputs the k-th
+//! element of the merged sequence. Because no tile depends on another
+//! tile's output, "all the results are generated in one clock cycle".
+//!
+//! [`merge_step`] is the combinational circuit: one evaluation of the
+//! array over two windows, implementing the paper's four boundary rules
+//! literally. [`ComparatorMerger`] wraps it into a streaming unit that
+//! sustains N merged elements per cycle over arbitrarily long inputs,
+//! counting cycles and comparator operations for the timing/energy models.
+
+use crate::item::MergeItem;
+use serde::{Deserialize, Serialize};
+
+/// Evaluates the comparison matrix entry for windows `a`, `b` with the
+/// paper's padding: a dummy `<` column on the right (`j == b.len()`) and a
+/// dummy `≥` row at the bottom (`i == a.len()`). Returns `true` for `≥`.
+fn tile(a: &[MergeItem], b: &[MergeItem], i: usize, j: usize) -> bool {
+    if i == a.len() {
+        true // dummy bottom row of '≥'
+    } else if j == b.len() {
+        false // dummy right column of '<'
+    } else {
+        a[i].coord >= b[j].coord
+    }
+}
+
+/// One combinational evaluation of the comparator array: merges two sorted
+/// windows completely, returning `a.len() + b.len()` sorted outputs.
+///
+/// Boundary rules (§II-A1): a tile is a boundary iff it is `≥` with a `<`
+/// above, or `<` with a `≥` to the left; the implicit out-of-array
+/// neighbours are `<` above row 0 and `≥` left of column 0, which
+/// subsumes the paper's rules 1 and 2 (corner and first row). Each
+/// anti-diagonal group has exactly one boundary tile, whose smaller input
+/// is the group's output.
+///
+/// Ties (`a_i == b_j`) resolve as `≥`, i.e. the `b` element is emitted
+/// first; the downstream adder folds equal coordinates, so tie order never
+/// affects results.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if the boundary-rule invariant "one output per
+/// diagonal group" is violated — which would indicate unsorted input.
+pub fn merge_step(a: &[MergeItem], b: &[MergeItem]) -> Vec<MergeItem> {
+    let (la, lb) = (a.len(), b.len());
+    let mut out: Vec<Option<MergeItem>> = vec![None; la + lb];
+    for i in 0..=la {
+        for j in 0..=lb {
+            if i == la && j == lb {
+                continue; // corner of the two paddings: no group
+            }
+            let here = tile(a, b, i, j);
+            let above = if i == 0 { false } else { tile(a, b, i - 1, j) };
+            let left = if j == 0 { true } else { tile(a, b, i, j - 1) };
+            let boundary = (here && !above) || (!here && left);
+            if boundary {
+                let k = i + j;
+                let output = if here { b[j] } else { a[i] };
+                debug_assert!(
+                    out[k].is_none(),
+                    "two boundary tiles in diagonal group {k}: inputs must be sorted"
+                );
+                out[k] = Some(output);
+            }
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("every diagonal group must produce exactly one output"))
+        .collect()
+}
+
+/// Number of real comparator evaluations [`merge_step`] performs for the
+/// given window lengths (the dummy row/column are constants, not
+/// comparators).
+pub fn merge_step_ops(la: usize, lb: usize) -> u64 {
+    la as u64 * lb as u64
+}
+
+/// Instrumentation counters of a streaming merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeStats {
+    /// Clock cycles consumed.
+    pub cycles: u64,
+    /// Comparator evaluations (hardware toggles the full array each cycle).
+    pub comparator_ops: u64,
+    /// Elements emitted.
+    pub emitted: u64,
+}
+
+impl MergeStats {
+    /// Accumulates another run's counters.
+    pub fn merge(&mut self, other: &MergeStats) {
+        self.cycles += other.cycles;
+        self.comparator_ops += other.comparator_ops;
+        self.emitted += other.emitted;
+    }
+}
+
+/// A streaming binary merger with a flat N×N comparator array: emits up to
+/// N merged elements per cycle.
+///
+/// # Example
+///
+/// ```
+/// use sparch_engine::{ComparatorMerger, MergeItem};
+///
+/// let a: Vec<MergeItem> = (0..10).map(|i| MergeItem::new(0, i * 2, 1.0)).collect();
+/// let b: Vec<MergeItem> = (0..10).map(|i| MergeItem::new(0, i * 2 + 1, 1.0)).collect();
+/// let mut merger = ComparatorMerger::new(4);
+/// let out = merger.merge(&a, &b);
+/// assert_eq!(out.len(), 20);
+/// assert!(out.windows(2).all(|w| w[0].coord < w[1].coord));
+/// assert_eq!(merger.stats().cycles, 5); // 20 elements / 4 per cycle
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComparatorMerger {
+    n: usize,
+    stats: MergeStats,
+}
+
+impl ComparatorMerger {
+    /// Creates a merger with an `n x n` comparator array (n elements of
+    /// throughput per cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "array size must be positive");
+        ComparatorMerger { n, stats: MergeStats::default() }
+    }
+
+    /// Array side length N.
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> MergeStats {
+        self.stats
+    }
+
+    /// Resets the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = MergeStats::default();
+    }
+
+    /// Comparator evaluations charged per cycle (the full array toggles).
+    fn ops_per_cycle(&self) -> u64 {
+        (self.n * self.n) as u64
+    }
+
+    /// Merges two sorted streams completely, emitting up to N elements per
+    /// cycle. Duplicate coordinates are preserved (folding is the adder
+    /// stage's job).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that both inputs are sorted.
+    pub fn merge(&mut self, a: &[MergeItem], b: &[MergeItem]) -> Vec<MergeItem> {
+        debug_assert!(crate::item::is_sorted(a), "input a must be sorted");
+        debug_assert!(crate::item::is_sorted(b), "input b must be sorted");
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut pa, mut pb) = (0usize, 0usize);
+        while pa < a.len() || pb < b.len() {
+            // One cycle: the array sees windows of up to N elements per
+            // side and commits the N smallest of their union (they are
+            // final: nothing later in either stream can precede them).
+            self.stats.cycles += 1;
+            self.stats.comparator_ops += self.ops_per_cycle();
+            let wa_end = (pa + self.n).min(a.len());
+            let wb_end = (pb + self.n).min(b.len());
+            let mut budget = self.n;
+            while budget > 0 && (pa < wa_end || pb < wb_end) {
+                let take_b = match (pa < wa_end, pb < wb_end) {
+                    // '≥' resolves ties toward b, matching merge_step.
+                    (true, true) => a[pa].coord >= b[pb].coord,
+                    (false, true) => true,
+                    (true, false) => false,
+                    (false, false) => unreachable!(),
+                };
+                if take_b {
+                    out.push(b[pb]);
+                    pb += 1;
+                } else {
+                    out.push(a[pa]);
+                    pa += 1;
+                }
+                budget -= 1;
+                self.stats.emitted += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{is_sorted, stream_of};
+
+    fn items(coords: &[u64]) -> Vec<MergeItem> {
+        coords.iter().map(|&c| MergeItem { coord: c, value: c as f64 }).collect()
+    }
+
+    fn sorted_oracle(a: &[MergeItem], b: &[MergeItem]) -> Vec<u64> {
+        let mut all: Vec<u64> = a.iter().chain(b).map(|i| i.coord).collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn merge_step_figure3_example() {
+        // Coordinates from Figure 3: A = (1)(3)(4)(13), B = (3)(5)(10)(12).
+        let a = items(&[1, 3, 4, 13]);
+        let b = items(&[3, 5, 10, 12]);
+        let out = merge_step(&a, &b);
+        let coords: Vec<u64> = out.iter().map(|i| i.coord).collect();
+        assert_eq!(coords, vec![1, 3, 3, 4, 5, 10, 12, 13]);
+    }
+
+    #[test]
+    fn merge_step_matches_oracle_on_many_shapes() {
+        let cases: &[(&[u64], &[u64])] = &[
+            (&[], &[]),
+            (&[1], &[]),
+            (&[], &[2]),
+            (&[1, 2, 3], &[10, 20]),
+            (&[10, 20], &[1, 2, 3]),
+            (&[1, 1, 1], &[1, 1]),
+            (&[5], &[5]),
+            (&[0, 2, 4, 6, 8], &[1, 3, 5, 7, 9]),
+        ];
+        for (ca, cb) in cases {
+            let (a, b) = (items(ca), items(cb));
+            let merged: Vec<u64> = merge_step(&a, &b).iter().map(|i| i.coord).collect();
+            assert_eq!(merged, sorted_oracle(&a, &b), "case {ca:?} {cb:?}");
+        }
+    }
+
+    #[test]
+    fn merge_step_tie_prefers_b() {
+        let a = vec![MergeItem { coord: 7, value: 1.0 }];
+        let b = vec![MergeItem { coord: 7, value: 2.0 }];
+        let out = merge_step(&a, &b);
+        assert_eq!(out[0].value, 2.0, "'≥' outputs the b element first");
+        assert_eq!(out[1].value, 1.0);
+    }
+
+    #[test]
+    fn merge_step_op_count() {
+        assert_eq!(merge_step_ops(4, 4), 16);
+        assert_eq!(merge_step_ops(0, 5), 0);
+    }
+
+    #[test]
+    fn streaming_merge_matches_oracle() {
+        let a = stream_of(&[(0, 1, 1.0), (0, 5, 2.0), (2, 0, 3.0), (7, 7, 4.0)]);
+        let b = stream_of(&[(0, 2, 5.0), (1, 0, 6.0), (2, 0, 7.0)]);
+        for n in [1usize, 2, 3, 4, 16] {
+            let mut m = ComparatorMerger::new(n);
+            let out = m.merge(&a, &b);
+            assert_eq!(out.len(), 7);
+            assert!(is_sorted(&out));
+            let coords: Vec<u64> = out.iter().map(|i| i.coord).collect();
+            assert_eq!(coords, sorted_oracle(&a, &b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn throughput_is_n_per_cycle() {
+        let a = items(&(0..64).map(|i| i * 2).collect::<Vec<_>>());
+        let b = items(&(0..64).map(|i| i * 2 + 1).collect::<Vec<_>>());
+        let mut m = ComparatorMerger::new(16);
+        let out = m.merge(&a, &b);
+        assert_eq!(out.len(), 128);
+        assert_eq!(m.stats().cycles, 8, "128 elements at 16/cycle");
+        assert_eq!(m.stats().comparator_ops, 8 * 256);
+        assert_eq!(m.stats().emitted, 128);
+    }
+
+    #[test]
+    fn one_sided_input_passes_through() {
+        let a = items(&[1, 2, 3, 4, 5]);
+        let mut m = ComparatorMerger::new(2);
+        let out = m.merge(&a, &[]);
+        assert_eq!(out.len(), 5);
+        assert_eq!(m.stats().cycles, 3); // ceil(5/2)
+    }
+
+    #[test]
+    fn stats_accumulate_across_merges() {
+        let mut m = ComparatorMerger::new(4);
+        m.merge(&items(&[1, 2]), &items(&[3]));
+        m.merge(&items(&[5]), &items(&[4]));
+        assert_eq!(m.stats().emitted, 5);
+        assert_eq!(m.stats().cycles, 2);
+        m.reset_stats();
+        assert_eq!(m.stats(), MergeStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = ComparatorMerger::new(0);
+    }
+}

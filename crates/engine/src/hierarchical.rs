@@ -1,0 +1,255 @@
+//! The hierarchical (two-level) comparator array (paper §II-A2, Figure 4).
+//!
+//! A flat N×N array costs O(N²) comparators. The hierarchical merger
+//! splits each N-element window into `k` chunks of `m` (N = k·m); a k×k
+//! *top-level* array compares only the **last** element of each chunk to
+//! select which chunk pairs the merge path crosses, and one m×m
+//! *low-level* array per selected pair (at most `2k-1` of them) merges the
+//! actual elements. Comparator count drops to `k² + (2k-1)m²`; with
+//! `k = n^(2/3)`, `m = n^(1/3)` that is O(n^{4/3}).
+//!
+//! Table I instantiates N = 16 as a 4×4 top level + 4×4 low level.
+
+use crate::comparator::MergeStats;
+use crate::item::MergeItem;
+
+/// A streaming binary merger built from a two-level comparator hierarchy.
+///
+/// Functionally identical to [`crate::ComparatorMerger`] (same merged
+/// output, same N-per-cycle throughput); only the comparator-op accounting
+/// differs, reflecting the cheaper hardware.
+///
+/// # Example
+///
+/// ```
+/// use sparch_engine::{HierarchicalMerger, MergeItem};
+///
+/// let merger = HierarchicalMerger::new(16, 4);
+/// assert_eq!(merger.width(), 16);
+/// // 4x4 top level + up to 7 low-level 4x4 arrays:
+/// assert_eq!(merger.comparators(), 16 + 7 * 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierarchicalMerger {
+    /// Total merge width N (elements per cycle).
+    n: usize,
+    /// Chunk length m (low-level array size).
+    m: usize,
+    stats: MergeStats,
+}
+
+impl HierarchicalMerger {
+    /// Creates a merger of width `n` with low-level arrays of size `m x m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, or `m` does not divide `n`.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(m > 0, "chunk size must be positive");
+        assert!(n % m == 0, "chunk size {m} must divide width {n}");
+        HierarchicalMerger { n, m, stats: MergeStats::default() }
+    }
+
+    /// The paper's 16-wide configuration: 4×4 top + 4×4 low (Table I).
+    pub fn paper_default() -> Self {
+        HierarchicalMerger::new(16, 4)
+    }
+
+    /// Merge width N.
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Chunks per window.
+    pub fn chunks(&self) -> usize {
+        self.n / self.m
+    }
+
+    /// Physical comparator count: `k² + (2k-1)·m²`.
+    pub fn comparators(&self) -> u64 {
+        let k = self.chunks() as u64;
+        let m = self.m as u64;
+        k * k + (2 * k - 1) * m * m
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> MergeStats {
+        self.stats
+    }
+
+    /// Resets the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = MergeStats::default();
+    }
+
+    /// Selects the chunk pairs the top-level array activates for one pair
+    /// of windows, by running the boundary rules over the chunks' last
+    /// elements (Figure 4). Returns `(i, j)` chunk-index pairs in diagonal-
+    /// group order. Exposed for tests and DSE; [`HierarchicalMerger::merge`]
+    /// uses it for op accounting.
+    pub fn select_chunk_pairs(&self, wa: &[MergeItem], wb: &[MergeItem]) -> Vec<(usize, usize)> {
+        let chunks_a: Vec<&[MergeItem]> = wa.chunks(self.m).collect();
+        let chunks_b: Vec<&[MergeItem]> = wb.chunks(self.m).collect();
+        let (ka, kb) = (chunks_a.len(), chunks_b.len());
+        // Last element of each chunk (chunks are sorted, so last = max).
+        // Unlike the element-level array, chunk-pair selection needs no
+        // dummy padding: the chunk merge path runs from (0,0) to
+        // (ka-1, kb-1), one boundary per anti-diagonal (2k-1 groups for a
+        // k×k array, matching Figure 4's five pairs for k = 3).
+        let last = |c: &&[MergeItem]| c.last().expect("chunks are non-empty").coord;
+        let mut pairs = Vec::new();
+        for i in 0..ka {
+            for j in 0..kb {
+                let here = last(&chunks_a[i]) >= last(&chunks_b[j]);
+                let above = i > 0 && last(&chunks_a[i - 1]) >= last(&chunks_b[j]);
+                let left = j == 0 || last(&chunks_a[i]) >= last(&chunks_b[j - 1]);
+                if (here && !above) || (!here && left) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Merges two sorted streams completely (up to N elements per cycle),
+    /// charging top-level + activated low-level comparator operations per
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts sorted inputs.
+    pub fn merge(&mut self, a: &[MergeItem], b: &[MergeItem]) -> Vec<MergeItem> {
+        debug_assert!(crate::item::is_sorted(a), "input a must be sorted");
+        debug_assert!(crate::item::is_sorted(b), "input b must be sorted");
+        let k = self.chunks() as u64;
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut pa, mut pb) = (0usize, 0usize);
+        while pa < a.len() || pb < b.len() {
+            self.stats.cycles += 1;
+            let wa = &a[pa..(pa + self.n).min(a.len())];
+            let wb = &b[pb..(pb + self.n).min(b.len())];
+            // Top level always toggles; low level only for selected pairs.
+            let active_pairs = if wa.is_empty() || wb.is_empty() {
+                // Degenerate: pure pass-through of one stream, one chunk
+                // pair streams through a single low-level array.
+                1
+            } else {
+                self.select_chunk_pairs(wa, wb).len() as u64
+            };
+            self.stats.comparator_ops += k * k + active_pairs * (self.m as u64).pow(2);
+            // Commit the N smallest of the window union (ties toward b,
+            // matching the flat array).
+            let mut budget = self.n;
+            let (wa_end, wb_end) = (pa + wa.len(), pb + wb.len());
+            while budget > 0 && (pa < wa_end || pb < wb_end) {
+                let take_b = match (pa < wa_end, pb < wb_end) {
+                    (true, true) => a[pa].coord >= b[pb].coord,
+                    (false, true) => true,
+                    (true, false) => false,
+                    (false, false) => unreachable!(),
+                };
+                if take_b {
+                    out.push(b[pb]);
+                    pb += 1;
+                } else {
+                    out.push(a[pa]);
+                    pa += 1;
+                }
+                budget -= 1;
+                self.stats.emitted += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::is_sorted;
+    use crate::ComparatorMerger;
+
+    fn items(coords: &[u64]) -> Vec<MergeItem> {
+        coords.iter().map(|&c| MergeItem { coord: c, value: c as f64 }).collect()
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let m = HierarchicalMerger::paper_default();
+        assert_eq!(m.width(), 16);
+        assert_eq!(m.chunks(), 4);
+        assert_eq!(m.comparators(), 16 + 7 * 16);
+        // cheaper than the flat 16x16 = 256 array
+        assert!(m.comparators() < 256);
+    }
+
+    #[test]
+    fn output_matches_flat_merger() {
+        let a = items(&[1, 4, 4, 9, 12, 13, 20, 21, 30, 31, 40, 41, 50, 51, 60, 61]);
+        let b = items(&[2, 3, 5, 8, 14, 15, 22, 23, 32, 33, 42, 43, 52, 53, 62, 63]);
+        let mut h = HierarchicalMerger::new(8, 4);
+        let mut f = ComparatorMerger::new(8);
+        let ho = h.merge(&a, &b);
+        let fo = f.merge(&a, &b);
+        assert_eq!(ho, fo);
+        assert!(is_sorted(&ho));
+        // Same throughput...
+        assert_eq!(h.stats().cycles, f.stats().cycles);
+        // ...but fewer comparator toggles.
+        assert!(h.stats().comparator_ops < f.stats().comparator_ops);
+    }
+
+    #[test]
+    fn chunk_pairs_cover_merge_path_figure4() {
+        // Figure 4's example: chunks of 4, three chunks per side.
+        let a = items(&[1, 3, 4, 13, 19, 22, 35, 37, 42, 47, 48, 58]);
+        let b = items(&[3, 5, 10, 12, 15, 29, 36, 40, 44, 52, 55, 61]);
+        let m = HierarchicalMerger::new(12, 4);
+        let pairs = m.select_chunk_pairs(&a, &b);
+        // 2k-1 = 5 diagonal groups, exactly one pair each.
+        assert_eq!(pairs.len(), 5);
+        // The paper's selected pairs: (A0,B0) (A0,B1) (A1,B1) (A2,B1) (A2,B2),
+        // which is where the true element merge path crosses chunk borders
+        // (A0's last element 13 precedes B1's first element 15).
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 1), (2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn chunk_pairs_contain_true_crossings() {
+        // Whatever the data, every (chunk_a, chunk_b) pair that the true
+        // two-pointer merge path visits must be selected.
+        let a = items(&[0, 1, 2, 3, 100, 101, 102, 103]);
+        let b = items(&[50, 51, 52, 53, 54, 55, 56, 57]);
+        let m = HierarchicalMerger::new(8, 4);
+        let pairs = m.select_chunk_pairs(&a, &b);
+        // True path: consume A0 fully (vs B0), then B0, B1, then A1.
+        for needed in [(0usize, 0usize), (1, 1)] {
+            assert!(pairs.contains(&needed), "missing pair {needed:?} in {pairs:?}");
+        }
+    }
+
+    #[test]
+    fn merges_with_ragged_tails() {
+        let a = items(&[1, 5, 9, 10, 11]);
+        let b = items(&[2, 3]);
+        let mut h = HierarchicalMerger::new(4, 2);
+        let out = h.merge(&a, &b);
+        let coords: Vec<u64> = out.iter().map(|i| i.coord).collect();
+        assert_eq!(coords, vec![1, 2, 3, 5, 9, 10, 11]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut h = HierarchicalMerger::new(4, 2);
+        assert!(h.merge(&[], &[]).is_empty());
+        let a = items(&[1, 2, 3]);
+        assert_eq!(h.merge(&a, &[]).len(), 3);
+        assert_eq!(h.merge(&[], &a).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn chunk_must_divide_width() {
+        let _ = HierarchicalMerger::new(16, 5);
+    }
+}

@@ -1,0 +1,115 @@
+//! The stream element that flows through the merge hardware.
+
+use serde::{Deserialize, Serialize};
+use sparch_sparse::{Index, Triple, Value};
+
+/// One element of a partial-matrix stream: a packed 64-bit coordinate
+/// (row in the high 32 bits, column in the low 32 bits — Table I's
+/// "64-bit index (32 bits for row and 32 bits for column)") and a
+/// double-precision value.
+///
+/// Ordering by `coord` is exactly "sorted by row index then column index"
+/// (§II-A), so the merge hardware needs a single 64-bit comparator per
+/// element pair.
+///
+/// # Example
+///
+/// ```
+/// use sparch_engine::MergeItem;
+///
+/// let a = MergeItem::new(0, 7, 1.5);
+/// let b = MergeItem::new(1, 0, 2.5);
+/// assert!(a.coord < b.coord); // row-major order
+/// assert_eq!(a.row(), 0);
+/// assert_eq!(a.col(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MergeItem {
+    /// Packed `(row << 32) | col` coordinate.
+    pub coord: u64,
+    /// The double-precision value.
+    pub value: Value,
+}
+
+impl MergeItem {
+    /// Creates an item from a row/column pair.
+    pub fn new(row: Index, col: Index, value: Value) -> Self {
+        MergeItem { coord: (row as u64) << 32 | col as u64, value }
+    }
+
+    /// Row index (high 32 bits of the coordinate).
+    pub fn row(&self) -> Index {
+        (self.coord >> 32) as Index
+    }
+
+    /// Column index (low 32 bits of the coordinate).
+    pub fn col(&self) -> Index {
+        self.coord as u32
+    }
+
+    /// Converts back to a `(row, col, value)` triple.
+    pub fn to_triple(self) -> Triple {
+        (self.row(), self.col(), self.value)
+    }
+}
+
+impl From<Triple> for MergeItem {
+    fn from((r, c, v): Triple) -> Self {
+        MergeItem::new(r, c, v)
+    }
+}
+
+/// Converts a sorted triple slice into a stream of merge items.
+pub fn stream_of(triples: &[Triple]) -> Vec<MergeItem> {
+    triples.iter().map(|&t| MergeItem::from(t)).collect()
+}
+
+/// Checks that a stream is sorted by coordinate (strictly, i.e. duplicate
+/// coordinates already folded).
+pub fn is_sorted_unique(stream: &[MergeItem]) -> bool {
+    stream.windows(2).all(|w| w[0].coord < w[1].coord)
+}
+
+/// Checks that a stream is sorted by coordinate, duplicates allowed.
+pub fn is_sorted(stream: &[MergeItem]) -> bool {
+    stream.windows(2).all(|w| w[0].coord <= w[1].coord)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        let item = MergeItem::new(123, 456, -7.5);
+        assert_eq!(item.row(), 123);
+        assert_eq!(item.col(), 456);
+        assert_eq!(item.to_triple(), (123, 456, -7.5));
+    }
+
+    #[test]
+    fn coordinate_order_is_row_major() {
+        let a = MergeItem::new(0, u32::MAX, 0.0);
+        let b = MergeItem::new(1, 0, 0.0);
+        assert!(a.coord < b.coord);
+    }
+
+    #[test]
+    fn extreme_indices_pack_safely() {
+        let item = MergeItem::new(u32::MAX, u32::MAX, 1.0);
+        assert_eq!(item.row(), u32::MAX);
+        assert_eq!(item.col(), u32::MAX);
+    }
+
+    #[test]
+    fn sortedness_checks() {
+        let s = stream_of(&[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0)]);
+        assert!(is_sorted(&s));
+        assert!(is_sorted_unique(&s));
+        let dup = stream_of(&[(0, 0, 1.0), (0, 0, 2.0)]);
+        assert!(is_sorted(&dup));
+        assert!(!is_sorted_unique(&dup));
+        let bad = stream_of(&[(1, 0, 1.0), (0, 0, 2.0)]);
+        assert!(!is_sorted(&bad));
+    }
+}

@@ -1,0 +1,39 @@
+//! Merge-hardware models for the SpArch reproduction.
+//!
+//! SpArch's core computational structure is a streaming merger built from
+//! comparator arrays (paper §II-A). This crate models that hardware at
+//! cycle granularity:
+//!
+//! * [`item`] — the 64-bit-coordinate + 64-bit-value stream element,
+//! * [`comparator`] — the flat N×N comparator-array merge unit with the
+//!   boundary-detection rules of Figure 3,
+//! * [`hierarchical`] — the two-level merger of Figure 4 with its
+//!   O(n^{4/3}) comparator count,
+//! * [`zero_elim`] — the prefix-sum + log-shifter zero eliminator of
+//!   Figure 6,
+//! * [`adder`] — the adder slice that folds duplicate coordinates,
+//! * [`merge_tree`] — the K-layer merge tree of Figure 5 (one shared
+//!   merger per layer, FIFO nodes), simulated cycle by cycle,
+//! * [`multiplier`] — the outer-product multiplier array.
+//!
+//! Every model is *functionally exact* (bit-identical merge results,
+//! validated against software oracles) and *cycle-instrumented* (cycles,
+//! comparator operations, FIFO movements), so the system simulator in
+//! `sparch-core` can charge time and energy to each component.
+
+pub mod adder;
+pub mod clocked;
+pub mod comparator;
+pub mod hierarchical;
+pub mod item;
+pub mod merge_tree;
+pub mod multiplier;
+pub mod zero_elim;
+
+pub use adder::fold_duplicates;
+pub use comparator::{merge_step, ComparatorMerger, MergeStats};
+pub use hierarchical::HierarchicalMerger;
+pub use item::MergeItem;
+pub use merge_tree::{MergeTree, MergeTreeConfig, TreeStats};
+pub use multiplier::{MultiplierArray, MultiplierStats};
+pub use zero_elim::ZeroEliminator;

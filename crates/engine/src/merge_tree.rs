@@ -1,0 +1,455 @@
+//! The merge tree (paper §II-A3, Figure 5).
+//!
+//! To merge up to 64 sorted arrays into one, SpArch stacks binary mergers
+//! into a full binary tree: "each node represents a FIFO on the hardware.
+//! Input arrays are fed to the leaf nodes, and the output array is
+//! collected from the root node." The throughput of the whole tree is
+//! bounded by the root, so **each layer shares one merger**.
+//!
+//! This module simulates the tree cycle by cycle: every cycle, each
+//! layer's merger serves one node (round-robin among nodes with work),
+//! moving up to `merger_width` elements from its two child FIFOs into the
+//! parent FIFO, folding duplicate coordinates through the adder slice on
+//! the way (the zero eliminator is implicit in fold-on-push: holes never
+//! enter the FIFO). The root FIFO drains into the output at merger width
+//! per cycle, modelling the partial-matrix writer.
+
+use crate::adder;
+use crate::hierarchical::HierarchicalMerger;
+use crate::item::MergeItem;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Merge-tree geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MergeTreeConfig {
+    /// Number of merger layers; the tree accepts `2^layers` input arrays.
+    /// Table I: 6 layers → 64-way merge.
+    pub layers: usize,
+    /// Elements each layer's merger moves per cycle (Table I: 16).
+    pub merger_width: usize,
+    /// Low-level chunk size of the hierarchical merger (Table I: 4).
+    pub merger_chunk: usize,
+    /// Capacity of each node FIFO, in elements.
+    pub fifo_capacity: usize,
+}
+
+impl Default for MergeTreeConfig {
+    fn default() -> Self {
+        MergeTreeConfig { layers: 6, merger_width: 16, merger_chunk: 4, fifo_capacity: 64 }
+    }
+}
+
+impl MergeTreeConfig {
+    /// Number of leaf ports (`2^layers`).
+    pub fn leaf_count(&self) -> usize {
+        1 << self.layers
+    }
+}
+
+/// Counters from one tree merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Total clock cycles until the last output element left the root.
+    pub cycles: u64,
+    /// Comparator evaluations across all layer mergers.
+    pub comparator_ops: u64,
+    /// Floating-point additions (duplicate folding).
+    pub adds: u64,
+    /// Elements moved through node FIFOs (each push + pop counts once).
+    pub fifo_movements: u64,
+    /// Cycles in which a layer's merger had no serviceable node.
+    pub stalls: u64,
+    /// Elements emitted at the root.
+    pub output_elements: u64,
+    /// Highest observed FIFO occupancy.
+    pub fifo_high_water: usize,
+}
+
+/// A cycle-level model of the K-layer streaming merge tree.
+///
+/// # Example
+///
+/// ```
+/// use sparch_engine::{MergeItem, MergeTree, MergeTreeConfig};
+///
+/// let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
+/// let inputs: Vec<Vec<MergeItem>> = (0..4)
+///     .map(|k| (0..8u32).map(|i| MergeItem::new(0, i * 4 + k, 1.0)).collect())
+///     .collect();
+/// let (out, stats) = tree.merge(inputs);
+/// assert_eq!(out.len(), 32);
+/// assert!(out.windows(2).all(|w| w[0].coord < w[1].coord));
+/// assert!(stats.cycles > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MergeTree {
+    config: MergeTreeConfig,
+}
+
+/// One internal node's state during simulation.
+#[derive(Debug)]
+struct Node {
+    fifo: VecDeque<MergeItem>,
+    finished: bool,
+}
+
+impl MergeTree {
+    /// Creates a tree with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`, `merger_width == 0`, the chunk does not
+    /// divide the width, or the FIFO capacity is below the merger width
+    /// (the merger must be able to land a full emission).
+    pub fn new(config: MergeTreeConfig) -> Self {
+        assert!(config.layers > 0, "need at least one layer");
+        assert!(config.merger_width > 0, "merger width must be positive");
+        assert!(
+            config.merger_width % config.merger_chunk == 0,
+            "chunk must divide merger width"
+        );
+        assert!(
+            config.fifo_capacity >= config.merger_width,
+            "FIFO capacity must hold one full merger emission"
+        );
+        MergeTree { config }
+    }
+
+    /// The tree's geometry.
+    pub fn config(&self) -> MergeTreeConfig {
+        self.config
+    }
+
+    /// Comparator evaluations one layer's (hierarchical) merger performs
+    /// per active cycle.
+    fn ops_per_active_cycle(&self) -> u64 {
+        HierarchicalMerger::new(self.config.merger_width, self.config.merger_chunk).comparators()
+    }
+
+    /// Merges up to `2^layers` sorted input arrays into one sorted,
+    /// duplicate-folded output, simulating the datapath cycle by cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more inputs than leaf ports are supplied, or if an input
+    /// array is not sorted by coordinate.
+    pub fn merge(&self, inputs: Vec<Vec<MergeItem>>) -> (Vec<MergeItem>, TreeStats) {
+        let leaves = self.config.leaf_count();
+        assert!(
+            inputs.len() <= leaves,
+            "{} inputs exceed the tree's {leaves} leaf ports",
+            inputs.len()
+        );
+        for (i, arr) in inputs.iter().enumerate() {
+            assert!(crate::item::is_sorted(arr), "input {i} is not sorted");
+        }
+
+        let total_in: usize = inputs.iter().map(Vec::len).sum();
+        let mut stats = TreeStats::default();
+        let layers = self.config.layers;
+
+        // levels[l] = nodes at depth l; level 0 is the root, level
+        // `layers` holds the leaf FIFOs (pre-loaded with the inputs, as if
+        // the data loader had streamed them in).
+        let mut levels: Vec<Vec<Node>> = (0..=layers)
+            .map(|l| {
+                (0..(1usize << l))
+                    .map(|_| Node { fifo: VecDeque::new(), finished: false })
+                    .collect()
+            })
+            .collect();
+        for (i, input) in inputs.into_iter().enumerate() {
+            levels[layers][i].fifo = input.into();
+            levels[layers][i].finished = true;
+        }
+        for node in levels[layers].iter_mut() {
+            node.finished = true; // unfed leaves are trivially done
+        }
+
+        let mut rr: Vec<usize> = vec![0; layers]; // round-robin per layer
+        let mut output: Vec<MergeItem> = Vec::with_capacity(total_in);
+        let width = self.config.merger_width;
+        let ops_per_cycle = self.ops_per_active_cycle();
+        // Generous runaway guard: every element crosses `layers` FIFOs at
+        // `width` per layer-cycle, so this bound is far above any legal run.
+        let cycle_cap = 1000 + (total_in as u64 + 1) * (layers as u64 + 2) * 4 / width as u64
+            + (total_in as u64 + 1) * 8;
+
+        loop {
+            stats.cycles += 1;
+            assert!(
+                stats.cycles < cycle_cap.max(10_000),
+                "merge tree failed to converge (bug): cycle {} of cap {}",
+                stats.cycles,
+                cycle_cap
+            );
+
+            // Drain the root FIFO into the output (partial-matrix writer).
+            // A duplicate pair can straddle two merger emissions when the
+            // parent FIFO drains between them, so the writer folds one
+            // final time — the hardware's last adder slice.
+            {
+                let root = &mut levels[0][0];
+                let take = root.fifo.len().min(width);
+                for _ in 0..take {
+                    let item = root.fifo.pop_front().expect("len checked");
+                    stats.fifo_movements += 1;
+                    match output.last_mut() {
+                        Some(last) if last.coord == item.coord => {
+                            last.value += item.value;
+                            stats.adds += 1;
+                        }
+                        _ => {
+                            output.push(item);
+                            stats.output_elements += 1;
+                        }
+                    }
+                }
+            }
+
+            // Top-down: each layer's merger serves one node using the
+            // state its children had at the start of the cycle (one-cycle
+            // FIFO latency per level).
+            for l in 0..layers {
+                let parents = 1usize << l;
+                let mut served = false;
+                for probe in 0..parents {
+                    let p = (rr[l] + probe) % parents;
+                    if self.service(&mut levels, l, p, &mut stats) {
+                        rr[l] = (p + 1) % parents;
+                        served = true;
+                        break;
+                    }
+                }
+                if !served {
+                    stats.stalls += 1;
+                }
+            }
+
+            let root = &levels[0][0];
+            if root.finished && root.fifo.is_empty() {
+                break;
+            }
+        }
+
+        // Account comparator toggles: every non-stalled layer-cycle runs
+        // one hierarchical merger evaluation.
+        let active_layer_cycles = stats.cycles * layers as u64 - stats.stalls;
+        stats.comparator_ops = active_layer_cycles * ops_per_cycle;
+
+        let mut high = 0usize;
+        for level in &levels {
+            for node in level {
+                high = high.max(node.fifo.len());
+            }
+        }
+        stats.fifo_high_water = high; // all drained: report capacity pressure instead
+        (output, stats)
+    }
+
+    /// Attempts one merger service for parent `(l, p)`. Returns whether
+    /// any progress was made (elements moved or completion detected).
+    fn service(&self, levels: &mut [Vec<Node>], l: usize, p: usize, stats: &mut TreeStats) -> bool {
+        let width = self.config.merger_width;
+        let (c0, c1) = (2 * p, 2 * p + 1);
+        // Split borrows: children live one level below the parent.
+        let (upper, lower) = levels.split_at_mut(l + 1);
+        let parent = &mut upper[l][p];
+        if parent.finished {
+            return false;
+        }
+        let (left_nodes, right_nodes) = lower[0].split_at_mut(c1);
+        let left = &mut left_nodes[c0];
+        let right = &mut right_nodes[0];
+
+        let mut moved = 0usize;
+        let mut staging: Vec<MergeItem> = Vec::with_capacity(width);
+        while moved < width && parent.fifo.len() + staging.len() < self.config.fifo_capacity {
+            let lh = left.fifo.front().map(|i| i.coord);
+            let rh = right.fifo.front().map(|i| i.coord);
+            let take_right = match (lh, rh) {
+                (Some(a), Some(b)) => a >= b,
+                // One side empty: safe to pull from the other only if the
+                // empty side is finished (no future smaller element).
+                (Some(_), None) => {
+                    if right.finished {
+                        false
+                    } else {
+                        break;
+                    }
+                }
+                (None, Some(_)) => {
+                    if left.finished {
+                        true
+                    } else {
+                        break;
+                    }
+                }
+                (None, None) => break,
+            };
+            let item = if take_right {
+                right.fifo.pop_front().expect("head checked")
+            } else {
+                left.fifo.pop_front().expect("head checked")
+            };
+            stats.fifo_movements += 1;
+            staging.push(item);
+            moved += 1;
+        }
+
+        // Adder slice + zero eliminator on the emission, then fold against
+        // the parent FIFO's tail (duplicates can straddle emissions).
+        let (folded, adds) = adder::fold_duplicates(&staging);
+        stats.adds += adds;
+        for item in folded {
+            match parent.fifo.back_mut() {
+                Some(back) if back.coord == item.coord => {
+                    back.value += item.value;
+                    stats.adds += 1;
+                }
+                _ => {
+                    parent.fifo.push_back(item);
+                    stats.fifo_movements += 1;
+                    stats.fifo_high_water = stats.fifo_high_water.max(parent.fifo.len());
+                }
+            }
+        }
+
+        if left.finished && right.finished && left.fifo.is_empty() && right.fifo.is_empty() {
+            parent.finished = true;
+            return true;
+        }
+        moved > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{is_sorted_unique, stream_of};
+
+    fn sorted_run(start: u64, step: u64, len: usize) -> Vec<MergeItem> {
+        (0..len as u64)
+            .map(|i| MergeItem { coord: start + i * step, value: 1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn figure5_four_way_merge() {
+        // Figure 5's four arrays (coordinates only).
+        let a = [24u64, 26, 31, 52, 54, 56, 57, 58, 73, 75];
+        let b = [22u64, 28, 42, 44, 46, 47, 48];
+        let c = [11u64, 13, 15, 21, 23, 25, 41, 43, 45];
+        let d = [12u64, 14, 16, 17, 18, 32, 34, 36, 37, 38, 72];
+        let inputs: Vec<Vec<MergeItem>> = [&a[..], &b, &c, &d]
+            .iter()
+            .map(|s| s.iter().map(|&x| MergeItem { coord: x, value: 1.0 }).collect())
+            .collect();
+        let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
+        let (out, stats) = tree.merge(inputs);
+        let mut expected: Vec<u64> =
+            a.iter().chain(&b).chain(&c).chain(&d).copied().collect();
+        expected.sort_unstable();
+        let got: Vec<u64> = out.iter().map(|i| i.coord).collect();
+        assert_eq!(got, expected);
+        assert_eq!(stats.output_elements as usize, expected.len());
+        assert!(stats.cycles >= 3, "startup latency spans the layers");
+    }
+
+    #[test]
+    fn folds_duplicates_across_arrays() {
+        let inputs = vec![
+            stream_of(&[(0, 1, 1.0), (0, 3, 2.0)]),
+            stream_of(&[(0, 1, 10.0), (0, 2, 5.0)]),
+            stream_of(&[(0, 3, 100.0)]),
+            stream_of(&[(0, 1, 0.5)]),
+        ];
+        let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
+        let (out, stats) = tree.merge(inputs);
+        assert!(is_sorted_unique(&out), "duplicates must fold: {out:?}");
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].value, 11.5); // 1 + 10 + 0.5
+        assert_eq!(out[1].value, 5.0);
+        assert_eq!(out[2].value, 102.0);
+        assert!(stats.adds >= 3);
+    }
+
+    #[test]
+    fn full_64_way_merge() {
+        let tree = MergeTree::new(MergeTreeConfig::default());
+        let inputs: Vec<Vec<MergeItem>> =
+            (0..64).map(|k| sorted_run(k as u64, 64, 100)).collect();
+        let (out, stats) = tree.merge(inputs);
+        assert_eq!(out.len(), 6400);
+        assert!(is_sorted_unique(&out));
+        // Steady state: ~16 elements/cycle at the root, plus pipeline fill.
+        assert!(
+            stats.cycles >= 6400 / 16,
+            "cycles {} below root-bound minimum",
+            stats.cycles
+        );
+        assert!(
+            stats.cycles < 3 * 6400 / 16 + 200,
+            "cycles {} far above root-bound minimum: throughput bug",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn partial_leaf_population() {
+        let tree = MergeTree::new(MergeTreeConfig { layers: 3, ..Default::default() });
+        // Only 3 of 8 leaves are fed.
+        let inputs = vec![sorted_run(0, 3, 10), sorted_run(1, 3, 10), sorted_run(2, 3, 10)];
+        let (out, _) = tree.merge(inputs);
+        assert_eq!(out.len(), 30);
+        assert!(is_sorted_unique(&out));
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
+        let (out, _) = tree.merge(vec![]);
+        assert!(out.is_empty());
+        let (out, _) = tree.merge(vec![sorted_run(5, 1, 7)]);
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn skewed_input_lengths() {
+        let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
+        let inputs = vec![
+            sorted_run(0, 1, 1000),
+            sorted_run(5000, 1, 3),
+            sorted_run(6000, 1, 1),
+            sorted_run(7000, 1, 50),
+        ];
+        let (out, _) = tree.merge(inputs);
+        assert_eq!(out.len(), 1054);
+        assert!(is_sorted_unique(&out));
+    }
+
+    #[test]
+    fn comparator_ops_scale_with_cycles() {
+        let tree = MergeTree::new(MergeTreeConfig::default());
+        let small = tree.merge((0..8).map(|k| sorted_run(k, 8, 10)).collect()).1;
+        let large = tree.merge((0..8).map(|k| sorted_run(k, 8, 1000)).collect()).1;
+        assert!(large.comparator_ops > small.comparator_ops);
+        assert!(large.cycles > small.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_inputs_rejected() {
+        let tree = MergeTree::new(MergeTreeConfig { layers: 1, ..Default::default() });
+        let _ = tree.merge(vec![vec![], vec![], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn unsorted_input_rejected() {
+        let tree = MergeTree::new(MergeTreeConfig { layers: 1, ..Default::default() });
+        let bad = vec![MergeItem { coord: 5, value: 1.0 }, MergeItem { coord: 1, value: 1.0 }];
+        let _ = tree.merge(vec![bad]);
+    }
+}

@@ -1,0 +1,113 @@
+//! The outer-product multiplier array (paper §II-E, Table I: "2 groups,
+//! each consists of 8 double precision floating point multipliers").
+//!
+//! Each cycle, up to 16 multipliers each take one element of the left
+//! matrix's condensed column and one element of the corresponding row of
+//! the right matrix, emitting partial products in COO order for the merge
+//! tree's leaf ports.
+
+use crate::item::MergeItem;
+use serde::{Deserialize, Serialize};
+use sparch_sparse::{Index, Value};
+
+/// Counters of multiplier activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiplierStats {
+    /// Double-precision multiplications performed.
+    pub multiplies: u64,
+    /// Cycles the array was busy (at its configured throughput).
+    pub cycles: u64,
+}
+
+/// A fixed-throughput multiplier array.
+#[derive(Debug, Clone)]
+pub struct MultiplierArray {
+    multipliers: usize,
+    stats: MultiplierStats,
+}
+
+impl MultiplierArray {
+    /// Creates an array with `multipliers` parallel units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multipliers == 0`.
+    pub fn new(multipliers: usize) -> Self {
+        assert!(multipliers > 0, "need at least one multiplier");
+        MultiplierArray { multipliers, stats: MultiplierStats::default() }
+    }
+
+    /// The paper's configuration: 2 groups × 8 units.
+    pub fn paper_default() -> Self {
+        MultiplierArray::new(16)
+    }
+
+    /// Number of parallel multiplier units.
+    pub fn width(&self) -> usize {
+        self.multipliers
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> MultiplierStats {
+        self.stats
+    }
+
+    /// Multiplies one element `a_val` at row `a_row` of the left matrix's
+    /// condensed column by its corresponding right-matrix row
+    /// `(cols, vals)`, producing the scaled row as a sorted COO stream
+    /// (`(a_row, col) → a_val * b_val`).
+    ///
+    /// Charges `ceil(len / multipliers)` cycles.
+    pub fn scale_row(
+        &mut self,
+        a_row: Index,
+        a_val: Value,
+        cols: &[Index],
+        vals: &[Value],
+    ) -> Vec<MergeItem> {
+        debug_assert_eq!(cols.len(), vals.len());
+        let n = cols.len();
+        self.stats.multiplies += n as u64;
+        self.stats.cycles += (n as u64).div_ceil(self.multipliers as u64);
+        cols.iter()
+            .zip(vals)
+            .map(|(&c, &v)| MergeItem::new(a_row, c, a_val * v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::is_sorted_unique;
+
+    #[test]
+    fn scale_row_products() {
+        let mut m = MultiplierArray::paper_default();
+        let out = m.scale_row(3, 2.0, &[1, 5, 9], &[10.0, 20.0, 30.0]);
+        assert_eq!(out.len(), 3);
+        assert!(is_sorted_unique(&out));
+        assert_eq!(out[0].to_triple(), (3, 1, 20.0));
+        assert_eq!(out[2].to_triple(), (3, 9, 60.0));
+        assert_eq!(m.stats().multiplies, 3);
+        assert_eq!(m.stats().cycles, 1);
+    }
+
+    #[test]
+    fn cycles_respect_throughput() {
+        let mut m = MultiplierArray::new(4);
+        let cols: Vec<Index> = (0..10).collect();
+        let vals = vec![1.0; 10];
+        m.scale_row(0, 1.0, &cols, &vals);
+        assert_eq!(m.stats().cycles, 3); // ceil(10/4)
+    }
+
+    #[test]
+    fn empty_row_is_free_of_multiplies() {
+        let mut m = MultiplierArray::new(8);
+        let out = m.scale_row(0, 1.0, &[], &[]);
+        assert!(out.is_empty());
+        assert_eq!(m.stats().multiplies, 0);
+        assert_eq!(m.stats().cycles, 0);
+    }
+}

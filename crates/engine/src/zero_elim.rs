@@ -1,0 +1,215 @@
+//! The zero eliminator (paper §II-A4, Figure 6).
+//!
+//! After the adder folds duplicate-coordinate pairs, one element of each
+//! pair is left as a zero hole. The zero eliminator compacts the stream:
+//! a prefix-sum module counts the zeroes before each element
+//! (`zero_count`), then a modified log₂N-layer shifter moves every element
+//! left by its own count — layer `t` shifts by `2^t` when bit `t` of the
+//! element's `zero_count` is set. Unlike a conventional shifter, each MUX
+//! is controlled by its element's count rather than a shared signal.
+//! Latency is `log₂ N` cycles for an N-element slice.
+
+use crate::item::MergeItem;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of zero-eliminator activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZeroElimStats {
+    /// Input slices processed.
+    pub invocations: u64,
+    /// Elements inspected.
+    pub elements_in: u64,
+    /// Non-zero elements emitted.
+    pub elements_out: u64,
+    /// Total latency cycles charged (`log2(N)` per slice).
+    pub latency_cycles: u64,
+}
+
+/// The zero-elimination unit for slices of width `N`.
+///
+/// # Example
+///
+/// ```
+/// use sparch_engine::{MergeItem, ZeroEliminator};
+///
+/// let mut z = ZeroEliminator::new(8);
+/// let dirty = vec![
+///     MergeItem::new(0, 0, 1.0),
+///     MergeItem::new(0, 1, 0.0), // hole left by the adder
+///     MergeItem::new(0, 2, 2.0),
+/// ];
+/// let clean = z.eliminate(&dirty);
+/// assert_eq!(clean.len(), 2);
+/// assert_eq!(clean[1].value, 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZeroEliminator {
+    width: usize,
+    stats: ZeroElimStats,
+}
+
+impl ZeroEliminator {
+    /// Creates a zero eliminator processing slices of `width` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        ZeroEliminator { width, stats: ZeroElimStats::default() }
+    }
+
+    /// Slice width N.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pipeline latency per slice: `ceil(log2 N)` shifter layers.
+    pub fn latency(&self) -> u64 {
+        (usize::BITS - (self.width - 1).leading_zeros()) as u64
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> ZeroElimStats {
+        self.stats
+    }
+
+    /// Compacts a stream, removing elements whose value is exactly zero,
+    /// using the literal layered-shifter network slice by slice.
+    pub fn eliminate(&mut self, input: &[MergeItem]) -> Vec<MergeItem> {
+        let mut out = Vec::with_capacity(input.len());
+        for slice in input.chunks(self.width.max(1)) {
+            self.stats.invocations += 1;
+            self.stats.elements_in += slice.len() as u64;
+            self.stats.latency_cycles += self.latency();
+            let compacted = shift_network(slice);
+            self.stats.elements_out += compacted.len() as u64;
+            out.extend(compacted);
+        }
+        out
+    }
+}
+
+/// The layered-shifter compaction of one slice, implemented exactly as the
+/// hardware does it: exclusive prefix-sum of "is zero", then `log2 N`
+/// layers of per-element MUXes shifting by 1, 2, 4, ... positions.
+fn shift_network(slice: &[MergeItem]) -> Vec<MergeItem> {
+    let n = slice.len();
+    // Prefix-sum module: zero_count[i] = zeroes strictly before position i.
+    let mut zero_count = vec![0usize; n];
+    let mut running = 0usize;
+    for (i, item) in slice.iter().enumerate() {
+        zero_count[i] = running;
+        if item.value == 0.0 {
+            running += 1;
+        }
+    }
+    // Layered shifter: slots carry (element, its residual shift amount).
+    let mut slots: Vec<Option<(MergeItem, usize)>> = slice
+        .iter()
+        .zip(&zero_count)
+        .map(|(&it, &zc)| if it.value == 0.0 { None } else { Some((it, zc)) })
+        .collect();
+    let mut layer = 0usize;
+    while (1usize << layer) < n.max(1) {
+        let stride = 1usize << layer;
+        let mut next: Vec<Option<(MergeItem, usize)>> = vec![None; n];
+        for (pos, slot) in slots.iter().enumerate() {
+            if let Some((item, zc)) = *slot {
+                let target = if zc & stride != 0 { pos - stride } else { pos };
+                debug_assert!(
+                    next[target].is_none(),
+                    "shifter collision at {target}: prefix sums must be monotone"
+                );
+                next[target] = Some((item, zc));
+            }
+        }
+        slots = next;
+        layer += 1;
+    }
+    // After all layers every survivor sits at (original index - zero_count):
+    // a dense prefix.
+    let mut out = Vec::with_capacity(n - running);
+    for slot in slots.into_iter() {
+        match slot {
+            Some((item, _)) => out.push(item),
+            None => break, // survivors form a contiguous prefix
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(coord: u64, value: f64) -> MergeItem {
+        MergeItem { coord, value }
+    }
+
+    fn values(items: &[MergeItem]) -> Vec<f64> {
+        items.iter().map(|i| i.value).collect()
+    }
+
+    #[test]
+    fn figure6_example() {
+        // Input [1, 0, 0, 2, 3, 0, 4, 0] compacts to [1, 2, 3, 4].
+        let input: Vec<MergeItem> = [1.0, 0.0, 0.0, 2.0, 3.0, 0.0, 4.0, 0.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| item(i as u64, v))
+            .collect();
+        let mut z = ZeroEliminator::new(8);
+        let out = z.eliminate(&input);
+        assert_eq!(values(&out), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(z.stats().elements_out, 4);
+        assert_eq!(z.stats().latency_cycles, 3); // log2(8)
+    }
+
+    #[test]
+    fn equals_filter_on_many_patterns() {
+        let patterns: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![0.0],
+            vec![1.0],
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 1.0, 0.0, 2.0, 0.0, 3.0],
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 5.0],
+        ];
+        for p in patterns {
+            let input: Vec<MergeItem> =
+                p.iter().enumerate().map(|(i, &v)| item(i as u64, v)).collect();
+            let expected: Vec<f64> = p.iter().copied().filter(|&v| v != 0.0).collect();
+            let mut z = ZeroEliminator::new(4);
+            assert_eq!(values(&z.eliminate(&input)), expected, "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let input = vec![item(5, 1.0), item(9, 0.0), item(10, 2.0), item(11, 3.0)];
+        let mut z = ZeroEliminator::new(4);
+        let out = z.eliminate(&input);
+        let coords: Vec<u64> = out.iter().map(|i| i.coord).collect();
+        assert_eq!(coords, vec![5, 10, 11]);
+    }
+
+    #[test]
+    fn latency_is_log2() {
+        assert_eq!(ZeroEliminator::new(8).latency(), 3);
+        assert_eq!(ZeroEliminator::new(16).latency(), 4);
+        assert_eq!(ZeroEliminator::new(17).latency(), 5);
+        assert_eq!(ZeroEliminator::new(1).latency(), 0);
+    }
+
+    #[test]
+    fn wide_input_processed_in_slices() {
+        let input: Vec<MergeItem> =
+            (0..20).map(|i| item(i, if i % 3 == 0 { 0.0 } else { 1.0 })).collect();
+        let mut z = ZeroEliminator::new(8);
+        let out = z.eliminate(&input);
+        assert_eq!(out.len(), input.iter().filter(|i| i.value != 0.0).count());
+        assert_eq!(z.stats().invocations, 3); // 8 + 8 + 4
+    }
+}

@@ -1,0 +1,188 @@
+//! Area model.
+//!
+//! Reproduces the paper's Figure 13(a) breakdown (TSMC 40 nm): merge tree
+//! 17.27 mm², row prefetcher 5.8, column fetcher 2.64, partial-matrix
+//! writer 2.34, multiplier array 0.45 — 28.5 mm² total (Table II:
+//! 28.49 mm²). The model anchors those published values at the default
+//! configuration and scales each component with its dominant resource so
+//! design-space exploration (Figures 17–18) can report area alongside
+//! performance.
+
+use serde::{Deserialize, Serialize};
+
+/// Reference (paper Figure 13a) component areas in mm² at the default
+/// configuration.
+mod paper {
+    pub const COLUMN_FETCHER: f64 = 2.64;
+    pub const ROW_PREFETCHER: f64 = 5.8;
+    pub const MULTIPLIER_ARRAY: f64 = 0.45;
+    pub const MERGE_TREE: f64 = 17.27;
+    pub const PARTIAL_WRITER: f64 = 2.34;
+
+    // Default-configuration resource counts the reference areas anchor to.
+    /// Look-ahead FIFO: 8192 elements (Table I).
+    pub const LOOKAHEAD_ELEMENTS: usize = 8192;
+    /// Prefetch buffer: 1024 lines x 48 elements x 12 B (Table I).
+    pub const BUFFER_BYTES: usize = 1024 * 48 * 12;
+    /// 2 groups x 8 double-precision multipliers (Table I).
+    pub const MULTIPLIERS: usize = 16;
+    /// 6 layers x one 16-wide hierarchical merger each (Table I),
+    /// counted in comparator-equivalents: a 16-wide two-level merger uses
+    /// (2*16^(2/3)-1)*(16^(1/3))^2 + (16^(2/3))^2 comparators ~ O(n^{4/3}).
+    pub const TREE_LAYERS: usize = 6;
+    /// Writer FIFO: 1024 elements (Table I).
+    pub const WRITER_ELEMENTS: usize = 1024;
+}
+
+/// Comparator count of a two-level hierarchical merger that merges `n`
+/// elements per cycle (§II-A2: `(2n^(2/3)-1)(n^(1/3))^2 + (n^(2/3))^2`,
+/// i.e. O(n^{4/3})).
+pub fn hierarchical_comparators(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let n = n as f64;
+    let top = n.powf(2.0 / 3.0).round();
+    let low = n.powf(1.0 / 3.0).round();
+    ((2.0 * top - 1.0) * low * low + top * top) as usize
+}
+
+/// Configuration inputs to the area model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Elements the look-ahead FIFO holds.
+    pub lookahead_elements: usize,
+    /// Total prefetch-buffer bytes.
+    pub buffer_bytes: usize,
+    /// Number of double-precision multipliers.
+    pub multipliers: usize,
+    /// Merge-tree layers.
+    pub tree_layers: usize,
+    /// Merge width of each layer's merger (elements per cycle).
+    pub merger_width: usize,
+    /// Writer FIFO elements.
+    pub writer_elements: usize,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            lookahead_elements: paper::LOOKAHEAD_ELEMENTS,
+            buffer_bytes: paper::BUFFER_BYTES,
+            multipliers: paper::MULTIPLIERS,
+            tree_layers: paper::TREE_LAYERS,
+            merger_width: 16,
+            writer_elements: paper::WRITER_ELEMENTS,
+        }
+    }
+}
+
+/// Component areas in mm².
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// MatA column fetcher (dominated by the look-ahead FIFO).
+    pub column_fetcher: f64,
+    /// MatB row prefetcher (dominated by the row buffer SRAM).
+    pub row_prefetcher: f64,
+    /// Multiplier array.
+    pub multiplier_array: f64,
+    /// Merge tree (comparator arrays + node FIFOs).
+    pub merge_tree: f64,
+    /// Partial-matrix writer.
+    pub partial_writer: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in mm².
+    pub fn total(&self) -> f64 {
+        self.column_fetcher
+            + self.row_prefetcher
+            + self.multiplier_array
+            + self.merge_tree
+            + self.partial_writer
+    }
+}
+
+impl AreaModel {
+    /// Estimates the component areas: each component scales linearly with
+    /// its dominant resource, anchored at the paper's published values.
+    pub fn estimate(&self) -> AreaBreakdown {
+        let tree_units = |layers: usize, width: usize| -> f64 {
+            // Each layer has one merger (comparators) and its level FIFOs;
+            // FIFO capacity per level is proportional to merge width.
+            layers as f64
+                * (hierarchical_comparators(width) as f64
+                    / hierarchical_comparators(16) as f64
+                    + width as f64 / 16.0)
+                / 2.0
+        };
+        AreaBreakdown {
+            column_fetcher: paper::COLUMN_FETCHER * self.lookahead_elements as f64
+                / paper::LOOKAHEAD_ELEMENTS as f64,
+            row_prefetcher: paper::ROW_PREFETCHER * self.buffer_bytes as f64
+                / paper::BUFFER_BYTES as f64,
+            multiplier_array: paper::MULTIPLIER_ARRAY * self.multipliers as f64
+                / paper::MULTIPLIERS as f64,
+            merge_tree: paper::MERGE_TREE * tree_units(self.tree_layers, self.merger_width)
+                / tree_units(paper::TREE_LAYERS, 16),
+            partial_writer: paper::PARTIAL_WRITER * self.writer_elements as f64
+                / paper::WRITER_ELEMENTS as f64,
+        }
+    }
+
+    /// The paper's total (Table II): 28.49 mm².
+    pub fn paper_total_mm2() -> f64 {
+        28.49
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reproduces_paper_figure_13a() {
+        let b = AreaModel::default().estimate();
+        assert!((b.column_fetcher - 2.64).abs() < 1e-9);
+        assert!((b.row_prefetcher - 5.8).abs() < 1e-9);
+        assert!((b.multiplier_array - 0.45).abs() < 1e-9);
+        assert!((b.merge_tree - 17.27).abs() < 1e-9);
+        assert!((b.partial_writer - 2.34).abs() < 1e-9);
+        assert!((b.total() - AreaModel::paper_total_mm2()).abs() < 0.1);
+    }
+
+    #[test]
+    fn merge_tree_dominates() {
+        let b = AreaModel::default().estimate();
+        assert!(b.merge_tree / b.total() > 0.5, "Figure 13a: merge tree is ~60%");
+    }
+
+    #[test]
+    fn area_scales_with_resources() {
+        let small = AreaModel { tree_layers: 3, ..Default::default() }.estimate();
+        let big = AreaModel { tree_layers: 7, ..Default::default() }.estimate();
+        assert!(small.merge_tree < big.merge_tree);
+        let small_buf = AreaModel { buffer_bytes: 1024 * 24 * 12, ..Default::default() }.estimate();
+        assert!(small_buf.row_prefetcher < 5.8 / 1.9);
+    }
+
+    #[test]
+    fn hierarchical_comparator_count_formula() {
+        // n=16: top = 16^(2/3) ~ 6.35 -> 6, low = 16^(1/3) ~ 2.52 -> 3
+        // (2*6-1)*9 + 36 = 135
+        assert_eq!(hierarchical_comparators(16), 135);
+        // Far fewer than the flat 16x16 = 256 array.
+        assert!(hierarchical_comparators(16) < 256);
+        assert_eq!(hierarchical_comparators(1), 1);
+    }
+
+    #[test]
+    fn comparator_growth_is_subquadratic() {
+        let n64 = hierarchical_comparators(64) as f64;
+        let n16 = hierarchical_comparators(16) as f64;
+        // Quadrupling n should multiply comparators by ~4^(4/3) ~ 6.35,
+        // well under the flat-array factor of 16.
+        let growth = n64 / n16;
+        assert!(growth < 10.0, "growth {growth}");
+    }
+}

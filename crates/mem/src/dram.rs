@@ -1,0 +1,163 @@
+//! HBM main-memory model.
+//!
+//! Table I: "16×64-bit HBM channels, each channel provides 8 GB/s
+//! bandwidth" for 128 GB/s aggregate, with the accelerator core running at
+//! 1 GHz. At that clock one cycle moves at most 128 bytes across all
+//! channels. The model is a bandwidth token bucket plus a fixed access
+//! latency; the paper hides latency with the row prefetcher and multiple
+//! per-channel data fetchers, so steady-state throughput is what matters.
+
+use crate::traffic::{TrafficCategory, TrafficCounter};
+use serde::{Deserialize, Serialize};
+
+/// HBM geometry and timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Number of independent channels (Table I: 16).
+    pub channels: usize,
+    /// Bandwidth per channel in bytes per core cycle (8 GB/s at 1 GHz = 8).
+    pub bytes_per_cycle_per_channel: f64,
+    /// Access latency in core cycles for the first beat of a request.
+    /// HBM2 tCL+tRCD is on the order of 40–60 ns; we use 64 cycles.
+    pub access_latency: u64,
+    /// Core clock frequency in Hz (1 GHz), used to convert cycles to time.
+    pub clock_hz: f64,
+}
+
+impl Default for HbmConfig {
+    fn default() -> Self {
+        HbmConfig {
+            channels: 16,
+            bytes_per_cycle_per_channel: 8.0,
+            access_latency: 64,
+            clock_hz: 1e9,
+        }
+    }
+}
+
+impl HbmConfig {
+    /// Aggregate bandwidth in bytes per core cycle (128 for the default).
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.channels as f64 * self.bytes_per_cycle_per_channel
+    }
+
+    /// Aggregate bandwidth in GB/s.
+    pub fn bandwidth_gbs(&self) -> f64 {
+        self.bytes_per_cycle() * self.clock_hz / 1e9
+    }
+
+    /// Minimum number of cycles needed to move `bytes` at full bandwidth
+    /// (no latency term — use [`HbmConfig::cycles_with_latency`] for
+    /// isolated requests).
+    pub fn streaming_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle()).ceil() as u64
+    }
+
+    /// Cycles for an isolated request of `bytes`: access latency plus the
+    /// streaming time.
+    pub fn cycles_with_latency(&self, bytes: u64) -> u64 {
+        self.access_latency + self.streaming_cycles(bytes)
+    }
+}
+
+/// A stateful HBM instance: accumulates per-category traffic and busy
+/// cycles so utilization can be reported (Table II: SpArch reaches 68.6 %
+/// bandwidth utilization vs OuterSPACE's 48.3 %).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Hbm {
+    /// Geometry/timing parameters.
+    pub config: HbmConfig,
+    traffic: TrafficCounter,
+    busy_cycles: u64,
+}
+
+impl Hbm {
+    /// Creates an HBM with the given config.
+    pub fn new(config: HbmConfig) -> Self {
+        Hbm { config, traffic: TrafficCounter::new(), busy_cycles: 0 }
+    }
+
+    /// Records a transfer of `bytes` for `category` and returns the cycles
+    /// the bus is busy streaming it.
+    pub fn transfer(&mut self, category: TrafficCategory, bytes: u64) -> u64 {
+        self.traffic.record(category, bytes);
+        let cycles = self.config.streaming_cycles(bytes);
+        self.busy_cycles += cycles;
+        cycles
+    }
+
+    /// The per-category traffic accumulated so far.
+    pub fn traffic(&self) -> &TrafficCounter {
+        &self.traffic
+    }
+
+    /// Cycles the bus has spent busy.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Fraction of `elapsed_cycles` during which the bus was moving data.
+    /// This is the "Bandwidth Utilization" row of Table II.
+    pub fn utilization(&self, elapsed_cycles: u64) -> f64 {
+        if elapsed_cycles == 0 {
+            0.0
+        } else {
+            (self.busy_cycles as f64 / elapsed_cycles as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_i() {
+        let c = HbmConfig::default();
+        assert_eq!(c.channels, 16);
+        assert!((c.bandwidth_gbs() - 128.0).abs() < 1e-9);
+        assert!((c.bytes_per_cycle() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_cycles_rounds_up() {
+        let c = HbmConfig::default();
+        assert_eq!(c.streaming_cycles(0), 0);
+        assert_eq!(c.streaming_cycles(1), 1);
+        assert_eq!(c.streaming_cycles(128), 1);
+        assert_eq!(c.streaming_cycles(129), 2);
+        assert_eq!(c.streaming_cycles(1280), 10);
+    }
+
+    #[test]
+    fn latency_added_once_per_request() {
+        let c = HbmConfig::default();
+        assert_eq!(c.cycles_with_latency(128), 64 + 1);
+    }
+
+    #[test]
+    fn transfer_accumulates_traffic_and_busy_time() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        let cycles = hbm.transfer(TrafficCategory::MatA, 1280);
+        assert_eq!(cycles, 10);
+        assert_eq!(hbm.traffic().bytes(TrafficCategory::MatA), 1280);
+        assert_eq!(hbm.busy_cycles(), 10);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_elapsed() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        hbm.transfer(TrafficCategory::FinalWrite, 128 * 50);
+        assert!((hbm.utilization(100) - 0.5).abs() < 1e-12);
+        assert_eq!(hbm.utilization(0), 0.0);
+        // Clamped at 1 even if accounting overlaps.
+        assert_eq!(hbm.utilization(10), 1.0);
+    }
+
+    #[test]
+    fn scaled_config() {
+        // Half the channels, half the bandwidth.
+        let c = HbmConfig { channels: 8, ..HbmConfig::default() };
+        assert!((c.bandwidth_gbs() - 64.0).abs() < 1e-9);
+    }
+}

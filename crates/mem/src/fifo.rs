@@ -1,0 +1,209 @@
+//! Bounded FIFO with occupancy statistics.
+//!
+//! FIFOs appear throughout the paper's datapath: every merge-tree node is
+//! "a FIFO on the hardware" (§II-A3), the look-ahead FIFO feeds the
+//! distance-list builder (8192 elements, Table I), and the partial-matrix
+//! writer buffers 1024 elements before DRAM. The simulator uses this type
+//! for all of them; the recorded statistics feed the SRAM energy model.
+
+/// A bounded FIFO queue instrumented with push/pop counts and a high-water
+/// mark.
+///
+/// # Example
+///
+/// ```
+/// use sparch_mem::Fifo;
+///
+/// let mut f: Fifo<u32> = Fifo::new(2);
+/// assert!(f.push(1).is_ok());
+/// assert!(f.push(2).is_ok());
+/// assert!(f.push(3).is_err()); // full: the value comes back
+/// assert_eq!(f.pop(), Some(1));
+/// assert_eq!(f.high_water_mark(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    queue: std::collections::VecDeque<T>,
+    capacity: usize,
+    pushes: u64,
+    pops: u64,
+    rejected: u64,
+    high_water: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Fifo {
+            queue: std::collections::VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            pushes: 0,
+            pops: 0,
+            rejected: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Maximum number of items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the FIFO holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Remaining slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+
+    /// Pushes an item, returning it back as `Err` if the FIFO is full
+    /// (hardware backpressure — the producer must stall).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.queue.push_back(item);
+        self.pushes += 1;
+        self.high_water = self.high_water.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Pops the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.queue.pop_front();
+        if item.is_some() {
+            self.pops += 1;
+        }
+        item
+    }
+
+    /// Peeks at the oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Drains up to `n` items from the front.
+    pub fn pop_n(&mut self, n: usize) -> Vec<T> {
+        let take = n.min(self.queue.len());
+        self.pops += take as u64;
+        self.queue.drain(..take).collect()
+    }
+
+    /// Total successful pushes (feeds the SRAM write-energy model).
+    pub fn total_pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total successful pops (feeds the SRAM read-energy model).
+    pub fn total_pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Pushes rejected due to a full queue (backpressure events).
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
+    }
+}
+
+impl<T> Extend<T> for Fifo<T> {
+    /// Pushes items until the FIFO fills; excess items are dropped and
+    /// counted as rejected.
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            let _ = self.push(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_fifo() {
+        let mut f = Fifo::new(4);
+        f.push(10).unwrap();
+        f.push(20).unwrap();
+        f.push(30).unwrap();
+        assert_eq!(f.pop(), Some(10));
+        assert_eq!(f.pop(), Some(20));
+        assert_eq!(f.peek(), Some(&30));
+        assert_eq!(f.pop(), Some(30));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_and_stats() {
+        let mut f = Fifo::new(2);
+        assert!(f.push(1).is_ok());
+        assert!(f.push(2).is_ok());
+        assert_eq!(f.push(3), Err(3));
+        assert_eq!(f.total_rejected(), 1);
+        assert_eq!(f.total_pushes(), 2);
+        assert!(f.is_full());
+        f.pop();
+        assert!(!f.is_full());
+        assert_eq!(f.free(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = Fifo::new(10);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.high_water_mark(), 2);
+    }
+
+    #[test]
+    fn pop_n_drains_in_order() {
+        let mut f = Fifo::new(8);
+        f.extend(0..5);
+        assert_eq!(f.pop_n(3), vec![0, 1, 2]);
+        assert_eq!(f.pop_n(10), vec![3, 4]);
+        assert_eq!(f.total_pops(), 5);
+    }
+
+    #[test]
+    fn extend_drops_overflow() {
+        let mut f = Fifo::new(3);
+        f.extend(0..10);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.total_rejected(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

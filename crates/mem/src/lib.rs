@@ -1,0 +1,37 @@
+//! Memory-hierarchy and cost models for the SpArch reproduction.
+//!
+//! The paper's evaluation (§III-A) models "all the logic on the data path
+//! ... FIFOs, row prefetcher, and DRAM", with HBM bandwidth/latency, CACTI
+//! SRAM estimates and published DRAM energy constants. This crate contains
+//! those substrates:
+//!
+//! * [`traffic`] — DRAM byte accounting by category; the quantity every
+//!   figure in the paper reports,
+//! * [`dram`] — the 16-channel HBM timing model (8 GB/s per channel),
+//! * [`fifo`] — bounded FIFOs with occupancy statistics (merge-tree nodes,
+//!   look-ahead FIFO, partial-matrix writer),
+//! * [`energy`] — per-event energy constants reproducing Table III and
+//!   Figure 13(b),
+//! * [`area`] — per-module area model reproducing Figure 13(a) and
+//!   Table II.
+
+pub mod area;
+pub mod dram;
+pub mod energy;
+pub mod fifo;
+pub mod traffic;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use dram::{Hbm, HbmConfig};
+pub use energy::{ActivityCounts, EnergyBreakdown, EnergyModel};
+pub use fifo::Fifo;
+pub use traffic::{Direction, TrafficCategory, TrafficCounter};
+
+/// Bytes per matrix element in the accelerator's DRAM/SRAM layout:
+/// a packed 4-byte index plus the 8-byte double value — the paper sizes
+/// the prefetch buffer at "12 bytes per element" (Table I).
+pub const BYTES_PER_ELEMENT: u64 = 12;
+
+/// Bytes per element while streaming through the merge tree, where the
+/// full 64-bit (row, col) coordinate travels with the 64-bit value.
+pub const BYTES_PER_STREAM_ELEMENT: u64 = 16;

@@ -1,0 +1,226 @@
+//! DRAM traffic accounting.
+//!
+//! Every optimization in the paper is justified by its effect on one
+//! number: bytes moved to/from DRAM ("SpArch reduces the total DRAM access
+//! by 2.8× over previous state-of-the-art"). The simulator therefore
+//! attributes every byte to a category, so ablations can show which stream
+//! each technique shrinks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which logical stream a DRAM access belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficCategory {
+    /// Reads of the left (condensed) operand matrix A.
+    MatA,
+    /// Reads of the right operand matrix B (through the row prefetcher).
+    MatB,
+    /// Writes of partially merged results that spill to DRAM.
+    PartialWrite,
+    /// Re-reads of previously spilled partially merged results.
+    PartialRead,
+    /// Writes of the final result matrix C.
+    FinalWrite,
+}
+
+impl TrafficCategory {
+    /// All categories, in report order.
+    pub const ALL: [TrafficCategory; 5] = [
+        TrafficCategory::MatA,
+        TrafficCategory::MatB,
+        TrafficCategory::PartialWrite,
+        TrafficCategory::PartialRead,
+        TrafficCategory::FinalWrite,
+    ];
+}
+
+impl fmt::Display for TrafficCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficCategory::MatA => "mat_a_read",
+            TrafficCategory::MatB => "mat_b_read",
+            TrafficCategory::PartialWrite => "partial_write",
+            TrafficCategory::PartialRead => "partial_read",
+            TrafficCategory::FinalWrite => "final_write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// DRAM → chip.
+    Read,
+    /// Chip → DRAM.
+    Write,
+}
+
+/// Byte counters per [`TrafficCategory`].
+///
+/// # Example
+///
+/// ```
+/// use sparch_mem::{TrafficCounter, TrafficCategory};
+///
+/// let mut t = TrafficCounter::default();
+/// t.record(TrafficCategory::MatA, 120);
+/// t.record(TrafficCategory::PartialWrite, 64);
+/// t.record(TrafficCategory::PartialRead, 64);
+/// assert_eq!(t.total_bytes(), 248);
+/// assert_eq!(t.read_bytes(), 184);
+/// assert_eq!(t.write_bytes(), 64);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficCounter {
+    mat_a: u64,
+    mat_b: u64,
+    partial_write: u64,
+    partial_read: u64,
+    final_write: u64,
+}
+
+impl TrafficCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `bytes` to `category`.
+    pub fn record(&mut self, category: TrafficCategory, bytes: u64) {
+        *self.slot_mut(category) += bytes;
+    }
+
+    /// Bytes recorded for `category`.
+    pub fn bytes(&self, category: TrafficCategory) -> u64 {
+        match category {
+            TrafficCategory::MatA => self.mat_a,
+            TrafficCategory::MatB => self.mat_b,
+            TrafficCategory::PartialWrite => self.partial_write,
+            TrafficCategory::PartialRead => self.partial_read,
+            TrafficCategory::FinalWrite => self.final_write,
+        }
+    }
+
+    fn slot_mut(&mut self, category: TrafficCategory) -> &mut u64 {
+        match category {
+            TrafficCategory::MatA => &mut self.mat_a,
+            TrafficCategory::MatB => &mut self.mat_b,
+            TrafficCategory::PartialWrite => &mut self.partial_write,
+            TrafficCategory::PartialRead => &mut self.partial_read,
+            TrafficCategory::FinalWrite => &mut self.final_write,
+        }
+    }
+
+    /// The direction of each category's stream.
+    pub fn direction(category: TrafficCategory) -> Direction {
+        match category {
+            TrafficCategory::MatA | TrafficCategory::MatB | TrafficCategory::PartialRead => {
+                Direction::Read
+            }
+            TrafficCategory::PartialWrite | TrafficCategory::FinalWrite => Direction::Write,
+        }
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        TrafficCategory::ALL.iter().map(|&c| self.bytes(c)).sum()
+    }
+
+    /// Total bytes read from DRAM.
+    pub fn read_bytes(&self) -> u64 {
+        self.mat_a + self.mat_b + self.partial_read
+    }
+
+    /// Total bytes written to DRAM.
+    pub fn write_bytes(&self) -> u64 {
+        self.partial_write + self.final_write
+    }
+
+    /// Bytes spent on spilled partial results (the stream SpArch's three
+    /// output-side techniques attack).
+    pub fn partial_bytes(&self) -> u64 {
+        self.partial_write + self.partial_read
+    }
+
+    /// Total traffic in megabytes (10^6 bytes, as in the paper's Figure 17
+    /// "DRAM Access (MB)" axes).
+    pub fn total_mb(&self) -> f64 {
+        self.total_bytes() as f64 / 1e6
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &TrafficCounter) {
+        for c in TrafficCategory::ALL {
+            self.record(c, other.bytes(c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_split_by_direction() {
+        let mut t = TrafficCounter::new();
+        t.record(TrafficCategory::MatA, 10);
+        t.record(TrafficCategory::MatB, 20);
+        t.record(TrafficCategory::PartialWrite, 30);
+        t.record(TrafficCategory::PartialRead, 40);
+        t.record(TrafficCategory::FinalWrite, 50);
+        assert_eq!(t.total_bytes(), 150);
+        assert_eq!(t.read_bytes(), 70);
+        assert_eq!(t.write_bytes(), 80);
+        assert_eq!(t.partial_bytes(), 70);
+    }
+
+    #[test]
+    fn directions_are_correct() {
+        assert_eq!(TrafficCounter::direction(TrafficCategory::MatA), Direction::Read);
+        assert_eq!(
+            TrafficCounter::direction(TrafficCategory::PartialWrite),
+            Direction::Write
+        );
+        assert_eq!(TrafficCounter::direction(TrafficCategory::PartialRead), Direction::Read);
+        assert_eq!(TrafficCounter::direction(TrafficCategory::FinalWrite), Direction::Write);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TrafficCounter::new();
+        a.record(TrafficCategory::MatA, 5);
+        let mut b = TrafficCounter::new();
+        b.record(TrafficCategory::MatA, 7);
+        b.record(TrafficCategory::FinalWrite, 1);
+        a.merge(&b);
+        assert_eq!(a.bytes(TrafficCategory::MatA), 12);
+        assert_eq!(a.bytes(TrafficCategory::FinalWrite), 1);
+    }
+
+    #[test]
+    fn mb_conversion() {
+        let mut t = TrafficCounter::new();
+        t.record(TrafficCategory::FinalWrite, 2_500_000);
+        assert!((t.total_mb() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = TrafficCounter::new();
+        t.record(TrafficCategory::MatB, 99);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TrafficCounter = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        let names: Vec<String> = TrafficCategory::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            names,
+            ["mat_a_read", "mat_b_read", "partial_write", "partial_read", "final_write"]
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Gustavson's row-wise SpGEMM (the algorithm behind Intel MKL's
+//! `mkl_sparse_spmm`, used as the paper's CPU baseline).
+//!
+//! For each row `i` of `A`, accumulate `Σ_k a_ik * B[k, :]` into a sparse
+//! accumulator (SPA): a dense value array plus an occupancy list, giving
+//! O(flops) time with good constant factors on CPUs.
+
+use crate::{Csr, CsrBuilder, Index};
+
+/// Multiplies `a * b` with Gustavson's row-wise algorithm.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gustavson(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut out = CsrBuilder::with_capacity(a.rows(), b.cols(), a.nnz().max(b.nnz()));
+    // Sparse accumulator: dense values + "which row last touched this slot"
+    // marker, avoiding an O(cols) clear per row.
+    let mut values = vec![0.0f64; b.cols()];
+    let mut marker = vec![usize::MAX; b.cols()];
+    let mut occupied: Vec<Index> = Vec::new();
+
+    for i in 0..a.rows() {
+        occupied.clear();
+        let (ka, va) = a.row(i);
+        for (&k, &av) in ka.iter().zip(va) {
+            let (jb, vb) = b.row(k as usize);
+            for (&j, &bv) in jb.iter().zip(vb) {
+                let ju = j as usize;
+                if marker[ju] != i {
+                    marker[ju] = i;
+                    values[ju] = av * bv;
+                    occupied.push(j);
+                } else {
+                    values[ju] += av * bv;
+                }
+            }
+        }
+        occupied.sort_unstable();
+        for &j in &occupied {
+            out.push(i as Index, j, values[j as usize]);
+        }
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, Dense};
+
+    #[test]
+    fn small_known_product() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[0.0, 3.0]]).to_csr();
+        let b = Dense::from_rows(&[&[0.0, 4.0], &[5.0, 0.0]]).to_csr();
+        let c = gustavson(&a, &b);
+        assert_eq!(c.to_dense(), Dense::from_rows(&[&[10.0, 4.0], &[15.0, 0.0]]));
+    }
+
+    #[test]
+    fn matches_oracle_on_random() {
+        for seed in 0..5 {
+            let a = gen::uniform_random(17, 23, 80, seed);
+            let b = gen::uniform_random(23, 11, 70, seed + 100);
+            let c = gustavson(&a, &b);
+            assert!(c.to_dense().max_abs_diff(&a.to_dense().matmul(&b.to_dense())) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn accumulates_duplicates_within_row() {
+        // Both k-contributions hit column 0: [1 1] * [[2],[3]] = [5]
+        let a = Dense::from_rows(&[&[1.0, 1.0]]).to_csr();
+        let b = Dense::from_rows(&[&[2.0], &[3.0]]).to_csr();
+        let c = gustavson(&a, &b);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let a = Csr::zero(2, 3);
+        let b = Csr::zero(2, 2);
+        let _ = gustavson(&a, &b);
+    }
+}

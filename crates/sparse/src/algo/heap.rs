@@ -1,0 +1,98 @@
+//! Heap-based SpGEMM (HeapSpGEMM, Azad et al., ref. 41): each output row is the
+//! k-way merge of the contributing scaled rows of `B`, performed with a
+//! binary min-heap keyed on column index.
+//!
+//! "Since the heap is hard to parallelize, the parallelism only comes from
+//! processing multiple rows simultaneously, which would suffer from the
+//! load-balance problem" (§IV) — the structural reason this class loses on
+//! power-law matrices, which our simulation of merge-based SpArch avoids.
+
+use crate::{Csr, CsrBuilder, Index};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cursor into one scaled row of `B` participating in the k-way merge.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Cursor {
+    /// Current column (heap key).
+    col: Index,
+    /// Which contributing row of `B` this cursor walks.
+    src: usize,
+    /// Position within that row.
+    pos: usize,
+}
+
+/// Multiplies `a * b` with per-row heap-based k-way merging.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn heap_spgemm(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut out = CsrBuilder::with_capacity(a.rows(), b.cols(), a.nnz().max(b.nnz()));
+    let mut heap: BinaryHeap<Reverse<Cursor>> = BinaryHeap::new();
+
+    for i in 0..a.rows() {
+        let (ka, va) = a.row(i);
+        heap.clear();
+        for (src, &k) in ka.iter().enumerate() {
+            let (jb, _) = b.row(k as usize);
+            if !jb.is_empty() {
+                heap.push(Reverse(Cursor { col: jb[0], src, pos: 0 }));
+            }
+        }
+        let mut current: Option<(Index, f64)> = None;
+        while let Some(Reverse(Cursor { col, src, pos })) = heap.pop() {
+            let k = ka[src] as usize;
+            let (jb, vb) = b.row(k);
+            let contribution = va[src] * vb[pos];
+            match current {
+                Some((c, ref mut acc)) if c == col => *acc += contribution,
+                Some((c, acc)) => {
+                    out.push(i as Index, c, acc);
+                    current = Some((col, contribution));
+                    debug_assert!(c < col, "heap must pop in column order");
+                }
+                None => current = Some((col, contribution)),
+            }
+            if pos + 1 < jb.len() {
+                heap.push(Reverse(Cursor { col: jb[pos + 1], src, pos: pos + 1 }));
+            }
+        }
+        if let Some((c, acc)) = current {
+            out.push(i as Index, c, acc);
+        }
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algo::gustavson, gen, Dense};
+
+    #[test]
+    fn matches_gustavson_on_random() {
+        for seed in 0..5 {
+            let a = gen::uniform_random(18, 22, 90, seed);
+            let b = gen::uniform_random(22, 13, 80, seed + 30);
+            assert!(heap_spgemm(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9));
+        }
+    }
+
+    #[test]
+    fn merges_overlapping_rows() {
+        // Row 0 of A pulls both rows of B, which share column 1.
+        let a = Dense::from_rows(&[&[2.0, 3.0]]).to_csr();
+        let b = Dense::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 1.0, 1.0]]).to_csr();
+        let c = heap_spgemm(&a, &b);
+        assert_eq!(c.to_dense(), Dense::from_rows(&[&[2.0, 5.0, 3.0]]));
+    }
+
+    #[test]
+    fn single_contributor_rows() {
+        let a = Csr::identity(6);
+        let b = gen::uniform_random(6, 6, 12, 77);
+        assert!(heap_spgemm(&a, &b).approx_eq(&b, 1e-12));
+    }
+}

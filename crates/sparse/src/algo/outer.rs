@@ -1,0 +1,164 @@
+//! Outer-product SpGEMM — the OuterSPACE dataflow (Figure 1 middle) and
+//! SpArch's starting point.
+//!
+//! `A * B = Σ_k (column k of A) ⊗ (row k of B)`: each index `k` yields a
+//! rank-1 *partial-product matrix*; all partial matrices must then be
+//! merged. Input reuse is perfect (each operand element read once in the
+//! multiply phase), output reuse is poor (a "considerable amount of partial
+//! matrices" must round-trip through memory before merging — exactly the
+//! DRAM traffic SpArch's on-chip merge tree eliminates).
+//!
+//! [`outer_product_partials`] exposes the intermediate partial matrices so
+//! the accelerator models in `sparch-core`/`sparch-baselines` can account
+//! their sizes; [`outer_product`] pairwise-merges them to the final result.
+
+use crate::{Coo, Csc, Csr, Triple};
+
+/// Computes the partial-product matrices of `a * b`, one per index `k`
+/// whose column of `A` and row of `B` are both non-empty.
+///
+/// Each partial matrix is a COO triple list sorted by `(row, col)` — the
+/// exact stream format the paper's merge tree consumes.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn outer_product_partials(a: &Csr, b: &Csr) -> Vec<Vec<Triple>> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let ac = Csc::from_csr(a);
+    let mut partials = Vec::new();
+    for k in 0..a.cols() {
+        let (ra, va) = ac.col(k);
+        if ra.is_empty() || b.row_nnz(k) == 0 {
+            continue;
+        }
+        let (cb, vb) = b.row(k);
+        let mut partial = Vec::with_capacity(ra.len() * cb.len());
+        // Column of A is sorted by row; row of B is sorted by col; the
+        // nested loop therefore emits (row, col)-sorted triples directly.
+        for (&r, &av) in ra.iter().zip(va) {
+            for (&c, &bv) in cb.iter().zip(vb) {
+                partial.push((r, c, av * bv));
+            }
+        }
+        partials.push(partial);
+    }
+    partials
+}
+
+/// Merges two `(row, col)`-sorted COO streams, folding equal coordinates.
+/// This is the software analogue of the paper's merger + adder stage.
+pub(crate) fn merge_two(left: &[Triple], right: &[Triple]) -> Vec<Triple> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < left.len() || q < right.len() {
+        let take_left = match (left.get(p), right.get(q)) {
+            (Some(&(lr, lc, _)), Some(&(rr, rc, _))) => (lr, lc) <= (rr, rc),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!(),
+        };
+        let (r, c, v) = if take_left {
+            let t = left[p];
+            p += 1;
+            t
+        } else {
+            let t = right[q];
+            q += 1;
+            t
+        };
+        match out.last_mut() {
+            Some(&mut (or, oc, ref mut ov)) if or == r && oc == c => *ov += v,
+            _ => out.push((r, c, v)),
+        }
+    }
+    out
+}
+
+/// Multiplies `a * b` with the outer-product dataflow: expand partial
+/// matrices, then merge them pairwise (balanced binary reduction, like a
+/// software merge tree).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn outer_product(a: &Csr, b: &Csr) -> Csr {
+    let mut layer: Vec<Vec<Triple>> = outer_product_partials(a, b);
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(first) = it.next() {
+            match it.next() {
+                Some(second) => next.push(merge_two(&first, &second)),
+                None => next.push(first),
+            }
+        }
+        layer = next;
+    }
+    let entries = layer.pop().unwrap_or_default();
+    Coo::from_entries(a.rows(), b.cols(), entries).to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algo::gustavson, gen, Dense};
+
+    #[test]
+    fn partials_are_sorted_rank1() {
+        let a = gen::uniform_random(10, 8, 30, 1);
+        let b = gen::uniform_random(8, 10, 30, 2);
+        for partial in outer_product_partials(&a, &b) {
+            assert!(!partial.is_empty());
+            for w in partial.windows(2) {
+                assert!((w[0].0, w[0].1) < (w[1].0, w[1].1), "partial not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_count_equals_occupied_pairs() {
+        let a = gen::uniform_random(20, 15, 40, 3);
+        let b = gen::uniform_random(15, 20, 40, 4);
+        let ac = Csc::from_csr(&a);
+        let expected = (0..15)
+            .filter(|&k| ac.col_nnz(k) > 0 && b.row_nnz(k) > 0)
+            .count();
+        assert_eq!(outer_product_partials(&a, &b).len(), expected);
+    }
+
+    #[test]
+    fn matches_gustavson_on_random() {
+        for seed in 0..4 {
+            let a = gen::uniform_random(14, 17, 55, seed);
+            let b = gen::uniform_random(17, 13, 45, seed + 60);
+            assert!(outer_product(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9));
+        }
+    }
+
+    #[test]
+    fn merge_two_folds_shared_coordinates() {
+        let left = vec![(0u32, 0u32, 1.0), (0, 2, 2.0)];
+        let right = vec![(0u32, 0u32, 3.0), (1, 1, 4.0)];
+        let merged = merge_two(&left, &right);
+        assert_eq!(merged, vec![(0, 0, 4.0), (0, 2, 2.0), (1, 1, 4.0)]);
+    }
+
+    #[test]
+    fn merge_two_empty_sides() {
+        let some = vec![(0u32, 1u32, 1.0)];
+        assert_eq!(merge_two(&some, &[]), some);
+        assert_eq!(merge_two(&[], &some), some);
+        assert!(merge_two(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn rank1_product() {
+        // Column [1, 2]^T times row [3, 4]: classic rank-1 expansion.
+        let a = Dense::from_rows(&[&[1.0], &[2.0]]).to_csr();
+        let b = Dense::from_rows(&[&[3.0, 4.0]]).to_csr();
+        let partials = outer_product_partials(&a, &b);
+        assert_eq!(partials.len(), 1);
+        assert_eq!(partials[0], vec![(0, 0, 3.0), (0, 1, 4.0), (1, 0, 6.0), (1, 1, 8.0)]);
+    }
+}

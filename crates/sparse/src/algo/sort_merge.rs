@@ -1,0 +1,91 @@
+//! Expansion–Sorting–Compression (ESC) SpGEMM — the CUSP strategy:
+//! "CUSP also computes matrix rows in parallel and then sorts and merges
+//! different rows" (§III-A), and "CUSP uses a sorting algorithm which
+//! suffers from higher complexity (sorting network) and excessive DRAM
+//! access if on-chip resources are limited" (§IV).
+//!
+//! The algorithm materializes every scalar product as a COO triple
+//! (*expansion*), sorts the whole triple list (*sorting*), and folds
+//! duplicate coordinates (*compression*). Its cost is dominated by the
+//! O(M log M) sort over M = `multiply_flops` intermediate products — the
+//! "poor output locality" extreme that SpArch's streaming merger replaces.
+
+use crate::{Coo, Csr, Index};
+
+/// Multiplies `a * b` by expand–sort–compress.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn sort_merge(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut expanded: Vec<(Index, Index, f64)> = Vec::new();
+    for i in 0..a.rows() {
+        let (ka, va) = a.row(i);
+        for (&k, &av) in ka.iter().zip(va) {
+            let (jb, vb) = b.row(k as usize);
+            for (&j, &bv) in jb.iter().zip(vb) {
+                expanded.push((i as Index, j, av * bv));
+            }
+        }
+    }
+    let mut coo = Coo::from_entries(a.rows(), b.cols(), expanded);
+    coo.sort_dedup();
+    Csr::try_new(
+        a.rows(),
+        b.cols(),
+        row_ptr_of(&coo, a.rows()),
+        coo.entries().iter().map(|e| e.1).collect(),
+        coo.entries().iter().map(|e| e.2).collect(),
+    )
+    .expect("sorted deduplicated COO is always valid CSR")
+}
+
+fn row_ptr_of(coo: &Coo, rows: usize) -> Vec<usize> {
+    let mut ptr = vec![0usize; rows + 1];
+    for &(r, _, _) in coo.entries() {
+        ptr[r as usize + 1] += 1;
+    }
+    for i in 0..rows {
+        ptr[i + 1] += ptr[i];
+    }
+    ptr
+}
+
+/// Number of intermediate triples the expansion phase materializes — equal
+/// to [`crate::algo::multiply_flops`], exposed here because it is the
+/// quantity that makes ESC memory-hungry.
+pub fn expansion_size(a: &Csr, b: &Csr) -> u64 {
+    crate::algo::multiply_flops(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algo::gustavson, gen, Dense};
+
+    #[test]
+    fn matches_gustavson_on_random() {
+        for seed in 0..5 {
+            let a = gen::uniform_random(15, 20, 70, seed);
+            let b = gen::uniform_random(20, 12, 60, seed + 40);
+            assert!(sort_merge(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9));
+        }
+    }
+
+    #[test]
+    fn compression_folds_duplicates() {
+        let a = Dense::from_rows(&[&[1.0, 1.0, 1.0]]).to_csr();
+        let b = Dense::from_rows(&[&[1.0], &[2.0], &[3.0]]).to_csr();
+        let c = sort_merge(&a, &b);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), Some(6.0));
+    }
+
+    #[test]
+    fn expansion_size_equals_flops() {
+        let a = gen::uniform_random(10, 10, 30, 1);
+        let b = gen::uniform_random(10, 10, 30, 2);
+        assert_eq!(expansion_size(&a, &b), crate::algo::multiply_flops(&a, &b));
+    }
+}

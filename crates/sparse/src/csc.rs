@@ -1,0 +1,152 @@
+use crate::{Csr, Index, Value};
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in Compressed Sparse Column (CSC) format.
+///
+/// The *un-condensed* outer-product dataflow (OuterSPACE, and SpArch's own
+/// ablation step "change back to CSC/CSR matrix format", §III-C) reads the
+/// left operand by column; CSC makes that access pattern explicit. SpArch
+/// proper replaces this with the condensed view of CSR.
+///
+/// Invariants mirror [`Csr`] with rows and columns exchanged.
+///
+/// # Example
+///
+/// ```
+/// use sparch_sparse::{Csr, Csc};
+///
+/// let a = Csr::identity(3);
+/// let c = a.to_csc();
+/// assert_eq!(c.col_nnz(1), 1);
+/// assert_eq!(c.col(1), (&[1u32][..], &[1.0][..]));
+/// assert_eq!(c.to_csr(), a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csc {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<Index>,
+    values: Vec<Value>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix from a CSR matrix.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let t = csr.transpose(); // transpose's rows are our columns
+        Csc {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            col_ptr: t.row_ptr().to_vec(),
+            row_idx: t.col_indices().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Number of non-zeros stored in column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// The row indices and values of column `c` as parallel slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> (&[Index], &[Value]) {
+        let (lo, hi) = (self.col_ptr[c], self.col_ptr[c + 1]);
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The column pointer array (`cols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Number of columns that contain at least one non-zero. In the
+    /// un-condensed outer product this is the number of partial-product
+    /// matrices the multiply phase emits.
+    pub fn occupied_cols(&self) -> usize {
+        (0..self.cols).filter(|&c| self.col_nnz(c) > 0).count()
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = crate::Coo::new(self.rows, self.cols);
+        for c in 0..self.cols {
+            let (rows, vals) = self.col(c);
+            for (&r, &v) in rows.iter().zip(vals) {
+                coo.push(r, c as Index, v);
+            }
+        }
+        coo.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrBuilder;
+
+    fn sample() -> Csr {
+        // [[1, 0, 2], [0, 0, 0], [0, 3, 4]]
+        let mut b = CsrBuilder::new(3, 3);
+        b.push(0, 0, 1.0);
+        b.push(0, 2, 2.0);
+        b.push(2, 1, 3.0);
+        b.push(2, 2, 4.0);
+        b.finish()
+    }
+
+    #[test]
+    fn from_csr_columns_are_sorted() {
+        let c = sample().to_csc();
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.col(0), (&[0u32][..], &[1.0][..]));
+        assert_eq!(c.col(1), (&[2u32][..], &[3.0][..]));
+        assert_eq!(c.col(2), (&[0u32, 2][..], &[2.0, 4.0][..]));
+    }
+
+    #[test]
+    fn round_trip_csr() {
+        let m = sample();
+        assert_eq!(m.to_csc().to_csr(), m);
+    }
+
+    #[test]
+    fn occupied_cols_counts_partial_matrices() {
+        let mut b = CsrBuilder::new(3, 5);
+        b.push(0, 1, 1.0);
+        b.push(1, 1, 2.0);
+        b.push(2, 4, 3.0);
+        let c = b.finish().to_csc();
+        assert_eq!(c.occupied_cols(), 2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let c = Csr::zero(4, 4).to_csc();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.occupied_cols(), 0);
+        assert_eq!(c.col_nnz(3), 0);
+    }
+}

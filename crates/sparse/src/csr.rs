@@ -1,0 +1,526 @@
+use crate::{Coo, Csc, Dense, Index, SparseError, Value};
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in Compressed Sparse Row (CSR) format.
+///
+/// CSR is the storage format SpArch uses for both operands: "We store the
+/// left matrix in CSR format. The elements in CSR directly map to those in
+/// condensed format" and "the right matrix B is stored in CSR format in
+/// HBM" (§II-B, §II-E). The condensed representation of the left matrix is
+/// *a different view of the same CSR data* — see `sparch-core`'s
+/// `condense` module.
+///
+/// # Invariants
+///
+/// * `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`, monotone non-decreasing,
+///   `row_ptr[rows] == col_idx.len() == values.len()`.
+/// * Column indices within each row are strictly increasing.
+///
+/// Constructors enforce these invariants ([`Csr::try_new`]) or establish
+/// them ([`Coo::to_csr`], [`CsrBuilder`]).
+///
+/// # Example
+///
+/// ```
+/// use sparch_sparse::Csr;
+///
+/// // 2x3 matrix [[1, 0, 2], [0, 3, 0]]
+/// let m = Csr::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])?;
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
+/// assert_eq!(m.get(1, 1), Some(3.0));
+/// assert_eq!(m.get(1, 0), None);
+/// # Ok::<(), sparch_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<Index>,
+    values: Vec<Value>,
+}
+
+impl Csr {
+    /// Creates an empty `rows x cols` matrix with no stored entries.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Csr { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as Index).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Creates a CSR matrix from raw parts, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::MalformedPointers`] if the pointer array has the
+    ///   wrong length, does not start at zero, decreases, or disagrees with
+    ///   the index/value array lengths.
+    /// * [`SparseError::UnsortedIndices`] if a row's column indices are not
+    ///   strictly increasing.
+    /// * [`SparseError::IndexOutOfBounds`] if a column index `>= cols`.
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Result<Self, SparseError> {
+        if row_ptr.len() != rows + 1 {
+            return Err(SparseError::MalformedPointers(format!(
+                "row_ptr length {} != rows + 1 = {}",
+                row_ptr.len(),
+                rows + 1
+            )));
+        }
+        if row_ptr.first() != Some(&0) {
+            return Err(SparseError::MalformedPointers("row_ptr[0] != 0".into()));
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::MalformedPointers(format!(
+                "col_idx length {} != values length {}",
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        if *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(SparseError::MalformedPointers(format!(
+                "row_ptr[rows] = {} != nnz = {}",
+                row_ptr.last().unwrap(),
+                col_idx.len()
+            )));
+        }
+        for r in 0..rows {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            if lo > hi {
+                return Err(SparseError::MalformedPointers(format!(
+                    "row_ptr decreases at row {r}"
+                )));
+            }
+            for k in lo..hi {
+                if col_idx[k] as usize >= cols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r as Index,
+                        col: col_idx[k],
+                        rows,
+                        cols,
+                    });
+                }
+                if k > lo && col_idx[k] <= col_idx[k - 1] {
+                    return Err(SparseError::UnsortedIndices { major: r });
+                }
+            }
+        }
+        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Builds from a COO matrix whose entries are already sorted by
+    /// `(row, col)` with no duplicate coordinates.
+    ///
+    /// Most callers should use [`Coo::to_csr`], which canonicalizes first.
+    pub(crate) fn from_sorted_coo(coo: &Coo) -> Self {
+        let rows = coo.rows();
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in coo.entries() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = coo.entries().iter().map(|e| e.1).collect();
+        let values = coo.entries().iter().map(|e| e.2).collect();
+        Csr { rows, cols: coo.cols(), row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Fraction of cells that are stored: `nnz / (rows * cols)`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The row pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array (one entry per non-zero).
+    pub fn col_indices(&self) -> &[Index] {
+        &self.col_idx
+    }
+
+    /// The value array (one entry per non-zero).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of non-zeros stored in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// The column indices and values of row `r` as parallel slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> (&[Index], &[Value]) {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The value at `(r, c)` if stored, else `None`.
+    pub fn get(&self, r: usize, c: usize) -> Option<Value> {
+        if r >= self.rows {
+            return None;
+        }
+        let (cols, vals) = self.row(r);
+        cols.binary_search(&(c as Index)).ok().map(|k| vals[k])
+    }
+
+    /// Length of the longest row — after matrix condensing this is exactly
+    /// the number of condensed columns ("the length of the longest row in
+    /// the original matrix", §II-B).
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.rows).map(|r| self.row_nnz(r)).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, Value)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals.iter()).map(move |(&c, &v)| (r as Index, c, v))
+        })
+    }
+
+    /// Converts to COO (entries come out sorted by `(row, col)`).
+    pub fn to_coo(&self) -> Coo {
+        Coo::from_entries(self.rows, self.cols, self.iter().collect())
+    }
+
+    /// Converts to CSC.
+    pub fn to_csc(&self) -> Csc {
+        Csc::from_csr(self)
+    }
+
+    /// Converts to a dense matrix (test oracle; use only for small shapes).
+    pub fn to_dense(&self) -> Dense {
+        let mut d = Dense::zero(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            *d.get_mut(r as usize, c as usize) += v;
+        }
+        d
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> Csr {
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0 as Index; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = row_ptr.clone();
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = next[c as usize];
+                col_idx[slot] = r as Index;
+                values[slot] = v;
+                next[c as usize] += 1;
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+    }
+
+    /// Bytes this matrix occupies in the accelerator's DRAM layout:
+    /// 12 bytes per element (4-byte index + 8-byte value, the paper's
+    /// "12 bytes per element" prefetch-buffer sizing) plus the row-pointer
+    /// array at 8 bytes per row.
+    pub fn dram_bytes(&self) -> u64 {
+        self.nnz() as u64 * 12 + (self.rows as u64 + 1) * 8
+    }
+
+    /// Strict equality of structure plus value agreement within `tol`
+    /// (absolute). Useful for comparing results of different SpGEMM
+    /// algorithms whose floating-point summation orders differ.
+    pub fn approx_eq(&self, other: &Csr, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0))
+    }
+}
+
+/// Incremental row-by-row CSR constructor.
+///
+/// Rows must be appended in order; within a row, columns must be pushed in
+/// strictly increasing order. This is the natural order in which the
+/// streaming hardware models emit results.
+///
+/// # Example
+///
+/// ```
+/// use sparch_sparse::CsrBuilder;
+///
+/// let mut b = CsrBuilder::new(3, 3);
+/// b.push(0, 1, 1.0);
+/// b.push(2, 0, 5.0); // row 1 implicitly empty
+/// let m = b.finish();
+/// assert_eq!(m.row_nnz(1), 0);
+/// assert_eq!(m.get(2, 0), Some(5.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<Index>,
+    values: Vec<Value>,
+    current_row: usize,
+}
+
+impl CsrBuilder {
+    /// Starts building a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CsrBuilder {
+            rows,
+            cols,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+            current_row: 0,
+        }
+    }
+
+    /// Starts building with capacity for `nnz` non-zeros.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        let mut b = CsrBuilder::new(rows, cols);
+        b.col_idx.reserve(nnz);
+        b.values.reserve(nnz);
+        b
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is behind the current row, if `col` is not strictly
+    /// greater than the previous column in this row, or if either index is
+    /// out of bounds.
+    pub fn push(&mut self, row: Index, col: Index, value: Value) {
+        let row = row as usize;
+        assert!(row < self.rows, "row {row} out of bounds ({} rows)", self.rows);
+        assert!((col as usize) < self.cols, "col {col} out of bounds ({} cols)", self.cols);
+        assert!(row >= self.current_row, "rows must be appended in order");
+        while self.current_row < row {
+            self.row_ptr.push(self.col_idx.len());
+            self.current_row += 1;
+        }
+        if let Some(&last) = self.col_idx.last() {
+            if *self.row_ptr.last().unwrap() < self.col_idx.len() {
+                assert!(col > last, "columns within a row must strictly increase");
+            }
+        }
+        self.col_idx.push(col);
+        self.values.push(value);
+    }
+
+    /// Number of entries pushed so far.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Finalizes the matrix, closing any trailing empty rows.
+    pub fn finish(mut self) -> Csr {
+        while self.current_row < self.rows {
+            self.row_ptr.push(self.col_idx.len());
+            self.current_row += 1;
+        }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [[1, 0, 2], [0, 0, 0], [0, 3, 4]]
+        Csr::try_new(3, 3, vec![0, 2, 2, 4], vec![0, 2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row(2), (&[1u32, 2][..], &[3.0, 4.0][..]));
+        assert_eq!(m.get(0, 2), Some(2.0));
+        assert_eq!(m.get(1, 1), None);
+        assert_eq!(m.max_row_nnz(), 2);
+        assert!((m.density() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_identity() {
+        let z = Csr::zero(2, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.rows(), 2);
+        let i = Csr::identity(3);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.get(2, 2), Some(1.0));
+        assert_eq!(i.get(0, 1), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_pointers() {
+        let err = Csr::try_new(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedPointers(_)));
+        let err = Csr::try_new(2, 2, vec![1, 1, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedPointers(_)));
+        let err = Csr::try_new(2, 2, vec![0, 2, 1], vec![0, 1, 0], vec![1.0; 3]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedPointers(_)));
+    }
+
+    #[test]
+    fn validation_rejects_unsorted_and_oob() {
+        let err = Csr::try_new(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::UnsortedIndices { major: 0 }));
+        let err = Csr::try_new(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { .. }));
+        // duplicate column also rejected (strictly increasing)
+        let err = Csr::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::UnsortedIndices { .. }));
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let m = sample();
+        let back = m.to_coo().to_csr();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(2, 0), Some(2.0));
+        assert_eq!(t.get(1, 2), Some(3.0));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let mut b = CsrBuilder::new(2, 4);
+        b.push(0, 3, 1.0);
+        b.push(1, 0, 2.0);
+        let m = b.finish();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(3, 0), Some(1.0));
+        assert_eq!(t.get(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn builder_handles_empty_rows_and_tail() {
+        let mut b = CsrBuilder::new(5, 5);
+        b.push(1, 2, 1.0);
+        b.push(1, 4, 2.0);
+        b.push(3, 0, 3.0);
+        let m = b.finish();
+        assert_eq!(m.row_nnz(0), 0);
+        assert_eq!(m.row_nnz(1), 2);
+        assert_eq!(m.row_nnz(2), 0);
+        assert_eq!(m.row_nnz(3), 1);
+        assert_eq!(m.row_nnz(4), 0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn builder_rejects_duplicate_column() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 1, 1.0);
+        b.push(0, 1, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "appended in order")]
+    fn builder_rejects_backwards_row() {
+        let mut b = CsrBuilder::new(3, 3);
+        b.push(2, 0, 1.0);
+        b.push(1, 0, 2.0);
+    }
+
+    #[test]
+    fn dram_bytes_matches_layout() {
+        let m = sample();
+        assert_eq!(m.dram_bytes(), 4 * 12 + 4 * 8);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding() {
+        let a = sample();
+        let mut b = sample();
+        assert!(a.approx_eq(&b, 1e-12));
+        b.values[0] += 1e-13;
+        assert!(a.approx_eq(&b, 1e-12));
+        b.values[0] += 1.0;
+        assert!(!a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn iter_yields_row_major() {
+        let m = sample();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)]);
+    }
+}

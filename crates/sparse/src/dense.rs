@@ -1,0 +1,174 @@
+use crate::{Csr, Index, Value};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix used as a correctness oracle for the sparse
+/// kernels and the hardware models. Only suitable for small shapes.
+///
+/// # Example
+///
+/// ```
+/// use sparch_sparse::{Csr, Dense};
+///
+/// let a = Csr::identity(2).to_dense();
+/// let b = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let c = a.matmul(&b);
+/// assert_eq!(c, b);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    rows: usize,
+    cols: usize,
+    data: Vec<Value>,
+}
+
+impl Dense {
+    /// Creates a zero-filled `rows x cols` matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Dense { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[Value]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Dense { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Value {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable reference to the value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut Value {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Classic O(n^3) matrix multiply — the oracle against which every
+    /// SpGEMM algorithm in this workspace is tested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Dense) -> Dense {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Dense::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    *out.get_mut(i, j) += a * rhs.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to CSR, dropping exact zeros.
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = crate::Coo::new(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.get(r, c);
+                if v != 0.0 {
+                    coo.push(r as Index, c as Index, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Maximum absolute element-wise difference between two matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Dense) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Dense::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Dense::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Dense::from_rows(&[&[1.0, 0.0, 2.0]]);
+        let b = Dense::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn csr_round_trip_drops_zeros() {
+        let d = Dense::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+        let csr = d.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.to_dense(), d);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_difference() {
+        let a = Dense::from_rows(&[&[1.0, 2.0]]);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        *b.get_mut(0, 1) = 2.5;
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Dense::zero(2, 3);
+        let b = Dense::zero(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,85 @@
+use std::fmt;
+
+/// Errors produced while constructing or parsing sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index lies outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: u32,
+        /// Offending column index.
+        col: u32,
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+    },
+    /// A CSR/CSC pointer array is malformed (wrong length, non-monotone,
+    /// or inconsistent with the index array length).
+    MalformedPointers(String),
+    /// Column indices within a CSR row (or row indices within a CSC column)
+    /// are not strictly increasing.
+    UnsortedIndices {
+        /// The row (CSR) or column (CSC) in which the violation occurred.
+        major: usize,
+    },
+    /// Shapes are incompatible for the requested operation.
+    ShapeMismatch(String),
+    /// A Matrix Market stream could not be parsed.
+    Parse(String),
+    /// An underlying I/O error, stringified to keep the error type `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) outside matrix shape {rows}x{cols}"
+            ),
+            SparseError::MalformedPointers(msg) => write!(f, "malformed pointer array: {msg}"),
+            SparseError::UnsortedIndices { major } => {
+                write!(f, "indices not strictly increasing in major slice {major}")
+            }
+            SparseError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            SparseError::Parse(msg) => write!(f, "matrix market parse error: {msg}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, rows: 4, cols: 4 };
+        let s = e.to_string();
+        assert!(s.contains("(5, 7)"));
+        assert!(s.contains("4x4"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,165 @@
+//! R-MAT (Recursive MATrix) power-law graph generator.
+//!
+//! The paper's Figure 14 sweeps "synthesized rMAT data" from the Graph 500
+//! reference (Murphy et al., ref. 29), with matrix orders 5k–80k and average
+//! degrees 4–32. R-MAT drops each edge into a quadrant of the adjacency
+//! matrix recursively with probabilities `(a, b, c, d)`; the Graph 500
+//! parameters `(0.57, 0.19, 0.19, 0.05)` yield the heavy power-law skew
+//! that stresses SpGEMM load balance.
+
+use crate::{Coo, Csr, Index};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for the R-MAT generator.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RmatConfig {
+    /// Number of vertices. Rounded up to the next power of two internally;
+    /// the emitted matrix is truncated back to `n`.
+    pub n: usize,
+    /// Number of edges to sample (before duplicate folding).
+    pub edges: usize,
+    /// Quadrant probability a (top-left).
+    pub a: f64,
+    /// Quadrant probability b (top-right).
+    pub b: f64,
+    /// Quadrant probability c (bottom-left).
+    pub c: f64,
+    /// Noise applied to the probabilities per level, as in the Graph 500
+    /// reference implementation, to avoid exactly self-similar structure.
+    pub noise: f64,
+}
+
+impl RmatConfig {
+    /// Graph 500 reference parameters for a graph with `n` vertices and
+    /// average degree `avg_degree`.
+    pub fn graph500(n: usize, avg_degree: usize) -> Self {
+        RmatConfig { n, edges: n * avg_degree, a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+    }
+
+    /// The implied d-quadrant probability (`1 - a - b - c`).
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT adjacency matrix with unit edge weights.
+///
+/// Duplicate edges are folded (summed), so the resulting nnz is slightly
+/// below `config.edges` for dense-ish settings.
+///
+/// # Panics
+///
+/// Panics if probabilities are not a sub-distribution (`a+b+c > 1`) or if
+/// `n == 0`.
+pub fn rmat(config: &RmatConfig, seed: u64) -> Csr {
+    assert!(config.n > 0, "n must be positive");
+    assert!(
+        config.a >= 0.0 && config.b >= 0.0 && config.c >= 0.0 && config.d() >= 0.0,
+        "quadrant probabilities must form a distribution"
+    );
+    let levels = (config.n as f64).log2().ceil() as u32;
+    let size = 1usize << levels;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut coo = Coo::new(config.n, config.n);
+    for _ in 0..config.edges {
+        let (mut r, mut c) = (0usize, 0usize);
+        let mut span = size;
+        while span > 1 {
+            span /= 2;
+            // Per-level noisy probabilities (Graph 500 style).
+            let na = config.a * (1.0 + config.noise * (rng.gen::<f64>() - 0.5));
+            let nb = config.b * (1.0 + config.noise * (rng.gen::<f64>() - 0.5));
+            let nc = config.c * (1.0 + config.noise * (rng.gen::<f64>() - 0.5));
+            let nd = config.d() * (1.0 + config.noise * (rng.gen::<f64>() - 0.5));
+            let total = na + nb + nc + nd;
+            let x = rng.gen::<f64>() * total;
+            if x < na {
+                // top-left: nothing to add
+            } else if x < na + nb {
+                c += span;
+            } else if x < na + nb + nc {
+                r += span;
+            } else {
+                r += span;
+                c += span;
+            }
+        }
+        if r < config.n && c < config.n {
+            coo.push(r as Index, c as Index, 1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Convenience constructor matching the paper's Figure 14 axes:
+/// `rmat-<n>-x<avg_degree>` with Graph 500 probabilities.
+pub fn rmat_graph500(n: usize, avg_degree: usize, seed: u64) -> Csr {
+    rmat(&RmatConfig::graph500(n, avg_degree), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = rmat_graph500(256, 8, 11);
+        let b = rmat_graph500(256, 8, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = rmat_graph500(256, 8, 1);
+        let b = rmat_graph500(256, 8, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn edge_count_close_to_target() {
+        let cfg = RmatConfig::graph500(512, 8);
+        let m = rmat(&cfg, 3);
+        // Duplicates fold, and a few edges land outside the truncated range,
+        // but the bulk must survive.
+        assert!(m.nnz() > cfg.edges / 2, "nnz {} << edges {}", m.nnz(), cfg.edges);
+        assert!(m.nnz() <= cfg.edges);
+    }
+
+    #[test]
+    fn power_law_skew_present() {
+        // With Graph 500 parameters, the max row is far above the mean row.
+        let m = rmat_graph500(1024, 8, 5);
+        let mean = m.nnz() as f64 / m.rows() as f64;
+        let max = m.max_row_nnz() as f64;
+        assert!(
+            max > 4.0 * mean,
+            "expected heavy skew, got max {max} vs mean {mean:.2}"
+        );
+    }
+
+    #[test]
+    fn uniform_probabilities_have_low_skew() {
+        let cfg = RmatConfig { n: 1024, edges: 8192, a: 0.25, b: 0.25, c: 0.25, noise: 0.0 };
+        let m = rmat(&cfg, 5);
+        let mean = m.nnz() as f64 / m.rows() as f64;
+        let max = m.max_row_nnz() as f64;
+        assert!(max < 4.0 * mean, "uniform rmat should be balanced: max {max} mean {mean}");
+    }
+
+    #[test]
+    fn non_power_of_two_order_truncates() {
+        let m = rmat_graph500(300, 4, 7);
+        assert_eq!(m.rows(), 300);
+        assert_eq!(m.cols(), 300);
+        assert!(m.iter().all(|(r, c, _)| (r as usize) < 300 && (c as usize) < 300));
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution")]
+    fn rejects_bad_probabilities() {
+        let cfg = RmatConfig { n: 16, edges: 10, a: 0.6, b: 0.3, c: 0.3, noise: 0.0 };
+        let _ = rmat(&cfg, 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Structured generators: uniform random, banded, stencil, power-law rows,
+//! block-sparse. Together with R-MAT these cover the structural classes of
+//! the paper's 20-matrix suite (FEM/PDE meshes, circuits, road networks,
+//! social/web graphs, DNN weights).
+
+use crate::{Coo, Csr, Index};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng_for(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+fn random_value(rng: &mut ChaCha8Rng) -> f64 {
+    // Uniform in [-1, 1] excluding exact zero so nnz is preserved.
+    loop {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if v != 0.0 {
+            return v;
+        }
+    }
+}
+
+/// Erdős–Rényi uniform random matrix with exactly `nnz` distinct non-zeros
+/// (capped at `rows * cols`).
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero while `nnz > 0`.
+pub fn uniform_random(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr {
+    if nnz > 0 {
+        assert!(rows > 0 && cols > 0, "cannot place {nnz} entries in an empty shape");
+    }
+    let mut rng = rng_for(seed);
+    let cells = (rows as u128) * (cols as u128);
+    let nnz = nnz.min(cells.min(usize::MAX as u128) as usize);
+    let mut coo = Coo::new(rows, cols);
+    if cells > 0 && (nnz as u128) * 4 >= cells {
+        // Dense-ish: sample by reservoir over all cells to guarantee exactness.
+        let mut all: Vec<u64> = (0..cells as u64).collect();
+        all.shuffle(&mut rng);
+        for &cell in all.iter().take(nnz) {
+            let r = (cell / cols as u64) as Index;
+            let c = (cell % cols as u64) as Index;
+            coo.push(r, c, random_value(&mut rng));
+        }
+    } else {
+        // Sparse: rejection-sample distinct cells.
+        let mut used = std::collections::HashSet::with_capacity(nnz * 2);
+        while used.len() < nnz {
+            let r = rng.gen_range(0..rows as u64);
+            let c = rng.gen_range(0..cols as u64);
+            if used.insert(r * cols as u64 + c) {
+                coo.push(r as Index, c as Index, random_value(&mut rng));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Banded matrix of order `n` with `half_bandwidth` entries on each side of
+/// the diagonal, plus `extra_nnz` random off-band entries (circuit-matrix
+/// surrogate: mostly-banded with irregular coupling).
+pub fn banded(n: usize, half_bandwidth: usize, extra_nnz: usize, seed: u64) -> Csr {
+    let mut rng = rng_for(seed);
+    let mut coo = Coo::new(n, n);
+    for r in 0..n {
+        let lo = r.saturating_sub(half_bandwidth);
+        let hi = (r + half_bandwidth).min(n.saturating_sub(1));
+        for c in lo..=hi {
+            coo.push(r as Index, c as Index, random_value(&mut rng));
+        }
+    }
+    for _ in 0..extra_nnz {
+        let r = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        coo.push(r as Index, c as Index, random_value(&mut rng));
+    }
+    coo.sort_dedup();
+    coo.to_csr()
+}
+
+/// Diagonal matrix with `noise_nnz` additional random entries. Useful for
+/// scaling/normalization tests.
+pub fn diagonal_noise(n: usize, noise_nnz: usize, seed: u64) -> Csr {
+    banded(n, 0, noise_nnz, seed)
+}
+
+/// 7-point Poisson stencil on a 3-D grid — the classic FEM/PDE sparsity
+/// pattern (`poisson3Da`, `2cubes_sphere`, `offshore`, `filter3D` class in
+/// the paper's suite). Order is `nx * ny * nz`; each row couples to its six
+/// grid neighbours plus itself.
+pub fn poisson3d(nx: usize, ny: usize, nz: usize) -> Csr {
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| -> Index { ((z * ny + y) * nx + x) as Index };
+    let mut coo = Coo::new(n, n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let me = idx(x, y, z);
+                coo.push(me, me, 6.0);
+                if x > 0 {
+                    coo.push(me, idx(x - 1, y, z), -1.0);
+                }
+                if x + 1 < nx {
+                    coo.push(me, idx(x + 1, y, z), -1.0);
+                }
+                if y > 0 {
+                    coo.push(me, idx(x, y - 1, z), -1.0);
+                }
+                if y + 1 < ny {
+                    coo.push(me, idx(x, y + 1, z), -1.0);
+                }
+                if z > 0 {
+                    coo.push(me, idx(x, y, z - 1), -1.0);
+                }
+                if z + 1 < nz {
+                    coo.push(me, idx(x, y, z + 1), -1.0);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Matrix whose row lengths follow a (discretized) power law with exponent
+/// `alpha`, column targets uniform — a surrogate for crawl graphs like
+/// `webbase-1M` whose hub rows dominate.
+pub fn powerlaw_rows(n: usize, nnz: usize, alpha: f64, seed: u64) -> Csr {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = rng_for(seed);
+    // Zipf-like weights over rows; shuffle so heavy rows land anywhere.
+    let mut weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-alpha)).collect();
+    weights.shuffle(&mut rng);
+    let total: f64 = weights.iter().sum();
+    let mut coo = Coo::new(n, n);
+    let mut remaining = nnz as i64;
+    for (r, w) in weights.iter().enumerate() {
+        if remaining <= 0 {
+            break;
+        }
+        let mut len = ((w / total) * nnz as f64).round() as i64;
+        if len == 0 {
+            len = i64::from(rng.gen_bool((w / total * nnz as f64).clamp(0.0, 1.0)));
+        }
+        let len = len.min(remaining).min(n as i64) as usize;
+        let mut cols = std::collections::HashSet::with_capacity(len * 2);
+        while cols.len() < len {
+            cols.insert(rng.gen_range(0..n));
+        }
+        // Sort so value assignment does not depend on HashSet iteration
+        // order (which is nondeterministic across instances).
+        let mut cols: Vec<usize> = cols.into_iter().collect();
+        cols.sort_unstable();
+        for c in cols {
+            coo.push(r as Index, c as Index, random_value(&mut rng));
+        }
+        remaining -= len as i64;
+    }
+    // Rounding and row-capacity caps can leave a deficit; fill it with
+    // uniform spill so the total stays close to the requested nnz.
+    while remaining > 0 {
+        coo.push(
+            rng.gen_range(0..n) as Index,
+            rng.gen_range(0..n) as Index,
+            random_value(&mut rng),
+        );
+        remaining -= 1;
+    }
+    coo.sort_dedup();
+    coo.to_csr()
+}
+
+/// Block-sparse matrix: a grid of `block x block` tiles, each populated
+/// (densely, with random values) with probability `block_density` — the
+/// structured-pruned DNN weight pattern from the paper's intro motivation.
+///
+/// # Panics
+///
+/// Panics if `block == 0` or `block_density` is outside `(0, 1]`.
+pub fn block_sparse(rows: usize, cols: usize, block: usize, block_density: f64, seed: u64) -> Csr {
+    assert!(block > 0, "block must be positive");
+    assert!(
+        block_density > 0.0 && block_density <= 1.0,
+        "block_density must be in (0, 1]"
+    );
+    let mut rng = rng_for(seed);
+    let mut coo = Coo::new(rows, cols);
+    let rblocks = rows.div_ceil(block);
+    let cblocks = cols.div_ceil(block);
+    for br in 0..rblocks {
+        for bc in 0..cblocks {
+            if rng.gen::<f64>() < block_density {
+                for r in (br * block)..((br + 1) * block).min(rows) {
+                    for c in (bc * block)..((bc + 1) * block).min(cols) {
+                        coo.push(r as Index, c as Index, random_value(&mut rng));
+                    }
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_exact_nnz() {
+        let m = uniform_random(30, 40, 100, 1);
+        assert_eq!(m.nnz(), 100);
+        assert_eq!(m.rows(), 30);
+        assert_eq!(m.cols(), 40);
+    }
+
+    #[test]
+    fn uniform_caps_at_full() {
+        let m = uniform_random(5, 5, 100, 1);
+        assert_eq!(m.nnz(), 25);
+    }
+
+    #[test]
+    fn uniform_deterministic() {
+        assert_eq!(uniform_random(20, 20, 50, 9), uniform_random(20, 20, 50, 9));
+    }
+
+    #[test]
+    fn banded_structure() {
+        let m = banded(10, 1, 0, 3);
+        // tridiagonal: 3n - 2 entries
+        assert_eq!(m.nnz(), 28);
+        for (r, c, _) in m.iter() {
+            assert!((r as i64 - c as i64).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn diagonal_noise_has_full_diagonal() {
+        let m = diagonal_noise(8, 5, 4);
+        for i in 0..8 {
+            assert!(m.get(i, i).is_some(), "missing diagonal at {i}");
+        }
+    }
+
+    #[test]
+    fn poisson3d_symmetric_structure() {
+        let m = poisson3d(3, 3, 3);
+        assert_eq!(m.rows(), 27);
+        // interior point has 7 entries, corners 4
+        assert_eq!(m.row_nnz(13), 7); // center of 3x3x3
+        assert_eq!(m.row_nnz(0), 4); // corner
+        let t = m.transpose();
+        assert_eq!(t, m, "stencil matrix should be structurally symmetric");
+    }
+
+    #[test]
+    fn poisson3d_row_sums_zero_interior() {
+        let m = poisson3d(3, 3, 3);
+        let (_, vals) = m.row(13);
+        let sum: f64 = vals.iter().sum();
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn powerlaw_rows_skewed() {
+        let m = powerlaw_rows(500, 4000, 1.5, 2);
+        let mean = m.nnz() as f64 / m.rows() as f64;
+        assert!(m.max_row_nnz() as f64 > 5.0 * mean);
+        // Spill-fill keeps the total near the target (duplicate folding
+        // can remove a small fraction).
+        assert!((m.nnz() as f64 - 4000.0).abs() < 400.0, "nnz = {}", m.nnz());
+    }
+
+    #[test]
+    fn powerlaw_rows_deterministic() {
+        assert_eq!(powerlaw_rows(200, 1500, 1.8, 7), powerlaw_rows(200, 1500, 1.8, 7));
+    }
+
+    #[test]
+    fn block_sparse_block_alignment() {
+        let m = block_sparse(16, 16, 4, 0.5, 6);
+        assert!(m.nnz() % 16 == 0, "whole 4x4 blocks only, nnz = {}", m.nnz());
+        assert!(m.nnz() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_density")]
+    fn block_sparse_rejects_zero_density() {
+        let _ = block_sparse(8, 8, 2, 0.0, 0);
+    }
+}
+
+/// Kronecker product `a ⊗ b` — the deterministic relative of R-MAT
+/// (R-MAT is a stochastic Kronecker graph) and a standard way to grow
+/// self-similar benchmark matrices: `kron` of two power-law factors is
+/// power-law with multiplied dimensions.
+///
+/// # Panics
+///
+/// Panics if the product dimensions overflow `u32` indices.
+pub fn kron(a: &Csr, b: &Csr) -> Csr {
+    let rows = a.rows().checked_mul(b.rows()).expect("row overflow");
+    let cols = a.cols().checked_mul(b.cols()).expect("col overflow");
+    assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize, "indices exceed u32");
+    let mut coo = Coo::new(rows, cols);
+    for (ar, ac, av) in a.iter() {
+        for (br, bc, bv) in b.iter() {
+            coo.push(
+                ar * b.rows() as Index + br,
+                ac * b.cols() as Index + bc,
+                av * bv,
+            );
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod kron_tests {
+    use super::*;
+    use crate::Dense;
+
+    #[test]
+    fn kron_small_known() {
+        // [[1,0],[0,2]] ⊗ [[3]] = [[3,0],[0,6]]
+        let a = Dense::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).to_csr();
+        let b = Dense::from_rows(&[&[3.0]]).to_csr();
+        let k = kron(&a, &b);
+        assert_eq!(k.to_dense(), Dense::from_rows(&[&[3.0, 0.0], &[0.0, 6.0]]));
+    }
+
+    #[test]
+    fn kron_nnz_multiplies() {
+        let a = uniform_random(6, 5, 12, 1);
+        let b = uniform_random(4, 7, 9, 2);
+        let k = kron(&a, &b);
+        assert_eq!(k.nnz(), a.nnz() * b.nnz());
+        assert_eq!(k.rows(), 24);
+        assert_eq!(k.cols(), 35);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD) for compatible shapes.
+        let a = uniform_random(3, 4, 6, 3);
+        let c = uniform_random(4, 3, 6, 4);
+        let b = uniform_random(2, 3, 4, 5);
+        let d = uniform_random(3, 2, 4, 6);
+        let left = crate::algo::gustavson(&kron(&a, &b), &kron(&c, &d));
+        let right = kron(&crate::algo::gustavson(&a, &c), &crate::algo::gustavson(&b, &d));
+        assert!(left.approx_eq(&right, 1e-9));
+    }
+}

@@ -1,0 +1,296 @@
+//! Element-wise sparse kernels used by the example applications.
+//!
+//! The paper motivates SpGEMM with triangle counting (ref. 6) and Markov
+//! clustering (ref. 7); those applications need a handful of element-wise
+//! operations around the core multiply, which live here: Hadamard product,
+//! scalar power ("inflation"), column normalization, threshold pruning,
+//! and reductions.
+
+use crate::{Csr, CsrBuilder, Index, Value};
+
+/// Element-wise (Hadamard) product `a ∘ b`: entries present in both
+/// operands multiply; everything else vanishes.
+///
+/// Triangle counting computes `(A·A) ∘ A` with this kernel.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn hadamard(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    let mut out = CsrBuilder::new(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        let (ca, va) = a.row(r);
+        let (cb, vb) = b.row(r);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ca.len() && q < cb.len() {
+            match ca[p].cmp(&cb[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(r as Index, ca[p], va[p] * vb[q]);
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+    }
+    out.finish()
+}
+
+/// Element-wise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    let mut coo = a.to_coo();
+    coo.extend(b.iter());
+    coo.sort_dedup();
+    coo.to_csr()
+}
+
+/// Raises every stored value to `power` (MCL's "inflation" numerator).
+pub fn elementwise_power(m: &Csr, power: f64) -> Csr {
+    map_values(m, |v| v.powf(power))
+}
+
+/// Applies `f` to every stored value, keeping the structure.
+pub fn map_values<F: Fn(Value) -> Value>(m: &Csr, f: F) -> Csr {
+    Csr::try_new(
+        m.rows(),
+        m.cols(),
+        m.row_ptr().to_vec(),
+        m.col_indices().to_vec(),
+        m.values().iter().map(|&v| f(v)).collect(),
+    )
+    .expect("structure unchanged")
+}
+
+/// Scales each column so it sums to 1 (column-stochastic form, the MCL
+/// normalization step). Columns that sum to zero are left untouched.
+pub fn normalize_columns(m: &Csr) -> Csr {
+    let mut sums = vec![0.0f64; m.cols()];
+    for (_, c, v) in m.iter() {
+        sums[c as usize] += v;
+    }
+    let mut out = m.clone();
+    let col_idx: Vec<Index> = out.col_indices().to_vec();
+    let values: Vec<Value> = out
+        .values()
+        .iter()
+        .zip(&col_idx)
+        .map(|(&v, &c)| {
+            let s = sums[c as usize];
+            if s != 0.0 {
+                v / s
+            } else {
+                v
+            }
+        })
+        .collect();
+    out = Csr::try_new(m.rows(), m.cols(), m.row_ptr().to_vec(), col_idx, values)
+        .expect("structure unchanged");
+    out
+}
+
+/// Drops entries with `|value| < threshold` (MCL pruning).
+pub fn prune(m: &Csr, threshold: f64) -> Csr {
+    let mut coo = crate::Coo::new(m.rows(), m.cols());
+    for (r, c, v) in m.iter() {
+        if v.abs() >= threshold {
+            coo.push(r, c, v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Sum of all stored values.
+pub fn sum(m: &Csr) -> f64 {
+    m.values().iter().sum()
+}
+
+/// Sum of the diagonal entries.
+pub fn trace(m: &Csr) -> f64 {
+    (0..m.rows().min(m.cols()))
+        .filter_map(|i| m.get(i, i))
+        .sum()
+}
+
+/// Counts triangles in an undirected graph given its (symmetric, 0/1)
+/// adjacency matrix: `trace-free` formulation `Σ (A·A) ∘ A / 6`.
+///
+/// # Panics
+///
+/// Panics if `adj` is not square.
+pub fn count_triangles(adj: &Csr) -> u64 {
+    assert_eq!(adj.rows(), adj.cols(), "adjacency matrix must be square");
+    let a2 = crate::algo::gustavson(adj, adj);
+    let masked = hadamard(&a2, adj);
+    (sum(&masked) / 6.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Coo, Dense};
+
+    fn from_dense(rows: &[&[f64]]) -> Csr {
+        Dense::from_rows(rows).to_csr()
+    }
+
+    #[test]
+    fn hadamard_intersects() {
+        let a = from_dense(&[&[1.0, 2.0], &[0.0, 3.0]]);
+        let b = from_dense(&[&[5.0, 0.0], &[1.0, 2.0]]);
+        let h = hadamard(&a, &b);
+        assert_eq!(h.to_dense(), Dense::from_rows(&[&[5.0, 0.0], &[0.0, 6.0]]));
+    }
+
+    #[test]
+    fn add_unions() {
+        let a = from_dense(&[&[1.0, 0.0]]);
+        let b = from_dense(&[&[2.0, 3.0]]);
+        assert_eq!(add(&a, &b).to_dense(), Dense::from_rows(&[&[3.0, 3.0]]));
+    }
+
+    #[test]
+    fn power_and_map() {
+        let a = from_dense(&[&[2.0, 3.0]]);
+        assert_eq!(elementwise_power(&a, 2.0).values(), &[4.0, 9.0]);
+        assert_eq!(map_values(&a, |v| -v).values(), &[-2.0, -3.0]);
+    }
+
+    #[test]
+    fn normalize_columns_is_stochastic() {
+        let a = from_dense(&[&[1.0, 4.0], &[3.0, 0.0]]);
+        let n = normalize_columns(&a);
+        assert!((n.get(0, 0).unwrap() - 0.25).abs() < 1e-12);
+        assert!((n.get(1, 0).unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(n.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn prune_drops_small() {
+        let a = from_dense(&[&[0.01, 0.5, -0.8]]);
+        let p = prune(&a, 0.1);
+        assert_eq!(p.nnz(), 2);
+        assert_eq!(p.get(0, 0), None);
+    }
+
+    #[test]
+    fn trace_and_sum() {
+        let a = from_dense(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(trace(&a), 5.0);
+        assert_eq!(sum(&a), 10.0);
+    }
+
+    #[test]
+    fn triangle_count_on_k4() {
+        // Complete graph K4 has C(4,3) = 4 triangles.
+        let mut coo = Coo::new(4, 4);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    coo.push(i, j, 1.0);
+                }
+            }
+        }
+        assert_eq!(count_triangles(&coo.to_csr()), 4);
+    }
+
+    #[test]
+    fn triangle_count_on_path() {
+        // Path graph 0-1-2 has no triangles.
+        let mut coo = Coo::new(3, 3);
+        for (i, j) in [(0u32, 1u32), (1, 0), (1, 2), (2, 1)] {
+            coo.push(i, j, 1.0);
+        }
+        assert_eq!(count_triangles(&coo.to_csr()), 0);
+    }
+}
+
+/// Sparse matrix × dense vector (SpMV). Not a SpArch workload (the paper
+/// targets SpGEMM) but needed by applications around it — e.g. power
+/// iterations on the clustered matrices the examples produce.
+///
+/// # Panics
+///
+/// Panics if `x.len() != m.cols()`.
+pub fn spmv(m: &Csr, x: &[Value]) -> Vec<Value> {
+    assert_eq!(x.len(), m.cols(), "vector length must equal matrix columns");
+    let mut y = vec![0.0; m.rows()];
+    for (slot, r) in y.iter_mut().enumerate() {
+        let (cols, vals) = m.row(slot);
+        *r = cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum();
+    }
+    y
+}
+
+/// Frobenius norm: `sqrt(Σ v²)` over stored values.
+pub fn frobenius_norm(m: &Csr) -> f64 {
+    m.values().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Per-row sums of stored values.
+pub fn row_sums(m: &Csr) -> Vec<Value> {
+    (0..m.rows())
+        .map(|r| {
+            let (_, vals) = m.row(r);
+            vals.iter().sum()
+        })
+        .collect()
+}
+
+/// Per-column sums of stored values.
+pub fn col_sums(m: &Csr) -> Vec<Value> {
+    let mut sums = vec![0.0; m.cols()];
+    for (_, c, v) in m.iter() {
+        sums[c as usize] += v;
+    }
+    sums
+}
+
+#[cfg(test)]
+mod vector_tests {
+    use super::*;
+    use crate::Dense;
+
+    #[test]
+    fn spmv_known() {
+        let m = Dense::from_rows(&[&[1.0, 2.0], &[0.0, 3.0]]).to_csr();
+        assert_eq!(spmv(&m, &[10.0, 1.0]), vec![12.0, 3.0]);
+    }
+
+    #[test]
+    fn spmv_matches_dense_product() {
+        let m = crate::gen::uniform_random(20, 15, 80, 3);
+        let x: Vec<f64> = (0..15).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let y = spmv(&m, &x);
+        for (r, &yr) in y.iter().enumerate() {
+            let expected: f64 = (0..15).map(|c| {
+                m.get(r, c).unwrap_or(0.0) * x[c]
+            }).sum();
+            assert!((yr - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length")]
+    fn spmv_shape_mismatch() {
+        let m = Csr::identity(3);
+        let _ = spmv(&m, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms_and_sums() {
+        let m = Dense::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).to_csr();
+        assert!((frobenius_norm(&m) - 5.0).abs() < 1e-12);
+        assert_eq!(row_sums(&m), vec![3.0, 4.0]);
+        assert_eq!(col_sums(&m), vec![3.0, 4.0]);
+        let empty = Csr::zero(2, 2);
+        assert_eq!(frobenius_norm(&empty), 0.0);
+        assert_eq!(row_sums(&empty), vec![0.0, 0.0]);
+    }
+}

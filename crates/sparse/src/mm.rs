@@ -1,0 +1,289 @@
+//! Matrix Market (`.mtx`) reader and writer.
+//!
+//! The paper evaluates on matrices from the SuiteSparse collection and SNAP,
+//! which are distributed in the Matrix Market exchange format. This module
+//! implements the `coordinate` variant (the one used for sparse matrices)
+//! with `real`, `integer` and `pattern` fields and `general` / `symmetric` /
+//! `skew-symmetric` symmetry.
+//!
+//! # Example
+//!
+//! ```
+//! use sparch_sparse::{mm, Coo};
+//!
+//! let text = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
+//! let m = mm::read_str(text)?;
+//! assert_eq!(m.nnz(), 2);
+//! assert_eq!(mm::read_str(&mm::write_string(&m))?, m);
+//! # Ok::<(), sparch_sparse::SparseError>(())
+//! ```
+
+use crate::{Coo, Index, SparseError};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Symmetry declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Field type declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Reads a Matrix Market coordinate stream into a [`Coo`] matrix.
+///
+/// Symmetric and skew-symmetric inputs are expanded to their full general
+/// form (mirrored entries materialized), matching how SpGEMM consumes them.
+/// Pattern matrices get the value `1.0` for every stored entry.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Parse`] on malformed headers, size lines or
+/// entries, and [`SparseError::IndexOutOfBounds`] if an entry exceeds the
+/// declared shape.
+pub fn read<R: Read>(reader: R) -> Result<Coo, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty stream".into()))?
+        .map_err(SparseError::from)?;
+    let (field, symmetry) = parse_header(&header)?;
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing size line".into()))?
+            .map_err(SparseError::from)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break line;
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!("bad size line: {size_line:?}")));
+    }
+    let rows: usize = dims[0].parse().map_err(|_| bad_num(dims[0]))?;
+    let cols: usize = dims[1].parse().map_err(|_| bad_num(dims[1]))?;
+    let declared_nnz: usize = dims[2].parse().map_err(|_| bad_num(dims[2]))?;
+
+    let mut coo = Coo::new(rows, cols);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(SparseError::from)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let r: usize = parts
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing row".into()))?
+            .parse()
+            .map_err(|_| bad_num(trimmed))?;
+        let c: usize = parts
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing col".into()))?
+            .parse()
+            .map_err(|_| bad_num(trimmed))?;
+        let v: f64 = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => parts
+                .next()
+                .ok_or_else(|| SparseError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|_| bad_num(trimmed))?,
+        };
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row: r.saturating_sub(1) as Index,
+                col: c.saturating_sub(1) as Index,
+                rows,
+                cols,
+            });
+        }
+        let (r0, c0) = ((r - 1) as Index, (c - 1) as Index);
+        coo.push(r0, c0, v);
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric if r0 != c0 => coo.push(c0, r0, v),
+            Symmetry::SkewSymmetric if r0 != c0 => coo.push(c0, r0, -v),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::Parse(format!(
+            "declared {declared_nnz} entries but found {seen}"
+        )));
+    }
+    Ok(coo)
+}
+
+/// Reads a Matrix Market string. Convenience wrapper over [`read`].
+///
+/// # Errors
+///
+/// Same as [`read`].
+pub fn read_str(text: &str) -> Result<Coo, SparseError> {
+    read(text.as_bytes())
+}
+
+/// Reads a `.mtx` file from disk.
+///
+/// # Errors
+///
+/// [`SparseError::Io`] if the file cannot be opened, otherwise as [`read`].
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Coo, SparseError> {
+    read(std::fs::File::open(path)?)
+}
+
+/// Writes a COO matrix as `coordinate real general` Matrix Market.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`SparseError::Io`].
+pub fn write<W: Write>(mut writer: W, m: &Coo) -> Result<(), SparseError> {
+    writer.write_all(write_string(m).as_bytes())?;
+    Ok(())
+}
+
+/// Renders a COO matrix to a Matrix Market string.
+pub fn write_string(m: &Coo) -> String {
+    let mut s = String::new();
+    s.push_str("%%MatrixMarket matrix coordinate real general\n");
+    s.push_str("% written by sparch-sparse\n");
+    let _ = writeln!(s, "{} {} {}", m.rows(), m.cols(), m.nnz());
+    for &(r, c, v) in m.entries() {
+        let _ = writeln!(s, "{} {} {}", r + 1, c + 1, v);
+    }
+    s
+}
+
+/// Writes a `.mtx` file to disk.
+///
+/// # Errors
+///
+/// [`SparseError::Io`] if the file cannot be created or written.
+pub fn write_file<P: AsRef<Path>>(path: P, m: &Coo) -> Result<(), SparseError> {
+    write(std::fs::File::create(path)?, m)
+}
+
+fn parse_header(line: &str) -> Result<(Field, Symmetry), SparseError> {
+    let lower = line.to_ascii_lowercase();
+    let tokens: Vec<&str> = lower.split_whitespace().collect();
+    if tokens.len() != 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::Parse(format!("bad header: {line:?}")));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::Parse(format!(
+            "only coordinate format is supported, got {:?}",
+            tokens[2]
+        )));
+    }
+    let field = match tokens[3] {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(SparseError::Parse(format!("unsupported field {other:?}"))),
+    };
+    let symmetry = match tokens[4] {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(SparseError::Parse(format!("unsupported symmetry {other:?}"))),
+    };
+    Ok((field, symmetry))
+}
+
+fn bad_num(tok: &str) -> SparseError {
+    SparseError::Parse(format!("bad number in {tok:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n2 3 2\n1 1 1.5\n2 3 -2\n";
+        let m = read_str(text).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.entries(), &[(0, 0, 1.5), (1, 2, -2.0)]);
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5\n3 3 7\n";
+        let mut m = read_str(text).unwrap();
+        m.sort_dedup();
+        assert_eq!(m.entries(), &[(0, 1, 5.0), (1, 0, 5.0), (2, 2, 7.0)]);
+    }
+
+    #[test]
+    fn parse_skew_symmetric_negates() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n";
+        let mut m = read_str(text).unwrap();
+        m.sort_dedup();
+        assert_eq!(m.entries(), &[(0, 1, -3.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn parse_pattern_gets_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_str(text).unwrap();
+        assert!(m.entries().iter().all(|e| e.2 == 1.0));
+    }
+
+    #[test]
+    fn rejects_bad_header_and_counts() {
+        assert!(read_str("hello\n1 1 0\n").is_err());
+        assert!(read_str("%%MatrixMarket matrix array real general\n1 1 0\n").is_err());
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n";
+        assert!(matches!(read_str(text), Err(SparseError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n";
+        assert!(matches!(read_str(text), Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn one_based_indexing_round_trip() {
+        let mut m = Coo::new(3, 4);
+        m.push(0, 0, 1.0);
+        m.push(2, 3, 4.0);
+        let text = write_string(&m);
+        assert!(text.contains("3 4 2"));
+        assert!(text.contains("1 1 1"));
+        assert!(text.contains("3 4 4"));
+        let back = read_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sparch_mm_test.mtx");
+        let mut m = Coo::new(5, 5);
+        m.push(1, 2, -0.5);
+        write_file(&path, &m).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back, m);
+        let _ = std::fs::remove_file(&path);
+    }
+}

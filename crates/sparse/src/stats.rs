@@ -1,0 +1,198 @@
+//! Structural statistics of sparse matrices and SpGEMM tasks.
+//!
+//! SpArch's performance is a function of a handful of structural
+//! quantities: the number of condensed columns (= longest row), the
+//! nnz/row distribution (Huffman leaf weights), the multiply count `M`,
+//! and the output size. This module computes them in one pass so the
+//! simulator, scheduler and benchmark reports share definitions.
+
+use crate::{algo, Csr};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of stored non-zeros.
+    pub nnz: usize,
+    /// `nnz / (rows * cols)`.
+    pub density: f64,
+    /// Mean non-zeros per row.
+    pub avg_row_nnz: f64,
+    /// Longest row — the condensed-column count after matrix condensing.
+    pub max_row_nnz: usize,
+    /// Number of rows with no entries.
+    pub empty_rows: usize,
+    /// Coefficient of variation of row lengths (skew indicator; power-law
+    /// graphs score high, meshes score near zero).
+    pub row_cv: f64,
+}
+
+impl MatrixStats {
+    /// Computes statistics for `m`.
+    pub fn of(m: &Csr) -> Self {
+        let rows = m.rows();
+        let lens: Vec<usize> = (0..rows).map(|r| m.row_nnz(r)).collect();
+        let nnz = m.nnz();
+        let mean = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let var = if rows == 0 {
+            0.0
+        } else {
+            lens.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / rows as f64
+        };
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        MatrixStats {
+            rows,
+            cols: m.cols(),
+            nnz,
+            density: m.density(),
+            avg_row_nnz: mean,
+            max_row_nnz: m.max_row_nnz(),
+            empty_rows: lens.iter().filter(|&&l| l == 0).count(),
+            row_cv: cv,
+        }
+    }
+}
+
+/// Statistics of one SpGEMM task `C = A * B`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskStats {
+    /// Scalar multiplications (`M` in the paper's §III-C model).
+    pub multiplies: u64,
+    /// Non-zeros of the output matrix (the paper observes ≈ `0.5 M`).
+    pub output_nnz: u64,
+    /// Floating-point operations counted the paper's way:
+    /// one multiply plus one (potential) add per intermediate product.
+    pub flops: u64,
+    /// `multiplies / output_nnz`.
+    pub compression_factor: f64,
+    /// Condensed-column count of `A` (number of partial matrices SpArch
+    /// multiplies after condensing).
+    pub condensed_cols: usize,
+    /// Occupied original columns of `A` (number of partial matrices the
+    /// *un-condensed* outer product produces).
+    pub occupied_cols: usize,
+    /// Operational intensity of the outer-product task: `flops` divided by
+    /// the bytes of both inputs plus the final output (the paper's
+    /// roofline x-axis, ≈ 0.19 flops/byte on its suite).
+    pub operational_intensity: f64,
+}
+
+impl TaskStats {
+    /// Computes task statistics for `a * b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn of(a: &Csr, b: &Csr) -> Self {
+        let multiplies = algo::multiply_flops(a, b);
+        let output_nnz = algo::product_nnz(a, b);
+        let flops = 2 * multiplies;
+        let bytes = a.dram_bytes() + b.dram_bytes() + output_nnz * 12;
+        TaskStats {
+            multiplies,
+            output_nnz,
+            flops,
+            compression_factor: if output_nnz == 0 {
+                0.0
+            } else {
+                multiplies as f64 / output_nnz as f64
+            },
+            condensed_cols: a.max_row_nnz(),
+            occupied_cols: a.to_csc().occupied_cols(),
+            operational_intensity: if bytes == 0 { 0.0 } else { flops as f64 / bytes as f64 },
+        }
+    }
+}
+
+/// Histogram of row lengths with power-of-two buckets; useful for
+/// characterizing suite matrices in reports.
+pub fn row_length_histogram(m: &Csr) -> Vec<(usize, usize)> {
+    let mut buckets: Vec<(usize, usize)> = Vec::new();
+    for r in 0..m.rows() {
+        let len = m.row_nnz(r);
+        let bucket = if len == 0 { 0 } else { len.next_power_of_two() };
+        match buckets.iter_mut().find(|(b, _)| *b == bucket) {
+            Some((_, count)) => *count += 1,
+            None => buckets.push((bucket, 1)),
+        }
+    }
+    buckets.sort_unstable();
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn matrix_stats_basics() {
+        let m = gen::uniform_random(100, 100, 500, 1);
+        let s = MatrixStats::of(&m);
+        assert_eq!(s.nnz, 500);
+        assert!((s.avg_row_nnz - 5.0).abs() < 1e-12);
+        assert!((s.density - 0.05).abs() < 1e-12);
+        assert!(s.max_row_nnz >= 5);
+    }
+
+    #[test]
+    fn skew_ranking() {
+        let mesh = gen::poisson3d(8, 8, 8);
+        let social = gen::rmat_graph500(512, 8, 3);
+        assert!(
+            MatrixStats::of(&social).row_cv > MatrixStats::of(&mesh).row_cv,
+            "power-law graph must be more skewed than a mesh"
+        );
+    }
+
+    #[test]
+    fn task_stats_consistency() {
+        let a = gen::uniform_random(50, 50, 250, 2);
+        let b = gen::uniform_random(50, 50, 250, 3);
+        let t = TaskStats::of(&a, &b);
+        assert_eq!(t.flops, 2 * t.multiplies);
+        assert!(t.compression_factor >= 1.0);
+        assert!(t.condensed_cols <= t.occupied_cols.max(t.condensed_cols));
+        assert!(t.operational_intensity > 0.0);
+        // Condensing reduces (or keeps) the partial-matrix count.
+        assert!(t.condensed_cols <= 50);
+    }
+
+    #[test]
+    fn condensing_reduces_partial_matrices_dramatically() {
+        // The headline claim: condensed columns (= max row nnz) is orders
+        // of magnitude below the original column count for sparse inputs.
+        let a = gen::uniform_random(4096, 4096, 4096 * 8, 9);
+        let t = TaskStats::of(&a, &a);
+        assert!(
+            t.condensed_cols * 20 < t.occupied_cols,
+            "condensed {} vs occupied {}",
+            t.condensed_cols,
+            t.occupied_cols
+        );
+        // Even on a skewed power-law graph it still shrinks.
+        let a = gen::rmat_graph500(2048, 8, 9);
+        let t = TaskStats::of(&a, &a);
+        assert!(t.condensed_cols < t.occupied_cols);
+    }
+
+    #[test]
+    fn histogram_counts_all_rows() {
+        let m = gen::uniform_random(64, 64, 256, 5);
+        let h = row_length_histogram(&m);
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let s = MatrixStats::of(&Csr::zero(0, 0));
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.row_cv, 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Mini design-space exploration: how the merge-tree depth, merger width
+//! and prefetch buffer change performance, DRAM traffic and area on one
+//! workload — the §III-D methodology in miniature.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use sparch::core::{SpArchConfig, SpArchSim};
+use sparch::sparse::gen;
+
+fn main() {
+    let a = gen::rmat_graph500(4096, 8, 21);
+    println!(
+        "workload: rmat n={} deg=8, {} nnz; sweeping one dimension at a time\n",
+        a.rows(),
+        a.nnz()
+    );
+    println!(
+        "{:<38} {:>8} {:>10} {:>10} {:>9}",
+        "configuration", "GFLOPS", "DRAM MB", "area mm2", "rounds"
+    );
+
+    let run = |label: String, config: SpArchConfig| {
+        let report = SpArchSim::new(config).run(&a, &a);
+        println!(
+            "{label:<38} {:>8.2} {:>10.2} {:>10.2} {:>9}",
+            report.perf.gflops,
+            report.dram_mb(),
+            report.area.total(),
+            report.perf.rounds
+        );
+    };
+
+    run("default (Table I)".into(), SpArchConfig::default());
+
+    for layers in [2usize, 4, 7] {
+        run(
+            format!("merge tree: {layers} layers ({} ways)", 1 << layers),
+            SpArchConfig::default().with_tree_layers(layers),
+        );
+    }
+    for width in [4usize, 8] {
+        run(
+            format!("merger width: {width}x{width}"),
+            SpArchConfig::default().with_merger_width(width),
+        );
+    }
+    for (lines, elems) in [(256usize, 48usize), (1024, 24), (2048, 48)] {
+        let mut c = SpArchConfig::default();
+        c.prefetch.lines = lines;
+        c.prefetch.line_elems = elems;
+        run(format!("prefetch buffer: {lines}x{elems}"), c);
+    }
+    run("no prefetcher".into(), SpArchConfig::default().without_prefetcher());
+    run("no condensing".into(), SpArchConfig::default().without_condensing());
+}

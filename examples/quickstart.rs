@@ -1,0 +1,56 @@
+//! Quickstart: simulate one sparse matrix product on SpArch and inspect
+//! the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sparch::prelude::*;
+use sparch::sparse::{algo, gen};
+
+fn main() {
+    // A power-law graph (R-MAT, Graph 500 parameters), squared — the
+    // canonical SpGEMM workload of the paper's evaluation.
+    let a = gen::rmat_graph500(2048, 8, 42);
+    println!(
+        "input: {}x{} matrix, {} non-zeros (density {:.4}%)",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        a.density() * 100.0
+    );
+
+    // Simulate C = A x A on the default (Table I) configuration.
+    let sim = SpArchSim::new(SpArchConfig::default());
+    let report = sim.run(&a, &a);
+
+    // The simulated result is exact — verify against a software reference.
+    let reference = algo::gustavson(&a, &a);
+    assert!(report.result().approx_eq(&reference, 1e-9), "results must match");
+    println!("result verified against Gustavson's algorithm: {} non-zeros", reference.nnz());
+
+    println!("\n--- SpArch report ---");
+    println!("partial matrices (condensed columns): {}", report.partial_matrices);
+    println!("merge rounds:                         {}", report.perf.rounds);
+    println!("multiplications:                      {}", report.perf.multiplies);
+    println!("cycles @ 1 GHz:                       {}", report.perf.cycles);
+    println!("throughput:                           {:.2} GFLOP/s", report.perf.gflops);
+    println!(
+        "bandwidth utilization:                {:.1}%",
+        report.perf.bandwidth_utilization * 100.0
+    );
+    println!("DRAM traffic:                         {:.2} MB", report.dram_mb());
+    println!("prefetch buffer hit rate:             {:.1}%", report.prefetch.hit_rate() * 100.0);
+    println!("energy:                               {:.3} mJ", report.energy_total() * 1e3);
+    println!("energy efficiency:                    {:.3} nJ/FLOP", report.nj_per_flop());
+
+    // Compare with the OuterSPACE model, the paper's main baseline.
+    let outerspace = OuterSpaceModel::default().run(&a, &a);
+    println!("\n--- vs OuterSPACE ---");
+    println!(
+        "speedup: {:.2}x   energy saving: {:.2}x   DRAM reduction: {:.2}x",
+        report.perf.gflops / outerspace.gflops,
+        outerspace.energy_j / report.energy_total(),
+        outerspace.traffic.total_bytes() as f64 / report.traffic.total_bytes() as f64
+    );
+}

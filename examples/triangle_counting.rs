@@ -1,0 +1,60 @@
+//! Triangle counting via SpGEMM — one of the paper's motivating
+//! applications ("triangle counting", §I ref. 6).
+//!
+//! The triangle count of an undirected graph with adjacency matrix `A` is
+//! `Σ (A·A) ∘ A / 6`. The expensive step is the sparse product `A·A`,
+//! which we run on the SpArch simulator; the Hadamard mask and reduction
+//! run in software.
+//!
+//! ```text
+//! cargo run --release --example triangle_counting
+//! ```
+
+use sparch::core::{SpArchConfig, SpArchSim};
+use sparch::sparse::{gen, linalg, Coo, Csr};
+
+/// Symmetrizes a directed graph and drops self-loops, producing a 0/1
+/// adjacency matrix.
+fn symmetrize(g: &Csr) -> Csr {
+    let mut coo = Coo::new(g.rows(), g.cols());
+    for (r, c, _) in g.iter() {
+        if r != c {
+            coo.push(r, c, 1.0);
+            coo.push(c, r, 1.0);
+        }
+    }
+    coo.sort_dedup();
+    // Duplicate folds summed values; reset them to 1.
+    linalg::map_values(&coo.to_csr(), |_| 1.0)
+}
+
+fn main() {
+    let sim = SpArchSim::new(SpArchConfig::default());
+    for (name, n, degree, seed) in [
+        ("small-world", 512usize, 8usize, 7u64),
+        ("social-like", 2048, 12, 8),
+        ("sparse-web", 4096, 4, 9),
+    ] {
+        let adj = symmetrize(&gen::rmat_graph500(n, degree, seed));
+
+        // A·A on the accelerator.
+        let report = sim.run(&adj, &adj);
+        let a2 = report.result().clone();
+
+        // Mask with A and reduce in software.
+        let masked = linalg::hadamard(&a2, &adj);
+        let triangles = (linalg::sum(&masked) / 6.0).round() as u64;
+
+        // Cross-check with the pure software path.
+        assert_eq!(triangles, linalg::count_triangles(&adj));
+
+        println!(
+            "{name:>12}: n = {n:5}, edges = {:7}, triangles = {triangles:8} | \
+             accelerator: {:.2} GFLOP/s, {:.2} MB DRAM, {} merge rounds",
+            adj.nnz() / 2,
+            report.perf.gflops,
+            report.dram_mb(),
+            report.perf.rounds,
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # SpArch — Efficient Architecture for Sparse Matrix Multiplication
+//!
+//! A full-system Rust reproduction of *SpArch: Efficient Architecture for
+//! Sparse Matrix Multiplication* (Zhang, Wang, Han, Dally — HPCA 2020).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`sparse`] — matrix formats, generators, software SpGEMM algorithms,
+//! * [`mem`] — DRAM/HBM, FIFO/buffer and energy/area cost models,
+//! * [`engine`] — comparator-array merger, merge tree, zero eliminator,
+//! * [`core`] — the SpArch accelerator simulator (condensing, Huffman
+//!   scheduler, row prefetcher, full pipeline),
+//! * [`baselines`] — the OuterSPACE model and software baseline proxies.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sparch::prelude::*;
+//!
+//! // A small power-law matrix, squared on the accelerator.
+//! let a = sparch::sparse::gen::rmat_graph500(256, 8, 42);
+//! let report = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
+//!
+//! // The simulated result is exact: compare with a software reference.
+//! let reference = sparch::sparse::algo::gustavson(&a, &a);
+//! assert!(report.result().approx_eq(&reference, 1e-9));
+//! println!("{} GFLOPS, {} MB DRAM traffic",
+//!          report.perf.gflops, report.traffic.total_bytes() as f64 / 1e6);
+//! ```
+
+pub use sparch_baselines as baselines;
+pub use sparch_core as core;
+pub use sparch_engine as engine;
+pub use sparch_mem as mem;
+pub use sparch_sparse as sparse;
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use sparch_baselines::outerspace::OuterSpaceModel;
+    pub use sparch_core::{SimReport, SpArchConfig, SpArchSim};
+    pub use sparch_sparse::{Coo, Csc, Csr, CsrBuilder, Dense};
+}

@@ -1,0 +1,97 @@
+//! Validates the round-level cost model against the cycle-accurate
+//! engine models: the fast path the whole-task simulator uses must agree
+//! with the detailed hardware simulation on throughput-dominated runs.
+
+use sparch::core::pipeline::{kway_merge_fold, CostParams, RoundCost};
+use sparch::engine::{MergeItem, MergeTree, MergeTreeConfig, ZeroEliminator};
+use sparch::sparse::gen;
+
+fn params(layers: usize) -> CostParams {
+    CostParams {
+        bytes_per_cycle: 128.0,
+        dram_latency: 64,
+        tree_layers: layers,
+        merger_width: 16,
+        multipliers: 16,
+        lookahead: 8192,
+        buffer_lines: 1024,
+        fetchers: 16,
+    }
+}
+
+#[test]
+fn round_model_tracks_cycle_accurate_tree() {
+    // A compute-bound merge (no DRAM bytes charged): the cost model's
+    // cycle estimate must land within 2x of the cycle-accurate tree.
+    for layers in [3usize, 4, 6] {
+        let ways = 1usize << layers;
+        let inputs: Vec<Vec<MergeItem>> = (0..ways)
+            .map(|k| {
+                (0..600u32)
+                    .map(|i| MergeItem::new(i, k as u32, 1.0))
+                    .collect()
+            })
+            .collect();
+        let tree = MergeTree::new(MergeTreeConfig { layers, ..Default::default() });
+        let (out, stats) = tree.merge(inputs.clone());
+
+        let total_in: u64 = inputs.iter().map(|s| s.len() as u64).sum();
+        let cost = RoundCost {
+            multiplies: 0,
+            input_elements: total_in,
+            output_elements: out.len() as u64,
+            dram_bytes: 0,
+            mat_a_elements: 0,
+            ..Default::default()
+        };
+        // Compare steady-state throughput portions (strip fixed startup).
+        let modelled = params(layers).round_cycles(&cost) - params(layers).startup_cycles(&cost);
+        let measured = stats.cycles;
+        let ratio = measured as f64 / modelled.max(1) as f64;
+        assert!(
+            (0.5..=2.5).contains(&ratio),
+            "layers {layers}: cycle-accurate {measured} vs model {modelled} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn functional_and_cycle_merges_agree_on_product_data() {
+    let a = gen::rmat_graph500(96, 5, 3);
+    let partials = sparch::sparse::algo::outer_product_partials(&a, &a);
+    let streams: Vec<Vec<MergeItem>> = partials
+        .iter()
+        .take(64)
+        .map(|p| p.iter().map(|&t| MergeItem::from(t)).collect())
+        .collect();
+    let refs: Vec<&[MergeItem]> = streams.iter().map(|s| s.as_slice()).collect();
+    let (fast, _) = kway_merge_fold(&refs);
+    let tree = MergeTree::new(MergeTreeConfig::default());
+    let (slow, _) = tree.merge(streams.clone());
+    assert_eq!(fast.len(), slow.len());
+    for (f, s) in fast.iter().zip(&slow) {
+        assert_eq!(f.coord, s.coord);
+        assert!((f.value - s.value).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn zero_eliminator_latency_scales_with_width() {
+    // The paper's logN-cycle latency claim, across widths.
+    for (width, expected) in [(4usize, 2u64), (8, 3), (16, 4), (64, 6)] {
+        let z = ZeroEliminator::new(width);
+        assert_eq!(z.latency(), expected, "width {width}");
+    }
+}
+
+#[test]
+fn merger_throughput_is_width_per_cycle_at_scale() {
+    use sparch::engine::HierarchicalMerger;
+    let a: Vec<MergeItem> = (0..4096u32).map(|i| MergeItem::new(i, 0, 1.0)).collect();
+    let b: Vec<MergeItem> = (0..4096u32).map(|i| MergeItem::new(i, 1, 1.0)).collect();
+    let mut m = HierarchicalMerger::paper_default();
+    let out = m.merge(&a, &b);
+    assert_eq!(out.len(), 8192);
+    // Exactly 16 per cycle in steady state.
+    assert_eq!(m.stats().cycles, 8192 / 16);
+}
