@@ -28,8 +28,12 @@ pub enum Platform {
 
 impl Platform {
     /// All platforms, in the paper's reporting order.
-    pub const ALL: [Platform; 4] =
-        [Platform::Mkl, Platform::CuSparse, Platform::Cusp, Platform::Armadillo];
+    pub const ALL: [Platform; 4] = [
+        Platform::Mkl,
+        Platform::CuSparse,
+        Platform::Cusp,
+        Platform::Armadillo,
+    ];
 
     /// Human-readable name as used in the paper's figures.
     pub fn name(&self) -> &'static str {

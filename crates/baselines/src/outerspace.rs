@@ -92,7 +92,11 @@ impl OuterSpaceModel {
         // Memory-bound timing at the published sustained utilization.
         let effective_bw = self.bandwidth_gbs * 1e9 * self.utilization;
         let seconds = traffic.total_bytes() as f64 / effective_bw;
-        let gflops = if seconds > 0.0 { flops as f64 / seconds / 1e9 } else { 0.0 };
+        let gflops = if seconds > 0.0 {
+            flops as f64 / seconds / 1e9
+        } else {
+            0.0
+        };
         OuterSpaceReport {
             traffic,
             seconds,

@@ -83,9 +83,7 @@ mod tests {
             assert!(r.host_gflops > 0.0, "{p:?}");
             assert_eq!(r.flops, 2 * algo::multiply_flops(&a, &a));
             assert!(r.output_nnz > 0);
-            assert!(
-                (r.calibrated_gflops - r.host_gflops * p.throughput_scale()).abs() < 1e-9
-            );
+            assert!((r.calibrated_gflops - r.host_gflops * p.throughput_scale()).abs() < 1e-9);
         }
     }
 

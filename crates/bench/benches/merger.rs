@@ -6,7 +6,10 @@ use sparch_engine::{ComparatorMerger, HierarchicalMerger, MergeItem, MergeTree, 
 
 fn stream(n: usize, offset: u64, stride: u64) -> Vec<MergeItem> {
     (0..n as u64)
-        .map(|i| MergeItem { coord: offset + i * stride, value: 1.0 })
+        .map(|i| MergeItem {
+            coord: offset + i * stride,
+            value: 1.0,
+        })
         .collect()
 }
 
@@ -19,10 +22,14 @@ fn bench_binary_mergers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("flat", width), &width, |bench, &w| {
             bench.iter(|| ComparatorMerger::new(w).merge(&a, &b))
         });
-        group.bench_with_input(BenchmarkId::new("hierarchical", width), &width, |bench, &w| {
-            let chunk = if w >= 16 { 4 } else { 2 };
-            bench.iter(|| HierarchicalMerger::new(w, chunk).merge(&a, &b))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical", width),
+            &width,
+            |bench, &w| {
+                let chunk = if w >= 16 { 4 } else { 2 };
+                bench.iter(|| HierarchicalMerger::new(w, chunk).merge(&a, &b))
+            },
+        );
     }
     group.finish();
 }
@@ -31,13 +38,21 @@ fn bench_merge_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("merge_tree");
     for layers in [2usize, 4, 6] {
         let ways = 1usize << layers;
-        let inputs: Vec<Vec<MergeItem>> =
-            (0..ways).map(|k| stream(2048, k as u64, ways as u64)).collect();
+        let inputs: Vec<Vec<MergeItem>> = (0..ways)
+            .map(|k| stream(2048, k as u64, ways as u64))
+            .collect();
         group.throughput(Throughput::Elements((2048 * ways) as u64));
-        group.bench_with_input(BenchmarkId::new("layers", layers), &inputs, |bench, inputs| {
-            let tree = MergeTree::new(MergeTreeConfig { layers, ..Default::default() });
-            bench.iter(|| tree.merge(inputs.clone()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("layers", layers),
+            &inputs,
+            |bench, inputs| {
+                let tree = MergeTree::new(MergeTreeConfig {
+                    layers,
+                    ..Default::default()
+                });
+                bench.iter(|| tree.merge(inputs.clone()))
+            },
+        );
     }
     group.finish();
 }

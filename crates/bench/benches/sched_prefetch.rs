@@ -9,7 +9,11 @@ use sparch_sparse::gen;
 fn bench_schedulers(c: &mut Criterion) {
     let weights: Vec<u64> = (0..2000).map(|i| (i * 7919 + 13) % 5000 + 1).collect();
     let mut group = c.benchmark_group("scheduler_2000_leaves");
-    for kind in [SchedulerKind::Huffman, SchedulerKind::Sequential, SchedulerKind::Random(3)] {
+    for kind in [
+        SchedulerKind::Huffman,
+        SchedulerKind::Sequential,
+        SchedulerKind::Random(3),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &kind,
@@ -35,7 +39,10 @@ fn bench_prefetcher(c: &mut Criterion) {
             BenchmarkId::from_parameter(lookahead),
             &lookahead,
             |bench, &lookahead| {
-                let cfg = PrefetchConfig { lookahead, ..Default::default() };
+                let cfg = PrefetchConfig {
+                    lookahead,
+                    ..Default::default()
+                };
                 bench.iter(|| {
                     let mut p = RowPrefetcher::new(&b, &cfg, accesses.clone());
                     p.run_to_end()

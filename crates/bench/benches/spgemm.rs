@@ -11,10 +11,18 @@ fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("spgemm_rmat4k_x8");
     group.throughput(Throughput::Elements(flops));
     group.sample_size(10);
-    group.bench_function("gustavson (MKL class)", |b| b.iter(|| algo::gustavson(&a, &a)));
-    group.bench_function("hash (cuSPARSE class)", |b| b.iter(|| algo::hash_spgemm(&a, &a)));
-    group.bench_function("sort_merge (CUSP class)", |b| b.iter(|| algo::sort_merge(&a, &a)));
-    group.bench_function("heap (HeapSpGEMM class)", |b| b.iter(|| algo::heap_spgemm(&a, &a)));
+    group.bench_function("gustavson (MKL class)", |b| {
+        b.iter(|| algo::gustavson(&a, &a))
+    });
+    group.bench_function("hash (cuSPARSE class)", |b| {
+        b.iter(|| algo::hash_spgemm(&a, &a))
+    });
+    group.bench_function("sort_merge (CUSP class)", |b| {
+        b.iter(|| algo::sort_merge(&a, &a))
+    });
+    group.bench_function("heap (HeapSpGEMM class)", |b| {
+        b.iter(|| algo::heap_spgemm(&a, &a))
+    });
     group.bench_function("outer_product (OuterSPACE dataflow)", |b| {
         b.iter(|| algo::outer_product(&a, &a))
     });

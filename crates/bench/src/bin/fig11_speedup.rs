@@ -83,7 +83,15 @@ fn main() {
         })
         .collect();
     print_table(
-        &["matrix", "SpArch GFLOPS", "vs OuterSPACE", "vs MKL", "vs cuSPARSE", "vs CUSP", "vs Armadillo"],
+        &[
+            "matrix",
+            "SpArch GFLOPS",
+            "vs OuterSPACE",
+            "vs MKL",
+            "vs cuSPARSE",
+            "vs CUSP",
+            "vs Armadillo",
+        ],
         &table,
     );
     runner::dump_json(&args.json, &rows);

@@ -82,7 +82,15 @@ fn main() {
         })
         .collect();
     print_table(
-        &["matrix", "SpArch nJ/FLOP", "vs OuterSPACE", "vs MKL", "vs cuSPARSE", "vs CUSP", "vs Armadillo"],
+        &[
+            "matrix",
+            "SpArch nJ/FLOP",
+            "vs OuterSPACE",
+            "vs MKL",
+            "vs cuSPARSE",
+            "vs CUSP",
+            "vs Armadillo",
+        ],
         &table,
     );
     runner::dump_json(&args.json, &rows);

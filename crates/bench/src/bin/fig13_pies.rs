@@ -33,7 +33,7 @@ fn main() {
 
     println!("Figure 13(a) — area breakdown (mm2)\n");
     let total_area = area.total();
-    let area_rows = vec![
+    let area_rows = [
         ("Column Fetcher", area.column_fetcher, 2.64),
         ("Row Prefetcher", area.row_prefetcher, 5.8),
         ("Multiplier Array", area.multiplier_array, 0.45),
@@ -56,7 +56,10 @@ fn main() {
     );
     println!("total: {total_area:.2} mm2 (paper: 28.49)\n");
 
-    println!("Figure 13(b) — power breakdown (mW) over {} suite matrices\n", 6);
+    println!(
+        "Figure 13(b) — power breakdown (mW) over {} suite matrices\n",
+        6
+    );
     let paper_mw = EnergyModel::paper_power_breakdown_mw();
     let names = [
         "Column Fetcher",

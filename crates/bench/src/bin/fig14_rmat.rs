@@ -91,7 +91,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["config", "density", "MKL FLOPS", "SpArch FLOPS", "ratio"], &table);
+    print_table(
+        &["config", "density", "MKL FLOPS", "SpArch FLOPS", "ratio"],
+        &table,
+    );
     println!(
         "\ndensest→sparsest degradation: SpArch {sparch_deg:.1}x (paper 2.7x), MKL {mkl_deg:.1}x (paper 5.9x)"
     );

@@ -34,15 +34,31 @@ fn main() {
     print_table(
         &["quantity", "measured", "paper"],
         &[
-            vec!["operational intensity (FLOP/B)".into(), format!("{oi:.3}"), "0.19".into()],
-            vec!["compute roof (GFLOP/s)".into(), format!("{:.1}", model.compute_roof_gflops), "32.0".into()],
+            vec![
+                "operational intensity (FLOP/B)".into(),
+                format!("{oi:.3}"),
+                "0.19".into(),
+            ],
+            vec![
+                "compute roof (GFLOP/s)".into(),
+                format!("{:.1}", model.compute_roof_gflops),
+                "32.0".into(),
+            ],
             vec![
                 "bandwidth roof @ OI (GFLOP/s)".into(),
                 format!("{:.1}", point.roof_gflops),
                 "23.9".into(),
             ],
-            vec!["SpArch attained (GFLOP/s)".into(), format!("{ours:.1}"), "10.4".into()],
-            vec!["OuterSPACE attained (GFLOP/s)".into(), format!("{outer:.1}"), "2.5".into()],
+            vec![
+                "SpArch attained (GFLOP/s)".into(),
+                format!("{ours:.1}"),
+                "10.4".into(),
+            ],
+            vec![
+                "OuterSPACE attained (GFLOP/s)".into(),
+                format!("{outer:.1}"),
+                "2.5".into(),
+            ],
             vec![
                 "roof / SpArch".into(),
                 format!("{:.1}x", point.roof_gflops / ours),

@@ -86,7 +86,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["configuration", "GFLOPS", "DRAM MB", "vs OuterSPACE", "step speedup"],
+        &[
+            "configuration",
+            "GFLOPS",
+            "DRAM MB",
+            "vs OuterSPACE",
+            "step speedup",
+        ],
         &table,
     );
     runner::dump_json(&args.json, &steps);

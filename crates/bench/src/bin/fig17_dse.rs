@@ -103,7 +103,12 @@ fn main() {
             let mut c = SpArchConfig::default();
             c.prefetch.policy = policy;
             let (g, mb) = measure(c, args.scale);
-            points.push(Point { sweep: "policy", setting: name.into(), gflops: g, dram_mb: mb });
+            points.push(Point {
+                sweep: "policy",
+                setting: name.into(),
+                gflops: g,
+                dram_mb: mb,
+            });
             eprintln!("done policy {name}");
         }
         print_sweep(&points, "policy");
@@ -134,7 +139,11 @@ fn print_sweep(points: &[Point], sweep: &str) {
         .iter()
         .filter(|p| p.sweep == sweep)
         .map(|p| {
-            vec![p.setting.clone(), format!("{:.2}", p.gflops), format!("{:.1}", p.dram_mb)]
+            vec![
+                p.setting.clone(),
+                format!("{:.2}", p.gflops),
+                format!("{:.1}", p.dram_mb),
+            ]
         })
         .collect();
     print_table(&["setting", "GFLOPS", "DRAM MB"], &rows);

@@ -11,12 +11,20 @@ use sparch_core::{MergePlan, SchedulerKind};
 fn main() {
     let weights: [u64; 12] = [15, 15, 13, 12, 9, 7, 3, 2, 2, 2, 2, 2];
     let cases = [
-        ("2-way sequential (Fig. 8a)", SchedulerKind::Sequential, 2usize, 365u64),
+        (
+            "2-way sequential (Fig. 8a)",
+            SchedulerKind::Sequential,
+            2usize,
+            365u64,
+        ),
         ("2-way Huffman (Fig. 8b)", SchedulerKind::Huffman, 2, 354),
         ("4-way Huffman (Fig. 8c)", SchedulerKind::Huffman, 4, 228),
     ];
     println!("Figure 8 — Huffman tree scheduler worked example");
-    println!("leaf weights: {weights:?} (sum = {})\n", weights.iter().sum::<u64>());
+    println!(
+        "leaf weights: {weights:?} (sum = {})\n",
+        weights.iter().sum::<u64>()
+    );
     let mut rows = Vec::new();
     for (name, kind, ways, paper) in cases {
         let plan = MergePlan::build(kind, &weights, ways);
@@ -26,9 +34,22 @@ fn main() {
             name.to_string(),
             paper.to_string(),
             measured.to_string(),
-            if measured == paper { "exact".into() } else { "MISMATCH".into() },
+            if measured == paper {
+                "exact".into()
+            } else {
+                "MISMATCH".into()
+            },
             plan.rounds.len().to_string(),
         ]);
     }
-    print_table(&["scheduler", "paper total", "measured total", "match", "rounds"], &rows);
+    print_table(
+        &[
+            "scheduler",
+            "paper total",
+            "measured total",
+            "match",
+            "rounds",
+        ],
+        &rows,
+    );
 }

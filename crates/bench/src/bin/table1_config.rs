@@ -17,15 +17,25 @@ fn main() {
         ],
         vec![
             "Merge Tree".into(),
-            format!("{} layers of array merger, merging up to {} arrays", c.tree_layers, c.merge_ways()),
+            format!(
+                "{} layers of array merger, merging up to {} arrays",
+                c.tree_layers,
+                c.merge_ways()
+            ),
         ],
         vec![
             "Multiplier".into(),
-            format!("2 groups x {} double-precision multipliers", c.multipliers / 2),
+            format!(
+                "2 groups x {} double-precision multipliers",
+                c.multipliers / 2
+            ),
         ],
         vec![
             "MatA Column Fetcher".into(),
-            format!("look-ahead buffer of {} elements, 64 column fetchers", c.prefetch.lookahead),
+            format!(
+                "look-ahead buffer of {} elements, 64 column fetchers",
+                c.prefetch.lookahead
+            ),
         ],
         vec![
             "MatB Row Prefetcher".into(),
@@ -47,7 +57,10 @@ fn main() {
                 c.hbm.bandwidth_gbs()
             ),
         ],
-        vec!["Peak compute".into(), format!("{:.0} GFLOP/s", c.peak_gflops())],
+        vec![
+            "Peak compute".into(),
+            format!("{:.0} GFLOP/s", c.peak_gflops()),
+        ],
     ];
     print_table(&["unit", "setting"], &rows);
 }

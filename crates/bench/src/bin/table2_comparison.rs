@@ -27,11 +27,24 @@ fn main() {
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
 
-    println!("Table II — comparison with OuterSPACE (scale {})\n", args.scale);
+    println!(
+        "Table II — comparison with OuterSPACE (scale {})\n",
+        args.scale
+    );
     print_table(
-        &["quantity", "SpArch (measured)", "SpArch (paper)", "OuterSPACE (published)"],
         &[
-            vec!["technology".into(), "40 nm (modelled)".into(), "40 nm".into(), "32 nm".into()],
+            "quantity",
+            "SpArch (measured)",
+            "SpArch (paper)",
+            "OuterSPACE (published)",
+        ],
+        &[
+            vec![
+                "technology".into(),
+                "40 nm (modelled)".into(),
+                "40 nm".into(),
+                "32 nm".into(),
+            ],
             vec![
                 "area (mm2)".into(),
                 format!("{:.2}", area.unwrap()),

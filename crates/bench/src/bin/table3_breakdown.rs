@@ -26,13 +26,36 @@ fn main() {
     let nj = |j: f64| j * 1e9 / flops as f64;
     let (pc, ps, pd, pt) = EnergyModel::paper_nj_per_flop();
 
-    println!("Table III — energy breakdown, nJ/FLOP (scale {})\n", args.scale);
+    println!(
+        "Table III — energy breakdown, nJ/FLOP (scale {})\n",
+        args.scale
+    );
     print_table(
-        &["category", "SpArch measured", "SpArch paper", "OuterSPACE published"],
         &[
-            vec!["computation".into(), format!("{:.3}", nj(comp)), format!("{pc}"), "3.19".into()],
-            vec!["SRAM".into(), format!("{:.3}", nj(sram)), format!("{ps}"), "0.35".into()],
-            vec!["DRAM".into(), format!("{:.3}", nj(dram)), format!("{pd}"), "1.20".into()],
+            "category",
+            "SpArch measured",
+            "SpArch paper",
+            "OuterSPACE published",
+        ],
+        &[
+            vec![
+                "computation".into(),
+                format!("{:.3}", nj(comp)),
+                format!("{pc}"),
+                "3.19".into(),
+            ],
+            vec![
+                "SRAM".into(),
+                format!("{:.3}", nj(sram)),
+                format!("{ps}"),
+                "0.35".into(),
+            ],
+            vec![
+                "DRAM".into(),
+                format!("{:.3}", nj(dram)),
+                format!("{pd}"),
+                "1.20".into(),
+            ],
             vec!["crossbar".into(), "n/a".into(), "n/a".into(), "0.21".into()],
             vec![
                 "overall".into(),

@@ -33,7 +33,10 @@ pub enum MatrixClass {
 }
 
 /// One benchmark matrix: published metadata plus its surrogate recipe.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` name cannot be deserialized from
+/// owned JSON text, and nothing needs to read entries back.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SuiteEntry {
     /// SuiteSparse/SNAP name as in the paper's figures.
     pub name: &'static str,
@@ -75,14 +78,11 @@ impl SuiteEntry {
                 // tops the density up to the published average degree.
                 let side = (rows as f64).cbrt().round().max(2.0) as usize;
                 let stencil = gen::poisson3d(side, side, side);
-                let deficit = nnz.saturating_sub(
-                    stencil.nnz() * rows / stencil.rows().max(1),
-                );
+                let deficit = nnz.saturating_sub(stencil.nnz() * rows / stencil.rows().max(1));
                 if deficit > stencil.nnz() / 4 {
                     // Rebuild at the exact row count with spill.
                     let mut coo = stencil.to_coo();
-                    let extra =
-                        gen::uniform_random(stencil.rows(), stencil.rows(), deficit, seed);
+                    let extra = gen::uniform_random(stencil.rows(), stencil.rows(), deficit, seed);
                     coo.extend(extra.iter());
                     coo.sort_dedup();
                     coo.to_csr()
@@ -90,9 +90,7 @@ impl SuiteEntry {
                     stencil
                 }
             }
-            MatrixClass::Circuit => {
-                gen::banded(rows, 1, nnz.saturating_sub(3 * rows), seed)
-            }
+            MatrixClass::Circuit => gen::banded(rows, 1, nnz.saturating_sub(3 * rows), seed),
             MatrixClass::Road => gen::banded(rows, 1, nnz / 10, seed),
             MatrixClass::Uniform => gen::uniform_random(rows, rows, nnz, seed),
         }
@@ -111,26 +109,126 @@ fn seed_of(name: &str) -> u64 {
 pub fn catalog() -> Vec<SuiteEntry> {
     use MatrixClass::*;
     vec![
-        SuiteEntry { name: "2cubes_sphere", rows: 101_492, nnz: 1_647_264, class: Mesh },
-        SuiteEntry { name: "amazon0312", rows: 400_727, nnz: 3_200_440, class: PowerLaw },
-        SuiteEntry { name: "ca-CondMat", rows: 23_133, nnz: 186_936, class: PowerLaw },
-        SuiteEntry { name: "cage12", rows: 130_228, nnz: 2_032_536, class: Uniform },
-        SuiteEntry { name: "cit-Patents", rows: 3_774_768, nnz: 16_518_948, class: PowerLaw },
-        SuiteEntry { name: "cop20k_A", rows: 121_192, nnz: 2_624_331, class: Mesh },
-        SuiteEntry { name: "email-Enron", rows: 36_692, nnz: 367_662, class: PowerLaw },
-        SuiteEntry { name: "facebook", rows: 4_039, nnz: 88_234, class: PowerLaw },
-        SuiteEntry { name: "filter3D", rows: 106_437, nnz: 2_707_179, class: Mesh },
-        SuiteEntry { name: "m133-b3", rows: 200_200, nnz: 800_800, class: Uniform },
-        SuiteEntry { name: "mario002", rows: 389_874, nnz: 2_101_242, class: Mesh },
-        SuiteEntry { name: "offshore", rows: 259_789, nnz: 4_242_673, class: Mesh },
-        SuiteEntry { name: "p2p-Gnutella31", rows: 62_586, nnz: 147_892, class: PowerLaw },
-        SuiteEntry { name: "patents_main", rows: 240_547, nnz: 560_943, class: PowerLaw },
-        SuiteEntry { name: "poisson3Da", rows: 13_514, nnz: 352_762, class: Mesh },
-        SuiteEntry { name: "roadNet-CA", rows: 1_971_281, nnz: 5_533_214, class: Road },
-        SuiteEntry { name: "scircuit", rows: 170_998, nnz: 958_936, class: Circuit },
-        SuiteEntry { name: "web-Google", rows: 916_428, nnz: 5_105_039, class: PowerLaw },
-        SuiteEntry { name: "webbase-1M", rows: 1_000_005, nnz: 3_105_536, class: PowerLaw },
-        SuiteEntry { name: "wiki-Vote", rows: 8_297, nnz: 103_689, class: PowerLaw },
+        SuiteEntry {
+            name: "2cubes_sphere",
+            rows: 101_492,
+            nnz: 1_647_264,
+            class: Mesh,
+        },
+        SuiteEntry {
+            name: "amazon0312",
+            rows: 400_727,
+            nnz: 3_200_440,
+            class: PowerLaw,
+        },
+        SuiteEntry {
+            name: "ca-CondMat",
+            rows: 23_133,
+            nnz: 186_936,
+            class: PowerLaw,
+        },
+        SuiteEntry {
+            name: "cage12",
+            rows: 130_228,
+            nnz: 2_032_536,
+            class: Uniform,
+        },
+        SuiteEntry {
+            name: "cit-Patents",
+            rows: 3_774_768,
+            nnz: 16_518_948,
+            class: PowerLaw,
+        },
+        SuiteEntry {
+            name: "cop20k_A",
+            rows: 121_192,
+            nnz: 2_624_331,
+            class: Mesh,
+        },
+        SuiteEntry {
+            name: "email-Enron",
+            rows: 36_692,
+            nnz: 367_662,
+            class: PowerLaw,
+        },
+        SuiteEntry {
+            name: "facebook",
+            rows: 4_039,
+            nnz: 88_234,
+            class: PowerLaw,
+        },
+        SuiteEntry {
+            name: "filter3D",
+            rows: 106_437,
+            nnz: 2_707_179,
+            class: Mesh,
+        },
+        SuiteEntry {
+            name: "m133-b3",
+            rows: 200_200,
+            nnz: 800_800,
+            class: Uniform,
+        },
+        SuiteEntry {
+            name: "mario002",
+            rows: 389_874,
+            nnz: 2_101_242,
+            class: Mesh,
+        },
+        SuiteEntry {
+            name: "offshore",
+            rows: 259_789,
+            nnz: 4_242_673,
+            class: Mesh,
+        },
+        SuiteEntry {
+            name: "p2p-Gnutella31",
+            rows: 62_586,
+            nnz: 147_892,
+            class: PowerLaw,
+        },
+        SuiteEntry {
+            name: "patents_main",
+            rows: 240_547,
+            nnz: 560_943,
+            class: PowerLaw,
+        },
+        SuiteEntry {
+            name: "poisson3Da",
+            rows: 13_514,
+            nnz: 352_762,
+            class: Mesh,
+        },
+        SuiteEntry {
+            name: "roadNet-CA",
+            rows: 1_971_281,
+            nnz: 5_533_214,
+            class: Road,
+        },
+        SuiteEntry {
+            name: "scircuit",
+            rows: 170_998,
+            nnz: 958_936,
+            class: Circuit,
+        },
+        SuiteEntry {
+            name: "web-Google",
+            rows: 916_428,
+            nnz: 5_105_039,
+            class: PowerLaw,
+        },
+        SuiteEntry {
+            name: "webbase-1M",
+            rows: 1_000_005,
+            nnz: 3_105_536,
+            class: PowerLaw,
+        },
+        SuiteEntry {
+            name: "wiki-Vote",
+            rows: 8_297,
+            nnz: 103_689,
+            class: PowerLaw,
+        },
     ]
 }
 

@@ -105,7 +105,11 @@ impl<'a> CondensedView<'a> {
         let row_ptr = self.matrix.row_ptr();
         self.cols[j].iter().map(move |&r| {
             let k = row_ptr[r as usize] + j;
-            CondensedElement { row: r, orig_col: col_idx[k], value: values[k] }
+            CondensedElement {
+                row: r,
+                orig_col: col_idx[k],
+                value: values[k],
+            }
         })
     }
 
@@ -116,12 +120,16 @@ impl<'a> CondensedView<'a> {
     ///
     /// Panics if `j >= num_cols()` or an original column exceeds `b`'s rows.
     pub fn col_weight(&self, j: usize, b: &Csr) -> u64 {
-        self.col(j).map(|e| b.row_nnz(e.orig_col as usize) as u64).sum()
+        self.col(j)
+            .map(|e| b.row_nnz(e.orig_col as usize) as u64)
+            .sum()
     }
 
     /// All column weights at once (leaf weights for the scheduler).
     pub fn col_weights(&self, b: &Csr) -> Vec<u64> {
-        (0..self.num_cols()).map(|j| self.col_weight(j, b)).collect()
+        (0..self.num_cols())
+            .map(|j| self.col_weight(j, b))
+            .collect()
     }
 }
 
@@ -136,18 +144,18 @@ mod tests {
         let a = gen::uniform_random(5000, 5000, 5000 * 6, 3);
         let v = CondensedView::new(&a);
         let occupied = a.to_csc().occupied_cols();
-        assert!(v.num_cols() < occupied / 50, "{} vs {}", v.num_cols(), occupied);
+        assert!(
+            v.num_cols() < occupied / 50,
+            "{} vs {}",
+            v.num_cols(),
+            occupied
+        );
     }
 
     #[test]
     fn figure7_style_column_contents() {
         // Each condensed column holds the j-th element of every row.
-        let a = Dense::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[0.0, 4.0, 0.0],
-            &[5.0, 0.0, 6.0],
-        ])
-        .to_csr();
+        let a = Dense::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 4.0, 0.0], &[5.0, 0.0, 6.0]]).to_csr();
         let v = CondensedView::new(&a);
         assert_eq!(v.num_cols(), 3);
         let col0: Vec<_> = v.col(0).map(|e| (e.row, e.orig_col, e.value)).collect();
@@ -163,7 +171,10 @@ mod tests {
         let v = CondensedView::new(&a);
         for j in 0..v.num_cols() {
             let rows: Vec<Index> = v.col(j).map(|e| e.row).collect();
-            assert!(rows.windows(2).all(|w| w[0] < w[1]), "column {j} rows not ascending");
+            assert!(
+                rows.windows(2).all(|w| w[0] < w[1]),
+                "column {j} rows not ascending"
+            );
         }
     }
 

@@ -149,7 +149,10 @@ impl SpArchConfig {
                     .with_scheduler(SchedulerKind::Random(17))
                     .without_prefetcher(),
             ),
-            ("+ huffman scheduler", SpArchConfig::default().without_prefetcher()),
+            (
+                "+ huffman scheduler",
+                SpArchConfig::default().without_prefetcher(),
+            ),
             ("+ row prefetcher (full SpArch)", SpArchConfig::default()),
         ]
     }
@@ -164,7 +167,7 @@ impl SpArchConfig {
         assert!(self.tree_layers > 0, "tree must have at least one layer");
         assert!(self.merger_width > 0, "merger width must be positive");
         assert!(
-            self.merger_width % self.merger_chunk == 0,
+            self.merger_width.is_multiple_of(self.merger_chunk),
             "merger chunk must divide merger width"
         );
         assert!(self.multipliers > 0, "need at least one multiplier");
@@ -178,7 +181,10 @@ impl SpArchConfig {
 /// in Table I).
 fn best_chunk(n: usize) -> usize {
     let target = (n as f64).sqrt().ceil() as usize;
-    (1..=target).rev().find(|d| n % d == 0).unwrap_or(1)
+    (1..=target)
+        .rev()
+        .find(|&d| n.is_multiple_of(d))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -218,7 +224,10 @@ mod tests {
 
     #[test]
     fn merger_width_adjusts_chunk() {
-        assert_eq!(SpArchConfig::default().with_merger_width(16).merger_chunk, 4);
+        assert_eq!(
+            SpArchConfig::default().with_merger_width(16).merger_chunk,
+            4
+        );
         assert_eq!(SpArchConfig::default().with_merger_width(8).merger_chunk, 2);
         assert_eq!(SpArchConfig::default().with_merger_width(1).merger_chunk, 1);
         for n in [1usize, 2, 4, 8, 16, 12] {
@@ -229,8 +238,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "divide")]
     fn bad_chunk_rejected() {
-        let mut c = SpArchConfig::default();
-        c.merger_chunk = 5;
+        let c = SpArchConfig {
+            merger_chunk: 5,
+            ..Default::default()
+        };
         c.validate();
     }
 

@@ -8,24 +8,26 @@
 //! Figure 5/10 — and is used to validate the cost model (see
 //! `tests/model_validation.rs` and the unit tests here).
 //!
-//! Per cycle, in hardware order:
+//! The merge tree itself is `sparch_engine`'s [`MergeTreeSim`], advanced
+//! through the [`Clocked`] two-phase discipline; this module adds only the
+//! multiplier array. Per cycle, in hardware order:
 //!
-//! 1. the partial-matrix writer drains the root FIFO (merger width per
-//!    cycle, 16 bytes per element of DRAM write),
-//! 2. each tree layer's shared merger serves one node (round-robin),
-//! 3. the multiplier array produces up to `multipliers` partial products,
+//! 1. `clock_update`: the partial-matrix writer stages the root FIFO drain
+//!    (merger width per cycle) and each tree layer's shared merger serves
+//!    one node (round-robin),
+//! 2. the multiplier array produces up to `multipliers` partial products,
 //!    round-robin across the round's columns, pushing into leaf FIFOs
-//!    with backpressure.
+//!    with backpressure — products latch at the coming clock edge,
+//! 3. `clock_apply`: the writer's staged batch commits to the output.
 //!
 //! The co-simulation is functionally exact: its output equals the
-//! functional k-way merge.
+//! functional k-way merge ([`crate::pipeline::kway_merge_fold`]).
 
 use crate::condense::CondensedElement;
 use crate::config::SpArchConfig;
 use serde::{Deserialize, Serialize};
-use sparch_engine::MergeItem;
+use sparch_engine::{Clocked, MergeItem, MergeTreeConfig, MergeTreeSim};
 use sparch_sparse::Csr;
-use std::collections::VecDeque;
 
 /// Counters and output of one co-simulated round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,11 +43,6 @@ pub struct CycleRoundReport {
     pub multiplier_stalls: u64,
     /// Cycles in which any layer's merger found no serviceable node.
     pub merger_idle: u64,
-}
-
-struct Node {
-    fifo: VecDeque<MergeItem>,
-    finished: bool,
 }
 
 /// Per-column generator state: walks the column's elements and, within
@@ -103,23 +100,28 @@ pub fn simulate_round(
         columns.len()
     );
     let width = config.merger_width;
-    let fifo_capacity = (2 * width).max(64);
 
-    let mut levels: Vec<Vec<Node>> = (0..=layers)
-        .map(|l| {
-            (0..(1usize << l))
-                .map(|_| Node { fifo: VecDeque::new(), finished: false })
-                .collect()
-        })
-        .collect();
+    // Round FIFOs are sized to absorb one merger emission plus slack; the
+    // co-simulation historically used twice the width (min 64).
+    let mut sim = MergeTreeSim::new(MergeTreeConfig {
+        layers,
+        merger_width: width,
+        merger_chunk: config.merger_chunk,
+        fifo_capacity: (2 * width).max(64),
+    });
     // Leaves beyond the column count are trivially finished.
-    for (i, node) in levels[layers].iter_mut().enumerate() {
-        node.finished = i >= columns.len();
+    for leaf in columns.len()..leaves {
+        sim.finish_leaf(leaf);
     }
 
     let mut cursors: Vec<ColumnCursor> = columns
         .iter()
-        .map(|col| ColumnCursor { col, b, elem: 0, pos: 0 })
+        .map(|col| ColumnCursor {
+            col,
+            b,
+            elem: 0,
+            pos: 0,
+        })
         .collect();
     let total_products: u64 = columns
         .iter()
@@ -127,56 +129,21 @@ pub fn simulate_round(
         .map(|e| b.row_nnz(e.orig_col as usize) as u64)
         .sum();
 
-    let mut report = CycleRoundReport {
-        cycles: 0,
-        output: Vec::new(),
-        multiplies: 0,
-        multiplier_stalls: 0,
-        merger_idle: 0,
-    };
-    let mut rr: Vec<usize> = vec![0; layers];
+    let mut multiplies = 0u64;
+    let mut multiplier_stalls = 0u64;
     let mut mult_rr = 0usize;
     let cycle_cap = 1000 + total_products * (layers as u64 + 3);
 
     loop {
-        report.cycles += 1;
+        // Phase 1: writer stages the root drain, layer mergers run.
+        sim.clock_update();
         assert!(
-            report.cycles < cycle_cap.max(10_000),
+            sim.stats().cycles < cycle_cap.max(10_000),
             "cycle co-simulation failed to converge"
         );
 
-        // 1. Writer drains the root, folding straddled duplicates.
-        {
-            let root = &mut levels[0][0];
-            let take = root.fifo.len().min(width);
-            for _ in 0..take {
-                let item = root.fifo.pop_front().expect("len checked");
-                match report.output.last_mut() {
-                    Some(last) if last.coord == item.coord => last.value += item.value,
-                    _ => report.output.push(item),
-                }
-            }
-        }
-
-        // 2. Layer mergers, root-first (one-cycle latency per level).
-        for l in 0..layers {
-            let parents = 1usize << l;
-            let mut served = false;
-            for probe in 0..parents {
-                let p = (rr[l] + probe) % parents;
-                if service(&mut levels, l, p, width, fifo_capacity) {
-                    rr[l] = (p + 1) % parents;
-                    served = true;
-                    break;
-                }
-            }
-            if !served {
-                report.merger_idle += 1;
-            }
-        }
-
-        // 3. Multiplier array fills leaf FIFOs, round-robin with
-        //    backpressure.
+        // Multiplier array fills leaf FIFOs, round-robin with
+        // backpressure; the products latch at the coming clock edge.
         if !columns.is_empty() {
             let mut budget = config.multipliers;
             let mut blocked = 0usize;
@@ -185,106 +152,53 @@ pub fn simulate_round(
                 let k = mult_rr % columns.len();
                 mult_rr += 1;
                 probes += 1;
-                let leaf = &mut levels[layers][k];
-                if leaf.finished {
+                if cursors[k].exhausted() {
                     continue;
                 }
-                if cursors[k].exhausted() && leaf.fifo.is_empty() {
-                    // nothing left to produce; finished once FIFO drains
-                }
-                if leaf.fifo.len() >= fifo_capacity {
+                if !sim.leaf_has_room(k) {
                     blocked += 1;
                     continue;
                 }
                 match cursors[k].next_product() {
                     Some(item) => {
-                        leaf.fifo.push_back(item);
-                        report.multiplies += 1;
+                        sim.push_leaf(k, item).expect("room checked");
+                        multiplies += 1;
                         budget -= 1;
                     }
                     None => {
-                        leaf.finished = true;
+                        sim.finish_leaf(k);
                     }
                 }
             }
             if budget == config.multipliers && blocked > 0 {
-                report.multiplier_stalls += 1;
+                multiplier_stalls += 1;
             }
         }
         // Columns that ran dry this cycle finish their leaves.
         for (k, cursor) in cursors.iter().enumerate() {
             if cursor.exhausted() {
-                levels[layers][k].finished = true;
+                sim.finish_leaf(k);
             }
         }
 
-        let root = &levels[0][0];
-        if root.finished && root.fifo.is_empty() {
+        // Phase 2: the clock edge commits the writer's staged batch.
+        sim.clock_apply();
+
+        if sim.is_done() {
             break;
         }
     }
-    report
-}
 
-/// One merger service (same discipline as `sparch_engine::MergeTree`).
-fn service(
-    levels: &mut [Vec<Node>],
-    l: usize,
-    p: usize,
-    width: usize,
-    fifo_capacity: usize,
-) -> bool {
-    let (c0, c1) = (2 * p, 2 * p + 1);
-    let (upper, lower) = levels.split_at_mut(l + 1);
-    let parent = &mut upper[l][p];
-    if parent.finished {
-        return false;
+    let merger_idle = sim.stats().stalls;
+    let cycles = sim.stats().cycles;
+    let (output, _) = sim.into_parts();
+    CycleRoundReport {
+        cycles,
+        output,
+        multiplies,
+        multiplier_stalls,
+        merger_idle,
     }
-    let (left_nodes, right_nodes) = lower[0].split_at_mut(c1);
-    let left = &mut left_nodes[c0];
-    let right = &mut right_nodes[0];
-
-    let mut moved = 0usize;
-    let mut staging: Vec<MergeItem> = Vec::with_capacity(width);
-    while moved < width && parent.fifo.len() + staging.len() < fifo_capacity {
-        let take_right = match (left.fifo.front(), right.fifo.front()) {
-            (Some(a), Some(b)) => a.coord >= b.coord,
-            (Some(_), None) => {
-                if right.finished {
-                    false
-                } else {
-                    break;
-                }
-            }
-            (None, Some(_)) => {
-                if left.finished {
-                    true
-                } else {
-                    break;
-                }
-            }
-            (None, None) => break,
-        };
-        let item = if take_right {
-            right.fifo.pop_front().expect("head checked")
-        } else {
-            left.fifo.pop_front().expect("head checked")
-        };
-        staging.push(item);
-        moved += 1;
-    }
-    let (folded, _) = sparch_engine::adder::fold_duplicates(&staging);
-    for item in folded {
-        match parent.fifo.back_mut() {
-            Some(back) if back.coord == item.coord => back.value += item.value,
-            _ => parent.fifo.push_back(item),
-        }
-    }
-    if left.finished && right.finished && left.fifo.is_empty() && right.fifo.is_empty() {
-        parent.finished = true;
-        return true;
-    }
-    moved > 0
 }
 
 #[cfg(test)]
@@ -296,7 +210,9 @@ mod tests {
 
     fn columns_of(a: &Csr) -> Vec<Vec<CondensedElement>> {
         let view = CondensedView::new(a);
-        (0..view.num_cols()).map(|j| view.col(j).collect()).collect()
+        (0..view.num_cols())
+            .map(|j| view.col(j).collect())
+            .collect()
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! signal the windowed-Bélády buffer in [`crate::prefetch`] consumes.
 
 use crate::condense::CondensedElement;
+use sparch_engine::Clocked;
 use sparch_mem::Fifo;
 use sparch_sparse::Index;
 use std::collections::HashMap;
@@ -51,7 +52,12 @@ impl<'a> ColumnFetcher<'a> {
     /// Creates a fetcher over the round's columns.
     pub fn new(columns: &'a [Vec<CondensedElement>]) -> Self {
         let exhausted = columns.iter().filter(|c| c.is_empty()).count();
-        ColumnFetcher { columns, cursors: vec![0; columns.len()], slot: 0, exhausted }
+        ColumnFetcher {
+            columns,
+            cursors: vec![0; columns.len()],
+            slot: 0,
+            exhausted,
+        }
     }
 
     /// Total elements remaining.
@@ -151,6 +157,11 @@ impl DistanceListBuilder {
         self.window.len()
     }
 
+    /// Admissions the window can still take before producers must stall.
+    pub fn free(&self) -> usize {
+        self.window.free()
+    }
+
     /// Whether the window holds no elements.
     pub fn is_empty(&self) -> bool {
         self.window.is_empty()
@@ -168,6 +179,108 @@ impl DistanceListBuilder {
     }
 }
 
+/// Cycle-level coupling of the MatA column fetcher and the look-ahead
+/// FIFO, driven through the [`Clocked`] two-phase discipline.
+///
+/// Each cycle, `clock_update` stages up to `per_cycle` elements from the
+/// fetcher (bounded by the window's free space — backpressure), and
+/// `clock_apply` latches them into the distance-list window. Distance
+/// queries therefore always observe the window as of the last clock edge,
+/// which is the flip-flop boundary between the fetcher and the prefetcher
+/// in the hardware (Figure 10).
+///
+/// # Example
+///
+/// ```
+/// use sparch_core::fetch::FetchPipeline;
+/// use sparch_core::CondensedView;
+/// use sparch_engine::{Clock, Clocked};
+/// use sparch_sparse::Dense;
+///
+/// let a = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 0.0]]).to_csr();
+/// let view = CondensedView::new(&a);
+/// let cols: Vec<Vec<_>> = (0..view.num_cols()).map(|j| view.col(j).collect()).collect();
+/// let mut pipe = FetchPipeline::new(&cols, 8, 2);
+/// assert_eq!(pipe.window().len(), 0); // nothing latched before the edge
+/// let mut clock = Clock::new();
+/// clock.tick(&mut [&mut pipe]);
+/// assert_eq!(pipe.window().len(), 2); // first two elements latched
+/// ```
+#[derive(Debug)]
+pub struct FetchPipeline<'a> {
+    fetcher: ColumnFetcher<'a>,
+    window: DistanceListBuilder,
+    per_cycle: usize,
+    staged: Vec<CondensedElement>,
+    /// Elements latched into the window over the pipeline's lifetime.
+    delivered: u64,
+}
+
+impl<'a> FetchPipeline<'a> {
+    /// Creates a pipeline streaming `columns` into a `lookahead`-element
+    /// window at up to `per_cycle` elements per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead == 0` or `per_cycle == 0`.
+    pub fn new(columns: &'a [Vec<CondensedElement>], lookahead: usize, per_cycle: usize) -> Self {
+        assert!(
+            per_cycle > 0,
+            "pipeline must move at least one element per cycle"
+        );
+        FetchPipeline {
+            fetcher: ColumnFetcher::new(columns),
+            window: DistanceListBuilder::new(lookahead),
+            per_cycle,
+            staged: Vec::new(),
+            delivered: 0,
+        }
+    }
+
+    /// The look-ahead window, for next-use-distance queries.
+    pub fn window(&self) -> &DistanceListBuilder {
+        &self.window
+    }
+
+    /// Consumes the oldest windowed element (the multiplier took it),
+    /// freeing window space for the next clock edge.
+    pub fn consume(&mut self) -> Option<Index> {
+        self.window.consume()
+    }
+
+    /// Elements latched into the window so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// True when every element has been fetched, latched and consumed.
+    pub fn is_done(&self) -> bool {
+        self.fetcher.remaining() == 0 && self.staged.is_empty() && self.window.is_empty()
+    }
+}
+
+impl Clocked for FetchPipeline<'_> {
+    fn clock_update(&mut self) {
+        // Stage only what the window is guaranteed to accept at the edge:
+        // consumption between phases can only increase free space.
+        let room = self.window.free().saturating_sub(self.staged.len());
+        for _ in 0..self.per_cycle.min(room) {
+            match self.fetcher.next() {
+                Some(e) => self.staged.push(e),
+                None => break,
+            }
+        }
+    }
+
+    fn clock_apply(&mut self) {
+        for e in self.staged.drain(..) {
+            let admitted = self.window.admit(e.orig_col);
+            debug_assert!(admitted, "staging was bounded by free space");
+            self.delivered += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,14 +291,38 @@ mod tests {
     fn fetcher_interleaves_round_robin() {
         let cols = vec![
             vec![
-                CondensedElement { row: 0, orig_col: 10, value: 1.0 },
-                CondensedElement { row: 1, orig_col: 11, value: 2.0 },
+                CondensedElement {
+                    row: 0,
+                    orig_col: 10,
+                    value: 1.0,
+                },
+                CondensedElement {
+                    row: 1,
+                    orig_col: 11,
+                    value: 2.0,
+                },
             ],
-            vec![CondensedElement { row: 0, orig_col: 20, value: 3.0 }],
+            vec![CondensedElement {
+                row: 0,
+                orig_col: 20,
+                value: 3.0,
+            }],
             vec![
-                CondensedElement { row: 2, orig_col: 30, value: 4.0 },
-                CondensedElement { row: 3, orig_col: 31, value: 5.0 },
-                CondensedElement { row: 4, orig_col: 32, value: 6.0 },
+                CondensedElement {
+                    row: 2,
+                    orig_col: 30,
+                    value: 4.0,
+                },
+                CondensedElement {
+                    row: 3,
+                    orig_col: 31,
+                    value: 5.0,
+                },
+                CondensedElement {
+                    row: 4,
+                    orig_col: 32,
+                    value: 6.0,
+                },
             ],
         ];
         let order: Vec<u32> = ColumnFetcher::new(&cols).map(|e| e.orig_col).collect();
@@ -196,8 +333,9 @@ mod tests {
     fn fetcher_covers_every_element_once() {
         let a = gen::rmat_graph500(128, 4, 3);
         let view = CondensedView::new(&a);
-        let cols: Vec<Vec<CondensedElement>> =
-            (0..view.num_cols()).map(|j| view.col(j).collect()).collect();
+        let cols: Vec<Vec<CondensedElement>> = (0..view.num_cols())
+            .map(|j| view.col(j).collect())
+            .collect();
         let fetcher = ColumnFetcher::new(&cols);
         assert_eq!(fetcher.remaining(), a.nnz());
         let fetched: Vec<CondensedElement> = fetcher.collect();
@@ -265,5 +403,60 @@ mod tests {
                 admitted += 1;
             }
         }
+    }
+
+    #[test]
+    fn pipeline_preserves_stream_order() {
+        use sparch_engine::Clock;
+        let a = gen::rmat_graph500(64, 4, 11);
+        let view = CondensedView::new(&a);
+        let cols: Vec<Vec<CondensedElement>> = (0..view.num_cols())
+            .map(|j| view.col(j).collect())
+            .collect();
+        let expected: Vec<u32> = ColumnFetcher::new(&cols).map(|e| e.orig_col).collect();
+
+        let mut pipe = FetchPipeline::new(&cols, 8, 3);
+        let mut clock = Clock::new();
+        let mut got = Vec::new();
+        while !pipe.is_done() {
+            clock.tick(&mut [&mut pipe]);
+            // Consume at most one element per cycle, like a single
+            // multiplier port; the window stays mostly full.
+            if let Some(row) = pipe.consume() {
+                got.push(row);
+            }
+            assert!(pipe.window().len() <= 8, "window capacity exceeded");
+            assert!(clock.cycles() < 100_000, "pipeline failed to converge");
+        }
+        assert_eq!(got, expected);
+        assert_eq!(pipe.delivered() as usize, expected.len());
+    }
+
+    #[test]
+    fn pipeline_latches_at_the_edge() {
+        use sparch_engine::Clocked;
+        let cols = vec![vec![
+            CondensedElement {
+                row: 0,
+                orig_col: 3,
+                value: 1.0,
+            },
+            CondensedElement {
+                row: 1,
+                orig_col: 4,
+                value: 2.0,
+            },
+        ]];
+        let mut pipe = FetchPipeline::new(&cols, 4, 2);
+        pipe.clock_update();
+        assert_eq!(
+            pipe.window().len(),
+            0,
+            "staged elements must not be visible"
+        );
+        pipe.clock_apply();
+        assert_eq!(pipe.window().len(), 2);
+        assert_eq!(pipe.window().next_use_distance(3), 0);
+        assert_eq!(pipe.window().next_use_distance(4), 1);
     }
 }

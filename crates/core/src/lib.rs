@@ -46,10 +46,13 @@ pub mod roofline;
 pub mod sched;
 pub mod simulator;
 
-pub use condense::CondensedView;
+pub use condense::{CondensedElement, CondensedView};
 pub use config::{SchedulerKind, SpArchConfig};
-pub use prefetch::{PrefetchConfig, PrefetchStats, ReplacementPolicy};
+pub use cycle::{simulate_round, CycleRoundReport};
+pub use fetch::{ColumnFetcher, DistanceListBuilder, FetchPipeline};
+pub use pipeline::{kway_merge_fold, CostParams, RoundCost};
+pub use prefetch::{PrefetchConfig, PrefetchStats, ReplacementPolicy, RowPrefetcher};
 pub use report::{PerfSummary, SimReport};
 pub use roofline::{Roofline, RooflinePoint};
-pub use sched::{MergePlan, PlanNode};
+pub use sched::{MergePlan, PlanNode, PlanRound};
 pub use simulator::SpArchSim;

@@ -18,8 +18,21 @@ use std::collections::BinaryHeap;
 /// number of additions performed.
 ///
 /// This is the functional model of one merge-tree round; the engine
-/// crate's `MergeTree` is the cycle-level model of the same computation.
+/// crate's `MergeTree` is the cycle-level model of the same computation,
+/// and both enforce the same input contract — streams sorted by packed
+/// coordinate (`sparch_engine::item::is_sorted`) — so they are
+/// interchangeable and cross-validated (see `tests/merge_contract.rs`).
+///
+/// # Panics
+///
+/// Panics in debug builds if an input stream is not sorted by coordinate.
 pub fn kway_merge_fold(streams: &[&[MergeItem]]) -> (Vec<MergeItem>, u64) {
+    for (k, s) in streams.iter().enumerate() {
+        debug_assert!(
+            sparch_engine::item::is_sorted(s),
+            "input {k} is not sorted by coordinate"
+        );
+    }
     let total: usize = streams.iter().map(|s| s.len()).sum();
     let mut out: Vec<MergeItem> = Vec::with_capacity(total);
     let mut adds = 0u64;
@@ -117,8 +130,7 @@ impl CostParams {
     /// only across the independent channel fetchers).
     pub fn overheads(&self, cost: &RoundCost) -> u64 {
         let extra_levels = (self.buffer_lines.max(1) as f64).log2() - 10.0;
-        let replacement =
-            (cost.line_misses as f64 * extra_levels.max(0.0) * 0.6).round() as u64;
+        let replacement = (cost.line_misses as f64 * extra_levels.max(0.0) * 0.6).round() as u64;
         let unhidden =
             cost.unhidden_fetches * self.dram_latency / (self.fetchers as u64).max(1) / 4;
         replacement + unhidden
@@ -157,11 +169,18 @@ mod tests {
     fn kway_merge_matches_engine_tree() {
         use sparch_engine::{MergeTree, MergeTreeConfig};
         let streams: Vec<Vec<MergeItem>> = (0..8)
-            .map(|k| (0..40u32).map(|i| MergeItem::new(i, k, 1.0 + k as f64)).collect())
+            .map(|k| {
+                (0..40u32)
+                    .map(|i| MergeItem::new(i, k, 1.0 + k as f64))
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[MergeItem]> = streams.iter().map(|s| s.as_slice()).collect();
         let (fast, _) = kway_merge_fold(&refs);
-        let tree = MergeTree::new(MergeTreeConfig { layers: 3, ..Default::default() });
+        let tree = MergeTree::new(MergeTreeConfig {
+            layers: 3,
+            ..Default::default()
+        });
         let (slow, _) = tree.merge(streams.clone());
         assert_eq!(fast, slow, "functional and cycle models must agree");
     }
@@ -211,7 +230,10 @@ mod tests {
     #[test]
     fn lookahead_fill_charged_once_per_round() {
         let mut p = params();
-        let cost = RoundCost { mat_a_elements: 100_000, ..Default::default() };
+        let cost = RoundCost {
+            mat_a_elements: 100_000,
+            ..Default::default()
+        };
         let small = p.startup_cycles(&cost);
         p.lookahead = 16384;
         let large = p.startup_cycles(&cost);
@@ -221,7 +243,10 @@ mod tests {
     #[test]
     fn unhidden_latency_penalizes_missing_prefetcher() {
         let p = params();
-        let cost = RoundCost { unhidden_fetches: 10_000, ..Default::default() };
+        let cost = RoundCost {
+            unhidden_fetches: 10_000,
+            ..Default::default()
+        };
         assert!(p.overheads(&cost) > 0);
         let cost_hidden = RoundCost::default();
         assert_eq!(p.overheads(&cost_hidden), 0);
@@ -230,7 +255,10 @@ mod tests {
     #[test]
     fn replacement_overhead_only_beyond_design_point() {
         let mut p = params();
-        let cost = RoundCost { line_misses: 100_000, ..Default::default() };
+        let cost = RoundCost {
+            line_misses: 100_000,
+            ..Default::default()
+        };
         assert_eq!(p.overheads(&cost), 0, "1024 lines is the design point");
         p.buffer_lines = 4096;
         assert!(p.overheads(&cost) > 0);

@@ -9,6 +9,7 @@
 //! used in 3.
 
 use super::{PrefetchConfig, PrefetchStats, ReplacementPolicy};
+use sparch_engine::{Clock, Clocked};
 use sparch_sparse::{Csr, Index};
 use std::collections::{BTreeMap, HashMap};
 
@@ -76,6 +77,12 @@ pub struct RowPrefetcher<'a> {
     lines_used: usize,
     next_seq: u64,
     stats: PrefetchStats,
+    /// DRAM bytes of the access processed this cycle, staged by
+    /// `clock_update` and latched by `clock_apply` (see the [`Clocked`]
+    /// impl).
+    staged_bytes: Option<u64>,
+    /// DRAM bytes latched at the last clock edge.
+    latched_bytes: Option<u64>,
 }
 
 impl<'a> RowPrefetcher<'a> {
@@ -107,6 +114,8 @@ impl<'a> RowPrefetcher<'a> {
             lines_used: 0,
             next_seq: 0,
             stats: PrefetchStats::default(),
+            staged_bytes: None,
+            latched_bytes: None,
         }
     }
 
@@ -120,13 +129,22 @@ impl<'a> RowPrefetcher<'a> {
         &self.stats
     }
 
-    /// Runs the whole remaining sequence, returning total DRAM bytes.
+    /// Runs the whole remaining sequence through the two-phase clock (one
+    /// access per cycle), returning total DRAM bytes.
     pub fn run_to_end(&mut self) -> u64 {
+        let mut clock = Clock::new();
         let mut bytes = 0;
-        while self.remaining() > 0 {
-            bytes += self.access_next();
+        while self.remaining() > 0 || self.staged_bytes.is_some() {
+            clock.tick(&mut [self]);
+            bytes += self.take_cycle_bytes().unwrap_or(0);
         }
         bytes
+    }
+
+    /// DRAM bytes of the access that latched at the last clock edge, if
+    /// one did. Consuming resets the latch.
+    pub fn take_cycle_bytes(&mut self) -> Option<u64> {
+        self.latched_bytes.take()
     }
 
     /// Absolute position of `row`'s next use strictly after `t`.
@@ -342,6 +360,24 @@ impl<'a> RowPrefetcher<'a> {
     }
 }
 
+/// One buffer access per cycle: the access's bookkeeping happens in the
+/// update phase; its DRAM-byte output signal latches at the clock edge,
+/// so other components (fetchers, the traffic counter) observe it one
+/// cycle later, flip-flop style.
+impl Clocked for RowPrefetcher<'_> {
+    fn clock_update(&mut self) {
+        if self.t < self.accesses.len() {
+            self.staged_bytes = Some(self.access_next());
+        }
+    }
+
+    fn clock_apply(&mut self) {
+        if let Some(bytes) = self.staged_bytes.take() {
+            self.latched_bytes = Some(self.latched_bytes.unwrap_or(0) + bytes);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,7 +385,7 @@ mod tests {
 
     /// B with `rows` rows of exactly `nnz_per_row` elements each.
     fn uniform_b(rows: usize, nnz_per_row: usize) -> Csr {
-        let mut b = CsrBuilder::new(rows, (nnz_per_row + 1) as usize);
+        let mut b = CsrBuilder::new(rows, nnz_per_row + 1);
         for r in 0..rows {
             for c in 0..nnz_per_row {
                 b.push(r as Index, c as Index, 1.0);
@@ -435,7 +471,10 @@ mod tests {
             large >= small,
             "longer look-ahead cannot hurt the policy: {large} vs {small}"
         );
-        assert!(large > small + 0.05, "expected a real gap: {large} vs {small}");
+        assert!(
+            large > small + 0.05,
+            "expected a real gap: {large} vs {small}"
+        );
     }
 
     #[test]
@@ -542,7 +581,10 @@ mod policy_tests {
         let lru = hit_rate(ReplacementPolicy::Lru, &b, &seq, 4);
         let belady = hit_rate(ReplacementPolicy::Belady, &b, &seq, 4);
         assert_eq!(lru, 0.0, "LRU must thrash on a cyclic scan");
-        assert!(belady > 0.5, "Bélády keeps most of the working set: {belady}");
+        assert!(
+            belady > 0.5,
+            "Bélády keeps most of the working set: {belady}"
+        );
     }
 
     #[test]

@@ -142,8 +142,15 @@ mod tests {
                 bandwidth_utilization: 0.5,
             },
             PrefetchStats::default(),
-            ActivityCounts { multiplies: 5000, ..Default::default() },
-            EnergyBreakdown { multiplier_array: 1e-7, hbm: 2.35e-5, ..Default::default() },
+            ActivityCounts {
+                multiplies: 5000,
+                ..Default::default()
+            },
+            EnergyBreakdown {
+                multiplier_array: 1e-7,
+                hbm: 2.35e-5,
+                ..Default::default()
+            },
             AreaBreakdown::default(),
             12,
             365,

@@ -32,7 +32,10 @@ pub struct RooflinePoint {
 impl Roofline {
     /// The paper's configuration: 32 GFLOP/s compute, 128 GB/s HBM.
     pub fn paper_default() -> Self {
-        Roofline { compute_roof_gflops: 32.0, bandwidth_gbs: 128.0 }
+        Roofline {
+            compute_roof_gflops: 32.0,
+            bandwidth_gbs: 128.0,
+        }
     }
 
     /// The roof at a given operational intensity:
@@ -48,7 +51,11 @@ impl Roofline {
 
     /// Places a measured run on the roofline.
     pub fn place(&self, intensity: f64, attained_gflops: f64) -> RooflinePoint {
-        RooflinePoint { intensity, attained_gflops, roof_gflops: self.roof_at(intensity) }
+        RooflinePoint {
+            intensity,
+            attained_gflops,
+            roof_gflops: self.roof_at(intensity),
+        }
     }
 }
 
@@ -93,7 +100,10 @@ mod tests {
         let r = Roofline::paper_default();
         let p = r.place(0.19, 10.4);
         assert!(p.attained_gflops < p.roof_gflops);
-        assert!((p.roof_gflops / p.attained_gflops - 2.34) < 0.1, "paper: 2.3x below roof");
+        assert!(
+            (p.roof_gflops / p.attained_gflops - 2.34) < 0.1,
+            "paper: 2.3x below roof"
+        );
     }
 
     #[test]
@@ -101,7 +111,10 @@ mod tests {
         // Very sparse matrices are memory-bound: intensity below 0.25.
         let a = gen::rmat_graph500(1024, 8, 3);
         let oi = theoretical_intensity(&a, &a);
-        assert!(oi > 0.01 && oi < Roofline::paper_default().knee() * 4.0, "oi = {oi}");
+        assert!(
+            oi > 0.01 && oi < Roofline::paper_default().knee() * 4.0,
+            "oi = {oi}"
+        );
     }
 
     #[test]

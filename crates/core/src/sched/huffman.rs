@@ -33,7 +33,11 @@ pub fn huffman_plan(leaf_weights: &[u64], ways: usize) -> MergePlan {
 
     let mut first = true;
     while heap.len() > 1 {
-        let take = if first { kinit(n, ways) } else { ways.min(heap.len()) };
+        let take = if first {
+            kinit(n, ways)
+        } else {
+            ways.min(heap.len())
+        };
         first = false;
         let mut children = Vec::with_capacity(take);
         let mut weight = 0u64;
@@ -43,7 +47,10 @@ pub fn huffman_plan(leaf_weights: &[u64], ways: usize) -> MergePlan {
             children.push(node);
         }
         let round_id = plan.rounds.len();
-        plan.rounds.push(PlanRound { children, estimated_weight: weight });
+        plan.rounds.push(PlanRound {
+            children,
+            estimated_weight: weight,
+        });
         heap.push(Reverse((weight, n + round_id, PlanNode::Round(round_id))));
     }
     plan
@@ -86,11 +93,7 @@ mod tests {
                 let plan = huffman_plan(&weights, ways);
                 plan.validate();
                 let last = plan.rounds.last().unwrap();
-                assert_eq!(
-                    last.children.len(),
-                    ways.min(n),
-                    "n = {n}, ways = {ways}"
-                );
+                assert_eq!(last.children.len(), ways.min(n), "n = {n}, ways = {ways}");
             }
         }
     }

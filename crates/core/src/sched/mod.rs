@@ -91,8 +91,7 @@ impl MergePlan {
     /// the spilled-partial traffic only (the root is the final result,
     /// written once as `C`).
     pub fn estimated_spill_weight(&self) -> u64 {
-        self.estimated_internal_weight()
-            - self.rounds.last().map_or(0, |r| r.estimated_weight)
+        self.estimated_internal_weight() - self.rounds.last().map_or(0, |r| r.estimated_weight)
     }
 
     /// Validates structural invariants: every node consumed exactly once,
@@ -137,7 +136,10 @@ impl MergePlan {
             "every leaf must be consumed"
         );
         let unconsumed = consumed_rounds.iter().filter(|&&c| !c).count();
-        assert_eq!(unconsumed, 1, "exactly the final round must remain unconsumed");
+        assert_eq!(
+            unconsumed, 1,
+            "exactly the final round must remain unconsumed"
+        );
         assert!(
             !consumed_rounds[self.rounds.len() - 1],
             "the last round must be the root"
@@ -207,8 +209,11 @@ mod tests {
     #[test]
     fn single_round_when_leaves_fit() {
         let weights = [5u64, 4, 3];
-        for kind in [SchedulerKind::Huffman, SchedulerKind::Sequential, SchedulerKind::Random(1)]
-        {
+        for kind in [
+            SchedulerKind::Huffman,
+            SchedulerKind::Sequential,
+            SchedulerKind::Random(1),
+        ] {
             let plan = MergePlan::build(kind, &weights, 64);
             plan.validate();
             assert_eq!(plan.rounds.len(), 1);
@@ -219,8 +224,11 @@ mod tests {
 
     #[test]
     fn degenerate_plans() {
-        for kind in [SchedulerKind::Huffman, SchedulerKind::Sequential, SchedulerKind::Random(0)]
-        {
+        for kind in [
+            SchedulerKind::Huffman,
+            SchedulerKind::Sequential,
+            SchedulerKind::Random(0),
+        ] {
             let empty = MergePlan::build(kind, &[], 4);
             empty.validate();
             assert!(empty.rounds.is_empty());
@@ -245,7 +253,7 @@ mod tests {
     fn huffman_matches_bruteforce_optimum_small() {
         // Exhaustive check on tiny inputs: Huffman total = minimum over
         // all possible merge orders (2-way).
-        fn brute(weights: &mut Vec<u64>) -> u64 {
+        fn brute(weights: &[u64]) -> u64 {
             if weights.len() <= 1 {
                 return 0;
             }
@@ -260,14 +268,18 @@ mod tests {
                         .map(|(_, &w)| w)
                         .collect();
                     rest.push(a + b);
-                    best = best.min(a + b + brute(&mut rest));
+                    best = best.min(a + b + brute(&rest));
                 }
             }
             best
         }
-        for weights in [vec![1u64, 2, 3, 4], vec![5, 5, 5], vec![1, 10, 100, 1000, 7]] {
+        for weights in [
+            vec![1u64, 2, 3, 4],
+            vec![5, 5, 5],
+            vec![1, 10, 100, 1000, 7],
+        ] {
             let plan = MergePlan::build(SchedulerKind::Huffman, &weights, 2);
-            let optimal = brute(&mut weights.clone());
+            let optimal = brute(&weights);
             assert_eq!(
                 plan.estimated_internal_weight(),
                 optimal,

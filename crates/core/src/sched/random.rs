@@ -61,8 +61,15 @@ pub fn random_plan(leaf_weights: &[u64], ways: usize, seed: u64) -> MergePlan {
         let children: Vec<PlanNode> = group.iter().map(|&(node, _)| node).collect();
         let weight: u64 = group.iter().map(|&(_, w)| w).sum();
         let round_id = plan.rounds.len();
-        plan.rounds.push(PlanRound { children, estimated_weight: weight });
-        let pos = if pending.is_empty() { 0 } else { rng.below(pending.len() + 1) };
+        plan.rounds.push(PlanRound {
+            children,
+            estimated_weight: weight,
+        });
+        let pos = if pending.is_empty() {
+            0
+        } else {
+            rng.below(pending.len() + 1)
+        };
         pending.insert(pos, (PlanNode::Round(round_id), weight));
     }
     plan

@@ -35,7 +35,10 @@ pub fn sequential_plan(leaf_weights: &[u64], ways: usize) -> MergePlan {
             // Final level: everything fits one merge.
             let children: Vec<PlanNode> = pending.iter().map(|&(node, _)| node).collect();
             let weight: u64 = pending.iter().map(|&(_, w)| w).sum();
-            plan.rounds.push(PlanRound { children, estimated_weight: weight });
+            plan.rounds.push(PlanRound {
+                children,
+                estimated_weight: weight,
+            });
             break;
         }
         let mut next_level: Vec<(PlanNode, u64)> = Vec::new();
@@ -47,7 +50,10 @@ pub fn sequential_plan(leaf_weights: &[u64], ways: usize) -> MergePlan {
             let children: Vec<PlanNode> = group.iter().map(|&(node, _)| node).collect();
             let weight: u64 = group.iter().map(|&(_, w)| w).sum();
             let round_id = plan.rounds.len();
-            plan.rounds.push(PlanRound { children, estimated_weight: weight });
+            plan.rounds.push(PlanRound {
+                children,
+                estimated_weight: weight,
+            });
             next_level.push((PlanNode::Round(round_id), weight));
         }
         pending = next_level;

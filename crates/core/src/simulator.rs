@@ -75,7 +75,9 @@ impl SpArchSim {
         // ------------------------------------------------------------------
         let leaves: Vec<Vec<CondensedElement>> = if cfg.condensing {
             let view = CondensedView::new(a);
-            (0..view.num_cols()).map(|j| view.col(j).collect()).collect()
+            (0..view.num_cols())
+                .map(|j| view.col(j).collect())
+                .collect()
         } else {
             let csc = a.to_csc();
             (0..a.cols())
@@ -100,7 +102,11 @@ impl SpArchSim {
         // ------------------------------------------------------------------
         let leaf_weights: Vec<u64> = leaves
             .iter()
-            .map(|col| col.iter().map(|e| b.row_nnz(e.orig_col as usize) as u64).sum())
+            .map(|col| {
+                col.iter()
+                    .map(|e| b.row_nnz(e.orig_col as usize) as u64)
+                    .sum()
+            })
             .collect();
         let plan = MergePlan::build(cfg.scheduler, &leaf_weights, cfg.merge_ways());
         let estimated_total_weight = plan.estimated_total_weight();
@@ -200,8 +206,9 @@ impl SpArchSim {
                         streams.push(stream);
                     }
                     PlanNode::Round(r) => {
-                        let stream =
-                            round_outputs[r].take().expect("plan consumes each round once");
+                        let stream = round_outputs[r]
+                            .take()
+                            .expect("plan consumes each round once");
                         partial_read_bytes += stream.len() as u64 * 16;
                         streams.push(stream);
                     }
@@ -220,7 +227,11 @@ impl SpArchSim {
                 merged.len() as u64 * 16
             };
             traffic.record(
-                if is_final { TrafficCategory::FinalWrite } else { TrafficCategory::PartialWrite },
+                if is_final {
+                    TrafficCategory::FinalWrite
+                } else {
+                    TrafficCategory::PartialWrite
+                },
                 out_bytes,
             );
 
@@ -266,12 +277,15 @@ impl SpArchSim {
         let multiplies = activity.multiplies;
         let flops = 2 * multiplies;
         let seconds = total_cycles as f64 / cfg.hbm.clock_hz;
-        let busy_cycles =
-            (traffic.total_bytes() as f64 / cfg.hbm.bytes_per_cycle()).ceil() as u64;
+        let busy_cycles = (traffic.total_bytes() as f64 / cfg.hbm.bytes_per_cycle()).ceil() as u64;
         let perf = PerfSummary {
             cycles: total_cycles,
             seconds,
-            gflops: if seconds > 0.0 { flops as f64 / seconds / 1e9 } else { 0.0 },
+            gflops: if seconds > 0.0 {
+                flops as f64 / seconds / 1e9
+            } else {
+                0.0
+            },
             multiplies,
             flops,
             output_nnz: result.nnz() as u64,
@@ -387,8 +401,7 @@ mod tests {
     fn condensing_reduces_partial_matrices() {
         let a = gen::uniform_random(300, 300, 1800, 10);
         let with = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
-        let without =
-            SpArchSim::new(SpArchConfig::default().without_condensing()).run(&a, &a);
+        let without = SpArchSim::new(SpArchConfig::default().without_condensing()).run(&a, &a);
         assert!(
             with.partial_matrices * 10 < without.partial_matrices,
             "{} vs {}",
@@ -401,12 +414,11 @@ mod tests {
     #[test]
     fn huffman_beats_random_on_traffic() {
         let a = gen::rmat_graph500(512, 8, 11);
-        let base = SpArchConfig::default().with_tree_layers(3).without_prefetcher();
+        let base = SpArchConfig::default()
+            .with_tree_layers(3)
+            .without_prefetcher();
         let huffman = SpArchSim::new(base.clone()).run(&a, &a);
-        let random = SpArchSim::new(
-            base.with_scheduler(SchedulerKind::Random(5)),
-        )
-        .run(&a, &a);
+        let random = SpArchSim::new(base.with_scheduler(SchedulerKind::Random(5))).run(&a, &a);
         assert!(
             huffman.traffic.partial_bytes() <= random.traffic.partial_bytes(),
             "huffman {} vs random {}",
@@ -434,7 +446,10 @@ mod tests {
         let i = Csr::identity(50);
         let report = check_exact(&i, &i, SpArchConfig::default());
         assert_eq!(report.result().nnz(), 50);
-        assert_eq!(report.partial_matrices, 1, "identity condenses to one column");
+        assert_eq!(
+            report.partial_matrices, 1,
+            "identity condenses to one column"
+        );
     }
 
     #[test]
@@ -469,9 +484,7 @@ mod tests {
             t.bytes(TrafficCategory::PartialRead)
         );
         // Final write covers the result.
-        assert!(
-            t.bytes(TrafficCategory::FinalWrite) >= report.perf.output_nnz * 12
-        );
+        assert!(t.bytes(TrafficCategory::FinalWrite) >= report.perf.output_nnz * 12);
         // Energy components respond to the activity.
         assert!(report.energy_total() > 0.0);
         assert!(report.perf.bandwidth_utilization > 0.0);

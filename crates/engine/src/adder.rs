@@ -114,8 +114,7 @@ mod tests {
     fn adder_then_filter_equals_fold_for_pairs() {
         let s = stream_of(&[(0, 0, 1.0), (0, 1, 2.0), (0, 1, -2.0), (2, 2, 5.0)]);
         let (with_holes, _) = add_adjacent(&s);
-        let filtered: Vec<MergeItem> =
-            with_holes.into_iter().filter(|i| i.value != 0.0).collect();
+        let filtered: Vec<MergeItem> = with_holes.into_iter().filter(|i| i.value != 0.0).collect();
         let (folded, _) = fold_duplicates(&s);
         // The fold keeps a 0.0-valued folded element (numerical
         // cancellation), the hardware's filter drops it; both are valid

@@ -95,7 +95,11 @@ pub struct PipelineReg<T: Clone> {
 impl<T: Clone> PipelineReg<T> {
     /// An empty register.
     pub fn new() -> Self {
-        PipelineReg { input: None, staged: None, output: None }
+        PipelineReg {
+            input: None,
+            staged: None,
+            output: None,
+        }
     }
 
     /// Presents a value at the register's input for this cycle.
@@ -146,7 +150,11 @@ mod tests {
         a.set_input(Some(9));
         clock.tick(&mut [&mut a, &mut b]);
         b.set_input(a.output());
-        assert_eq!(b.output(), None, "value must take two edges to cross two registers");
+        assert_eq!(
+            b.output(),
+            None,
+            "value must take two edges to cross two registers"
+        );
         clock.tick(&mut [&mut a, &mut b]);
         assert_eq!(b.output(), Some(9));
 
@@ -166,7 +174,7 @@ mod tests {
         let mut clock = Clock::new();
         let mut reg: PipelineReg<u8> = PipelineReg::new();
         reg.set_input(Some(1));
-        let fired = clock.run_until(&mut [&mut reg], 10, || clock_probe());
+        let fired = clock.run_until(&mut [&mut reg], 10, clock_probe);
         // trivially false probe: runs out the budget
         assert!(!fired);
         assert_eq!(clock.cycles(), 10);

@@ -133,7 +133,10 @@ impl ComparatorMerger {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "array size must be positive");
-        ComparatorMerger { n, stats: MergeStats::default() }
+        ComparatorMerger {
+            n,
+            stats: MergeStats::default(),
+        }
     }
 
     /// Array side length N.
@@ -206,7 +209,13 @@ mod tests {
     use crate::item::{is_sorted, stream_of};
 
     fn items(coords: &[u64]) -> Vec<MergeItem> {
-        coords.iter().map(|&c| MergeItem { coord: c, value: c as f64 }).collect()
+        coords
+            .iter()
+            .map(|&c| MergeItem {
+                coord: c,
+                value: c as f64,
+            })
+            .collect()
     }
 
     fn sorted_oracle(a: &[MergeItem], b: &[MergeItem]) -> Vec<u64> {
@@ -246,8 +255,14 @@ mod tests {
 
     #[test]
     fn merge_step_tie_prefers_b() {
-        let a = vec![MergeItem { coord: 7, value: 1.0 }];
-        let b = vec![MergeItem { coord: 7, value: 2.0 }];
+        let a = vec![MergeItem {
+            coord: 7,
+            value: 1.0,
+        }];
+        let b = vec![MergeItem {
+            coord: 7,
+            value: 2.0,
+        }];
         let out = merge_step(&a, &b);
         assert_eq!(out[0].value, 2.0, "'≥' outputs the b element first");
         assert_eq!(out[1].value, 1.0);

@@ -46,8 +46,12 @@ impl HierarchicalMerger {
     /// Panics if `m == 0`, or `m` does not divide `n`.
     pub fn new(n: usize, m: usize) -> Self {
         assert!(m > 0, "chunk size must be positive");
-        assert!(n % m == 0, "chunk size {m} must divide width {n}");
-        HierarchicalMerger { n, m, stats: MergeStats::default() }
+        assert!(n.is_multiple_of(m), "chunk size {m} must divide width {n}");
+        HierarchicalMerger {
+            n,
+            m,
+            stats: MergeStats::default(),
+        }
     }
 
     /// The paper's 16-wide configuration: 4×4 top + 4×4 low (Table I).
@@ -170,7 +174,13 @@ mod tests {
     use crate::ComparatorMerger;
 
     fn items(coords: &[u64]) -> Vec<MergeItem> {
-        coords.iter().map(|&c| MergeItem { coord: c, value: c as f64 }).collect()
+        coords
+            .iter()
+            .map(|&c| MergeItem {
+                coord: c,
+                value: c as f64,
+            })
+            .collect()
     }
 
     #[test]
@@ -224,7 +234,10 @@ mod tests {
         let pairs = m.select_chunk_pairs(&a, &b);
         // True path: consume A0 fully (vs B0), then B0, B1, then A1.
         for needed in [(0usize, 0usize), (1, 1)] {
-            assert!(pairs.contains(&needed), "missing pair {needed:?} in {pairs:?}");
+            assert!(
+                pairs.contains(&needed),
+                "missing pair {needed:?} in {pairs:?}"
+            );
         }
     }
 

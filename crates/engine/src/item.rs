@@ -34,7 +34,10 @@ pub struct MergeItem {
 impl MergeItem {
     /// Creates an item from a row/column pair.
     pub fn new(row: Index, col: Index, value: Value) -> Self {
-        MergeItem { coord: (row as u64) << 32 | col as u64, value }
+        MergeItem {
+            coord: (row as u64) << 32 | col as u64,
+            value,
+        }
     }
 
     /// Row index (high 32 bits of the coordinate).

@@ -31,9 +31,10 @@ pub mod multiplier;
 pub mod zero_elim;
 
 pub use adder::fold_duplicates;
+pub use clocked::{Clock, Clocked, PipelineReg};
 pub use comparator::{merge_step, ComparatorMerger, MergeStats};
 pub use hierarchical::HierarchicalMerger;
-pub use item::MergeItem;
-pub use merge_tree::{MergeTree, MergeTreeConfig, TreeStats};
+pub use item::{is_sorted, is_sorted_unique, stream_of, MergeItem};
+pub use merge_tree::{MergeTree, MergeTreeConfig, MergeTreeSim, TreeStats};
 pub use multiplier::{MultiplierArray, MultiplierStats};
 pub use zero_elim::ZeroEliminator;

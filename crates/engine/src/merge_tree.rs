@@ -6,15 +6,28 @@
 //! collected from the root node." The throughput of the whole tree is
 //! bounded by the root, so **each layer shares one merger**.
 //!
-//! This module simulates the tree cycle by cycle: every cycle, each
-//! layer's merger serves one node (round-robin among nodes with work),
-//! moving up to `merger_width` elements from its two child FIFOs into the
-//! parent FIFO, folding duplicate coordinates through the adder slice on
-//! the way (the zero eliminator is implicit in fold-on-push: holes never
-//! enter the FIFO). The root FIFO drains into the output at merger width
-//! per cycle, modelling the partial-matrix writer.
+//! Two entry points model that hardware:
+//!
+//! * [`MergeTree::merge`] — the batch interface: preloaded leaf FIFOs,
+//!   simulated to completion, returning the folded stream and counters.
+//! * [`MergeTreeSim`] — the stateful cycle stepper behind it, driven
+//!   through the [`Clocked`] two-phase discipline. Leaves can be fed
+//!   *while* the tree merges (with FIFO backpressure), which is how
+//!   `sparch-core`'s round co-simulation pipelines the multiplier array
+//!   into the tree (Figure 10) without duplicating the service logic.
+//!
+//! Every cycle, each layer's merger serves one node (round-robin among
+//! nodes with work), moving up to `merger_width` elements from its two
+//! child FIFOs into the parent FIFO, folding duplicate coordinates through
+//! the adder slice on the way (the zero eliminator is implicit in
+//! fold-on-push: holes never enter the FIFO). The root FIFO drains into
+//! the output at merger width per cycle, modelling the partial-matrix
+//! writer; the drained batch is staged in `clock_update` and committed in
+//! `clock_apply`, so the writer's output is flip-flopped like every other
+//! inter-module signal.
 
 use crate::adder;
+use crate::clocked::{Clock, Clocked};
 use crate::hierarchical::HierarchicalMerger;
 use crate::item::MergeItem;
 use serde::{Deserialize, Serialize};
@@ -36,7 +49,12 @@ pub struct MergeTreeConfig {
 
 impl Default for MergeTreeConfig {
     fn default() -> Self {
-        MergeTreeConfig { layers: 6, merger_width: 16, merger_chunk: 4, fifo_capacity: 64 }
+        MergeTreeConfig {
+            layers: 6,
+            merger_width: 16,
+            merger_chunk: 4,
+            fifo_capacity: 64,
+        }
     }
 }
 
@@ -66,36 +84,56 @@ pub struct TreeStats {
     pub fifo_high_water: usize,
 }
 
-/// A cycle-level model of the K-layer streaming merge tree.
-///
-/// # Example
-///
-/// ```
-/// use sparch_engine::{MergeItem, MergeTree, MergeTreeConfig};
-///
-/// let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
-/// let inputs: Vec<Vec<MergeItem>> = (0..4)
-///     .map(|k| (0..8u32).map(|i| MergeItem::new(0, i * 4 + k, 1.0)).collect())
-///     .collect();
-/// let (out, stats) = tree.merge(inputs);
-/// assert_eq!(out.len(), 32);
-/// assert!(out.windows(2).all(|w| w[0].coord < w[1].coord));
-/// assert!(stats.cycles > 0);
-/// ```
-#[derive(Debug, Clone)]
-pub struct MergeTree {
-    config: MergeTreeConfig,
-}
-
 /// One internal node's state during simulation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node {
     fifo: VecDeque<MergeItem>,
     finished: bool,
 }
 
-impl MergeTree {
-    /// Creates a tree with the given geometry.
+/// The stateful, cycle-steppable merge tree.
+///
+/// Leaves are fed with [`MergeTreeSim::load_leaf`] (preloaded batch) or
+/// [`MergeTreeSim::push_leaf`] (streaming, with backpressure), and sealed
+/// with [`MergeTreeSim::finish_leaf`]. The tree advances one cycle per
+/// [`Clocked`] update/apply pair — typically driven by a
+/// [`Clock`](crate::clocked::Clock).
+///
+/// # Example
+///
+/// ```
+/// use sparch_engine::clocked::Clock;
+/// use sparch_engine::{MergeItem, MergeTreeConfig, MergeTreeSim};
+///
+/// let mut sim = MergeTreeSim::new(MergeTreeConfig { layers: 1, ..Default::default() });
+/// sim.load_leaf(0, (0..10).map(|i| MergeItem { coord: 2 * i, value: 1.0 }).collect());
+/// sim.load_leaf(1, (0..10).map(|i| MergeItem { coord: 2 * i + 1, value: 1.0 }).collect());
+/// let mut clock = Clock::new();
+/// while !sim.is_done() {
+///     clock.tick(&mut [&mut sim]);
+/// }
+/// assert_eq!(sim.output().len(), 20);
+/// assert_eq!(sim.stats().cycles, clock.cycles());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MergeTreeSim {
+    config: MergeTreeConfig,
+    /// `levels[l]` = nodes at depth `l`; level 0 is the root, level
+    /// `layers` holds the leaf FIFOs.
+    levels: Vec<Vec<Node>>,
+    /// Round-robin service pointer per layer.
+    rr: Vec<usize>,
+    /// Root-drain batch staged by `clock_update`, committed by
+    /// `clock_apply` (the partial-matrix writer's flip-flop).
+    staged_out: Vec<MergeItem>,
+    output: Vec<MergeItem>,
+    stats: TreeStats,
+    /// Comparator evaluations one layer merger performs per served cycle.
+    ops_per_service: u64,
+}
+
+impl MergeTreeSim {
+    /// Creates an empty tree with the given geometry.
     ///
     /// # Panics
     ///
@@ -106,14 +144,34 @@ impl MergeTree {
         assert!(config.layers > 0, "need at least one layer");
         assert!(config.merger_width > 0, "merger width must be positive");
         assert!(
-            config.merger_width % config.merger_chunk == 0,
+            config.merger_width.is_multiple_of(config.merger_chunk),
             "chunk must divide merger width"
         );
         assert!(
             config.fifo_capacity >= config.merger_width,
             "FIFO capacity must hold one full merger emission"
         );
-        MergeTree { config }
+        let levels = (0..=config.layers)
+            .map(|l| {
+                vec![
+                    Node {
+                        fifo: VecDeque::new(),
+                        finished: false
+                    };
+                    1usize << l
+                ]
+            })
+            .collect();
+        MergeTreeSim {
+            rr: vec![0; config.layers],
+            levels,
+            staged_out: Vec::new(),
+            output: Vec::new(),
+            stats: TreeStats::default(),
+            ops_per_service: HierarchicalMerger::new(config.merger_width, config.merger_chunk)
+                .comparators(),
+            config,
+        }
     }
 
     /// The tree's geometry.
@@ -121,140 +179,102 @@ impl MergeTree {
         self.config
     }
 
-    /// Comparator evaluations one layer's (hierarchical) merger performs
-    /// per active cycle.
-    fn ops_per_active_cycle(&self) -> u64 {
-        HierarchicalMerger::new(self.config.merger_width, self.config.merger_chunk).comparators()
-    }
-
-    /// Merges up to `2^layers` sorted input arrays into one sorted,
-    /// duplicate-folded output, simulating the datapath cycle by cycle.
+    /// Preloads leaf `leaf` with a complete sorted input and seals it, as
+    /// if the data loader had already streamed it in.
     ///
     /// # Panics
     ///
-    /// Panics if more inputs than leaf ports are supplied, or if an input
-    /// array is not sorted by coordinate.
-    pub fn merge(&self, inputs: Vec<Vec<MergeItem>>) -> (Vec<MergeItem>, TreeStats) {
-        let leaves = self.config.leaf_count();
+    /// Panics if the leaf index is out of range or `items` is not sorted
+    /// by coordinate.
+    pub fn load_leaf(&mut self, leaf: usize, items: Vec<MergeItem>) {
         assert!(
-            inputs.len() <= leaves,
-            "{} inputs exceed the tree's {leaves} leaf ports",
-            inputs.len()
+            crate::item::is_sorted(&items),
+            "input {leaf} is not sorted by coordinate"
         );
-        for (i, arr) in inputs.iter().enumerate() {
-            assert!(crate::item::is_sorted(arr), "input {i} is not sorted");
+        let node = &mut self.levels[self.config.layers][leaf];
+        node.fifo = items.into();
+        node.finished = true;
+    }
+
+    /// Offers one element to leaf `leaf`'s FIFO. Returns the element back
+    /// when the FIFO is full (backpressure: the producer must retry next
+    /// cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf is out of range, already sealed, or `item` would
+    /// break the leaf stream's coordinate order.
+    pub fn push_leaf(&mut self, leaf: usize, item: MergeItem) -> Result<(), MergeItem> {
+        let node = &mut self.levels[self.config.layers][leaf];
+        assert!(!node.finished, "leaf {leaf} is sealed");
+        assert!(
+            node.fifo.back().is_none_or(|b| b.coord <= item.coord),
+            "push to leaf {leaf} breaks the sorted-stream contract"
+        );
+        if node.fifo.len() >= self.config.fifo_capacity {
+            return Err(item);
         }
+        node.fifo.push_back(item);
+        self.stats.fifo_movements += 1;
+        self.stats.fifo_high_water = self.stats.fifo_high_water.max(node.fifo.len());
+        Ok(())
+    }
 
-        let total_in: usize = inputs.iter().map(Vec::len).sum();
-        let mut stats = TreeStats::default();
-        let layers = self.config.layers;
+    /// Current occupancy of leaf `leaf`'s FIFO.
+    pub fn leaf_len(&self, leaf: usize) -> usize {
+        self.levels[self.config.layers][leaf].fifo.len()
+    }
 
-        // levels[l] = nodes at depth l; level 0 is the root, level
-        // `layers` holds the leaf FIFOs (pre-loaded with the inputs, as if
-        // the data loader had streamed them in).
-        let mut levels: Vec<Vec<Node>> = (0..=layers)
-            .map(|l| {
-                (0..(1usize << l))
-                    .map(|_| Node { fifo: VecDeque::new(), finished: false })
-                    .collect()
-            })
-            .collect();
-        for (i, input) in inputs.into_iter().enumerate() {
-            levels[layers][i].fifo = input.into();
-            levels[layers][i].finished = true;
+    /// Whether leaf `leaf` can accept a push this cycle.
+    pub fn leaf_has_room(&self, leaf: usize) -> bool {
+        self.leaf_len(leaf) < self.config.fifo_capacity
+    }
+
+    /// Pre-allocates the output vector for an expected element count.
+    pub fn reserve_output(&mut self, elements: usize) {
+        self.output.reserve(elements);
+    }
+
+    /// Seals leaf `leaf`: no more input will arrive (idempotent).
+    pub fn finish_leaf(&mut self, leaf: usize) {
+        self.levels[self.config.layers][leaf].finished = true;
+    }
+
+    /// Seals every leaf (the batch-mode entry state).
+    pub fn finish_all_leaves(&mut self) {
+        for node in self.levels[self.config.layers].iter_mut() {
+            node.finished = true;
         }
-        for node in levels[layers].iter_mut() {
-            node.finished = true; // unfed leaves are trivially done
-        }
+    }
 
-        let mut rr: Vec<usize> = vec![0; layers]; // round-robin per layer
-        let mut output: Vec<MergeItem> = Vec::with_capacity(total_in);
-        let width = self.config.merger_width;
-        let ops_per_cycle = self.ops_per_active_cycle();
-        // Generous runaway guard: every element crosses `layers` FIFOs at
-        // `width` per layer-cycle, so this bound is far above any legal run.
-        let cycle_cap = 1000 + (total_in as u64 + 1) * (layers as u64 + 2) * 4 / width as u64
-            + (total_in as u64 + 1) * 8;
+    /// True when every element has been merged, drained and committed.
+    pub fn is_done(&self) -> bool {
+        let root = &self.levels[0][0];
+        root.finished && root.fifo.is_empty() && self.staged_out.is_empty()
+    }
 
-        loop {
-            stats.cycles += 1;
-            assert!(
-                stats.cycles < cycle_cap.max(10_000),
-                "merge tree failed to converge (bug): cycle {} of cap {}",
-                stats.cycles,
-                cycle_cap
-            );
+    /// The committed output stream (sorted, duplicates folded).
+    pub fn output(&self) -> &[MergeItem] {
+        &self.output
+    }
 
-            // Drain the root FIFO into the output (partial-matrix writer).
-            // A duplicate pair can straddle two merger emissions when the
-            // parent FIFO drains between them, so the writer folds one
-            // final time — the hardware's last adder slice.
-            {
-                let root = &mut levels[0][0];
-                let take = root.fifo.len().min(width);
-                for _ in 0..take {
-                    let item = root.fifo.pop_front().expect("len checked");
-                    stats.fifo_movements += 1;
-                    match output.last_mut() {
-                        Some(last) if last.coord == item.coord => {
-                            last.value += item.value;
-                            stats.adds += 1;
-                        }
-                        _ => {
-                            output.push(item);
-                            stats.output_elements += 1;
-                        }
-                    }
-                }
-            }
+    /// Consumes the simulator, yielding the output stream and counters.
+    pub fn into_parts(self) -> (Vec<MergeItem>, TreeStats) {
+        (self.output, self.stats)
+    }
 
-            // Top-down: each layer's merger serves one node using the
-            // state its children had at the start of the cycle (one-cycle
-            // FIFO latency per level).
-            for l in 0..layers {
-                let parents = 1usize << l;
-                let mut served = false;
-                for probe in 0..parents {
-                    let p = (rr[l] + probe) % parents;
-                    if self.service(&mut levels, l, p, &mut stats) {
-                        rr[l] = (p + 1) % parents;
-                        served = true;
-                        break;
-                    }
-                }
-                if !served {
-                    stats.stalls += 1;
-                }
-            }
-
-            let root = &levels[0][0];
-            if root.finished && root.fifo.is_empty() {
-                break;
-            }
-        }
-
-        // Account comparator toggles: every non-stalled layer-cycle runs
-        // one hierarchical merger evaluation.
-        let active_layer_cycles = stats.cycles * layers as u64 - stats.stalls;
-        stats.comparator_ops = active_layer_cycles * ops_per_cycle;
-
-        let mut high = 0usize;
-        for level in &levels {
-            for node in level {
-                high = high.max(node.fifo.len());
-            }
-        }
-        stats.fifo_high_water = high; // all drained: report capacity pressure instead
-        (output, stats)
+    /// Counters so far.
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
     }
 
     /// Attempts one merger service for parent `(l, p)`. Returns whether
     /// any progress was made (elements moved or completion detected).
-    fn service(&self, levels: &mut [Vec<Node>], l: usize, p: usize, stats: &mut TreeStats) -> bool {
+    fn service(&mut self, l: usize, p: usize) -> bool {
         let width = self.config.merger_width;
         let (c0, c1) = (2 * p, 2 * p + 1);
         // Split borrows: children live one level below the parent.
-        let (upper, lower) = levels.split_at_mut(l + 1);
+        let (upper, lower) = self.levels.split_at_mut(l + 1);
         let parent = &mut upper[l][p];
         if parent.finished {
             return false;
@@ -293,7 +313,7 @@ impl MergeTree {
             } else {
                 left.fifo.pop_front().expect("head checked")
             };
-            stats.fifo_movements += 1;
+            self.stats.fifo_movements += 1;
             staging.push(item);
             moved += 1;
         }
@@ -301,17 +321,17 @@ impl MergeTree {
         // Adder slice + zero eliminator on the emission, then fold against
         // the parent FIFO's tail (duplicates can straddle emissions).
         let (folded, adds) = adder::fold_duplicates(&staging);
-        stats.adds += adds;
+        self.stats.adds += adds;
         for item in folded {
             match parent.fifo.back_mut() {
                 Some(back) if back.coord == item.coord => {
                     back.value += item.value;
-                    stats.adds += 1;
+                    self.stats.adds += 1;
                 }
                 _ => {
                     parent.fifo.push_back(item);
-                    stats.fifo_movements += 1;
-                    stats.fifo_high_water = stats.fifo_high_water.max(parent.fifo.len());
+                    self.stats.fifo_movements += 1;
+                    self.stats.fifo_high_water = self.stats.fifo_high_water.max(parent.fifo.len());
                 }
             }
         }
@@ -324,6 +344,149 @@ impl MergeTree {
     }
 }
 
+impl Clocked for MergeTreeSim {
+    /// One cycle's combinational work: stage the root drain (partial-matrix
+    /// writer), then run each layer's shared merger top-down — root first,
+    /// so a layer consumes the state its children latched last cycle and
+    /// pushes from below become visible only next cycle.
+    fn clock_update(&mut self) {
+        self.stats.cycles += 1;
+
+        let width = self.config.merger_width;
+        let root = &mut self.levels[0][0];
+        let take = root.fifo.len().min(width);
+        for _ in 0..take {
+            let item = root.fifo.pop_front().expect("len checked");
+            self.stats.fifo_movements += 1;
+            self.staged_out.push(item);
+        }
+
+        for l in 0..self.config.layers {
+            let parents = 1usize << l;
+            let mut served = false;
+            for probe in 0..parents {
+                let p = (self.rr[l] + probe) % parents;
+                if self.service(l, p) {
+                    self.rr[l] = (p + 1) % parents;
+                    served = true;
+                    break;
+                }
+            }
+            if served {
+                self.stats.comparator_ops += self.ops_per_service;
+            } else {
+                self.stats.stalls += 1;
+            }
+        }
+    }
+
+    /// Commits the staged writer batch to the output, folding a duplicate
+    /// pair that straddled two merger emissions one final time — the
+    /// hardware's last adder slice.
+    fn clock_apply(&mut self) {
+        for item in self.staged_out.drain(..) {
+            match self.output.last_mut() {
+                Some(last) if last.coord == item.coord => {
+                    last.value += item.value;
+                    self.stats.adds += 1;
+                }
+                _ => {
+                    self.output.push(item);
+                    self.stats.output_elements += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The batch-mode merge tree: configuration plus [`MergeTree::merge`].
+///
+/// # Example
+///
+/// ```
+/// use sparch_engine::{MergeItem, MergeTree, MergeTreeConfig};
+///
+/// let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
+/// let inputs: Vec<Vec<MergeItem>> = (0..4)
+///     .map(|k| (0..8u32).map(|i| MergeItem::new(0, i * 4 + k, 1.0)).collect())
+///     .collect();
+/// let (out, stats) = tree.merge(inputs);
+/// assert_eq!(out.len(), 32);
+/// assert!(out.windows(2).all(|w| w[0].coord < w[1].coord));
+/// assert!(stats.cycles > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MergeTree {
+    config: MergeTreeConfig,
+}
+
+impl MergeTree {
+    /// Creates a tree with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Same validity requirements as [`MergeTreeSim::new`].
+    pub fn new(config: MergeTreeConfig) -> Self {
+        // Validate eagerly so a bad geometry fails at construction.
+        let _ = MergeTreeSim::new(config);
+        MergeTree { config }
+    }
+
+    /// The tree's geometry.
+    pub fn config(&self) -> MergeTreeConfig {
+        self.config
+    }
+
+    /// Merges up to `2^layers` sorted input arrays into one sorted,
+    /// duplicate-folded output, simulating the datapath cycle by cycle
+    /// through the [`Clocked`] discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more inputs than leaf ports are supplied, or if an input
+    /// array is not sorted by coordinate.
+    pub fn merge(&self, inputs: Vec<Vec<MergeItem>>) -> (Vec<MergeItem>, TreeStats) {
+        let leaves = self.config.leaf_count();
+        assert!(
+            inputs.len() <= leaves,
+            "{} inputs exceed the tree's {leaves} leaf ports",
+            inputs.len()
+        );
+        for (i, arr) in inputs.iter().enumerate() {
+            assert!(crate::item::is_sorted(arr), "input {i} is not sorted");
+        }
+
+        let total_in: usize = inputs.iter().map(Vec::len).sum();
+        let layers = self.config.layers;
+        let width = self.config.merger_width;
+
+        let mut sim = MergeTreeSim::new(self.config);
+        sim.reserve_output(total_in);
+        for (i, input) in inputs.into_iter().enumerate() {
+            sim.load_leaf(i, input);
+        }
+        sim.finish_all_leaves(); // unfed leaves are trivially done
+
+        // Generous runaway guard: every element crosses `layers` FIFOs at
+        // `width` per layer-cycle, so this bound is far above any legal run.
+        let cycle_cap = 1000
+            + (total_in as u64 + 1) * (layers as u64 + 2) * 4 / width as u64
+            + (total_in as u64 + 1) * 8;
+
+        let mut clock = Clock::new();
+        while !sim.is_done() {
+            assert!(
+                clock.cycles() < cycle_cap.max(10_000),
+                "merge tree failed to converge (bug): cycle {} of cap {}",
+                clock.cycles(),
+                cycle_cap
+            );
+            clock.tick(&mut [&mut sim]);
+        }
+        sim.into_parts()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,7 +494,10 @@ mod tests {
 
     fn sorted_run(start: u64, step: u64, len: usize) -> Vec<MergeItem> {
         (0..len as u64)
-            .map(|i| MergeItem { coord: start + i * step, value: 1.0 })
+            .map(|i| MergeItem {
+                coord: start + i * step,
+                value: 1.0,
+            })
             .collect()
     }
 
@@ -344,12 +510,21 @@ mod tests {
         let d = [12u64, 14, 16, 17, 18, 32, 34, 36, 37, 38, 72];
         let inputs: Vec<Vec<MergeItem>> = [&a[..], &b, &c, &d]
             .iter()
-            .map(|s| s.iter().map(|&x| MergeItem { coord: x, value: 1.0 }).collect())
+            .map(|s| {
+                s.iter()
+                    .map(|&x| MergeItem {
+                        coord: x,
+                        value: 1.0,
+                    })
+                    .collect()
+            })
             .collect();
-        let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
+        let tree = MergeTree::new(MergeTreeConfig {
+            layers: 2,
+            ..Default::default()
+        });
         let (out, stats) = tree.merge(inputs);
-        let mut expected: Vec<u64> =
-            a.iter().chain(&b).chain(&c).chain(&d).copied().collect();
+        let mut expected: Vec<u64> = a.iter().chain(&b).chain(&c).chain(&d).copied().collect();
         expected.sort_unstable();
         let got: Vec<u64> = out.iter().map(|i| i.coord).collect();
         assert_eq!(got, expected);
@@ -365,7 +540,10 @@ mod tests {
             stream_of(&[(0, 3, 100.0)]),
             stream_of(&[(0, 1, 0.5)]),
         ];
-        let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
+        let tree = MergeTree::new(MergeTreeConfig {
+            layers: 2,
+            ..Default::default()
+        });
         let (out, stats) = tree.merge(inputs);
         assert!(is_sorted_unique(&out), "duplicates must fold: {out:?}");
         assert_eq!(out.len(), 3);
@@ -378,8 +556,7 @@ mod tests {
     #[test]
     fn full_64_way_merge() {
         let tree = MergeTree::new(MergeTreeConfig::default());
-        let inputs: Vec<Vec<MergeItem>> =
-            (0..64).map(|k| sorted_run(k as u64, 64, 100)).collect();
+        let inputs: Vec<Vec<MergeItem>> = (0..64).map(|k| sorted_run(k as u64, 64, 100)).collect();
         let (out, stats) = tree.merge(inputs);
         assert_eq!(out.len(), 6400);
         assert!(is_sorted_unique(&out));
@@ -398,9 +575,16 @@ mod tests {
 
     #[test]
     fn partial_leaf_population() {
-        let tree = MergeTree::new(MergeTreeConfig { layers: 3, ..Default::default() });
+        let tree = MergeTree::new(MergeTreeConfig {
+            layers: 3,
+            ..Default::default()
+        });
         // Only 3 of 8 leaves are fed.
-        let inputs = vec![sorted_run(0, 3, 10), sorted_run(1, 3, 10), sorted_run(2, 3, 10)];
+        let inputs = vec![
+            sorted_run(0, 3, 10),
+            sorted_run(1, 3, 10),
+            sorted_run(2, 3, 10),
+        ];
         let (out, _) = tree.merge(inputs);
         assert_eq!(out.len(), 30);
         assert!(is_sorted_unique(&out));
@@ -408,7 +592,10 @@ mod tests {
 
     #[test]
     fn empty_and_single_inputs() {
-        let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
+        let tree = MergeTree::new(MergeTreeConfig {
+            layers: 2,
+            ..Default::default()
+        });
         let (out, _) = tree.merge(vec![]);
         assert!(out.is_empty());
         let (out, _) = tree.merge(vec![sorted_run(5, 1, 7)]);
@@ -417,7 +604,10 @@ mod tests {
 
     #[test]
     fn skewed_input_lengths() {
-        let tree = MergeTree::new(MergeTreeConfig { layers: 2, ..Default::default() });
+        let tree = MergeTree::new(MergeTreeConfig {
+            layers: 2,
+            ..Default::default()
+        });
         let inputs = vec![
             sorted_run(0, 1, 1000),
             sorted_run(5000, 1, 3),
@@ -433,7 +623,9 @@ mod tests {
     fn comparator_ops_scale_with_cycles() {
         let tree = MergeTree::new(MergeTreeConfig::default());
         let small = tree.merge((0..8).map(|k| sorted_run(k, 8, 10)).collect()).1;
-        let large = tree.merge((0..8).map(|k| sorted_run(k, 8, 1000)).collect()).1;
+        let large = tree
+            .merge((0..8).map(|k| sorted_run(k, 8, 1000)).collect())
+            .1;
         assert!(large.comparator_ops > small.comparator_ops);
         assert!(large.cycles > small.cycles);
     }
@@ -441,15 +633,83 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed")]
     fn too_many_inputs_rejected() {
-        let tree = MergeTree::new(MergeTreeConfig { layers: 1, ..Default::default() });
+        let tree = MergeTree::new(MergeTreeConfig {
+            layers: 1,
+            ..Default::default()
+        });
         let _ = tree.merge(vec![vec![], vec![], vec![]]);
     }
 
     #[test]
     #[should_panic(expected = "not sorted")]
     fn unsorted_input_rejected() {
-        let tree = MergeTree::new(MergeTreeConfig { layers: 1, ..Default::default() });
-        let bad = vec![MergeItem { coord: 5, value: 1.0 }, MergeItem { coord: 1, value: 1.0 }];
+        let tree = MergeTree::new(MergeTreeConfig {
+            layers: 1,
+            ..Default::default()
+        });
+        let bad = vec![
+            MergeItem {
+                coord: 5,
+                value: 1.0,
+            },
+            MergeItem {
+                coord: 1,
+                value: 1.0,
+            },
+        ];
         let _ = tree.merge(vec![bad]);
+    }
+
+    #[test]
+    fn streaming_feed_matches_batch_merge() {
+        // Feed the same streams element by element through push_leaf while
+        // the tree runs; output and element counts must match batch mode.
+        let config = MergeTreeConfig {
+            layers: 2,
+            ..Default::default()
+        };
+        let inputs: Vec<Vec<MergeItem>> = (0..4).map(|k| sorted_run(k, 4, 200)).collect();
+        let (batch_out, _) = MergeTree::new(config).merge(inputs.clone());
+
+        let mut sim = MergeTreeSim::new(config);
+        let mut cursors = vec![0usize; inputs.len()];
+        let mut clock = Clock::new();
+        loop {
+            sim.clock_update();
+            for (k, input) in inputs.iter().enumerate() {
+                // A few pushes per cycle, respecting backpressure.
+                for _ in 0..4 {
+                    if cursors[k] >= input.len() {
+                        sim.finish_leaf(k);
+                        break;
+                    }
+                    match sim.push_leaf(k, input[cursors[k]]) {
+                        Ok(()) => cursors[k] += 1,
+                        Err(_) => break,
+                    }
+                }
+            }
+            sim.clock_apply();
+            clock.tick(&mut []); // external cycle counter only
+            if sim.is_done() {
+                break;
+            }
+            assert!(
+                clock.cycles() < 100_000,
+                "streaming feed failed to converge"
+            );
+        }
+        assert_eq!(sim.output(), &batch_out[..]);
+    }
+
+    #[test]
+    fn high_water_mark_is_recorded() {
+        let tree = MergeTree::new(MergeTreeConfig::default());
+        let inputs: Vec<Vec<MergeItem>> = (0..64).map(|k| sorted_run(k as u64, 64, 50)).collect();
+        let (_, stats) = tree.merge(inputs);
+        assert!(
+            stats.fifo_high_water > 0,
+            "preloaded leaves must register FIFO pressure"
+        );
     }
 }

@@ -34,7 +34,10 @@ impl MultiplierArray {
     /// Panics if `multipliers == 0`.
     pub fn new(multipliers: usize) -> Self {
         assert!(multipliers > 0, "need at least one multiplier");
-        MultiplierArray { multipliers, stats: MultiplierStats::default() }
+        MultiplierArray {
+            multipliers,
+            stats: MultiplierStats::default(),
+        }
     }
 
     /// The paper's configuration: 2 groups × 8 units.

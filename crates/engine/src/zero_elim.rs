@@ -56,7 +56,10 @@ impl ZeroEliminator {
     /// Panics if `width == 0`.
     pub fn new(width: usize) -> Self {
         assert!(width > 0, "width must be positive");
-        ZeroEliminator { width, stats: ZeroElimStats::default() }
+        ZeroEliminator {
+            width,
+            stats: ZeroElimStats::default(),
+        }
     }
 
     /// Slice width N.
@@ -108,7 +111,13 @@ fn shift_network(slice: &[MergeItem]) -> Vec<MergeItem> {
     let mut slots: Vec<Option<(MergeItem, usize)>> = slice
         .iter()
         .zip(&zero_count)
-        .map(|(&it, &zc)| if it.value == 0.0 { None } else { Some((it, zc)) })
+        .map(|(&it, &zc)| {
+            if it.value == 0.0 {
+                None
+            } else {
+                Some((it, zc))
+            }
+        })
         .collect();
     let mut layer = 0usize;
     while (1usize << layer) < n.max(1) {
@@ -178,8 +187,11 @@ mod tests {
             vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 5.0],
         ];
         for p in patterns {
-            let input: Vec<MergeItem> =
-                p.iter().enumerate().map(|(i, &v)| item(i as u64, v)).collect();
+            let input: Vec<MergeItem> = p
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| item(i as u64, v))
+                .collect();
             let expected: Vec<f64> = p.iter().copied().filter(|&v| v != 0.0).collect();
             let mut z = ZeroEliminator::new(4);
             assert_eq!(values(&z.eliminate(&input)), expected, "pattern {p:?}");
@@ -205,8 +217,9 @@ mod tests {
 
     #[test]
     fn wide_input_processed_in_slices() {
-        let input: Vec<MergeItem> =
-            (0..20).map(|i| item(i, if i % 3 == 0 { 0.0 } else { 1.0 })).collect();
+        let input: Vec<MergeItem> = (0..20)
+            .map(|i| item(i, if i % 3 == 0 { 0.0 } else { 1.0 }))
+            .collect();
         let mut z = ZeroEliminator::new(8);
         let out = z.eliminate(&input);
         assert_eq!(out.len(), input.iter().filter(|i| i.value != 0.0).count());

@@ -111,8 +111,7 @@ impl AreaModel {
             // Each layer has one merger (comparators) and its level FIFOs;
             // FIFO capacity per level is proportional to merge width.
             layers as f64
-                * (hierarchical_comparators(width) as f64
-                    / hierarchical_comparators(16) as f64
+                * (hierarchical_comparators(width) as f64 / hierarchical_comparators(16) as f64
                     + width as f64 / 16.0)
                 / 2.0
         };
@@ -154,15 +153,30 @@ mod tests {
     #[test]
     fn merge_tree_dominates() {
         let b = AreaModel::default().estimate();
-        assert!(b.merge_tree / b.total() > 0.5, "Figure 13a: merge tree is ~60%");
+        assert!(
+            b.merge_tree / b.total() > 0.5,
+            "Figure 13a: merge tree is ~60%"
+        );
     }
 
     #[test]
     fn area_scales_with_resources() {
-        let small = AreaModel { tree_layers: 3, ..Default::default() }.estimate();
-        let big = AreaModel { tree_layers: 7, ..Default::default() }.estimate();
+        let small = AreaModel {
+            tree_layers: 3,
+            ..Default::default()
+        }
+        .estimate();
+        let big = AreaModel {
+            tree_layers: 7,
+            ..Default::default()
+        }
+        .estimate();
         assert!(small.merge_tree < big.merge_tree);
-        let small_buf = AreaModel { buffer_bytes: 1024 * 24 * 12, ..Default::default() }.estimate();
+        let small_buf = AreaModel {
+            buffer_bytes: 1024 * 24 * 12,
+            ..Default::default()
+        }
+        .estimate();
         assert!(small_buf.row_prefetcher < 5.8 / 1.9);
     }
 

@@ -74,7 +74,11 @@ pub struct Hbm {
 impl Hbm {
     /// Creates an HBM with the given config.
     pub fn new(config: HbmConfig) -> Self {
-        Hbm { config, traffic: TrafficCounter::new(), busy_cycles: 0 }
+        Hbm {
+            config,
+            traffic: TrafficCounter::new(),
+            busy_cycles: 0,
+        }
     }
 
     /// Records a transfer of `bytes` for `category` and returns the cycles
@@ -157,7 +161,10 @@ mod tests {
     #[test]
     fn scaled_config() {
         // Half the channels, half the bandwidth.
-        let c = HbmConfig { channels: 8, ..HbmConfig::default() };
+        let c = HbmConfig {
+            channels: 8,
+            ..HbmConfig::default()
+        };
         assert!((c.bandwidth_gbs() - 64.0).abs() < 1e-9);
     }
 }

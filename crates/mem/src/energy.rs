@@ -227,7 +227,10 @@ mod tests {
     fn dram_constant_matches_42_6_gbs_per_watt() {
         let model = EnergyModel::default();
         // 42.6 GB moved should cost ~1 J.
-        let a = ActivityCounts { dram_read_bytes: 42_600_000_000, ..Default::default() };
+        let a = ActivityCounts {
+            dram_read_bytes: 42_600_000_000,
+            ..Default::default()
+        };
         let e = model.estimate(&a);
         assert!((e.hbm - 1.0).abs() < 1e-6, "got {}", e.hbm);
     }
@@ -279,14 +282,20 @@ mod tests {
 
     #[test]
     fn zero_flops_is_zero_intensity() {
-        assert_eq!(EnergyModel::default().nj_per_flop(&ActivityCounts::default(), 0), 0.0);
+        assert_eq!(
+            EnergyModel::default().nj_per_flop(&ActivityCounts::default(), 0),
+            0.0
+        );
     }
 
     #[test]
     fn paper_tables_are_consistent() {
         let (c, s, d, total) = EnergyModel::paper_nj_per_flop();
         assert!((c + s + d - total).abs() < 1e-9);
-        let mw: f64 = EnergyModel::paper_power_breakdown_mw().iter().map(|&(_, v)| v).sum();
+        let mw: f64 = EnergyModel::paper_power_breakdown_mw()
+            .iter()
+            .map(|&(_, v)| v)
+            .sum();
         assert!(mw > 8000.0 && mw < 9300.0, "paper power sums to {mw} mW");
     }
 }

@@ -178,13 +178,22 @@ mod tests {
 
     #[test]
     fn directions_are_correct() {
-        assert_eq!(TrafficCounter::direction(TrafficCategory::MatA), Direction::Read);
+        assert_eq!(
+            TrafficCounter::direction(TrafficCategory::MatA),
+            Direction::Read
+        );
         assert_eq!(
             TrafficCounter::direction(TrafficCategory::PartialWrite),
             Direction::Write
         );
-        assert_eq!(TrafficCounter::direction(TrafficCategory::PartialRead), Direction::Read);
-        assert_eq!(TrafficCounter::direction(TrafficCategory::FinalWrite), Direction::Write);
+        assert_eq!(
+            TrafficCounter::direction(TrafficCategory::PartialRead),
+            Direction::Read
+        );
+        assert_eq!(
+            TrafficCounter::direction(TrafficCategory::FinalWrite),
+            Direction::Write
+        );
     }
 
     #[test]
@@ -220,7 +229,13 @@ mod tests {
         let names: Vec<String> = TrafficCategory::ALL.iter().map(|c| c.to_string()).collect();
         assert_eq!(
             names,
-            ["mat_a_read", "mat_b_read", "partial_write", "partial_read", "final_write"]
+            [
+                "mat_a_read",
+                "mat_b_read",
+                "partial_write",
+                "partial_read",
+                "final_write"
+            ]
         );
     }
 }

@@ -55,7 +55,10 @@ mod tests {
         let a = Dense::from_rows(&[&[1.0, 2.0], &[0.0, 3.0]]).to_csr();
         let b = Dense::from_rows(&[&[0.0, 4.0], &[5.0, 0.0]]).to_csr();
         let c = gustavson(&a, &b);
-        assert_eq!(c.to_dense(), Dense::from_rows(&[&[10.0, 4.0], &[15.0, 0.0]]));
+        assert_eq!(
+            c.to_dense(),
+            Dense::from_rows(&[&[10.0, 4.0], &[15.0, 0.0]])
+        );
     }
 
     #[test]
@@ -64,7 +67,11 @@ mod tests {
             let a = gen::uniform_random(17, 23, 80, seed);
             let b = gen::uniform_random(23, 11, 70, seed + 100);
             let c = gustavson(&a, &b);
-            assert!(c.to_dense().max_abs_diff(&a.to_dense().matmul(&b.to_dense())) < 1e-10);
+            assert!(
+                c.to_dense()
+                    .max_abs_diff(&a.to_dense().matmul(&b.to_dense()))
+                    < 1e-10
+            );
         }
     }
 

@@ -38,7 +38,11 @@ pub fn heap_spgemm(a: &Csr, b: &Csr) -> Csr {
         for (src, &k) in ka.iter().enumerate() {
             let (jb, _) = b.row(k as usize);
             if !jb.is_empty() {
-                heap.push(Reverse(Cursor { col: jb[0], src, pos: 0 }));
+                heap.push(Reverse(Cursor {
+                    col: jb[0],
+                    src,
+                    pos: 0,
+                }));
             }
         }
         let mut current: Option<(Index, f64)> = None;
@@ -56,7 +60,11 @@ pub fn heap_spgemm(a: &Csr, b: &Csr) -> Csr {
                 None => current = Some((col, contribution)),
             }
             if pos + 1 < jb.len() {
-                heap.push(Reverse(Cursor { col: jb[pos + 1], src, pos: pos + 1 }));
+                heap.push(Reverse(Cursor {
+                    col: jb[pos + 1],
+                    src,
+                    pos: pos + 1,
+                }));
             }
         }
         if let Some((c, acc)) = current {

@@ -159,6 +159,9 @@ mod tests {
         let b = Dense::from_rows(&[&[3.0, 4.0]]).to_csr();
         let partials = outer_product_partials(&a, &b);
         assert_eq!(partials.len(), 1);
-        assert_eq!(partials[0], vec![(0, 0, 3.0), (0, 1, 4.0), (1, 0, 6.0), (1, 1, 8.0)]);
+        assert_eq!(
+            partials[0],
+            vec![(0, 0, 3.0), (0, 1, 4.0), (1, 0, 6.0), (1, 1, 8.0)]
+        );
     }
 }

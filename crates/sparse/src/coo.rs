@@ -37,7 +37,11 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty COO matrix with the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Coo { rows, cols, entries: Vec::new() }
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates a COO matrix from parts without validation.
@@ -45,7 +49,11 @@ impl Coo {
     /// Prefer [`Coo::try_from_entries`] when the triples come from an
     /// untrusted source.
     pub fn from_entries(rows: usize, cols: usize, entries: Vec<Triple>) -> Self {
-        Coo { rows, cols, entries }
+        Coo {
+            rows,
+            cols,
+            entries,
+        }
     }
 
     /// Creates a COO matrix from parts, validating that every index is in
@@ -62,10 +70,19 @@ impl Coo {
     ) -> Result<Self, SparseError> {
         for &(r, c, _) in &entries {
             if r as usize >= rows || c as usize >= cols {
-                return Err(SparseError::IndexOutOfBounds { row: r, col: c, rows, cols });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                });
             }
         }
-        Ok(Coo { rows, cols, entries })
+        Ok(Coo {
+            rows,
+            cols,
+            entries,
+        })
     }
 
     /// Number of rows.
@@ -151,7 +168,11 @@ impl FromIterator<Triple> for Coo {
         let entries: Vec<Triple> = iter.into_iter().collect();
         let rows = entries.iter().map(|e| e.0 as usize + 1).max().unwrap_or(0);
         let cols = entries.iter().map(|e| e.1 as usize + 1).max().unwrap_or(0);
-        Coo { rows, cols, entries }
+        Coo {
+            rows,
+            cols,
+            entries,
+        }
     }
 }
 

@@ -44,7 +44,13 @@ pub struct Csr {
 impl Csr {
     /// Creates an empty `rows x cols` matrix with no stored entries.
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Csr { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+        Csr {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates an identity matrix of order `n`.
@@ -120,7 +126,13 @@ impl Csr {
                 }
             }
         }
-        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+        Ok(Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Builds from a COO matrix whose entries are already sorted by
@@ -138,7 +150,13 @@ impl Csr {
         }
         let col_idx = coo.entries().iter().map(|e| e.1).collect();
         let values = coo.entries().iter().map(|e| e.2).collect();
-        Csr { rows, cols: coo.cols(), row_ptr, col_idx, values }
+        Csr {
+            rows,
+            cols: coo.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -219,7 +237,9 @@ impl Csr {
     pub fn iter(&self) -> impl Iterator<Item = (Index, Index, Value)> + '_ {
         (0..self.rows).flat_map(move |r| {
             let (cols, vals) = self.row(r);
-            cols.iter().zip(vals.iter()).map(move |(&c, &v)| (r as Index, c, v))
+            cols.iter()
+                .zip(vals.iter())
+                .map(move |(&c, &v)| (r as Index, c, v))
         })
     }
 
@@ -263,7 +283,13 @@ impl Csr {
                 next[c as usize] += 1;
             }
         }
-        Csr { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Bytes this matrix occupies in the accelerator's DRAM layout:
@@ -348,8 +374,16 @@ impl CsrBuilder {
     /// out of bounds.
     pub fn push(&mut self, row: Index, col: Index, value: Value) {
         let row = row as usize;
-        assert!(row < self.rows, "row {row} out of bounds ({} rows)", self.rows);
-        assert!((col as usize) < self.cols, "col {col} out of bounds ({} cols)", self.cols);
+        assert!(
+            row < self.rows,
+            "row {row} out of bounds ({} rows)",
+            self.rows
+        );
+        assert!(
+            (col as usize) < self.cols,
+            "col {col} out of bounds ({} cols)",
+            self.cols
+        );
         assert!(row >= self.current_row, "rows must be appended in order");
         while self.current_row < row {
             self.row_ptr.push(self.col_idx.len());
@@ -391,7 +425,14 @@ mod tests {
 
     fn sample() -> Csr {
         // [[1, 0, 2], [0, 0, 0], [0, 3, 4]]
-        Csr::try_new(3, 3, vec![0, 2, 2, 4], vec![0, 2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+        Csr::try_new(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 1, 2],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -521,6 +562,9 @@ mod tests {
     fn iter_yields_row_major() {
         let m = sample();
         let triples: Vec<_> = m.iter().collect();
-        assert_eq!(triples, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)]);
+        assert_eq!(
+            triples,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)]
+        );
     }
 }

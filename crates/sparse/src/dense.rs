@@ -24,7 +24,11 @@ pub struct Dense {
 impl Dense {
     /// Creates a zero-filled `rows x cols` matrix.
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Dense { rows, cols, data: vec![0.0; rows * cols] }
+        Dense {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from row slices.
@@ -40,7 +44,11 @@ impl Dense {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Dense { rows: r, cols: c, data }
+        Dense {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -116,7 +124,11 @@ impl Dense {
     ///
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Dense) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)

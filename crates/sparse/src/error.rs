@@ -34,10 +34,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
-                f,
-                "entry ({row}, {col}) outside matrix shape {rows}x{cols}"
-            ),
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(f, "entry ({row}, {col}) outside matrix shape {rows}x{cols}"),
             SparseError::MalformedPointers(msg) => write!(f, "malformed pointer array: {msg}"),
             SparseError::UnsortedIndices { major } => {
                 write!(f, "indices not strictly increasing in major slice {major}")
@@ -63,7 +65,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, rows: 4, cols: 4 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            rows: 4,
+            cols: 4,
+        };
         let s = e.to_string();
         assert!(s.contains("(5, 7)"));
         assert!(s.contains("4x4"));

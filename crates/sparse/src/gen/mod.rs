@@ -86,13 +86,18 @@ impl Recipe {
             Recipe::Uniform { rows, cols, nnz } => uniform_random(rows, cols, nnz, seed),
             Recipe::Rmat { n, avg_degree } => rmat_graph500(n, avg_degree, seed),
             Recipe::Poisson3d { nx, ny, nz } => poisson3d(nx, ny, nz),
-            Recipe::Banded { n, half_bandwidth, extra_nnz } => {
-                banded(n, half_bandwidth, extra_nnz, seed)
-            }
+            Recipe::Banded {
+                n,
+                half_bandwidth,
+                extra_nnz,
+            } => banded(n, half_bandwidth, extra_nnz, seed),
             Recipe::PowerlawRows { n, nnz, alpha } => powerlaw_rows(n, nnz, alpha, seed),
-            Recipe::BlockSparse { rows, cols, block, block_density } => {
-                block_sparse(rows, cols, block, block_density, seed)
-            }
+            Recipe::BlockSparse {
+                rows,
+                cols,
+                block,
+                block_density,
+            } => block_sparse(rows, cols, block, block_density, seed),
         }
     }
 }
@@ -104,12 +109,36 @@ mod tests {
     #[test]
     fn recipes_build_deterministically() {
         let recipes = [
-            Recipe::Uniform { rows: 50, cols: 40, nnz: 200 },
-            Recipe::Rmat { n: 64, avg_degree: 4 },
-            Recipe::Poisson3d { nx: 4, ny: 4, nz: 4 },
-            Recipe::Banded { n: 50, half_bandwidth: 2, extra_nnz: 20 },
-            Recipe::PowerlawRows { n: 60, nnz: 300, alpha: 1.8 },
-            Recipe::BlockSparse { rows: 32, cols: 32, block: 4, block_density: 0.25 },
+            Recipe::Uniform {
+                rows: 50,
+                cols: 40,
+                nnz: 200,
+            },
+            Recipe::Rmat {
+                n: 64,
+                avg_degree: 4,
+            },
+            Recipe::Poisson3d {
+                nx: 4,
+                ny: 4,
+                nz: 4,
+            },
+            Recipe::Banded {
+                n: 50,
+                half_bandwidth: 2,
+                extra_nnz: 20,
+            },
+            Recipe::PowerlawRows {
+                n: 60,
+                nnz: 300,
+                alpha: 1.8,
+            },
+            Recipe::BlockSparse {
+                rows: 32,
+                cols: 32,
+                block: 4,
+                block_density: 0.25,
+            },
         ];
         for recipe in &recipes {
             let a = recipe.build(42);
@@ -121,7 +150,10 @@ mod tests {
 
     #[test]
     fn recipe_serde_round_trip() {
-        let r = Recipe::Rmat { n: 128, avg_degree: 8 };
+        let r = Recipe::Rmat {
+            n: 128,
+            avg_degree: 8,
+        };
         let json = serde_json::to_string(&r).unwrap();
         let back: Recipe = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);

@@ -35,7 +35,14 @@ impl RmatConfig {
     /// Graph 500 reference parameters for a graph with `n` vertices and
     /// average degree `avg_degree`.
     pub fn graph500(n: usize, avg_degree: usize) -> Self {
-        RmatConfig { n, edges: n * avg_degree, a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+        RmatConfig {
+            n,
+            edges: n * avg_degree,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
     }
 
     /// The implied d-quadrant probability (`1 - a - b - c`).
@@ -123,7 +130,12 @@ mod tests {
         let m = rmat(&cfg, 3);
         // Duplicates fold, and a few edges land outside the truncated range,
         // but the bulk must survive.
-        assert!(m.nnz() > cfg.edges / 2, "nnz {} << edges {}", m.nnz(), cfg.edges);
+        assert!(
+            m.nnz() > cfg.edges / 2,
+            "nnz {} << edges {}",
+            m.nnz(),
+            cfg.edges
+        );
         assert!(m.nnz() <= cfg.edges);
     }
 
@@ -141,11 +153,21 @@ mod tests {
 
     #[test]
     fn uniform_probabilities_have_low_skew() {
-        let cfg = RmatConfig { n: 1024, edges: 8192, a: 0.25, b: 0.25, c: 0.25, noise: 0.0 };
+        let cfg = RmatConfig {
+            n: 1024,
+            edges: 8192,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            noise: 0.0,
+        };
         let m = rmat(&cfg, 5);
         let mean = m.nnz() as f64 / m.rows() as f64;
         let max = m.max_row_nnz() as f64;
-        assert!(max < 4.0 * mean, "uniform rmat should be balanced: max {max} mean {mean}");
+        assert!(
+            max < 4.0 * mean,
+            "uniform rmat should be balanced: max {max} mean {mean}"
+        );
     }
 
     #[test]
@@ -153,13 +175,22 @@ mod tests {
         let m = rmat_graph500(300, 4, 7);
         assert_eq!(m.rows(), 300);
         assert_eq!(m.cols(), 300);
-        assert!(m.iter().all(|(r, c, _)| (r as usize) < 300 && (c as usize) < 300));
+        assert!(m
+            .iter()
+            .all(|(r, c, _)| (r as usize) < 300 && (c as usize) < 300));
     }
 
     #[test]
     #[should_panic(expected = "distribution")]
     fn rejects_bad_probabilities() {
-        let cfg = RmatConfig { n: 16, edges: 10, a: 0.6, b: 0.3, c: 0.3, noise: 0.0 };
+        let cfg = RmatConfig {
+            n: 16,
+            edges: 10,
+            a: 0.6,
+            b: 0.3,
+            c: 0.3,
+            noise: 0.0,
+        };
         let _ = rmat(&cfg, 0);
     }
 }

@@ -31,7 +31,10 @@ fn random_value(rng: &mut ChaCha8Rng) -> f64 {
 /// Panics if `rows` or `cols` is zero while `nnz > 0`.
 pub fn uniform_random(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr {
     if nnz > 0 {
-        assert!(rows > 0 && cols > 0, "cannot place {nnz} entries in an empty shape");
+        assert!(
+            rows > 0 && cols > 0,
+            "cannot place {nnz} entries in an empty shape"
+        );
     }
     let mut rng = rng_for(seed);
     let cells = (rows as u128) * (cols as u128);
@@ -276,13 +279,20 @@ mod tests {
 
     #[test]
     fn powerlaw_rows_deterministic() {
-        assert_eq!(powerlaw_rows(200, 1500, 1.8, 7), powerlaw_rows(200, 1500, 1.8, 7));
+        assert_eq!(
+            powerlaw_rows(200, 1500, 1.8, 7),
+            powerlaw_rows(200, 1500, 1.8, 7)
+        );
     }
 
     #[test]
     fn block_sparse_block_alignment() {
         let m = block_sparse(16, 16, 4, 0.5, 6);
-        assert!(m.nnz() % 16 == 0, "whole 4x4 blocks only, nnz = {}", m.nnz());
+        assert!(
+            m.nnz().is_multiple_of(16),
+            "whole 4x4 blocks only, nnz = {}",
+            m.nnz()
+        );
         assert!(m.nnz() > 0);
     }
 
@@ -304,7 +314,10 @@ mod tests {
 pub fn kron(a: &Csr, b: &Csr) -> Csr {
     let rows = a.rows().checked_mul(b.rows()).expect("row overflow");
     let cols = a.cols().checked_mul(b.cols()).expect("col overflow");
-    assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize, "indices exceed u32");
+    assert!(
+        rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+        "indices exceed u32"
+    );
     let mut coo = Coo::new(rows, cols);
     for (ar, ac, av) in a.iter() {
         for (br, bc, bv) in b.iter() {
@@ -350,7 +363,10 @@ mod kron_tests {
         let b = uniform_random(2, 3, 4, 5);
         let d = uniform_random(3, 2, 4, 6);
         let left = crate::algo::gustavson(&kron(&a, &b), &kron(&c, &d));
-        let right = kron(&crate::algo::gustavson(&a, &c), &crate::algo::gustavson(&b, &d));
+        let right = kron(
+            &crate::algo::gustavson(&a, &c),
+            &crate::algo::gustavson(&b, &d),
+        );
         assert!(left.approx_eq(&right, 1e-9));
     }
 }

@@ -223,7 +223,11 @@ pub fn spmv(m: &Csr, x: &[Value]) -> Vec<Value> {
     let mut y = vec![0.0; m.rows()];
     for (slot, r) in y.iter_mut().enumerate() {
         let (cols, vals) = m.row(slot);
-        *r = cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum();
+        *r = cols
+            .iter()
+            .zip(vals)
+            .map(|(&c, &v)| v * x[c as usize])
+            .sum();
     }
     y
 }
@@ -269,9 +273,7 @@ mod vector_tests {
         let x: Vec<f64> = (0..15).map(|i| i as f64 * 0.5 - 3.0).collect();
         let y = spmv(&m, &x);
         for (r, &yr) in y.iter().enumerate() {
-            let expected: f64 = (0..15).map(|c| {
-                m.get(r, c).unwrap_or(0.0) * x[c]
-            }).sum();
+            let expected: f64 = (0..15).map(|c| m.get(r, c).unwrap_or(0.0) * x[c]).sum();
             assert!((yr - expected).abs() < 1e-10);
         }
     }

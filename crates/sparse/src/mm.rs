@@ -203,7 +203,11 @@ fn parse_header(line: &str) -> Result<(Field, Symmetry), SparseError> {
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
-        other => return Err(SparseError::Parse(format!("unsupported symmetry {other:?}"))),
+        other => {
+            return Err(SparseError::Parse(format!(
+                "unsupported symmetry {other:?}"
+            )))
+        }
     };
     Ok((field, symmetry))
 }
@@ -218,7 +222,8 @@ mod tests {
 
     #[test]
     fn parse_general_real() {
-        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n2 3 2\n1 1 1.5\n2 3 -2\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% a comment\n2 3 2\n1 1 1.5\n2 3 -2\n";
         let m = read_str(text).unwrap();
         assert_eq!(m.rows(), 2);
         assert_eq!(m.cols(), 3);
@@ -259,7 +264,10 @@ mod tests {
     #[test]
     fn rejects_out_of_bounds_entry() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n";
-        assert!(matches!(read_str(text), Err(SparseError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            read_str(text),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]

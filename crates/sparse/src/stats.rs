@@ -37,7 +37,11 @@ impl MatrixStats {
         let rows = m.rows();
         let lens: Vec<usize> = (0..rows).map(|r| m.row_nnz(r)).collect();
         let nnz = m.nnz();
-        let mean = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let mean = if rows == 0 {
+            0.0
+        } else {
+            nnz as f64 / rows as f64
+        };
         let var = if rows == 0 {
             0.0
         } else {
@@ -103,7 +107,11 @@ impl TaskStats {
             },
             condensed_cols: a.max_row_nnz(),
             occupied_cols: a.to_csc().occupied_cols(),
-            operational_intensity: if bytes == 0 { 0.0 } else { flops as f64 / bytes as f64 },
+            operational_intensity: if bytes == 0 {
+                0.0
+            } else {
+                flops as f64 / bytes as f64
+            },
         }
     }
 }

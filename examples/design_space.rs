@@ -52,6 +52,12 @@ fn main() {
         c.prefetch.line_elems = elems;
         run(format!("prefetch buffer: {lines}x{elems}"), c);
     }
-    run("no prefetcher".into(), SpArchConfig::default().without_prefetcher());
-    run("no condensing".into(), SpArchConfig::default().without_condensing());
+    run(
+        "no prefetcher".into(),
+        SpArchConfig::default().without_prefetcher(),
+    );
+    run(
+        "no condensing".into(),
+        SpArchConfig::default().without_condensing(),
+    );
 }

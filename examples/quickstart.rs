@@ -26,23 +26,56 @@ fn main() {
 
     // The simulated result is exact — verify against a software reference.
     let reference = algo::gustavson(&a, &a);
-    assert!(report.result().approx_eq(&reference, 1e-9), "results must match");
-    println!("result verified against Gustavson's algorithm: {} non-zeros", reference.nnz());
+    assert!(
+        report.result().approx_eq(&reference, 1e-9),
+        "results must match"
+    );
+    println!(
+        "result verified against Gustavson's algorithm: {} non-zeros",
+        reference.nnz()
+    );
 
     println!("\n--- SpArch report ---");
-    println!("partial matrices (condensed columns): {}", report.partial_matrices);
-    println!("merge rounds:                         {}", report.perf.rounds);
-    println!("multiplications:                      {}", report.perf.multiplies);
-    println!("cycles @ 1 GHz:                       {}", report.perf.cycles);
-    println!("throughput:                           {:.2} GFLOP/s", report.perf.gflops);
+    println!(
+        "partial matrices (condensed columns): {}",
+        report.partial_matrices
+    );
+    println!(
+        "merge rounds:                         {}",
+        report.perf.rounds
+    );
+    println!(
+        "multiplications:                      {}",
+        report.perf.multiplies
+    );
+    println!(
+        "cycles @ 1 GHz:                       {}",
+        report.perf.cycles
+    );
+    println!(
+        "throughput:                           {:.2} GFLOP/s",
+        report.perf.gflops
+    );
     println!(
         "bandwidth utilization:                {:.1}%",
         report.perf.bandwidth_utilization * 100.0
     );
-    println!("DRAM traffic:                         {:.2} MB", report.dram_mb());
-    println!("prefetch buffer hit rate:             {:.1}%", report.prefetch.hit_rate() * 100.0);
-    println!("energy:                               {:.3} mJ", report.energy_total() * 1e3);
-    println!("energy efficiency:                    {:.3} nJ/FLOP", report.nj_per_flop());
+    println!(
+        "DRAM traffic:                         {:.2} MB",
+        report.dram_mb()
+    );
+    println!(
+        "prefetch buffer hit rate:             {:.1}%",
+        report.prefetch.hit_rate() * 100.0
+    );
+    println!(
+        "energy:                               {:.3} mJ",
+        report.energy_total() * 1e3
+    );
+    println!(
+        "energy efficiency:                    {:.3} nJ/FLOP",
+        report.nj_per_flop()
+    );
 
     // Compare with the OuterSPACE model, the paper's main baseline.
     let outerspace = OuterSpaceModel::default().run(&a, &a);

@@ -58,7 +58,9 @@ fn load(path: &str) -> Csr {
 }
 
 fn cmd_multiply(flags: &HashMap<String, String>) -> ExitCode {
-    let Some(a_path) = flags.get("a") else { usage() };
+    let Some(a_path) = flags.get("a") else {
+        usage()
+    };
     let a = load(a_path);
     let b = flags.get("b").map(|p| load(p));
     let b = b.as_ref().unwrap_or(&a);
@@ -85,17 +87,46 @@ fn cmd_multiply(flags: &HashMap<String, String>) -> ExitCode {
         }
     }
 
-    println!("A: {}x{}, {} nnz | B: {}x{}, {} nnz", a.rows(), a.cols(), a.nnz(), b.rows(), b.cols(), b.nnz());
+    println!(
+        "A: {}x{}, {} nnz | B: {}x{}, {} nnz",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        b.rows(),
+        b.cols(),
+        b.nnz()
+    );
     println!("result: {} nnz", report.perf.output_nnz);
-    println!("partial matrices: {}, merge rounds: {}", report.partial_matrices, report.perf.rounds);
-    println!("cycles: {} ({:.3} ms @ 1 GHz)", report.perf.cycles, report.perf.seconds * 1e3);
+    println!(
+        "partial matrices: {}, merge rounds: {}",
+        report.partial_matrices, report.perf.rounds
+    );
+    println!(
+        "cycles: {} ({:.3} ms @ 1 GHz)",
+        report.perf.cycles,
+        report.perf.seconds * 1e3
+    );
     println!("throughput: {:.2} GFLOP/s", report.perf.gflops);
-    println!("bandwidth utilization: {:.1}%", report.perf.bandwidth_utilization * 100.0);
-    println!("prefetch hit rate: {:.1}%", report.prefetch.hit_rate() * 100.0);
-    println!("energy: {:.3} mJ ({:.3} nJ/FLOP)", report.energy_total() * 1e3, report.nj_per_flop());
+    println!(
+        "bandwidth utilization: {:.1}%",
+        report.perf.bandwidth_utilization * 100.0
+    );
+    println!(
+        "prefetch hit rate: {:.1}%",
+        report.prefetch.hit_rate() * 100.0
+    );
+    println!(
+        "energy: {:.3} mJ ({:.3} nJ/FLOP)",
+        report.energy_total() * 1e3,
+        report.nj_per_flop()
+    );
     println!("\nDRAM traffic ({:.2} MB total):", report.dram_mb());
     for cat in TrafficCategory::ALL {
-        println!("  {:>14}: {:.2} MB", cat.to_string(), report.traffic.bytes(cat) as f64 / 1e6);
+        println!(
+            "  {:>14}: {:.2} MB",
+            cat.to_string(),
+            report.traffic.bytes(cat) as f64 / 1e6
+        );
     }
     let os = OuterSpaceModel::default().run(&a, b);
     println!(
@@ -106,8 +137,11 @@ fn cmd_multiply(flags: &HashMap<String, String>) -> ExitCode {
     );
 
     if let Some(path) = flags.get("json") {
-        std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize"))
-            .expect("write json");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report).expect("serialize"),
+        )
+        .expect("write json");
         println!("\nreport written to {path}");
     }
     ExitCode::SUCCESS
@@ -115,9 +149,18 @@ fn cmd_multiply(flags: &HashMap<String, String>) -> ExitCode {
 
 fn cmd_generate(flags: &HashMap<String, String>) -> ExitCode {
     let kind = flags.get("kind").map(String::as_str).unwrap_or("rmat");
-    let n: usize = flags.get("n").map(|v| v.parse().expect("--n")).unwrap_or(4096);
-    let degree: usize = flags.get("degree").map(|v| v.parse().expect("--degree")).unwrap_or(8);
-    let seed: u64 = flags.get("seed").map(|v| v.parse().expect("--seed")).unwrap_or(42);
+    let n: usize = flags
+        .get("n")
+        .map(|v| v.parse().expect("--n"))
+        .unwrap_or(4096);
+    let degree: usize = flags
+        .get("degree")
+        .map(|v| v.parse().expect("--degree"))
+        .unwrap_or(8);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|v| v.parse().expect("--seed"))
+        .unwrap_or(42);
     let Some(out) = flags.get("out") else { usage() };
     let m = match kind {
         "rmat" => gen::rmat_graph500(n, degree, seed),
@@ -133,12 +176,19 @@ fn cmd_generate(flags: &HashMap<String, String>) -> ExitCode {
         }
     };
     mm::write_file(out, &m.to_coo()).expect("write matrix");
-    println!("wrote {}x{} matrix with {} nnz to {out}", m.rows(), m.cols(), m.nnz());
+    println!(
+        "wrote {}x{} matrix with {} nnz to {out}",
+        m.rows(),
+        m.cols(),
+        m.nnz()
+    );
     ExitCode::SUCCESS
 }
 
 fn cmd_stats(flags: &HashMap<String, String>) -> ExitCode {
-    let Some(a_path) = flags.get("a") else { usage() };
+    let Some(a_path) = flags.get("a") else {
+        usage()
+    };
     let a = load(a_path);
     let ms = stats::MatrixStats::of(&a);
     let ts = stats::TaskStats::of(&a, &a);
@@ -149,7 +199,9 @@ fn cmd_stats(flags: &HashMap<String, String>) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
     let flags = parse_flags(rest);
     match cmd.as_str() {
         "multiply" => cmd_multiply(&flags),

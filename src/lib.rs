@@ -37,6 +37,7 @@ pub use sparch_sparse as sparse;
 /// Commonly used items, importable in one line.
 pub mod prelude {
     pub use sparch_baselines::outerspace::OuterSpaceModel;
-    pub use sparch_core::{SimReport, SpArchConfig, SpArchSim};
-    pub use sparch_sparse::{Coo, Csc, Csr, CsrBuilder, Dense};
+    pub use sparch_core::{PrefetchConfig, SchedulerKind, SimReport, SpArchConfig, SpArchSim};
+    pub use sparch_engine::{Clock, Clocked, MergeItem, MergeTree, MergeTreeConfig};
+    pub use sparch_sparse::{Coo, Csc, Csr, CsrBuilder, Dense, Index, Triple, Value};
 }

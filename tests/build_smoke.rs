@@ -1,0 +1,72 @@
+//! Build-smoke assertions: the accelerator simulator's result must match
+//! the software reference bit-for-bit on coordinates and to 1e-9 on
+//! values, and must survive every format round-trip — the minimum bar for
+//! any future change to the workspace wiring.
+
+use sparch::prelude::*;
+use sparch::sparse::{algo, gen};
+
+/// Collects a CSR matrix as `(row, col, value)` triples in row-major order.
+fn triples(m: &Csr) -> Vec<(u32, u32, f64)> {
+    m.iter().collect()
+}
+
+#[test]
+fn simulator_matches_gustavson_exactly_on_rmat() {
+    let a = gen::rmat_graph500(128, 6, 42);
+    let report = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
+    let reference = algo::gustavson(&a, &a);
+    let got = report.result();
+
+    // Coordinates bit-for-bit.
+    let got_coords: Vec<(u32, u32)> = got.iter().map(|(r, c, _)| (r, c)).collect();
+    let ref_coords: Vec<(u32, u32)> = reference.iter().map(|(r, c, _)| (r, c)).collect();
+    assert_eq!(
+        got_coords, ref_coords,
+        "coordinate structure must match exactly"
+    );
+
+    // Values within 1e-9.
+    for ((_, _, gv), (r, c, rv)) in got.iter().zip(reference.iter()) {
+        assert!(
+            (gv - rv).abs() <= 1e-9,
+            "value mismatch at ({r}, {c}): {gv} vs {rv}"
+        );
+    }
+}
+
+#[test]
+fn simulator_result_survives_format_round_trips() {
+    let a = gen::rmat_graph500(96, 5, 7);
+    let product = SpArchSim::new(SpArchConfig::default())
+        .run(&a, &a)
+        .result()
+        .clone();
+
+    let via_coo = product.to_coo().to_csr();
+    assert_eq!(triples(&via_coo), triples(&product), "CSR → COO → CSR");
+
+    let via_csc = product.to_csc().to_csr();
+    assert_eq!(triples(&via_csc), triples(&product), "CSR → CSC → CSR");
+
+    let via_both = product.to_coo().to_csr().to_csc().to_csr();
+    assert_eq!(
+        triples(&via_both),
+        triples(&product),
+        "CSR → COO → CSR → CSC → CSR"
+    );
+}
+
+#[test]
+fn round_tripped_operands_produce_identical_products() {
+    let a = gen::rmat_graph500(64, 4, 3);
+    let b = gen::uniform_random(64, 64, 384, 4);
+    let sim = SpArchSim::new(SpArchConfig::default());
+    let direct = sim.run(&a, &b);
+    let round_tripped = sim.run(&a.to_coo().to_csr(), &b.to_csc().to_csr());
+    assert_eq!(
+        triples(direct.result()),
+        triples(round_tripped.result()),
+        "operand round-trips must not perturb the product"
+    );
+}

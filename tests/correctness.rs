@@ -49,7 +49,9 @@ fn simulator_exact_on_rectangular_chains() {
     assert!(first.result().approx_eq(&algo::gustavson(&w1, &a), 1e-9));
     let w2 = gen::uniform_random(24, 40, 200, 7);
     let second = sim.run(&w2, first.result());
-    assert!(second.result().approx_eq(&algo::gustavson(&w2, first.result()), 1e-9));
+    assert!(second
+        .result()
+        .approx_eq(&algo::gustavson(&w2, first.result()), 1e-9));
 }
 
 #[test]
@@ -57,10 +59,22 @@ fn every_configuration_is_functionally_identical() {
     let a = gen::rmat_graph500(160, 5, 11);
     let reference = algo::gustavson(&a, &a);
     let configs: Vec<(String, SpArchConfig)> = vec![
-        ("tiny tree".into(), SpArchConfig::default().with_tree_layers(1)),
-        ("narrow merger".into(), SpArchConfig::default().with_merger_width(2)),
-        ("no prefetch".into(), SpArchConfig::default().without_prefetcher()),
-        ("no condensing".into(), SpArchConfig::default().without_condensing()),
+        (
+            "tiny tree".into(),
+            SpArchConfig::default().with_tree_layers(1),
+        ),
+        (
+            "narrow merger".into(),
+            SpArchConfig::default().with_merger_width(2),
+        ),
+        (
+            "no prefetch".into(),
+            SpArchConfig::default().without_prefetcher(),
+        ),
+        (
+            "no condensing".into(),
+            SpArchConfig::default().without_condensing(),
+        ),
         (
             "sequential sched".into(),
             SpArchConfig::default().with_scheduler(SchedulerKind::Sequential),

@@ -1,0 +1,162 @@
+//! The shared `MergeItem` stream contract — the integration tests the
+//! module docs of `core::pipeline` and `engine::merge_tree` promise.
+//!
+//! Three models compute the same k-way merge-and-fold and must agree
+//! element for element:
+//!
+//! * `core::pipeline::kway_merge_fold` — the functional model,
+//! * `engine::MergeTree::merge` — the batch cycle-level model,
+//! * `engine::MergeTreeSim` driven through the `Clocked` two-phase
+//!   discipline with a streaming leaf feed — the pipelined model used by
+//!   the round co-simulation.
+
+use sparch::core::kway_merge_fold;
+use sparch::engine::{Clock, Clocked, MergeItem, MergeTree, MergeTreeConfig, MergeTreeSim};
+use sparch::sparse::gen;
+
+/// Deterministic sorted streams with duplicate coordinates across (and
+/// within reach of) every leaf, derived from an R-MAT matrix so the
+/// coordinate distribution is realistically skewed.
+fn skewed_streams(ways: usize, seed: u64) -> Vec<Vec<MergeItem>> {
+    let a = gen::rmat_graph500(256, 8, seed);
+    let mut streams: Vec<Vec<MergeItem>> = vec![Vec::new(); ways];
+    for (i, (r, c, v)) in a.iter().enumerate() {
+        streams[i % ways].push(MergeItem::new(r, c, v));
+    }
+    for s in &mut streams {
+        s.sort_by_key(|item| item.coord);
+    }
+    streams
+}
+
+fn assert_streams_equal(label: &str, got: &[MergeItem], want: &[MergeItem]) {
+    assert_eq!(got.len(), want.len(), "{label}: length mismatch");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.coord, w.coord, "{label}: coordinate mismatch");
+        assert!(
+            (g.value - w.value).abs() < 1e-12,
+            "{label}: value mismatch at coord {}: {} vs {}",
+            g.coord,
+            g.value,
+            w.value
+        );
+    }
+}
+
+#[test]
+fn functional_and_batch_cycle_models_agree() {
+    for (layers, seed) in [(1usize, 1u64), (2, 2), (3, 3), (4, 4), (6, 5)] {
+        let ways = 1usize << layers;
+        let streams = skewed_streams(ways, seed);
+        let refs: Vec<&[MergeItem]> = streams.iter().map(|s| s.as_slice()).collect();
+        let (functional, _) = kway_merge_fold(&refs);
+        let tree = MergeTree::new(MergeTreeConfig {
+            layers,
+            ..Default::default()
+        });
+        let (cycle, stats) = tree.merge(streams.clone());
+        assert_streams_equal(&format!("{ways}-way"), &cycle, &functional);
+        assert_eq!(stats.output_elements as usize, cycle.len());
+    }
+}
+
+#[test]
+fn clocked_streaming_feed_agrees_with_functional_model() {
+    let layers = 3usize;
+    let ways = 1usize << layers;
+    let streams = skewed_streams(ways, 9);
+    let refs: Vec<&[MergeItem]> = streams.iter().map(|s| s.as_slice()).collect();
+    let (functional, _) = kway_merge_fold(&refs);
+
+    let mut sim = MergeTreeSim::new(MergeTreeConfig {
+        layers,
+        ..Default::default()
+    });
+    let mut cursors = vec![0usize; ways];
+    let mut clock = Clock::new();
+    while !sim.is_done() {
+        sim.clock_update();
+        // A bounded per-cycle feed with backpressure, like the multiplier
+        // array latching products at the clock edge.
+        for (k, stream) in streams.iter().enumerate() {
+            for _ in 0..2 {
+                if cursors[k] >= stream.len() {
+                    sim.finish_leaf(k);
+                    break;
+                }
+                match sim.push_leaf(k, stream[cursors[k]]) {
+                    Ok(()) => cursors[k] += 1,
+                    Err(_) => break, // leaf FIFO full this cycle
+                }
+            }
+        }
+        sim.clock_apply();
+        clock.tick(&mut []);
+        assert!(
+            clock.cycles() < 1_000_000,
+            "streaming merge failed to converge"
+        );
+    }
+    assert_streams_equal("clocked streaming", sim.output(), &functional);
+}
+
+#[test]
+fn contract_holds_for_duplicate_heavy_streams() {
+    // Every stream carries the same coordinates: maximal folding.
+    let ways = 4usize;
+    let streams: Vec<Vec<MergeItem>> = (0..ways)
+        .map(|k| {
+            (0..100u32)
+                .map(|i| MergeItem::new(i / 10, i % 10, (k + 1) as f64))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[MergeItem]> = streams.iter().map(|s| s.as_slice()).collect();
+    let (functional, adds) = kway_merge_fold(&refs);
+    assert_eq!(
+        functional.len(),
+        100,
+        "4 copies of 100 coordinates fold to 100"
+    );
+    assert_eq!(adds, 300);
+    let expected_sum: f64 = (1..=ways).map(|k| k as f64).sum();
+    assert!(functional.iter().all(|i| i.value == expected_sum));
+
+    let tree = MergeTree::new(MergeTreeConfig {
+        layers: 2,
+        ..Default::default()
+    });
+    let (cycle, stats) = tree.merge(streams);
+    assert_streams_equal("duplicate-heavy", &cycle, &functional);
+    assert_eq!(stats.adds, adds, "both models charge the same additions");
+}
+
+#[test]
+fn pipeline_register_delays_streams_without_loss() {
+    // The Clocked discipline's reference component: a chain of registers
+    // must deliver a stream unchanged, one cycle later per stage.
+    use sparch::engine::PipelineReg;
+    let stream: Vec<MergeItem> = (0..32).map(|i| MergeItem::new(0, i, i as f64)).collect();
+    let mut a: PipelineReg<MergeItem> = PipelineReg::new();
+    let mut b: PipelineReg<MergeItem> = PipelineReg::new();
+    let mut clock = Clock::new();
+    let mut out = Vec::new();
+    let mut fed = 0usize;
+    while out.len() < stream.len() {
+        if fed < stream.len() {
+            a.set_input(Some(stream[fed]));
+            fed += 1;
+        }
+        clock.tick(&mut [&mut a, &mut b]);
+        b.set_input(a.output());
+        if let Some(item) = b.output() {
+            out.push(item);
+        }
+        assert!(clock.cycles() < 1000);
+    }
+    assert_eq!(out, stream);
+    assert!(
+        clock.cycles() as usize > stream.len(),
+        "the register stages add latency"
+    );
+}

@@ -32,7 +32,10 @@ fn round_model_tracks_cycle_accurate_tree() {
                     .collect()
             })
             .collect();
-        let tree = MergeTree::new(MergeTreeConfig { layers, ..Default::default() });
+        let tree = MergeTree::new(MergeTreeConfig {
+            layers,
+            ..Default::default()
+        });
         let (out, stats) = tree.merge(inputs.clone());
 
         let total_in: u64 = inputs.iter().map(|s| s.len() as u64).sum();

@@ -70,7 +70,10 @@ fn table_iii_published_columns() {
 fn figure15_roofline_anchors() {
     let r = Roofline::paper_default();
     assert_eq!(r.compute_roof_gflops, 32.0);
-    assert!((r.roof_at(0.19) - 24.32).abs() < 0.01, "paper: 23.9 (rounded)");
+    assert!(
+        (r.roof_at(0.19) - 24.32).abs() < 0.01,
+        "paper: 23.9 (rounded)"
+    );
 }
 
 #[test]
@@ -80,7 +83,10 @@ fn outerspace_runs_at_a_tenth_of_peak() {
     // low single digits on sparse workloads.
     let a = gen::rmat_graph500(4096, 8, 3);
     let r = OuterSpaceModel::default().run(&a, &a);
-    assert!(r.gflops < 8.0, "OuterSPACE must stay far from the 32 GFLOPS roof");
+    assert!(
+        r.gflops < 8.0,
+        "OuterSPACE must stay far from the 32 GFLOPS roof"
+    );
 }
 
 #[test]
@@ -91,8 +97,7 @@ fn headline_speedup_and_traffic_shape() {
     let sparch = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
     let outer = OuterSpaceModel::default().run(&a, &a);
     let speedup = sparch.perf.gflops / outer.gflops;
-    let traffic_ratio =
-        outer.traffic.total_bytes() as f64 / sparch.traffic.total_bytes() as f64;
+    let traffic_ratio = outer.traffic.total_bytes() as f64 / sparch.traffic.total_bytes() as f64;
     assert!(
         speedup > 1.5 && speedup < 20.0,
         "speedup {speedup:.2} outside the plausible band around 4x"
@@ -115,7 +120,10 @@ fn condensing_reduces_columns_by_orders_of_magnitude() {
         report.partial_matrices
     );
     let occupied = entry_like.to_csc().occupied_cols();
-    assert!(occupied > 100 * report.partial_matrices, "3 orders of magnitude claim");
+    assert!(
+        occupied > 100 * report.partial_matrices,
+        "3 orders of magnitude claim"
+    );
 }
 
 #[test]

@@ -13,7 +13,10 @@ fn sorted_stream() -> impl Strategy<Value = Vec<MergeItem>> {
         coords.dedup();
         coords
             .into_iter()
-            .map(|c| MergeItem { coord: c, value: c as f64 + 0.5 })
+            .map(|c| MergeItem {
+                coord: c,
+                value: c as f64 + 0.5,
+            })
             .collect()
     })
 }

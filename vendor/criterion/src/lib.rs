@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so this crate provides the
+//! small slice of criterion's API the workspace benches use — groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, `iter` —
+//! backed by a plain wall-clock harness: a short warm-up, then a fixed
+//! number of timed samples, reporting median ns/iter (and derived
+//! throughput) on stdout. No statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group, e.g. `flat/16`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Median duration of one iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes
+        // roughly a millisecond, so cheap routines are not all timer noise.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let mut samples: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(routine());
+                }
+                start.elapsed() / iters_per_sample as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        self.elapsed_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with no externally provided input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(
+            &self.name,
+            &id.id,
+            bencher.elapsed_per_iter,
+            self.throughput,
+        );
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        report(
+            &self.name,
+            &id.id,
+            bencher.elapsed_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let ns = per_iter.as_nanos().max(1);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.1} Melem/s", n as f64 / per_iter.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:.1} MiB/s",
+                n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("{group}/{id}: {ns} ns/iter{rate}");
+}
+
+/// Benchmark driver. One instance is shared by every function named in
+/// [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("base", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

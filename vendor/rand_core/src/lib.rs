@@ -1,0 +1,59 @@
+//! Offline stand-in for `rand_core`: the `RngCore` / `SeedableRng` traits
+//! with the subset of the real API this workspace uses.
+
+/// A source of uniformly distributed random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// An RNG that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed material (e.g. `[u8; 32]` for ChaCha).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates an RNG from full seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates an RNG from a `u64`, expanding it through SplitMix64 the way
+    /// the real `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}

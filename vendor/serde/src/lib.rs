@@ -1,0 +1,372 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! minimal serialization framework under the same crate name. It keeps the
+//! parts of serde's surface this repository actually uses:
+//!
+//! * `Serialize` / `Deserialize` traits (JSON-backed, via the [`Json`]
+//!   intermediate value),
+//! * `#[derive(Serialize, Deserialize)]` for structs with named fields and
+//!   for enums with unit, newtype and struct variants (externally tagged,
+//!   matching serde's default representation),
+//! * impls for the primitive types, `String`, `Option`, `Vec`, fixed-size
+//!   arrays, tuples and string-keyed maps.
+//!
+//! The sibling `serde_json` shim provides `to_string`, `to_string_pretty`
+//! and `from_str` on top of these traits. Round-tripping through this pair
+//! is lossless for every type the workspace serializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Generic JSON value — the intermediate representation every
+/// `Serialize`/`Deserialize` impl goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer (kept exact; never routed through `f64`).
+    U64(u64),
+    /// Negative integer (kept exact; never routed through `f64`).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, with insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Borrows the object pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted to a [`Json`] value.
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// A type that can be reconstructed from a [`Json`] value.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from JSON, or explains why it can't be.
+    fn from_json(v: &Json) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                let n = match *v {
+                    Json::U64(n) => n,
+                    Json::I64(n) if n >= 0 => n as u64,
+                    Json::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => f as u64,
+                    _ => return Err(Error::new(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::new(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                let n = *self as i64;
+                if n >= 0 { Json::U64(n as u64) } else { Json::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                let n = match *v {
+                    Json::U64(n) => i64::try_from(n)
+                        .map_err(|_| Error::new("integer out of i64 range"))?,
+                    Json::I64(n) => n,
+                    Json::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => f as i64,
+                    _ => return Err(Error::new(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::new(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match *v {
+            Json::F64(f) => Ok(f),
+            Json::U64(n) => Ok(n as f64),
+            Json::I64(n) => Ok(n as f64),
+            Json::Null => Ok(f64::NAN),
+            _ => Err(Error::new("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        f64::from_json(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match *v {
+            Json::Bool(b) => Ok(b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::new("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(x) => x.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_json(v)?;
+        <[T; N]>::try_from(items).map_err(|_| Error::new("wrong array length"))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$n.to_json()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                let items = v.as_arr().ok_or_else(|| Error::new("expected tuple array"))?;
+                let mut it = items.iter();
+                Ok(($(
+                    $t::from_json(it.next().ok_or_else(|| Error::new("tuple too short"))?)?,
+                )+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        v.as_obj()
+            .ok_or_else(|| Error::new("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_json(&self) -> Json {
+        // Sort keys so serialization is deterministic.
+        let mut pairs: Vec<(String, Json)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(pairs)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        v.as_obj()
+            .ok_or_else(|| Error::new("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+impl Deserialize for Json {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,324 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (see `vendor/serde`) without depending on `syn`/`quote`, which are
+//! unavailable in the no-network build container. The parser walks the raw
+//! `proc_macro::TokenStream` and supports the shapes this workspace uses:
+//!
+//! * structs with named fields (plus unit structs),
+//! * enums with unit, tuple and struct variants (externally tagged).
+//!
+//! Generics, tuple structs and `#[serde(...)]` attributes are not supported;
+//! deriving on such an item is a compile error rather than a silent
+//! misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct (empty vec ⇒ unit struct).
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f}))"))
+                .collect();
+            format!("::serde::Json::Obj(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(&name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Json {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => deserialize_struct_body(&name, fields),
+        Shape::Enum(variants) => deserialize_enum_body(&name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(v: &::serde::Json) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+fn serialize_arm(ty: &str, v: &Variant) -> String {
+    let name = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{ty}::{name} => ::serde::Json::Str(\"{name}\".to_string()),")
+        }
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_json({b})"))
+                .collect();
+            let payload = if *n == 1 {
+                items[0].clone()
+            } else {
+                format!("::serde::Json::Arr(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "{ty}::{name}({binds}) => ::serde::Json::Obj(::std::vec![(\"{name}\".to_string(), {payload})]),",
+                binds = binds.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))"))
+                .collect();
+            format!(
+                "{ty}::{name} {{ {binds} }} => ::serde::Json::Obj(::std::vec![(\"{name}\".to_string(), ::serde::Json::Obj(::std::vec![{}]))]),",
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+fn field_extraction(ty: &str, source: &str, f: &str) -> String {
+    format!(
+        "{f}: match {source}.iter().find(|(k, _)| k == \"{f}\") {{\n\
+             Some((_, fv)) => ::serde::Deserialize::from_json(fv)?,\n\
+             None => return Err(::serde::Error::new(\"missing field `{f}` in {ty}\")),\n\
+         }}"
+    )
+}
+
+fn deserialize_struct_body(name: &str, fields: &[String]) -> String {
+    if fields.is_empty() {
+        return format!("Ok({name})");
+    }
+    let extractions: Vec<String> = fields
+        .iter()
+        .map(|f| field_extraction(name, "obj", f))
+        .collect();
+    format!(
+        "let obj = v.as_obj().ok_or_else(|| ::serde::Error::new(\"expected object for {name}\"))?;\n\
+         Ok({name} {{ {} }})",
+        extractions.join(", ")
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match &v.kind {
+            VariantKind::Unit => None,
+            VariantKind::Tuple(n) if *n == 1 => Some(format!(
+                "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_json(payload)?)),",
+                vn = v.name
+            )),
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_json(arr.get({i}).ok_or_else(|| ::serde::Error::new(\"variant tuple too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{vn}\" => {{\n\
+                         let arr = payload.as_arr().ok_or_else(|| ::serde::Error::new(\"expected array payload\"))?;\n\
+                         return Ok({name}::{vn}({}));\n\
+                     }}",
+                    items.join(", "),
+                    vn = v.name
+                ))
+            }
+            VariantKind::Struct(fields) => {
+                let extractions: Vec<String> = fields
+                    .iter()
+                    .map(|f| field_extraction(name, "fields_obj", f))
+                    .collect();
+                Some(format!(
+                    "\"{vn}\" => {{\n\
+                         let fields_obj = payload.as_obj().ok_or_else(|| ::serde::Error::new(\"expected object payload\"))?;\n\
+                         return Ok({name}::{vn} {{ {} }});\n\
+                     }}",
+                    extractions.join(", "),
+                    vn = v.name
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "if let Some(tag) = v.as_str() {{\n\
+             match tag {{ {unit} _ => {{}} }}\n\
+         }}\n\
+         if let Some(obj) = v.as_obj() {{\n\
+             if let Some((tag, payload)) = obj.first() {{\n\
+                 match tag.as_str() {{ {tagged} _ => {{}} }}\n\
+             }}\n\
+         }}\n\
+         Err(::serde::Error::new(\"unknown variant for {name}\"))",
+        unit = unit_arms.join(" "),
+        tagged = tagged_arms.join(" "),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    // Generic parameters are not supported; fail loudly if present.
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Struct(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::Struct(Vec::new())),
+            _ => panic!("serde_derive: tuple struct `{name}` is not supported"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            _ => panic!("serde_derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits a token sequence at commas that sit outside nested groups *and*
+/// outside `<...>` generic argument lists.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let kind = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level_commas(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                None => VariantKind::Unit,
+                // `Variant = 3` style discriminants: treat as unit.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+                other => panic!("serde_derive: unexpected token after variant: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}

@@ -1,0 +1,423 @@
+//! Offline stand-in for `serde_json`, built on the vendored `serde` shim.
+//!
+//! Provides `to_string`, `to_string_pretty`, `to_value`, `from_str` and a
+//! re-export of the [`Value`] type. The emitted text is standard JSON;
+//! integers are kept exact (never routed through `f64`), and non-finite
+//! floats serialize as `null` like the real `serde_json`.
+
+pub use serde::Error;
+pub use serde::Json as Value;
+
+use serde::{Deserialize, Json, Serialize};
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Converts a value to a generic [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Reconstructs a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let v = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    T::from_json(&v)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_json(v: &Json, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::U64(n) => out.push_str(&n.to_string()),
+        Json::I64(n) => out.push_str(&n.to_string()),
+        Json::F64(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                // `{}` prints integral floats without a decimal point; keep
+                // one so the value re-parses as a float, matching serde_json.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => write_seq(
+            items.iter(),
+            items.len(),
+            '[',
+            ']',
+            out,
+            indent,
+            depth,
+            |item, out, indent, depth| {
+                write_json(item, out, indent, depth);
+            },
+        ),
+        Json::Obj(pairs) => write_seq(
+            pairs.iter(),
+            pairs.len(),
+            '{',
+            '}',
+            out,
+            indent,
+            depth,
+            |(k, v), out, indent, depth| {
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(v, out, indent, depth);
+            },
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<I: Iterator>(
+    items: I,
+    len: usize,
+    open: char,
+    close: char,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(I::Item, &mut String, Option<usize>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(item, out, indent, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::new(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Json) -> Result<Json, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            let scalar = match code {
+                                // High surrogate: a \uDC00..\uDFFF escape
+                                // must follow; combine into one scalar.
+                                0xd800..=0xdbff => {
+                                    if self.bytes.get(self.pos) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                    {
+                                        return Err(Error::new("unpaired high surrogate"));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return Err(Error::new("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                                }
+                                0xdc00..=0xdfff => {
+                                    return Err(Error::new("unpaired low surrogate"))
+                                }
+                                c => c,
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(Error::new("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from this byte onward.
+                    let s = &self.bytes[self.pos - 1..];
+                    let c_len = utf8_len(b);
+                    let chunk = s
+                        .get(..c_len)
+                        .ok_or_else(|| Error::new("truncated UTF-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| Error::new("invalid UTF-8"))?,
+                    );
+                    self.pos += c_len - 1;
+                }
+            }
+        }
+    }
+
+    /// Reads the four hex digits of a `\u` escape.
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error::new("bad \\u escape"))?,
+            16,
+        )
+        .map_err(|_| Error::new("bad \\u escape"))
+    }
+
+    fn parse_array(&mut self) -> Result<Json, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(Error::new("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(Error::new("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        let s: String = from_str(r#""😀""#).unwrap();
+        assert_eq!(s, "\u{1f600}");
+    }
+
+    #[test]
+    fn unpaired_surrogates_rejected() {
+        assert!(from_str::<String>(r#""\ud83d""#).is_err());
+        assert!(from_str::<String>(r#""\ude00""#).is_err());
+        assert!(from_str::<String>(r#""\ud83dA""#).is_err());
+    }
+
+    #[test]
+    fn unicode_string_round_trips() {
+        let original = "naïve — \u{1f600} ok".to_string();
+        let json = to_string(&original).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let n = u64::MAX;
+        let back: u64 = from_str(&to_string(&n).unwrap()).unwrap();
+        assert_eq!(back, n);
+    }
+}
