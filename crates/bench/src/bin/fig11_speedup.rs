@@ -6,6 +6,11 @@
 //! calibration constants (DESIGN.md §5); the *shape* — SpArch wins on
 //! every matrix, OuterSPACE is the closest, Armadillo is orders of
 //! magnitude behind — is the reproduction target.
+//!
+//! The `vs MKL/cuSPARSE/CUSP/Armadillo` columns wall-clock a host SpGEMM
+//! kernel, so they carry measurement noise — and CPU contention when
+//! sharded. Use `--threads 1` when those columns matter; the SpArch and
+//! OuterSPACE numbers are model-driven and thread-count-invariant.
 
 use serde::Serialize;
 use sparch_baselines::{run_software, OuterSpaceModel, Platform};
@@ -25,14 +30,10 @@ struct Row {
 
 fn main() {
     let args = parse_args();
-    let sim = SpArchSim::new(SpArchConfig::default());
-    let outerspace = OuterSpaceModel::default();
 
-    let mut rows: Vec<Row> = Vec::new();
-    for entry in catalog() {
-        let a = entry.build(args.scale);
-        let report = sim.run(&a, &a);
-        let os = outerspace.run(&a, &a);
+    let mut rows: Vec<Row> = runner::run_suite(&catalog(), &args, |entry, a| {
+        let report = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
+        let os = OuterSpaceModel::default().run(&a, &a);
 
         let mut speedups = [0.0f64; 4];
         for (i, p) in Platform::ALL.iter().enumerate() {
@@ -40,7 +41,7 @@ fn main() {
             speedups[i] = report.perf.gflops / gflops;
         }
 
-        rows.push(Row {
+        Row {
             name: entry.name.to_string(),
             sparch_gflops: report.perf.gflops,
             over_outerspace: report.perf.gflops / os.gflops,
@@ -48,9 +49,8 @@ fn main() {
             over_cusparse: speedups[1],
             over_cusp: speedups[2],
             over_armadillo: speedups[3],
-        });
-        eprintln!("done {}", entry.name);
-    }
+        }
+    });
 
     let gm = |f: fn(&Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
     let geo = Row {

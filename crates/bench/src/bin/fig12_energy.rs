@@ -4,7 +4,9 @@
 //! The paper's geometric means: 6.1× / 164× / 435× / 307× / 62×. SpArch's
 //! energy comes from the simulator's activity counts × the calibrated
 //! per-event constants; OuterSPACE uses its published 4.95 nJ/FLOP;
-//! software platforms use `published power × calibrated time`.
+//! software platforms use `published power × calibrated time`, where the
+//! calibrated time wall-clocks a host kernel — noisy, and contended when
+//! sharded, so use `--threads 1` when those columns matter.
 
 use serde::Serialize;
 use sparch_baselines::{run_software, OuterSpaceModel, Platform};
@@ -24,15 +26,11 @@ struct Row {
 
 fn main() {
     let args = parse_args();
-    let sim = SpArchSim::new(SpArchConfig::default());
-    let outerspace = OuterSpaceModel::default();
 
-    let mut rows: Vec<Row> = Vec::new();
-    for entry in catalog() {
-        let a = entry.build(args.scale);
-        let report = sim.run(&a, &a);
+    let mut rows: Vec<Row> = runner::run_suite(&catalog(), &args, |entry, a| {
+        let report = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
         let sparch_energy = report.energy_total();
-        let os = outerspace.run(&a, &a);
+        let os = OuterSpaceModel::default().run(&a, &a);
 
         let mut savings = [0.0f64; 4];
         for (i, p) in Platform::ALL.iter().enumerate() {
@@ -40,7 +38,7 @@ fn main() {
             savings[i] = sw / sparch_energy;
         }
 
-        rows.push(Row {
+        Row {
             name: entry.name.to_string(),
             sparch_nj_per_flop: report.nj_per_flop(),
             over_outerspace: os.energy_j / sparch_energy,
@@ -48,9 +46,8 @@ fn main() {
             over_cusparse: savings[1],
             over_cusp: savings[2],
             over_armadillo: savings[3],
-        });
-        eprintln!("done {}", entry.name);
-    }
+        }
+    });
 
     let gm = |f: fn(&Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
     rows.push(Row {

@@ -5,31 +5,50 @@
 //! divided by the task time, compared against the paper's published
 //! milliwatt breakdown.
 
-use sparch_bench::{catalog, parse_args, print_table};
+use serde::Serialize;
+use sparch_bench::{catalog, parse_args, print_table, runner};
 use sparch_core::{SpArchConfig, SpArchSim};
-use sparch_mem::EnergyModel;
+use sparch_mem::{AreaBreakdown, EnergyModel};
+
+/// Per-matrix energy/time sample measured on a worker.
+#[derive(Serialize)]
+struct Sample {
+    component_j: [f64; 6],
+    seconds: f64,
+    area: AreaBreakdown,
+}
 
 fn main() {
     let args = parse_args();
-    let sim = SpArchSim::new(SpArchConfig::default());
 
     // Representative run: aggregate energy/time over a few suite matrices.
+    let entries: Vec<_> = catalog().into_iter().take(6).collect();
+    let samples = runner::run_suite(&entries, &args, |_, a| {
+        let r = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
+        Sample {
+            component_j: [
+                r.energy.column_fetcher,
+                r.energy.row_prefetcher,
+                r.energy.multiplier_array,
+                r.energy.merge_tree,
+                r.energy.partial_writer,
+                r.energy.hbm,
+            ],
+            seconds: r.perf.seconds,
+            area: r.area,
+        }
+    });
+
     let mut component_j = [0.0f64; 6];
     let mut seconds = 0.0f64;
-    let mut area = None;
-    for entry in catalog().into_iter().take(6) {
-        let a = entry.build(args.scale);
-        let r = sim.run(&a, &a);
-        component_j[0] += r.energy.column_fetcher;
-        component_j[1] += r.energy.row_prefetcher;
-        component_j[2] += r.energy.multiplier_array;
-        component_j[3] += r.energy.merge_tree;
-        component_j[4] += r.energy.partial_writer;
-        component_j[5] += r.energy.hbm;
-        seconds += r.perf.seconds;
-        area = Some(r.area);
+    for s in &samples {
+        for (acc, j) in component_j.iter_mut().zip(s.component_j) {
+            *acc += j;
+        }
+        seconds += s.seconds;
     }
-    let area = area.expect("at least one run");
+    // Area depends only on the configuration: every sample agrees.
+    let area = &samples.first().expect("at least one run").area;
 
     println!("Figure 13(a) — area breakdown (mm2)\n");
     let total_area = area.total();
@@ -58,7 +77,7 @@ fn main() {
 
     println!(
         "Figure 13(b) — power breakdown (mW) over {} suite matrices\n",
-        6
+        entries.len()
     );
     let paper_mw = EnergyModel::paper_power_breakdown_mw();
     let names = [

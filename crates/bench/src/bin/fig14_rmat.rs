@@ -5,11 +5,14 @@
 //! 6e-3 down to 5e-5. SpArch's FLOPS stay relatively stable as matrices
 //! get sparser (2.7× degradation) while MKL degrades harder (5.9×) — the
 //! reproduction target is that stability gap, plus >10× absolute headroom.
+//! (The MKL column wall-clocks a host kernel: noisy, and contended when
+//! sharded — use `--threads 1` when it matters.)
 
 use serde::Serialize;
 use sparch_baselines::{run_software, Platform};
 use sparch_bench::{geomean, parse_args, print_table, runner};
 use sparch_core::{SpArchConfig, SpArchSim};
+use sparch_exec::FnWorkload;
 use sparch_sparse::gen;
 
 #[derive(Serialize)]
@@ -44,21 +47,32 @@ fn main() {
         (80_000, 8),
         (80_000, 4),
     ];
-    let sim = SpArchSim::new(SpArchConfig::default());
-    let mut rows: Vec<Row> = Vec::new();
-    for (n, degree) in combos {
-        let n_scaled = ((n as f64 * args.scale * 10.0) as usize).clamp(1024, n);
-        let a = gen::rmat_graph500(n_scaled, degree, 1234 + degree as u64);
-        let report = sim.run(&a, &a);
-        let mkl = run_software(Platform::Mkl, &a, &a);
-        rows.push(Row {
-            name: format!("rmat-{}k-x{}", n / 1000, degree),
-            density: a.density(),
-            mkl_flops: mkl.calibrated_gflops * 1e9,
-            sparch_flops: report.perf.gflops * 1e9,
-        });
-        eprintln!("done rmat-{}k-x{}", n / 1000, degree);
-    }
+    let scale = args.scale;
+    let jobs: Vec<_> = combos
+        .iter()
+        .map(|&(n, degree)| {
+            let name = format!("rmat-{}k-x{}", n / 1000, degree);
+            let row_name = name.clone();
+            FnWorkload::new(
+                name,
+                move || {
+                    let n_scaled = ((n as f64 * scale * 10.0) as usize).clamp(1024, n);
+                    gen::rmat_graph500(n_scaled, degree, 1234 + degree as u64)
+                },
+                move |a| {
+                    let report = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
+                    let mkl = run_software(Platform::Mkl, &a, &a);
+                    Row {
+                        name: row_name.clone(),
+                        density: a.density(),
+                        mkl_flops: mkl.calibrated_gflops * 1e9,
+                        sparch_flops: report.perf.gflops * 1e9,
+                    }
+                },
+            )
+        })
+        .collect();
+    let mut rows: Vec<Row> = runner::runner(&args).run_all(&jobs);
 
     let geo = Row {
         name: "GeoMean".into(),

@@ -6,28 +6,27 @@
 //! 10.4 GFLOP/s — 2.3× under the roof — vs OuterSPACE's 2.5.
 
 use sparch_baselines::OuterSpaceModel;
-use sparch_bench::{catalog, geomean, parse_args, print_table};
+use sparch_bench::{catalog, geomean, parse_args, print_table, runner};
 use sparch_core::{roofline, Roofline, SpArchConfig, SpArchSim};
 
 fn main() {
     let args = parse_args();
-    let sim = SpArchSim::new(SpArchConfig::default());
-    let outerspace = OuterSpaceModel::default();
     let model = Roofline::paper_default();
 
-    let mut intensities = Vec::new();
-    let mut sparch_gflops = Vec::new();
-    let mut outer_gflops = Vec::new();
-    for entry in catalog() {
-        let a = entry.build(args.scale);
-        intensities.push(roofline::theoretical_intensity(&a, &a));
-        sparch_gflops.push(sim.run(&a, &a).perf.gflops);
-        outer_gflops.push(outerspace.run(&a, &a).gflops);
-        eprintln!("done {}", entry.name);
-    }
-    let oi = geomean(&intensities);
-    let ours = geomean(&sparch_gflops);
-    let outer = geomean(&outer_gflops);
+    // Per matrix: (operational intensity, SpArch GFLOPS, OuterSPACE GFLOPS).
+    let samples: Vec<(f64, f64, f64)> = runner::run_suite(&catalog(), &args, |_, a| {
+        (
+            roofline::theoretical_intensity(&a, &a),
+            SpArchSim::new(SpArchConfig::default())
+                .run(&a, &a)
+                .perf
+                .gflops,
+            OuterSpaceModel::default().run(&a, &a).gflops,
+        )
+    });
+    let oi = geomean(&samples.iter().map(|s| s.0).collect::<Vec<_>>());
+    let ours = geomean(&samples.iter().map(|s| s.1).collect::<Vec<_>>());
+    let outer = geomean(&samples.iter().map(|s| s.2).collect::<Vec<_>>());
     let point = model.place(oi, ours);
 
     println!("Figure 15 — roofline (scale {})\n", args.scale);

@@ -8,8 +8,10 @@
 
 use serde::Serialize;
 use sparch_baselines::OuterSpaceModel;
-use sparch_bench::{catalog, geomean, parse_args, print_table, runner};
-use sparch_core::{SpArchConfig, SpArchSim};
+use sparch_bench::{catalog, geomean, parse_args, print_table, runner, SuiteEntry};
+use sparch_core::{SimScratch, SpArchConfig, SpArchSim};
+use sparch_exec::FnWorkload;
+use sparch_sparse::Csr;
 
 #[derive(Serialize)]
 struct Step {
@@ -22,21 +24,43 @@ struct Step {
 
 fn main() {
     let args = parse_args();
-    let outerspace = OuterSpaceModel::default();
     // The full suite is expensive × 4 configs; use a representative
     // subset by default (every other matrix) and let --scale control size.
-    let entries: Vec<_> = catalog().into_iter().step_by(2).collect();
+    let entries: Vec<SuiteEntry> = catalog().into_iter().step_by(2).collect();
 
-    let mut baseline_gflops = Vec::new();
-    let mut baseline_mb = Vec::new();
-    for entry in &entries {
-        let a = entry.build(args.scale);
-        let r = outerspace.run(&a, &a);
-        baseline_gflops.push(r.gflops);
-        baseline_mb.push(r.traffic.total_mb());
-    }
-    let os_gflops = geomean(&baseline_gflops);
-    let os_mb = geomean(&baseline_mb);
+    let baselines: Vec<(f64, f64)> = runner::run_suite(&entries, &args, |_, a| {
+        let r = OuterSpaceModel::default().run(&a, &a);
+        (r.gflops, r.traffic.total_mb())
+    });
+    let os_gflops = geomean(&baselines.iter().map(|b| b.0).collect::<Vec<_>>());
+    let os_mb = geomean(&baselines.iter().map(|b| b.1).collect::<Vec<_>>());
+
+    // One workload per ablation rung: each worker builds the surrogate
+    // subset, then feeds every matrix through one scratch-reusing sim.
+    let scale = args.scale;
+    let jobs: Vec<_> = SpArchConfig::ablation_ladder()
+        .into_iter()
+        .map(|(name, config)| {
+            let entries = entries.clone();
+            FnWorkload::new(
+                name,
+                move || entries.iter().map(|e| e.build(scale)).collect::<Vec<Csr>>(),
+                move |mats: Vec<Csr>| {
+                    let sim = SpArchSim::new(config.clone());
+                    let mut scratch = SimScratch::new();
+                    let mut gflops = Vec::new();
+                    let mut mbs = Vec::new();
+                    for a in &mats {
+                        let r = sim.run_with_scratch(a, a, &mut scratch);
+                        gflops.push(r.perf.gflops);
+                        mbs.push(r.dram_mb());
+                    }
+                    (geomean(&gflops), geomean(&mbs))
+                },
+            )
+        })
+        .collect();
+    let measured = runner::runner(&args).run_all(&jobs);
 
     let mut steps: Vec<Step> = vec![Step {
         name: "OuterSPACE baseline".into(),
@@ -45,27 +69,16 @@ fn main() {
         vs_outerspace: 1.0,
         step_speedup: 1.0,
     }];
-
     let mut prev = os_gflops;
-    for (name, config) in SpArchConfig::ablation_ladder() {
-        let mut gflops = Vec::new();
-        let mut mbs = Vec::new();
-        for entry in &entries {
-            let a = entry.build(args.scale);
-            let r = SpArchSim::new(config.clone()).run(&a, &a);
-            gflops.push(r.perf.gflops);
-            mbs.push(r.dram_mb());
-        }
-        let g = geomean(&gflops);
+    for ((name, _), (g, mb)) in SpArchConfig::ablation_ladder().into_iter().zip(measured) {
         steps.push(Step {
             name: name.into(),
             gflops: g,
-            dram_mb: geomean(&mbs),
+            dram_mb: mb,
             vs_outerspace: g / os_gflops,
             step_speedup: g / prev,
         });
         prev = g;
-        eprintln!("done {name}");
     }
 
     println!(

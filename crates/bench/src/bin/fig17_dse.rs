@@ -14,7 +14,9 @@
 
 use serde::Serialize;
 use sparch_bench::{catalog, geomean, parse_args, print_table, runner};
-use sparch_core::{SpArchConfig, SpArchSim};
+use sparch_core::{SimScratch, SpArchConfig, SpArchSim};
+use sparch_exec::FnWorkload;
+use sparch_sparse::Csr;
 
 #[derive(Serialize)]
 struct Point {
@@ -24,111 +26,122 @@ struct Point {
     dram_mb: f64,
 }
 
-fn measure(config: SpArchConfig, scale: f64) -> (f64, f64) {
-    let entries: Vec<_> = catalog().into_iter().step_by(3).collect();
-    let sim = SpArchSim::new(config);
-    let mut gflops = Vec::new();
-    let mut mbs = Vec::new();
-    for entry in entries {
-        let a = entry.build(scale);
-        let r = sim.run(&a, &a);
-        gflops.push(r.perf.gflops);
-        mbs.push(r.dram_mb());
-    }
-    (geomean(&gflops), geomean(&mbs))
-}
-
-fn main() {
-    let args = parse_args();
-    let which = args.sweep.clone().unwrap_or_else(|| "all".into());
-    let mut points: Vec<Point> = Vec::new();
+/// Builds the sweep's design points: `(sweep family, setting, config)`.
+fn design_points(which: &str) -> Vec<(&'static str, String, SpArchConfig)> {
+    let mut points = Vec::new();
 
     if which == "all" || which == "line" {
-        println!("Figure 17(a) — prefetch buffer line size (1024 lines)\n");
         for line in [24usize, 36, 48, 60, 72, 84, 96] {
             let mut c = SpArchConfig::default();
             c.prefetch.line_elems = line;
-            let (g, mb) = measure(c, args.scale);
-            points.push(Point {
-                sweep: "line",
-                setting: format!("1024x{line}"),
-                gflops: g,
-                dram_mb: mb,
-            });
-            eprintln!("done line {line}");
+            points.push(("line", format!("1024x{line}"), c));
         }
-        print_sweep(&points, "line");
     }
-
     if which == "all" || which == "lines" {
-        println!("\nFigure 17(b) — line count at fixed 49152-element capacity\n");
         for (lines, elems) in [(2048usize, 24usize), (1024, 48), (512, 96), (256, 192)] {
             let mut c = SpArchConfig::default();
             c.prefetch.lines = lines;
             c.prefetch.line_elems = elems;
-            let (g, mb) = measure(c, args.scale);
-            points.push(Point {
-                sweep: "lines",
-                setting: format!("{lines}x{elems}"),
-                gflops: g,
-                dram_mb: mb,
-            });
-            eprintln!("done lines {lines}");
+            points.push(("lines", format!("{lines}x{elems}"), c));
         }
-        print_sweep(&points, "lines");
     }
-
     if which == "all" || which == "merger" {
-        println!("\nFigure 17(c) — comparator array size\n");
         for n in [1usize, 2, 4, 8, 16] {
             let c = SpArchConfig::default().with_merger_width(n);
-            let (g, mb) = measure(c, args.scale);
-            points.push(Point {
-                sweep: "merger",
-                setting: format!("{n}x{n}"),
-                gflops: g,
-                dram_mb: mb,
-            });
-            eprintln!("done merger {n}");
+            points.push(("merger", format!("{n}x{n}"), c));
         }
-        print_sweep(&points, "merger");
     }
-
     if which == "all" || which == "policy" {
-        println!("\nExtension — replacement policy ablation (Bélády vs LRU)\n");
         for (name, policy) in [
             ("belady (paper)", sparch_core::ReplacementPolicy::Belady),
             ("lru", sparch_core::ReplacementPolicy::Lru),
         ] {
             let mut c = SpArchConfig::default();
             c.prefetch.policy = policy;
-            let (g, mb) = measure(c, args.scale);
-            points.push(Point {
-                sweep: "policy",
-                setting: name.into(),
-                gflops: g,
-                dram_mb: mb,
-            });
-            eprintln!("done policy {name}");
+            points.push(("policy", name.into(), c));
         }
-        print_sweep(&points, "policy");
     }
-
     if which == "all" || which == "lookahead" {
-        println!("\nFigure 17(d) — look-ahead FIFO size\n");
         for size in [1024usize, 2048, 4096, 8192, 16384] {
             let mut c = SpArchConfig::default();
             c.prefetch.lookahead = size;
-            let (g, mb) = measure(c, args.scale);
-            points.push(Point {
-                sweep: "lookahead",
-                setting: size.to_string(),
-                gflops: g,
-                dram_mb: mb,
-            });
-            eprintln!("done lookahead {size}");
+            points.push(("lookahead", size.to_string(), c));
         }
-        print_sweep(&points, "lookahead");
+    }
+    points
+}
+
+fn main() {
+    let args = parse_args();
+    let which = args.sweep.clone().unwrap_or_else(|| "all".into());
+    let scale = args.scale;
+
+    // One workload per design point, all sharded in a single batch; the
+    // spec list is built once and its configs borrowed by the jobs, so
+    // labels can never drift out of step with the measurements.
+    let spec = design_points(&which);
+    let jobs: Vec<_> = spec
+        .iter()
+        .map(|(sweep, setting, config)| {
+            FnWorkload::new(
+                format!("{sweep} {setting}"),
+                move || {
+                    catalog()
+                        .into_iter()
+                        .step_by(3)
+                        .map(|e| e.build(scale))
+                        .collect::<Vec<Csr>>()
+                },
+                move |mats: Vec<Csr>| {
+                    let sim = SpArchSim::new(config.clone());
+                    let mut scratch = SimScratch::new();
+                    let mut gflops = Vec::new();
+                    let mut mbs = Vec::new();
+                    for a in &mats {
+                        let r = sim.run_with_scratch(a, a, &mut scratch);
+                        gflops.push(r.perf.gflops);
+                        mbs.push(r.dram_mb());
+                    }
+                    (geomean(&gflops), geomean(&mbs))
+                },
+            )
+        })
+        .collect::<Vec<_>>();
+    let measured = runner::runner(&args).run_all(&jobs);
+    drop(jobs);
+
+    let points: Vec<Point> = spec
+        .into_iter()
+        .zip(measured)
+        .map(|((sweep, setting, _), (gflops, dram_mb))| Point {
+            sweep,
+            setting,
+            gflops,
+            dram_mb,
+        })
+        .collect();
+
+    let headers: [(&str, &str); 5] = [
+        (
+            "line",
+            "Figure 17(a) — prefetch buffer line size (1024 lines)",
+        ),
+        (
+            "lines",
+            "\nFigure 17(b) — line count at fixed 49152-element capacity",
+        ),
+        ("merger", "\nFigure 17(c) — comparator array size"),
+        (
+            "policy",
+            "\nExtension — replacement policy ablation (Bélády vs LRU)",
+        ),
+        ("lookahead", "\nFigure 17(d) — look-ahead FIFO size"),
+    ];
+    for (sweep, header) in headers {
+        if points.iter().any(|p| p.sweep == sweep) {
+            println!("{header}\n");
+            print_sweep(&points, sweep);
+        }
     }
 
     runner::dump_json(&args.json, &points);

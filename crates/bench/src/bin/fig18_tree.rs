@@ -5,8 +5,10 @@
 //! speedup" — DRAM access keeps falling slightly, GFLOPS saturates.
 
 use serde::Serialize;
-use sparch_bench::{catalog, geomean, parse_args, print_table, runner};
-use sparch_core::{SpArchConfig, SpArchSim};
+use sparch_bench::{catalog, geomean, parse_args, print_table, runner, SuiteEntry};
+use sparch_core::{SimScratch, SpArchConfig, SpArchSim};
+use sparch_exec::FnWorkload;
+use sparch_sparse::Csr;
 
 #[derive(Serialize)]
 struct Point {
@@ -18,26 +20,36 @@ struct Point {
 
 fn main() {
     let args = parse_args();
-    let entries: Vec<_> = catalog().into_iter().step_by(2).collect();
-    let mut points = Vec::new();
-    for layers in 2..=7usize {
-        let sim = SpArchSim::new(SpArchConfig::default().with_tree_layers(layers));
-        let mut gflops = Vec::new();
-        let mut mbs = Vec::new();
-        for entry in &entries {
-            let a = entry.build(args.scale);
-            let r = sim.run(&a, &a);
-            gflops.push(r.perf.gflops);
-            mbs.push(r.dram_mb());
-        }
-        points.push(Point {
-            layers,
-            ways: 1 << layers,
-            gflops: geomean(&gflops),
-            dram_mb: geomean(&mbs),
-        });
-        eprintln!("done {layers} layers");
-    }
+    let entries: Vec<SuiteEntry> = catalog().into_iter().step_by(2).collect();
+    let scale = args.scale;
+
+    let jobs: Vec<_> = (2..=7usize)
+        .map(|layers| {
+            let entries = entries.clone();
+            FnWorkload::new(
+                format!("{layers} layers"),
+                move || entries.iter().map(|e| e.build(scale)).collect::<Vec<Csr>>(),
+                move |mats: Vec<Csr>| {
+                    let sim = SpArchSim::new(SpArchConfig::default().with_tree_layers(layers));
+                    let mut scratch = SimScratch::new();
+                    let mut gflops = Vec::new();
+                    let mut mbs = Vec::new();
+                    for a in &mats {
+                        let r = sim.run_with_scratch(a, a, &mut scratch);
+                        gflops.push(r.perf.gflops);
+                        mbs.push(r.dram_mb());
+                    }
+                    Point {
+                        layers,
+                        ways: 1 << layers,
+                        gflops: geomean(&gflops),
+                        dram_mb: geomean(&mbs),
+                    }
+                },
+            )
+        })
+        .collect();
+    let points: Vec<Point> = runner::runner(&args).run_all(&jobs);
 
     println!(
         "Figure 18 — merge tree size (scale {}, paper: 6 layers saturate at 10.45 GFLOPS)\n",

@@ -5,10 +5,12 @@
 //! scheduler reaches a total node weight of 365, the 2-way Huffman
 //! scheduler 354, the 4-way Huffman scheduler 228.
 
-use sparch_bench::print_table;
+use sparch_bench::{parse_args, print_table, runner};
 use sparch_core::{MergePlan, SchedulerKind};
+use sparch_exec::FnWorkload;
 
 fn main() {
+    let args = parse_args();
     let weights: [u64; 12] = [15, 15, 13, 12, 9, 7, 3, 2, 2, 2, 2, 2];
     let cases = [
         (
@@ -25,23 +27,31 @@ fn main() {
         "leaf weights: {weights:?} (sum = {})\n",
         weights.iter().sum::<u64>()
     );
-    let mut rows = Vec::new();
-    for (name, kind, ways, paper) in cases {
-        let plan = MergePlan::build(kind, &weights, ways);
-        plan.validate();
-        let measured = plan.estimated_total_weight();
-        rows.push(vec![
-            name.to_string(),
-            paper.to_string(),
-            measured.to_string(),
-            if measured == paper {
-                "exact".into()
-            } else {
-                "MISMATCH".into()
-            },
-            plan.rounds.len().to_string(),
-        ]);
-    }
+    let jobs: Vec<_> = cases
+        .iter()
+        .map(|&(name, kind, ways, paper)| {
+            FnWorkload::new(
+                name,
+                move || MergePlan::build(kind, &weights, ways),
+                move |plan: MergePlan| {
+                    plan.validate();
+                    let measured = plan.estimated_total_weight();
+                    vec![
+                        name.to_string(),
+                        paper.to_string(),
+                        measured.to_string(),
+                        if measured == paper {
+                            "exact".into()
+                        } else {
+                            "MISMATCH".into()
+                        },
+                        plan.rounds.len().to_string(),
+                    ]
+                },
+            )
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = runner::runner(&args).quiet().run_all(&jobs);
     print_table(
         &[
             "scheduler",

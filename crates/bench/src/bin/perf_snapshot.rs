@@ -1,0 +1,142 @@
+//! Performance snapshot: tracks the repository's own simulation speed.
+//!
+//! Runs the 20-matrix suite (A × A) at a fixed small scale and emits
+//! `BENCH.json` — wall-clock per matrix (surrogate build and simulation
+//! separately), total simulated cycles, and the worker-thread count — so
+//! the perf trajectory is visible from PR to PR.
+//!
+//! ```console
+//! cargo run --release -p sparch-bench --bin perf_snapshot
+//! cargo run --release -p sparch-bench --bin perf_snapshot -- --threads 1 --json BENCH.json
+//! ```
+//!
+//! Unlike the figure binaries, the default scale here is pinned to 0.02
+//! (override with `--scale`) so snapshots stay comparable across
+//! machines and PRs.
+
+use serde::Serialize;
+use sparch_bench::{catalog, parse_args_from, print_table, runner, ArgsOutcome, USAGE};
+use sparch_core::{SimScratch, SpArchConfig, SpArchSim};
+use sparch_exec::FnWorkload;
+use std::time::Instant;
+
+/// The snapshot's pinned default scale (kept small so a full run takes
+/// seconds, not minutes).
+const SNAPSHOT_SCALE: f64 = 0.02;
+
+#[derive(Serialize)]
+struct MatrixPerf {
+    name: String,
+    build_seconds: f64,
+    run_seconds: f64,
+    sim_cycles: u64,
+    gflops: f64,
+    dram_mb: f64,
+    output_nnz: u64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    scale: f64,
+    threads: usize,
+    wall_seconds: f64,
+    total_run_seconds: f64,
+    total_sim_cycles: u64,
+    matrices: Vec<MatrixPerf>,
+}
+
+fn main() {
+    let mut args = match parse_args_from(std::env::args().skip(1)) {
+        Ok(ArgsOutcome::Parsed(args)) => args,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if !args.scale_explicit {
+        args.scale = SNAPSHOT_SCALE;
+    }
+
+    let scale = args.scale;
+    let jobs: Vec<_> = catalog()
+        .into_iter()
+        .map(|entry| {
+            FnWorkload::new(
+                entry.name,
+                move || entry.build(scale),
+                move |a| {
+                    let sim = SpArchSim::new(SpArchConfig::default());
+                    let mut scratch = SimScratch::new();
+                    let r = sim.run_with_scratch(&a, &a, &mut scratch);
+                    (r.perf.cycles, r.perf.gflops, r.dram_mb(), r.perf.output_nnz)
+                },
+            )
+        })
+        .collect();
+
+    let parallel = runner::runner(&args);
+    let threads = parallel.threads();
+    let wall_start = Instant::now();
+    let timed = parallel.run_all_timed(&jobs);
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+    let matrices: Vec<MatrixPerf> = timed
+        .into_iter()
+        .map(|t| MatrixPerf {
+            name: t.name,
+            build_seconds: t.build_seconds,
+            run_seconds: t.run_seconds,
+            sim_cycles: t.record.0,
+            gflops: t.record.1,
+            dram_mb: t.record.2,
+            output_nnz: t.record.3,
+        })
+        .collect();
+    let snapshot = Snapshot {
+        scale: args.scale,
+        threads,
+        wall_seconds,
+        total_run_seconds: matrices.iter().map(|m| m.run_seconds).sum(),
+        total_sim_cycles: matrices.iter().map(|m| m.sim_cycles).sum(),
+        matrices,
+    };
+
+    println!(
+        "Perf snapshot — suite sweep at scale {} on {} thread(s)\n",
+        snapshot.scale, snapshot.threads
+    );
+    let rows: Vec<Vec<String>> = snapshot
+        .matrices
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                format!("{:.3}", m.build_seconds),
+                format!("{:.3}", m.run_seconds),
+                m.sim_cycles.to_string(),
+                format!("{:.2}", m.gflops),
+            ]
+        })
+        .collect();
+    print_table(
+        &["matrix", "build s", "run s", "sim cycles", "GFLOPS"],
+        &rows,
+    );
+    println!(
+        "\nwall {:.3} s over {} thread(s); Σ worker run time {:.3} s; Σ sim cycles {}",
+        snapshot.wall_seconds,
+        snapshot.threads,
+        snapshot.total_run_seconds,
+        snapshot.total_sim_cycles
+    );
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH.json"));
+    runner::dump_json(&Some(path), &snapshot);
+}

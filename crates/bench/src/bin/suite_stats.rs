@@ -3,7 +3,7 @@
 //! originals' published shapes. Complements DESIGN.md §5's substitution
 //! argument with measurable evidence.
 
-use sparch_bench::{catalog, parse_args, print_table};
+use sparch_bench::{catalog, parse_args, print_table, runner};
 use sparch_sparse::stats::{MatrixStats, TaskStats};
 
 fn main() {
@@ -12,12 +12,10 @@ fn main() {
         "Suite surrogate characterization at scale {} (original shapes in parentheses)\n",
         args.scale
     );
-    let mut rows = Vec::new();
-    for entry in catalog() {
-        let a = entry.build(args.scale);
+    let rows: Vec<Vec<String>> = runner::run_suite(&catalog(), &args, |entry, a| {
         let m = MatrixStats::of(&a);
         let t = TaskStats::of(&a, &a);
-        rows.push(vec![
+        vec![
             entry.name.to_string(),
             format!("{} ({})", m.rows, entry.rows),
             format!("{} ({})", m.nnz, entry.nnz),
@@ -27,9 +25,8 @@ fn main() {
             t.occupied_cols.to_string(),
             format!("{:.2}", t.compression_factor),
             format!("{:.3}", t.operational_intensity),
-        ]);
-        eprintln!("done {}", entry.name);
-    }
+        ]
+    });
     print_table(
         &[
             "matrix",

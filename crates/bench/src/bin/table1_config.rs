@@ -1,66 +1,80 @@
 //! Table I: the architectural setup of SpArch, dumped from the default
 //! configuration so the remaining experiments are self-describing.
 
-use sparch_bench::print_table;
+use sparch_bench::{parse_args, print_table, runner};
 use sparch_core::SpArchConfig;
+use sparch_exec::FnWorkload;
 
 fn main() {
-    let c = SpArchConfig::default();
+    let args = parse_args();
+    // Nothing here benefits from sharding (one instant formatting job);
+    // it still goes through ParallelRunner so every figure/table binary
+    // exercises the same Workload execution path.
+    let job = FnWorkload::new(
+        "table1",
+        SpArchConfig::default,
+        |c: SpArchConfig| -> Vec<Vec<String>> {
+            vec![
+                vec![
+                    "Array Merger".into(),
+                    format!(
+                        "{0}x{0} hierarchical merger ({1}x{1} top + {1}x{1} low), 64-bit index, 1 GHz",
+                        c.merger_width, c.merger_chunk
+                    ),
+                ],
+                vec![
+                    "Merge Tree".into(),
+                    format!(
+                        "{} layers of array merger, merging up to {} arrays",
+                        c.tree_layers,
+                        c.merge_ways()
+                    ),
+                ],
+                vec![
+                    "Multiplier".into(),
+                    format!(
+                        "2 groups x {} double-precision multipliers",
+                        c.multipliers / 2
+                    ),
+                ],
+                vec![
+                    "MatA Column Fetcher".into(),
+                    format!(
+                        "look-ahead buffer of {} elements, 64 column fetchers",
+                        c.prefetch.lookahead
+                    ),
+                ],
+                vec![
+                    "MatB Row Prefetcher".into(),
+                    format!(
+                        "{} lines x {} elements x 12 B buffer, {} DRAM-channel fetchers",
+                        c.prefetch.lines, c.prefetch.line_elems, c.prefetch.fetchers
+                    ),
+                ],
+                vec![
+                    "Partial Matrix Writer".into(),
+                    format!("FIFO of {} elements before DRAM", c.writer_fifo),
+                ],
+                vec![
+                    "Main Memory".into(),
+                    format!(
+                        "{} x 64-bit HBM channels, {:.0} GB/s each ({:.0} GB/s aggregate)",
+                        c.hbm.channels,
+                        c.hbm.bytes_per_cycle_per_channel,
+                        c.hbm.bandwidth_gbs()
+                    ),
+                ],
+                vec![
+                    "Peak compute".into(),
+                    format!("{:.0} GFLOP/s", c.peak_gflops()),
+                ],
+            ]
+        },
+    );
+    let rows = runner::runner(&args)
+        .quiet()
+        .run_all(std::slice::from_ref(&job))
+        .remove(0);
     println!("Table I — architectural setup of SpArch\n");
-    let rows = vec![
-        vec![
-            "Array Merger".into(),
-            format!(
-                "{0}x{0} hierarchical merger ({1}x{1} top + {1}x{1} low), 64-bit index, 1 GHz",
-                c.merger_width, c.merger_chunk
-            ),
-        ],
-        vec![
-            "Merge Tree".into(),
-            format!(
-                "{} layers of array merger, merging up to {} arrays",
-                c.tree_layers,
-                c.merge_ways()
-            ),
-        ],
-        vec![
-            "Multiplier".into(),
-            format!(
-                "2 groups x {} double-precision multipliers",
-                c.multipliers / 2
-            ),
-        ],
-        vec![
-            "MatA Column Fetcher".into(),
-            format!(
-                "look-ahead buffer of {} elements, 64 column fetchers",
-                c.prefetch.lookahead
-            ),
-        ],
-        vec![
-            "MatB Row Prefetcher".into(),
-            format!(
-                "{} lines x {} elements x 12 B buffer, {} DRAM-channel fetchers",
-                c.prefetch.lines, c.prefetch.line_elems, c.prefetch.fetchers
-            ),
-        ],
-        vec![
-            "Partial Matrix Writer".into(),
-            format!("FIFO of {} elements before DRAM", c.writer_fifo),
-        ],
-        vec![
-            "Main Memory".into(),
-            format!(
-                "{} x 64-bit HBM channels, {:.0} GB/s each ({:.0} GB/s aggregate)",
-                c.hbm.channels,
-                c.hbm.bytes_per_cycle_per_channel,
-                c.hbm.bandwidth_gbs()
-            ),
-        ],
-        vec![
-            "Peak compute".into(),
-            format!("{:.0} GFLOP/s", c.peak_gflops()),
-        ],
-    ];
     print_table(&["unit", "setting"], &rows);
 }

@@ -6,26 +6,26 @@
 //! its published figures (87 mm² at 32 nm, 12.39 W, 48.3 % utilization).
 
 use sparch_baselines::OuterSpaceModel;
-use sparch_bench::{catalog, parse_args, print_table};
+use sparch_bench::{catalog, parse_args, print_table, runner, SuiteEntry};
 use sparch_core::{SpArchConfig, SpArchSim};
 
 fn main() {
     let args = parse_args();
-    let sim = SpArchSim::new(SpArchConfig::default());
     let os = OuterSpaceModel::default();
 
-    let mut power = Vec::new();
-    let mut util = Vec::new();
-    let mut area = None;
-    for entry in catalog().into_iter().step_by(2) {
-        let a = entry.build(args.scale);
-        let r = sim.run(&a, &a);
-        power.push(r.avg_power_w());
-        util.push(r.perf.bandwidth_utilization);
-        area = Some(r.area.total());
-        eprintln!("done {}", entry.name);
-    }
-    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let entries: Vec<SuiteEntry> = catalog().into_iter().step_by(2).collect();
+    // Per matrix: (average power W, bandwidth utilization, total area mm²).
+    let samples: Vec<(f64, f64, f64)> = runner::run_suite(&entries, &args, |_, a| {
+        let r = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
+        (
+            r.avg_power_w(),
+            r.perf.bandwidth_utilization,
+            r.area.total(),
+        )
+    });
+    let avg =
+        |f: fn(&(f64, f64, f64)) -> f64| samples.iter().map(f).sum::<f64>() / samples.len() as f64;
+    let area = samples[0].2;
 
     println!(
         "Table II — comparison with OuterSPACE (scale {})\n",
@@ -47,13 +47,13 @@ fn main() {
             ],
             vec![
                 "area (mm2)".into(),
-                format!("{:.2}", area.unwrap()),
+                format!("{area:.2}"),
                 "28.49".into(),
                 format!("{:.0}", os.area_mm2),
             ],
             vec![
                 "power (W)".into(),
-                format!("{:.2}", avg(&power)),
+                format!("{:.2}", avg(|s| s.0)),
                 "9.26".into(),
                 format!("{:.2}", os.power_w),
             ],
@@ -65,7 +65,7 @@ fn main() {
             ],
             vec![
                 "bandwidth utilization".into(),
-                format!("{:.1}%", avg(&util) * 100.0),
+                format!("{:.1}%", avg(|s| s.1) * 100.0),
                 "68.6%".into(),
                 format!("{:.1}%", os.utilization * 100.0),
             ],

@@ -1,28 +1,24 @@
 //! Table III: energy breakdown per FLOP (computation / SRAM / DRAM),
 //! SpArch measured vs the paper's published values and OuterSPACE's.
 
-use sparch_bench::{catalog, parse_args, print_table};
+use sparch_bench::{catalog, parse_args, print_table, runner, SuiteEntry};
 use sparch_core::{SpArchConfig, SpArchSim};
 use sparch_mem::EnergyModel;
 
 fn main() {
     let args = parse_args();
-    let sim = SpArchSim::new(SpArchConfig::default());
 
-    let mut comp = 0.0f64;
-    let mut sram = 0.0f64;
-    let mut dram = 0.0f64;
-    let mut flops = 0u64;
-    for entry in catalog().into_iter().step_by(2) {
-        let a = entry.build(args.scale);
-        let r = sim.run(&a, &a);
+    let entries: Vec<SuiteEntry> = catalog().into_iter().step_by(2).collect();
+    // Per matrix: (computation J, SRAM J, DRAM J, FLOPs).
+    let samples: Vec<(f64, f64, f64, u64)> = runner::run_suite(&entries, &args, |_, a| {
+        let r = SpArchSim::new(SpArchConfig::default()).run(&a, &a);
         let (c, s, d) = r.energy.by_category();
-        comp += c;
-        sram += s;
-        dram += d;
-        flops += r.perf.flops;
-        eprintln!("done {}", entry.name);
-    }
+        (c, s, d, r.perf.flops)
+    });
+    let comp: f64 = samples.iter().map(|s| s.0).sum();
+    let sram: f64 = samples.iter().map(|s| s.1).sum();
+    let dram: f64 = samples.iter().map(|s| s.2).sum();
+    let flops: u64 = samples.iter().map(|s| s.3).sum();
     let nj = |j: f64| j * 1e9 / flops as f64;
     let (pc, ps, pd, pt) = EnergyModel::paper_nj_per_flop();
 

@@ -6,10 +6,19 @@
 //!
 //! * [`suite`] — the 20-benchmark catalog (SuiteSparse/SNAP surrogates),
 //! * [`runner`] — measurement helpers (geometric means, table printing,
-//!   argument parsing, JSON dumps).
+//!   argument parsing, JSON dumps) and the sharded sweep entry points
+//!   ([`run_suite`], [`runner::runner`]) built on `sparch_exec`.
+//!
+//! Every binary honors `--threads N` (or the `SPARCH_THREADS`
+//! environment variable) and produces bit-identical model-driven numbers
+//! at any thread count. (The software-baseline columns of fig11/12/14
+//! wall-clock the host, so they are measurement-noisy — and contended
+//! when sharded; prefer `--threads 1` when those columns matter.)
 
 pub mod runner;
 pub mod suite;
 
-pub use runner::{geomean, parse_args, print_table, Args};
+pub use runner::{
+    geomean, parse_args, parse_args_from, print_table, run_suite, Args, ArgsOutcome, USAGE,
+};
 pub use suite::{catalog, MatrixClass, SuiteEntry};

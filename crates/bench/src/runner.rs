@@ -1,10 +1,20 @@
 //! Measurement and reporting helpers shared by the per-figure binaries.
+//!
+//! The sweep scaffolding the binaries used to copy-paste — the
+//! `for entry in catalog() { … }` loop, progress lines, JSON dumps — now
+//! lives here, on top of the `sparch_exec` sharded execution layer:
+//! [`run_suite`] shards a per-matrix measurement across worker threads
+//! and returns records in catalog order, bit-identical at any
+//! `--threads` count.
 
+use crate::suite::SuiteEntry;
 use serde::Serialize;
+use sparch_exec::{FnWorkload, ParallelRunner, ShardPool};
+use sparch_sparse::Csr;
 use std::path::PathBuf;
 
 /// Command-line options common to all figure binaries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Args {
     /// Linear scale applied to the suite matrices (default 0.04 keeps the
     /// whole suite tractable on a laptop; raise toward 1.0 for fidelity).
@@ -13,6 +23,12 @@ pub struct Args {
     pub json: Option<PathBuf>,
     /// Free-form sub-selector (e.g. `--sweep buffer` for fig17).
     pub sweep: Option<String>,
+    /// Worker threads (`--threads N`); `None` falls back to
+    /// `SPARCH_THREADS`, then to all available cores.
+    pub threads: Option<usize>,
+    /// Whether `--scale` was given explicitly (binaries with their own
+    /// pinned default, like `perf_snapshot`, key on this).
+    pub scale_explicit: bool,
 }
 
 impl Default for Args {
@@ -21,42 +37,119 @@ impl Default for Args {
             scale: 0.04,
             json: None,
             sweep: None,
+            threads: None,
+            scale_explicit: false,
         }
     }
 }
 
-/// Parses `--scale X`, `--json PATH` and `--sweep NAME` from `std::env`.
-///
-/// # Panics
-///
-/// Panics with a usage message on malformed arguments.
-pub fn parse_args() -> Args {
-    let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+/// The full usage text, printed on `--help` and on any argument error.
+pub const USAGE: &str = "options:
+  --scale X    surrogate scale in (0, 1] (default 0.04; perf_snapshot pins 0.02)
+  --json PATH  dump machine-readable JSON results to PATH
+  --sweep NAME sub-selector for multi-sweep binaries (e.g. fig17)
+  --threads N  worker threads (default: SPARCH_THREADS, else all cores)
+  --help, -h   print this message";
+
+/// Successful outcomes of [`parse_args_from`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgsOutcome {
+    /// Every argument parsed.
+    Parsed(Args),
+    /// `--help` / `-h` was given; the caller should print [`USAGE`].
+    Help,
+}
+
+/// Parses an argument list (without the program name) — a pure function
+/// with no printing or process exit, so it is unit-testable end to end.
+/// Returns the full usage text inside the error message on any malformed
+/// or unknown argument, so binaries never die on a bare flag name.
+pub fn parse_args_from<I>(args: I) -> Result<ArgsOutcome, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut parsed = Args::default();
+    let mut it = args.into_iter();
+    let missing = |flag: &str| format!("{flag} needs a value\n{USAGE}");
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--scale" => {
-                let v = it.next().expect("--scale needs a value");
-                args.scale = v.parse().expect("--scale needs a number");
-                assert!(
-                    args.scale > 0.0 && args.scale <= 1.0,
-                    "--scale must be in (0, 1]"
-                );
+                let v = it.next().ok_or_else(|| missing("--scale"))?;
+                parsed.scale = v
+                    .parse()
+                    .map_err(|_| format!("--scale needs a number, got {v:?}\n{USAGE}"))?;
+                if !(parsed.scale > 0.0 && parsed.scale <= 1.0) {
+                    return Err(format!("--scale must be in (0, 1], got {v}\n{USAGE}"));
+                }
+                parsed.scale_explicit = true;
             }
             "--json" => {
-                args.json = Some(PathBuf::from(it.next().expect("--json needs a path")));
+                parsed.json = Some(PathBuf::from(it.next().ok_or_else(|| missing("--json"))?));
             }
             "--sweep" => {
-                args.sweep = Some(it.next().expect("--sweep needs a name"));
+                parsed.sweep = Some(it.next().ok_or_else(|| missing("--sweep"))?);
             }
-            "--help" | "-h" => {
-                println!("options: --scale <0..1]  --json <path>  --sweep <name>");
-                std::process::exit(0);
+            "--threads" => {
+                let v = it.next().ok_or_else(|| missing("--threads"))?;
+                let n: usize = v.parse().map_err(|_| {
+                    format!("--threads needs a positive integer, got {v:?}\n{USAGE}")
+                })?;
+                if n == 0 {
+                    return Err(format!("--threads must be at least 1\n{USAGE}"));
+                }
+                parsed.threads = Some(n);
             }
-            other => panic!("unknown argument {other:?} (try --help)"),
+            "--help" | "-h" => return Ok(ArgsOutcome::Help),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
     }
-    args
+    Ok(ArgsOutcome::Parsed(parsed))
+}
+
+/// Parses `std::env::args`: prints the usage and exits 0 on `--help`,
+/// prints the full usage and exits 2 on any malformed or unknown
+/// argument.
+pub fn parse_args() -> Args {
+    match parse_args_from(std::env::args().skip(1)) {
+        Ok(ArgsOutcome::Parsed(args)) => args,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The sharded runner configured by `args` (`--threads`, then
+/// `SPARCH_THREADS`, then all cores).
+pub fn runner(args: &Args) -> ParallelRunner {
+    ParallelRunner::new(ShardPool::with_override(args.threads))
+}
+
+/// Shards `f` over the suite entries: each worker builds its entry's
+/// surrogate at `args.scale` and maps it to a record. Records come back
+/// in `entries` order regardless of the thread count.
+pub fn run_suite<R, F>(entries: &[SuiteEntry], args: &Args, f: F) -> Vec<R>
+where
+    R: Serialize + Send,
+    F: Fn(&SuiteEntry, Csr) -> R + Sync,
+{
+    let f = &f;
+    let scale = args.scale;
+    let jobs: Vec<_> = entries
+        .iter()
+        .map(|&entry| {
+            FnWorkload::new(
+                entry.name,
+                move || entry.build(scale),
+                move |a| f(&entry, a),
+            )
+        })
+        .collect();
+    runner(args).run_all(&jobs)
 }
 
 /// Geometric mean, the paper's aggregate for speedups/savings.
@@ -126,6 +219,13 @@ pub fn dump_json<T: Serialize>(path: &Option<PathBuf>, value: &T) {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        match parse_args_from(args.iter().map(|s| s.to_string()))? {
+            ArgsOutcome::Parsed(a) => Ok(a),
+            ArgsOutcome::Help => panic!("unexpected --help outcome"),
+        }
+    }
+
     #[test]
     fn geomean_of_known_values() {
         assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
@@ -155,5 +255,88 @@ mod tests {
         let a = Args::default();
         assert!(a.scale > 0.0 && a.scale <= 1.0);
         assert!(a.json.is_none());
+        assert!(a.threads.is_none());
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let a = parse(&[
+            "--scale",
+            "0.5",
+            "--json",
+            "out.json",
+            "--sweep",
+            "line",
+            "--threads",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.json, Some(PathBuf::from("out.json")));
+        assert_eq!(a.sweep.as_deref(), Some("line"));
+        assert_eq!(a.threads, Some(8));
+        assert!(a.scale_explicit);
+    }
+
+    #[test]
+    fn help_is_a_value_not_an_exit() {
+        let outcome = parse_args_from(["--help".to_string()]).unwrap();
+        assert_eq!(outcome, ArgsOutcome::Help);
+        let outcome = parse_args_from(["-h".to_string()]).unwrap();
+        assert_eq!(outcome, ArgsOutcome::Help);
+    }
+
+    #[test]
+    fn scale_as_a_value_is_not_explicit_scale() {
+        // "--scale" appearing as another flag's value must not count as
+        // an explicit scale setting.
+        let a = parse(&["--sweep", "--scale"]).unwrap();
+        assert_eq!(a.sweep.as_deref(), Some("--scale"));
+        assert!(!a.scale_explicit);
+    }
+
+    #[test]
+    fn empty_args_are_defaults() {
+        assert_eq!(parse(&[]).unwrap(), Args::default());
+    }
+
+    #[test]
+    fn unknown_flag_reports_full_usage() {
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert!(err.contains("unknown argument \"--bogus\""), "{err}");
+        assert!(err.contains("--threads N"), "full usage missing: {err}");
+        assert!(err.contains("--scale X"), "full usage missing: {err}");
+    }
+
+    #[test]
+    fn missing_value_reports_full_usage() {
+        let err = parse(&["--threads"]).unwrap_err();
+        assert!(err.contains("--threads needs a value"), "{err}");
+        assert!(err.contains("options:"), "{err}");
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--scale", "1.5"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "-2"]).is_err());
+    }
+
+    #[test]
+    fn run_suite_preserves_catalog_order() {
+        let entries: Vec<SuiteEntry> = crate::suite::catalog().into_iter().take(3).collect();
+        let args = Args {
+            scale: 0.001,
+            threads: Some(2),
+            ..Args::default()
+        };
+        let names = run_suite(&entries, &args, |e, a| {
+            assert!(a.rows() >= 512);
+            e.name.to_string()
+        });
+        let expected: Vec<String> = entries.iter().map(|e| e.name.to_string()).collect();
+        assert_eq!(names, expected);
     }
 }

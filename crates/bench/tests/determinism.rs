@@ -1,0 +1,52 @@
+//! The determinism guard: sharded sweep output is bit-identical no
+//! matter how many worker threads run it.
+//!
+//! Only model-driven metrics are compared (cycles, traffic, result
+//! sizes, GFLOPS from the simulator's own cost model); the software
+//! baselines wall-clock the host and are inherently noisy.
+
+use sparch_bench::{catalog, run_suite, Args, SuiteEntry};
+use sparch_core::{SpArchConfig, SpArchSim};
+
+/// A small, fast suite subset (the smallest published shapes).
+fn subset() -> Vec<SuiteEntry> {
+    let names = ["facebook", "wiki-Vote", "p2p-Gnutella31", "ca-CondMat"];
+    let picked: Vec<SuiteEntry> = catalog()
+        .into_iter()
+        .filter(|e| names.contains(&e.name))
+        .collect();
+    assert_eq!(picked.len(), names.len());
+    picked
+}
+
+/// Runs the subset on `threads` workers and serializes every
+/// model-driven metric to JSON.
+fn sweep_json(threads: usize) -> String {
+    let args = Args {
+        scale: 0.002,
+        threads: Some(threads),
+        ..Args::default()
+    };
+    let rows = run_suite(&subset(), &args, |entry, a| {
+        let r = SpArchSim::new(SpArchConfig::default().with_tree_layers(3)).run(&a, &a);
+        (
+            entry.name.to_string(),
+            r.perf.cycles,
+            r.perf.gflops,
+            (r.perf.output_nnz, r.traffic.total_bytes()),
+            r.prefetch.line_misses,
+        )
+    });
+    serde_json::to_string_pretty(&rows).expect("serialize sweep rows")
+}
+
+#[test]
+fn sweep_is_bit_identical_across_thread_counts() {
+    let t1 = sweep_json(1);
+    let t2 = sweep_json(2);
+    let t8 = sweep_json(8);
+    assert_eq!(t1, t2, "1 vs 2 threads");
+    assert_eq!(t1, t8, "1 vs 8 threads");
+    // Sanity: the records actually carry signal.
+    assert!(t1.contains("facebook") && t1.len() > 100);
+}

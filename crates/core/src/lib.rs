@@ -44,15 +44,17 @@ pub mod prefetch;
 pub mod report;
 pub mod roofline;
 pub mod sched;
+pub mod scratch;
 pub mod simulator;
 
 pub use condense::{CondensedElement, CondensedView};
 pub use config::{SchedulerKind, SpArchConfig};
 pub use cycle::{simulate_round, CycleRoundReport};
 pub use fetch::{ColumnFetcher, DistanceListBuilder, FetchPipeline};
-pub use pipeline::{kway_merge_fold, CostParams, RoundCost};
+pub use pipeline::{kway_merge_fold, kway_merge_fold_into, CostParams, RoundCost};
 pub use prefetch::{PrefetchConfig, PrefetchStats, ReplacementPolicy, RowPrefetcher};
 pub use report::{PerfSummary, SimReport};
 pub use roofline::{Roofline, RooflinePoint};
 pub use sched::{MergePlan, PlanNode, PlanRound};
-pub use simulator::SpArchSim;
+pub use scratch::SimScratch;
+pub use simulator::{ExecTotals, SimPlan, SpArchSim};

@@ -13,6 +13,64 @@ use sparch_engine::MergeItem;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// One pending entry of the k-way merge heap: `(coordinate, stream
+/// index, position within stream)`. Tuple order makes ties resolve by
+/// stream index then position — the same order a left-to-right merge
+/// tree folds duplicates in.
+pub(crate) type MergeHeapEntry = Reverse<(u64, usize, usize)>;
+
+/// The allocation-reusing core of the k-way merge: streams are looked up
+/// by index through `stream` (so callers can merge out of heterogeneous
+/// storage without building a slice of references), output is appended to
+/// `out` (cleared first), and the heap's backing storage is borrowed from
+/// `heap_buf` and returned to it — after warm-up, a call with
+/// sufficiently-sized buffers performs no heap allocation.
+pub(crate) fn kway_merge_fold_with<'s, L>(
+    num_streams: usize,
+    stream: L,
+    out: &mut Vec<MergeItem>,
+    heap_buf: &mut Vec<MergeHeapEntry>,
+) -> u64
+where
+    L: Fn(usize) -> &'s [MergeItem],
+{
+    out.clear();
+    heap_buf.clear();
+    let mut total = 0usize;
+    for k in 0..num_streams {
+        let s = stream(k);
+        debug_assert!(
+            sparch_engine::item::is_sorted(s),
+            "input {k} is not sorted by coordinate"
+        );
+        total += s.len();
+        if !s.is_empty() {
+            heap_buf.push(Reverse((s[0].coord, k, 0)));
+        }
+    }
+    out.reserve(total);
+    // `BinaryHeap::from` heapifies the vector in place (no allocation),
+    // and `into_vec` hands the storage back with its capacity intact.
+    let mut heap: BinaryHeap<MergeHeapEntry> = BinaryHeap::from(std::mem::take(heap_buf));
+    let mut adds = 0u64;
+    while let Some(Reverse((coord, k, pos))) = heap.pop() {
+        let s = stream(k);
+        let item = s[pos];
+        match out.last_mut() {
+            Some(last) if last.coord == coord => {
+                last.value += item.value;
+                adds += 1;
+            }
+            _ => out.push(item),
+        }
+        if pos + 1 < s.len() {
+            heap.push(Reverse((s[pos + 1].coord, k, pos + 1)));
+        }
+    }
+    *heap_buf = heap.into_vec();
+    adds
+}
+
 /// Merges `k` sorted streams into one, folding duplicate coordinates
 /// (adder slice) and dropping nothing else. Returns the stream and the
 /// number of additions performed.
@@ -27,36 +85,24 @@ use std::collections::BinaryHeap;
 ///
 /// Panics in debug builds if an input stream is not sorted by coordinate.
 pub fn kway_merge_fold(streams: &[&[MergeItem]]) -> (Vec<MergeItem>, u64) {
-    for (k, s) in streams.iter().enumerate() {
-        debug_assert!(
-            sparch_engine::item::is_sorted(s),
-            "input {k} is not sorted by coordinate"
-        );
-    }
-    let total: usize = streams.iter().map(|s| s.len()).sum();
-    let mut out: Vec<MergeItem> = Vec::with_capacity(total);
-    let mut adds = 0u64;
-    // Heap of (coord, stream index, position).
-    let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = streams
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| !s.is_empty())
-        .map(|(k, s)| Reverse((s[0].coord, k, 0)))
-        .collect();
-    while let Some(Reverse((coord, k, pos))) = heap.pop() {
-        let item = streams[k][pos];
-        match out.last_mut() {
-            Some(last) if last.coord == coord => {
-                last.value += item.value;
-                adds += 1;
-            }
-            _ => out.push(item),
-        }
-        if pos + 1 < streams[k].len() {
-            heap.push(Reverse((streams[k][pos + 1].coord, k, pos + 1)));
-        }
-    }
+    let mut out = Vec::new();
+    let adds = kway_merge_fold_into(streams, &mut out);
     (out, adds)
+}
+
+/// Like [`kway_merge_fold`], but appends into a caller-provided buffer
+/// (cleared first), so repeated merges can reuse one allocation. Returns
+/// the number of additions performed.
+///
+/// The simulator's round hot path drives this through [`crate::SimScratch`],
+/// which also recycles the merge heap's backing storage; after a warm-up
+/// run the per-round merge performs no heap allocation at all.
+///
+/// # Panics
+///
+/// Panics in debug builds if an input stream is not sorted by coordinate.
+pub fn kway_merge_fold_into(streams: &[&[MergeItem]], out: &mut Vec<MergeItem>) -> u64 {
+    kway_merge_fold_with(streams.len(), |k| streams[k], out, &mut Vec::new())
 }
 
 /// Inputs to the per-round cycle model.
@@ -163,6 +209,21 @@ mod tests {
         let s = stream_of(&[(1, 1, 1.0)]);
         let (out, _) = kway_merge_fold(&[&s]);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_buffer() {
+        let s1 = stream_of(&[(0, 0, 1.0), (2, 2, 2.0)]);
+        let s2 = stream_of(&[(0, 0, 3.0), (1, 1, 4.0)]);
+        let (expected, expected_adds) = kway_merge_fold(&[&s1, &s2]);
+        let mut out = Vec::new();
+        let adds = kway_merge_fold_into(&[&s1, &s2], &mut out);
+        assert_eq!(out, expected);
+        assert_eq!(adds, expected_adds);
+        // A second merge into the same buffer replaces the contents.
+        let adds2 = kway_merge_fold_into(&[&s2], &mut out);
+        assert_eq!(adds2, 0);
+        assert_eq!(out, s2);
     }
 
     #[test]

@@ -124,6 +124,12 @@ impl<'a> RowPrefetcher<'a> {
         self.accesses.len() - self.t
     }
 
+    /// Consumes the prefetcher, handing the access sequence's storage
+    /// back so a caller-side scratch buffer can be recycled across tasks.
+    pub fn into_accesses(self) -> Vec<Index> {
+        self.accesses
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> &PrefetchStats {
         &self.stats

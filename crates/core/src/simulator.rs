@@ -1,17 +1,27 @@
 //! The whole-task SpArch simulator (paper §II-E, Figure 10).
 //!
-//! One [`SpArchSim::run`] models a complete `C = A × B` task:
+//! One [`SpArchSim::run`] models a complete `C = A × B` task as four
+//! explicit stages (each also callable on its own for instrumentation):
 //!
-//! 1. the left matrix is viewed by condensed columns (§II-B) — or by
-//!    original CSC columns when the condensing ablation is off,
-//! 2. the scheduler (§II-C) turns the column sizes into a merge plan,
-//! 3. the MatB row accesses implied by the plan drive the windowed-Bélády
-//!    prefetch buffer (§II-D), attributing exact DRAM reads per round,
-//! 4. each round multiplies its fresh columns, streams them together with
-//!    re-fetched partial results through the merge tree, folds duplicate
-//!    coordinates, and writes the output back (partial) or out (final),
-//! 5. per-round cycles are the max of the memory-bound and compute-bound
-//!    times plus startup latencies.
+//! 1. **plan** ([`SpArchSim::plan_stage`]) — the left matrix is viewed by
+//!    condensed columns (§II-B) — or by original CSC columns when the
+//!    condensing ablation is off — and the scheduler (§II-C) turns the
+//!    column sizes into a merge plan,
+//! 2. **prefetch** ([`SpArchSim::prefetch_stage`]) — the MatB row
+//!    accesses implied by the plan drive the windowed-Bélády prefetch
+//!    buffer (§II-D), attributing exact DRAM reads per round,
+//! 3. **round-execute** ([`SpArchSim::execute_stage`]) — each round
+//!    multiplies its fresh columns, streams them together with re-fetched
+//!    partial results through the merge tree, folds duplicate coordinates
+//!    and accounts traffic/cycles/activity; per-round cycles are the max
+//!    of the memory-bound and compute-bound times plus startup latencies,
+//! 4. **writeback** ([`SpArchSim::writeback_stage`]) — the final stream
+//!    becomes the result matrix and the cost models produce the report.
+//!
+//! All stream buffers the execute stage touches live in a reusable
+//! [`SimScratch`], so repeated runs ([`SpArchSim::run_with_scratch`])
+//! allocate ~nothing on the round hot path — the property sharded
+//! parameter sweeps rely on (see `sparch_exec`).
 //!
 //! The result matrix is exact; traffic is exact given the model's
 //! element-granularity layouts; cycles/energy come from the calibrated
@@ -19,11 +29,12 @@
 
 use crate::condense::{CondensedElement, CondensedView};
 use crate::config::SpArchConfig;
-use crate::pipeline::{kway_merge_fold, CostParams, RoundCost};
-use crate::prefetch::RowPrefetcher;
+use crate::pipeline::{kway_merge_fold_with, CostParams, RoundCost};
+use crate::prefetch::{PrefetchStats, RowPrefetcher};
 use crate::report::{PerfSummary, SimReport};
 use crate::sched::{MergePlan, PlanNode};
-use sparch_engine::{HierarchicalMerger, MergeItem};
+use crate::scratch::{RoundMatB, SimScratch};
+use sparch_engine::HierarchicalMerger;
 use sparch_mem::{ActivityCounts, AreaModel, TrafficCategory, TrafficCounter};
 use sparch_sparse::{Csr, CsrBuilder, Index};
 
@@ -42,6 +53,41 @@ use sparch_sparse::{Csr, CsrBuilder, Index};
 #[derive(Debug, Clone)]
 pub struct SpArchSim {
     config: SpArchConfig,
+}
+
+/// Output of the plan stage: the initial partial matrices and the merge
+/// schedule over them.
+#[derive(Debug, Clone)]
+pub struct SimPlan {
+    /// Condensed (or original-CSC) columns of the left operand — the
+    /// initial partial matrices, by leaf id.
+    pub leaves: Vec<Vec<CondensedElement>>,
+    /// Exact multiplied-stream size of each leaf (Σ nnz of the B rows its
+    /// elements touch) — the scheduler's leaf weights.
+    pub leaf_weights: Vec<u64>,
+    /// The scheduler's merge plan over the leaf weights.
+    pub merge_plan: MergePlan,
+    /// Rounds to execute: the plan's rounds, or one pass-through round
+    /// covering all leaves when no merging is needed (0 or 1 leaf).
+    pub rounds: Vec<Vec<PlanNode>>,
+    /// Number of partial matrices before merging.
+    pub partial_matrices: usize,
+    /// The scheduler's estimated total node weight (Figure 8's metric).
+    pub estimated_total_weight: u64,
+    /// Rows of the result matrix (`a.rows()`): the final write includes
+    /// the CSR row-pointer array, `(rows + 1) * 8` bytes.
+    pub output_rows: usize,
+}
+
+/// Totals accumulated by the execute stage.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTotals {
+    /// Per-category DRAM traffic.
+    pub traffic: TrafficCounter,
+    /// Raw activity counts (for energy accounting).
+    pub activity: ActivityCounts,
+    /// Estimated cycles over all rounds.
+    pub cycles: u64,
 }
 
 impl SpArchSim {
@@ -67,12 +113,36 @@ impl SpArchSim {
     ///
     /// Panics if `a.cols() != b.rows()`.
     pub fn run(&self, a: &Csr, b: &Csr) -> SimReport {
+        self.run_with_scratch(a, b, &mut SimScratch::new())
+    }
+
+    /// Simulates `C = A × B`, reusing `scratch`'s buffers.
+    ///
+    /// Identical output to [`SpArchSim::run`]; feed one scratch a
+    /// sequence of tasks (e.g. a parameter sweep on one worker thread)
+    /// and the round hot path stops allocating after the first run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn run_with_scratch(&self, a: &Csr, b: &Csr, scratch: &mut SimScratch) -> SimReport {
+        let plan = self.plan_stage(a, b);
+        let prefetch = self.prefetch_stage(&plan, b, scratch);
+        let totals = self.execute_stage(&plan, b, scratch);
+        self.writeback_stage(a, b, &plan, prefetch, totals, scratch)
+    }
+
+    /// **Stage 1 — plan.** Builds the left-matrix view (condensed columns
+    /// or original CSC columns), estimates each leaf's multiplied size,
+    /// and schedules the merge rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn plan_stage(&self, a: &Csr, b: &Csr) -> SimPlan {
         assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
         let cfg = &self.config;
 
-        // ------------------------------------------------------------------
-        // 1. Left-matrix view: condensed columns or original CSC columns.
-        // ------------------------------------------------------------------
         let leaves: Vec<Vec<CondensedElement>> = if cfg.condensing {
             let view = CondensedView::new(a);
             (0..view.num_cols())
@@ -97,9 +167,6 @@ impl SpArchSim {
         };
         let partial_matrices = leaves.len();
 
-        // ------------------------------------------------------------------
-        // 2. Merge plan from estimated column sizes.
-        // ------------------------------------------------------------------
         let leaf_weights: Vec<u64> = leaves
             .iter()
             .map(|col| {
@@ -108,41 +175,120 @@ impl SpArchSim {
                     .sum()
             })
             .collect();
-        let plan = MergePlan::build(cfg.scheduler, &leaf_weights, cfg.merge_ways());
-        let estimated_total_weight = plan.estimated_total_weight();
+        let merge_plan = MergePlan::build(cfg.scheduler, &leaf_weights, cfg.merge_ways());
+        let estimated_total_weight = merge_plan.estimated_total_weight();
 
         // Rounds to execute: the plan's rounds, or one pass-through round
         // covering all leaves when no merging is needed (0 or 1 leaf).
-        let pseudo_rounds: Vec<Vec<PlanNode>> = if plan.rounds.is_empty() {
+        let rounds: Vec<Vec<PlanNode>> = if merge_plan.rounds.is_empty() {
             vec![(0..leaves.len()).map(PlanNode::Leaf).collect()]
         } else {
-            plan.rounds.iter().map(|r| r.children.clone()).collect()
-        };
-        let num_rounds = pseudo_rounds.len();
-
-        // ------------------------------------------------------------------
-        // 3. MatB access sequence (round-robin across each round's fresh
-        //    columns, Figure 7's load sequence) drives the prefetcher.
-        // ------------------------------------------------------------------
-        let mut accesses: Vec<Index> = Vec::new();
-        let mut round_access_counts: Vec<usize> = Vec::with_capacity(num_rounds);
-        for children in &pseudo_rounds {
-            let round_cols: Vec<Vec<crate::condense::CondensedElement>> = children
+            merge_plan
+                .rounds
                 .iter()
-                .filter_map(|&n| match n {
-                    PlanNode::Leaf(i) => Some(leaves[i].clone()),
-                    PlanNode::Round(_) => None,
-                })
-                .collect();
-            let before = accesses.len();
-            accesses.extend(crate::fetch::ColumnFetcher::new(&round_cols).map(|e| e.orig_col));
-            round_access_counts.push(accesses.len() - before);
-        }
-        let mut prefetcher = RowPrefetcher::new(b, &cfg.prefetch, accesses);
+                .map(|r| r.children.clone())
+                .collect()
+        };
 
-        // ------------------------------------------------------------------
-        // 4 + 5. Execute rounds, accounting traffic, cycles and activity.
-        // ------------------------------------------------------------------
+        SimPlan {
+            leaves,
+            leaf_weights,
+            merge_plan,
+            rounds,
+            partial_matrices,
+            estimated_total_weight,
+            output_rows: a.rows(),
+        }
+    }
+
+    /// **Stage 2 — prefetch.** Replays the whole-task MatB access
+    /// sequence (round-robin across each round's fresh columns, Figure
+    /// 7's load sequence) through the row prefetcher, leaving exact
+    /// per-round DRAM-read accounting in `scratch` for the execute stage.
+    pub fn prefetch_stage(
+        &self,
+        plan: &SimPlan,
+        b: &Csr,
+        scratch: &mut SimScratch,
+    ) -> PrefetchStats {
+        let cfg = &self.config;
+        scratch.prepare_prefetch(plan.rounds.len());
+
+        // Build the access list round by round, remembering each round's
+        // share of it.
+        let mut round_access_counts: Vec<usize> = Vec::with_capacity(plan.rounds.len());
+        for children in &plan.rounds {
+            let mut fresh = 0usize;
+            for &child in children {
+                if let PlanNode::Leaf(i) = child {
+                    if fresh == scratch.round_cols.len() {
+                        scratch.round_cols.push(Vec::new());
+                    }
+                    scratch.round_cols[fresh].clear();
+                    scratch.round_cols[fresh].extend_from_slice(&plan.leaves[i]);
+                    fresh += 1;
+                }
+            }
+            let before = scratch.accesses.len();
+            scratch.accesses.extend(
+                crate::fetch::ColumnFetcher::new(&scratch.round_cols[..fresh]).map(|e| e.orig_col),
+            );
+            round_access_counts.push(scratch.accesses.len() - before);
+        }
+
+        let mut prefetcher =
+            RowPrefetcher::new(b, &cfg.prefetch, std::mem::take(&mut scratch.accesses));
+        for &count in &round_access_counts {
+            let misses_before = prefetcher.stats().line_misses;
+            let mut bytes = 0u64;
+            let mut row_fetches = 0u64;
+            for _ in 0..count {
+                let access_bytes = prefetcher.access_next();
+                bytes += access_bytes;
+                if access_bytes > 0 {
+                    row_fetches += 1;
+                }
+            }
+            scratch.round_matb.push(RoundMatB {
+                bytes,
+                row_fetches,
+                line_misses: prefetcher.stats().line_misses - misses_before,
+            });
+        }
+
+        let stats = *prefetcher.stats();
+        // Recycle the access list's storage for the next task.
+        scratch.accesses = prefetcher.into_accesses();
+        stats
+    }
+
+    /// **Stage 3 — round-execute.** Runs every merge round: multiplies
+    /// the round's fresh columns, merges them with re-fetched partial
+    /// results, folds duplicates, and accounts traffic, cycles and
+    /// activity. The final round's stream is left in `scratch` for the
+    /// writeback stage.
+    ///
+    /// This is the hot path: with a warmed-up `scratch` (same task run
+    /// once before) it performs no heap allocation (pinned by
+    /// `crates/core/tests/zero_alloc.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SpArchSim::prefetch_stage`] did not leave per-round
+    /// MatB accounting for this plan in `scratch` (only the round count
+    /// is checkable — feeding a *different* plan with the same round
+    /// count misattributes MatB traffic), or if the plan references the
+    /// same round's output twice.
+    pub fn execute_stage(&self, plan: &SimPlan, b: &Csr, scratch: &mut SimScratch) -> ExecTotals {
+        let cfg = &self.config;
+        let num_rounds = plan.rounds.len();
+        assert_eq!(
+            scratch.round_matb.len(),
+            num_rounds,
+            "prefetch stage must run before the execute stage"
+        );
+        scratch.prepare_execute(plan.leaves.len(), num_rounds);
+
         let cost_params = CostParams {
             bytes_per_cycle: cfg.hbm.bytes_per_cycle(),
             dram_latency: cfg.hbm.access_latency,
@@ -157,76 +303,89 @@ impl SpArchSim {
             .comparators() as f64
             / cfg.merger_width as f64;
 
-        let mut traffic = TrafficCounter::new();
-        let mut activity = ActivityCounts::default();
-        let mut total_cycles = 0u64;
-        let mut round_outputs: Vec<Option<Vec<MergeItem>>> = Vec::new();
-        let mut final_stream: Vec<MergeItem> = Vec::new();
+        let mut totals = ExecTotals::default();
+        let SimScratch {
+            mult_streams,
+            round_outputs,
+            merge_heap,
+            round_matb,
+            round_consumed,
+            ..
+        } = scratch;
 
-        for (round_idx, children) in pseudo_rounds.iter().enumerate() {
+        for (round_idx, children) in plan.rounds.iter().enumerate() {
             let is_final = round_idx + 1 == num_rounds;
             let mut cost = RoundCost::default();
 
-            // MatB reads for this round's fresh columns, via the
-            // prefetcher's exact per-access accounting.
-            let misses_before = prefetcher.stats().line_misses;
-            let mut mat_b_bytes = 0u64;
-            let mut row_fetches = 0u64;
-            for _ in 0..round_access_counts[round_idx] {
-                let bytes = prefetcher.access_next();
-                mat_b_bytes += bytes;
-                if bytes > 0 {
-                    row_fetches += 1;
-                }
-            }
-            traffic.record(TrafficCategory::MatB, mat_b_bytes);
-            cost.line_misses = prefetcher.stats().line_misses - misses_before;
+            // MatB reads for this round's fresh columns, attributed by
+            // the prefetch stage's exact per-access accounting.
+            let matb = round_matb[round_idx];
+            totals.traffic.record(TrafficCategory::MatB, matb.bytes);
+            cost.line_misses = matb.line_misses;
             if !cfg.prefetch.enabled {
-                cost.unhidden_fetches = row_fetches;
+                cost.unhidden_fetches = matb.row_fetches;
             }
 
-            // Generate/fetch the child streams.
+            // Multiply the fresh columns into their leaf stream buffers;
+            // partial inputs are read back from earlier rounds' outputs.
             let mut partial_read_bytes = 0u64;
-            let mut streams: Vec<Vec<MergeItem>> = Vec::with_capacity(children.len());
+            let mut input_elements = 0u64;
             for &child in children {
                 match child {
                     PlanNode::Leaf(i) => {
-                        let col = &leaves[i];
-                        let mut stream = Vec::new();
+                        let col = &plan.leaves[i];
+                        let stream = &mut mult_streams[i];
+                        stream.clear();
+                        stream.reserve(plan.leaf_weights[i] as usize);
                         for e in col {
                             let (cols, vals) = b.row(e.orig_col as usize);
                             for (&c, &v) in cols.iter().zip(vals) {
-                                stream.push(MergeItem::new(e.row, c, e.value * v));
+                                stream.push(sparch_engine::MergeItem::new(e.row, c, e.value * v));
                             }
                         }
                         cost.multiplies += stream.len() as u64;
                         cost.mat_a_elements += col.len() as u64;
-                        traffic.record(TrafficCategory::MatA, col.len() as u64 * 12);
-                        activity.fetcher_elements += col.len() as u64;
-                        streams.push(stream);
+                        input_elements += stream.len() as u64;
+                        totals
+                            .traffic
+                            .record(TrafficCategory::MatA, col.len() as u64 * 12);
+                        totals.activity.fetcher_elements += col.len() as u64;
                     }
                     PlanNode::Round(r) => {
-                        let stream = round_outputs[r]
-                            .take()
-                            .expect("plan consumes each round once");
-                        partial_read_bytes += stream.len() as u64 * 16;
-                        streams.push(stream);
+                        assert!(r < round_idx, "plan consumes only earlier rounds");
+                        assert!(!round_consumed[r], "plan consumes each round once");
+                        round_consumed[r] = true;
+                        let len = round_outputs[r].len() as u64;
+                        partial_read_bytes += len * 16;
+                        input_elements += len;
                     }
                 }
             }
-            traffic.record(TrafficCategory::PartialRead, partial_read_bytes);
+            totals
+                .traffic
+                .record(TrafficCategory::PartialRead, partial_read_bytes);
 
-            let input_elements: u64 = streams.iter().map(|s| s.len() as u64).sum();
-            let refs: Vec<&[MergeItem]> = streams.iter().map(|s| s.as_slice()).collect();
-            let (merged, adds) = kway_merge_fold(&refs);
-            drop(streams);
+            // Merge this round's streams into its output buffer. The
+            // split keeps earlier rounds' outputs readable while the
+            // current round's buffer is written.
+            let (earlier, rest) = round_outputs.split_at_mut(round_idx);
+            let out = &mut rest[0];
+            let adds = kway_merge_fold_with(
+                children.len(),
+                |c| match children[c] {
+                    PlanNode::Leaf(i) => mult_streams[i].as_slice(),
+                    PlanNode::Round(r) => earlier[r].as_slice(),
+                },
+                out,
+                merge_heap,
+            );
 
             let out_bytes = if is_final {
-                merged.len() as u64 * 12 + (a.rows() as u64 + 1) * 8
+                out.len() as u64 * 12 + (plan.output_rows as u64 + 1) * 8
             } else {
-                merged.len() as u64 * 16
+                out.len() as u64 * 16
             };
-            traffic.record(
+            totals.traffic.record(
                 if is_final {
                     TrafficCategory::FinalWrite
                 } else {
@@ -237,49 +396,57 @@ impl SpArchSim {
 
             // Cycle estimate for the round.
             cost.input_elements = input_elements;
-            cost.output_elements = merged.len() as u64;
+            cost.output_elements = out.len() as u64;
             cost.dram_bytes =
-                cost.mat_a_elements * 12 + mat_b_bytes + partial_read_bytes + out_bytes;
-            total_cycles += cost_params.round_cycles(&cost);
+                cost.mat_a_elements * 12 + matb.bytes + partial_read_bytes + out_bytes;
+            totals.cycles += cost_params.round_cycles(&cost);
 
             // Activity accounting: each element crosses one merger level
             // per doubling of the round's fan-in.
             let levels = (children.len().max(2) as f64).log2().ceil() as u64;
-            activity.multiplies += cost.multiplies;
-            activity.adds += adds;
-            activity.merge_tree_elements += input_elements * levels;
-            activity.comparator_ops +=
+            totals.activity.multiplies += cost.multiplies;
+            totals.activity.adds += adds;
+            totals.activity.merge_tree_elements += input_elements * levels;
+            totals.activity.comparator_ops +=
                 (input_elements as f64 * levels as f64 * ops_per_element_level) as u64;
-            activity.writer_elements += merged.len() as u64;
-
-            if is_final {
-                final_stream = merged;
-            } else {
-                round_outputs.push(Some(merged));
-            }
+            totals.activity.writer_elements += out.len() as u64;
         }
 
-        // ------------------------------------------------------------------
-        // Result assembly and report.
-        // ------------------------------------------------------------------
+        totals
+    }
+
+    /// **Stage 4 — writeback.** Assembles the result matrix from the
+    /// final round's stream and closes the books: prefetcher activity,
+    /// timing summary, energy and area.
+    pub fn writeback_stage(
+        &self,
+        a: &Csr,
+        b: &Csr,
+        plan: &SimPlan,
+        prefetch: PrefetchStats,
+        mut totals: ExecTotals,
+        scratch: &SimScratch,
+    ) -> SimReport {
+        let cfg = &self.config;
+        let final_stream = scratch.final_stream(plan.rounds.len());
+
         let mut builder = CsrBuilder::with_capacity(a.rows(), b.cols(), final_stream.len());
-        for item in &final_stream {
+        for item in final_stream {
             builder.push(item.row(), item.col(), item.value);
         }
         let result = builder.finish();
 
-        let prefetch_stats = *prefetcher.stats();
-        activity.buffer_bytes =
-            prefetch_stats.buffer_read_bytes + prefetch_stats.buffer_write_bytes;
-        activity.dram_read_bytes = traffic.read_bytes();
-        activity.dram_write_bytes = traffic.write_bytes();
+        totals.activity.buffer_bytes = prefetch.buffer_read_bytes + prefetch.buffer_write_bytes;
+        totals.activity.dram_read_bytes = totals.traffic.read_bytes();
+        totals.activity.dram_write_bytes = totals.traffic.write_bytes();
 
-        let multiplies = activity.multiplies;
+        let multiplies = totals.activity.multiplies;
         let flops = 2 * multiplies;
-        let seconds = total_cycles as f64 / cfg.hbm.clock_hz;
-        let busy_cycles = (traffic.total_bytes() as f64 / cfg.hbm.bytes_per_cycle()).ceil() as u64;
+        let seconds = totals.cycles as f64 / cfg.hbm.clock_hz;
+        let busy_cycles =
+            (totals.traffic.total_bytes() as f64 / cfg.hbm.bytes_per_cycle()).ceil() as u64;
         let perf = PerfSummary {
-            cycles: total_cycles,
+            cycles: totals.cycles,
             seconds,
             gflops: if seconds > 0.0 {
                 flops as f64 / seconds / 1e9
@@ -289,15 +456,15 @@ impl SpArchSim {
             multiplies,
             flops,
             output_nnz: result.nnz() as u64,
-            rounds: num_rounds,
-            bandwidth_utilization: if total_cycles > 0 {
-                (busy_cycles as f64 / total_cycles as f64).min(1.0)
+            rounds: plan.rounds.len(),
+            bandwidth_utilization: if totals.cycles > 0 {
+                (busy_cycles as f64 / totals.cycles as f64).min(1.0)
             } else {
                 0.0
             },
         };
 
-        let energy = cfg.energy.estimate(&activity);
+        let energy = cfg.energy.estimate(&totals.activity);
         let area = AreaModel {
             lookahead_elements: cfg.prefetch.lookahead,
             buffer_bytes: cfg.prefetch.capacity_bytes() as usize,
@@ -310,14 +477,14 @@ impl SpArchSim {
 
         SimReport::new(
             result,
-            traffic,
+            totals.traffic,
             perf,
-            prefetch_stats,
-            activity,
+            prefetch,
+            totals.activity,
             energy,
             area,
-            partial_matrices,
-            estimated_total_weight,
+            plan.partial_matrices,
+            plan.estimated_total_weight,
         )
     }
 }
@@ -489,5 +656,49 @@ mod tests {
         assert!(report.energy_total() > 0.0);
         assert!(report.perf.bandwidth_utilization > 0.0);
         assert!(report.perf.bandwidth_utilization <= 1.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_tasks() {
+        // One scratch fed a sequence of different tasks must produce the
+        // same reports as fresh runs, including multi-round schedules.
+        let mut scratch = SimScratch::new();
+        let sim = SpArchSim::new(SpArchConfig::default().with_tree_layers(2));
+        for seed in 0..4u64 {
+            let a = gen::uniform_random(90, 90, 1200, seed);
+            let fresh = sim.run(&a, &a);
+            let reused = sim.run_with_scratch(&a, &a, &mut scratch);
+            assert_eq!(fresh.result(), reused.result(), "seed {seed}");
+            assert_eq!(fresh.traffic, reused.traffic, "seed {seed}");
+            assert_eq!(fresh.perf, reused.perf, "seed {seed}");
+            assert_eq!(fresh.prefetch, reused.prefetch, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stages_compose_into_run() {
+        let a = gen::rmat_graph500(128, 6, 21);
+        let sim = SpArchSim::new(SpArchConfig::default().with_tree_layers(3));
+        let mut scratch = SimScratch::new();
+        let plan = sim.plan_stage(&a, &a);
+        assert_eq!(plan.partial_matrices, plan.leaves.len());
+        let prefetch = sim.prefetch_stage(&plan, &a, &mut scratch);
+        let totals = sim.execute_stage(&plan, &a, &mut scratch);
+        assert!(totals.cycles > 0);
+        let report = sim.writeback_stage(&a, &a, &plan, prefetch, totals, &scratch);
+        let direct = sim.run(&a, &a);
+        assert_eq!(report.result(), direct.result());
+        assert_eq!(report.perf, direct.perf);
+        assert_eq!(report.traffic, direct.traffic);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefetch stage must run")]
+    fn execute_requires_prefetch_accounting() {
+        let a = gen::uniform_random(40, 40, 200, 3);
+        let sim = SpArchSim::new(SpArchConfig::default());
+        let plan = sim.plan_stage(&a, &a);
+        let mut scratch = SimScratch::new();
+        let _ = sim.execute_stage(&plan, &a, &mut scratch);
     }
 }

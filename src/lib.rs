@@ -9,7 +9,10 @@
 //! * [`mem`] — DRAM/HBM, FIFO/buffer and energy/area cost models,
 //! * [`engine`] — comparator-array merger, merge tree, zero eliminator,
 //! * [`core`] — the SpArch accelerator simulator (condensing, Huffman
-//!   scheduler, row prefetcher, full pipeline),
+//!   scheduler, row prefetcher, full pipeline), staged plan → prefetch →
+//!   execute → writeback with reusable [`core::SimScratch`] buffers,
+//! * [`exec`] — the parallel sharded execution layer ([`exec::ShardPool`],
+//!   [`exec::Workload`], [`exec::ParallelRunner`]) for multi-core sweeps,
 //! * [`baselines`] — the OuterSPACE model and software baseline proxies.
 //!
 //! # Quickstart
@@ -31,13 +34,17 @@
 pub use sparch_baselines as baselines;
 pub use sparch_core as core;
 pub use sparch_engine as engine;
+pub use sparch_exec as exec;
 pub use sparch_mem as mem;
 pub use sparch_sparse as sparse;
 
 /// Commonly used items, importable in one line.
 pub mod prelude {
     pub use sparch_baselines::outerspace::OuterSpaceModel;
-    pub use sparch_core::{PrefetchConfig, SchedulerKind, SimReport, SpArchConfig, SpArchSim};
+    pub use sparch_core::{
+        PrefetchConfig, SchedulerKind, SimReport, SimScratch, SpArchConfig, SpArchSim,
+    };
     pub use sparch_engine::{Clock, Clocked, MergeItem, MergeTree, MergeTreeConfig};
+    pub use sparch_exec::{FnWorkload, ParallelRunner, ShardPool, Workload};
     pub use sparch_sparse::{Coo, Csc, Csr, CsrBuilder, Dense, Index, Triple, Value};
 }

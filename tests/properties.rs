@@ -2,7 +2,10 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use sparch::core::{CondensedView, MergePlan, SchedulerKind, SpArchConfig, SpArchSim};
+use sparch::core::{
+    kway_merge_fold, kway_merge_fold_into, CondensedView, MergePlan, SchedulerKind, SpArchConfig,
+    SpArchSim,
+};
 use sparch::engine::{item, merge_step, ComparatorMerger, HierarchicalMerger, MergeItem};
 use sparch::sparse::{algo, Coo, Csr};
 
@@ -19,6 +22,49 @@ fn sorted_stream() -> impl Strategy<Value = Vec<MergeItem>> {
             })
             .collect()
     })
+}
+
+/// Strategy: a sorted stream that may repeat coordinates (duplicates are
+/// legal merge-tree input; the fold sums them) with small integer values
+/// so cancellations to exact zero are common.
+fn sorted_dup_stream() -> impl Strategy<Value = Vec<MergeItem>> {
+    vec((0u64..60, -3i64..=3), 0..50).prop_map(|mut pairs| {
+        pairs.sort_by_key(|p| p.0);
+        pairs
+            .into_iter()
+            .map(|(coord, v)| MergeItem {
+                coord,
+                value: v as f64,
+            })
+            .collect()
+    })
+}
+
+/// `BinaryHeap`-based reference for the k-way merge-fold: push *every*
+/// `(coord, stream, position)` up front, pop in sorted order, fold
+/// duplicate coordinates. Same tie-break order as the streaming merge.
+fn reference_merge_fold(streams: &[&[MergeItem]]) -> (Vec<MergeItem>, u64) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap = BinaryHeap::new();
+    for (k, s) in streams.iter().enumerate() {
+        for (pos, e) in s.iter().enumerate() {
+            heap.push(Reverse((e.coord, k, pos)));
+        }
+    }
+    let mut out: Vec<MergeItem> = Vec::new();
+    let mut adds = 0u64;
+    while let Some(Reverse((coord, k, pos))) = heap.pop() {
+        let e = streams[k][pos];
+        match out.last_mut() {
+            Some(last) if last.coord == coord => {
+                last.value += e.value;
+                adds += 1;
+            }
+            _ => out.push(e),
+        }
+    }
+    (out, adds)
 }
 
 /// Strategy: a random COO matrix with shape <= 24x24.
@@ -92,6 +138,46 @@ proptest! {
         r.validate();
         prop_assert!(h.estimated_total_weight() <= s.estimated_total_weight());
         prop_assert!(h.estimated_total_weight() <= r.estimated_total_weight());
+    }
+
+    #[test]
+    fn kway_merge_fold_matches_heap_reference(streams in vec(sorted_dup_stream(), 0..6)) {
+        let refs: Vec<&[MergeItem]> = streams.iter().map(|s| s.as_slice()).collect();
+        let (expected, expected_adds) = reference_merge_fold(&refs);
+
+        let (out, adds) = kway_merge_fold(&refs);
+        prop_assert_eq!(&out, &expected);
+        prop_assert_eq!(adds, expected_adds);
+
+        // The `_into` variant agrees and fully replaces prior contents.
+        let mut reused = vec![MergeItem { coord: 999, value: 9.9 }; 3];
+        let adds_into = kway_merge_fold_into(&refs, &mut reused);
+        prop_assert_eq!(&reused, &expected);
+        prop_assert_eq!(adds_into, expected_adds);
+
+        // Folded output: strictly sorted, one element per merged-in
+        // duplicate fewer than the inputs, zeros kept (not eliminated).
+        prop_assert!(item::is_sorted_unique(&out));
+        let total: usize = streams.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(out.len() as u64, total as u64 - adds);
+    }
+
+    #[test]
+    fn kway_merge_fold_keeps_explicit_zeros(coords in vec(0u64..40, 1..20)) {
+        // Two streams with identical coordinates and cancelling values:
+        // every fold produces an exact zero, and the zero stays explicit
+        // (zero elimination is the engine's separate stage).
+        let mut cs = coords;
+        cs.sort_unstable();
+        cs.dedup();
+        let pos: Vec<MergeItem> = cs.iter().map(|&c| MergeItem { coord: c, value: 2.5 }).collect();
+        let neg: Vec<MergeItem> = cs.iter().map(|&c| MergeItem { coord: c, value: -2.5 }).collect();
+        let mut out = Vec::new();
+        let adds = kway_merge_fold_into(&[&pos, &neg], &mut out);
+        prop_assert_eq!(adds as usize, cs.len());
+        prop_assert_eq!(out.len(), cs.len());
+        prop_assert!(out.iter().all(|e| e.value == 0.0));
+        prop_assert_eq!(out.iter().map(|e| e.coord).collect::<Vec<_>>(), cs);
     }
 
     #[test]
