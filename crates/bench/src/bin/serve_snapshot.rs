@@ -1,0 +1,227 @@
+//! Service throughput snapshot: tracks the `sparch-serve` layer's
+//! request throughput from PR to PR.
+//!
+//! Builds a deterministic mixed batch (single / chained / masked / power
+//! requests over eight structurally distinct operands, sized by
+//! `--scale`), serves it through `SpgemmService` under the adaptive
+//! policy with the pinned reference calibration, and emits `SERVE.json` —
+//! requests/second, operand-cache hit rate, total model-side work and
+//! the per-backend dispatch distribution.
+//!
+//! ```console
+//! cargo run --release -p sparch-bench --bin serve_snapshot
+//! cargo run --release -p sparch-bench --bin serve_snapshot -- --scale 0.01 --threads 2
+//! ```
+
+use serde::Serialize;
+use sparch_bench::{parse_args_from, print_table, runner, ArgsOutcome, USAGE};
+use sparch_serve::{
+    Batch, Calibration, DispatchPolicy, OperandDef, OperandSpec, Request, ServiceConfig,
+    SpgemmService,
+};
+use sparch_sparse::gen::Recipe;
+
+/// Pinned default scale (matches `perf_snapshot`'s philosophy: small
+/// enough for seconds-long runs, fixed so snapshots stay comparable).
+const SNAPSHOT_SCALE: f64 = 0.02;
+
+/// Requests in the snapshot batch.
+const REQUESTS: usize = 240;
+
+#[derive(Serialize)]
+struct Snapshot {
+    scale: f64,
+    threads: usize,
+    requests: usize,
+    multiply_steps: usize,
+    wall_seconds: f64,
+    requests_per_second: f64,
+    cache_hit_rate: f64,
+    total_model_cost: f64,
+    backend_steps: Vec<(String, u64)>,
+}
+
+/// Eight structurally distinct operands, all square with order
+/// `~3200 * scale` so every request kind composes.
+fn operands(scale: f64) -> Vec<OperandDef> {
+    let n = ((3200.0 * scale) as usize).max(16);
+    let gen = |name: &str, recipe: Recipe, seed: u64| OperandDef {
+        name: name.into(),
+        spec: OperandSpec::Gen { recipe, seed },
+    };
+    let side = (n as f64).cbrt().round().max(2.0) as usize;
+    vec![
+        gen("rmat_a", Recipe::Rmat { n, avg_degree: 4 }, 21),
+        gen("rmat_b", Recipe::Rmat { n, avg_degree: 8 }, 22),
+        gen(
+            "uniform",
+            Recipe::Uniform {
+                rows: n,
+                cols: n,
+                nnz: n * 5,
+            },
+            23,
+        ),
+        gen(
+            "poisson",
+            Recipe::Poisson3d {
+                nx: side,
+                ny: side,
+                nz: side,
+            },
+            24,
+        ),
+        gen(
+            "banded",
+            Recipe::Banded {
+                n,
+                half_bandwidth: 3,
+                extra_nnz: n,
+            },
+            25,
+        ),
+        gen(
+            "powerlaw",
+            Recipe::PowerlawRows {
+                n,
+                nnz: n * 6,
+                alpha: 1.8,
+            },
+            26,
+        ),
+        gen(
+            "blocks",
+            Recipe::BlockSparse {
+                rows: n,
+                cols: n,
+                block: 4,
+                block_density: 0.15,
+            },
+            27,
+        ),
+        gen(
+            "dense_sq",
+            Recipe::Uniform {
+                rows: n,
+                cols: n,
+                nnz: n * 10,
+            },
+            28,
+        ),
+    ]
+}
+
+/// A deterministic mix cycling through the four request kinds. Poisson
+/// operands are square only when `n` is a perfect cube, so chains and
+/// powers stick to operands of identical order — which `operands()`
+/// guarantees for all but `poisson`; it appears as a mask/right operand
+/// only when orders match, so it is excluded from the mix entirely and
+/// squared explicitly instead.
+fn requests(names: &[&str]) -> Vec<Request> {
+    let pick = |i: usize| names[i % names.len()].to_string();
+    (0..REQUESTS)
+        .map(|i| match i % 4 {
+            0 => Request::Single {
+                a: pick(i),
+                b: pick(i + 1),
+            },
+            1 => Request::Chain {
+                operands: vec![pick(i), pick(i + 2), pick(i + 3)],
+            },
+            2 => Request::Power {
+                a: pick(i),
+                k: 2,
+                threshold: 0.0,
+            },
+            _ => Request::Masked {
+                a: pick(i),
+                b: pick(i + 1),
+                mask: pick(i + 2),
+            },
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = match parse_args_from(std::env::args().skip(1)) {
+        Ok(ArgsOutcome::Parsed(args)) => args,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if !args.scale_explicit {
+        args.scale = SNAPSHOT_SCALE;
+    }
+
+    let defs = operands(args.scale);
+    // All operands except poisson share one order; poisson's cube can
+    // differ, so keep it out of the cross-operand request mix.
+    let names: Vec<&str> = defs
+        .iter()
+        .map(|d| d.name.as_str())
+        .filter(|&n| n != "poisson")
+        .collect();
+    let mut reqs = requests(&names);
+    reqs.push(Request::Power {
+        a: "poisson".into(),
+        k: 2,
+        threshold: 0.0,
+    });
+    let batch = Batch {
+        operands: defs,
+        requests: reqs,
+    };
+
+    let mut service = SpgemmService::new(ServiceConfig {
+        policy: DispatchPolicy::Adaptive,
+        threads: args.threads,
+        calibration: Some(Calibration::reference()),
+        ..ServiceConfig::default()
+    });
+    let report = service.serve(&batch).expect("snapshot batch must serve");
+
+    let snapshot = Snapshot {
+        scale: args.scale,
+        threads: report.threads,
+        requests: report.total_requests,
+        multiply_steps: report.total_steps,
+        wall_seconds: report.wall_seconds,
+        requests_per_second: report.total_requests as f64 / report.wall_seconds.max(1e-9),
+        cache_hit_rate: report.cache_hit_rate,
+        total_model_cost: report.total_model_cost,
+        backend_steps: report
+            .backend_steps
+            .iter()
+            .map(|b| (b.backend.clone(), b.steps))
+            .collect(),
+    };
+
+    println!(
+        "Serve snapshot — {} requests ({} steps) at scale {} on {} thread(s)\n",
+        snapshot.requests, snapshot.multiply_steps, snapshot.scale, snapshot.threads
+    );
+    let rows: Vec<Vec<String>> = snapshot
+        .backend_steps
+        .iter()
+        .map(|(name, steps)| vec![name.clone(), steps.to_string()])
+        .collect();
+    print_table(&["backend", "steps"], &rows);
+    println!(
+        "\nwall {:.3} s → {:.1} req/s; cache hit rate {:.1}%; model work {:.3e}",
+        snapshot.wall_seconds,
+        snapshot.requests_per_second,
+        snapshot.cache_hit_rate * 100.0,
+        snapshot.total_model_cost
+    );
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("SERVE.json"));
+    runner::dump_json(&Some(path), &snapshot);
+}

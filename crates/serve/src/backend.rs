@@ -1,0 +1,134 @@
+//! The six software SpGEMM backends as a closed, dispatchable enum.
+
+use serde::{Deserialize, Serialize};
+use sparch_sparse::{algo, Csr};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the software SpGEMM algorithms in `sparch_sparse::algo`.
+///
+/// SpArch's premise — and SparseZipper's, for CPU SpGEMM — is that no
+/// single insertion strategy wins across matrix structures: Gustavson's
+/// sparse accumulator is the all-round CPU baseline, hashing degrades on
+/// power-law rows, heaps on wide rows, ESC on large intermediate counts,
+/// the inner product on anything but near-dense outputs, and the outer
+/// product pays a merge-tree's worth of partial-matrix traffic. The
+/// serving layer treats them as interchangeable implementations of
+/// `C = A * B` and picks per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// Row-wise sparse accumulator (Intel MKL's strategy).
+    Gustavson,
+    /// Per-row open-addressing hash table (cuSPARSE's strategy).
+    Hash,
+    /// Per-row k-way heap merge (HeapSpGEMM).
+    Heap,
+    /// Expansion–sorting–compression (CUSP's strategy).
+    SortMerge,
+    /// Row × column dot products (the vanilla dataflow).
+    Inner,
+    /// Column × row rank-1 expansion + pairwise merge (OuterSPACE).
+    Outer,
+}
+
+impl Backend {
+    /// Every backend, in the canonical (tie-breaking) order.
+    pub const ALL: [Backend; 6] = [
+        Backend::Gustavson,
+        Backend::Hash,
+        Backend::Heap,
+        Backend::SortMerge,
+        Backend::Inner,
+        Backend::Outer,
+    ];
+
+    /// The backend's snake_case name, matching its `algo` function.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Gustavson => "gustavson",
+            Backend::Hash => "hash_spgemm",
+            Backend::Heap => "heap_spgemm",
+            Backend::SortMerge => "sort_merge",
+            Backend::Inner => "inner_product",
+            Backend::Outer => "outer_product",
+        }
+    }
+
+    /// Runs this backend on `a * b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()` (all backends share that contract).
+    pub fn run(self, a: &Csr, b: &Csr) -> Csr {
+        match self {
+            Backend::Gustavson => algo::gustavson(a, b),
+            Backend::Hash => algo::hash_spgemm(a, b),
+            Backend::Heap => algo::heap_spgemm(a, b),
+            Backend::SortMerge => algo::sort_merge(a, b),
+            Backend::Inner => algo::inner_product(a, b),
+            Backend::Outer => algo::outer_product(a, b),
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    /// Parses both the `algo` function names and common short forms.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "gustavson" | "mkl" => Ok(Backend::Gustavson),
+            "hash" | "hash_spgemm" => Ok(Backend::Hash),
+            "heap" | "heap_spgemm" => Ok(Backend::Heap),
+            "sort_merge" | "sort-merge" | "esc" => Ok(Backend::SortMerge),
+            "inner" | "inner_product" => Ok(Backend::Inner),
+            "outer" | "outer_product" => Ok(Backend::Outer),
+            other => Err(format!(
+                "unknown backend {other:?} (expected one of: gustavson, hash, heap, \
+                 sort_merge, inner, outer)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparch_sparse::gen;
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for b in Backend::ALL {
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+        }
+        assert!("spectral".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for b in Backend::ALL {
+            let json = serde_json::to_string(&b).unwrap();
+            let back: Backend = serde_json::from_str(&json).unwrap();
+            assert_eq!(b, back);
+        }
+    }
+
+    #[test]
+    fn every_backend_multiplies() {
+        let a = gen::uniform_random(20, 24, 90, 5);
+        let b = gen::uniform_random(24, 16, 80, 6);
+        let reference = Backend::Gustavson.run(&a, &b);
+        for backend in Backend::ALL {
+            assert!(
+                backend.run(&a, &b).approx_eq(&reference, 1e-9),
+                "{backend} disagrees"
+            );
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The operand cache: the paper's condensed-MatA idea lifted to serving.
+//!
+//! SpArch converts the left operand into a condensed/CSC view once and
+//! reuses it across the whole multiply. A serving layer sees the *same
+//! operand* arrive in many requests (the same graph squared, chained, and
+//! masked), so the conversions — CSC view, structural statistics — are
+//! worth keeping across calls. [`OperandCache`] is a deterministic LRU
+//! keyed by [`Csr::fingerprint`]; a hit returns the shared
+//! [`PreparedOperand`] without re-deriving anything.
+
+use sparch_sparse::stats::MatrixStats;
+use sparch_sparse::{Csc, Csr};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A matrix plus every derived view the serving layer reuses:
+/// its CSC conversion (outer/inner dataflows, `occupied_cols`), its
+/// structural statistics, and per-axis occupancy counts for the
+/// dispatcher's work model.
+#[derive(Debug, Clone)]
+pub struct PreparedOperand {
+    /// The operand itself.
+    pub csr: Csr,
+    /// Cached CSC view of the operand.
+    pub csc: Csc,
+    /// Cached structural statistics.
+    pub stats: MatrixStats,
+    /// Rows with at least one entry (a dispatcher work-model input).
+    pub nonempty_rows: usize,
+    /// Columns with at least one entry (a dispatcher work-model input).
+    pub nonempty_cols: usize,
+    /// The fingerprint this operand is cached under.
+    pub fingerprint: u64,
+}
+
+impl PreparedOperand {
+    /// Performs every conversion once.
+    pub fn prepare(csr: Csr) -> Self {
+        let fingerprint = csr.fingerprint();
+        let csc = csr.to_csc();
+        let stats = MatrixStats::of(&csr);
+        PreparedOperand {
+            nonempty_rows: stats.rows - stats.empty_rows,
+            nonempty_cols: csc.occupied_cols(),
+            csr,
+            csc,
+            stats,
+            fingerprint,
+        }
+    }
+}
+
+/// A least-recently-used cache of [`PreparedOperand`]s keyed by matrix
+/// fingerprint.
+///
+/// Recency is tracked with a logical tick that advances on every probe,
+/// so hit/miss/eviction behaviour depends only on the probe sequence —
+/// the service probes sequentially in request submission order, which
+/// makes per-request cache telemetry identical at any worker count.
+#[derive(Debug)]
+pub struct OperandCache {
+    capacity: usize,
+    entries: HashMap<u64, (u64, Arc<PreparedOperand>)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl OperandCache {
+    /// A cache holding at most `capacity` operands (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        OperandCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `csr` by fingerprint, preparing and inserting on a miss.
+    /// Returns the shared prepared operand and whether this was a hit.
+    ///
+    /// Callers that probe the same operand repeatedly should hold on to
+    /// the returned `Arc` and use [`OperandCache::probe_prepared`] for
+    /// subsequent references — it skips rehashing the matrix.
+    pub fn get_or_prepare(&mut self, csr: &Csr) -> (Arc<PreparedOperand>, bool) {
+        let key = csr.fingerprint();
+        if let Some(prepared) = self.lookup(key) {
+            return (prepared, true);
+        }
+        let prepared = Arc::new(PreparedOperand::prepare(csr.clone()));
+        self.insert(key, Arc::clone(&prepared));
+        (prepared, false)
+    }
+
+    /// Probes for an operand whose fingerprint and preparation the caller
+    /// already holds (the service memoizes both per operand *name*, so a
+    /// thousand references to one operand hash it once, not a thousand
+    /// times). Counts a hit or miss exactly like [`get_or_prepare`]
+    /// would; on a miss — the entry was evicted since the caller last saw
+    /// it — the supplied preparation is re-inserted without recomputing
+    /// anything. Returns whether it was a hit.
+    ///
+    /// [`get_or_prepare`]: OperandCache::get_or_prepare
+    pub fn probe_prepared(&mut self, fingerprint: u64, prepared: &Arc<PreparedOperand>) -> bool {
+        if self.lookup(fingerprint).is_some() {
+            return true;
+        }
+        self.insert(fingerprint, Arc::clone(prepared));
+        false
+    }
+
+    /// Hit path shared by the probes: advances the clock, bumps recency
+    /// and the hit counter.
+    fn lookup(&mut self, key: u64) -> Option<Arc<PreparedOperand>> {
+        self.tick += 1;
+        if let Some((last_use, prepared)) = self.entries.get_mut(&key) {
+            *last_use = self.tick;
+            self.hits += 1;
+            return Some(Arc::clone(prepared));
+        }
+        None
+    }
+
+    /// Miss path shared by the probes: counts the miss, evicts the LRU
+    /// entry if full, inserts at the current tick (set by [`lookup`]).
+    ///
+    /// [`lookup`]: OperandCache::lookup
+    fn insert(&mut self, key: u64, prepared: Arc<PreparedOperand>) {
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            // Evict the least recently used entry (deterministic: ticks
+            // are unique, so the minimum is unique).
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (t, _))| *t) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (self.tick, prepared));
+    }
+
+    /// Number of operands currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime probe hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime probe misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime hit rate in `[0, 1]` (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparch_sparse::gen;
+
+    #[test]
+    fn repeated_operand_hits() {
+        let mut cache = OperandCache::new(8);
+        let a = gen::uniform_random(32, 32, 128, 1);
+        let (_, hit) = cache.get_or_prepare(&a);
+        assert!(!hit);
+        let (prepared, hit) = cache.get_or_prepare(&a);
+        assert!(hit);
+        assert_eq!(prepared.csr, a);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_matrices_share_one_entry() {
+        let mut cache = OperandCache::new(8);
+        let a = gen::rmat_graph500(64, 4, 9);
+        let b = a.clone();
+        cache.get_or_prepare(&a);
+        let (_, hit) = cache.get_or_prepare(&b);
+        assert!(hit, "identical content must hit regardless of allocation");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let mut cache = OperandCache::new(2);
+        let m1 = gen::uniform_random(16, 16, 40, 1);
+        let m2 = gen::uniform_random(16, 16, 40, 2);
+        let m3 = gen::uniform_random(16, 16, 40, 3);
+        cache.get_or_prepare(&m1);
+        cache.get_or_prepare(&m2);
+        cache.get_or_prepare(&m1); // m2 is now the LRU
+        cache.get_or_prepare(&m3); // evicts m2
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get_or_prepare(&m1).1, "m1 stayed resident");
+        assert!(!cache.get_or_prepare(&m2).1, "m2 was evicted");
+    }
+
+    #[test]
+    fn prepared_views_are_consistent() {
+        let a = gen::uniform_random(24, 40, 160, 7);
+        let p = PreparedOperand::prepare(a.clone());
+        assert_eq!(p.csc.to_csr(), a);
+        assert_eq!(p.stats, MatrixStats::of(&a));
+        assert_eq!(p.fingerprint, a.fingerprint());
+        assert_eq!(
+            p.nonempty_rows,
+            (0..a.rows()).filter(|&r| a.row_nnz(r) > 0).count()
+        );
+        assert_eq!(p.nonempty_cols, a.to_csc().occupied_cols());
+    }
+
+    #[test]
+    fn probe_prepared_matches_get_or_prepare_telemetry() {
+        let mut cache = OperandCache::new(2);
+        let m1 = gen::uniform_random(16, 16, 40, 1);
+        let m2 = gen::uniform_random(16, 16, 40, 2);
+        let m3 = gen::uniform_random(16, 16, 40, 3);
+        let (p1, _) = cache.get_or_prepare(&m1);
+        // Resident entry: probe hits without rehashing.
+        assert!(cache.probe_prepared(p1.fingerprint, &p1));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Evict m1 (capacity 2, m1 is LRU after m2/m3 insertions).
+        cache.get_or_prepare(&m2);
+        cache.get_or_prepare(&m3);
+        // Probe after eviction: counted as a miss and re-inserted.
+        assert!(!cache.probe_prepared(p1.fingerprint, &p1));
+        assert!(cache.probe_prepared(p1.fingerprint, &p1));
+        assert_eq!(cache.len(), 2);
+    }
+}

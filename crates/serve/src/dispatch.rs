@@ -1,0 +1,447 @@
+//! Backend selection: structural features, a deterministic per-backend
+//! work model, a measured calibration table, and the dispatcher.
+//!
+//! The dispatcher mirrors the paper's core observation at the software
+//! level: the right SpGEMM strategy is a function of measured matrix
+//! structure. For each task it computes [`TaskFeatures`] (a superset of
+//! `sparch_sparse::stats::TaskStats` — multiply count, output size,
+//! compression factor, occupancy), prices every backend with a
+//! deterministic analytic work model ([`model_cost`]), scales by a
+//! per-backend [`Calibration`] table measured once at service start, and
+//! picks the cheapest. A [`DispatchPolicy::Fixed`] policy bypasses the
+//! choice (but still records the model cost) for reproducible runs.
+
+use crate::cache::PreparedOperand;
+use crate::Backend;
+use serde::{Deserialize, Serialize};
+use sparch_sparse::stats::TaskStats;
+use sparch_sparse::{Csc, Csr};
+use std::fmt;
+use std::str::FromStr;
+
+/// Structural features of one SpGEMM task `C = A * B`, as consumed by the
+/// work model. Building them costs one symbolic pass (≈ the multiply
+/// count), which is the price of modeling; the per-matrix parts come free
+/// from the operand cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskFeatures {
+    /// Rows of `A`.
+    pub a_rows: usize,
+    /// Columns of `B`.
+    pub b_cols: usize,
+    /// Stored entries of `A`.
+    pub a_nnz: usize,
+    /// Stored entries of `B`.
+    pub b_nnz: usize,
+    /// Rows of `A` with at least one entry.
+    pub a_nonempty_rows: usize,
+    /// Columns of `B` with at least one entry.
+    pub b_nonempty_cols: usize,
+    /// Scalar multiplications (`M`).
+    pub multiplies: u64,
+    /// Non-zeros of the output.
+    pub output_nnz: u64,
+    /// `multiplies / output_nnz` (the paper's condensing headroom).
+    pub compression_factor: f64,
+    /// Occupied columns of `A` — the outer product's partial-matrix count.
+    pub occupied_cols: usize,
+}
+
+impl TaskFeatures {
+    /// Measures the features of `a * b` where both operands come from the
+    /// operand cache: the symbolic pass reuses `a`'s CSC view, and every
+    /// per-matrix occupancy count comes precomputed from the cache
+    /// instead of being rescanned per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.csr.cols() != b.csr.rows()`.
+    pub fn measure_pair(a: &PreparedOperand, b: &PreparedOperand) -> Self {
+        let task = TaskStats::of_with_csc(&a.csr, &a.csc, &b.csr);
+        TaskFeatures {
+            a_rows: a.csr.rows(),
+            b_cols: b.csr.cols(),
+            a_nnz: a.csr.nnz(),
+            b_nnz: b.csr.nnz(),
+            a_nonempty_rows: a.nonempty_rows,
+            b_nonempty_cols: b.nonempty_cols,
+            multiplies: task.multiplies,
+            output_nnz: task.output_nnz,
+            compression_factor: task.compression_factor,
+            occupied_cols: task.occupied_cols,
+        }
+    }
+
+    /// Measures the features of `a * b` where only the *right* operand is
+    /// cached — the chained-multiply case, where `a` is a freshly
+    /// materialized intermediate but `b` still comes from the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.csr.rows()`.
+    pub fn measure_rhs(a: &Csr, b: &PreparedOperand) -> Self {
+        let task = TaskStats::of(a, &b.csr);
+        TaskFeatures {
+            a_rows: a.rows(),
+            b_cols: b.csr.cols(),
+            a_nnz: a.nnz(),
+            b_nnz: b.csr.nnz(),
+            a_nonempty_rows: (0..a.rows()).filter(|&r| a.row_nnz(r) > 0).count(),
+            b_nonempty_cols: b.nonempty_cols,
+            multiplies: task.multiplies,
+            output_nnz: task.output_nnz,
+            compression_factor: task.compression_factor,
+            occupied_cols: task.occupied_cols,
+        }
+    }
+
+    /// Measures the features of `a * b`, reusing a cached CSC view of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible or `a_csc` mismatches `a`.
+    pub fn measure_with_csc(a: &Csr, a_csc: &Csc, b: &Csr) -> Self {
+        let task = TaskStats::of_with_csc(a, a_csc, b);
+        TaskFeatures::assemble(a, b, &task)
+    }
+
+    /// Measures the features of `a * b` from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn measure(a: &Csr, b: &Csr) -> Self {
+        let task = TaskStats::of(a, b);
+        TaskFeatures::assemble(a, b, &task)
+    }
+
+    fn assemble(a: &Csr, b: &Csr, task: &TaskStats) -> Self {
+        let mut col_seen = vec![false; b.cols()];
+        for &c in b.col_indices() {
+            col_seen[c as usize] = true;
+        }
+        TaskFeatures {
+            a_rows: a.rows(),
+            b_cols: b.cols(),
+            a_nnz: a.nnz(),
+            b_nnz: b.nnz(),
+            a_nonempty_rows: (0..a.rows()).filter(|&r| a.row_nnz(r) > 0).count(),
+            b_nonempty_cols: col_seen.iter().filter(|&&s| s).count(),
+            multiplies: task.multiplies,
+            output_nnz: task.output_nnz,
+            compression_factor: task.compression_factor,
+            occupied_cols: task.occupied_cols,
+        }
+    }
+}
+
+/// Deterministic analytic work units for running `backend` on a task with
+/// the given features. The absolute scale is arbitrary ("abstract ops");
+/// only ratios matter, and [`Calibration`] maps them to seconds.
+///
+/// The shapes encode each algorithm's asymptotics:
+///
+/// * Gustavson — `M` accumulator updates plus the per-row sort of the
+///   output (`O·log(avg row)`),
+/// * hash — the same plus probing overhead and the table scan,
+/// * heap — every popped product pays the heap's `log(row fill of A)`,
+/// * sort-merge (ESC) — the global `M·log M` sort dominates,
+/// * inner product — pair enumeration over non-empty rows × columns plus
+///   the merge comparisons, independent of `M`,
+/// * outer product — each of the `M` expanded entries crosses
+///   `log(partial count)` pairwise merge levels.
+pub fn model_cost(backend: Backend, f: &TaskFeatures) -> f64 {
+    let m = f.multiplies as f64;
+    let o = f.output_nnz as f64;
+    // Average output-row fill (for per-row sorts), clamped ≥ 2 so its log
+    // is positive.
+    let avg_out = (o / f.a_nonempty_rows.max(1) as f64).max(2.0);
+    match backend {
+        Backend::Gustavson => m + o * avg_out.log2(),
+        Backend::Hash => 1.7 * m + o * avg_out.log2(),
+        Backend::Heap => {
+            let avg_k = (f.a_nnz as f64 / f.a_nonempty_rows.max(1) as f64).max(1.0);
+            m * (1.0 + avg_k).log2().max(1.0) + o
+        }
+        Backend::SortMerge => m * m.max(2.0).log2(),
+        Backend::Inner => {
+            let pairs = f.a_nonempty_rows as f64 * f.b_nonempty_cols as f64;
+            pairs
+                + f.a_nonempty_rows as f64 * f.b_nnz as f64
+                + f.b_nonempty_cols as f64 * f.a_nnz as f64
+        }
+        Backend::Outer => m * (1.0 + (f.occupied_cols as f64).max(2.0).log2()) + o,
+    }
+}
+
+/// Per-backend seconds-per-model-unit, measured once at service start.
+///
+/// The analytic model prices backends in abstract units; this table turns
+/// them into a common currency by timing each backend on two structurally
+/// different probe tasks (uniform and power-law) and dividing the observed
+/// wall-clock by the modeled units. [`Calibration::reference`] is the
+/// pinned identity table for reproducible runs and tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Seconds per model unit, indexed like [`Backend::ALL`].
+    pub seconds_per_unit: Vec<f64>,
+}
+
+impl Calibration {
+    /// The identity table: every backend costs 1.0 per model unit, so the
+    /// dispatcher reduces to the pure analytic model. Fully reproducible.
+    pub fn reference() -> Self {
+        Calibration {
+            seconds_per_unit: vec![1.0; Backend::ALL.len()],
+        }
+    }
+
+    /// Measures the table by running every backend on two probe tasks
+    /// (uniform 96×96 and R-MAT 96) and averaging observed seconds per
+    /// model unit. Wall-clock based, so *not* run-to-run reproducible —
+    /// pass [`Calibration::reference`] to a service when determinism
+    /// matters more than fidelity.
+    pub fn measure(seed: u64) -> Self {
+        use sparch_sparse::gen;
+        let probes = [
+            (
+                gen::uniform_random(96, 96, 96 * 6, seed),
+                gen::uniform_random(96, 96, 96 * 6, seed + 1),
+            ),
+            (
+                gen::rmat_graph500(96, 6, seed + 2),
+                gen::rmat_graph500(96, 6, seed + 3),
+            ),
+        ];
+        let mut table = Vec::with_capacity(Backend::ALL.len());
+        for backend in Backend::ALL {
+            let mut per_unit = 0.0;
+            for (a, b) in &probes {
+                let feats = TaskFeatures::measure(a, b);
+                let units = model_cost(backend, &feats).max(1.0);
+                let t0 = std::time::Instant::now();
+                let _ = backend.run(a, b);
+                per_unit += t0.elapsed().as_secs_f64() / units;
+            }
+            table.push(per_unit / probes.len() as f64);
+        }
+        Calibration {
+            seconds_per_unit: table,
+        }
+    }
+
+    /// Seconds per model unit for `backend`.
+    pub fn seconds_for(&self, backend: Backend) -> f64 {
+        let idx = Backend::ALL
+            .iter()
+            .position(|&b| b == backend)
+            .expect("Backend::ALL covers every variant");
+        self.seconds_per_unit.get(idx).copied().unwrap_or(1.0)
+    }
+}
+
+/// How the service picks a backend per multiply step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Always use the given backend (reproducible; telemetry still records
+    /// the model cost, so fixed runs are comparable to adaptive ones).
+    Fixed(Backend),
+    /// Pick the cheapest backend per step under the calibrated work model.
+    Adaptive,
+}
+
+impl fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchPolicy::Fixed(b) => write!(f, "fixed:{b}"),
+            DispatchPolicy::Adaptive => f.write_str("adaptive"),
+        }
+    }
+}
+
+impl FromStr for DispatchPolicy {
+    type Err = String;
+
+    /// Parses `adaptive`, `fixed:<backend>`, or a bare backend name.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("adaptive") {
+            return Ok(DispatchPolicy::Adaptive);
+        }
+        let name = s.strip_prefix("fixed:").unwrap_or(s);
+        name.parse::<Backend>().map(DispatchPolicy::Fixed)
+    }
+}
+
+/// Chooses a backend per multiply step from task features, a policy, and
+/// a calibration table. Pure and deterministic: the same features, policy
+/// and table always produce the same choice, regardless of thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveDispatcher {
+    policy: DispatchPolicy,
+    calibration: Calibration,
+}
+
+impl AdaptiveDispatcher {
+    /// A dispatcher with the given policy and calibration table.
+    pub fn new(policy: DispatchPolicy, calibration: Calibration) -> Self {
+        AdaptiveDispatcher {
+            policy,
+            calibration,
+        }
+    }
+
+    /// The dispatch policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// The calibration table.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Picks the backend for one multiply step and returns it with its
+    /// calibrated model cost. Ties break toward the earlier entry of
+    /// [`Backend::ALL`].
+    pub fn choose(&self, features: &TaskFeatures) -> (Backend, f64) {
+        match self.policy {
+            DispatchPolicy::Fixed(backend) => (backend, self.calibrated_cost(backend, features)),
+            DispatchPolicy::Adaptive => {
+                let mut best = Backend::ALL[0];
+                let mut best_cost = self.calibrated_cost(best, features);
+                for &backend in &Backend::ALL[1..] {
+                    let cost = self.calibrated_cost(backend, features);
+                    if cost < best_cost {
+                        best = backend;
+                        best_cost = cost;
+                    }
+                }
+                (best, best_cost)
+            }
+        }
+    }
+
+    /// The calibrated model cost of running `backend` on `features`.
+    pub fn calibrated_cost(&self, backend: Backend, features: &TaskFeatures) -> f64 {
+        model_cost(backend, features) * self.calibration.seconds_for(backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparch_sparse::gen;
+
+    fn features(seed: u64) -> TaskFeatures {
+        let a = gen::rmat_graph500(64, 4, seed);
+        let b = gen::rmat_graph500(64, 4, seed + 10);
+        TaskFeatures::measure(&a, &b)
+    }
+
+    #[test]
+    fn adaptive_choice_is_never_worse_than_any_fixed_backend() {
+        let d = AdaptiveDispatcher::new(DispatchPolicy::Adaptive, Calibration::reference());
+        for seed in 0..10 {
+            let f = features(seed);
+            let (_, adaptive_cost) = d.choose(&f);
+            for backend in Backend::ALL {
+                assert!(
+                    adaptive_cost <= d.calibrated_cost(backend, &f) + 1e-9,
+                    "adaptive lost to {backend} at seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_policy_always_returns_its_backend() {
+        let d = AdaptiveDispatcher::new(
+            DispatchPolicy::Fixed(Backend::SortMerge),
+            Calibration::reference(),
+        );
+        for seed in 0..5 {
+            assert_eq!(d.choose(&features(seed)).0, Backend::SortMerge);
+        }
+    }
+
+    #[test]
+    fn features_with_cached_csc_match_direct_measurement() {
+        let a = gen::uniform_random(48, 40, 300, 3);
+        let b = gen::uniform_random(40, 56, 280, 4);
+        let csc = a.to_csc();
+        assert_eq!(
+            TaskFeatures::measure(&a, &b),
+            TaskFeatures::measure_with_csc(&a, &csc, &b)
+        );
+        assert_eq!(
+            TaskFeatures::measure(&a, &b),
+            TaskFeatures::measure_pair(
+                &PreparedOperand::prepare(a.clone()),
+                &PreparedOperand::prepare(b.clone())
+            )
+        );
+    }
+
+    #[test]
+    fn inner_product_wins_only_when_pair_space_is_tiny() {
+        // 4x4 nearly dense: the pair space is minuscule, sort_merge pays
+        // M log M, and inner's comparison count is small.
+        let a = gen::uniform_random(4, 4, 12, 1);
+        let b = gen::uniform_random(4, 4, 12, 2);
+        let small = TaskFeatures::measure(&a, &b);
+        // 512-row power-law squares: the pair space is enormous.
+        let a = gen::rmat_graph500(512, 8, 3);
+        let big = TaskFeatures::measure(&a, &a);
+        assert!(model_cost(Backend::Inner, &small) < model_cost(Backend::Inner, &big));
+        // On the big task, inner must be the most expensive class.
+        for backend in Backend::ALL {
+            if backend != Backend::Inner {
+                assert!(
+                    model_cost(backend, &big) < model_cost(Backend::Inner, &big),
+                    "{backend} should beat inner on a large sparse task"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_reference_is_identity() {
+        let c = Calibration::reference();
+        for backend in Backend::ALL {
+            assert_eq!(c.seconds_for(backend), 1.0);
+        }
+    }
+
+    #[test]
+    fn measured_calibration_is_positive_and_serializes() {
+        let c = Calibration::measure(11);
+        assert_eq!(c.seconds_per_unit.len(), Backend::ALL.len());
+        assert!(c.seconds_per_unit.iter().all(|&s| s > 0.0 && s.is_finite()));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Calibration = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(
+            "adaptive".parse::<DispatchPolicy>().unwrap(),
+            DispatchPolicy::Adaptive
+        );
+        assert_eq!(
+            "fixed:heap".parse::<DispatchPolicy>().unwrap(),
+            DispatchPolicy::Fixed(Backend::Heap)
+        );
+        assert_eq!(
+            "gustavson".parse::<DispatchPolicy>().unwrap(),
+            DispatchPolicy::Fixed(Backend::Gustavson)
+        );
+        assert!("fixed:quantum".parse::<DispatchPolicy>().is_err());
+        assert_eq!(DispatchPolicy::Adaptive.to_string(), "adaptive");
+        assert_eq!(
+            DispatchPolicy::Fixed(Backend::Hash).to_string(),
+            "fixed:hash_spgemm"
+        );
+    }
+}

@@ -1,0 +1,744 @@
+//! [`SpgemmService`]: batched request execution over the exec layer.
+//!
+//! A batch flows through three phases:
+//!
+//! 1. **Resolve** (sequential, submission order) — operand specs are
+//!    materialized once per name, then every request's operand references
+//!    probe the [`OperandCache`]; because this walk is sequential, the
+//!    per-request hit/miss telemetry and LRU evictions are identical at
+//!    any worker count.
+//! 2. **Execute** (parallel) — requests fan out through
+//!    [`ParallelRunner`] as independent workloads; each multiply step
+//!    measures its [`TaskFeatures`], asks the dispatcher for a backend,
+//!    and runs it. Choices depend only on matrix structure and the
+//!    calibration table, so they too are thread-count-invariant.
+//! 3. **Report** — per-request records (backend per step, model cost,
+//!    output shape, cache telemetry, wall time) aggregate into a
+//!    serializable [`BatchReport`].
+
+use crate::cache::{OperandCache, PreparedOperand};
+use crate::dispatch::{AdaptiveDispatcher, Calibration, DispatchPolicy, TaskFeatures};
+use crate::request::{Batch, Request};
+use crate::{Backend, ServeError};
+use serde::{Deserialize, Serialize};
+use sparch_exec::{ParallelRunner, ShardPool, Workload};
+use sparch_sparse::{linalg, Csr};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for a [`SpgemmService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Backend selection policy.
+    pub policy: DispatchPolicy,
+    /// Worker-thread override (`None` = `SPARCH_THREADS` / all cores).
+    pub threads: Option<usize>,
+    /// Operand-cache capacity, in operands.
+    pub cache_capacity: usize,
+    /// Calibration table. `None` measures one at service start for the
+    /// adaptive policy ([`Calibration::measure`]) and uses the pinned
+    /// [`Calibration::reference`] for fixed policies.
+    pub calibration: Option<Calibration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            policy: DispatchPolicy::Adaptive,
+            threads: None,
+            cache_capacity: 64,
+            calibration: None,
+        }
+    }
+}
+
+/// Telemetry for one served request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestReport {
+    /// Position of the request in the batch.
+    pub index: usize,
+    /// Request kind (`single` / `chain` / `power` / `masked`).
+    pub kind: String,
+    /// Backend chosen for each multiply step, in order.
+    pub backends: Vec<String>,
+    /// Number of multiply steps executed.
+    pub steps: usize,
+    /// Total calibrated model cost across the request's steps.
+    pub model_cost: f64,
+    /// Output shape: rows.
+    pub output_rows: usize,
+    /// Output shape: columns.
+    pub output_cols: usize,
+    /// Output stored entries.
+    pub output_nnz: usize,
+    /// Operand-cache hits while resolving this request's references.
+    pub cache_hits: u32,
+    /// Operand-cache misses while resolving this request's references.
+    pub cache_misses: u32,
+    /// Wall-clock seconds on the worker (not deterministic).
+    pub wall_seconds: f64,
+}
+
+/// Steps executed per backend over a batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendSteps {
+    /// The backend's name.
+    pub backend: String,
+    /// Multiply steps dispatched to it.
+    pub steps: u64,
+}
+
+/// The serializable result of serving one batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// The dispatch policy, as text (`adaptive` / `fixed:<backend>`).
+    pub policy: String,
+    /// Worker threads used for the execute phase.
+    pub threads: usize,
+    /// Number of requests served.
+    pub total_requests: usize,
+    /// Total multiply steps across all requests.
+    pub total_steps: usize,
+    /// Sum of per-request calibrated model costs — the "model-side work"
+    /// that makes runs under different policies comparable.
+    pub total_model_cost: f64,
+    /// Operand-cache hits across the batch's operand references.
+    pub cache_hits: u64,
+    /// Operand-cache misses across the batch's operand references.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)` for this batch (0 when no references).
+    pub cache_hit_rate: f64,
+    /// Multiply steps per backend, in [`Backend::ALL`] order.
+    pub backend_steps: Vec<BackendSteps>,
+    /// Wall-clock seconds for the whole batch (not deterministic).
+    pub wall_seconds: f64,
+    /// Per-request telemetry, in submission order.
+    pub requests: Vec<RequestReport>,
+}
+
+impl BatchReport {
+    /// A copy with every wall-clock field zeroed — the model-driven view
+    /// that must be bit-identical across worker counts (pinned by
+    /// `crates/serve/tests/service_batch.rs`).
+    pub fn without_timing(&self) -> BatchReport {
+        let mut stripped = self.clone();
+        stripped.wall_seconds = 0.0;
+        for r in &mut stripped.requests {
+            r.wall_seconds = 0.0;
+        }
+        stripped
+    }
+}
+
+/// A resolved, shape-checked request ready to execute.
+struct PlannedRequest {
+    index: usize,
+    request: Request,
+    ops: Vec<Arc<PreparedOperand>>,
+    cache_hits: u32,
+    cache_misses: u32,
+}
+
+/// The request-serving layer over the six software SpGEMM backends.
+///
+/// # Example
+///
+/// ```
+/// use sparch_serve::{Batch, DispatchPolicy, ServiceConfig, SpgemmService};
+/// use sparch_serve::request::{OperandDef, OperandSpec, Request};
+/// use sparch_sparse::gen::Recipe;
+///
+/// let batch = Batch {
+///     operands: vec![OperandDef {
+///         name: "g".into(),
+///         spec: OperandSpec::Gen {
+///             recipe: Recipe::Rmat { n: 64, avg_degree: 4 },
+///             seed: 1,
+///         },
+///     }],
+///     requests: vec![
+///         Request::Single { a: "g".into(), b: "g".into() },
+///         Request::Power { a: "g".into(), k: 3, threshold: 0.0 },
+///     ],
+/// };
+/// let mut service = SpgemmService::new(ServiceConfig {
+///     threads: Some(2),
+///     ..ServiceConfig::default()
+/// });
+/// let report = service.serve(&batch).unwrap();
+/// assert_eq!(report.total_requests, 2);
+/// assert!(report.cache_hits > 0); // "g" is reused across requests
+/// ```
+pub struct SpgemmService {
+    dispatcher: AdaptiveDispatcher,
+    cache: OperandCache,
+    pool: ShardPool,
+}
+
+impl SpgemmService {
+    /// Builds a service, measuring a calibration table at start if the
+    /// config does not pin one (see [`ServiceConfig::calibration`]).
+    pub fn new(config: ServiceConfig) -> Self {
+        let calibration = config.calibration.unwrap_or_else(|| match config.policy {
+            DispatchPolicy::Adaptive => Calibration::measure(0x5bac4),
+            DispatchPolicy::Fixed(_) => Calibration::reference(),
+        });
+        SpgemmService {
+            dispatcher: AdaptiveDispatcher::new(config.policy, calibration),
+            cache: OperandCache::new(config.cache_capacity),
+            pool: ShardPool::with_override(config.threads),
+        }
+    }
+
+    /// The dispatcher (policy + calibration) this service runs with.
+    pub fn dispatcher(&self) -> &AdaptiveDispatcher {
+        &self.dispatcher
+    }
+
+    /// The operand cache (persists across [`SpgemmService::serve`] calls).
+    pub fn cache(&self) -> &OperandCache {
+        &self.cache
+    }
+
+    /// Serves one batch: resolves operands through the cache, executes
+    /// every request across the worker pool, and returns the batch report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] if an operand fails to build, a request
+    /// references an unknown name, or shapes are incompatible. The batch
+    /// is validated before anything executes — a bad request fails the
+    /// whole batch rather than half-running it.
+    pub fn serve(&mut self, batch: &Batch) -> Result<BatchReport, ServeError> {
+        let wall_start = Instant::now();
+        let plans = self.resolve(batch)?;
+
+        let dispatcher = &self.dispatcher;
+        let jobs: Vec<RequestJob<'_>> = plans
+            .into_iter()
+            .map(|plan| RequestJob { plan, dispatcher })
+            .collect();
+        let timed = ParallelRunner::new(self.pool).quiet().run_all_timed(&jobs);
+
+        let mut requests: Vec<RequestReport> = Vec::with_capacity(timed.len());
+        for t in timed {
+            let mut report = t.record;
+            report.wall_seconds = t.run_seconds;
+            requests.push(report);
+        }
+
+        let cache_hits: u64 = requests.iter().map(|r| r.cache_hits as u64).sum();
+        let cache_misses: u64 = requests.iter().map(|r| r.cache_misses as u64).sum();
+        let refs = cache_hits + cache_misses;
+        let mut steps_per_backend: HashMap<&str, u64> = HashMap::new();
+        for r in &requests {
+            for b in &r.backends {
+                *steps_per_backend.entry(b.as_str()).or_insert(0) += 1;
+            }
+        }
+        Ok(BatchReport {
+            policy: self.dispatcher.policy().to_string(),
+            threads: self.pool.threads(),
+            total_requests: requests.len(),
+            total_steps: requests.iter().map(|r| r.steps).sum(),
+            total_model_cost: requests.iter().map(|r| r.model_cost).sum(),
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if refs == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / refs as f64
+            },
+            backend_steps: Backend::ALL
+                .iter()
+                .map(|b| BackendSteps {
+                    backend: b.name().to_string(),
+                    steps: steps_per_backend.get(b.name()).copied().unwrap_or(0),
+                })
+                .collect(),
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+            requests,
+        })
+    }
+
+    /// Phase 1: materialize operands, probe the cache in submission
+    /// order, and shape-check every request.
+    fn resolve(&mut self, batch: &Batch) -> Result<Vec<PlannedRequest>, ServeError> {
+        let mut specs = HashMap::new();
+        for def in &batch.operands {
+            if specs.insert(def.name.as_str(), &def.spec).is_some() {
+                return Err(ServeError::Operand(format!(
+                    "duplicate operand name {:?}",
+                    def.name
+                )));
+            }
+        }
+
+        // Per-name memo of the built + prepared operand: the first
+        // reference pays for the build, the fingerprint hash and (on a
+        // cache miss) the conversions; every later reference probes the
+        // cache by the memoized fingerprint — O(1), no rehash — with
+        // identical hit/miss/LRU semantics.
+        let mut resolved: HashMap<&str, Arc<PreparedOperand>> = HashMap::new();
+        let mut plans = Vec::with_capacity(batch.requests.len());
+        for (index, request) in batch.requests.iter().enumerate() {
+            let mut ops = Vec::new();
+            let (mut hits, mut misses) = (0u32, 0u32);
+            for name in request.operand_names() {
+                let (prepared, hit) = match resolved.get(name) {
+                    Some(prepared) => {
+                        let hit = self.cache.probe_prepared(prepared.fingerprint, prepared);
+                        (Arc::clone(prepared), hit)
+                    }
+                    None => {
+                        let Some(&spec) = specs.get(name) else {
+                            return Err(ServeError::Operand(format!(
+                                "request {index} references unknown operand {name:?}"
+                            )));
+                        };
+                        let (prepared, hit) = self.cache.get_or_prepare(&spec.build()?);
+                        resolved.insert(name, Arc::clone(&prepared));
+                        (prepared, hit)
+                    }
+                };
+                if hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                ops.push(prepared);
+            }
+            validate_shapes(index, request, &ops)?;
+            plans.push(PlannedRequest {
+                index,
+                request: request.clone(),
+                ops,
+                cache_hits: hits,
+                cache_misses: misses,
+            });
+        }
+        Ok(plans)
+    }
+}
+
+impl Default for SpgemmService {
+    fn default() -> Self {
+        SpgemmService::new(ServiceConfig::default())
+    }
+}
+
+fn validate_shapes(
+    index: usize,
+    request: &Request,
+    ops: &[Arc<PreparedOperand>],
+) -> Result<(), ServeError> {
+    let shape = |i: usize| (ops[i].csr.rows(), ops[i].csr.cols());
+    let mismatch = |msg: String| Err(ServeError::Shape(format!("request {index}: {msg}")));
+    match request {
+        Request::Single { .. } => {
+            if shape(0).1 != shape(1).0 {
+                return mismatch(format!("{:?} * {:?}", shape(0), shape(1)));
+            }
+        }
+        Request::Chain { operands } => {
+            if operands.len() < 2 {
+                return mismatch("chain needs at least two operands".into());
+            }
+            for w in 0..ops.len() - 1 {
+                if shape(w).1 != shape(w + 1).0 {
+                    return mismatch(format!(
+                        "chain link {w}: {:?} * {:?}",
+                        shape(w),
+                        shape(w + 1)
+                    ));
+                }
+            }
+        }
+        Request::Power { k, .. } => {
+            if *k == 0 {
+                return mismatch("power needs k >= 1".into());
+            }
+            if shape(0).0 != shape(0).1 {
+                return mismatch(format!("power needs a square operand, got {:?}", shape(0)));
+            }
+        }
+        Request::Masked { .. } => {
+            if shape(0).1 != shape(1).0 {
+                return mismatch(format!("{:?} * {:?}", shape(0), shape(1)));
+            }
+            if shape(2) != (shape(0).0, shape(1).1) {
+                return mismatch(format!(
+                    "mask shape {:?} != output shape {:?}",
+                    shape(2),
+                    (shape(0).0, shape(1).1)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One planned request as an exec-layer workload.
+struct RequestJob<'a> {
+    plan: PlannedRequest,
+    dispatcher: &'a AdaptiveDispatcher,
+}
+
+/// Running tally of one request's multiply steps.
+struct StepLog {
+    backends: Vec<String>,
+    model_cost: f64,
+}
+
+impl StepLog {
+    fn new() -> Self {
+        StepLog {
+            backends: Vec::new(),
+            model_cost: 0.0,
+        }
+    }
+
+    /// One multiply step with both operands from the cache: every cached
+    /// view (CSC, occupancy counts) feeds the feature measurement.
+    fn multiply_pair(
+        &mut self,
+        d: &AdaptiveDispatcher,
+        a: &PreparedOperand,
+        b: &PreparedOperand,
+    ) -> Csr {
+        let features = TaskFeatures::measure_pair(a, b);
+        self.dispatch(d, &features, &a.csr, &b.csr)
+    }
+
+    /// One multiply step on a plain (intermediate) left operand against a
+    /// cached right operand — the chain/power continuation case.
+    fn multiply_rhs(&mut self, d: &AdaptiveDispatcher, a: &Csr, b: &PreparedOperand) -> Csr {
+        let features = TaskFeatures::measure_rhs(a, b);
+        self.dispatch(d, &features, a, &b.csr)
+    }
+
+    fn dispatch(
+        &mut self,
+        d: &AdaptiveDispatcher,
+        features: &TaskFeatures,
+        a: &Csr,
+        b: &Csr,
+    ) -> Csr {
+        let (backend, cost) = d.choose(features);
+        self.backends.push(backend.name().to_string());
+        self.model_cost += cost;
+        backend.run(a, b)
+    }
+}
+
+impl Workload for RequestJob<'_> {
+    type Input = ();
+    type Record = RequestReport;
+
+    fn name(&self) -> String {
+        format!("req-{}", self.plan.index)
+    }
+
+    fn build(&self) {}
+
+    fn run(&self, (): ()) -> RequestReport {
+        let d = self.dispatcher;
+        let ops = &self.plan.ops;
+        let mut log = StepLog::new();
+        let result = match &self.plan.request {
+            Request::Single { .. } => log.multiply_pair(d, &ops[0], &ops[1]),
+            Request::Chain { .. } => {
+                let mut cur = log.multiply_pair(d, &ops[0], &ops[1]);
+                for next in &ops[2..] {
+                    cur = log.multiply_rhs(d, &cur, next);
+                }
+                cur
+            }
+            Request::Power { k, threshold, .. } => {
+                let a = &ops[0];
+                let mut cur = a.csr.clone();
+                for step in 1..*k {
+                    cur = if step == 1 {
+                        log.multiply_pair(d, a, a)
+                    } else {
+                        log.multiply_rhs(d, &cur, a)
+                    };
+                    if *threshold > 0.0 {
+                        cur = linalg::prune(&cur, *threshold);
+                    }
+                }
+                cur
+            }
+            Request::Masked { .. } => {
+                let product = log.multiply_pair(d, &ops[0], &ops[1]);
+                linalg::hadamard(&product, &ops[2].csr)
+            }
+        };
+        RequestReport {
+            index: self.plan.index,
+            kind: self.plan.request.kind().to_string(),
+            steps: log.backends.len(),
+            backends: log.backends,
+            model_cost: log.model_cost,
+            output_rows: result.rows(),
+            output_cols: result.cols(),
+            output_nnz: result.nnz(),
+            cache_hits: self.plan.cache_hits,
+            cache_misses: self.plan.cache_misses,
+            wall_seconds: 0.0, // filled from the runner's measurement
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{OperandDef, OperandSpec};
+    use sparch_sparse::gen::Recipe;
+    use sparch_sparse::{algo, gen};
+
+    fn gen_operand(name: &str, recipe: Recipe, seed: u64) -> OperandDef {
+        OperandDef {
+            name: name.into(),
+            spec: OperandSpec::Gen { recipe, seed },
+        }
+    }
+
+    fn fixed_service(backend: Backend) -> SpgemmService {
+        SpgemmService::new(ServiceConfig {
+            policy: DispatchPolicy::Fixed(backend),
+            threads: Some(2),
+            calibration: Some(Calibration::reference()),
+            ..ServiceConfig::default()
+        })
+    }
+
+    fn small_batch() -> Batch {
+        Batch {
+            operands: vec![
+                gen_operand(
+                    "g",
+                    Recipe::Rmat {
+                        n: 48,
+                        avg_degree: 4,
+                    },
+                    1,
+                ),
+                gen_operand(
+                    "u",
+                    Recipe::Uniform {
+                        rows: 48,
+                        cols: 48,
+                        nnz: 200,
+                    },
+                    2,
+                ),
+            ],
+            requests: vec![
+                Request::Single {
+                    a: "g".into(),
+                    b: "u".into(),
+                },
+                Request::Chain {
+                    operands: vec!["g".into(), "u".into(), "g".into()],
+                },
+                Request::Power {
+                    a: "g".into(),
+                    k: 3,
+                    threshold: 0.0,
+                },
+                Request::Masked {
+                    a: "g".into(),
+                    b: "g".into(),
+                    mask: "u".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn results_match_direct_computation() {
+        let mut service = fixed_service(Backend::Gustavson);
+        let report = service.serve(&small_batch()).unwrap();
+        let g = Recipe::Rmat {
+            n: 48,
+            avg_degree: 4,
+        }
+        .build(1);
+        let u = Recipe::Uniform {
+            rows: 48,
+            cols: 48,
+            nnz: 200,
+        }
+        .build(2);
+
+        assert_eq!(report.requests[0].output_nnz, algo::gustavson(&g, &u).nnz());
+        let chain = algo::gustavson(&algo::gustavson(&g, &u), &g);
+        assert_eq!(report.requests[1].output_nnz, chain.nnz());
+        let cube = algo::gustavson(&algo::gustavson(&g, &g), &g);
+        assert_eq!(report.requests[2].output_nnz, cube.nnz());
+        let masked = linalg::hadamard(&algo::gustavson(&g, &g), &u);
+        assert_eq!(report.requests[3].output_nnz, masked.nnz());
+
+        assert_eq!(report.total_steps, 1 + 2 + 2 + 1);
+        assert!(report
+            .requests
+            .iter()
+            .all(|r| r.backends.iter().all(|b| b == "gustavson")));
+    }
+
+    #[test]
+    fn cache_hits_accumulate_within_and_across_batches() {
+        let mut service = fixed_service(Backend::Gustavson);
+        let report = service.serve(&small_batch()).unwrap();
+        // 9 operand references over 2 distinct operands: 2 misses.
+        assert_eq!(report.cache_misses, 2);
+        assert_eq!(report.cache_hits, 7);
+        assert!(report.cache_hit_rate > 0.7);
+        // Second serve of the same batch: everything hits.
+        let second = service.serve(&small_batch()).unwrap();
+        assert_eq!(second.cache_misses, 0);
+        assert_eq!(second.cache_hits, 9);
+    }
+
+    #[test]
+    fn power_resparsification_prunes() {
+        let ops = vec![gen_operand(
+            "m",
+            Recipe::Uniform {
+                rows: 40,
+                cols: 40,
+                nnz: 300,
+            },
+            5,
+        )];
+        let with_prune = Batch {
+            operands: ops.clone(),
+            requests: vec![Request::Power {
+                a: "m".into(),
+                k: 3,
+                threshold: 0.5,
+            }],
+        };
+        let without = Batch {
+            operands: ops,
+            requests: vec![Request::Power {
+                a: "m".into(),
+                k: 3,
+                threshold: 0.0,
+            }],
+        };
+        let mut service = fixed_service(Backend::Gustavson);
+        let pruned_nnz = service.serve(&with_prune).unwrap().requests[0].output_nnz;
+        let full_nnz = service.serve(&without).unwrap().requests[0].output_nnz;
+        assert!(pruned_nnz < full_nnz, "{pruned_nnz} !< {full_nnz}");
+        // The pruned result matches pruning applied between direct multiplies.
+        let m = gen::uniform_random(40, 40, 300, 5);
+        let sq = linalg::prune(&algo::gustavson(&m, &m), 0.5);
+        let cube = linalg::prune(&algo::gustavson(&sq, &m), 0.5);
+        assert_eq!(pruned_nnz, cube.nnz());
+    }
+
+    #[test]
+    fn power_k1_copies_the_operand() {
+        let batch = Batch {
+            operands: vec![gen_operand(
+                "m",
+                Recipe::Uniform {
+                    rows: 16,
+                    cols: 16,
+                    nnz: 60,
+                },
+                1,
+            )],
+            requests: vec![Request::Power {
+                a: "m".into(),
+                k: 1,
+                threshold: 0.0,
+            }],
+        };
+        let report = fixed_service(Backend::Heap).serve(&batch).unwrap();
+        assert_eq!(report.requests[0].steps, 0);
+        assert_eq!(
+            report.requests[0].output_nnz,
+            Recipe::Uniform {
+                rows: 16,
+                cols: 16,
+                nnz: 60
+            }
+            .build(1)
+            .nnz()
+        );
+    }
+
+    #[test]
+    fn bad_batches_fail_before_executing() {
+        let mut service = fixed_service(Backend::Gustavson);
+        let unknown = Batch {
+            operands: vec![],
+            requests: vec![Request::Single {
+                a: "ghost".into(),
+                b: "ghost".into(),
+            }],
+        };
+        assert!(matches!(
+            service.serve(&unknown),
+            Err(ServeError::Operand(_))
+        ));
+
+        let rect = gen_operand(
+            "r",
+            Recipe::Uniform {
+                rows: 8,
+                cols: 12,
+                nnz: 20,
+            },
+            1,
+        );
+        let mismatched = Batch {
+            operands: vec![rect.clone()],
+            requests: vec![Request::Single {
+                a: "r".into(),
+                b: "r".into(),
+            }],
+        };
+        assert!(matches!(
+            service.serve(&mismatched),
+            Err(ServeError::Shape(_))
+        ));
+
+        let non_square_power = Batch {
+            operands: vec![rect.clone()],
+            requests: vec![Request::Power {
+                a: "r".into(),
+                k: 2,
+                threshold: 0.0,
+            }],
+        };
+        assert!(matches!(
+            service.serve(&non_square_power),
+            Err(ServeError::Shape(_))
+        ));
+
+        let short_chain = Batch {
+            operands: vec![rect],
+            requests: vec![Request::Chain {
+                operands: vec!["r".into()],
+            }],
+        };
+        assert!(matches!(
+            service.serve(&short_chain),
+            Err(ServeError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn report_serializes_and_round_trips() {
+        let mut service = fixed_service(Backend::Hash);
+        let report = service.serve(&small_batch()).unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: BatchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,239 @@
+//! Acceptance test for the serving layer (ISSUE 3):
+//!
+//! A 1000-request mixed batch (single / chained / masked / power over
+//! 10 distinct operands) completes through `SpgemmService` with a
+//! serializable report showing per-request backend choices and a
+//! positive operand-cache hit rate, deterministic across worker counts
+//! 1/2/8 under the `Fixed` policy; and the adaptive policy's total
+//! model-side work is no worse than the best single fixed backend
+//! by more than 10% on that batch.
+
+use sparch_serve::prelude::*;
+use sparch_sparse::gen::Recipe;
+
+/// Ten distinct operands: eight square 64×64 with different structures
+/// and seeds, plus two rectangular ones for the single-multiply mix.
+fn operands() -> Vec<OperandDef> {
+    let gen = |name: &str, recipe: Recipe, seed: u64| OperandDef {
+        name: name.into(),
+        spec: OperandSpec::Gen { recipe, seed },
+    };
+    vec![
+        gen(
+            "rmat_a",
+            Recipe::Rmat {
+                n: 64,
+                avg_degree: 4,
+            },
+            11,
+        ),
+        gen(
+            "rmat_b",
+            Recipe::Rmat {
+                n: 64,
+                avg_degree: 6,
+            },
+            12,
+        ),
+        gen(
+            "uni_a",
+            Recipe::Uniform {
+                rows: 64,
+                cols: 64,
+                nnz: 320,
+            },
+            13,
+        ),
+        gen(
+            "uni_b",
+            Recipe::Uniform {
+                rows: 64,
+                cols: 64,
+                nnz: 512,
+            },
+            14,
+        ),
+        gen(
+            "poisson",
+            Recipe::Poisson3d {
+                nx: 4,
+                ny: 4,
+                nz: 4,
+            },
+            15,
+        ),
+        gen(
+            "banded",
+            Recipe::Banded {
+                n: 64,
+                half_bandwidth: 2,
+                extra_nnz: 64,
+            },
+            16,
+        ),
+        gen(
+            "powerlaw",
+            Recipe::PowerlawRows {
+                n: 64,
+                nnz: 400,
+                alpha: 1.8,
+            },
+            17,
+        ),
+        gen(
+            "blocks",
+            Recipe::BlockSparse {
+                rows: 64,
+                cols: 64,
+                block: 4,
+                block_density: 0.2,
+            },
+            18,
+        ),
+        gen(
+            "rect_l",
+            Recipe::Uniform {
+                rows: 48,
+                cols: 64,
+                nnz: 300,
+            },
+            19,
+        ),
+        gen(
+            "rect_r",
+            Recipe::Uniform {
+                rows: 64,
+                cols: 32,
+                nnz: 250,
+            },
+            20,
+        ),
+    ]
+}
+
+/// 1000 requests cycling through all four kinds over the square
+/// operands, with the rectangular pair mixed into the singles.
+fn thousand_requests() -> Vec<Request> {
+    let square = [
+        "rmat_a", "rmat_b", "uni_a", "uni_b", "poisson", "banded", "powerlaw", "blocks",
+    ];
+    let sq = |i: usize| square[i % square.len()].to_string();
+    (0..1000)
+        .map(|i| match i % 4 {
+            0 => {
+                if i % 12 == 0 {
+                    Request::Single {
+                        a: "rect_l".into(),
+                        b: sq(i),
+                    }
+                } else if i % 12 == 4 {
+                    Request::Single {
+                        a: sq(i),
+                        b: "rect_r".into(),
+                    }
+                } else {
+                    Request::Single {
+                        a: sq(i),
+                        b: sq(i + 1),
+                    }
+                }
+            }
+            1 => Request::Chain {
+                operands: vec![sq(i), sq(i + 2), sq(i + 3)],
+            },
+            2 => Request::Power {
+                a: sq(i),
+                k: 2 + (i as u32 % 2),
+                threshold: if i % 8 == 2 { 0.5 } else { 0.0 },
+            },
+            _ => Request::Masked {
+                a: sq(i),
+                b: sq(i + 1),
+                mask: sq(i + 2),
+            },
+        })
+        .collect()
+}
+
+fn batch() -> Batch {
+    Batch {
+        operands: operands(),
+        requests: thousand_requests(),
+    }
+}
+
+fn run(policy: DispatchPolicy, threads: usize) -> BatchReport {
+    let mut service = SpgemmService::new(ServiceConfig {
+        policy,
+        threads: Some(threads),
+        cache_capacity: 64,
+        calibration: Some(Calibration::reference()),
+    });
+    service.serve(&batch()).expect("batch must serve")
+}
+
+#[test]
+fn thousand_request_batch_is_deterministic_across_thread_counts() {
+    let baseline = run(DispatchPolicy::Fixed(Backend::Gustavson), 1);
+    assert_eq!(baseline.total_requests, 1000);
+    assert_eq!(baseline.threads, 1);
+    // Every request records its backend choice, and the operand cache
+    // pays off: 10 misses for ~2250 references.
+    assert!(baseline
+        .requests
+        .iter()
+        .all(|r| r.steps == 0 || !r.backends.is_empty()));
+    assert!(baseline.cache_hit_rate > 0.9, "{}", baseline.cache_hit_rate);
+    assert_eq!(baseline.cache_misses, 10);
+
+    // The report is serializable and round-trips.
+    let json = serde_json::to_string(&baseline).unwrap();
+    let back: BatchReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(baseline, back);
+
+    // Model-driven content is bit-identical at 2 and 8 workers.
+    let view = baseline.without_timing();
+    for threads in [2, 8] {
+        let mut other = run(DispatchPolicy::Fixed(Backend::Gustavson), threads);
+        assert_eq!(other.threads, threads);
+        other.threads = view.threads; // the only legitimately varying model field
+        assert_eq!(
+            other.without_timing(),
+            view,
+            "fixed-policy report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn adaptive_total_model_work_is_within_10_percent_of_best_fixed() {
+    let adaptive = run(DispatchPolicy::Adaptive, 2);
+    assert_eq!(adaptive.total_requests, 1000);
+    assert!(adaptive.cache_hit_rate > 0.0);
+
+    let mut best_fixed = f64::INFINITY;
+    let mut best_name = "";
+    for backend in Backend::ALL {
+        let report = run(DispatchPolicy::Fixed(backend), 2);
+        if report.total_model_cost < best_fixed {
+            best_fixed = report.total_model_cost;
+            best_name = backend.name();
+        }
+    }
+    assert!(
+        adaptive.total_model_cost <= best_fixed * 1.10,
+        "adaptive model work {} exceeds best fixed backend {} ({}) by more than 10%",
+        adaptive.total_model_cost,
+        best_name,
+        best_fixed
+    );
+
+    // The adaptive policy actually exercises its freedom: more than one
+    // backend appears across the batch.
+    let used = adaptive
+        .backend_steps
+        .iter()
+        .filter(|b| b.steps > 0)
+        .count();
+    assert!(used > 1, "adaptive dispatch collapsed to a single backend");
+}

@@ -77,10 +77,13 @@ mod tests {
 
     #[test]
     fn matches_gustavson_on_random() {
+        let pairs = gen::arb::spgemm_pair(25, 100, gen::arb::ValueClass::Float);
         for seed in 0..5 {
-            let a = gen::uniform_random(20, 25, 100, seed);
-            let b = gen::uniform_random(25, 15, 90, seed + 50);
-            assert!(hash_spgemm(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9));
+            let (a, b) = gen::arb::sample(&pairs, seed);
+            assert!(
+                hash_spgemm(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9),
+                "seed {seed}"
+            );
         }
     }
 

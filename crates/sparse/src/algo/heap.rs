@@ -81,10 +81,13 @@ mod tests {
 
     #[test]
     fn matches_gustavson_on_random() {
+        let pairs = gen::arb::spgemm_pair(22, 90, gen::arb::ValueClass::Float);
         for seed in 0..5 {
-            let a = gen::uniform_random(18, 22, 90, seed);
-            let b = gen::uniform_random(22, 13, 80, seed + 30);
-            assert!(heap_spgemm(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9));
+            let (a, b) = gen::arb::sample(&pairs, seed);
+            assert!(
+                heap_spgemm(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9),
+                "seed {seed}"
+            );
         }
     }
 

@@ -87,10 +87,13 @@ mod tests {
 
     #[test]
     fn matches_gustavson_on_random() {
+        let pairs = gen::arb::spgemm_pair(18, 60, gen::arb::ValueClass::Float);
         for seed in 0..4 {
-            let a = gen::uniform_random(15, 18, 60, seed);
-            let b = gen::uniform_random(18, 12, 50, seed + 20);
-            assert!(inner_product(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9));
+            let (a, b) = gen::arb::sample(&pairs, seed);
+            assert!(
+                inner_product(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9),
+                "seed {seed}"
+            );
         }
     }
 

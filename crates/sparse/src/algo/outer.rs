@@ -129,10 +129,13 @@ mod tests {
 
     #[test]
     fn matches_gustavson_on_random() {
+        let pairs = gen::arb::spgemm_pair(17, 55, gen::arb::ValueClass::Float);
         for seed in 0..4 {
-            let a = gen::uniform_random(14, 17, 55, seed);
-            let b = gen::uniform_random(17, 13, 45, seed + 60);
-            assert!(outer_product(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9));
+            let (a, b) = gen::arb::sample(&pairs, seed);
+            assert!(
+                outer_product(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9),
+                "seed {seed}"
+            );
         }
     }
 

@@ -66,10 +66,13 @@ mod tests {
 
     #[test]
     fn matches_gustavson_on_random() {
+        let pairs = gen::arb::spgemm_pair(20, 70, gen::arb::ValueClass::Float);
         for seed in 0..5 {
-            let a = gen::uniform_random(15, 20, 70, seed);
-            let b = gen::uniform_random(20, 12, 60, seed + 40);
-            assert!(sort_merge(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9));
+            let (a, b) = gen::arb::sample(&pairs, seed);
+            assert!(
+                sort_merge(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9),
+                "seed {seed}"
+            );
         }
     }
 

@@ -300,6 +300,38 @@ impl Csr {
         self.nnz() as u64 * 12 + (self.rows as u64 + 1) * 8
     }
 
+    /// A 64-bit structural+value fingerprint of this matrix (FNV-1a over
+    /// the shape, row pointers, column indices and value bit patterns).
+    ///
+    /// Two matrices with equal fingerprints are, for serving purposes, the
+    /// same operand: the `sparch-serve` operand cache keys its stored
+    /// CSC/statistics conversions on this value so repeated operands reuse
+    /// their conversions across requests. Equal matrices always produce
+    /// equal fingerprints; collisions between different matrices are
+    /// possible in principle but need ~2^32 distinct operands to expect.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.rows as u64);
+        eat(self.cols as u64);
+        for &p in &self.row_ptr {
+            eat(p as u64);
+        }
+        for &c in &self.col_idx {
+            eat(c as u64);
+        }
+        for &v in &self.values {
+            eat(v.to_bits());
+        }
+        h
+    }
+
     /// Strict equality of structure plus value agreement within `tol`
     /// (absolute). Useful for comparing results of different SpGEMM
     /// algorithms whose floating-point summation orders differ.
@@ -556,6 +588,22 @@ mod tests {
         assert!(a.approx_eq(&b, 1e-12));
         b.values[0] += 1.0;
         assert!(!a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_is_stable() {
+        let m = sample();
+        assert_eq!(m.fingerprint(), sample().fingerprint());
+        // Value change, structure change, and shape change all move it.
+        let mut v = sample();
+        v.values[0] += 1.0;
+        assert_ne!(m.fingerprint(), v.fingerprint());
+        assert_ne!(m.fingerprint(), m.transpose().fingerprint());
+        assert_ne!(Csr::zero(2, 3).fingerprint(), Csr::zero(3, 2).fingerprint());
+        // An explicit zero is a different operand from a missing entry.
+        let with_zero = Csr::try_new(1, 2, vec![0, 1], vec![0], vec![0.0]).unwrap();
+        let without = Csr::zero(1, 2);
+        assert_ne!(with_zero.fingerprint(), without.fingerprint());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! matrices, banded-plus-random for circuit-like matrices. All generators
 //! take an explicit `seed` and are fully deterministic.
 
+#[cfg(any(test, feature = "arb"))]
+pub mod arb;
 mod rmat;
 mod structured;
 

@@ -284,6 +284,108 @@ mod tests {
     }
 
     #[test]
+    fn parse_integer_field() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 1 3\n2 2 -7\n";
+        let m = read_str(text).unwrap();
+        assert_eq!(m.entries(), &[(0, 0, 3.0), (1, 1, -7.0)]);
+    }
+
+    #[test]
+    fn parse_pattern_symmetric_expands_with_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n";
+        let mut m = read_str(text).unwrap();
+        m.sort_dedup();
+        assert_eq!(m.entries(), &[(0, 1, 1.0), (1, 0, 1.0), (2, 2, 1.0)]);
+    }
+
+    #[test]
+    fn symmetric_diagonal_entries_are_not_mirrored() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 2 9\n";
+        let m = read_str(text).unwrap();
+        assert_eq!(m.entries(), &[(1, 1, 9.0)]);
+    }
+
+    #[test]
+    fn malformed_headers_are_errors_not_panics() {
+        let cases = [
+            "",                                                                // empty stream
+            "%%MatrixMarket\n1 1 0\n",                                         // too few tokens
+            "%%MatrixMarket vector coordinate real general\n1 1 0\n",          // not a matrix
+            "%%MatrixMarket matrix array real general\n1 1 0\n",               // dense format
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",       // unsupported field
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n", // unsupported symmetry
+            "%%MatrixMarket matrix coordinate real general\n",          // missing size line
+            "%%MatrixMarket matrix coordinate real general\n2 2\n",     // short size line
+            "%%MatrixMarket matrix coordinate real general\nx 2 0\n",   // non-numeric size
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n", // missing col
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n", // missing value
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n", // bad value
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n-1 1 1\n", // negative index
+        ];
+        for text in cases {
+            assert!(
+                matches!(read_str(text), Err(SparseError::Parse(_))),
+                "expected Parse error for {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_indices_are_errors_not_panics() {
+        // One-based format: index 0 is out of range, as is anything past
+        // the declared shape.
+        let cases = [
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 0 1\n",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 9 1\n",
+            "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 3\n",
+        ];
+        for text in cases {
+            assert!(
+                matches!(read_str(text), Err(SparseError::IndexOutOfBounds { .. })),
+                "expected IndexOutOfBounds for {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn declared_count_must_match_even_with_comments() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% c\n2 2 2\n1 1 1\n% mid\n";
+        assert!(matches!(read_str(text), Err(SparseError::Parse(_))));
+    }
+
+    mod roundtrip {
+        use super::*;
+        use crate::gen::arb;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // write → read is lossless for arbitrary matrices, including
+            // explicit zeros and degenerate 1×N / N×1 shapes.
+            #[test]
+            fn write_read_round_trip(
+                m in arb::csr_with(24, 24, 80, arb::ValueClass::SmallIntWithZeros)
+            ) {
+                let text = write_string(&m.to_coo());
+                let back = read_str(&text).unwrap();
+                prop_assert_eq!(back.to_csr(), m);
+            }
+
+            #[test]
+            fn float_values_survive_the_text_format(
+                m in arb::csr_with(16, 16, 60, arb::ValueClass::Float)
+            ) {
+                let back = read_str(&write_string(&m.to_coo())).unwrap().to_csr();
+                // Display/parse of f64 is exact (shortest round-trip repr).
+                prop_assert_eq!(back, m);
+            }
+        }
+    }
+
+    #[test]
     fn file_round_trip() {
         let dir = std::env::temp_dir();
         let path = dir.join("sparch_mm_test.mtx");

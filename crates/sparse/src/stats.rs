@@ -6,7 +6,7 @@
 //! and the output size. This module computes them in one pass so the
 //! simulator, scheduler and benchmark reports share definitions.
 
-use crate::{algo, Csr};
+use crate::{algo, Csc, Csr};
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics of one matrix.
@@ -92,6 +92,24 @@ impl TaskStats {
     ///
     /// Panics if `a.cols() != b.rows()`.
     pub fn of(a: &Csr, b: &Csr) -> Self {
+        TaskStats::of_with_csc(a, &a.to_csc(), b)
+    }
+
+    /// Like [`TaskStats::of`], but reuses an already-materialized CSC view
+    /// of `a` instead of converting again. The `sparch-serve` operand cache
+    /// keeps one CSC per cached operand precisely so repeated requests pay
+    /// for this conversion once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()` or if `a_csc` has a different
+    /// shape from `a`.
+    pub fn of_with_csc(a: &Csr, a_csc: &Csc, b: &Csr) -> Self {
+        assert_eq!(
+            (a.rows(), a.cols()),
+            (a_csc.rows(), a_csc.cols()),
+            "CSC view does not match the CSR operand"
+        );
         let multiplies = algo::multiply_flops(a, b);
         let output_nnz = algo::product_nnz(a, b);
         let flops = 2 * multiplies;
@@ -106,7 +124,7 @@ impl TaskStats {
                 multiplies as f64 / output_nnz as f64
             },
             condensed_cols: a.max_row_nnz(),
-            occupied_cols: a.to_csc().occupied_cols(),
+            occupied_cols: a_csc.occupied_cols(),
             operational_intensity: if bytes == 0 {
                 0.0
             } else {
@@ -186,6 +204,14 @@ mod tests {
         let a = gen::rmat_graph500(2048, 8, 9);
         let t = TaskStats::of(&a, &a);
         assert!(t.condensed_cols < t.occupied_cols);
+    }
+
+    #[test]
+    fn cached_csc_gives_identical_stats() {
+        let a = gen::rmat_graph500(128, 4, 7);
+        let b = gen::uniform_random(128, 96, 600, 8);
+        let csc = a.to_csc();
+        assert_eq!(TaskStats::of(&a, &b), TaskStats::of_with_csc(&a, &csc, &b));
     }
 
     #[test]

@@ -4,17 +4,22 @@
 //! sparch-cli multiply --a matrix.mtx [--b other.mtx] [--verify] [--json out.json]
 //! sparch-cli generate --kind rmat --n 4096 --degree 8 --out matrix.mtx
 //! sparch-cli stats --a matrix.mtx
+//! sparch-cli batch --file requests.json [--policy adaptive] [--threads N] [--json out.json]
 //! ```
 //!
 //! `multiply` simulates `A × B` (B defaults to A), printing the same
 //! report the paper's evaluation measures: GFLOP/s, per-category DRAM
 //! traffic, prefetch hit rate, energy breakdown. `generate` writes
 //! synthetic workloads in Matrix Market format; `stats` prints the
-//! structural quantities SpArch's performance depends on.
+//! structural quantities SpArch's performance depends on. `batch` runs a
+//! JSON request file through the `sparch-serve` layer — adaptive backend
+//! dispatch, operand caching, sharded execution — and prints the batch
+//! report.
 
 use sparch::baselines::OuterSpaceModel;
 use sparch::core::{SpArchConfig, SpArchSim};
 use sparch::mem::TrafficCategory;
+use sparch::serve::{Batch, Calibration, DispatchPolicy, ServiceConfig, SpgemmService};
 use sparch::sparse::{algo, gen, mm, stats, Csr};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -24,7 +29,9 @@ fn usage() -> ! {
         "usage:\n  sparch-cli multiply --a <mtx> [--b <mtx>] [--layers N] [--no-prefetch] \
          [--no-condense] [--verify] [--json <path>]\n  sparch-cli generate --kind \
          <rmat|uniform|poisson|banded> --n <N> [--degree D] [--seed S] --out <mtx>\n  \
-         sparch-cli stats --a <mtx>"
+         sparch-cli stats --a <mtx>\n  sparch-cli batch --file <requests.json> \
+         [--policy adaptive|fixed:<backend>] [--threads N] [--reference-calibration] \
+         [--json <path>]"
     );
     std::process::exit(2);
 }
@@ -197,6 +204,89 @@ fn cmd_stats(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_batch(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(file) = flags.get("file") else {
+        usage()
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("failed to read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batch = match Batch::from_json(&text) {
+        Ok(batch) => batch,
+        Err(e) => {
+            eprintln!("failed to parse {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let policy = match flags.get("policy") {
+        Some(p) => match p.parse::<DispatchPolicy>() {
+            Ok(policy) => policy,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => DispatchPolicy::Adaptive,
+    };
+    // `--reference-calibration` pins the identity table so repeated runs
+    // (and runs on different machines) dispatch identically.
+    let calibration = flags
+        .contains_key("reference-calibration")
+        .then(Calibration::reference);
+    let threads = flags
+        .get("threads")
+        .map(|v| v.parse().expect("--threads needs a number"));
+
+    let mut service = SpgemmService::new(ServiceConfig {
+        policy,
+        threads,
+        calibration,
+        ..ServiceConfig::default()
+    });
+    let report = match service.serve(&batch) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("batch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "served {} requests ({} multiply steps) on {} thread(s), policy {}",
+        report.total_requests, report.total_steps, report.threads, report.policy
+    );
+    println!(
+        "operand cache: {} hits / {} misses ({:.1}% hit rate)",
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_hit_rate * 100.0
+    );
+    println!(
+        "total model-side work: {:.3e} units",
+        report.total_model_cost
+    );
+    println!("wall: {:.3} s\n", report.wall_seconds);
+    println!("backend            steps");
+    for bs in &report.backend_steps {
+        println!("{:>16} {:>7}", bs.backend, bs.steps);
+    }
+
+    if let Some(path) = flags.get("json") {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report).expect("serialize"),
+        )
+        .expect("write json");
+        println!("\nreport written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -207,6 +297,7 @@ fn main() -> ExitCode {
         "multiply" => cmd_multiply(&flags),
         "generate" => cmd_generate(&flags),
         "stats" => cmd_stats(&flags),
+        "batch" => cmd_batch(&flags),
         _ => usage(),
     }
 }

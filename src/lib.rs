@@ -13,6 +13,8 @@
 //!   execute → writeback with reusable [`core::SimScratch`] buffers,
 //! * [`exec`] — the parallel sharded execution layer ([`exec::ShardPool`],
 //!   [`exec::Workload`], [`exec::ParallelRunner`]) for multi-core sweeps,
+//! * [`serve`] — the request-serving layer ([`serve::SpgemmService`],
+//!   adaptive backend dispatch, operand caching, batch reports),
 //! * [`baselines`] — the OuterSPACE model and software baseline proxies.
 //!
 //! # Quickstart
@@ -36,6 +38,7 @@ pub use sparch_core as core;
 pub use sparch_engine as engine;
 pub use sparch_exec as exec;
 pub use sparch_mem as mem;
+pub use sparch_serve as serve;
 pub use sparch_sparse as sparse;
 
 /// Commonly used items, importable in one line.
@@ -46,5 +49,9 @@ pub mod prelude {
     };
     pub use sparch_engine::{Clock, Clocked, MergeItem, MergeTree, MergeTreeConfig};
     pub use sparch_exec::{FnWorkload, ParallelRunner, ShardPool, Workload};
+    pub use sparch_serve::{
+        Backend, Batch, BatchReport, Calibration, DispatchPolicy, Request, ServiceConfig,
+        SpgemmService,
+    };
     pub use sparch_sparse::{Coo, Csc, Csr, CsrBuilder, Dense, Index, Triple, Value};
 }

@@ -1,0 +1,292 @@
+//! Differential conformance harness for the six software SpGEMM backends.
+//!
+//! Every backend is run over a grid of generator classes — R-MAT,
+//! structured (Poisson / banded / block-sparse / power-law), rectangular,
+//! matrices with empty rows and columns, explicit stored zeros,
+//! duplicate-coordinate COO inputs, and the degenerate `1×N` / `N×1`
+//! shapes — and each result is checked against the dense reference
+//! (value-exact to 1e-9) and against `gustavson` (structure-exact).
+//! On failure the harness reports the first diverging `(backend, class,
+//! seed)` triple, which is exactly the reproducer a fix needs.
+//!
+//! This suite is the serving layer's safety net: `sparch-serve` may
+//! route any request to any backend, so "all backends agree everywhere"
+//! is a correctness precondition for adaptive dispatch.
+
+use sparch::serve::Backend;
+use sparch::sparse::gen::arb::{self, ValueClass};
+use sparch::sparse::{algo, gen, Coo, Csr};
+
+/// One grid point: a labeled, seeded operand pair.
+struct GridPoint {
+    class: &'static str,
+    seed: u64,
+    a: Csr,
+    b: Csr,
+}
+
+fn point(class: &'static str, seed: u64, a: Csr, b: Csr) -> GridPoint {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "grid point {class}/{seed} built an incompatible pair"
+    );
+    GridPoint { class, seed, a, b }
+}
+
+/// Checks every backend on one grid point. Returns the first divergence
+/// as `(backend, what)` instead of asserting, so the caller can attach
+/// the class and seed.
+fn check_point(p: &GridPoint) -> Result<(), (String, String)> {
+    let oracle = p.a.to_dense().matmul(&p.b.to_dense());
+    let reference = algo::gustavson(&p.a, &p.b);
+    // Backend::ALL is the serving layer's dispatch universe: a seventh
+    // backend added there automatically inherits every grid class here.
+    for backend in Backend::ALL {
+        let name = backend.name();
+        let c = backend.run(&p.a, &p.b);
+        if (c.rows(), c.cols()) != (p.a.rows(), p.b.cols()) {
+            return Err((
+                name.into(),
+                format!(
+                    "output shape {}x{} != {}x{}",
+                    c.rows(),
+                    c.cols(),
+                    p.a.rows(),
+                    p.b.cols()
+                ),
+            ));
+        }
+        let diff = c.to_dense().max_abs_diff(&oracle);
+        if diff >= 1e-9 {
+            return Err((
+                name.into(),
+                format!("dense-reference mismatch, max abs diff {diff:e}"),
+            ));
+        }
+        if !c.approx_eq(&reference, 1e-9) {
+            return Err((
+                name.into(),
+                format!(
+                    "structural divergence from gustavson ({} vs {} nnz)",
+                    c.nnz(),
+                    reference.nnz()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_grid(points: Vec<GridPoint>) {
+    assert!(!points.is_empty());
+    for p in &points {
+        if let Err((backend, what)) = check_point(p) {
+            panic!(
+                "conformance failure: backend {backend:?} diverged on class \
+                 {:?} seed {}: {what}\n  A: {}x{} ({} nnz), B: {}x{} ({} nnz)",
+                p.class,
+                p.seed,
+                p.a.rows(),
+                p.a.cols(),
+                p.a.nnz(),
+                p.b.rows(),
+                p.b.cols(),
+                p.b.nnz()
+            );
+        }
+    }
+}
+
+#[test]
+fn rmat_power_law_graphs() {
+    let points = (0..4)
+        .map(|seed| {
+            point(
+                "rmat",
+                seed,
+                gen::rmat_graph500(48, 4, seed),
+                gen::rmat_graph500(48, 6, seed + 100),
+            )
+        })
+        .collect();
+    run_grid(points);
+}
+
+#[test]
+fn structured_matrices() {
+    let mut points = Vec::new();
+    let mesh = gen::poisson3d(3, 3, 3); // order 27
+    points.push(point("poisson^2", 0, mesh.clone(), mesh));
+    for seed in 0..3 {
+        points.push(point(
+            "banded*banded",
+            seed,
+            gen::banded(40, 2, 30, seed),
+            gen::banded(40, 3, 20, seed + 10),
+        ));
+        points.push(point(
+            "blocks*powerlaw",
+            seed,
+            gen::block_sparse(32, 32, 4, 0.3, seed),
+            gen::powerlaw_rows(32, 200, 1.8, seed + 20),
+        ));
+    }
+    run_grid(points);
+}
+
+#[test]
+fn rectangular_shapes() {
+    let points = (0..6)
+        .map(|seed| {
+            let (r, k, c) = (
+                [5usize, 40, 7][seed as usize % 3],
+                24,
+                [33usize, 3][seed as usize % 2],
+            );
+            point(
+                "rectangular",
+                seed,
+                gen::uniform_random(r, k, (r * 3).min(r * k / 2).max(1), seed),
+                gen::uniform_random(k, c, (k * 2).min(k * c / 2).max(1), seed + 40),
+            )
+        })
+        .collect();
+    run_grid(points);
+}
+
+#[test]
+fn empty_rows_and_columns() {
+    let mut points = Vec::new();
+    for seed in 0..4 {
+        // A with populated rows only in the top quarter (three quarters of
+        // rows empty) times B with entries only in the left few columns
+        // (most columns empty) — plus fully empty operands on both sides.
+        let mut a = Coo::new(32, 24);
+        let mut b = Coo::new(24, 32);
+        for (i, e) in gen::uniform_random(8, 24, 40, seed).iter().enumerate() {
+            if i % 3 != 0 {
+                a.push(e.0, e.1, e.2);
+            }
+        }
+        for e in gen::uniform_random(24, 6, 30, seed + 7).iter() {
+            b.push(e.0, e.1 * 5, e.2); // spread into columns 0,5,10,… leaving gaps
+        }
+        points.push(point("sparse-bands", seed, a.to_csr(), b.to_csr()));
+    }
+    points.push(point("zero*zero", 0, Csr::zero(5, 4), Csr::zero(4, 3)));
+    points.push(point(
+        "zero*dense",
+        0,
+        Csr::zero(6, 10),
+        gen::uniform_random(10, 8, 40, 1),
+    ));
+    points.push(point(
+        "dense*zero",
+        0,
+        gen::uniform_random(7, 9, 30, 2),
+        Csr::zero(9, 5),
+    ));
+    points.push(point(
+        "identity",
+        0,
+        Csr::identity(12),
+        gen::uniform_random(12, 12, 50, 3),
+    ));
+    run_grid(points);
+}
+
+#[test]
+fn explicit_zeros_are_propagated_consistently() {
+    // Stored zeros in the inputs (ValueClass::SmallIntWithZeros keeps
+    // them) must neither crash a backend nor change the agreed structure.
+    let pairs = arb::spgemm_pair(20, 70, ValueClass::SmallIntWithZeros);
+    let points = (0..12)
+        .map(|seed| {
+            let (a, b) = arb::sample(&pairs, seed);
+            point("explicit-zeros", seed, a, b)
+        })
+        .collect();
+    run_grid(points);
+}
+
+#[test]
+fn duplicate_coordinate_coo_inputs() {
+    // COO inputs with duplicate coordinates: canonicalization folds them
+    // (possibly cancelling to explicit zero) before the multiply; every
+    // backend must agree on the folded operand.
+    let points = (0..8)
+        .map(|seed| {
+            let base_a = gen::uniform_random(18, 14, 60, seed);
+            let base_b = gen::uniform_random(14, 16, 50, seed + 30);
+            let mut a = base_a.to_coo();
+            let mut b = base_b.to_coo();
+            // Push every third entry again (doubling it) and an exact
+            // cancellation for every fifth.
+            for (i, e) in base_a.iter().enumerate() {
+                if i % 3 == 0 {
+                    a.push(e.0, e.1, e.2);
+                }
+                if i % 5 == 0 {
+                    a.push(e.0, e.1, -2.0 * e.2); // folds to -e.2... then +e.2 may cancel
+                }
+            }
+            for (i, e) in base_b.iter().enumerate() {
+                if i % 4 == 0 {
+                    b.push(e.0, e.1, -e.2); // cancels to an explicit stored zero
+                }
+            }
+            point("dup-coo", seed, a.to_csr(), b.to_csr())
+        })
+        .collect();
+    run_grid(points);
+}
+
+#[test]
+fn one_by_n_and_n_by_one_shapes() {
+    let mut points = Vec::new();
+    for seed in 0..4 {
+        let row = gen::uniform_random(1, 24, 12, seed); // 1×N
+        let col = gen::uniform_random(24, 1, 12, seed + 50); // N×1
+        points.push(point("row*col", seed, row.clone(), col.clone()));
+        points.push(point(
+            "col*row",
+            seed,
+            col,
+            gen::uniform_random(1, 24, 12, seed + 90),
+        ));
+        points.push(point(
+            "row*square",
+            seed,
+            row,
+            gen::uniform_random(24, 24, 80, seed + 130),
+        ));
+    }
+    // 1×1 edge.
+    points.push(point(
+        "scalar",
+        0,
+        gen::uniform_random(1, 1, 1, 1),
+        gen::uniform_random(1, 1, 1, 2),
+    ));
+    run_grid(points);
+}
+
+/// The full grid in one sweep, so a future seventh backend only needs to
+/// be added to `sparch::serve::Backend` to inherit every class.
+#[test]
+fn arb_randomized_sweep() {
+    let float_pairs = arb::spgemm_pair(24, 90, ValueClass::Float);
+    let int_pairs = arb::spgemm_pair(24, 90, ValueClass::SmallInt);
+    let unit_pairs = arb::spgemm_pair(24, 90, ValueClass::Unit);
+    let mut points = Vec::new();
+    for seed in 0..16 {
+        let (a, b) = arb::sample(&float_pairs, seed);
+        points.push(point("arb-float", seed, a, b));
+        let (a, b) = arb::sample(&int_pairs, seed);
+        points.push(point("arb-int", seed, a, b));
+        let (a, b) = arb::sample(&unit_pairs, seed);
+        points.push(point("arb-unit", seed, a, b));
+    }
+    run_grid(points);
+}

@@ -7,6 +7,7 @@ use sparch::core::{
     SpArchSim,
 };
 use sparch::engine::{item, merge_step, ComparatorMerger, HierarchicalMerger, MergeItem};
+use sparch::sparse::gen::arb;
 use sparch::sparse::{algo, Coo, Csr};
 
 /// Strategy: a sorted, strictly-increasing coordinate stream.
@@ -67,21 +68,10 @@ fn reference_merge_fold(streams: &[&[MergeItem]]) -> (Vec<MergeItem>, u64) {
     (out, adds)
 }
 
-/// Strategy: a random COO matrix with shape <= 24x24.
+/// Strategy: a random matrix with shape <= 24x24, from the shared
+/// `gen::arb` test-support module (zeros pruned, duplicates folded).
 fn small_matrix() -> impl Strategy<Value = Csr> {
-    (1usize..24, 1usize..24).prop_flat_map(|(r, c)| {
-        vec((0..r as u32, 0..c as u32, -4i32..=4), 0..60).prop_map(move |entries| {
-            let mut coo = Coo::new(r, c);
-            for (i, j, v) in entries {
-                if v != 0 {
-                    coo.push(i, j, v as f64);
-                }
-            }
-            coo.sort_dedup();
-            coo.prune_zeros();
-            coo.to_csr()
-        })
-    })
+    arb::csr(23, 23, 60)
 }
 
 proptest! {
@@ -181,19 +171,8 @@ proptest! {
     }
 
     #[test]
-    fn simulator_matches_gustavson(a in small_matrix(), b in small_matrix()) {
-        // Make shapes compatible: multiply a (r x k) by b' (k x c) where
-        // b' is b reshaped via transpose when needed.
-        let b = if a.cols() == b.rows() { b } else {
-            // build a compatible random-ish matrix from b's entries
-            let mut coo = Coo::new(a.cols(), b.cols());
-            for (r, c, v) in b.iter() {
-                let rr = (r as usize) % a.cols().max(1);
-                coo.push(rr as u32, c, v);
-            }
-            coo.sort_dedup();
-            coo.to_csr()
-        };
+    fn simulator_matches_gustavson(pair in arb::spgemm_pair(24, 60, arb::ValueClass::SmallInt)) {
+        let (a, b) = pair;
         let report = SpArchSim::new(SpArchConfig::default()).run(&a, &b);
         let reference = algo::gustavson(&a, &b);
         prop_assert!(report.result().approx_eq(&reference, 1e-9));
@@ -210,8 +189,8 @@ proptest! {
     }
 
     #[test]
-    fn software_algorithms_cross_agree(a in small_matrix(), b in small_matrix()) {
-        let b = if a.cols() == b.rows() { b } else { return Ok(()); };
+    fn software_algorithms_cross_agree(pair in arb::spgemm_pair(24, 60, arb::ValueClass::SmallInt)) {
+        let (a, b) = pair;
         let g = algo::gustavson(&a, &b);
         prop_assert!(algo::hash_spgemm(&a, &b).approx_eq(&g, 1e-9));
         prop_assert!(algo::heap_spgemm(&a, &b).approx_eq(&g, 1e-9));
