@@ -1,0 +1,144 @@
+//! Streaming-pipeline snapshot: tracks the out-of-core SpGEMM executor
+//! from PR to PR.
+//!
+//! Squares a deterministic R-MAT workload (sized by `--scale`) through
+//! `sparch_stream::StreamingExecutor` twice: once unbounded to learn the
+//! full partial footprint, then with a budget pinned to a quarter of it,
+//! so the spill path is always exercised. Emits `STREAM.json` —
+//! throughput (intermediate products per second), peak live bytes,
+//! spill traffic and merge-round structure.
+//!
+//! ```console
+//! cargo run --release -p sparch-bench --bin stream_snapshot
+//! cargo run --release -p sparch-bench --bin stream_snapshot -- --scale 0.01 --threads 2
+//! ```
+
+use serde::Serialize;
+use sparch_bench::{parse_args_from, runner, ArgsOutcome, USAGE};
+use sparch_sparse::{algo, gen};
+use sparch_stream::{MemoryBudget, StreamConfig, StreamingExecutor};
+
+/// Pinned default scale (matches the other snapshot binaries: small
+/// enough for seconds-long runs, fixed so snapshots stay comparable).
+const SNAPSHOT_SCALE: f64 = 0.02;
+
+/// Panels the inner dimension is split into.
+const PANELS: usize = 8;
+
+/// Merge fan-in (small so the tiny snapshot still takes multiple rounds).
+const WAYS: usize = 4;
+
+#[derive(Serialize)]
+struct Snapshot {
+    scale: f64,
+    threads: usize,
+    n: usize,
+    a_nnz: usize,
+    multiplies: u64,
+    panels: usize,
+    partials: usize,
+    merge_rounds: usize,
+    merge_ways: usize,
+    budget_bytes: u64,
+    partial_bytes_total: u64,
+    peak_live_bytes: u64,
+    spill_writes: u64,
+    spill_reads: u64,
+    spill_bytes_written: u64,
+    output_nnz: usize,
+    wall_seconds: f64,
+    multiplies_per_second: f64,
+}
+
+fn main() {
+    let mut args = match parse_args_from(std::env::args().skip(1)) {
+        Ok(ArgsOutcome::Parsed(args)) => args,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if !args.scale_explicit {
+        args.scale = SNAPSHOT_SCALE;
+    }
+
+    let n = ((3200.0 * args.scale) as usize).max(48);
+    let a = gen::rmat_graph500(n, 8, 77);
+    let multiplies = algo::multiply_flops(&a, &a);
+
+    let config = |budget: MemoryBudget| StreamConfig {
+        budget,
+        panels: PANELS,
+        merge_ways: WAYS,
+        threads: args.threads,
+        spill_dir: None,
+    };
+
+    // Probe run: unbounded budget, to learn the full partial footprint.
+    let probe = StreamingExecutor::new(config(MemoryBudget::unbounded()))
+        .multiply(&a, &a)
+        .expect("probe run must succeed");
+    let budget = MemoryBudget::from_bytes(probe.1.partial_bytes_total / 4);
+
+    // Measured run: a quarter of the footprint, forcing spills.
+    let t0 = std::time::Instant::now();
+    let (c, report) = StreamingExecutor::new(config(budget))
+        .multiply(&a, &a)
+        .expect("budgeted run must succeed");
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(c.nnz(), probe.0.nnz(), "budget must not change the result");
+
+    let snapshot = Snapshot {
+        scale: args.scale,
+        threads: report.threads,
+        n,
+        a_nnz: a.nnz(),
+        multiplies,
+        panels: report.panels,
+        partials: report.partials,
+        merge_rounds: report.merge_rounds,
+        merge_ways: report.merge_ways,
+        budget_bytes: report.budget_bytes,
+        partial_bytes_total: report.partial_bytes_total,
+        peak_live_bytes: report.peak_live_bytes,
+        spill_writes: report.spill_writes,
+        spill_reads: report.spill_reads,
+        spill_bytes_written: report.spill_bytes_written,
+        output_nnz: report.output_nnz,
+        wall_seconds,
+        multiplies_per_second: multiplies as f64 / wall_seconds.max(1e-9),
+    };
+
+    println!(
+        "Stream snapshot — {}x{n} R-MAT squared at scale {} on {} thread(s)",
+        n, snapshot.scale, snapshot.threads
+    );
+    println!(
+        "{} partials over {} panels, {} merge rounds ({}-way)",
+        snapshot.partials, snapshot.panels, snapshot.merge_rounds, snapshot.merge_ways
+    );
+    println!(
+        "budget {} B (quarter of {} B footprint): peak live {} B, \
+         {} spill writes / {} reads, {} B spilled",
+        snapshot.budget_bytes,
+        snapshot.partial_bytes_total,
+        snapshot.peak_live_bytes,
+        snapshot.spill_writes,
+        snapshot.spill_reads,
+        snapshot.spill_bytes_written
+    );
+    println!(
+        "wall {:.4} s → {:.3e} multiplies/s ({} output nnz)",
+        snapshot.wall_seconds, snapshot.multiplies_per_second, snapshot.output_nnz
+    );
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("STREAM.json"));
+    runner::dump_json(&Some(path), &snapshot);
+}

@@ -1,11 +1,14 @@
-//! The six software SpGEMM backends as a closed, dispatchable enum.
+//! The seven software SpGEMM backends as a closed, dispatchable enum.
 
 use serde::{Deserialize, Serialize};
 use sparch_sparse::{algo, Csr};
+use sparch_stream::{StreamConfig, StreamingExecutor};
 use std::fmt;
 use std::str::FromStr;
 
-/// One of the software SpGEMM algorithms in `sparch_sparse::algo`.
+/// One of the software SpGEMM implementations the serving layer can
+/// dispatch to: the six in-memory kernels in `sparch_sparse::algo` plus
+/// the out-of-core streaming pipeline in `sparch_stream`.
 ///
 /// SpArch's premise — and SparseZipper's, for CPU SpGEMM — is that no
 /// single insertion strategy wins across matrix structures: Gustavson's
@@ -13,8 +16,10 @@ use std::str::FromStr;
 /// power-law rows, heaps on wide rows, ESC on large intermediate counts,
 /// the inner product on anything but near-dense outputs, and the outer
 /// product pays a merge-tree's worth of partial-matrix traffic. The
-/// serving layer treats them as interchangeable implementations of
-/// `C = A * B` and picks per request.
+/// streaming pipeline adds the memory axis: it is never the cheapest on
+/// compute, but it is the only backend whose footprint is *bounded*, so
+/// the dispatcher routes to it when a task's estimated footprint exceeds
+/// the service's memory budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Backend {
     /// Row-wise sparse accumulator (Intel MKL's strategy).
@@ -29,11 +34,29 @@ pub enum Backend {
     Inner,
     /// Column × row rank-1 expansion + pairwise merge (OuterSPACE).
     Outer,
+    /// Panel-partitioned, memory-budgeted out-of-core pipeline
+    /// (`sparch_stream` — the paper's partial-matrix merge discipline).
+    Streaming,
 }
 
 impl Backend {
     /// Every backend, in the canonical (tie-breaking) order.
-    pub const ALL: [Backend; 6] = [
+    pub const ALL: [Backend; 7] = [
+        Backend::Gustavson,
+        Backend::Hash,
+        Backend::Heap,
+        Backend::SortMerge,
+        Backend::Inner,
+        Backend::Outer,
+        Backend::Streaming,
+    ];
+
+    /// The backends that materialize everything in RAM — the universe
+    /// the adaptive policy's work-model argmin runs over. `Streaming` is
+    /// excluded: it exists to bound memory, not to win on compute, and
+    /// is selected by the dispatcher's footprint rule (or explicitly)
+    /// instead.
+    pub const IN_MEMORY: [Backend; 6] = [
         Backend::Gustavson,
         Backend::Hash,
         Backend::Heap,
@@ -51,14 +74,24 @@ impl Backend {
             Backend::SortMerge => "sort_merge",
             Backend::Inner => "inner_product",
             Backend::Outer => "outer_product",
+            Backend::Streaming => "streaming",
         }
     }
 
     /// Runs this backend on `a * b`.
     ///
+    /// `Streaming` runs the pinned single-worker configuration
+    /// (`StreamConfig::pinned`) so results are reproducible and request
+    /// fan-out stays the serving layer's only parallelism axis; the
+    /// service's step executor substitutes its configured memory budget
+    /// via [`run_streaming_with`]. Spill I/O failure degrades to an
+    /// unbounded in-core retry instead of panicking (see
+    /// [`run_streaming_with`]).
+    ///
     /// # Panics
     ///
-    /// Panics if `a.cols() != b.rows()` (all backends share that contract).
+    /// Panics if `a.cols() != b.rows()` (all backends share that
+    /// contract).
     pub fn run(self, a: &Csr, b: &Csr) -> Csr {
         match self {
             Backend::Gustavson => algo::gustavson(a, b),
@@ -67,6 +100,33 @@ impl Backend {
             Backend::SortMerge => algo::sort_merge(a, b),
             Backend::Inner => algo::inner_product(a, b),
             Backend::Outer => algo::outer_product(a, b),
+            Backend::Streaming => run_streaming_with(StreamConfig::pinned(), a, b),
+        }
+    }
+}
+
+/// Runs the streaming pipeline under `config`, degrading instead of
+/// dying: if the budgeted run fails on spill I/O (unwritable temp dir,
+/// disk full), it retries with an unbounded budget. The retry performs
+/// no file I/O at all — partials only touch disk when the budget forces
+/// them out — and reproduces the **bit-identical** result, because the
+/// merge plan and fold order depend only on the partials, not on what
+/// spilled. A transient disk problem therefore costs one request its
+/// memory bound (what any in-memory backend would have used anyway)
+/// rather than taking down the serving process.
+pub(crate) fn run_streaming_with(config: StreamConfig, a: &Csr, b: &Csr) -> Csr {
+    let executor = StreamingExecutor::new(config.clone());
+    match executor.multiply(a, b) {
+        Ok((c, _)) => c,
+        Err(_) => {
+            let fallback = StreamConfig {
+                budget: sparch_stream::MemoryBudget::unbounded(),
+                ..config
+            };
+            let (c, _) = StreamingExecutor::new(fallback)
+                .multiply(a, b)
+                .expect("unbounded streaming run performs no spill I/O");
+            c
         }
     }
 }
@@ -89,9 +149,10 @@ impl FromStr for Backend {
             "sort_merge" | "sort-merge" | "esc" => Ok(Backend::SortMerge),
             "inner" | "inner_product" => Ok(Backend::Inner),
             "outer" | "outer_product" => Ok(Backend::Outer),
+            "stream" | "streaming" => Ok(Backend::Streaming),
             other => Err(format!(
                 "unknown backend {other:?} (expected one of: gustavson, hash, heap, \
-                 sort_merge, inner, outer)"
+                 sort_merge, inner, outer, streaming)"
             )),
         }
     }
@@ -129,6 +190,35 @@ mod tests {
                 backend.run(&a, &b).approx_eq(&reference, 1e-9),
                 "{backend} disagrees"
             );
+        }
+    }
+
+    #[test]
+    fn streaming_spill_failure_degrades_to_in_core() {
+        // A spill_dir nested under a regular file is unwritable, so the
+        // zero-budget run fails on its very first spill; the fallback
+        // must still produce the exact product (and not panic).
+        let blocker =
+            std::env::temp_dir().join(format!("sparch_spill_blocker_{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let a = gen::uniform_random(24, 24, 100, 3);
+        let config = StreamConfig {
+            budget: sparch_stream::MemoryBudget::from_bytes(0),
+            spill_dir: Some(blocker.clone()),
+            ..StreamConfig::pinned()
+        };
+        let c = run_streaming_with(config, &a, &a);
+        assert!(c.approx_eq(&Backend::Gustavson.run(&a, &a), 1e-9));
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn in_memory_is_all_minus_streaming() {
+        assert_eq!(Backend::IN_MEMORY.len() + 1, Backend::ALL.len());
+        assert!(!Backend::IN_MEMORY.contains(&Backend::Streaming));
+        assert!(Backend::ALL.contains(&Backend::Streaming));
+        for b in Backend::IN_MEMORY {
+            assert!(Backend::ALL.contains(&b));
         }
     }
 }

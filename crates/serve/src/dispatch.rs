@@ -45,6 +45,18 @@ pub struct TaskFeatures {
     pub compression_factor: f64,
     /// Occupied columns of `A` — the outer product's partial-matrix count.
     pub occupied_cols: usize,
+    /// Estimated bytes an in-memory backend needs live at once: both
+    /// operands plus the output, at 12 bytes per stored entry and 8 per
+    /// row pointer ([`Csr::estimated_bytes`]-style accounting). The
+    /// dispatcher compares this against the service's memory budget to
+    /// decide when a task must go out-of-core.
+    pub estimated_footprint_bytes: u64,
+}
+
+/// The in-memory footprint estimate shared by every measurement path:
+/// `A` + `B` + the (symbolically exact) output.
+fn footprint_bytes(a_bytes: u64, b_bytes: u64, a_rows: usize, output_nnz: u64) -> u64 {
+    a_bytes + b_bytes + output_nnz * 12 + (a_rows as u64 + 1) * 8
 }
 
 impl TaskFeatures {
@@ -69,6 +81,12 @@ impl TaskFeatures {
             output_nnz: task.output_nnz,
             compression_factor: task.compression_factor,
             occupied_cols: task.occupied_cols,
+            estimated_footprint_bytes: footprint_bytes(
+                a.csr.estimated_bytes(),
+                b.csr.estimated_bytes(),
+                a.csr.rows(),
+                task.output_nnz,
+            ),
         }
     }
 
@@ -92,6 +110,12 @@ impl TaskFeatures {
             output_nnz: task.output_nnz,
             compression_factor: task.compression_factor,
             occupied_cols: task.occupied_cols,
+            estimated_footprint_bytes: footprint_bytes(
+                a.estimated_bytes(),
+                b.csr.estimated_bytes(),
+                a.rows(),
+                task.output_nnz,
+            ),
         }
     }
 
@@ -131,6 +155,12 @@ impl TaskFeatures {
             output_nnz: task.output_nnz,
             compression_factor: task.compression_factor,
             occupied_cols: task.occupied_cols,
+            estimated_footprint_bytes: footprint_bytes(
+                a.estimated_bytes(),
+                b.estimated_bytes(),
+                a.rows(),
+                task.output_nnz,
+            ),
         }
     }
 }
@@ -149,7 +179,11 @@ impl TaskFeatures {
 /// * inner product — pair enumeration over non-empty rows × columns plus
 ///   the merge comparisons, independent of `M`,
 /// * outer product — each of the `M` expanded entries crosses
-///   `log(partial count)` pairwise merge levels.
+///   `log(partial count)` pairwise merge levels,
+/// * streaming — Gustavson per panel plus every output entry crossing the
+///   Huffman merge of the default panel count: by construction never
+///   cheaper than plain Gustavson, so it only wins through the
+///   dispatcher's footprint rule (or an explicit fixed policy).
 pub fn model_cost(backend: Backend, f: &TaskFeatures) -> f64 {
     let m = f.multiplies as f64;
     let o = f.output_nnz as f64;
@@ -171,6 +205,10 @@ pub fn model_cost(backend: Backend, f: &TaskFeatures) -> f64 {
                 + f.b_nonempty_cols as f64 * f.a_nnz as f64
         }
         Backend::Outer => m * (1.0 + (f.occupied_cols as f64).max(2.0).log2()) + o,
+        Backend::Streaming => {
+            let panels = sparch_stream::StreamConfig::default().panels as f64;
+            m + o * avg_out.log2() + o * (1.0 + panels.max(2.0).log2())
+        }
     }
 }
 
@@ -276,19 +314,36 @@ impl FromStr for DispatchPolicy {
 /// Chooses a backend per multiply step from task features, a policy, and
 /// a calibration table. Pure and deterministic: the same features, policy
 /// and table always produce the same choice, regardless of thread count.
+///
+/// When a memory budget is configured
+/// ([`AdaptiveDispatcher::with_memory_budget`]), tasks whose
+/// [`TaskFeatures::estimated_footprint_bytes`] exceeds it are routed to
+/// [`Backend::Streaming`] *before* the policy applies — an in-memory
+/// backend would materialize more than the budget allows, so the budget
+/// guard overrides both fixed and adaptive policies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveDispatcher {
     policy: DispatchPolicy,
     calibration: Calibration,
+    memory_budget: Option<u64>,
 }
 
 impl AdaptiveDispatcher {
-    /// A dispatcher with the given policy and calibration table.
+    /// A dispatcher with the given policy and calibration table, and no
+    /// memory budget (nothing is ever routed out-of-core).
     pub fn new(policy: DispatchPolicy, calibration: Calibration) -> Self {
         AdaptiveDispatcher {
             policy,
             calibration,
+            memory_budget: None,
         }
+    }
+
+    /// Enables footprint routing: tasks estimated to need more than
+    /// `bytes` of live memory go to [`Backend::Streaming`].
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
     }
 
     /// The dispatch policy.
@@ -301,16 +356,31 @@ impl AdaptiveDispatcher {
         &self.calibration
     }
 
+    /// The configured memory budget in bytes, if any.
+    pub fn memory_budget(&self) -> Option<u64> {
+        self.memory_budget
+    }
+
     /// Picks the backend for one multiply step and returns it with its
-    /// calibrated model cost. Ties break toward the earlier entry of
-    /// [`Backend::ALL`].
+    /// calibrated model cost. The footprint rule (see the type docs)
+    /// applies first; under the adaptive policy the work-model argmin
+    /// then runs over [`Backend::IN_MEMORY`], with ties breaking toward
+    /// the earlier entry.
     pub fn choose(&self, features: &TaskFeatures) -> (Backend, f64) {
+        if let Some(budget) = self.memory_budget {
+            if features.estimated_footprint_bytes > budget {
+                return (
+                    Backend::Streaming,
+                    self.calibrated_cost(Backend::Streaming, features),
+                );
+            }
+        }
         match self.policy {
             DispatchPolicy::Fixed(backend) => (backend, self.calibrated_cost(backend, features)),
             DispatchPolicy::Adaptive => {
-                let mut best = Backend::ALL[0];
+                let mut best = Backend::IN_MEMORY[0];
                 let mut best_cost = self.calibrated_cost(best, features);
-                for &backend in &Backend::ALL[1..] {
+                for &backend in &Backend::IN_MEMORY[1..] {
                     let cost = self.calibrated_cost(backend, features);
                     if cost < best_cost {
                         best = backend;
@@ -403,6 +473,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn footprint_estimate_counts_operands_and_output() {
+        let a = gen::uniform_random(48, 40, 300, 3);
+        let b = gen::uniform_random(40, 56, 280, 4);
+        let f = TaskFeatures::measure(&a, &b);
+        let expected = a.estimated_bytes()
+            + b.estimated_bytes()
+            + f.output_nnz * 12
+            + (a.rows() as u64 + 1) * 8;
+        assert_eq!(f.estimated_footprint_bytes, expected);
+        assert!(f.estimated_footprint_bytes > 0);
+    }
+
+    #[test]
+    fn streaming_never_undercuts_gustavson_in_the_model() {
+        for seed in 0..10 {
+            let f = features(seed);
+            assert!(
+                model_cost(Backend::Streaming, &f) >= model_cost(Backend::Gustavson, &f),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_budget_routes_oversized_tasks_to_streaming() {
+        let f = features(0);
+        // Budget below the task's footprint: streaming, under any policy.
+        for policy in [
+            DispatchPolicy::Adaptive,
+            DispatchPolicy::Fixed(Backend::Hash),
+        ] {
+            let d = AdaptiveDispatcher::new(policy, Calibration::reference())
+                .with_memory_budget(f.estimated_footprint_bytes - 1);
+            assert_eq!(d.choose(&f).0, Backend::Streaming, "policy {policy}");
+        }
+        // Budget at (or above) the footprint: the policy decides, and the
+        // adaptive argmin never lands on streaming by itself.
+        let d = AdaptiveDispatcher::new(DispatchPolicy::Adaptive, Calibration::reference())
+            .with_memory_budget(f.estimated_footprint_bytes);
+        assert_ne!(d.choose(&f).0, Backend::Streaming);
+        // No budget: footprint is ignored entirely.
+        let d = AdaptiveDispatcher::new(DispatchPolicy::Adaptive, Calibration::reference());
+        assert_eq!(d.memory_budget(), None);
+        assert_ne!(d.choose(&f).0, Backend::Streaming);
     }
 
     #[test]

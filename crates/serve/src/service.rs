@@ -40,6 +40,12 @@ pub struct ServiceConfig {
     /// adaptive policy ([`Calibration::measure`]) and uses the pinned
     /// [`Calibration::reference`] for fixed policies.
     pub calibration: Option<Calibration>,
+    /// Memory budget in bytes for a single multiply step. When set, any
+    /// step whose [`TaskFeatures::estimated_footprint_bytes`] exceeds it
+    /// is routed to [`Backend::Streaming`] regardless of policy (an
+    /// in-memory backend would materialize more than the budget). `None`
+    /// disables footprint routing.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +55,7 @@ impl Default for ServiceConfig {
             threads: None,
             cache_capacity: 64,
             calibration: None,
+            memory_budget: None,
         }
     }
 }
@@ -184,8 +191,12 @@ impl SpgemmService {
             DispatchPolicy::Adaptive => Calibration::measure(0x5bac4),
             DispatchPolicy::Fixed(_) => Calibration::reference(),
         });
+        let mut dispatcher = AdaptiveDispatcher::new(config.policy, calibration);
+        if let Some(budget) = config.memory_budget {
+            dispatcher = dispatcher.with_memory_budget(budget);
+        }
         SpgemmService {
-            dispatcher: AdaptiveDispatcher::new(config.policy, calibration),
+            dispatcher,
             cache: OperandCache::new(config.cache_capacity),
             pool: ShardPool::with_override(config.threads),
         }
@@ -428,7 +439,19 @@ impl StepLog {
         let (backend, cost) = d.choose(features);
         self.backends.push(backend.name().to_string());
         self.model_cost += cost;
-        backend.run(a, b)
+        match (backend, d.memory_budget()) {
+            // A streaming step runs under the *service's* budget — the
+            // bound the footprint routing promised — not the pinned
+            // default `Backend::run` uses standalone.
+            (Backend::Streaming, Some(budget)) => {
+                let config = sparch_stream::StreamConfig {
+                    budget: sparch_stream::MemoryBudget::from_bytes(budget),
+                    ..sparch_stream::StreamConfig::pinned()
+                };
+                crate::backend::run_streaming_with(config, a, b)
+            }
+            _ => backend.run(a, b),
+        }
     }
 }
 
@@ -670,6 +693,35 @@ mod tests {
             .build(1)
             .nnz()
         );
+    }
+
+    #[test]
+    fn memory_budget_routes_batch_steps_to_streaming() {
+        let mut service = SpgemmService::new(ServiceConfig {
+            policy: DispatchPolicy::Adaptive,
+            threads: Some(2),
+            calibration: Some(Calibration::reference()),
+            memory_budget: Some(1), // every real task exceeds one byte
+            ..ServiceConfig::default()
+        });
+        let report = service.serve(&small_batch()).unwrap();
+        assert!(report.total_steps > 0);
+        assert!(
+            report
+                .requests
+                .iter()
+                .flat_map(|r| &r.backends)
+                .all(|b| b == "streaming"),
+            "footprint routing must override the adaptive argmin"
+        );
+        // The streamed results carry the same structure as the in-memory
+        // baseline.
+        let baseline = fixed_service(Backend::Gustavson)
+            .serve(&small_batch())
+            .unwrap();
+        for (r, b) in report.requests.iter().zip(&baseline.requests) {
+            assert_eq!(r.output_nnz, b.output_nnz, "request {}", r.index);
+        }
     }
 
     #[test]

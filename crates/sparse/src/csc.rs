@@ -89,6 +89,13 @@ impl Csc {
         (0..self.cols).filter(|&c| self.col_nnz(c) > 0).count()
     }
 
+    /// Estimated in-memory heap footprint in bytes: 12 bytes per stored
+    /// entry (4-byte row index + 8-byte value) plus 8 bytes per column
+    /// pointer — the CSC twin of [`Csr::estimated_bytes`].
+    pub fn estimated_bytes(&self) -> u64 {
+        self.nnz() as u64 * 12 + (self.cols as u64 + 1) * 8
+    }
+
     /// Converts back to CSR.
     pub fn to_csr(&self) -> Csr {
         let mut coo = crate::Coo::new(self.rows, self.cols);

@@ -300,6 +300,86 @@ impl Csr {
         self.nnz() as u64 * 12 + (self.rows as u64 + 1) * 8
     }
 
+    /// Estimated in-memory heap footprint of this matrix in bytes: the
+    /// column-index array (4 bytes per non-zero), the value array (8 bytes
+    /// per non-zero) and the row-pointer array (8 bytes per row + 1).
+    ///
+    /// This is the quantity the streaming pipeline's `MemoryBudget`
+    /// accounting and the serving layer's footprint-based dispatch reason
+    /// about. (Numerically it coincides with [`Csr::dram_bytes`] because
+    /// the accelerator's DRAM layout also spends 12 bytes per element and
+    /// 8 per row pointer — but the two model different memories.)
+    pub fn estimated_bytes(&self) -> u64 {
+        self.nnz() as u64 * 12 + (self.rows as u64 + 1) * 8
+    }
+
+    /// Extracts the column panel `A[:, lo..hi]` as a new `rows × (hi-lo)`
+    /// matrix with **localized** column indices (`col - lo`).
+    ///
+    /// This is the left-operand half of the outer-product panel split the
+    /// streaming pipeline uses: `A · B = Σ_p A[:, p] · B[p, :]` over
+    /// matching column/row panels `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > cols`.
+    pub fn col_panel(&self, range: std::ops::Range<usize>) -> Csr {
+        assert!(
+            range.start <= range.end && range.end <= self.cols,
+            "column panel {range:?} outside 0..{}",
+            self.cols
+        );
+        let (lo, hi) = (range.start as Index, range.end as Index);
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            // Columns are strictly increasing, so the panel's entries are
+            // one contiguous slice of the row.
+            let a = cols.partition_point(|&c| c < lo);
+            let b = cols.partition_point(|&c| c < hi);
+            col_idx.extend(cols[a..b].iter().map(|&c| c - lo));
+            values.extend_from_slice(&vals[a..b]);
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            rows: self.rows,
+            cols: range.len(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Extracts the row panel `A[lo..hi, :]` as a new `(hi-lo) × cols`
+    /// matrix — the right-operand half of the streaming pipeline's panel
+    /// split (see [`Csr::col_panel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > rows`.
+    pub fn row_panel(&self, range: std::ops::Range<usize>) -> Csr {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "row panel {range:?} outside 0..{}",
+            self.rows
+        );
+        let (lo, hi) = (self.row_ptr[range.start], self.row_ptr[range.end]);
+        let row_ptr = self.row_ptr[range.start..=range.end]
+            .iter()
+            .map(|&p| p - self.row_ptr[range.start])
+            .collect();
+        Csr {
+            rows: range.len(),
+            cols: self.cols,
+            row_ptr,
+            col_idx: self.col_idx[lo..hi].to_vec(),
+            values: self.values[lo..hi].to_vec(),
+        }
+    }
+
     /// A 64-bit structural+value fingerprint of this matrix (FNV-1a over
     /// the shape, row pointers, column indices and value bit patterns).
     ///
@@ -346,6 +426,43 @@ impl Csr {
                 .zip(&other.values)
                 .all(|(a, b)| (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0))
     }
+}
+
+/// Splits `0..total` into up to `panels` contiguous, balanced, non-empty
+/// ranges — the panel partitioner shared by [`Csr::col_panel`] /
+/// [`Csr::row_panel`] callers, `mm`'s chunked panel reader and the
+/// `sparch-stream` executor.
+///
+/// The first `total % panels` ranges are one element longer, so widths
+/// differ by at most one. Degenerate inputs behave sensibly: `panels` is
+/// clamped to at least 1, `total == 0` yields no ranges, and `panels >
+/// total` yields `total` single-element ranges (empty ranges are never
+/// returned).
+///
+/// # Example
+///
+/// ```
+/// use sparch_sparse::panel_ranges;
+///
+/// assert_eq!(panel_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+/// assert_eq!(panel_ranges(2, 5).len(), 2);
+/// assert!(panel_ranges(0, 4).is_empty());
+/// ```
+pub fn panel_ranges(total: usize, panels: usize) -> Vec<std::ops::Range<usize>> {
+    let panels = panels.max(1).min(total.max(1));
+    let base = total / panels;
+    let extra = total % panels;
+    let mut ranges = Vec::with_capacity(panels);
+    let mut lo = 0usize;
+    for p in 0..panels {
+        let width = base + usize::from(p < extra);
+        if width == 0 {
+            break;
+        }
+        ranges.push(lo..lo + width);
+        lo += width;
+    }
+    ranges
 }
 
 /// Incremental row-by-row CSR constructor.
@@ -604,6 +721,73 @@ mod tests {
         let with_zero = Csr::try_new(1, 2, vec![0, 1], vec![0], vec![0.0]).unwrap();
         let without = Csr::zero(1, 2);
         assert_ne!(with_zero.fingerprint(), without.fingerprint());
+    }
+
+    #[test]
+    fn estimated_bytes_counts_arrays() {
+        let m = sample();
+        // 4 nnz * (4 + 8) bytes + 4 row pointers * 8 bytes.
+        assert_eq!(m.estimated_bytes(), 4 * 12 + 4 * 8);
+        assert_eq!(Csr::zero(0, 0).estimated_bytes(), 8);
+    }
+
+    #[test]
+    fn panel_ranges_are_balanced_and_cover() {
+        for (total, panels) in [(10, 3), (7, 7), (7, 2), (1, 4), (64, 5), (3, 1)] {
+            let ranges = panel_ranges(total, panels);
+            assert_eq!(ranges.len(), panels.min(total));
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(total));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+                assert!(w[0].len().abs_diff(w[1].len()) <= 1, "unbalanced: {w:?}");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+        assert!(panel_ranges(0, 3).is_empty());
+        assert_eq!(panel_ranges(5, 0), vec![0..5], "panels clamps to 1");
+    }
+
+    #[test]
+    fn col_panel_localizes_indices() {
+        let m = sample(); // [[1, 0, 2], [0, 0, 0], [0, 3, 4]]
+        let p = m.col_panel(1..3); // [[0, 2], [0, 0], [3, 4]]
+        assert_eq!((p.rows(), p.cols()), (3, 2));
+        assert_eq!(p.get(0, 1), Some(2.0));
+        assert_eq!(p.get(2, 0), Some(3.0));
+        assert_eq!(p.get(2, 1), Some(4.0));
+        assert_eq!(p.nnz(), 3);
+        // Empty and full panels.
+        assert_eq!(m.col_panel(0..0).nnz(), 0);
+        assert_eq!(m.col_panel(0..3), m);
+    }
+
+    #[test]
+    fn row_panel_slices_rows() {
+        let m = sample();
+        let p = m.row_panel(1..3); // [[0, 0, 0], [0, 3, 4]]
+        assert_eq!((p.rows(), p.cols()), (2, 3));
+        assert_eq!(p.row_nnz(0), 0);
+        assert_eq!(p.get(1, 1), Some(3.0));
+        assert_eq!(m.row_panel(0..3), m);
+        assert_eq!(m.row_panel(2..2).nnz(), 0);
+    }
+
+    #[test]
+    fn panels_reassemble_the_product() {
+        // Σ_p A[:, p] · B[p, :] must cover every entry of A exactly once.
+        let m = sample();
+        let mut total = 0;
+        for r in panel_ranges(m.cols(), 2) {
+            total += m.col_panel(r).nnz();
+        }
+        assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "column panel")]
+    fn col_panel_out_of_range_panics() {
+        let _ = sample().col_panel(1..4);
     }
 
     #[test]

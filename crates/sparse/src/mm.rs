@@ -18,10 +18,11 @@
 //! # Ok::<(), sparch_sparse::SparseError>(())
 //! ```
 
-use crate::{Coo, Index, SparseError};
+use crate::{panel_ranges, Coo, Index, SparseError};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::path::Path;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
 
 /// Symmetry declared in a Matrix Market header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +53,28 @@ enum Field {
 /// declared shape.
 pub fn read<R: Read>(reader: R) -> Result<Coo, SparseError> {
     let mut lines = BufReader::new(reader).lines();
+    let preamble = parse_preamble(&mut lines)?;
+    let mut coo = Coo::new(preamble.rows, preamble.cols);
+    scan_entries(lines, &preamble, |r0, c0, v| coo.push(r0, c0, v))?;
+    Ok(coo)
+}
 
+/// Everything the header and size line declare about a coordinate stream.
+#[derive(Debug, Clone, Copy)]
+struct Preamble {
+    field: Field,
+    symmetry: Symmetry,
+    rows: usize,
+    cols: usize,
+    declared_nnz: usize,
+}
+
+/// Parses the banner line, skips comments, and parses the size line —
+/// the shared front half of [`read`] and [`PanelReader`].
+fn parse_preamble<L>(lines: &mut L) -> Result<Preamble, SparseError>
+where
+    L: Iterator<Item = std::io::Result<String>>,
+{
     let header = lines
         .next()
         .ok_or_else(|| SparseError::Parse("empty stream".into()))?
@@ -75,11 +97,25 @@ pub fn read<R: Read>(reader: R) -> Result<Coo, SparseError> {
     if dims.len() != 3 {
         return Err(SparseError::Parse(format!("bad size line: {size_line:?}")));
     }
-    let rows: usize = dims[0].parse().map_err(|_| bad_num(dims[0]))?;
-    let cols: usize = dims[1].parse().map_err(|_| bad_num(dims[1]))?;
-    let declared_nnz: usize = dims[2].parse().map_err(|_| bad_num(dims[2]))?;
+    Ok(Preamble {
+        field,
+        symmetry,
+        rows: dims[0].parse().map_err(|_| bad_num(dims[0]))?,
+        cols: dims[1].parse().map_err(|_| bad_num(dims[1]))?,
+        declared_nnz: dims[2].parse().map_err(|_| bad_num(dims[2]))?,
+    })
+}
 
-    let mut coo = Coo::new(rows, cols);
+/// Walks every entry line after the size line, fully validating each
+/// (parse errors and bounds checks are identical for every consumer),
+/// expanding symmetry, and handing each **stored** entry — primary, plus
+/// the mirrored one for (skew-)symmetric inputs — to `f` in file order.
+/// Enforces the declared entry count at the end.
+fn scan_entries<L, F>(lines: L, p: &Preamble, mut f: F) -> Result<(), SparseError>
+where
+    L: Iterator<Item = std::io::Result<String>>,
+    F: FnMut(Index, Index, f64),
+{
     let mut seen = 0usize;
     for line in lines {
         let line = line.map_err(SparseError::from)?;
@@ -98,7 +134,7 @@ pub fn read<R: Read>(reader: R) -> Result<Coo, SparseError> {
             .ok_or_else(|| SparseError::Parse("missing col".into()))?
             .parse()
             .map_err(|_| bad_num(trimmed))?;
-        let v: f64 = match field {
+        let v: f64 = match p.field {
             Field::Pattern => 1.0,
             Field::Real | Field::Integer => parts
                 .next()
@@ -106,30 +142,156 @@ pub fn read<R: Read>(reader: R) -> Result<Coo, SparseError> {
                 .parse()
                 .map_err(|_| bad_num(trimmed))?,
         };
-        if r == 0 || c == 0 || r > rows || c > cols {
+        if r == 0 || c == 0 || r > p.rows || c > p.cols {
             return Err(SparseError::IndexOutOfBounds {
                 row: r.saturating_sub(1) as Index,
                 col: c.saturating_sub(1) as Index,
-                rows,
-                cols,
+                rows: p.rows,
+                cols: p.cols,
             });
         }
         let (r0, c0) = ((r - 1) as Index, (c - 1) as Index);
-        coo.push(r0, c0, v);
-        match symmetry {
+        f(r0, c0, v);
+        match p.symmetry {
             Symmetry::General => {}
-            Symmetry::Symmetric if r0 != c0 => coo.push(c0, r0, v),
-            Symmetry::SkewSymmetric if r0 != c0 => coo.push(c0, r0, -v),
+            Symmetry::Symmetric if r0 != c0 => f(c0, r0, v),
+            Symmetry::SkewSymmetric if r0 != c0 => f(c0, r0, -v),
             _ => {}
         }
         seen += 1;
     }
-    if seen != declared_nnz {
+    if seen != p.declared_nnz {
         return Err(SparseError::Parse(format!(
-            "declared {declared_nnz} entries but found {seen}"
+            "declared {} entries but found {seen}",
+            p.declared_nnz
         )));
     }
-    Ok(coo)
+    Ok(())
+}
+
+/// Streams a `.mtx` file into column-panel COO chunks without ever
+/// materializing the full matrix: each call to
+/// [`PanelReader::next_panel`] re-scans the file and keeps only the
+/// entries whose (expanded) column falls in that panel's range, so peak
+/// memory is one panel, not the whole matrix — the ingestion half of the
+/// out-of-core streaming pipeline.
+///
+/// The trade is deliberate: `panels` passes over the file buy an
+/// `O(nnz / panels)` resident set. Every pass runs the *same* validation
+/// as [`read`], so malformed input surfaces the same
+/// [`SparseError::Parse`] / [`SparseError::IndexOutOfBounds`] taxonomy
+/// (on the first panel, or [`PanelReader::open`] for preamble errors).
+///
+/// # Example
+///
+/// ```no_run
+/// use sparch_sparse::mm;
+///
+/// let mut reader = mm::read_panels("matrix.mtx", 4)?;
+/// while let Some(panel) = reader.next_panel() {
+///     let (cols, coo) = panel?;
+///     println!("panel {:?}: {} entries", cols, coo.nnz());
+/// }
+/// # Ok::<(), sparch_sparse::SparseError>(())
+/// ```
+#[derive(Debug)]
+pub struct PanelReader {
+    path: PathBuf,
+    preamble: Preamble,
+    ranges: Vec<Range<usize>>,
+    next: usize,
+}
+
+impl PanelReader {
+    /// Opens the file and parses its header and size line, splitting the
+    /// column space into up to `panels` balanced ranges
+    /// ([`crate::panel_ranges`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::Io`] if the file cannot be opened, otherwise the
+    /// same preamble errors as [`read`].
+    pub fn open<P: AsRef<Path>>(path: P, panels: usize) -> Result<Self, SparseError> {
+        let path = path.as_ref().to_path_buf();
+        let mut lines = BufReader::new(std::fs::File::open(&path)?).lines();
+        let preamble = parse_preamble(&mut lines)?;
+        Ok(PanelReader {
+            ranges: panel_ranges(preamble.cols, panels),
+            path,
+            preamble,
+            next: 0,
+        })
+    }
+
+    /// Declared number of rows.
+    pub fn rows(&self) -> usize {
+        self.preamble.rows
+    }
+
+    /// Declared number of columns.
+    pub fn cols(&self) -> usize {
+        self.preamble.cols
+    }
+
+    /// Declared entry count (before symmetry expansion).
+    pub fn declared_nnz(&self) -> usize {
+        self.preamble.declared_nnz
+    }
+
+    /// Number of panels this reader will yield (≤ the requested count:
+    /// empty panels are never produced, so a 3-column file asked for 8
+    /// panels yields 3).
+    pub fn panels(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Reads the next column panel: one full pass over the file keeping
+    /// only entries (after symmetry expansion) whose column lies in the
+    /// panel's range. The returned [`Coo`] has shape
+    /// `rows × range.len()` with **localized** column indices
+    /// (`col - range.start`), ready to become the right operand's row
+    /// panel counterpart via [`crate::Csr::row_panel`].
+    ///
+    /// Returns `None` once every panel has been yielded.
+    #[allow(clippy::type_complexity)]
+    pub fn next_panel(&mut self) -> Option<Result<(Range<usize>, Coo), SparseError>> {
+        let range = self.ranges.get(self.next)?.clone();
+        self.next += 1;
+        Some(self.scan_panel(range))
+    }
+
+    fn scan_panel(&self, range: Range<usize>) -> Result<(Range<usize>, Coo), SparseError> {
+        // Re-parse the preamble to position the stream; it was validated
+        // at open, so failures here mean the file changed under us.
+        let mut lines = BufReader::new(std::fs::File::open(&self.path)?).lines();
+        let preamble = parse_preamble(&mut lines)?;
+        let mut coo = Coo::new(preamble.rows, range.len());
+        let (lo, hi) = (range.start as Index, range.end as Index);
+        scan_entries(lines, &preamble, |r0, c0, v| {
+            if (lo..hi).contains(&c0) {
+                coo.push(r0, c0 - lo, v);
+            }
+        })?;
+        Ok((range, coo))
+    }
+}
+
+impl Iterator for PanelReader {
+    type Item = Result<(Range<usize>, Coo), SparseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_panel()
+    }
+}
+
+/// Opens a chunked column-panel reader over a `.mtx` file — shorthand
+/// for [`PanelReader::open`].
+///
+/// # Errors
+///
+/// Same as [`PanelReader::open`].
+pub fn read_panels<P: AsRef<Path>>(path: P, panels: usize) -> Result<PanelReader, SparseError> {
+    PanelReader::open(path, panels)
 }
 
 /// Reads a Matrix Market string. Convenience wrapper over [`read`].
@@ -382,6 +544,184 @@ mod tests {
                 // Display/parse of f64 is exact (shortest round-trip repr).
                 prop_assert_eq!(back, m);
             }
+        }
+    }
+
+    mod panels {
+        use super::*;
+        use crate::gen;
+
+        /// Writes `text` to a unique temp file and returns its path.
+        fn temp_mtx(tag: &str, text: &str) -> std::path::PathBuf {
+            let path = std::env::temp_dir()
+                .join(format!("sparch_mm_panels_{tag}_{}.mtx", std::process::id()));
+            std::fs::write(&path, text).unwrap();
+            path
+        }
+
+        /// Re-assembles the panels into one full-shape COO.
+        fn reassemble(reader: PanelReader) -> Coo {
+            let (rows, cols) = (reader.rows(), reader.cols());
+            let mut full = Coo::new(rows, cols);
+            for panel in reader {
+                let (range, coo) = panel.unwrap();
+                for &(r, c, v) in coo.entries() {
+                    full.push(r, c + range.start as Index, v);
+                }
+            }
+            full
+        }
+
+        #[test]
+        fn panels_reassemble_to_the_full_read() {
+            let m = gen::uniform_random(17, 23, 90, 7).to_coo();
+            let path = temp_mtx("reassemble", &write_string(&m));
+            for panels in [1, 2, 3, 23, 40] {
+                let reader = read_panels(&path, panels).unwrap();
+                assert_eq!(reader.panels(), panels.min(23), "panels {panels}");
+                assert_eq!(reader.declared_nnz(), m.nnz());
+                assert_eq!(
+                    reassemble(reader).to_csr(),
+                    read_file(&path).unwrap().to_csr(),
+                    "panels {panels}"
+                );
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn panel_chunks_are_local_and_disjoint() {
+            let m = gen::uniform_random(12, 20, 60, 3).to_coo();
+            let path = temp_mtx("local", &write_string(&m));
+            let reader = read_panels(&path, 4).unwrap();
+            let mut total = 0usize;
+            let mut prev_end = 0usize;
+            for panel in reader {
+                let (range, coo) = panel.unwrap();
+                assert_eq!(range.start, prev_end, "contiguous column coverage");
+                prev_end = range.end;
+                assert_eq!(coo.rows(), 12);
+                assert_eq!(coo.cols(), range.len());
+                assert!(coo.entries().iter().all(|e| (e.1 as usize) < range.len()));
+                total += coo.nnz();
+            }
+            assert_eq!(prev_end, 20);
+            assert_eq!(total, m.nnz());
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn symmetric_mirrors_land_in_their_own_panels() {
+            // Entry (4, 1) of a symmetric matrix mirrors to (1, 4): with
+            // two panels over 6 columns, the primary lands in panel 0 and
+            // the mirror in panel 1.
+            let text = "%%MatrixMarket matrix coordinate real symmetric\n6 6 2\n5 2 3.5\n6 6 1\n";
+            let path = temp_mtx("symmetric", text);
+            let mut reader = read_panels(&path, 2).unwrap();
+            let (r0, p0) = reader.next_panel().unwrap().unwrap();
+            assert_eq!(r0, 0..3);
+            assert_eq!(p0.entries(), &[(4, 1, 3.5)]);
+            let (r1, p1) = reader.next_panel().unwrap().unwrap();
+            assert_eq!(r1, 3..6);
+            let mut p1 = p1;
+            p1.sort_dedup();
+            assert_eq!(p1.entries(), &[(1, 1, 3.5), (5, 2, 1.0)]);
+            assert!(reader.next_panel().is_none());
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn pattern_and_skew_fields_match_read() {
+            for (tag, text) in [
+                (
+                    "pattern",
+                    "%%MatrixMarket matrix coordinate pattern general\n3 4 3\n1 1\n2 4\n3 2\n",
+                ),
+                (
+                    "skew",
+                    "%%MatrixMarket matrix coordinate real skew-symmetric\n4 4 2\n3 1 2\n4 2 -1\n",
+                ),
+            ] {
+                let path = temp_mtx(tag, text);
+                let reader = read_panels(&path, 3).unwrap();
+                assert_eq!(
+                    reassemble(reader).to_csr(),
+                    read_str(text).unwrap().to_csr(),
+                    "{tag}"
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+
+        #[test]
+        fn malformed_inputs_error_like_read() {
+            // Preamble failures surface at open; entry failures surface on
+            // the first panel — with exactly the same error variants as
+            // `read` (shared parser).
+            let preamble_cases = [
+                ("%%MatrixMarket matrix array real general\n1 1 0\n", "dense"),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2\n",
+                    "short size",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate real general\nx 2 0\n",
+                    "bad size",
+                ),
+            ];
+            for (text, tag) in preamble_cases {
+                let path = temp_mtx(&format!("bad_{}", tag.replace(' ', "_")), text);
+                let open_err = PanelReader::open(&path, 2).unwrap_err();
+                let read_err = read_str(text).unwrap_err();
+                assert_eq!(
+                    std::mem::discriminant(&open_err),
+                    std::mem::discriminant(&read_err),
+                    "{tag}: {open_err} vs {read_err}"
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+            let entry_cases = [
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+                    "missing value",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+                    "bad value",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+                    "short count",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+                    "out of range",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+                    "zero index",
+                ),
+            ];
+            for (text, tag) in entry_cases {
+                let path = temp_mtx(&format!("bad_{}", tag.replace(' ', "_")), text);
+                let mut reader = read_panels(&path, 2).unwrap();
+                let panel_err = reader.next_panel().unwrap().unwrap_err();
+                let read_err = read_str(text).unwrap_err();
+                assert_eq!(
+                    std::mem::discriminant(&panel_err),
+                    std::mem::discriminant(&read_err),
+                    "{tag}: {panel_err} vs {read_err}"
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+
+        #[test]
+        fn missing_file_is_io_error() {
+            assert!(matches!(
+                read_panels("/nonexistent/sparch-panels.mtx", 2),
+                Err(SparseError::Io(_))
+            ));
         }
     }
 

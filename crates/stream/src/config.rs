@@ -1,0 +1,129 @@
+//! Configuration for the streaming executor: the memory budget and the
+//! panel/merge/parallelism knobs.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// An explicit cap, in bytes, on the partial matrices the streaming
+/// pipeline may hold in memory at once.
+///
+/// The budget governs the *partial store* — the set of panel products and
+/// partially merged results alive between pipeline stages, which is the
+/// part of the footprint that grows with the input (there are `panels`
+/// partials of roughly `output`-sized structure each). Operands being
+/// ingested and the single merge output under construction are transient
+/// working state outside the store; the allocator audit in
+/// `crates/stream/tests/budget_alloc.rs` pins how tightly total heap
+/// usage tracks the budget.
+///
+/// `MemoryBudget::from_mb(0)` is valid and means "spill everything":
+/// every partial goes to disk the moment it is produced and streams back
+/// only for its merge round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemoryBudget {
+    bytes: u64,
+}
+
+impl MemoryBudget {
+    /// A budget of exactly `bytes` bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        MemoryBudget { bytes }
+    }
+
+    /// A budget of `kb` kibibytes.
+    pub const fn from_kb(kb: u64) -> Self {
+        MemoryBudget { bytes: kb << 10 }
+    }
+
+    /// A budget of `mb` mebibytes.
+    pub const fn from_mb(mb: u64) -> Self {
+        MemoryBudget { bytes: mb << 20 }
+    }
+
+    /// No cap: nothing ever spills (the in-core degenerate case).
+    pub const fn unbounded() -> Self {
+        MemoryBudget { bytes: u64::MAX }
+    }
+
+    /// The cap in bytes.
+    pub const fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Configuration of a [`StreamingExecutor`](crate::StreamingExecutor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Cap on resident partial bytes; see [`MemoryBudget`].
+    pub budget: MemoryBudget,
+    /// How many column panels to split `A` (and row panels to split `B`)
+    /// into. More panels mean smaller partials — finer-grained spilling
+    /// and more multiply parallelism, but more merge work. Clamped to the
+    /// inner dimension.
+    pub panels: usize,
+    /// Fan-in of each merge round (the merge tree's "ways"; the paper's
+    /// hardware uses 64). At least 2.
+    pub merge_ways: usize,
+    /// Worker threads for the panel-multiply phase: `Some(n)` pins `n`,
+    /// `None` falls back to `SPARCH_THREADS`, then all cores.
+    pub threads: Option<usize>,
+    /// Where spilled partials go. `None` uses the system temp directory.
+    /// Each run creates (and removes) its own unique subdirectory.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            budget: MemoryBudget::from_mb(256),
+            panels: 4,
+            merge_ways: 8,
+            threads: None,
+            spill_dir: None,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The pinned configuration the serving layer's `Backend::Streaming`
+    /// runs with when no explicit budget is routed: deterministic,
+    /// single-threaded panel multiplies (the serving layer already
+    /// parallelizes across requests), default budget and panel count.
+    pub fn pinned() -> Self {
+        StreamConfig {
+            threads: Some(1),
+            ..StreamConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_unit_constructors() {
+        assert_eq!(MemoryBudget::from_bytes(123).bytes(), 123);
+        assert_eq!(MemoryBudget::from_kb(2).bytes(), 2048);
+        assert_eq!(MemoryBudget::from_mb(1).bytes(), 1 << 20);
+        assert_eq!(MemoryBudget::unbounded().bytes(), u64::MAX);
+        assert!(MemoryBudget::from_mb(0).bytes() == 0);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = StreamConfig::default();
+        assert!(c.merge_ways >= 2);
+        assert!(c.panels >= 1);
+        assert!(c.budget.bytes() > 0);
+        assert_eq!(StreamConfig::pinned().threads, Some(1));
+    }
+
+    #[test]
+    fn budget_serde_round_trips() {
+        let b = MemoryBudget::from_mb(7);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: MemoryBudget = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

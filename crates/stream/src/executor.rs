@@ -1,0 +1,460 @@
+//! The streaming out-of-core SpGEMM executor.
+//!
+//! See the crate docs for the pipeline shape. The executor is stateless
+//! and cheap to clone per task; every run creates (and removes) its own
+//! unique spill directory, so concurrent runs never collide.
+
+use crate::merge::{merge_sources, PartialSource};
+use crate::store::PartialStore;
+use crate::{StreamConfig, StreamError};
+use serde::{Deserialize, Serialize};
+use sparch_core::sched::{huffman_plan, PlanNode};
+use sparch_exec::ShardPool;
+use sparch_sparse::{algo, panel_ranges, Csr};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Telemetry of one streaming multiply — the quantities the paper's
+/// merge-order analysis reasons about (partial count, merge rounds,
+/// partial-result traffic), measured on the software pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamReport {
+    /// Rows of `A` (= rows of the output).
+    pub a_rows: usize,
+    /// The shared inner dimension (`A` cols = `B` rows).
+    pub inner_dim: usize,
+    /// Columns of `B` (= columns of the output).
+    pub b_cols: usize,
+    /// Panels the inner dimension was split into.
+    pub panels: usize,
+    /// Non-empty partial products that entered the merge (≤ `panels`).
+    pub partials: usize,
+    /// Merge rounds the Huffman plan scheduled.
+    pub merge_rounds: usize,
+    /// Fan-in of each merge round.
+    pub merge_ways: usize,
+    /// The configured budget, in bytes.
+    pub budget_bytes: u64,
+    /// High-water mark of resident partial bytes — never exceeds
+    /// `budget_bytes` (the store's structural invariant).
+    pub peak_live_bytes: u64,
+    /// Combined footprint of every partial produced: what "no budget"
+    /// would have held resident after the multiply phase.
+    pub partial_bytes_total: u64,
+    /// The largest single partial's footprint.
+    pub largest_partial_bytes: u64,
+    /// Partials written to disk (evictions + direct spills).
+    pub spill_writes: u64,
+    /// Spilled partials streamed back for a merge round.
+    pub spill_reads: u64,
+    /// Total bytes written to spill files.
+    pub spill_bytes_written: u64,
+    /// Stored entries of the result.
+    pub output_nnz: usize,
+    /// Worker threads used by the panel-multiply phase.
+    pub threads: usize,
+}
+
+/// Monotone counter making every run's spill directory unique within the
+/// process (the process id distinguishes concurrent processes).
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Panel-partitioned, memory-budgeted SpGEMM — the crate's entry point.
+///
+/// # Example
+///
+/// ```
+/// use sparch_stream::{StreamConfig, StreamingExecutor};
+/// use sparch_sparse::{algo, gen};
+///
+/// let a = gen::uniform_random(64, 64, 400, 1);
+/// let b = gen::uniform_random(64, 48, 300, 2);
+/// let (c, report) = StreamingExecutor::new(StreamConfig::default())
+///     .multiply(&a, &b)
+///     .unwrap();
+/// // Structure is exact; float values regroup across panels, so compare
+/// // to tolerance (integer-valued inputs are bit-identical).
+/// assert!(c.approx_eq(&algo::gustavson(&a, &b), 1e-12));
+/// assert_eq!(report.output_nnz, c.nnz());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingExecutor {
+    config: StreamConfig,
+}
+
+impl StreamingExecutor {
+    /// An executor with the given configuration.
+    pub fn new(config: StreamConfig) -> Self {
+        StreamingExecutor { config }
+    }
+
+    /// The executor's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Computes `C = A · B` through the streaming pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()` — the same contract as every
+    /// `sparch_sparse::algo` kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] if spill I/O fails.
+    pub fn multiply(&self, a: &Csr, b: &Csr) -> Result<(Csr, StreamReport), StreamError> {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let panels = panel_ranges(a.cols(), self.config.panels)
+            .into_iter()
+            .map(|r| (r.clone(), a.col_panel(r)));
+        self.multiply_from_panels(a.rows(), a.cols(), panels, b)
+    }
+
+    /// Computes `C = A · B` from pre-extracted column panels of `A` — the
+    /// ingestion-facing entry point: `panels` may come from
+    /// `sparch_sparse::mm::PanelReader`, so `A` is never materialized
+    /// whole. Each item is a column range of `A` plus the corresponding
+    /// `a_rows × range.len()` panel with localized column indices; ranges
+    /// must tile `0..inner_dim` left to right.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Shape`] if the panels do not tile the declared
+    /// shape or disagree with `b`; [`StreamError::Io`] on spill I/O
+    /// failure.
+    pub fn multiply_from_panels<I>(
+        &self,
+        a_rows: usize,
+        inner_dim: usize,
+        panels: I,
+        b: &Csr,
+    ) -> Result<(Csr, StreamReport), StreamError>
+    where
+        I: IntoIterator<Item = (Range<usize>, Csr)>,
+    {
+        if b.rows() != inner_dim {
+            return Err(StreamError::Shape(format!(
+                "inner dimension {inner_dim} != B rows {}",
+                b.rows()
+            )));
+        }
+        let pool = ShardPool::with_override(self.config.threads);
+        let ways = self.config.merge_ways.max(2);
+        let mut store = PartialStore::new(self.config.budget, self.spill_dir());
+
+        // Multiply phase: panel pairs stream through in chunks of one
+        // batch per worker, so at most `threads` un-inserted partials are
+        // in flight while the store keeps everything older under budget.
+        let mut weights: Vec<u64> = Vec::new();
+        let mut partial_bytes_total = 0u64;
+        let mut largest_partial_bytes = 0u64;
+        let mut panel_count = 0usize;
+        let mut covered = 0usize;
+        let mut chunk: Vec<(Range<usize>, Csr)> = Vec::with_capacity(pool.threads());
+        let mut panels = panels.into_iter();
+        loop {
+            chunk.clear();
+            for (range, panel) in panels.by_ref().take(pool.threads()) {
+                if range.start != covered || range.end > inner_dim {
+                    return Err(StreamError::Shape(format!(
+                        "panel {range:?} does not tile 0..{inner_dim} (covered 0..{covered})"
+                    )));
+                }
+                if panel.rows() != a_rows || panel.cols() != range.len() {
+                    return Err(StreamError::Shape(format!(
+                        "panel {range:?} has shape {}x{}, expected {a_rows}x{}",
+                        panel.rows(),
+                        panel.cols(),
+                        range.len()
+                    )));
+                }
+                covered = range.end;
+                chunk.push((range, panel));
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            panel_count += chunk.len();
+            let partials = pool.scoped_map(&chunk, |_, (range, panel)| {
+                algo::gustavson(panel, &b.row_panel(range.clone()))
+            });
+            for partial in partials {
+                if partial.nnz() == 0 {
+                    continue;
+                }
+                let bytes = partial.estimated_bytes();
+                partial_bytes_total += bytes;
+                largest_partial_bytes = largest_partial_bytes.max(bytes);
+                let id = weights.len();
+                weights.push(partial.nnz() as u64);
+                store.insert(id, partial)?;
+            }
+        }
+        if covered != inner_dim {
+            return Err(StreamError::Shape(format!(
+                "panels cover only 0..{covered} of 0..{inner_dim}"
+            )));
+        }
+
+        // Merge phase: execute the k-ary Huffman plan (smallest partials
+        // first — the paper's traffic-optimal order) round by round.
+        let n = weights.len();
+        let plan = huffman_plan(&weights, ways);
+        let node_id = |node: PlanNode| match node {
+            PlanNode::Leaf(l) => l,
+            PlanNode::Round(r) => n + r,
+        };
+        let mut consumers = vec![usize::MAX; n + plan.rounds.len()];
+        for (round, r) in plan.rounds.iter().enumerate() {
+            for &child in &r.children {
+                consumers[node_id(child)] = round;
+            }
+        }
+        store.set_consumers(consumers);
+
+        let result = if n == 0 {
+            Csr::zero(a_rows, b.cols())
+        } else if n == 1 {
+            store.take_full(0)?
+        } else {
+            let mut result = None;
+            for (round, r) in plan.rounds.iter().enumerate() {
+                let ids: Vec<usize> = r.children.iter().map(|&c| node_id(c)).collect();
+                let mut sources = Vec::with_capacity(ids.len());
+                for &id in &ids {
+                    sources.push(PartialSource::from(store.take(id)?));
+                }
+                let merged = merge_sources(a_rows, b.cols(), sources)?;
+                for &id in &ids {
+                    store.release(id);
+                }
+                if round + 1 == plan.rounds.len() {
+                    result = Some(merged);
+                } else {
+                    store.insert(n + round, merged)?;
+                }
+            }
+            result.expect("a multi-leaf plan ends in a final round")
+        };
+
+        let stats = store.stats().clone();
+        store.cleanup();
+        let report = StreamReport {
+            a_rows,
+            inner_dim,
+            b_cols: b.cols(),
+            panels: panel_count,
+            partials: n,
+            merge_rounds: plan.rounds.len(),
+            merge_ways: ways,
+            budget_bytes: self.config.budget.bytes(),
+            peak_live_bytes: stats.peak_live_bytes,
+            partial_bytes_total,
+            largest_partial_bytes,
+            spill_writes: stats.spill_writes,
+            spill_reads: stats.spill_reads,
+            spill_bytes_written: stats.spill_bytes_written,
+            output_nnz: result.nnz(),
+            threads: pool.threads(),
+        };
+        Ok((result, report))
+    }
+
+    /// A unique per-run spill directory under the configured (or system)
+    /// temp root.
+    fn spill_dir(&self) -> std::path::PathBuf {
+        let base = self
+            .config
+            .spill_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir);
+        base.join(format!(
+            "sparch-stream-{}-{}",
+            std::process::id(),
+            RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryBudget;
+    use sparch_sparse::gen;
+
+    fn exec(budget: MemoryBudget, panels: usize, threads: usize) -> StreamingExecutor {
+        StreamingExecutor::new(StreamConfig {
+            budget,
+            panels,
+            merge_ways: 4,
+            threads: Some(threads),
+            spill_dir: None,
+        })
+    }
+
+    /// An integer-valued random matrix (values in `-4..=4`, explicit
+    /// zeros possible): products and sums are exact in f64, so the
+    /// streamed result must be **bit-identical** to `gustavson` no matter
+    /// how the panel split regroups the summation.
+    fn int_matrix(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr {
+        sparch_sparse::linalg::map_values(&gen::uniform_random(rows, cols, nnz, seed), |v| {
+            (v * 4.0).round()
+        })
+    }
+
+    #[test]
+    fn matches_gustavson_in_core() {
+        let a = int_matrix(96, 96, 600, 1);
+        let b = int_matrix(96, 80, 500, 2);
+        let (c, report) = exec(MemoryBudget::unbounded(), 5, 2)
+            .multiply(&a, &b)
+            .unwrap();
+        assert_eq!(c, algo::gustavson(&a, &b));
+        assert_eq!(report.spill_writes, 0);
+        assert!(report.partials >= 2 && report.merge_rounds >= 1);
+        assert!(report.peak_live_bytes <= report.partial_bytes_total);
+        assert_eq!(report.output_nnz, c.nnz());
+    }
+
+    #[test]
+    fn float_inputs_match_structurally_and_to_tolerance() {
+        // Floating-point sums regroup across panels, so values may drift
+        // by ulps — but the structure (row_ptr / col_idx, explicit zeros
+        // included) must be exact, which approx_eq checks.
+        let a = gen::rmat_graph500(96, 5, 1);
+        let b = gen::uniform_random(96, 80, 500, 2);
+        let (c, _) = exec(MemoryBudget::from_kb(8), 5, 2)
+            .multiply(&a, &b)
+            .unwrap();
+        assert!(c.approx_eq(&algo::gustavson(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn zero_budget_spills_every_partial_and_still_matches() {
+        let a = int_matrix(64, 64, 400, 7);
+        let (c, report) = exec(MemoryBudget::from_bytes(0), 6, 1)
+            .multiply(&a, &a)
+            .unwrap();
+        assert_eq!(c, algo::gustavson(&a, &a));
+        assert_eq!(report.peak_live_bytes, 0);
+        assert!(report.spill_writes >= report.partials as u64);
+        assert!(report.spill_reads > 0);
+        assert!(report.spill_bytes_written > 0);
+    }
+
+    #[test]
+    fn results_are_identical_across_budgets_panels_threads() {
+        let a = int_matrix(80, 80, 500, 3);
+        let b = int_matrix(80, 80, 350, 4);
+        let expected = algo::gustavson(&a, &b);
+        for budget in [0u64, 4 << 10, u64::MAX] {
+            for panels in [1, 3, 4, 9] {
+                for threads in [1, 4] {
+                    let (c, _) = exec(MemoryBudget::from_bytes(budget), panels, threads)
+                        .multiply(&a, &b)
+                        .unwrap();
+                    assert_eq!(
+                        c, expected,
+                        "budget {budget} panels {panels} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn float_results_are_identical_across_budgets_and_threads() {
+        // At a fixed panel count the fold order is fixed, so even float
+        // results are bit-identical no matter the budget or thread count.
+        let a = gen::rmat_graph500(80, 6, 3);
+        let b = gen::rmat_graph500(80, 4, 4);
+        let reference = exec(MemoryBudget::unbounded(), 4, 1)
+            .multiply(&a, &b)
+            .unwrap()
+            .0;
+        for budget in [0u64, 4 << 10] {
+            for threads in [1, 4] {
+                let (c, _) = exec(MemoryBudget::from_bytes(budget), 4, threads)
+                    .multiply(&a, &b)
+                    .unwrap();
+                assert_eq!(c, reference, "budget {budget} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_panel_degenerates_to_one_partial() {
+        let a = gen::uniform_random(32, 32, 160, 5);
+        let (c, report) = exec(MemoryBudget::unbounded(), 1, 1)
+            .multiply(&a, &a)
+            .unwrap();
+        assert_eq!(c, algo::gustavson(&a, &a));
+        assert_eq!(report.partials, 1);
+        assert_eq!(report.merge_rounds, 0);
+    }
+
+    #[test]
+    fn empty_operands_give_the_empty_product() {
+        let (c, report) = exec(MemoryBudget::unbounded(), 4, 1)
+            .multiply(&Csr::zero(5, 8), &Csr::zero(8, 3))
+            .unwrap();
+        assert_eq!((c.rows(), c.cols(), c.nnz()), (5, 3, 0));
+        assert_eq!(report.partials, 0);
+        assert_eq!(c, algo::gustavson(&Csr::zero(5, 8), &Csr::zero(8, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics_like_the_kernels() {
+        let _ = exec(MemoryBudget::unbounded(), 2, 1).multiply(&Csr::zero(2, 3), &Csr::zero(2, 2));
+    }
+
+    #[test]
+    fn panel_ingestion_validates_tiling() {
+        let a = int_matrix(10, 12, 50, 1);
+        let b = int_matrix(12, 10, 50, 2);
+        let e = exec(MemoryBudget::unbounded(), 3, 1);
+        // Gap in coverage.
+        let bad = vec![(0..4, a.col_panel(0..4)), (6..12, a.col_panel(6..12))];
+        assert!(matches!(
+            e.multiply_from_panels(10, 12, bad, &b),
+            Err(StreamError::Shape(_))
+        ));
+        // Wrong panel shape.
+        let bad = vec![(0..12, a.col_panel(0..6))];
+        assert!(matches!(
+            e.multiply_from_panels(10, 12, bad, &b),
+            Err(StreamError::Shape(_))
+        ));
+        // Missing tail.
+        let bad = vec![(0..6, a.col_panel(0..6))];
+        assert!(matches!(
+            e.multiply_from_panels(10, 12, bad, &b),
+            Err(StreamError::Shape(_))
+        ));
+        // B disagreeing with the declared inner dimension.
+        assert!(matches!(
+            e.multiply_from_panels(10, 9, vec![(0..9, a.col_panel(0..9))], &b),
+            Err(StreamError::Shape(_))
+        ));
+        // And the happy path through the same entry point.
+        let good: Vec<_> = panel_ranges(12, 3)
+            .into_iter()
+            .map(|r| (r.clone(), a.col_panel(r)))
+            .collect();
+        let (c, _) = e.multiply_from_panels(10, 12, good, &b).unwrap();
+        assert_eq!(c, algo::gustavson(&a, &b));
+    }
+
+    #[test]
+    fn report_serializes() {
+        let a = gen::uniform_random(24, 24, 100, 8);
+        let (_, report) = exec(MemoryBudget::from_kb(1), 4, 1)
+            .multiply(&a, &a)
+            .unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StreamReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,94 @@
+//! Streaming out-of-core SpGEMM for the SpArch reproduction.
+//!
+//! SpArch's whole premise is doing outer-product SpGEMM under a *bounded
+//! on-chip budget*: condense the left matrix, produce partial-product
+//! matrices, and merge them in an order (the Huffman scheduler, §II-C)
+//! that minimizes how many times partials round-trip through DRAM. The
+//! software backends in `sparch_sparse::algo` have the opposite shape —
+//! they materialize both operands and the whole output in RAM, so
+//! matrices larger than memory are simply out of scope.
+//!
+//! This crate brings the paper's partial-matrix discipline to the
+//! software layer. A [`StreamingExecutor`]:
+//!
+//! 1. splits `A` into column panels and `B` into the matching row panels
+//!    (`A · B = Σ_p A[:, p] · B[p, :]` — the outer-product split, one
+//!    level coarser than the paper's per-column split),
+//! 2. multiplies panel pairs in parallel on a `sparch_exec::ShardPool`,
+//! 3. folds the resulting partial CSRs through a multi-round k-way merge
+//!    whose round order comes from the **same** k-ary Huffman scheduler
+//!    the cycle-level simulator uses (`sparch_core::sched::huffman_plan`,
+//!    smallest partials first), and
+//! 4. keeps the resident set of partials under an explicit
+//!    [`MemoryBudget`]: partials that do not fit spill to a temp
+//!    directory in a compact binary format ([`spill`]-module docs) and
+//!    *stream* back in for their merge round — a spilled partial is
+//!    consumed through a small read buffer, never re-materialized.
+//!
+//! The merged result is **bit-identical to `algo::gustavson`** for
+//! exactly-representable arithmetic and structurally identical always
+//! (same `row_ptr`/`col_idx`, including the repository-wide
+//! keep-structural-zeros convention), at every budget, panel count and
+//! thread count — the merge order depends only on the Huffman plan, not
+//! on what happened to spill. `crates/stream/tests/` pins this across
+//! the `gen::arb` grid and audits the budget with a counting allocator.
+//!
+//! # Example
+//!
+//! ```
+//! use sparch_stream::{MemoryBudget, StreamConfig, StreamingExecutor};
+//! use sparch_sparse::{algo, gen};
+//!
+//! let a = gen::rmat_graph500(128, 6, 1);
+//! let exec = StreamingExecutor::new(StreamConfig {
+//!     budget: MemoryBudget::from_kb(64), // force the spill path
+//!     panels: 6,
+//!     ..StreamConfig::default()
+//! });
+//! let (c, report) = exec.multiply(&a, &a).unwrap();
+//! assert!(c.approx_eq(&algo::gustavson(&a, &a), 1e-12));
+//! assert!(report.peak_live_bytes <= report.budget_bytes);
+//! ```
+
+pub mod config;
+pub mod executor;
+mod merge;
+mod spill;
+mod store;
+
+pub use config::{MemoryBudget, StreamConfig};
+pub use executor::{StreamReport, StreamingExecutor};
+
+use std::fmt;
+
+/// Errors from the streaming pipeline.
+///
+/// Shape violations can only arrive through the panel-ingestion entry
+/// point ([`StreamingExecutor::multiply_from_panels`]); the in-memory
+/// entry point panics on incompatible operands exactly like the
+/// `sparch_sparse::algo` kernels do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// Spill-file or ingestion I/O failed (disk full, unwritable temp
+    /// dir, truncated spill).
+    Io(String),
+    /// Ingested panels disagree with the declared operand shapes.
+    Shape(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(msg) => write!(f, "stream i/o error: {msg}"),
+            StreamError::Shape(msg) => write!(f, "stream shape error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e.to_string())
+    }
+}

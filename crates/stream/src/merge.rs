@@ -1,0 +1,207 @@
+//! Streaming k-way merge of partial matrices.
+//!
+//! Each merge round consumes up to `ways` partials — resident CSRs or
+//! spilled-partial readers — as sorted `(row, col)` streams and folds
+//! them into one partial, summing duplicate coordinates. This is the
+//! software analogue of the paper's comparator-array merge tree: the
+//! inputs are sorted COO streams, the output is a sorted COO stream, and
+//! entries that fold to zero are **kept** (zero elimination is a
+//! separate, explicit stage everywhere in this repository).
+//!
+//! Determinism: for one set of sources the fold order is fixed — heap
+//! order by `(row, col)` with ties broken by source position, and source
+//! positions come from the Huffman plan — so the merged values are
+//! bit-identical regardless of which sources happened to spill and how
+//! many threads produced them.
+
+use crate::spill::SpillReader;
+use crate::store::Taken;
+use crate::StreamError;
+use sparch_sparse::{Csr, CsrBuilder, Triple};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One sorted input stream of a merge round.
+#[derive(Debug)]
+pub(crate) enum PartialSource {
+    /// A resident partial, iterated in place.
+    Mem { csr: Csr, row: usize, pos: usize },
+    /// A spilled partial, streamed through a bounded buffer.
+    Disk(SpillReader),
+}
+
+impl From<Taken> for PartialSource {
+    fn from(taken: Taken) -> Self {
+        match taken {
+            Taken::Mem(csr) => PartialSource::Mem {
+                csr,
+                row: 0,
+                pos: 0,
+            },
+            Taken::Disk(reader) => PartialSource::Disk(reader),
+        }
+    }
+}
+
+impl PartialSource {
+    /// The next `(row, col, value)` in row-major order, or `None`.
+    fn next_triple(&mut self) -> Result<Option<Triple>, StreamError> {
+        match self {
+            PartialSource::Mem { csr, row, pos } => {
+                if *pos >= csr.nnz() {
+                    return Ok(None);
+                }
+                while csr.row_ptr()[*row + 1] <= *pos {
+                    *row += 1;
+                }
+                let t = (*row as u32, csr.col_indices()[*pos], csr.values()[*pos]);
+                *pos += 1;
+                Ok(Some(t))
+            }
+            PartialSource::Disk(reader) => reader.next_triple(),
+        }
+    }
+}
+
+/// Merges sorted partial streams into one `rows × cols` partial, folding
+/// duplicate coordinates by addition (explicit zeros kept).
+pub(crate) fn merge_sources(
+    rows: usize,
+    cols: usize,
+    mut sources: Vec<PartialSource>,
+) -> Result<Csr, StreamError> {
+    let mut out = CsrBuilder::new(rows, cols);
+    // Heap keys are (row, col, source-index): coordinate order first, and
+    // within one coordinate the plan's child order — a fixed, documented
+    // fold order.
+    let mut heap: BinaryHeap<Reverse<(u32, u32, usize)>> = BinaryHeap::with_capacity(sources.len());
+    let mut heads: Vec<Option<Triple>> = Vec::with_capacity(sources.len());
+    for (s, src) in sources.iter_mut().enumerate() {
+        let head = src.next_triple()?;
+        if let Some((r, c, _)) = head {
+            heap.push(Reverse((r, c, s)));
+        }
+        heads.push(head);
+    }
+
+    let mut acc: Option<Triple> = None;
+    while let Some(Reverse((r, c, s))) = heap.pop() {
+        let (_, _, v) = heads[s].take().expect("head present for heap entry");
+        acc = match acc {
+            Some((ar, ac, av)) if (ar, ac) == (r, c) => Some((ar, ac, av + v)),
+            Some((ar, ac, av)) => {
+                out.push(ar, ac, av);
+                Some((r, c, v))
+            }
+            None => Some((r, c, v)),
+        };
+        let next = sources[s].next_triple()?;
+        if let Some((nr, nc, _)) = next {
+            heap.push(Reverse((nr, nc, s)));
+        }
+        heads[s] = next;
+    }
+    if let Some((r, c, v)) = acc {
+        out.push(r, c, v);
+    }
+    Ok(out.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spill::write_partial;
+    use sparch_sparse::{algo, gen, linalg};
+    use std::path::PathBuf;
+
+    fn mem(csr: Csr) -> PartialSource {
+        PartialSource::Mem {
+            csr,
+            row: 0,
+            pos: 0,
+        }
+    }
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sparch_merge_{tag}_{}.bin", std::process::id()))
+    }
+
+    /// Element-wise sum oracle via repeated linalg addition on dense.
+    fn sum_oracle(parts: &[Csr]) -> Csr {
+        let mut acc = parts[0].clone();
+        for p in &parts[1..] {
+            acc = linalg::add(&acc, p);
+        }
+        acc
+    }
+
+    #[test]
+    fn merges_mem_sources_like_matrix_addition() {
+        let parts: Vec<Csr> = (0..3)
+            .map(|s| gen::uniform_random(12, 14, 40, s as u64))
+            .collect();
+        let merged = merge_sources(12, 14, parts.iter().cloned().map(mem).collect()).unwrap();
+        assert_eq!(merged, sum_oracle(&parts));
+    }
+
+    #[test]
+    fn disk_and_mem_sources_merge_identically() {
+        let parts: Vec<Csr> = (0..4)
+            .map(|s| gen::uniform_random(10, 10, 30, 50 + s as u64))
+            .collect();
+        let all_mem = merge_sources(10, 10, parts.iter().cloned().map(mem).collect()).unwrap();
+        // Spill sources 1 and 3 to disk.
+        let mut mixed = Vec::new();
+        let mut files = Vec::new();
+        for (s, p) in parts.iter().enumerate() {
+            if s % 2 == 1 {
+                let path = temp(&format!("mixed{s}"));
+                write_partial(&path, p).unwrap();
+                mixed.push(PartialSource::Disk(SpillReader::open(&path).unwrap()));
+                files.push(path);
+            } else {
+                mixed.push(mem(p.clone()));
+            }
+        }
+        let merged = merge_sources(10, 10, mixed).unwrap();
+        assert_eq!(merged, all_mem);
+        for f in files {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn folded_zeros_are_kept() {
+        let a = Csr::try_new(1, 2, vec![0, 2], vec![0, 1], vec![2.0, 1.0]).unwrap();
+        let b = Csr::try_new(1, 2, vec![0, 1], vec![0], vec![-2.0]).unwrap();
+        let merged = merge_sources(1, 2, vec![mem(a), mem(b)]).unwrap();
+        assert_eq!(merged.nnz(), 2, "cancelled entry must stay structural");
+        assert_eq!(merged.get(0, 0), Some(0.0));
+        assert_eq!(merged.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn single_and_empty_sources() {
+        let m = gen::uniform_random(6, 6, 12, 3);
+        assert_eq!(merge_sources(6, 6, vec![mem(m.clone())]).unwrap(), m);
+        let empty = merge_sources(6, 6, vec![]).unwrap();
+        assert_eq!(empty.nnz(), 0);
+        assert_eq!((empty.rows(), empty.cols()), (6, 6));
+        let with_zero = merge_sources(6, 6, vec![mem(m.clone()), mem(Csr::zero(6, 6))]).unwrap();
+        assert_eq!(with_zero, m);
+    }
+
+    #[test]
+    fn panel_partials_reassemble_the_product() {
+        // The real use: partials of A[:, p] · B[p, :] merge to A · B.
+        let a = gen::rmat_graph500(40, 4, 2);
+        let b = gen::uniform_random(40, 32, 200, 3);
+        let parts: Vec<Csr> = sparch_sparse::panel_ranges(a.cols(), 5)
+            .into_iter()
+            .map(|r| algo::gustavson(&a.col_panel(r.clone()), &b.row_panel(r)))
+            .filter(|p| p.nnz() > 0)
+            .collect();
+        let merged = merge_sources(40, 32, parts.into_iter().map(mem).collect()).unwrap();
+        assert_eq!(merged, algo::gustavson(&a, &b));
+    }
+}

@@ -1,0 +1,207 @@
+//! The compact binary spill format for partial matrices.
+//!
+//! A spilled partial is the paper's "partially merged result written back
+//! to DRAM", transplanted to disk: sorted COO triples, the same
+//! row-major `(row, col)` order the merge hardware consumes ("sorted by
+//! row index then column index", §II-A), so a reader can stream straight
+//! into a k-way merge without ever materializing the matrix.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  u32   0x5350_4d31  ("SPM1")
+//! rows   u64
+//! cols   u64
+//! nnz    u64
+//! entry  (row u32, col u32, value f64)  × nnz, sorted by (row, col)
+//! ```
+//!
+//! 16 bytes per element — 4 + 4 index bytes and the 8-byte value —
+//! versus the 20 bytes an in-memory CSR's `row_ptr` would amortize to on
+//! pathological shapes; more importantly the format is *streamable* in
+//! both directions.
+
+use crate::StreamError;
+use sparch_sparse::{Csr, CsrBuilder, Index, Triple};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: u32 = 0x5350_4d31;
+
+/// Read-buffer capacity for streaming a spilled partial back in. Small
+/// by design: this bounds the resident bytes a spilled merge child costs.
+const READ_BUF_BYTES: usize = 64 * 1024;
+
+/// A partial matrix sitting on disk.
+#[derive(Debug)]
+pub(crate) struct SpillFile {
+    /// Where the partial lives.
+    pub path: PathBuf,
+    /// File size in bytes (header + entries), for traffic accounting.
+    pub bytes: u64,
+}
+
+/// Writes `csr` to `path` in the spill format.
+pub(crate) fn write_partial(path: &Path, csr: &Csr) -> Result<SpillFile, StreamError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&(csr.rows() as u64).to_le_bytes())?;
+    w.write_all(&(csr.cols() as u64).to_le_bytes())?;
+    w.write_all(&(csr.nnz() as u64).to_le_bytes())?;
+    for (r, c, v) in csr.iter() {
+        w.write_all(&r.to_le_bytes())?;
+        w.write_all(&c.to_le_bytes())?;
+        w.write_all(&v.to_bits().to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(SpillFile {
+        path: path.to_path_buf(),
+        bytes: 28 + csr.nnz() as u64 * 16,
+    })
+}
+
+/// Streams a spilled partial back as sorted triples through a bounded
+/// read buffer.
+#[derive(Debug)]
+pub(crate) struct SpillReader {
+    reader: BufReader<File>,
+    rows: usize,
+    cols: usize,
+    remaining: u64,
+}
+
+impl SpillReader {
+    /// Opens a spill file and validates its header.
+    pub fn open(path: &Path) -> Result<Self, StreamError> {
+        let mut reader = BufReader::with_capacity(READ_BUF_BYTES, File::open(path)?);
+        let magic = read_u32(&mut reader)?;
+        if magic != MAGIC {
+            return Err(StreamError::Io(format!(
+                "bad spill magic {magic:#010x} in {}",
+                path.display()
+            )));
+        }
+        let rows = read_u64(&mut reader)? as usize;
+        let cols = read_u64(&mut reader)? as usize;
+        let remaining = read_u64(&mut reader)?;
+        Ok(SpillReader {
+            reader,
+            rows,
+            cols,
+            remaining,
+        })
+    }
+
+    /// Declared shape of the spilled partial.
+    #[cfg(test)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The next triple in `(row, col)` order, or `None` at the end.
+    pub fn next_triple(&mut self) -> Result<Option<Triple>, StreamError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let r = read_u32(&mut self.reader)?;
+        let c = read_u32(&mut self.reader)?;
+        let bits = read_u64(&mut self.reader)?;
+        Ok(Some((r as Index, c as Index, f64::from_bits(bits))))
+    }
+
+    /// Drains the whole file into a CSR — the non-streaming fallback used
+    /// when a spilled partial *is* the final result.
+    pub fn read_all(mut self) -> Result<Csr, StreamError> {
+        let mut b = CsrBuilder::with_capacity(self.rows, self.cols, self.remaining as usize);
+        while let Some((r, c, v)) = self.next_triple()? {
+            b.push(r, c, v);
+        }
+        Ok(b.finish())
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, StreamError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, StreamError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparch_sparse::gen;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sparch_spill_{tag}_{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let m = gen::uniform_random(20, 30, 120, 5);
+        let path = temp_path("roundtrip");
+        let file = write_partial(&path, &m).unwrap();
+        assert_eq!(file.bytes, 28 + 16 * m.nnz() as u64);
+        assert_eq!(file.bytes, std::fs::metadata(&path).unwrap().len());
+        let reader = SpillReader::open(&path).unwrap();
+        assert_eq!(reader.shape(), (20, 30));
+        assert_eq!(reader.read_all().unwrap(), m);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streams_in_sorted_order() {
+        let m = gen::rmat_graph500(32, 4, 9);
+        let path = temp_path("sorted");
+        write_partial(&path, &m).unwrap();
+        let mut reader = SpillReader::open(&path).unwrap();
+        let mut triples = Vec::new();
+        while let Some(t) = reader.next_triple().unwrap() {
+            triples.push(t);
+        }
+        assert_eq!(triples, m.iter().collect::<Vec<_>>());
+        assert!(triples
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn explicit_zeros_and_negative_zero_survive() {
+        let m = Csr::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![0.0, -0.0]).unwrap();
+        let path = temp_path("zeros");
+        write_partial(&path, &m).unwrap();
+        let back = SpillReader::open(&path).unwrap().read_all().unwrap();
+        assert_eq!(back.nnz(), 2);
+        assert_eq!(back.values()[0].to_bits(), 0.0f64.to_bits());
+        assert_eq!(back.values()[1].to_bits(), (-0.0f64).to_bits());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_is_an_io_error() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        assert!(matches!(SpillReader::open(&path), Err(StreamError::Io(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_is_an_io_error() {
+        let m = gen::uniform_random(8, 8, 20, 1);
+        let path = temp_path("truncated");
+        write_partial(&path, &m).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let reader = SpillReader::open(&path).unwrap();
+        assert!(matches!(reader.read_all(), Err(StreamError::Io(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,324 @@
+//! The memory-budgeted partial store.
+//!
+//! Between the multiply phase and each merge round, the pipeline's
+//! partials live here. The store enforces the [`MemoryBudget`] as an
+//! invariant — the bytes of resident (in-memory) partials never exceed
+//! the budget, and `peak_live_bytes` records the high-water mark — by
+//! spilling partials to disk via the [`spill`](crate::spill) format.
+//!
+//! Eviction order is the software twin of the paper's look-ahead idea:
+//! once the Huffman merge plan is known, the store knows exactly when
+//! every partial is consumed, so it evicts the one needed *farthest in
+//! the future* (Bélády's optimal policy — the same principle as the
+//! row prefetcher's replacement, §II-E). Before the plan exists (during
+//! the multiply phase), it evicts the largest partial: the Huffman
+//! scheduler merges smallest-first, so the largest partials are the ones
+//! consumed last.
+
+use crate::spill::{write_partial, SpillFile, SpillReader};
+use crate::{MemoryBudget, StreamError};
+use sparch_sparse::Csr;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Running spill/residency telemetry, folded into the executor's report.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct StoreStats {
+    pub peak_live_bytes: u64,
+    pub spill_writes: u64,
+    pub spill_reads: u64,
+    pub spill_bytes_written: u64,
+}
+
+/// One merge-round input, as handed to the k-way merge: either a resident
+/// CSR (owned, its bytes still counted against the budget until the round
+/// releases it) or a streaming reader over a spilled partial.
+#[derive(Debug)]
+pub(crate) enum Taken {
+    Mem(Csr),
+    Disk(SpillReader),
+}
+
+/// The budget-enforcing holding area for partial matrices, keyed by plan
+/// node id (leaves `0..n`, round outputs `n + round`).
+#[derive(Debug)]
+pub(crate) struct PartialStore {
+    budget: u64,
+    spill_dir: PathBuf,
+    dir_created: bool,
+    resident: HashMap<usize, Csr>,
+    spilled: HashMap<usize, SpillFile>,
+    /// Bytes of partials currently counted as live: resident entries plus
+    /// partials pinned by an in-flight merge round.
+    live_bytes: u64,
+    /// Bytes pinned per node by [`PartialStore::take`] until release.
+    pinned: HashMap<usize, u64>,
+    /// Spill files opened by `take`, deleted at release.
+    pending_delete: HashMap<usize, PathBuf>,
+    /// `consumers[node] = round that consumes it`, known once the merge
+    /// plan is built; enables exact farthest-future-use eviction.
+    consumers: Option<Vec<usize>>,
+    stats: StoreStats,
+}
+
+impl PartialStore {
+    pub fn new(budget: MemoryBudget, spill_dir: PathBuf) -> Self {
+        PartialStore {
+            budget: budget.bytes(),
+            spill_dir,
+            dir_created: false,
+            resident: HashMap::new(),
+            spilled: HashMap::new(),
+            live_bytes: 0,
+            pinned: HashMap::new(),
+            pending_delete: HashMap::new(),
+            consumers: None,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Installs the merge plan's consumption schedule, switching eviction
+    /// from the largest-first heuristic to exact farthest-future-use.
+    pub fn set_consumers(&mut self, consumers: Vec<usize>) {
+        self.consumers = Some(consumers);
+    }
+
+    /// Accepts a freshly produced partial. If it does not fit alongside
+    /// the current residents, other residents are evicted
+    /// (farthest-future-use first); if it still does not fit — the
+    /// budget is smaller than this single partial — it goes straight to
+    /// disk and is never counted as live.
+    pub fn insert(&mut self, id: usize, csr: Csr) -> Result<(), StreamError> {
+        let bytes = csr.estimated_bytes();
+        while self.live_bytes.saturating_add(bytes) > self.budget {
+            if !self.evict_one()? {
+                break;
+            }
+        }
+        if self.live_bytes.saturating_add(bytes) > self.budget {
+            self.spill(id, &csr)?;
+            return Ok(());
+        }
+        self.resident.insert(id, csr);
+        self.live_bytes += bytes;
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.live_bytes);
+        Ok(())
+    }
+
+    /// Opens node `id` for a merge round. Resident partials stay counted
+    /// against the budget (they remain in memory while the round runs);
+    /// spilled partials come back as a bounded-buffer streaming reader.
+    pub fn take(&mut self, id: usize) -> Result<Taken, StreamError> {
+        if let Some(csr) = self.resident.remove(&id) {
+            self.pinned.insert(id, csr.estimated_bytes());
+            return Ok(Taken::Mem(csr));
+        }
+        let file = self
+            .spilled
+            .remove(&id)
+            .unwrap_or_else(|| panic!("partial {id} neither resident nor spilled"));
+        self.stats.spill_reads += 1;
+        let reader = SpillReader::open(&file.path)?;
+        self.pending_delete.insert(id, file.path);
+        Ok(Taken::Disk(reader))
+    }
+
+    /// Marks node `id` fully consumed: un-counts pinned bytes and deletes
+    /// its spill file.
+    pub fn release(&mut self, id: usize) {
+        if let Some(bytes) = self.pinned.remove(&id) {
+            self.live_bytes -= bytes;
+        }
+        if let Some(path) = self.pending_delete.remove(&id) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Fully materializes node `id` — used only when a lone partial *is*
+    /// the final result.
+    pub fn take_full(&mut self, id: usize) -> Result<Csr, StreamError> {
+        match self.take(id)? {
+            Taken::Mem(csr) => {
+                self.release(id);
+                Ok(csr)
+            }
+            Taken::Disk(reader) => {
+                let csr = reader.read_all()?;
+                self.release(id);
+                Ok(csr)
+            }
+        }
+    }
+
+    /// Spill/residency counters accumulated so far.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Removes the run's spill directory (best-effort; spill files are
+    /// deleted as they are consumed, so this normally just removes an
+    /// empty directory).
+    pub fn cleanup(&mut self) {
+        if self.dir_created {
+            let _ = std::fs::remove_dir_all(&self.spill_dir);
+            self.dir_created = false;
+        }
+    }
+
+    /// Evicts one resident partial to disk. Returns `false` when nothing
+    /// is evictable (only pinned partials remain live).
+    fn evict_one(&mut self) -> Result<bool, StreamError> {
+        // Farthest future use when the plan is known; largest-first
+        // before that. Ties break toward the smallest id — fully
+        // deterministic either way.
+        let victim = match &self.consumers {
+            Some(consumers) => self
+                .resident
+                .iter()
+                .map(|(&id, csr)| (consumers[id], csr.estimated_bytes(), id))
+                .max_by_key(|&(round, bytes, id)| (round, bytes, std::cmp::Reverse(id)))
+                .map(|(_, _, id)| id),
+            None => self
+                .resident
+                .iter()
+                .map(|(&id, csr)| (csr.estimated_bytes(), id))
+                .max_by_key(|&(bytes, id)| (bytes, std::cmp::Reverse(id)))
+                .map(|(_, id)| id),
+        };
+        let Some(id) = victim else {
+            return Ok(false);
+        };
+        let csr = self.resident.remove(&id).expect("victim is resident");
+        self.live_bytes -= csr.estimated_bytes();
+        self.spill(id, &csr)?;
+        Ok(true)
+    }
+
+    fn spill(&mut self, id: usize, csr: &Csr) -> Result<(), StreamError> {
+        if !self.dir_created {
+            std::fs::create_dir_all(&self.spill_dir)?;
+            self.dir_created = true;
+        }
+        let path = self.spill_dir.join(format!("partial-{id}.bin"));
+        let file = write_partial(&path, csr)?;
+        self.stats.spill_writes += 1;
+        self.stats.spill_bytes_written += file.bytes;
+        self.spilled.insert(id, file);
+        Ok(())
+    }
+}
+
+impl Drop for PartialStore {
+    fn drop(&mut self) {
+        // Error paths may leave spill files behind; sweep them with the
+        // directory.
+        self.cleanup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparch_sparse::gen;
+
+    fn dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sparch_store_{tag}_{}", std::process::id()))
+    }
+
+    fn partial(seed: u64) -> Csr {
+        gen::uniform_random(16, 16, 64, seed)
+    }
+
+    #[test]
+    fn unbounded_budget_never_spills() {
+        let mut store = PartialStore::new(MemoryBudget::unbounded(), dir("nospill"));
+        for id in 0..4 {
+            store.insert(id, partial(id as u64)).unwrap();
+        }
+        assert_eq!(store.stats().spill_writes, 0);
+        assert!(store.stats().peak_live_bytes > 0);
+        for id in 0..4 {
+            assert!(matches!(store.take(id).unwrap(), Taken::Mem(_)));
+            store.release(id);
+        }
+    }
+
+    #[test]
+    fn zero_budget_spills_everything_and_streams_back() {
+        let mut store = PartialStore::new(MemoryBudget::from_bytes(0), dir("allspill"));
+        let originals: Vec<Csr> = (0..3).map(|s| partial(s as u64)).collect();
+        for (id, p) in originals.iter().enumerate() {
+            store.insert(id, p.clone()).unwrap();
+        }
+        assert_eq!(store.stats().spill_writes, 3);
+        assert_eq!(store.stats().peak_live_bytes, 0);
+        for (id, p) in originals.iter().enumerate() {
+            match store.take(id).unwrap() {
+                Taken::Disk(reader) => assert_eq!(&reader.read_all().unwrap(), p),
+                Taken::Mem(_) => panic!("partial {id} should have spilled"),
+            }
+            store.release(id);
+        }
+        assert_eq!(store.stats().spill_reads, 3);
+        store.cleanup();
+    }
+
+    #[test]
+    fn budget_is_a_live_bytes_invariant() {
+        // Budget fits roughly two partials; the third insert must evict.
+        let p = partial(1);
+        let budget = MemoryBudget::from_bytes(p.estimated_bytes() * 2 + 16);
+        let mut store = PartialStore::new(budget, dir("invariant"));
+        for id in 0..5 {
+            store.insert(id, partial(id as u64)).unwrap();
+            assert!(
+                store.stats().peak_live_bytes <= budget.bytes(),
+                "budget exceeded after insert {id}"
+            );
+        }
+        assert!(store.stats().spill_writes >= 3);
+        store.cleanup();
+    }
+
+    #[test]
+    fn consumers_schedule_evicts_farthest_use_first() {
+        let p = partial(7);
+        let budget = MemoryBudget::from_bytes(p.estimated_bytes() * 2 + 16);
+        let mut store = PartialStore::new(budget, dir("belady"));
+        // Node 0 is consumed last (round 9), node 1 soon (round 0).
+        store.set_consumers(vec![9, 0, 1, 2]);
+        store.insert(0, partial(10)).unwrap();
+        store.insert(1, partial(11)).unwrap();
+        store.insert(2, partial(12)).unwrap(); // must evict node 0
+        assert!(matches!(store.take(1).unwrap(), Taken::Mem(_)));
+        store.release(1);
+        assert!(matches!(store.take(2).unwrap(), Taken::Mem(_)));
+        store.release(2);
+        assert!(matches!(store.take(0).unwrap(), Taken::Disk(_)));
+        store.release(0);
+        store.cleanup();
+    }
+
+    #[test]
+    fn take_full_round_trips_both_paths() {
+        let p = partial(3);
+        let mut resident = PartialStore::new(MemoryBudget::unbounded(), dir("full_mem"));
+        resident.insert(0, p.clone()).unwrap();
+        assert_eq!(resident.take_full(0).unwrap(), p);
+        let mut spilly = PartialStore::new(MemoryBudget::from_bytes(0), dir("full_disk"));
+        spilly.insert(0, p.clone()).unwrap();
+        assert_eq!(spilly.take_full(0).unwrap(), p);
+        spilly.cleanup();
+    }
+
+    #[test]
+    fn cleanup_removes_the_spill_directory() {
+        let d = dir("cleanup");
+        let mut store = PartialStore::new(MemoryBudget::from_bytes(0), d.clone());
+        store.insert(0, partial(1)).unwrap();
+        assert!(d.exists());
+        store.take_full(0).unwrap();
+        store.cleanup();
+        assert!(!d.exists());
+    }
+}

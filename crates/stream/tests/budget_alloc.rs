@@ -1,0 +1,146 @@
+//! Allocator-audited memory-budget guarantee.
+//!
+//! A byte-tracking global allocator (current live bytes + high-water
+//! mark) wraps the system allocator. The test builds a task whose full
+//! set of partials is several times larger than the budget, runs it
+//! unbounded and budgeted, and checks that
+//!
+//! 1. the store-reported `peak_live_bytes` respects the budget exactly,
+//!    with the spill path genuinely exercised,
+//! 2. the *allocator-observed* peak heap growth of the budgeted run is
+//!    bounded by the budget plus the pipeline's documented transients
+//!    (the one in-flight panel product, the merge output under
+//!    construction, and I/O buffers), and
+//! 3. the budgeted run's peak heap growth is well below the unbounded
+//!    run's — the budget is real, not bookkeeping.
+//!
+//! This file holds exactly one test so no neighbouring test's
+//! allocations can race the counters (same discipline as
+//! `crates/core/tests/zero_alloc.rs`).
+
+use sparch_sparse::{algo, gen, linalg};
+use sparch_stream::{MemoryBudget, StreamConfig, StreamingExecutor};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct TrackingAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(size: usize) {
+    LIVE.fetch_sub(size as u64, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        on_alloc(new_size);
+        on_dealloc(layout.size());
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        on_dealloc(layout.size());
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+/// Runs one multiply and returns (report, allocator peak growth over the
+/// baseline at call time).
+fn audited_run(a: &sparch_sparse::Csr, budget: MemoryBudget) -> (sparch_stream::StreamReport, u64) {
+    let exec = StreamingExecutor::new(StreamConfig {
+        budget,
+        panels: 8,
+        merge_ways: 4,
+        threads: Some(1), // one in-flight panel product, the documented transient
+        spill_dir: None,
+    });
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+    let (c, report) = exec.multiply(a, a).expect("streaming multiply failed");
+    let peak_growth = PEAK.load(Ordering::Relaxed).saturating_sub(baseline);
+    drop(c);
+    (report, peak_growth)
+}
+
+#[test]
+fn peak_live_bytes_respect_the_budget() {
+    // Integer-valued so the budgeted result is bit-identical to the
+    // in-memory reference — correctness and memory are checked together.
+    let a = linalg::map_values(&gen::uniform_random(192, 192, 192 * 14, 42), |v| {
+        (v * 4.0).round()
+    });
+    let expected = algo::gustavson(&a, &a);
+
+    // Unbounded probe: learn the full partial footprint and the
+    // allocator peak the budget is supposed to beat.
+    let (probe, unbounded_peak) = audited_run(&a, MemoryBudget::unbounded());
+    assert_eq!(probe.spill_writes, 0);
+    assert!(
+        probe.partial_bytes_total > 0 && probe.partials >= 6,
+        "workload too small to be meaningful: {probe:?}"
+    );
+
+    // Budget: a quarter of the footprint — impossible without spilling.
+    let budget = probe.partial_bytes_total / 4;
+    let (report, budgeted_peak) = audited_run(&a, MemoryBudget::from_bytes(budget));
+
+    // (1) The store's accounting honours the budget and really spilled.
+    assert!(
+        report.peak_live_bytes <= budget,
+        "peak {} exceeds budget {budget}",
+        report.peak_live_bytes
+    );
+    assert!(report.spill_writes > 0 && report.spill_reads > 0);
+    assert!(report.spill_bytes_written > 0);
+
+    // (2) Allocator-observed growth ≤ budget + documented transients:
+    // one in-flight partial (threads = 1), one merge output being built
+    // (bounded by the result's own footprint), spill I/O buffers and
+    // heap/plan bookkeeping under the fixed slack.
+    let result_bytes = expected.estimated_bytes();
+    let slack = 1 << 20;
+    let bound = budget + 2 * report.largest_partial_bytes + 2 * result_bytes + slack;
+    assert!(
+        budgeted_peak <= bound,
+        "allocator peak {budgeted_peak} exceeds bound {bound} \
+         (budget {budget}, largest partial {}, result {result_bytes})",
+        report.largest_partial_bytes
+    );
+
+    // (3) The budget visibly shrinks real heap usage versus unbounded.
+    assert!(
+        budgeted_peak < unbounded_peak,
+        "budgeted peak {budgeted_peak} not below unbounded peak {unbounded_peak}"
+    );
+
+    // And the budgeted result is still exactly right.
+    let (c, _) = StreamingExecutor::new(StreamConfig {
+        budget: MemoryBudget::from_bytes(budget),
+        panels: 8,
+        merge_ways: 4,
+        threads: Some(1),
+        spill_dir: None,
+    })
+    .multiply(&a, &a)
+    .expect("streaming multiply failed");
+    assert_eq!(c, expected);
+}

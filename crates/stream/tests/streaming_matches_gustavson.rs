@@ -1,0 +1,133 @@
+//! The streaming pipeline's conformance contract, pinned across the
+//! shared `gen::arb` grid at several budgets and panel counts.
+//!
+//! For integer-valued inputs (products and sums exact in f64) the
+//! streamed result must be **bit-identical** to `gustavson` — same
+//! `row_ptr`, `col_idx` and value bits — whatever the budget (including
+//! a zero budget, where every partial spills to disk and streams back),
+//! panel count or thread count. For continuous floats the structure is
+//! still exact; values may drift by ulps because the panel split
+//! regroups the non-associative summation, so they are compared to
+//! 1e-12.
+
+use proptest::prelude::*;
+use sparch_sparse::gen::arb::{self, ValueClass};
+use sparch_sparse::{algo, Csr};
+use sparch_stream::{MemoryBudget, StreamConfig, StreamingExecutor};
+
+fn exec(budget: u64, panels: usize, threads: usize) -> StreamingExecutor {
+    StreamingExecutor::new(StreamConfig {
+        budget: MemoryBudget::from_bytes(budget),
+        panels,
+        merge_ways: 3, // small fan-in → multi-round merges even on tiny grids
+        threads: Some(threads),
+        spill_dir: None,
+    })
+}
+
+/// Budgets swept by every check: spill-everything, spill-some, in-core.
+const BUDGETS: [u64; 3] = [0, 2 << 10, u64::MAX];
+
+fn assert_streams_exactly(a: &Csr, b: &Csr, budget: u64, panels: usize) {
+    let expected = algo::gustavson(a, b);
+    let (c, report) = exec(budget, panels, 2)
+        .multiply(a, b)
+        .expect("streaming multiply failed");
+    assert_eq!(c, expected, "budget {budget} panels {panels}");
+    assert!(report.peak_live_bytes <= budget);
+    if budget == 0 {
+        // Every partial spills, and so does every non-final round output.
+        assert!(report.spill_writes >= report.partials as u64);
+        assert_eq!(report.peak_live_bytes, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn small_int_inputs_are_bit_identical(
+        pair in arb::spgemm_pair(20, 70, ValueClass::SmallInt),
+        budget in prop_oneof![Just(BUDGETS[0]), Just(BUDGETS[1]), Just(BUDGETS[2])],
+        panels in 1usize..6,
+    ) {
+        let (a, b) = pair;
+        assert_streams_exactly(&a, &b, budget, panels);
+    }
+
+    #[test]
+    fn explicit_zero_inputs_are_bit_identical(
+        pair in arb::spgemm_pair(18, 60, ValueClass::SmallIntWithZeros),
+        budget in prop_oneof![Just(BUDGETS[0]), Just(BUDGETS[2])],
+        panels in 1usize..5,
+    ) {
+        // Stored zeros must survive the spill format and the merge fold.
+        let (a, b) = pair;
+        assert_streams_exactly(&a, &b, budget, panels);
+    }
+
+    #[test]
+    fn unit_pattern_inputs_are_bit_identical(
+        pair in arb::spgemm_pair(22, 80, ValueClass::Unit),
+        panels in 1usize..6,
+    ) {
+        let (a, b) = pair;
+        assert_streams_exactly(&a, &b, 0, panels);
+    }
+
+    #[test]
+    fn float_inputs_match_structurally_to_tolerance(
+        pair in arb::spgemm_pair(20, 70, ValueClass::Float),
+        budget in prop_oneof![Just(BUDGETS[0]), Just(BUDGETS[2])],
+        panels in 1usize..6,
+    ) {
+        let (a, b) = pair;
+        let expected = algo::gustavson(&a, &b);
+        let (c, _) = exec(budget, panels, 2).multiply(&a, &b).expect("multiply");
+        // approx_eq demands exact row_ptr/col_idx equality plus values
+        // within tolerance — the structural half is the hard guarantee.
+        prop_assert!(c.approx_eq(&expected, 1e-12), "budget {} panels {}", budget, panels);
+    }
+}
+
+/// The deterministic tour of the grid the property tests sample: every
+/// seed × budget × panel × thread combination, so failures name their
+/// reproducer.
+#[test]
+fn deterministic_grid_sweep() {
+    let pairs = arb::spgemm_pair(24, 90, ValueClass::SmallInt);
+    for seed in 0..8 {
+        let (a, b) = arb::sample(&pairs, seed);
+        let expected = algo::gustavson(&a, &b);
+        for budget in BUDGETS {
+            for panels in [1, 2, 5] {
+                for threads in [1, 3] {
+                    let (c, report) = exec(budget, panels, threads)
+                        .multiply(&a, &b)
+                        .expect("streaming multiply failed");
+                    assert_eq!(
+                        c, expected,
+                        "seed {seed} budget {budget} panels {panels} threads {threads}"
+                    );
+                    assert!(report.peak_live_bytes <= budget);
+                }
+            }
+        }
+    }
+}
+
+/// A budget so small every partial spills still reproduces gustavson on
+/// a workload big enough for multi-round, multi-level merges.
+#[test]
+fn everything_spills_on_a_multi_round_merge() {
+    use sparch_sparse::{gen, linalg};
+    let a = linalg::map_values(&gen::uniform_random(120, 120, 1400, 9), |v| {
+        (v * 4.0).round()
+    });
+    let (c, report) = exec(0, 11, 2).multiply(&a, &a).unwrap();
+    assert_eq!(c, algo::gustavson(&a, &a));
+    assert!(report.merge_rounds >= 4, "want a deep plan, got {report:?}");
+    assert!(report.spill_writes >= report.partials as u64);
+    assert_eq!(report.peak_live_bytes, 0);
+    assert!(report.spill_reads >= report.spill_writes);
+}

@@ -5,6 +5,7 @@
 //! sparch-cli generate --kind rmat --n 4096 --degree 8 --out matrix.mtx
 //! sparch-cli stats --a matrix.mtx
 //! sparch-cli batch --file requests.json [--policy adaptive] [--threads N] [--json out.json]
+//! sparch-cli stream --a matrix.mtx [--b other.mtx] [--budget-mb N] [--panels P] [--threads T]
 //! ```
 //!
 //! `multiply` simulates `A × B` (B defaults to A), printing the same
@@ -14,13 +15,17 @@
 //! structural quantities SpArch's performance depends on. `batch` runs a
 //! JSON request file through the `sparch-serve` layer — adaptive backend
 //! dispatch, operand caching, sharded execution — and prints the batch
-//! report.
+//! report. `stream` multiplies through the out-of-core `sparch-stream`
+//! pipeline: `A` is ingested panel by panel (never materialized whole),
+//! partials merge in Huffman order under `--budget-mb`, spilling to a
+//! temp directory when they do not fit.
 
 use sparch::baselines::OuterSpaceModel;
 use sparch::core::{SpArchConfig, SpArchSim};
 use sparch::mem::TrafficCategory;
 use sparch::serve::{Batch, Calibration, DispatchPolicy, ServiceConfig, SpgemmService};
 use sparch::sparse::{algo, gen, mm, stats, Csr};
+use sparch::stream::{MemoryBudget, StreamConfig, StreamingExecutor};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -31,7 +36,8 @@ fn usage() -> ! {
          <rmat|uniform|poisson|banded> --n <N> [--degree D] [--seed S] --out <mtx>\n  \
          sparch-cli stats --a <mtx>\n  sparch-cli batch --file <requests.json> \
          [--policy adaptive|fixed:<backend>] [--threads N] [--reference-calibration] \
-         [--json <path>]"
+         [--json <path>]\n  sparch-cli stream --a <mtx> [--b <mtx>] [--budget-mb N] \
+         [--panels P] [--ways W] [--threads T] [--verify] [--json <path>]"
     );
     std::process::exit(2);
 }
@@ -287,6 +293,117 @@ fn cmd_batch(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_stream(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(a_path) = flags.get("a") else {
+        usage()
+    };
+    let parse_num = |key: &str, default: usize| -> usize {
+        flags
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} needs a number"))
+            })
+            .unwrap_or(default)
+    };
+    let defaults = StreamConfig::default();
+    let config = StreamConfig {
+        budget: flags
+            .get("budget-mb")
+            .map(|v| MemoryBudget::from_mb(v.parse().expect("--budget-mb needs a number of MiB")))
+            .unwrap_or(defaults.budget),
+        panels: parse_num("panels", defaults.panels).max(1),
+        merge_ways: parse_num("ways", defaults.merge_ways).max(2),
+        threads: flags
+            .get("threads")
+            .map(|v| v.parse().expect("--threads needs a number")),
+        spill_dir: None,
+    };
+
+    // B is loaded in full (it is consumed row-panel by row-panel from
+    // memory); A streams through `mm::read_panels`, so it is never
+    // materialized whole — the out-of-core ingestion path. When --b is
+    // omitted, B defaults to A (which is then materialized once, as B).
+    let reader = match mm::read_panels(a_path, config.panels) {
+        Ok(reader) => reader,
+        Err(e) => {
+            eprintln!("failed to open {a_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let b = load(flags.get("b").unwrap_or(a_path));
+    let (a_rows, inner_dim) = (reader.rows(), reader.cols());
+
+    let executor = StreamingExecutor::new(config);
+    let mut panel_error = None;
+    let panels = reader.map_while(|panel| match panel {
+        Ok((range, coo)) => Some((range, coo.to_csr())),
+        Err(e) => {
+            panel_error = Some(e);
+            None
+        }
+    });
+    let outcome = executor.multiply_from_panels(a_rows, inner_dim, panels, &b);
+    if let Some(e) = panel_error {
+        eprintln!("failed to read {a_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let (c, report) = match outcome {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("streaming multiply failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if flags.contains_key("verify") {
+        let a = load(a_path);
+        let reference = algo::gustavson(&a, &b);
+        if c.approx_eq(&reference, 1e-9) {
+            println!("verification: OK ({} non-zeros)", reference.nnz());
+        } else {
+            eprintln!("verification FAILED");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "A: {}x{} (streamed in {} panels) | B: {}x{}, {} nnz",
+        a_rows,
+        inner_dim,
+        report.panels,
+        b.rows(),
+        b.cols(),
+        b.nnz()
+    );
+    println!("result: {} nnz", report.output_nnz);
+    println!(
+        "partials: {} ({} merge rounds, {}-way)",
+        report.partials, report.merge_rounds, report.merge_ways
+    );
+    println!(
+        "budget: {:.2} MiB, peak live: {:.2} MiB",
+        report.budget_bytes as f64 / (1 << 20) as f64,
+        report.peak_live_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "spill: {} writes / {} reads, {:.2} MiB written",
+        report.spill_writes,
+        report.spill_reads,
+        report.spill_bytes_written as f64 / (1 << 20) as f64
+    );
+
+    if let Some(path) = flags.get("json") {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report).expect("serialize"),
+        )
+        .expect("write json");
+        println!("\nreport written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -298,6 +415,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "stats" => cmd_stats(&flags),
         "batch" => cmd_batch(&flags),
+        "stream" => cmd_stream(&flags),
         _ => usage(),
     }
 }

@@ -13,6 +13,9 @@
 //!   execute → writeback with reusable [`core::SimScratch`] buffers,
 //! * [`exec`] — the parallel sharded execution layer ([`exec::ShardPool`],
 //!   [`exec::Workload`], [`exec::ParallelRunner`]) for multi-core sweeps,
+//! * [`stream`] — the streaming out-of-core SpGEMM pipeline
+//!   ([`stream::StreamingExecutor`]: panel-partitioned multiply,
+//!   memory-budgeted Huffman-ordered partial merge, disk spill),
 //! * [`serve`] — the request-serving layer ([`serve::SpgemmService`],
 //!   adaptive backend dispatch, operand caching, batch reports),
 //! * [`baselines`] — the OuterSPACE model and software baseline proxies.
@@ -40,6 +43,7 @@ pub use sparch_exec as exec;
 pub use sparch_mem as mem;
 pub use sparch_serve as serve;
 pub use sparch_sparse as sparse;
+pub use sparch_stream as stream;
 
 /// Commonly used items, importable in one line.
 pub mod prelude {
@@ -54,4 +58,5 @@ pub mod prelude {
         SpgemmService,
     };
     pub use sparch_sparse::{Coo, Csc, Csr, CsrBuilder, Dense, Index, Triple, Value};
+    pub use sparch_stream::{MemoryBudget, StreamConfig, StreamReport, StreamingExecutor};
 }

@@ -1,4 +1,6 @@
-//! Differential conformance harness for the six software SpGEMM backends.
+//! Differential conformance harness for the seven software SpGEMM
+//! backends — the six in-memory kernels plus the out-of-core streaming
+//! pipeline.
 //!
 //! Every backend is run over a grid of generator classes — R-MAT,
 //! structured (Poisson / banded / block-sparse / power-law), rectangular,
@@ -8,6 +10,12 @@
 //! (value-exact to 1e-9) and against `gustavson` (structure-exact).
 //! On failure the harness reports the first diverging `(backend, class,
 //! seed)` triple, which is exactly the reproducer a fix needs.
+//!
+//! The streaming backend additionally gets a budget sweep
+//! ([`streaming_backend_under_every_budget_regime`]): the grid's hard
+//! classes re-run through explicit spill-everything / spill-some /
+//! in-core configurations, since `Backend::Streaming` itself pins one
+//! default configuration.
 //!
 //! This suite is the serving layer's safety net: `sparch-serve` may
 //! route any request to any backend, so "all backends agree everywhere"
@@ -272,7 +280,72 @@ fn one_by_n_and_n_by_one_shapes() {
     run_grid(points);
 }
 
-/// The full grid in one sweep, so a future seventh backend only needs to
+/// The streaming pipeline across budget regimes on the grid's hard
+/// classes: explicit stored zeros, duplicate-coordinate folds and
+/// power-law structure, at budgets forcing everything / some / nothing
+/// to spill and several panel counts. Structure must match `gustavson`
+/// exactly; values to 1e-9 (the panel split regroups float summation).
+#[test]
+fn streaming_backend_under_every_budget_regime() {
+    use sparch::stream::{MemoryBudget, StreamConfig, StreamingExecutor};
+    let zero_pairs = arb::spgemm_pair(20, 70, ValueClass::SmallIntWithZeros);
+    let mut points = vec![
+        point(
+            "rmat",
+            0,
+            gen::rmat_graph500(48, 4, 0),
+            gen::rmat_graph500(48, 6, 100),
+        ),
+        point(
+            "rect",
+            1,
+            gen::uniform_random(9, 24, 60, 1),
+            gen::uniform_random(24, 33, 70, 2),
+        ),
+        point(
+            "scalar",
+            2,
+            gen::uniform_random(1, 1, 1, 1),
+            gen::uniform_random(1, 1, 1, 2),
+        ),
+    ];
+    for seed in 0..4 {
+        let (a, b) = arb::sample(&zero_pairs, seed);
+        points.push(point("explicit-zeros", seed, a, b));
+    }
+    for p in &points {
+        let reference = algo::gustavson(&p.a, &p.b);
+        for budget in [0u64, 4 << 10, u64::MAX] {
+            for panels in [1usize, 3, 7] {
+                let exec = StreamingExecutor::new(StreamConfig {
+                    budget: MemoryBudget::from_bytes(budget),
+                    panels,
+                    merge_ways: 3,
+                    threads: Some(2),
+                    spill_dir: None,
+                });
+                let (c, report) = exec.multiply(&p.a, &p.b).expect("streaming multiply");
+                assert!(
+                    c.approx_eq(&reference, 1e-9),
+                    "streaming diverged on class {:?} seed {} at budget {budget}, \
+                     panels {panels} ({} vs {} nnz)",
+                    p.class,
+                    p.seed,
+                    c.nnz(),
+                    reference.nnz()
+                );
+                assert!(
+                    report.peak_live_bytes <= budget,
+                    "class {:?}: peak {} over budget {budget}",
+                    p.class,
+                    report.peak_live_bytes
+                );
+            }
+        }
+    }
+}
+
+/// The full grid in one sweep, so a future eighth backend only needs to
 /// be added to `sparch::serve::Backend` to inherit every class.
 #[test]
 fn arb_randomized_sweep() {
