@@ -6,7 +6,10 @@
 //! full partial footprint, then with a budget pinned to a quarter of it,
 //! so the spill path is always exercised. Emits `STREAM.json` —
 //! throughput (intermediate products per second), peak live bytes,
-//! spill traffic and merge-round structure.
+//! spill traffic (plus its raw-format equivalent, showing the codec's
+//! saving), merge-round structure, and the staged pipeline's per-stage
+//! busy time with the two overlap counters that demonstrate the reader
+//! ingesting while multiplies are in flight.
 //!
 //! ```console
 //! cargo run --release -p sparch-bench --bin stream_snapshot
@@ -22,7 +25,7 @@ use sparch_stream::{MemoryBudget, StreamConfig, StreamingExecutor};
 /// enough for seconds-long runs, fixed so snapshots stay comparable).
 const SNAPSHOT_SCALE: f64 = 0.02;
 
-/// Panels the inner dimension is split into.
+/// Panels the inner dimension is split into (nnz-balanced).
 const PANELS: usize = 8;
 
 /// Merge fan-in (small so the tiny snapshot still takes multiple rounds).
@@ -39,15 +42,24 @@ struct Snapshot {
     partials: usize,
     merge_rounds: usize,
     merge_ways: usize,
+    balance: String,
+    spill_codec: String,
     budget_bytes: u64,
     partial_bytes_total: u64,
     peak_live_bytes: u64,
     spill_writes: u64,
     spill_reads: u64,
     spill_bytes_written: u64,
+    spill_bytes_raw_equivalent: u64,
     output_nnz: usize,
     wall_seconds: f64,
     multiplies_per_second: f64,
+    reader_busy_seconds: f64,
+    multiply_busy_seconds: f64,
+    merge_busy_seconds: f64,
+    spill_write_seconds: f64,
+    reads_overlapping_multiply: u64,
+    rounds_overlapping_multiply: u64,
 }
 
 fn main() {
@@ -75,7 +87,7 @@ fn main() {
         panels: PANELS,
         merge_ways: WAYS,
         threads: args.threads,
-        spill_dir: None,
+        ..StreamConfig::default()
     };
 
     // Probe run: unbounded budget, to learn the full partial footprint.
@@ -91,7 +103,13 @@ fn main() {
         .expect("budgeted run must succeed");
     let wall_seconds = t0.elapsed().as_secs_f64();
     assert_eq!(c.nnz(), probe.0.nnz(), "budget must not change the result");
+    assert!(
+        report.stages.reads_overlapping_multiply > 0,
+        "pipelined ingest must overlap compute on the pinned workload: {:?}",
+        report.stages
+    );
 
+    let s = report.stages;
     let snapshot = Snapshot {
         scale: args.scale,
         threads: report.threads,
@@ -102,15 +120,24 @@ fn main() {
         partials: report.partials,
         merge_rounds: report.merge_rounds,
         merge_ways: report.merge_ways,
+        balance: report.balance.to_string(),
+        spill_codec: report.spill_codec.to_string(),
         budget_bytes: report.budget_bytes,
         partial_bytes_total: report.partial_bytes_total,
         peak_live_bytes: report.peak_live_bytes,
         spill_writes: report.spill_writes,
         spill_reads: report.spill_reads,
         spill_bytes_written: report.spill_bytes_written,
+        spill_bytes_raw_equivalent: report.spill_bytes_raw_equivalent,
         output_nnz: report.output_nnz,
         wall_seconds,
         multiplies_per_second: multiplies as f64 / wall_seconds.max(1e-9),
+        reader_busy_seconds: s.reader_busy_seconds,
+        multiply_busy_seconds: s.multiply_busy_seconds,
+        merge_busy_seconds: s.merge_busy_seconds,
+        spill_write_seconds: s.spill_write_seconds,
+        reads_overlapping_multiply: s.reads_overlapping_multiply,
+        rounds_overlapping_multiply: s.rounds_overlapping_multiply,
     };
 
     println!(
@@ -118,18 +145,34 @@ fn main() {
         n, snapshot.scale, snapshot.threads
     );
     println!(
-        "{} partials over {} panels, {} merge rounds ({}-way)",
-        snapshot.partials, snapshot.panels, snapshot.merge_rounds, snapshot.merge_ways
+        "{} partials over {} panels ({} balance), {} merge rounds ({}-way)",
+        snapshot.partials,
+        snapshot.panels,
+        snapshot.balance,
+        snapshot.merge_rounds,
+        snapshot.merge_ways
     );
     println!(
         "budget {} B (quarter of {} B footprint): peak live {} B, \
-         {} spill writes / {} reads, {} B spilled",
+         {} spill writes / {} reads, {} B spilled ({} codec; {} B raw equivalent)",
         snapshot.budget_bytes,
         snapshot.partial_bytes_total,
         snapshot.peak_live_bytes,
         snapshot.spill_writes,
         snapshot.spill_reads,
-        snapshot.spill_bytes_written
+        snapshot.spill_bytes_written,
+        snapshot.spill_codec,
+        snapshot.spill_bytes_raw_equivalent
+    );
+    println!(
+        "stages: reader {:.4}s, multiply {:.4}s, merge {:.4}s (spill write {:.4}s); \
+         {} reads / {} rounds overlapped in-flight multiplies",
+        snapshot.reader_busy_seconds,
+        snapshot.multiply_busy_seconds,
+        snapshot.merge_busy_seconds,
+        snapshot.spill_write_seconds,
+        snapshot.reads_overlapping_multiply,
+        snapshot.rounds_overlapping_multiply
     );
     println!(
         "wall {:.4} s → {:.3e} multiplies/s ({} output nnz)",

@@ -60,6 +60,34 @@ impl ShardPool {
         self.threads
     }
 
+    /// Runs exactly `threads` scoped workers, each executing
+    /// `f(worker_index)` to completion, and blocks until all of them
+    /// return. Unlike [`ShardPool::scoped_map`], the work arrives however
+    /// `f` wants it to — the streaming pipeline's multiply stage drives
+    /// this with workers that pull panel pairs from a bounded channel
+    /// until the producing stage closes it.
+    ///
+    /// With one thread, `f(0)` runs on the calling thread (no spawn).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic raised inside any worker.
+    pub fn scoped_workers<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads == 1 {
+            f(0);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for w in 0..self.threads {
+                let f = &f;
+                scope.spawn(move || f(w));
+            }
+        });
+    }
+
     /// Applies `f` to every item (receiving `(index, &item)`), sharding
     /// across the pool's workers, and returns the results in submission
     /// order.
@@ -202,6 +230,37 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(ShardPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn scoped_workers_run_once_each_and_share_a_queue() {
+        use std::sync::atomic::AtomicUsize;
+        for threads in [1, 2, 5] {
+            let pool = ShardPool::new(threads);
+            let started = AtomicUsize::new(0);
+            let cursor = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
+            pool.scoped_workers(|w| {
+                assert!(w < threads);
+                started.fetch_add(1, Ordering::Relaxed);
+                // Channel-style consumption: claim items until exhausted.
+                while cursor.fetch_add(1, Ordering::Relaxed) < 40 {
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(started.load(Ordering::Relaxed), threads);
+            assert_eq!(done.load(Ordering::Relaxed), 40, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn scoped_workers_borrow_caller_state() {
+        let data = [1u64, 2, 3];
+        let sum = std::sync::Mutex::new(0u64);
+        ShardPool::new(3).scoped_workers(|w| {
+            *sum.lock().unwrap() += data[w];
+        });
+        assert_eq!(*sum.lock().unwrap(), 6);
     }
 
     #[test]

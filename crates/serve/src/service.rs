@@ -46,6 +46,13 @@ pub struct ServiceConfig {
     /// in-memory backend would materialize more than the budget). `None`
     /// disables footprint routing.
     pub memory_budget: Option<u64>,
+    /// Pipeline configuration for streaming steps: panel count and
+    /// balance mode, merge fan-in, spill codec. The default is the
+    /// deterministic [`sparch_stream::StreamConfig::pinned`] (single
+    /// multiply worker — request fan-out stays the serving layer's only
+    /// parallelism axis). [`ServiceConfig::memory_budget`] overrides the
+    /// budget field per step; the other knobs pass through as-is.
+    pub stream_config: sparch_stream::StreamConfig,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +63,7 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             calibration: None,
             memory_budget: None,
+            stream_config: sparch_stream::StreamConfig::pinned(),
         }
     }
 }
@@ -181,6 +189,7 @@ pub struct SpgemmService {
     dispatcher: AdaptiveDispatcher,
     cache: OperandCache,
     pool: ShardPool,
+    stream_config: sparch_stream::StreamConfig,
 }
 
 impl SpgemmService {
@@ -199,6 +208,7 @@ impl SpgemmService {
             dispatcher,
             cache: OperandCache::new(config.cache_capacity),
             pool: ShardPool::with_override(config.threads),
+            stream_config: config.stream_config,
         }
     }
 
@@ -226,9 +236,14 @@ impl SpgemmService {
         let plans = self.resolve(batch)?;
 
         let dispatcher = &self.dispatcher;
+        let stream_config = &self.stream_config;
         let jobs: Vec<RequestJob<'_>> = plans
             .into_iter()
-            .map(|plan| RequestJob { plan, dispatcher })
+            .map(|plan| RequestJob {
+                plan,
+                dispatcher,
+                stream_config,
+            })
             .collect();
         let timed = ParallelRunner::new(self.pool).quiet().run_all_timed(&jobs);
 
@@ -394,19 +409,22 @@ fn validate_shapes(
 struct RequestJob<'a> {
     plan: PlannedRequest,
     dispatcher: &'a AdaptiveDispatcher,
+    stream_config: &'a sparch_stream::StreamConfig,
 }
 
 /// Running tally of one request's multiply steps.
-struct StepLog {
+struct StepLog<'a> {
     backends: Vec<String>,
     model_cost: f64,
+    stream_config: &'a sparch_stream::StreamConfig,
 }
 
-impl StepLog {
-    fn new() -> Self {
+impl<'a> StepLog<'a> {
+    fn new(stream_config: &'a sparch_stream::StreamConfig) -> Self {
         StepLog {
             backends: Vec::new(),
             model_cost: 0.0,
+            stream_config,
         }
     }
 
@@ -439,15 +457,17 @@ impl StepLog {
         let (backend, cost) = d.choose(features);
         self.backends.push(backend.name().to_string());
         self.model_cost += cost;
-        match (backend, d.memory_budget()) {
-            // A streaming step runs under the *service's* budget — the
-            // bound the footprint routing promised — not the pinned
-            // default `Backend::run` uses standalone.
-            (Backend::Streaming, Some(budget)) => {
-                let config = sparch_stream::StreamConfig {
-                    budget: sparch_stream::MemoryBudget::from_bytes(budget),
-                    ..sparch_stream::StreamConfig::pinned()
-                };
+        match backend {
+            // A streaming step runs the *service's* pipeline
+            // configuration (panel balance, codec, fan-in), with the
+            // budget field overridden by the service budget when one is
+            // set — the bound the footprint routing promised — rather
+            // than the pinned default `Backend::run` uses standalone.
+            Backend::Streaming => {
+                let mut config = self.stream_config.clone();
+                if let Some(budget) = d.memory_budget() {
+                    config.budget = sparch_stream::MemoryBudget::from_bytes(budget);
+                }
                 crate::backend::run_streaming_with(config, a, b)
             }
             _ => backend.run(a, b),
@@ -468,7 +488,7 @@ impl Workload for RequestJob<'_> {
     fn run(&self, (): ()) -> RequestReport {
         let d = self.dispatcher;
         let ops = &self.plan.ops;
-        let mut log = StepLog::new();
+        let mut log = StepLog::new(self.stream_config);
         let result = match &self.plan.request {
             Request::Single { .. } => log.multiply_pair(d, &ops[0], &ops[1]),
             Request::Chain { .. } => {
@@ -716,6 +736,42 @@ mod tests {
         );
         // The streamed results carry the same structure as the in-memory
         // baseline.
+        let baseline = fixed_service(Backend::Gustavson)
+            .serve(&small_batch())
+            .unwrap();
+        for (r, b) in report.requests.iter().zip(&baseline.requests) {
+            assert_eq!(r.output_nnz, b.output_nnz, "request {}", r.index);
+        }
+    }
+
+    #[test]
+    fn custom_stream_config_threads_through_to_streaming_steps() {
+        // A non-default pipeline configuration — zero budget so spills
+        // really happen, varint codec, nnz balance, small panels — must
+        // reach the streaming steps and still reproduce the in-memory
+        // structure exactly.
+        let stream_config = sparch_stream::StreamConfig {
+            panels: 3,
+            balance: sparch_stream::PanelBalance::Nnz,
+            merge_ways: 2,
+            spill_codec: sparch_stream::SpillCodec::Varint,
+            ..sparch_stream::StreamConfig::pinned()
+        };
+        let mut service = SpgemmService::new(ServiceConfig {
+            policy: DispatchPolicy::Fixed(Backend::Streaming),
+            threads: Some(2),
+            calibration: Some(Calibration::reference()),
+            memory_budget: Some(1), // zero-ish budget: every partial spills
+            stream_config,
+            ..ServiceConfig::default()
+        });
+        let report = service.serve(&small_batch()).unwrap();
+        assert!(report.total_steps > 0);
+        assert!(report
+            .requests
+            .iter()
+            .flat_map(|r| &r.backends)
+            .all(|b| b == "streaming"));
         let baseline = fixed_service(Backend::Gustavson)
             .serve(&small_batch())
             .unwrap();

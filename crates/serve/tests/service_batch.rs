@@ -168,7 +168,7 @@ fn run(policy: DispatchPolicy, threads: usize) -> BatchReport {
         threads: Some(threads),
         cache_capacity: 64,
         calibration: Some(Calibration::reference()),
-        memory_budget: None,
+        ..ServiceConfig::default()
     });
     service.serve(&batch()).expect("batch must serve")
 }

@@ -313,6 +313,17 @@ impl Csr {
         self.nnz() as u64 * 12 + (self.rows as u64 + 1) * 8
     }
 
+    /// Non-zeros per column — the weight vector the nnz-balanced panel
+    /// partitioner ([`panel_ranges_by_nnz`]) splits on. `O(nnz)` single
+    /// pass over the column indices.
+    pub fn col_nnz(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cols];
+        for &c in &self.col_idx {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
     /// Extracts the column panel `A[:, lo..hi]` as a new `rows × (hi-lo)`
     /// matrix with **localized** column indices (`col - lo`).
     ///
@@ -463,6 +474,60 @@ pub fn panel_ranges(total: usize, panels: usize) -> Vec<std::ops::Range<usize>> 
         lo += width;
     }
     ranges
+}
+
+/// Splits `0..weights.len()` into up to `panels` contiguous, non-empty
+/// ranges of approximately equal **total weight** — the nnz-balanced
+/// variant of [`panel_ranges`], used by the streaming pipeline to split
+/// `A`'s inner dimension so every panel carries a similar number of
+/// `A`-column non-zeros (and therefore a similar partial-product size,
+/// which tightens the Huffman merge plan's weight estimates).
+///
+/// Boundaries sit at the weight quantiles: panel `p` ends at the first
+/// index whose prefix weight reaches `p/panels` of the total, clamped so
+/// every range keeps at least one element. The same degenerate contract
+/// as [`panel_ranges`] holds: `panels` is clamped to at least 1, an empty
+/// weight vector yields no ranges, `panels > len` yields `len` singleton
+/// ranges, and an all-zero weight vector falls back to the uniform split.
+/// Every range's weight is at most `total/panels + max(weights)` (one
+/// column can never be split).
+///
+/// # Example
+///
+/// ```
+/// use sparch_sparse::panel_ranges_by_nnz;
+///
+/// // Weight mass is concentrated on the left: the balanced split gives
+/// // the heavy columns their own narrow panel.
+/// assert_eq!(panel_ranges_by_nnz(&[10, 1, 1, 1, 1, 1], 2), vec![0..1, 1..6]);
+/// assert!(panel_ranges_by_nnz(&[], 4).is_empty());
+/// ```
+pub fn panel_ranges_by_nnz(weights: &[usize], panels: usize) -> Vec<std::ops::Range<usize>> {
+    let total = weights.len();
+    let panels = panels.max(1).min(total.max(1));
+    let total_weight: u64 = weights.iter().map(|&w| w as u64).sum();
+    if total == 0 || panels >= total || total_weight == 0 {
+        return panel_ranges(total, panels);
+    }
+    let mut prefix = Vec::with_capacity(total + 1);
+    let mut acc = 0u64;
+    prefix.push(0u64);
+    for &w in weights {
+        acc += w as u64;
+        prefix.push(acc);
+    }
+    let mut bounds = Vec::with_capacity(panels + 1);
+    bounds.push(0usize);
+    for p in 1..panels {
+        let target = total_weight * p as u64 / panels as u64;
+        let cut = prefix.partition_point(|&w| w < target);
+        let prev = *bounds.last().expect("bounds starts non-empty");
+        // Keep at least one element in this range and one per remaining
+        // panel.
+        bounds.push(cut.clamp(prev + 1, total - (panels - p)));
+    }
+    bounds.push(total);
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
 }
 
 /// Incremental row-by-row CSR constructor.
@@ -746,6 +811,79 @@ mod tests {
         }
         assert!(panel_ranges(0, 3).is_empty());
         assert_eq!(panel_ranges(5, 0), vec![0..5], "panels clamps to 1");
+    }
+
+    #[test]
+    fn panel_ranges_degenerate_cases_are_well_formed() {
+        // k == 0: no ranges, whatever the panel count (incl. 0).
+        for panels in [0, 1, 7] {
+            assert!(panel_ranges(0, panels).is_empty(), "panels {panels}");
+        }
+        // panels > k: exactly k singleton ranges, never an empty range.
+        for (total, panels) in [(1, 2), (2, 5), (3, 100), (1, usize::MAX)] {
+            let ranges = panel_ranges(total, panels);
+            assert_eq!(ranges.len(), total, "total {total} panels {panels}");
+            assert!(ranges.iter().all(|r| r.len() == 1));
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(total));
+        }
+        // panels == 0 clamps to a single full range.
+        assert_eq!(panel_ranges(4, 0), vec![0..4]);
+    }
+
+    #[test]
+    fn panel_ranges_by_nnz_degenerate_cases_match_uniform() {
+        // Empty weight vector (k == 0): no ranges for any panel count.
+        for panels in [0, 1, 5] {
+            assert!(panel_ranges_by_nnz(&[], panels).is_empty());
+        }
+        // panels > k: singletons, exactly like the uniform splitter.
+        assert_eq!(panel_ranges_by_nnz(&[3, 9], 5), vec![0..1, 1..2]);
+        // All-zero weights fall back to the uniform split.
+        assert_eq!(panel_ranges_by_nnz(&[0; 10], 3), panel_ranges(10, 3));
+        // panels == 0 clamps to one full range.
+        assert_eq!(panel_ranges_by_nnz(&[1, 2, 3], 0), vec![0..3]);
+    }
+
+    #[test]
+    fn panel_ranges_by_nnz_balances_weight_not_width() {
+        // 100-weight head, long light tail: the balanced split isolates
+        // the head while uniform would drown panel 0 in the tail.
+        let mut weights = vec![100usize];
+        weights.extend(std::iter::repeat_n(1, 99));
+        let ranges = panel_ranges_by_nnz(&weights, 2);
+        assert_eq!(ranges, vec![0..1, 1..100]);
+
+        // Structural invariants + the weight bound on random-ish weights.
+        let weights: Vec<usize> = (0..57).map(|i| (i * 13 + 5) % 23).collect();
+        let total_weight: usize = weights.iter().sum();
+        let wmax = *weights.iter().max().unwrap();
+        for panels in [1, 2, 5, 9, 57, 80] {
+            let ranges = panel_ranges_by_nnz(&weights, panels);
+            assert!(ranges.len() <= panels.max(1));
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(57));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+            for r in &ranges {
+                let weight: usize = weights[r.clone()].iter().sum();
+                assert!(
+                    weight <= total_weight / ranges.len() + wmax + 1,
+                    "panel {r:?} weight {weight} too heavy for {panels} panels"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn col_nnz_histograms_columns() {
+        let m = sample(); // [[1, 0, 2], [0, 0, 0], [0, 3, 4]]
+        assert_eq!(m.col_nnz(), vec![1, 1, 2]);
+        assert_eq!(Csr::zero(3, 4).col_nnz(), vec![0; 4]);
+        let total: usize = m.col_nnz().iter().sum();
+        assert_eq!(total, m.nnz());
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod stats;
 
 pub use coo::Coo;
 pub use csc::Csc;
-pub use csr::{panel_ranges, Csr, CsrBuilder};
+pub use csr::{panel_ranges, panel_ranges_by_nnz, Csr, CsrBuilder};
 pub use dense::Dense;
 pub use error::SparseError;
 

@@ -212,11 +212,36 @@ impl PanelReader {
     /// [`SparseError::Io`] if the file cannot be opened, otherwise the
     /// same preamble errors as [`read`].
     pub fn open<P: AsRef<Path>>(path: P, panels: usize) -> Result<Self, SparseError> {
-        let path = path.as_ref().to_path_buf();
-        let mut lines = BufReader::new(std::fs::File::open(&path)?).lines();
-        let preamble = parse_preamble(&mut lines)?;
+        let (path, preamble) = open_preamble(path)?;
         Ok(PanelReader {
             ranges: panel_ranges(preamble.cols, panels),
+            path,
+            preamble,
+            next: 0,
+        })
+    }
+
+    /// Opens the file with an explicit column-panel partition — the entry
+    /// point for nnz-balanced splits, where the ranges come from
+    /// [`crate::panel_ranges_by_nnz`] over a [`scan_col_nnz`] histogram
+    /// rather than the uniform default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges do not tile `0..cols` contiguously left to
+    /// right (programmer error, like [`crate::Csr::col_panel`]'s bounds).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PanelReader::open`].
+    pub fn open_with_ranges<P: AsRef<Path>>(
+        path: P,
+        ranges: Vec<Range<usize>>,
+    ) -> Result<Self, SparseError> {
+        let (path, preamble) = open_preamble(path)?;
+        assert_ranges_tile(&ranges, preamble.cols, "column");
+        Ok(PanelReader {
+            ranges,
             path,
             preamble,
             next: 0,
@@ -243,6 +268,13 @@ impl PanelReader {
     /// panels yields 3).
     pub fn panels(&self) -> usize {
         self.ranges.len()
+    }
+
+    /// The column ranges this reader will yield, in order — hand these
+    /// to [`RowPanelReader::open_with_ranges`] to split the right
+    /// operand identically.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
     }
 
     /// Reads the next column panel: one full pass over the file keeping
@@ -284,6 +316,180 @@ impl Iterator for PanelReader {
     }
 }
 
+/// Streams a `.mtx` file into **row-panel** COO chunks — the right
+/// operand's counterpart to [`PanelReader`]: where the column-panel
+/// reader slices `A[:, p]`, this slices `B[p, :]`, so both operands of
+/// the streaming pipeline's outer-product split
+/// `A · B = Σ_p A[:, p] · B[p, :]` can come straight from disk without
+/// ever materializing a whole matrix. CSR row slices stream naturally,
+/// which is why the split is over rows here.
+///
+/// Each call to [`RowPanelReader::next_panel`] re-scans the file and
+/// keeps only the entries whose (expanded) **row** falls in that panel's
+/// range, with **localized** row indices (`row - range.start`) and shape
+/// `range.len() × cols`. Every pass runs the *same* validation as
+/// [`read`] — shared [`parse_preamble`]/[`scan_entries`] internals — so
+/// malformed input surfaces the identical [`SparseError::Parse`] /
+/// [`SparseError::IndexOutOfBounds`] taxonomy (on the first panel, or at
+/// [`RowPanelReader::open`] for preamble errors).
+#[derive(Debug)]
+pub struct RowPanelReader {
+    path: PathBuf,
+    preamble: Preamble,
+    ranges: Vec<Range<usize>>,
+    next: usize,
+}
+
+impl RowPanelReader {
+    /// Opens the file and parses its header and size line, splitting the
+    /// row space into up to `panels` balanced ranges
+    /// ([`crate::panel_ranges`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::Io`] if the file cannot be opened, otherwise the
+    /// same preamble errors as [`read`].
+    pub fn open<P: AsRef<Path>>(path: P, panels: usize) -> Result<Self, SparseError> {
+        let (path, preamble) = open_preamble(path)?;
+        Ok(RowPanelReader {
+            ranges: panel_ranges(preamble.rows, panels),
+            path,
+            preamble,
+            next: 0,
+        })
+    }
+
+    /// Opens the file with an explicit row-panel partition, so `B`'s row
+    /// panels can mirror `A`'s (possibly nnz-balanced) column split —
+    /// the pipeline pairs panel `p` of both operands, and the ranges
+    /// must agree exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges do not tile `0..rows` contiguously left to
+    /// right.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RowPanelReader::open`].
+    pub fn open_with_ranges<P: AsRef<Path>>(
+        path: P,
+        ranges: Vec<Range<usize>>,
+    ) -> Result<Self, SparseError> {
+        let (path, preamble) = open_preamble(path)?;
+        assert_ranges_tile(&ranges, preamble.rows, "row");
+        Ok(RowPanelReader {
+            ranges,
+            path,
+            preamble,
+            next: 0,
+        })
+    }
+
+    /// Declared number of rows.
+    pub fn rows(&self) -> usize {
+        self.preamble.rows
+    }
+
+    /// Declared number of columns.
+    pub fn cols(&self) -> usize {
+        self.preamble.cols
+    }
+
+    /// Declared entry count (before symmetry expansion).
+    pub fn declared_nnz(&self) -> usize {
+        self.preamble.declared_nnz
+    }
+
+    /// Number of panels this reader will yield.
+    pub fn panels(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The row ranges this reader will yield, in order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Reads the next row panel: one full pass over the file keeping only
+    /// entries (after symmetry expansion) whose row lies in the panel's
+    /// range. The returned [`Coo`] has shape `range.len() × cols` with
+    /// localized row indices, ready to be the right operand of one panel
+    /// multiply.
+    ///
+    /// Returns `None` once every panel has been yielded.
+    #[allow(clippy::type_complexity)]
+    pub fn next_panel(&mut self) -> Option<Result<(Range<usize>, Coo), SparseError>> {
+        let range = self.ranges.get(self.next)?.clone();
+        self.next += 1;
+        Some(self.scan_panel(range))
+    }
+
+    fn scan_panel(&self, range: Range<usize>) -> Result<(Range<usize>, Coo), SparseError> {
+        let mut lines = BufReader::new(std::fs::File::open(&self.path)?).lines();
+        let preamble = parse_preamble(&mut lines)?;
+        let mut coo = Coo::new(range.len(), preamble.cols);
+        let (lo, hi) = (range.start as Index, range.end as Index);
+        scan_entries(lines, &preamble, |r0, c0, v| {
+            if (lo..hi).contains(&r0) {
+                coo.push(r0 - lo, c0, v);
+            }
+        })?;
+        Ok((range, coo))
+    }
+}
+
+impl Iterator for RowPanelReader {
+    type Item = Result<(Range<usize>, Coo), SparseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_panel()
+    }
+}
+
+/// Opens the file and parses the preamble — the shared front of every
+/// panel reader.
+fn open_preamble<P: AsRef<Path>>(path: P) -> Result<(PathBuf, Preamble), SparseError> {
+    let path = path.as_ref().to_path_buf();
+    let mut lines = BufReader::new(std::fs::File::open(&path)?).lines();
+    let preamble = parse_preamble(&mut lines)?;
+    Ok((path, preamble))
+}
+
+/// Panics unless `ranges` tiles `0..total` contiguously left to right.
+fn assert_ranges_tile(ranges: &[Range<usize>], total: usize, axis: &str) {
+    let mut covered = 0usize;
+    for r in ranges {
+        assert!(
+            r.start == covered && r.end >= r.start,
+            "{axis} panel {r:?} does not tile 0..{total} (covered 0..{covered})"
+        );
+        covered = r.end;
+    }
+    assert!(
+        covered == total,
+        "{axis} panels cover only 0..{covered} of 0..{total}"
+    );
+}
+
+/// One validated pass over a `.mtx` file producing the per-column
+/// non-zero histogram (after symmetry expansion) — the weight vector for
+/// an nnz-balanced panel split ([`crate::panel_ranges_by_nnz`]) when the
+/// left operand streams from disk. Runs the same entry validation as
+/// [`read`], so it surfaces the identical error taxonomy.
+///
+/// # Errors
+///
+/// [`SparseError::Io`] if the file cannot be opened, otherwise as
+/// [`read`].
+pub fn scan_col_nnz<P: AsRef<Path>>(path: P) -> Result<Vec<usize>, SparseError> {
+    let mut lines = BufReader::new(std::fs::File::open(path.as_ref())?).lines();
+    let preamble = parse_preamble(&mut lines)?;
+    let mut counts = vec![0usize; preamble.cols];
+    scan_entries(lines, &preamble, |_, c0, _| counts[c0 as usize] += 1)?;
+    Ok(counts)
+}
+
 /// Opens a chunked column-panel reader over a `.mtx` file — shorthand
 /// for [`PanelReader::open`].
 ///
@@ -292,6 +498,19 @@ impl Iterator for PanelReader {
 /// Same as [`PanelReader::open`].
 pub fn read_panels<P: AsRef<Path>>(path: P, panels: usize) -> Result<PanelReader, SparseError> {
     PanelReader::open(path, panels)
+}
+
+/// Opens a chunked row-panel reader over a `.mtx` file — shorthand for
+/// [`RowPanelReader::open`].
+///
+/// # Errors
+///
+/// Same as [`RowPanelReader::open`].
+pub fn read_row_panels<P: AsRef<Path>>(
+    path: P,
+    panels: usize,
+) -> Result<RowPanelReader, SparseError> {
+    RowPanelReader::open(path, panels)
 }
 
 /// Reads a Matrix Market string. Convenience wrapper over [`read`].
@@ -722,6 +941,251 @@ mod tests {
                 read_panels("/nonexistent/sparch-panels.mtx", 2),
                 Err(SparseError::Io(_))
             ));
+            assert!(matches!(
+                read_row_panels("/nonexistent/sparch-panels.mtx", 2),
+                Err(SparseError::Io(_))
+            ));
+        }
+    }
+
+    mod row_panels {
+        use super::*;
+        use crate::{gen, panel_ranges_by_nnz};
+
+        fn temp_mtx(tag: &str, text: &str) -> std::path::PathBuf {
+            let path = std::env::temp_dir().join(format!(
+                "sparch_mm_row_panels_{tag}_{}.mtx",
+                std::process::id()
+            ));
+            std::fs::write(&path, text).unwrap();
+            path
+        }
+
+        /// Re-assembles row panels into one full-shape COO.
+        fn reassemble(reader: RowPanelReader) -> Coo {
+            let (rows, cols) = (reader.rows(), reader.cols());
+            let mut full = Coo::new(rows, cols);
+            for panel in reader {
+                let (range, coo) = panel.unwrap();
+                assert_eq!(coo.rows(), range.len());
+                assert_eq!(coo.cols(), cols);
+                for &(r, c, v) in coo.entries() {
+                    full.push(r + range.start as Index, c, v);
+                }
+            }
+            full
+        }
+
+        #[test]
+        fn row_panels_reassemble_to_the_full_read() {
+            // `read` vs panel-reassembly must agree bit-for-bit (CSR
+            // equality compares value bit patterns via ==; the text
+            // round-trip itself is exact).
+            let m = gen::uniform_random(23, 17, 90, 11).to_coo();
+            let path = temp_mtx("reassemble", &write_string(&m));
+            for panels in [1, 2, 3, 23, 40] {
+                let reader = read_row_panels(&path, panels).unwrap();
+                assert_eq!(reader.panels(), panels.min(23), "panels {panels}");
+                assert_eq!(reader.declared_nnz(), m.nnz());
+                assert_eq!(
+                    reassemble(reader).to_csr(),
+                    read_file(&path).unwrap().to_csr(),
+                    "panels {panels}"
+                );
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn row_panel_chunks_are_local_contiguous_and_disjoint() {
+            let m = gen::uniform_random(20, 12, 60, 3).to_coo();
+            let path = temp_mtx("local", &write_string(&m));
+            let reader = read_row_panels(&path, 4).unwrap();
+            let mut total = 0usize;
+            let mut prev_end = 0usize;
+            for panel in reader {
+                let (range, coo) = panel.unwrap();
+                assert_eq!(range.start, prev_end, "contiguous row coverage");
+                prev_end = range.end;
+                assert_eq!(coo.rows(), range.len());
+                assert_eq!(coo.cols(), 12);
+                assert!(coo.entries().iter().all(|e| (e.0 as usize) < range.len()));
+                total += coo.nnz();
+            }
+            assert_eq!(prev_end, 20);
+            assert_eq!(total, m.nnz());
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn symmetric_mirrors_land_in_their_own_row_panels() {
+            // Entry (5, 2) of a symmetric matrix mirrors to (2, 5): with
+            // two panels over 6 rows, the primary lands in row panel 1
+            // (rows 3..6) and the mirror in row panel 0 (rows 0..3) —
+            // the transpose of the column-panel case.
+            let text = "%%MatrixMarket matrix coordinate real symmetric\n6 6 2\n5 2 3.5\n6 6 1\n";
+            let path = temp_mtx("symmetric", text);
+            let mut reader = read_row_panels(&path, 2).unwrap();
+            let (r0, p0) = reader.next_panel().unwrap().unwrap();
+            assert_eq!(r0, 0..3);
+            assert_eq!(p0.entries(), &[(1, 4, 3.5)], "mirror, localized row");
+            let (r1, p1) = reader.next_panel().unwrap().unwrap();
+            assert_eq!(r1, 3..6);
+            let mut p1 = p1;
+            p1.sort_dedup();
+            assert_eq!(p1.entries(), &[(1, 1, 3.5), (2, 5, 1.0)]);
+            assert!(reader.next_panel().is_none());
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn skew_and_pattern_fields_match_read() {
+            for (tag, text) in [
+                (
+                    "pattern",
+                    "%%MatrixMarket matrix coordinate pattern general\n4 3 3\n1 1\n2 3\n4 2\n",
+                ),
+                (
+                    "skew",
+                    "%%MatrixMarket matrix coordinate real skew-symmetric\n4 4 2\n3 1 2\n4 2 -1\n",
+                ),
+            ] {
+                let path = temp_mtx(tag, text);
+                let reader = read_row_panels(&path, 3).unwrap();
+                assert_eq!(
+                    reassemble(reader).to_csr(),
+                    read_str(text).unwrap().to_csr(),
+                    "{tag}"
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+
+        #[test]
+        fn malformed_inputs_error_like_read() {
+            // The row-panel reader shares `parse_preamble`/`scan_entries`
+            // with `read`, so the error taxonomy is identical by
+            // construction — pinned here case by case anyway.
+            let preamble_cases = [
+                ("%%MatrixMarket matrix array real general\n1 1 0\n", "dense"),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2\n",
+                    "short size",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+                    "bad field",
+                ),
+            ];
+            for (text, tag) in preamble_cases {
+                let path = temp_mtx(&format!("bad_{}", tag.replace(' ', "_")), text);
+                let open_err = RowPanelReader::open(&path, 2).unwrap_err();
+                let read_err = read_str(text).unwrap_err();
+                assert_eq!(
+                    std::mem::discriminant(&open_err),
+                    std::mem::discriminant(&read_err),
+                    "{tag}: {open_err} vs {read_err}"
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+            let entry_cases = [
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+                    "missing value",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+                    "bad value",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+                    "short count",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+                    "row out of range",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 9 1\n",
+                    "col out of range",
+                ),
+                (
+                    "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+                    "zero index",
+                ),
+            ];
+            for (text, tag) in entry_cases {
+                let path = temp_mtx(&format!("bad_{}", tag.replace(' ', "_")), text);
+                let mut reader = read_row_panels(&path, 2).unwrap();
+                let panel_err = reader.next_panel().unwrap().unwrap_err();
+                let read_err = read_str(text).unwrap_err();
+                assert_eq!(
+                    std::mem::discriminant(&panel_err),
+                    std::mem::discriminant(&read_err),
+                    "{tag}: {panel_err} vs {read_err}"
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+
+        #[test]
+        fn explicit_ranges_mirror_a_balanced_column_split() {
+            // The pipeline's pairing: B's row panels must follow A's
+            // nnz-balanced column split exactly.
+            let m = gen::uniform_random(16, 16, 120, 5).to_coo();
+            let path = temp_mtx("explicit", &write_string(&m));
+            let weights = scan_col_nnz(&path).unwrap();
+            assert_eq!(weights.iter().sum::<usize>(), m.nnz());
+            let ranges = panel_ranges_by_nnz(&weights, 4);
+            let reader = RowPanelReader::open_with_ranges(&path, ranges.clone()).unwrap();
+            let yielded: Vec<_> = reader.map(|p| p.unwrap().0).collect();
+            assert_eq!(yielded, ranges);
+            let reader = RowPanelReader::open_with_ranges(&path, ranges).unwrap();
+            assert_eq!(
+                reassemble(reader).to_csr(),
+                read_file(&path).unwrap().to_csr()
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        #[should_panic(expected = "does not tile")]
+        fn gapped_explicit_ranges_panic() {
+            let m = gen::uniform_random(8, 8, 20, 1).to_coo();
+            let path = temp_mtx("gapped", &write_string(&m));
+            let result = RowPanelReader::open_with_ranges(&path, vec![0..3, 5..8]);
+            let _ = std::fs::remove_file(&path);
+            let _ = result;
+        }
+
+        #[test]
+        #[should_panic(expected = "cover only")]
+        fn short_explicit_ranges_panic() {
+            let m = gen::uniform_random(8, 8, 20, 2).to_coo();
+            let path = temp_mtx("short", &write_string(&m));
+            let result = PanelReader::open_with_ranges(&path, std::iter::once(0..5).collect());
+            let _ = std::fs::remove_file(&path);
+            let _ = result;
+        }
+
+        #[test]
+        fn scan_col_nnz_counts_expanded_entries() {
+            // Symmetric expansion: (5, 2) mirrors to (2, 5), so columns
+            // 1 and 4 (0-based) each gain one count.
+            let text = "%%MatrixMarket matrix coordinate real symmetric\n6 6 2\n5 2 3.5\n6 6 1\n";
+            let path = temp_mtx("colnnz", text);
+            assert_eq!(scan_col_nnz(&path).unwrap(), vec![0, 1, 0, 0, 1, 1]);
+            let _ = std::fs::remove_file(&path);
+            // Error taxonomy flows through unchanged.
+            let bad = temp_mtx(
+                "colnnz_bad",
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 9 1\n",
+            );
+            assert!(matches!(
+                scan_col_nnz(&bad),
+                Err(SparseError::IndexOutOfBounds { .. })
+            ));
+            let _ = std::fs::remove_file(&bad);
         }
     }
 

@@ -1,8 +1,10 @@
 //! Configuration for the streaming executor: the memory budget and the
-//! panel/merge/parallelism knobs.
+//! panel/merge/spill/parallelism knobs.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::path::PathBuf;
+use std::str::FromStr;
 
 /// An explicit cap, in bytes, on the partial matrices the streaming
 /// pipeline may hold in memory at once.
@@ -51,6 +53,86 @@ impl MemoryBudget {
     }
 }
 
+/// How the inner dimension is split into panels.
+///
+/// The split decides how evenly partial-product sizes come out, which is
+/// what the Huffman merge plan's weight estimates are built from — a
+/// balanced split tightens the plan. Either way the split depends only
+/// on `A`'s structure, never on stage timing, so it is fully
+/// deterministic at a fixed configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PanelBalance {
+    /// Equal column counts (`panel_ranges`): panel widths differ by at
+    /// most one column, but skewed matrices concentrate their non-zeros
+    /// in a few panels.
+    Uniform,
+    /// Equal `A`-column non-zeros per panel (`panel_ranges_by_nnz`):
+    /// panel *widths* vary, partial sizes — and therefore merge-plan
+    /// weights and spill granularity — even out.
+    Nnz,
+}
+
+impl fmt::Display for PanelBalance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PanelBalance::Uniform => "uniform",
+            PanelBalance::Nnz => "nnz",
+        })
+    }
+}
+
+impl FromStr for PanelBalance {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "uniform" => Ok(PanelBalance::Uniform),
+            "nnz" => Ok(PanelBalance::Nnz),
+            other => Err(format!(
+                "unknown panel balance {other:?} (expected uniform or nnz)"
+            )),
+        }
+    }
+}
+
+/// Which on-disk format spilled partials use.
+///
+/// See the [`spill`](crate::spill) module docs for the exact layouts.
+/// The codec never affects results — only spill bytes and decode CPU,
+/// which the merge heap's bounded streaming reader hides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpillCodec {
+    /// Sorted COO at 16 bytes per entry — no encode/decode cost.
+    Raw,
+    /// Delta-encoded coordinates + LEB128 varints (byte-swapped value
+    /// bits): 2-4× smaller on integer-valued partials, never larger than
+    /// raw (the writer falls back per file).
+    Varint,
+}
+
+impl fmt::Display for SpillCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SpillCodec::Raw => "raw",
+            SpillCodec::Varint => "varint",
+        })
+    }
+}
+
+impl FromStr for SpillCodec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "raw" => Ok(SpillCodec::Raw),
+            "varint" | "delta" => Ok(SpillCodec::Varint),
+            other => Err(format!(
+                "unknown spill codec {other:?} (expected raw or varint)"
+            )),
+        }
+    }
+}
+
 /// Configuration of a [`StreamingExecutor`](crate::StreamingExecutor).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamConfig {
@@ -61,10 +143,16 @@ pub struct StreamConfig {
     /// and more multiply parallelism, but more merge work. Clamped to the
     /// inner dimension.
     pub panels: usize,
+    /// How panel boundaries are chosen; see [`PanelBalance`]. Applies to
+    /// the in-memory entry point — pre-split panel streams carry their
+    /// own ranges.
+    pub balance: PanelBalance,
     /// Fan-in of each merge round (the merge tree's "ways"; the paper's
     /// hardware uses 64). At least 2.
     pub merge_ways: usize,
-    /// Worker threads for the panel-multiply phase: `Some(n)` pins `n`,
+    /// On-disk format for spilled partials; see [`SpillCodec`].
+    pub spill_codec: SpillCodec,
+    /// Worker threads for the panel-multiply stage: `Some(n)` pins `n`,
     /// `None` falls back to `SPARCH_THREADS`, then all cores.
     pub threads: Option<usize>,
     /// Where spilled partials go. `None` uses the system temp directory.
@@ -77,7 +165,9 @@ impl Default for StreamConfig {
         StreamConfig {
             budget: MemoryBudget::from_mb(256),
             panels: 4,
+            balance: PanelBalance::Nnz,
             merge_ways: 8,
+            spill_codec: SpillCodec::Varint,
             threads: None,
             spill_dir: None,
         }
@@ -116,7 +206,26 @@ mod tests {
         assert!(c.merge_ways >= 2);
         assert!(c.panels >= 1);
         assert!(c.budget.bytes() > 0);
+        assert_eq!(c.balance, PanelBalance::Nnz);
+        assert_eq!(c.spill_codec, SpillCodec::Varint);
         assert_eq!(StreamConfig::pinned().threads, Some(1));
+    }
+
+    #[test]
+    fn balance_and_codec_parse_and_display() {
+        for b in [PanelBalance::Uniform, PanelBalance::Nnz] {
+            assert_eq!(b.to_string().parse::<PanelBalance>().unwrap(), b);
+            let json = serde_json::to_string(&b).unwrap();
+            assert_eq!(serde_json::from_str::<PanelBalance>(&json).unwrap(), b);
+        }
+        for c in [SpillCodec::Raw, SpillCodec::Varint] {
+            assert_eq!(c.to_string().parse::<SpillCodec>().unwrap(), c);
+            let json = serde_json::to_string(&c).unwrap();
+            assert_eq!(serde_json::from_str::<SpillCodec>(&json).unwrap(), c);
+        }
+        assert_eq!("delta".parse::<SpillCodec>().unwrap(), SpillCodec::Varint);
+        assert!("zstd".parse::<SpillCodec>().is_err());
+        assert!("degree".parse::<PanelBalance>().is_err());
     }
 
     #[test]

@@ -4,19 +4,19 @@
 //! and cheap to clone per task; every run creates (and removes) its own
 //! unique spill directory, so concurrent runs never collide.
 
-use crate::merge::{merge_sources, PartialSource};
-use crate::store::PartialStore;
-use crate::{StreamConfig, StreamError};
+use crate::pipeline::{self, PanelPair};
+use crate::{PanelBalance, StreamConfig, StreamError};
 use serde::{Deserialize, Serialize};
-use sparch_core::sched::{huffman_plan, PlanNode};
-use sparch_exec::ShardPool;
-use sparch_sparse::{algo, panel_ranges, Csr};
+use sparch_sparse::{panel_ranges, panel_ranges_by_nnz, Csr};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+pub use crate::pipeline::StageReport;
+
 /// Telemetry of one streaming multiply — the quantities the paper's
 /// merge-order analysis reasons about (partial count, merge rounds,
-/// partial-result traffic), measured on the software pipeline.
+/// partial-result traffic), measured on the software pipeline, plus the
+/// per-stage busy/overlap accounting of the staged dataflow.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamReport {
     /// Rows of `A` (= rows of the output).
@@ -25,14 +25,20 @@ pub struct StreamReport {
     pub inner_dim: usize,
     /// Columns of `B` (= columns of the output).
     pub b_cols: usize,
-    /// Panels the inner dimension was split into.
+    /// Panel pairs the reader stage streamed (after clamping to the
+    /// inner dimension).
     pub panels: usize,
-    /// Non-empty partial products that entered the merge (≤ `panels`).
+    /// Merge-plan leaves: panels whose `A` panel held any non-zeros
+    /// (all-empty panels are pruned before the multiply stage).
     pub partials: usize,
     /// Merge rounds the Huffman plan scheduled.
     pub merge_rounds: usize,
     /// Fan-in of each merge round.
     pub merge_ways: usize,
+    /// How panel boundaries were chosen.
+    pub balance: crate::PanelBalance,
+    /// The spill codec requested for this run.
+    pub spill_codec: crate::SpillCodec,
     /// The configured budget, in bytes.
     pub budget_bytes: u64,
     /// High-water mark of resident partial bytes — never exceeds
@@ -47,12 +53,17 @@ pub struct StreamReport {
     pub spill_writes: u64,
     /// Spilled partials streamed back for a merge round.
     pub spill_reads: u64,
-    /// Total bytes written to spill files.
+    /// Total bytes written to spill files (in the chosen codec).
     pub spill_bytes_written: u64,
+    /// What the same spills would have cost in the raw 16-byte format —
+    /// divide by `spill_bytes_written` for the codec's saving.
+    pub spill_bytes_raw_equivalent: u64,
     /// Stored entries of the result.
     pub output_nnz: usize,
-    /// Worker threads used by the panel-multiply phase.
+    /// Worker threads used by the panel-multiply stage.
     pub threads: usize,
+    /// Per-stage busy time and overlap counters.
+    pub stages: StageReport,
 }
 
 /// Monotone counter making every run's spill directory unique within the
@@ -93,7 +104,9 @@ impl StreamingExecutor {
         &self.config
     }
 
-    /// Computes `C = A · B` through the streaming pipeline.
+    /// Computes `C = A · B` through the staged pipeline. The panel split
+    /// follows `config.balance`: uniform widths, or equal `A`-column
+    /// non-zeros per panel.
     ///
     /// # Panics
     ///
@@ -105,18 +118,28 @@ impl StreamingExecutor {
     /// [`StreamError::Io`] if spill I/O fails.
     pub fn multiply(&self, a: &Csr, b: &Csr) -> Result<(Csr, StreamReport), StreamError> {
         assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-        let panels = panel_ranges(a.cols(), self.config.panels)
-            .into_iter()
-            .map(|r| (r.clone(), a.col_panel(r)));
-        self.multiply_from_panels(a.rows(), a.cols(), panels, b)
+        let ranges = match self.config.balance {
+            PanelBalance::Uniform => panel_ranges(a.cols(), self.config.panels),
+            PanelBalance::Nnz => panel_ranges_by_nnz(&a.col_nnz(), self.config.panels),
+        };
+        let pairs = ranges.into_iter().map(|r| {
+            Ok(PanelPair {
+                a: a.col_panel(r.clone()),
+                b: b.row_panel(r.clone()),
+                range: r,
+            })
+        });
+        self.run_pipeline(a.rows(), a.cols(), b.cols(), pairs)
     }
 
     /// Computes `C = A · B` from pre-extracted column panels of `A` — the
-    /// ingestion-facing entry point: `panels` may come from
+    /// half-streamed entry point: `panels` may come from
     /// `sparch_sparse::mm::PanelReader`, so `A` is never materialized
-    /// whole. Each item is a column range of `A` plus the corresponding
+    /// whole, while `B`'s row panels are sliced from the in-memory
+    /// operand. Each item is a column range of `A` plus the corresponding
     /// `a_rows × range.len()` panel with localized column indices; ranges
-    /// must tile `0..inner_dim` left to right.
+    /// must tile `0..inner_dim` left to right. The ranges carried by the
+    /// stream define the split — `config.balance` does not reapply.
     ///
     /// # Errors
     ///
@@ -132,6 +155,7 @@ impl StreamingExecutor {
     ) -> Result<(Csr, StreamReport), StreamError>
     where
         I: IntoIterator<Item = (Range<usize>, Csr)>,
+        I::IntoIter: Send,
     {
         if b.rows() != inner_dim {
             return Err(StreamError::Shape(format!(
@@ -139,126 +163,136 @@ impl StreamingExecutor {
                 b.rows()
             )));
         }
-        let pool = ShardPool::with_override(self.config.threads);
-        let ways = self.config.merge_ways.max(2);
-        let mut store = PartialStore::new(self.config.budget, self.spill_dir());
+        let pairs = panels.into_iter().map(move |(range, a_panel)| {
+            if range.start > range.end || range.end > inner_dim {
+                return Err(StreamError::Shape(format!(
+                    "panel {range:?} does not tile 0..{inner_dim}"
+                )));
+            }
+            Ok(PanelPair {
+                b: b.row_panel(range.clone()),
+                a: a_panel,
+                range,
+            })
+        });
+        self.run_pipeline(a_rows, inner_dim, b.cols(), pairs)
+    }
 
-        // Multiply phase: panel pairs stream through in chunks of one
-        // batch per worker, so at most `threads` un-inserted partials are
-        // in flight while the store keeps everything older under budget.
-        let mut weights: Vec<u64> = Vec::new();
-        let mut partial_bytes_total = 0u64;
-        let mut largest_partial_bytes = 0u64;
-        let mut panel_count = 0usize;
-        let mut covered = 0usize;
-        let mut chunk: Vec<(Range<usize>, Csr)> = Vec::with_capacity(pool.threads());
-        let mut panels = panels.into_iter();
-        loop {
-            chunk.clear();
-            for (range, panel) in panels.by_ref().take(pool.threads()) {
-                if range.start != covered || range.end > inner_dim {
-                    return Err(StreamError::Shape(format!(
-                        "panel {range:?} does not tile 0..{inner_dim} (covered 0..{covered})"
-                    )));
-                }
-                if panel.rows() != a_rows || panel.cols() != range.len() {
-                    return Err(StreamError::Shape(format!(
-                        "panel {range:?} has shape {}x{}, expected {a_rows}x{}",
-                        panel.rows(),
-                        panel.cols(),
-                        range.len()
-                    )));
-                }
-                covered = range.end;
-                chunk.push((range, panel));
+    /// Computes `C = A · B` with **both** operands streamed: `A` as
+    /// column panels, `B` as the matching row panels — e.g. from
+    /// `sparch_sparse::mm::{PanelReader, RowPanelReader}` over two
+    /// `.mtx` files, in which case neither operand ever exists in memory
+    /// as a whole matrix. The two streams are consumed in lockstep and
+    /// must yield identical ranges tiling `0..inner_dim`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Shape`] on tiling/shape disagreement between the
+    /// streams — including one stream ending while the other still
+    /// yields panels; errors yielded *by* the streams are passed
+    /// through; [`StreamError::Io`] on spill I/O failure.
+    pub fn multiply_streams<IA, IB>(
+        &self,
+        a_rows: usize,
+        inner_dim: usize,
+        b_cols: usize,
+        a_panels: IA,
+        b_panels: IB,
+    ) -> Result<(Csr, StreamReport), StreamError>
+    where
+        IA: IntoIterator<Item = Result<(Range<usize>, Csr), StreamError>>,
+        IB: IntoIterator<Item = Result<(Range<usize>, Csr), StreamError>>,
+        IA::IntoIter: Send,
+        IB::IntoIter: Send,
+    {
+        // Hand-rolled lockstep pairing instead of `zip`: when one
+        // stream ends, the other must be polled once more so a surplus
+        // panel — or a trailing error the docs promise to surface — is
+        // reported instead of silently dropped.
+        let mut a_panels = a_panels.into_iter();
+        let mut b_panels = b_panels.into_iter();
+        let mut finished = false;
+        let pairs = std::iter::from_fn(move || {
+            if finished {
+                return None;
             }
-            if chunk.is_empty() {
-                break;
-            }
-            panel_count += chunk.len();
-            let partials = pool.scoped_map(&chunk, |_, (range, panel)| {
-                algo::gustavson(panel, &b.row_panel(range.clone()))
-            });
-            for partial in partials {
-                if partial.nnz() == 0 {
-                    continue;
+            match (a_panels.next(), b_panels.next()) {
+                (None, None) => None,
+                (Some(pa), Some(pb)) => Some((|| {
+                    let (ra, a) = pa?;
+                    let (rb, b) = pb?;
+                    if ra != rb {
+                        return Err(StreamError::Shape(format!(
+                            "operand panel streams disagree: A yields {ra:?}, B yields {rb:?}"
+                        )));
+                    }
+                    Ok(PanelPair { range: ra, a, b })
+                })()),
+                (Some(pa), None) => {
+                    finished = true;
+                    Some(pa.and_then(|(ra, _)| {
+                        Err(StreamError::Shape(format!(
+                            "A stream yields panel {ra:?} after the B stream ended"
+                        )))
+                    }))
                 }
-                let bytes = partial.estimated_bytes();
-                partial_bytes_total += bytes;
-                largest_partial_bytes = largest_partial_bytes.max(bytes);
-                let id = weights.len();
-                weights.push(partial.nnz() as u64);
-                store.insert(id, partial)?;
+                (None, Some(pb)) => {
+                    finished = true;
+                    Some(pb.and_then(|(rb, _)| {
+                        Err(StreamError::Shape(format!(
+                            "B stream yields panel {rb:?} after the A stream ended"
+                        )))
+                    }))
+                }
             }
-        }
-        if covered != inner_dim {
-            return Err(StreamError::Shape(format!(
-                "panels cover only 0..{covered} of 0..{inner_dim}"
-            )));
-        }
+        });
+        self.run_pipeline(a_rows, inner_dim, b_cols, pairs)
+    }
 
-        // Merge phase: execute the k-ary Huffman plan (smallest partials
-        // first — the paper's traffic-optimal order) round by round.
-        let n = weights.len();
-        let plan = huffman_plan(&weights, ways);
-        let node_id = |node: PlanNode| match node {
-            PlanNode::Leaf(l) => l,
-            PlanNode::Round(r) => n + r,
-        };
-        let mut consumers = vec![usize::MAX; n + plan.rounds.len()];
-        for (round, r) in plan.rounds.iter().enumerate() {
-            for &child in &r.children {
-                consumers[node_id(child)] = round;
-            }
-        }
-        store.set_consumers(consumers);
-
-        let result = if n == 0 {
-            Csr::zero(a_rows, b.cols())
-        } else if n == 1 {
-            store.take_full(0)?
-        } else {
-            let mut result = None;
-            for (round, r) in plan.rounds.iter().enumerate() {
-                let ids: Vec<usize> = r.children.iter().map(|&c| node_id(c)).collect();
-                let mut sources = Vec::with_capacity(ids.len());
-                for &id in &ids {
-                    sources.push(PartialSource::from(store.take(id)?));
-                }
-                let merged = merge_sources(a_rows, b.cols(), sources)?;
-                for &id in &ids {
-                    store.release(id);
-                }
-                if round + 1 == plan.rounds.len() {
-                    result = Some(merged);
-                } else {
-                    store.insert(n + round, merged)?;
-                }
-            }
-            result.expect("a multi-leaf plan ends in a final round")
-        };
-
-        let stats = store.stats().clone();
-        store.cleanup();
+    /// Shared tail: run the staged pipeline and fold its outcome into
+    /// the public report.
+    fn run_pipeline<I>(
+        &self,
+        a_rows: usize,
+        inner_dim: usize,
+        b_cols: usize,
+        pairs: I,
+    ) -> Result<(Csr, StreamReport), StreamError>
+    where
+        I: Iterator<Item = Result<PanelPair, StreamError>> + Send,
+    {
+        let outcome = pipeline::run(
+            &self.config,
+            a_rows,
+            inner_dim,
+            b_cols,
+            pairs,
+            self.spill_dir(),
+        )?;
+        let threads = sparch_exec::ShardPool::with_override(self.config.threads).threads();
         let report = StreamReport {
             a_rows,
             inner_dim,
-            b_cols: b.cols(),
-            panels: panel_count,
-            partials: n,
-            merge_rounds: plan.rounds.len(),
-            merge_ways: ways,
+            b_cols,
+            panels: outcome.panels,
+            partials: outcome.partials,
+            merge_rounds: outcome.merge_rounds,
+            merge_ways: self.config.merge_ways.max(2),
+            balance: self.config.balance,
+            spill_codec: self.config.spill_codec,
             budget_bytes: self.config.budget.bytes(),
-            peak_live_bytes: stats.peak_live_bytes,
-            partial_bytes_total,
-            largest_partial_bytes,
-            spill_writes: stats.spill_writes,
-            spill_reads: stats.spill_reads,
-            spill_bytes_written: stats.spill_bytes_written,
-            output_nnz: result.nnz(),
-            threads: pool.threads(),
+            peak_live_bytes: outcome.store_stats.peak_live_bytes,
+            partial_bytes_total: outcome.partial_bytes_total,
+            largest_partial_bytes: outcome.largest_partial_bytes,
+            spill_writes: outcome.store_stats.spill_writes,
+            spill_reads: outcome.store_stats.spill_reads,
+            spill_bytes_written: outcome.store_stats.spill_bytes_written,
+            spill_bytes_raw_equivalent: outcome.store_stats.spill_bytes_raw_equivalent,
+            output_nnz: outcome.result.nnz(),
+            threads,
+            stages: outcome.stages,
         };
-        Ok((result, report))
+        Ok((outcome.result, report))
     }
 
     /// A unique per-run spill directory under the configured (or system)
@@ -280,8 +314,8 @@ impl StreamingExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MemoryBudget;
-    use sparch_sparse::gen;
+    use crate::{MemoryBudget, SpillCodec};
+    use sparch_sparse::{algo, gen};
 
     fn exec(budget: MemoryBudget, panels: usize, threads: usize) -> StreamingExecutor {
         StreamingExecutor::new(StreamConfig {
@@ -289,7 +323,7 @@ mod tests {
             panels,
             merge_ways: 4,
             threads: Some(threads),
-            spill_dir: None,
+            ..StreamConfig::default()
         })
     }
 
@@ -315,6 +349,7 @@ mod tests {
         assert!(report.partials >= 2 && report.merge_rounds >= 1);
         assert!(report.peak_live_bytes <= report.partial_bytes_total);
         assert_eq!(report.output_nnz, c.nnz());
+        assert!(report.stages.multiply_busy_seconds > 0.0);
     }
 
     #[test]
@@ -341,23 +376,26 @@ mod tests {
         assert!(report.spill_writes >= report.partials as u64);
         assert!(report.spill_reads > 0);
         assert!(report.spill_bytes_written > 0);
+        assert!(report.stages.spill_write_seconds > 0.0);
     }
 
     #[test]
-    fn results_are_identical_across_budgets_panels_threads() {
+    fn results_are_identical_across_budgets_panels_threads_codecs() {
         let a = int_matrix(80, 80, 500, 3);
         let b = int_matrix(80, 80, 350, 4);
         let expected = algo::gustavson(&a, &b);
         for budget in [0u64, 4 << 10, u64::MAX] {
             for panels in [1, 3, 4, 9] {
                 for threads in [1, 4] {
-                    let (c, _) = exec(MemoryBudget::from_bytes(budget), panels, threads)
-                        .multiply(&a, &b)
-                        .unwrap();
-                    assert_eq!(
-                        c, expected,
-                        "budget {budget} panels {panels} threads {threads}"
-                    );
+                    for codec in [SpillCodec::Raw, SpillCodec::Varint] {
+                        let mut e = exec(MemoryBudget::from_bytes(budget), panels, threads);
+                        e.config.spill_codec = codec;
+                        let (c, _) = e.multiply(&a, &b).unwrap();
+                        assert_eq!(
+                            c, expected,
+                            "budget {budget} panels {panels} threads {threads} codec {codec}"
+                        );
+                    }
                 }
             }
         }
@@ -365,8 +403,10 @@ mod tests {
 
     #[test]
     fn float_results_are_identical_across_budgets_and_threads() {
-        // At a fixed panel count the fold order is fixed, so even float
-        // results are bit-identical no matter the budget or thread count.
+        // At a fixed panel count and balance mode the fold order is
+        // fixed, so even float results are bit-identical no matter the
+        // budget, thread count or codec — stage timing never reaches
+        // the merge plan.
         let a = gen::rmat_graph500(80, 6, 3);
         let b = gen::rmat_graph500(80, 4, 4);
         let reference = exec(MemoryBudget::unbounded(), 4, 1)
@@ -381,6 +421,51 @@ mod tests {
                 assert_eq!(c, reference, "budget {budget} threads {threads}");
             }
         }
+    }
+
+    #[test]
+    fn balance_modes_agree_for_exact_arithmetic() {
+        let a = int_matrix(90, 90, 700, 11);
+        let b = int_matrix(90, 70, 400, 12);
+        let expected = algo::gustavson(&a, &b);
+        for balance in [PanelBalance::Uniform, PanelBalance::Nnz] {
+            let mut e = exec(MemoryBudget::from_kb(4), 5, 2);
+            e.config.balance = balance;
+            let (c, report) = e.multiply(&a, &b).unwrap();
+            assert_eq!(c, expected, "balance {balance}");
+            assert_eq!(report.balance, balance);
+        }
+    }
+
+    #[test]
+    fn nnz_balance_evens_out_partial_sizes_on_skewed_input() {
+        // Concentrate A's mass in the first columns: uniform panels give
+        // one huge partial, nnz panels spread the weight.
+        let mut entries = Vec::new();
+        for r in 0..60u32 {
+            for c in 0..6u32 {
+                entries.push((r, c, 1.0));
+            }
+        }
+        for r in 0..20u32 {
+            entries.push((r, 10 + 2 * r % 50, 2.0));
+        }
+        let a = sparch_sparse::Coo::from_entries(60, 60, entries).to_csr();
+        let b = int_matrix(60, 40, 300, 9);
+        let run = |balance: PanelBalance| {
+            let mut e = exec(MemoryBudget::unbounded(), 4, 1);
+            e.config.balance = balance;
+            e.multiply(&a, &b).unwrap().1
+        };
+        let uniform = run(PanelBalance::Uniform);
+        let nnz = run(PanelBalance::Nnz);
+        assert_eq!(uniform.output_nnz, nnz.output_nnz);
+        assert!(
+            nnz.largest_partial_bytes < uniform.largest_partial_bytes,
+            "balanced split should shrink the largest partial: {} vs {}",
+            nnz.largest_partial_bytes,
+            uniform.largest_partial_bytes
+        );
     }
 
     #[test]
@@ -438,6 +523,12 @@ mod tests {
             e.multiply_from_panels(10, 9, vec![(0..9, a.col_panel(0..9))], &b),
             Err(StreamError::Shape(_))
         ));
+        // A range past the inner dimension must error, not panic, even
+        // though B's row panel could never be sliced for it.
+        assert!(matches!(
+            e.multiply_from_panels(10, 12, vec![(0..13, a.col_panel(0..12))], &b),
+            Err(StreamError::Shape(_))
+        ));
         // And the happy path through the same entry point.
         let good: Vec<_> = panel_ranges(12, 3)
             .into_iter()
@@ -445,6 +536,94 @@ mod tests {
             .collect();
         let (c, _) = e.multiply_from_panels(10, 12, good, &b).unwrap();
         assert_eq!(c, algo::gustavson(&a, &b));
+    }
+
+    #[test]
+    fn multiply_streams_pairs_both_operands() {
+        let a = int_matrix(20, 24, 120, 5);
+        let b = int_matrix(24, 16, 100, 6);
+        let e = exec(MemoryBudget::from_bytes(0), 4, 2);
+        let ranges = panel_ranges(24, 4);
+        let a_stream = ranges
+            .iter()
+            .map(|r| Ok((r.clone(), a.col_panel(r.clone()))));
+        let b_stream = ranges
+            .iter()
+            .map(|r| Ok((r.clone(), b.row_panel(r.clone()))));
+        let (c, report) = e.multiply_streams(20, 24, 16, a_stream, b_stream).unwrap();
+        assert_eq!(c, algo::gustavson(&a, &b));
+        assert_eq!(report.panels, 4);
+
+        // Mismatched ranges between the two streams are a shape error.
+        let a_stream = ranges
+            .iter()
+            .map(|r| Ok((r.clone(), a.col_panel(r.clone()))));
+        let b_stream = vec![Ok((0..24, b.clone()))].into_iter();
+        assert!(matches!(
+            e.multiply_streams(20, 24, 16, a_stream, b_stream),
+            Err(StreamError::Shape(_))
+        ));
+
+        // Errors yielded by a stream pass through verbatim.
+        let a_stream = vec![Err(StreamError::Ingest("disk on fire".into()))].into_iter();
+        let b_stream = vec![Ok((0..24, b.clone()))].into_iter();
+        assert!(matches!(
+            e.multiply_streams(20, 24, 16, a_stream, b_stream),
+            Err(StreamError::Ingest(_))
+        ));
+
+        // A surplus B panel after A ended (here: a full-coverage A
+        // stream against one panel too many) is a shape error, never
+        // silently dropped — and a surplus trailing *error* surfaces
+        // too.
+        let a_stream = vec![Ok((0..24, a.col_panel(0..24)))].into_iter();
+        let b_stream = vec![Ok((0..24, b.clone())), Ok((24..30, Csr::zero(6, 16)))].into_iter();
+        assert!(matches!(
+            e.multiply_streams(20, 24, 16, a_stream, b_stream),
+            Err(StreamError::Shape(_))
+        ));
+        let a_stream = vec![Ok((0..24, a.col_panel(0..24)))].into_iter();
+        let b_stream = vec![
+            Ok((0..24, b.clone())),
+            Err(StreamError::Ingest("truncated tail".into())),
+        ]
+        .into_iter();
+        assert!(matches!(
+            e.multiply_streams(20, 24, 16, a_stream, b_stream),
+            Err(StreamError::Ingest(_))
+        ));
+        // A surplus A panel after B ended reports the disagreement, not
+        // a misleading coverage error.
+        let a_stream = panel_ranges(24, 2)
+            .into_iter()
+            .map(|r| Ok((r.clone(), a.col_panel(r))));
+        let b_stream = vec![Ok((0..12, b.row_panel(0..12)))].into_iter();
+        match e.multiply_streams(20, 24, 16, a_stream, b_stream) {
+            Err(StreamError::Shape(msg)) => {
+                assert!(msg.contains("after the B stream ended"), "{msg}")
+            }
+            other => panic!("expected a stream-disagreement error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_telemetry_reports_overlap_on_parallel_runs() {
+        // With multiple panels and workers, the reader should observe
+        // multiplies in flight at least once on a workload this size —
+        // and busy seconds must be populated for every stage.
+        let a = int_matrix(160, 160, 160 * 12, 21);
+        let (c, report) = exec(MemoryBudget::from_kb(16), 12, 2)
+            .multiply(&a, &a)
+            .unwrap();
+        assert_eq!(c, algo::gustavson(&a, &a));
+        let s = &report.stages;
+        assert!(s.reader_busy_seconds > 0.0);
+        assert!(s.multiply_busy_seconds > 0.0);
+        assert!(s.merge_busy_seconds > 0.0);
+        assert!(
+            s.reads_overlapping_multiply > 0 || s.rounds_overlapping_multiply > 0,
+            "no overlap observed at all: {s:?}"
+        );
     }
 
     #[test]

@@ -9,29 +9,44 @@
 //! matrices larger than memory are simply out of scope.
 //!
 //! This crate brings the paper's partial-matrix discipline to the
-//! software layer. A [`StreamingExecutor`]:
+//! software layer as a **staged dataflow pipeline** — three concurrent
+//! stages connected by bounded channels, so disk ingest, panel
+//! multiplies, spill write-back and merge rounds overlap instead of
+//! alternating (see the [`pipeline`-module](crate) docs for the stage
+//! diagram). A [`StreamingExecutor`]:
 //!
-//! 1. splits `A` into column panels and `B` into the matching row panels
-//!    (`A · B = Σ_p A[:, p] · B[p, :]` — the outer-product split, one
-//!    level coarser than the paper's per-column split),
-//! 2. multiplies panel pairs in parallel on a `sparch_exec::ShardPool`,
-//! 3. folds the resulting partial CSRs through a multi-round k-way merge
-//!    whose round order comes from the **same** k-ary Huffman scheduler
-//!    the cycle-level simulator uses (`sparch_core::sched::huffman_plan`,
-//!    smallest partials first), and
+//! 1. **reader stage** — streams *both* operands panel pair by panel
+//!    pair: `A`'s column panels and `B`'s matching row panels
+//!    (`A · B = Σ_p A[:, p] · B[p, :]`), from memory, or from disk via
+//!    `sparch_sparse::mm::{PanelReader, RowPanelReader}` so neither
+//!    operand is ever materialized whole; boundaries come from the
+//!    uniform or nnz-balanced splitter ([`PanelBalance`]),
+//! 2. **multiply stage** — `sparch_exec::ShardPool` workers pull pairs
+//!    from the bounded channel and multiply them while the reader keeps
+//!    reading,
+//! 3. **merge/spill stage** — folds arriving partials through a
+//!    multi-round k-way merge whose round order comes from the **same**
+//!    k-ary Huffman scheduler the cycle-level simulator uses
+//!    (`sparch_core::sched::huffman_plan`, smallest first, weighted by
+//!    per-panel `A` non-zeros), executing each round the moment its
+//!    children are present — concurrently with the multiplies still in
+//!    flight — and
 //! 4. keeps the resident set of partials under an explicit
 //!    [`MemoryBudget`]: partials that do not fit spill to a temp
-//!    directory in a compact binary format ([`spill`]-module docs) and
+//!    directory in a compact binary format — raw sorted COO or the
+//!    delta+varint codec ([`SpillCodec`], [`spill`]-module docs) — and
 //!    *stream* back in for their merge round — a spilled partial is
 //!    consumed through a small read buffer, never re-materialized.
 //!
 //! The merged result is **bit-identical to `algo::gustavson`** for
 //! exactly-representable arithmetic and structurally identical always
 //! (same `row_ptr`/`col_idx`, including the repository-wide
-//! keep-structural-zeros convention), at every budget, panel count and
-//! thread count — the merge order depends only on the Huffman plan, not
-//! on what happened to spill. `crates/stream/tests/` pins this across
-//! the `gen::arb` grid and audits the budget with a counting allocator.
+//! keep-structural-zeros convention), at every budget, panel count,
+//! thread count, spill codec and balance mode — the merge order depends
+//! only on the Huffman plan, whose weights are fixed by the panel split
+//! alone, never by stage timing or what happened to spill.
+//! `crates/stream/tests/` pins this across the `gen::arb` grid and
+//! audits the budget with a counting allocator.
 //!
 //! # Example
 //!
@@ -53,11 +68,12 @@
 pub mod config;
 pub mod executor;
 mod merge;
-mod spill;
+mod pipeline;
+pub mod spill;
 mod store;
 
-pub use config::{MemoryBudget, StreamConfig};
-pub use executor::{StreamReport, StreamingExecutor};
+pub use config::{MemoryBudget, PanelBalance, SpillCodec, StreamConfig};
+pub use executor::{StageReport, StreamReport, StreamingExecutor};
 
 use std::fmt;
 
@@ -74,6 +90,10 @@ pub enum StreamError {
     Io(String),
     /// Ingested panels disagree with the declared operand shapes.
     Shape(String),
+    /// An operand's panel stream failed while being read (e.g. a
+    /// malformed `.mtx` discovered mid-pass); carries the source
+    /// parser's message.
+    Ingest(String),
 }
 
 impl fmt::Display for StreamError {
@@ -81,6 +101,7 @@ impl fmt::Display for StreamError {
         match self {
             StreamError::Io(msg) => write!(f, "stream i/o error: {msg}"),
             StreamError::Shape(msg) => write!(f, "stream shape error: {msg}"),
+            StreamError::Ingest(msg) => write!(f, "stream ingest error: {msg}"),
         }
     }
 }
@@ -90,5 +111,11 @@ impl std::error::Error for StreamError {}
 impl From<std::io::Error> for StreamError {
     fn from(e: std::io::Error) -> Self {
         StreamError::Io(e.to_string())
+    }
+}
+
+impl From<sparch_sparse::SparseError> for StreamError {
+    fn from(e: sparch_sparse::SparseError) -> Self {
+        StreamError::Ingest(e.to_string())
     }
 }

@@ -156,7 +156,7 @@ mod tests {
         for (s, p) in parts.iter().enumerate() {
             if s % 2 == 1 {
                 let path = temp(&format!("mixed{s}"));
-                write_partial(&path, p).unwrap();
+                write_partial(&path, p, crate::SpillCodec::Varint).unwrap();
                 mixed.push(PartialSource::Disk(SpillReader::open(&path).unwrap()));
                 files.push(path);
             } else {

@@ -1,0 +1,609 @@
+//! The staged dataflow pipeline: reader → multiply → merge/spill.
+//!
+//! SpArch overlaps fetch with compute — the row prefetcher and the
+//! condensed left matrix exist so the comparator array never stalls on
+//! DRAM. The software pipeline mirrors that discipline with three
+//! concurrently running stages connected by bounded channels:
+//!
+//! ```text
+//!  reader thread          multiply workers           merge/spill stage
+//!  (both operands,   ──▶  (ShardPool::scoped_   ──▶  (orchestrator
+//!   panel by panel)  ch.   workers, gustavson    ch.   thread: store
+//!                          per panel pair)             inserts, spill
+//!                                                      writes, Huffman
+//!                                                      merge rounds)
+//! ```
+//!
+//! The reader streams panel *pairs* — `A[:, p]` plus the matching
+//! `B[p, :]` — so neither operand is ever materialized whole; the
+//! channel bound (`threads + 1` pairs) caps how much of either operand
+//! is resident. Multiply workers pull pairs and push partials through a
+//! second bounded channel (`threads` un-inserted partials at most), and
+//! the merge/spill stage inserts each arrival into the budgeted
+//! [`PartialStore`] — which is where spill write-back happens, off the
+//! reader's and workers' critical paths — and executes merge rounds the
+//! moment their children are available. Disk ingest, multiplies, spill
+//! writes and merge rounds all overlap instead of alternating.
+//!
+//! **Determinism.** The Huffman plan's leaf weights are the per-panel
+//! `A`-column non-zero counts, fixed by the panel split alone — known
+//! the moment the reader finishes, *before* the last multiply lands, and
+//! entirely independent of stage timing, thread count, budget or codec.
+//! Rounds execute in plan order on the single merge thread, so the fold
+//! order — and therefore every output bit — depends only on the plan,
+//! never on which stage happened to run first. Arrival order can shift
+//! *when* a partial is evicted (spill counters may vary across timings
+//! at `threads > 1`), but never what any merge round computes.
+
+use crate::merge::{merge_sources, PartialSource};
+use crate::store::{PartialStore, StoreStats};
+use crate::{StreamConfig, StreamError};
+use serde::{Deserialize, Serialize};
+use sparch_core::sched::{huffman_plan, MergePlan, PlanNode};
+use sparch_exec::ShardPool;
+use sparch_sparse::{algo, Csr};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One panel pair flowing from the reader into the multiply stage:
+/// `A[:, range]` with localized columns and `B[range, :]` with localized
+/// rows.
+pub(crate) struct PanelPair {
+    pub range: Range<usize>,
+    pub a: Csr,
+    pub b: Csr,
+}
+
+/// Per-stage busy time and overlap evidence for one pipelined multiply.
+///
+/// Busy seconds are summed per stage (multiply across all workers), so
+/// they can exceed the wall clock — that excess *is* the overlap. The
+/// two counters are direct evidence of pipelining: they count events
+/// that are impossible in a phase-alternating executor.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Time the reader stage spent pulling + validating panel pairs.
+    pub reader_busy_seconds: f64,
+    /// Total worker time inside panel multiplies (summed over workers).
+    pub multiply_busy_seconds: f64,
+    /// Time the merge/spill stage spent inserting partials, writing
+    /// spills and executing merge rounds.
+    pub merge_busy_seconds: f64,
+    /// The portion of `merge_busy_seconds` spent encoding + writing
+    /// spill files.
+    pub spill_write_seconds: f64,
+    /// Panel reads that completed while ≥ 1 multiply was in flight —
+    /// the reader ingesting while the compute stage holds unfinished
+    /// work. "In flight" spans from the reader handing a pair to the
+    /// multiply stage until the merge stage consumes the partial, so the
+    /// counter measures *pipelining* (stages progressing with upstream
+    /// work outstanding) rather than physical simultaneity, and is
+    /// meaningful even on a single core. A phase-alternating executor
+    /// scores 0 by construction.
+    pub reads_overlapping_multiply: u64,
+    /// Merge rounds executed while ≥ 1 multiply was in flight (same
+    /// definition) — the merge stage folding while the compute stage
+    /// still holds work.
+    pub rounds_overlapping_multiply: u64,
+}
+
+/// What one pipeline run produced, before the executor folds it into its
+/// public [`StreamReport`](crate::StreamReport).
+pub(crate) struct PipelineOutcome {
+    pub result: Csr,
+    /// Panel pairs the reader validated (including all-empty `A` panels
+    /// that never became merge leaves).
+    pub panels: usize,
+    /// Merge-plan leaves: panels whose `A` panel had any non-zeros.
+    pub partials: usize,
+    pub merge_rounds: usize,
+    pub partial_bytes_total: u64,
+    pub largest_partial_bytes: u64,
+    pub store_stats: StoreStats,
+    pub stages: StageReport,
+}
+
+/// A multiply job: one panel pair tagged with its merge-plan leaf id.
+struct MultiplyJob {
+    leaf: usize,
+    a: Csr,
+    b: Csr,
+}
+
+/// What the reader thread learned, returned through its join handle.
+struct ReaderOutcome {
+    busy_seconds: f64,
+    reads_overlapping_multiply: u64,
+    /// Panel pairs validated, including pruned all-empty `A` panels.
+    panels: usize,
+    error: Option<StreamError>,
+}
+
+/// Runs the staged pipeline over a stream of panel pairs.
+///
+/// `pairs` yields `(range, A-panel, B-panel)` items left to right; the
+/// reader validates that ranges tile `0..inner_dim` and that panel
+/// shapes agree with `a_rows`/`b_cols`. Iterator errors (e.g. a disk
+/// reader failing mid-file) abort the run with that error.
+pub(crate) fn run<I>(
+    config: &StreamConfig,
+    a_rows: usize,
+    inner_dim: usize,
+    b_cols: usize,
+    pairs: I,
+    spill_dir: PathBuf,
+) -> Result<PipelineOutcome, StreamError>
+where
+    I: Iterator<Item = Result<PanelPair, StreamError>> + Send,
+{
+    let pool = ShardPool::with_override(config.threads);
+    let ways = config.merge_ways.max(2);
+    let store = PartialStore::new(config.budget, spill_dir, config.spill_codec);
+
+    // Stage plumbing. Both channels are bounded — that is what makes the
+    // pipeline's transient memory a constant factor of the panel size:
+    // at most `threads + 1` pairs queued for multiply, at most `threads`
+    // finished partials waiting for the merge/spill stage (plus one pair
+    // in each worker's hands).
+    let (job_tx, job_rx) = sync_channel::<MultiplyJob>(pool.threads() + 1);
+    let (res_tx, res_rx) = sync_channel::<(usize, Csr, f64)>(pool.threads());
+    // The job receiver and the prototype result sender live in Options
+    // so the worker-stage thread can drop both once every worker is done
+    // — even by panic. The result-channel disconnect is what ends the
+    // merge stage's receive loop, and the job-channel disconnect is what
+    // unblocks a reader mid-send; without the unconditional cleanup a
+    // worker panic would wedge both instead of propagating at join.
+    let job_rx = Mutex::new(Some(job_rx));
+    let res_tx = Mutex::new(Some(res_tx));
+    // Jobs in the submitted-to-consumed window (reader sent the pair,
+    // merge stage has not yet received the partial); the overlap
+    // counters sample this.
+    let inflight = AtomicUsize::new(0);
+    // Raised by the merge/spill stage on its first failure so the
+    // reader stops ingesting promptly — a disk-full on the first spill
+    // must not cost the whole remaining ingest + multiply bill.
+    let abort = AtomicBool::new(false);
+    // The reader publishes every leaf's weight here when it finishes —
+    // the merge stage builds the Huffman plan from it mid-flight.
+    let weights_slot: Mutex<Option<Vec<u64>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        let (weights_ref, inflight_ref, abort_ref) = (&weights_slot, &inflight, &abort);
+        let reader = scope.spawn(move || {
+            reader_stage(
+                pairs,
+                a_rows,
+                inner_dim,
+                b_cols,
+                job_tx,
+                weights_ref,
+                inflight_ref,
+                abort_ref,
+            )
+        });
+        let workers = scope.spawn(|| {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.scoped_workers(|_| {
+                    let tx = res_tx
+                        .lock()
+                        .expect("result sender poisoned")
+                        .clone()
+                        .expect("sender alive while workers run");
+                    multiply_worker(&job_rx, &tx)
+                });
+            }));
+            // Close both channel ends this stage owns, panic or not (see
+            // the channel setup above).
+            drop(res_tx.lock().unwrap_or_else(|e| e.into_inner()).take());
+            drop(job_rx.lock().unwrap_or_else(|e| e.into_inner()).take());
+            if let Err(panic) = outcome {
+                std::panic::resume_unwind(panic);
+            }
+        });
+
+        let mut merge = MergeStage::new(store, a_rows, b_cols, ways);
+        merge.run(&res_rx, &weights_slot, &inflight, &abort);
+
+        let reader = reader.join().expect("reader stage panicked");
+        workers.join().expect("multiply worker panicked");
+        merge.finish(reader)
+    })
+}
+
+/// The reader stage: pulls panel pairs, validates tiling and shapes,
+/// tags non-empty `A` panels with leaf ids and feeds them to the
+/// multiply stage, then publishes the plan weights. Stops early when
+/// the merge stage raises `abort` (its failure is the one reported).
+#[allow(clippy::too_many_arguments)]
+fn reader_stage<I>(
+    mut pairs: I,
+    a_rows: usize,
+    inner_dim: usize,
+    b_cols: usize,
+    job_tx: SyncSender<MultiplyJob>,
+    weights_slot: &Mutex<Option<Vec<u64>>>,
+    inflight: &AtomicUsize,
+    abort: &AtomicBool,
+) -> ReaderOutcome
+where
+    I: Iterator<Item = Result<PanelPair, StreamError>> + Send,
+{
+    let mut covered = 0usize;
+    let mut weights: Vec<u64> = Vec::new();
+    let mut busy = 0f64;
+    let mut overlapping = 0u64;
+    let mut panels = 0usize;
+    let mut error = None;
+    let mut aborted = false;
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            // The merge stage failed; whatever it recorded is the root
+            // cause. Skip the coverage check — stopping short is the
+            // point.
+            aborted = true;
+            break;
+        }
+        let t0 = Instant::now();
+        let Some(item) = pairs.next() else {
+            busy += t0.elapsed().as_secs_f64();
+            break;
+        };
+        let verdict = item.and_then(|pair| {
+            validate_pair(&pair, covered, a_rows, inner_dim, b_cols).map(|()| pair)
+        });
+        busy += t0.elapsed().as_secs_f64();
+        if inflight.load(Ordering::Relaxed) > 0 {
+            overlapping += 1;
+        }
+        let pair = match verdict {
+            Ok(pair) => pair,
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        };
+        covered = pair.range.end;
+        panels += 1;
+        if pair.a.nnz() == 0 {
+            // An empty A panel's product is empty whatever B holds: it
+            // is pruned here, deterministically, and never becomes a
+            // merge leaf.
+            continue;
+        }
+        let leaf = weights.len();
+        weights.push(pair.a.nnz() as u64);
+        // Count the job in flight *before* handing it over: a fast
+        // worker could otherwise finish it — and the merge stage
+        // decrement — before this thread reached the increment,
+        // wrapping the counter below zero and fabricating overlap.
+        inflight.fetch_add(1, Ordering::Relaxed);
+        if job_tx
+            .send(MultiplyJob {
+                leaf,
+                a: pair.a,
+                b: pair.b,
+            })
+            .is_err()
+        {
+            // Workers are gone (a failure is already being reported
+            // downstream); the job never entered the pipeline.
+            inflight.fetch_sub(1, Ordering::Relaxed);
+            break;
+        }
+    }
+    if error.is_none() && !aborted && covered != inner_dim {
+        error = Some(StreamError::Shape(format!(
+            "panels cover only 0..{covered} of 0..{inner_dim}"
+        )));
+    }
+    // Publish the plan weights *before* dropping the job sender: by the
+    // time the workers disconnect the result channel, the merge stage is
+    // guaranteed to find them.
+    *weights_slot.lock().expect("weights slot poisoned") = Some(weights);
+    drop(job_tx);
+    ReaderOutcome {
+        busy_seconds: busy,
+        reads_overlapping_multiply: overlapping,
+        panels,
+        error,
+    }
+}
+
+/// Shape/tiling validation for one incoming panel pair.
+fn validate_pair(
+    pair: &PanelPair,
+    covered: usize,
+    a_rows: usize,
+    inner_dim: usize,
+    b_cols: usize,
+) -> Result<(), StreamError> {
+    let range = &pair.range;
+    if range.start != covered || range.end > inner_dim || range.end < range.start {
+        return Err(StreamError::Shape(format!(
+            "panel {range:?} does not tile 0..{inner_dim} (covered 0..{covered})"
+        )));
+    }
+    if pair.a.rows() != a_rows || pair.a.cols() != range.len() {
+        return Err(StreamError::Shape(format!(
+            "A panel {range:?} has shape {}x{}, expected {a_rows}x{}",
+            pair.a.rows(),
+            pair.a.cols(),
+            range.len()
+        )));
+    }
+    if pair.b.rows() != range.len() || pair.b.cols() != b_cols {
+        return Err(StreamError::Shape(format!(
+            "B panel {range:?} has shape {}x{}, expected {}x{b_cols}",
+            pair.b.rows(),
+            pair.b.cols(),
+            range.len()
+        )));
+    }
+    Ok(())
+}
+
+/// One multiply worker: pulls jobs until the reader closes the channel,
+/// multiplies, and hands partials (with the time they took) downstream.
+fn multiply_worker(
+    job_rx: &Mutex<Option<Receiver<MultiplyJob>>>,
+    res_tx: &SyncSender<(usize, Csr, f64)>,
+) {
+    loop {
+        // The lock is held only for the claim (including any blocking
+        // wait for the reader), never for the multiply itself — claiming
+        // serializes, compute parallelizes.
+        let claimed = {
+            let guard = job_rx.lock().expect("job receiver poisoned");
+            match guard.as_ref() {
+                Some(rx) => rx.recv(),
+                None => break,
+            }
+        };
+        let job = match claimed {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let t0 = Instant::now();
+        let partial = algo::gustavson(&job.a, &job.b);
+        let seconds = t0.elapsed().as_secs_f64();
+        if res_tx.send((job.leaf, partial, seconds)).is_err() {
+            break;
+        }
+    }
+}
+
+/// The merge/spill stage: owns the budgeted store, builds the Huffman
+/// plan as soon as the reader publishes the weights, and executes merge
+/// rounds the moment their children have all arrived.
+struct MergeStage {
+    store: PartialStore,
+    a_rows: usize,
+    b_cols: usize,
+    ways: usize,
+    plan: Option<MergePlan>,
+    arrived: Vec<bool>,
+    next_round: usize,
+    result: Option<Csr>,
+    partial_bytes_total: u64,
+    largest_partial_bytes: u64,
+    multiply_busy: f64,
+    merge_busy: f64,
+    rounds_overlapping: u64,
+    failure: Option<StreamError>,
+}
+
+impl MergeStage {
+    fn new(store: PartialStore, a_rows: usize, b_cols: usize, ways: usize) -> Self {
+        MergeStage {
+            store,
+            a_rows,
+            b_cols,
+            ways,
+            plan: None,
+            arrived: Vec::new(),
+            next_round: 0,
+            result: None,
+            partial_bytes_total: 0,
+            largest_partial_bytes: 0,
+            multiply_busy: 0.0,
+            merge_busy: 0.0,
+            rounds_overlapping: 0,
+            failure: None,
+        }
+    }
+
+    /// Consumes multiply results until every worker is done, interleaving
+    /// store inserts (spill write-back included) and any merge rounds
+    /// that become ready. On failure it raises `abort` so the reader
+    /// stops ingesting, then keeps draining so the upstream stages can
+    /// always finish — no early return, no deadlock.
+    fn run(
+        &mut self,
+        res_rx: &Receiver<(usize, Csr, f64)>,
+        weights_slot: &Mutex<Option<Vec<u64>>>,
+        inflight: &AtomicUsize,
+        abort: &AtomicBool,
+    ) {
+        while let Ok((leaf, partial, seconds)) = res_rx.recv() {
+            inflight.fetch_sub(1, Ordering::Relaxed);
+            self.multiply_busy += seconds;
+            if self.failure.is_some() {
+                continue;
+            }
+            let t0 = Instant::now();
+            self.insert_leaf(leaf, partial);
+            self.try_build_plan(weights_slot);
+            self.advance_rounds(inflight);
+            self.merge_busy += t0.elapsed().as_secs_f64();
+            if self.failure.is_some() {
+                abort.store(true, Ordering::Relaxed);
+            }
+        }
+        // The last result can land before the reader publishes the
+        // weights; the channel disconnect happens strictly after, so one
+        // final attempt always sees them.
+        if self.failure.is_none() {
+            let t0 = Instant::now();
+            self.try_build_plan(weights_slot);
+            self.advance_rounds(inflight);
+            self.merge_busy += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    fn insert_leaf(&mut self, leaf: usize, partial: Csr) {
+        let bytes = partial.estimated_bytes();
+        self.partial_bytes_total += bytes;
+        self.largest_partial_bytes = self.largest_partial_bytes.max(bytes);
+        if self.arrived.len() <= leaf {
+            self.arrived.resize(leaf + 1, false);
+        }
+        self.arrived[leaf] = true;
+        if let Err(e) = self.store.insert(leaf, partial) {
+            self.failure = Some(e);
+        }
+    }
+
+    /// Builds the Huffman plan once the reader has published the leaf
+    /// weights. The weights depend only on the panel split, so the plan
+    /// — and with it the fold order — is identical at every thread
+    /// count, budget and codec.
+    fn try_build_plan(&mut self, weights_slot: &Mutex<Option<Vec<u64>>>) {
+        if self.plan.is_some() {
+            return;
+        }
+        let Some(weights) = weights_slot.lock().expect("weights slot poisoned").take() else {
+            return;
+        };
+        let n = weights.len();
+        if self.arrived.len() < n {
+            self.arrived.resize(n, false);
+        }
+        let plan = huffman_plan(&weights, self.ways);
+        let mut consumers = vec![usize::MAX; n + plan.rounds.len()];
+        for (round, r) in plan.rounds.iter().enumerate() {
+            for &child in &r.children {
+                consumers[node_id(child, n)] = round;
+            }
+        }
+        self.store.set_consumers(consumers);
+        self.plan = Some(plan);
+    }
+
+    /// Executes every merge round whose children are all present, in
+    /// plan order. Round children always reference earlier rounds, so
+    /// only leaf availability gates progress.
+    fn advance_rounds(&mut self, inflight: &AtomicUsize) {
+        loop {
+            let Some(plan) = &self.plan else { return };
+            if self.failure.is_some() || self.next_round >= plan.rounds.len() {
+                return;
+            }
+            let round = &plan.rounds[self.next_round];
+            let ready = round.children.iter().all(|&c| match c {
+                PlanNode::Leaf(l) => self.arrived[l],
+                PlanNode::Round(r) => r < self.next_round,
+            });
+            if !ready {
+                return;
+            }
+            let n = plan.num_leaves;
+            let ids: Vec<usize> = round.children.iter().map(|&c| node_id(c, n)).collect();
+            let is_final = self.next_round + 1 == plan.rounds.len();
+            if inflight.load(Ordering::Relaxed) > 0 {
+                self.rounds_overlapping += 1;
+            }
+            match self.execute_round(&ids, is_final) {
+                Ok(()) => self.next_round += 1,
+                Err(e) => {
+                    self.failure = Some(e);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn execute_round(&mut self, ids: &[usize], is_final: bool) -> Result<(), StreamError> {
+        let mut sources = Vec::with_capacity(ids.len());
+        for &id in ids {
+            sources.push(PartialSource::from(self.store.take(id)?));
+        }
+        let merged = merge_sources(self.a_rows, self.b_cols, sources)?;
+        for &id in ids {
+            self.store.release(id);
+        }
+        let n = self
+            .plan
+            .as_ref()
+            .expect("plan exists in a round")
+            .num_leaves;
+        if is_final {
+            self.result = Some(merged);
+        } else {
+            self.store.insert(n + self.next_round, merged)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves the run: reader errors win (they are the root cause),
+    /// then merge/spill failures, then the degenerate zero- and one-leaf
+    /// results.
+    fn finish(mut self, reader: ReaderOutcome) -> Result<PipelineOutcome, StreamError> {
+        if let Some(e) = reader.error {
+            self.store.cleanup();
+            return Err(e);
+        }
+        if let Some(e) = self.failure.take() {
+            self.store.cleanup();
+            return Err(e);
+        }
+        let plan = self.plan.take().expect("reader published the plan weights");
+        let n = plan.num_leaves;
+        let result = if n == 0 {
+            Csr::zero(self.a_rows, self.b_cols)
+        } else if n == 1 {
+            match self.store.take_full(0) {
+                Ok(csr) => csr,
+                Err(e) => {
+                    self.store.cleanup();
+                    return Err(e);
+                }
+            }
+        } else {
+            debug_assert_eq!(self.next_round, plan.rounds.len());
+            self.result
+                .take()
+                .expect("a multi-leaf plan ends in a final round")
+        };
+        let store_stats = self.store.stats().clone();
+        self.store.cleanup();
+        Ok(PipelineOutcome {
+            result,
+            panels: reader.panels,
+            partials: n,
+            merge_rounds: plan.rounds.len(),
+            partial_bytes_total: self.partial_bytes_total,
+            largest_partial_bytes: self.largest_partial_bytes,
+            store_stats: store_stats.clone(),
+            stages: StageReport {
+                reader_busy_seconds: reader.busy_seconds,
+                multiply_busy_seconds: self.multiply_busy,
+                merge_busy_seconds: self.merge_busy,
+                spill_write_seconds: store_stats.spill_write_seconds,
+                reads_overlapping_multiply: reader.reads_overlapping_multiply,
+                rounds_overlapping_multiply: self.rounds_overlapping,
+            },
+        })
+    }
+}
+
+/// Store/plan node id: leaves are `0..n`, round outputs `n + round`.
+fn node_id(node: PlanNode, n: usize) -> usize {
+    match node {
+        PlanNode::Leaf(l) => l,
+        PlanNode::Round(r) => n + r,
+    }
+}

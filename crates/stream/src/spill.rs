@@ -1,4 +1,4 @@
-//! The compact binary spill format for partial matrices.
+//! The compact binary spill formats for partial matrices.
 //!
 //! A spilled partial is the paper's "partially merged result written back
 //! to DRAM", transplanted to disk: sorted COO triples, the same
@@ -6,28 +6,54 @@
 //! row index then column index", §II-A), so a reader can stream straight
 //! into a k-way merge without ever materializing the matrix.
 //!
-//! Layout (little-endian):
+//! Two on-disk formats share a 28-byte header (little-endian):
 //!
 //! ```text
-//! magic  u32   0x5350_4d31  ("SPM1")
+//! magic  u32   0x5350_4d31 ("SPM1", raw) | 0x5350_4d32 ("SPM2", varint)
 //! rows   u64
 //! cols   u64
 //! nnz    u64
-//! entry  (row u32, col u32, value f64)  × nnz, sorted by (row, col)
 //! ```
 //!
-//! 16 bytes per element — 4 + 4 index bytes and the 8-byte value —
-//! versus the 20 bytes an in-memory CSR's `row_ptr` would amortize to on
-//! pathological shapes; more importantly the format is *streamable* in
-//! both directions.
+//! **Raw** (`SPM1`) stores each entry as `(row u32, col u32, value f64)`
+//! — 16 bytes per element, streamable in both directions.
+//!
+//! **Delta+varint** (`SPM2`) exploits the sort order: rows are
+//! non-decreasing and columns strictly increase within a row, so
+//! coordinates delta-encode into single-byte varints almost always.
+//! Per entry:
+//!
+//! ```text
+//! drow   varint  row - previous row (0 for same-row runs)
+//! token  varint  (cval << 1) | value_mode
+//!                cval = col            if first entry or drow > 0
+//!                     = col - prev_col otherwise (≥ 1: strictly increasing)
+//! value  value_mode 0: varint of value.to_bits().swap_bytes()
+//!        value_mode 1: raw 8-byte little-endian bit pattern
+//! ```
+//!
+//! The byte swap moves the mantissa's trailing zero bytes — which small
+//! integers, halves and other short-mantissa values have in abundance —
+//! to the top of the word where LEB128 drops them: `3.0` encodes in 2
+//! bytes instead of 8. Values whose swapped varint would not beat the
+//! raw 8 bytes use mode 1, so an entry never pays more than
+//! `drow + token + 8`. As a final guarantee the writer computes the
+//! exact varint size first and falls back to `SPM1` whenever varint
+//! would not be strictly smaller — a *requested* varint spill is never
+//! larger than raw, on any input. The reader dispatches on the magic,
+//! so the choice is invisible to the merge heap: both formats stream
+//! back through the same bounded buffer.
 
-use crate::StreamError;
+use crate::{SpillCodec, StreamError};
 use sparch_sparse::{Csr, CsrBuilder, Index, Triple};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
-const MAGIC: u32 = 0x5350_4d31;
+const MAGIC_RAW: u32 = 0x5350_4d31;
+const MAGIC_VARINT: u32 = 0x5350_4d32;
+const HEADER_BYTES: u64 = 28;
+const RAW_ENTRY_BYTES: u64 = 16;
 
 /// Read-buffer capacity for streaming a spilled partial back in. Small
 /// by design: this bounds the resident bytes a spilled merge child costs.
@@ -35,53 +61,179 @@ const READ_BUF_BYTES: usize = 64 * 1024;
 
 /// A partial matrix sitting on disk.
 #[derive(Debug)]
-pub(crate) struct SpillFile {
+pub struct SpillFile {
     /// Where the partial lives.
     pub path: PathBuf,
     /// File size in bytes (header + entries), for traffic accounting.
     pub bytes: u64,
 }
 
-/// Writes `csr` to `path` in the spill format.
-pub(crate) fn write_partial(path: &Path, csr: &Csr) -> Result<SpillFile, StreamError> {
+/// The exact on-disk size `csr` would occupy in the raw format.
+pub fn raw_size(csr: &Csr) -> u64 {
+    HEADER_BYTES + csr.nnz() as u64 * RAW_ENTRY_BYTES
+}
+
+/// The exact on-disk size `csr` would occupy in the delta+varint format
+/// (before the writer's raw fallback is applied).
+pub fn varint_size(csr: &Csr) -> u64 {
+    let mut body = 0u64;
+    let mut enc = DeltaState::new();
+    for (r, c, v) in csr.iter() {
+        let (drow, token, value) = enc.encode(r, c, v);
+        body += varint_len(drow) + varint_len(token);
+        body += match value {
+            ValueEnc::Varint(bits) => varint_len(bits),
+            ValueEnc::Raw(_) => 8,
+        };
+    }
+    HEADER_BYTES + body
+}
+
+/// Writes `csr` to `path` under the requested codec.
+///
+/// [`SpillCodec::Varint`] is a *request*: the writer computes the exact
+/// delta+varint size first and silently falls back to the raw format
+/// whenever varint would not be strictly smaller, so the returned
+/// [`SpillFile::bytes`] never exceeds [`raw_size`]. The magic records
+/// the format actually chosen.
+pub fn write_partial(path: &Path, csr: &Csr, codec: SpillCodec) -> Result<SpillFile, StreamError> {
+    let use_varint = codec == SpillCodec::Varint && varint_size(csr) < raw_size(csr);
     let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&MAGIC.to_le_bytes())?;
+    let magic = if use_varint { MAGIC_VARINT } else { MAGIC_RAW };
+    w.write_all(&magic.to_le_bytes())?;
     w.write_all(&(csr.rows() as u64).to_le_bytes())?;
     w.write_all(&(csr.cols() as u64).to_le_bytes())?;
     w.write_all(&(csr.nnz() as u64).to_le_bytes())?;
-    for (r, c, v) in csr.iter() {
-        w.write_all(&r.to_le_bytes())?;
-        w.write_all(&c.to_le_bytes())?;
-        w.write_all(&v.to_bits().to_le_bytes())?;
+    let mut bytes = HEADER_BYTES;
+    if use_varint {
+        let mut enc = DeltaState::new();
+        for (r, c, v) in csr.iter() {
+            let (drow, token, value) = enc.encode(r, c, v);
+            bytes += write_varint(&mut w, drow)?;
+            bytes += write_varint(&mut w, token)?;
+            match value {
+                ValueEnc::Varint(vbits) => bytes += write_varint(&mut w, vbits)?,
+                ValueEnc::Raw(vbits) => {
+                    w.write_all(&vbits.to_le_bytes())?;
+                    bytes += 8;
+                }
+            }
+        }
+    } else {
+        for (r, c, v) in csr.iter() {
+            w.write_all(&r.to_le_bytes())?;
+            w.write_all(&c.to_le_bytes())?;
+            w.write_all(&v.to_bits().to_le_bytes())?;
+        }
+        bytes += csr.nnz() as u64 * RAW_ENTRY_BYTES;
     }
     w.flush()?;
     Ok(SpillFile {
         path: path.to_path_buf(),
-        bytes: 28 + csr.nnz() as u64 * 16,
+        bytes,
     })
 }
 
-/// Streams a spilled partial back as sorted triples through a bounded
-/// read buffer.
+/// How one value is stored in the varint format.
+enum ValueEnc {
+    /// Varint of the byte-swapped bit pattern (shorter than 8 bytes).
+    Varint(u64),
+    /// Raw 8-byte bit pattern (the swap would not have helped).
+    Raw(u64),
+}
+
+/// Shared encoder state machine: the writer, the sizer and the decoder
+/// all walk the same (prev_row, prev_col) deltas, so the three can never
+/// disagree about the format.
 #[derive(Debug)]
-pub(crate) struct SpillReader {
+struct DeltaState {
+    prev_row: Index,
+    prev_col: Index,
+    first: bool,
+}
+
+impl DeltaState {
+    fn new() -> Self {
+        DeltaState {
+            prev_row: 0,
+            prev_col: 0,
+            first: true,
+        }
+    }
+
+    /// Encodes one `(row, col, value)` into its (drow, token, value)
+    /// triplet, advancing the state.
+    fn encode(&mut self, r: Index, c: Index, v: f64) -> (u64, u64, ValueEnc) {
+        let drow = (r - self.prev_row) as u64;
+        let cval = if self.first || drow > 0 {
+            c as u64
+        } else {
+            (c - self.prev_col) as u64
+        };
+        let vbits = v.to_bits().swap_bytes();
+        let value = if varint_len(vbits) < 8 {
+            ValueEnc::Varint(vbits)
+        } else {
+            ValueEnc::Raw(v.to_bits())
+        };
+        let mode = matches!(value, ValueEnc::Raw(_)) as u64;
+        self.prev_row = r;
+        self.prev_col = c;
+        self.first = false;
+        (drow, (cval << 1) | mode, value)
+    }
+
+    /// Decodes one entry from `reader`, advancing the state.
+    fn decode<R: Read>(&mut self, reader: &mut R) -> Result<Triple, StreamError> {
+        let drow = read_varint(reader)? as Index;
+        let token = read_varint(reader)?;
+        let (cval, mode) = ((token >> 1) as Index, token & 1);
+        let r = self.prev_row + drow;
+        let c = if self.first || drow > 0 {
+            cval
+        } else {
+            self.prev_col + cval
+        };
+        let v = if mode == 0 {
+            f64::from_bits(read_varint(reader)?.swap_bytes())
+        } else {
+            f64::from_bits(read_u64(reader)?)
+        };
+        self.prev_row = r;
+        self.prev_col = c;
+        self.first = false;
+        Ok((r, c, v))
+    }
+}
+
+/// Streams a spilled partial back as sorted triples through a bounded
+/// read buffer, whichever format the writer chose.
+#[derive(Debug)]
+pub struct SpillReader {
     reader: BufReader<File>,
     rows: usize,
     cols: usize,
     remaining: u64,
+    /// Delta state for the varint format; `None` for raw.
+    delta: Option<DeltaState>,
 }
 
 impl SpillReader {
-    /// Opens a spill file and validates its header.
+    /// Opens a spill file, validates its header and selects the decoder
+    /// for the format named by the magic.
     pub fn open(path: &Path) -> Result<Self, StreamError> {
         let mut reader = BufReader::with_capacity(READ_BUF_BYTES, File::open(path)?);
         let magic = read_u32(&mut reader)?;
-        if magic != MAGIC {
-            return Err(StreamError::Io(format!(
-                "bad spill magic {magic:#010x} in {}",
-                path.display()
-            )));
-        }
+        let delta = match magic {
+            MAGIC_RAW => None,
+            MAGIC_VARINT => Some(DeltaState::new()),
+            _ => {
+                return Err(StreamError::Io(format!(
+                    "bad spill magic {magic:#010x} in {}",
+                    path.display()
+                )))
+            }
+        };
         let rows = read_u64(&mut reader)? as usize;
         let cols = read_u64(&mut reader)? as usize;
         let remaining = read_u64(&mut reader)?;
@@ -90,11 +242,11 @@ impl SpillReader {
             rows,
             cols,
             remaining,
+            delta,
         })
     }
 
     /// Declared shape of the spilled partial.
-    #[cfg(test)]
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
     }
@@ -105,10 +257,15 @@ impl SpillReader {
             return Ok(None);
         }
         self.remaining -= 1;
-        let r = read_u32(&mut self.reader)?;
-        let c = read_u32(&mut self.reader)?;
-        let bits = read_u64(&mut self.reader)?;
-        Ok(Some((r as Index, c as Index, f64::from_bits(bits))))
+        match &mut self.delta {
+            None => {
+                let r = read_u32(&mut self.reader)?;
+                let c = read_u32(&mut self.reader)?;
+                let bits = read_u64(&mut self.reader)?;
+                Ok(Some((r as Index, c as Index, f64::from_bits(bits))))
+            }
+            Some(state) => Ok(Some(state.decode(&mut self.reader)?)),
+        }
     }
 
     /// Drains the whole file into a CSR — the non-streaming fallback used
@@ -119,6 +276,52 @@ impl SpillReader {
             b.push(r, c, v);
         }
         Ok(b.finish())
+    }
+}
+
+/// LEB128 length of `v` in bytes (1..=10).
+fn varint_len(v: u64) -> u64 {
+    (64 - v.max(1).leading_zeros() as u64).div_ceil(7)
+}
+
+/// Writes `v` as LEB128, returning the bytes written.
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<u64, StreamError> {
+    let mut written = 0u64;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_all(&[byte])?;
+            return Ok(written + 1);
+        }
+        w.write_all(&[byte | 0x80])?;
+        written += 1;
+    }
+}
+
+/// Reads one LEB128 value; rejects encodings past 10 bytes and payload
+/// bits that would overflow a `u64` (a corrupted file must surface as
+/// an error, never decode to a silently truncated value).
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, StreamError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut buf = [0u8; 1];
+        r.read_exact(&mut buf)?;
+        let byte = buf[0];
+        let bits = u64::from(byte & 0x7f);
+        let shifted = bits << shift;
+        if shifted >> shift != bits {
+            return Err(StreamError::Io("varint overflows u64".into()));
+        }
+        value |= shifted;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(StreamError::Io("varint longer than 10 bytes".into()));
+        }
     }
 }
 
@@ -144,10 +347,10 @@ mod tests {
     }
 
     #[test]
-    fn round_trips_through_disk() {
+    fn raw_round_trips_through_disk() {
         let m = gen::uniform_random(20, 30, 120, 5);
         let path = temp_path("roundtrip");
-        let file = write_partial(&path, &m).unwrap();
+        let file = write_partial(&path, &m, SpillCodec::Raw).unwrap();
         assert_eq!(file.bytes, 28 + 16 * m.nnz() as u64);
         assert_eq!(file.bytes, std::fs::metadata(&path).unwrap().len());
         let reader = SpillReader::open(&path).unwrap();
@@ -157,32 +360,108 @@ mod tests {
     }
 
     #[test]
-    fn streams_in_sorted_order() {
-        let m = gen::rmat_graph500(32, 4, 9);
-        let path = temp_path("sorted");
-        write_partial(&path, &m).unwrap();
-        let mut reader = SpillReader::open(&path).unwrap();
-        let mut triples = Vec::new();
-        while let Some(t) = reader.next_triple().unwrap() {
-            triples.push(t);
-        }
-        assert_eq!(triples, m.iter().collect::<Vec<_>>());
-        assert!(triples
-            .windows(2)
-            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    fn varint_round_trips_and_shrinks_small_int_values() {
+        let m = sparch_sparse::linalg::map_values(&gen::uniform_random(24, 24, 150, 7), |v| {
+            (v * 4.0).round()
+        });
+        let path = temp_path("varint");
+        let file = write_partial(&path, &m, SpillCodec::Varint).unwrap();
+        assert_eq!(file.bytes, std::fs::metadata(&path).unwrap().len());
+        assert!(
+            file.bytes * 2 <= raw_size(&m),
+            "small-int partial should compress ≥2×: {} vs {}",
+            file.bytes,
+            raw_size(&m)
+        );
+        assert_eq!(SpillReader::open(&path).unwrap().read_all().unwrap(), m);
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn explicit_zeros_and_negative_zero_survive() {
+    fn both_codecs_stream_in_sorted_order() {
+        let m = gen::rmat_graph500(32, 4, 9);
+        for codec in [SpillCodec::Raw, SpillCodec::Varint] {
+            let path = temp_path(&format!("sorted_{codec}"));
+            write_partial(&path, &m, codec).unwrap();
+            let mut reader = SpillReader::open(&path).unwrap();
+            let mut triples = Vec::new();
+            while let Some(t) = reader.next_triple().unwrap() {
+                triples.push(t);
+            }
+            assert_eq!(triples, m.iter().collect::<Vec<_>>(), "{codec}");
+            assert!(triples
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn explicit_zeros_and_negative_zero_survive_both_codecs() {
         let m = Csr::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![0.0, -0.0]).unwrap();
-        let path = temp_path("zeros");
-        write_partial(&path, &m).unwrap();
-        let back = SpillReader::open(&path).unwrap().read_all().unwrap();
-        assert_eq!(back.nnz(), 2);
-        assert_eq!(back.values()[0].to_bits(), 0.0f64.to_bits());
-        assert_eq!(back.values()[1].to_bits(), (-0.0f64).to_bits());
+        for codec in [SpillCodec::Raw, SpillCodec::Varint] {
+            let path = temp_path(&format!("zeros_{codec}"));
+            write_partial(&path, &m, codec).unwrap();
+            let back = SpillReader::open(&path).unwrap().read_all().unwrap();
+            assert_eq!(back.nnz(), 2);
+            assert_eq!(back.values()[0].to_bits(), 0.0f64.to_bits(), "{codec}");
+            assert_eq!(back.values()[1].to_bits(), (-0.0f64).to_bits(), "{codec}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn varint_never_exceeds_raw_and_empty_falls_back() {
+        // An empty partial is header-only in both formats, so varint is
+        // not strictly smaller and the writer must emit the raw magic.
+        let empty = Csr::zero(4, 4);
+        let path = temp_path("empty");
+        let file = write_partial(&path, &empty, SpillCodec::Varint).unwrap();
+        assert_eq!(file.bytes, 28);
+        assert_eq!(SpillReader::open(&path).unwrap().read_all().unwrap(), empty);
         let _ = std::fs::remove_file(&path);
+
+        // Incompressible values (full-mantissa floats) still never cost
+        // more than raw, thanks to the per-file fallback.
+        let m = gen::uniform_random(16, 16, 80, 3);
+        let path = temp_path("fallback");
+        let file = write_partial(&path, &m, SpillCodec::Varint).unwrap();
+        assert!(file.bytes <= raw_size(&m));
+        assert_eq!(SpillReader::open(&path).unwrap().read_all().unwrap(), m);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn varint_helpers_round_trip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            let written = write_varint(&mut buf, v).unwrap();
+            assert_eq!(written, buf.len() as u64);
+            assert_eq!(written, varint_len(v), "declared length for {v}");
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+        // An 11-byte continuation chain is rejected, not wrapped.
+        let bad = [0xffu8; 11];
+        assert!(read_varint(&mut bad.as_slice()).is_err());
+        // A 10-byte encoding whose final byte carries payload bits past
+        // u64's capacity is rejected, never silently truncated.
+        let mut overflow = [0x80u8; 10];
+        overflow[9] = 0x7e;
+        assert!(read_varint(&mut overflow.as_slice()).is_err());
+        // The canonical 10-byte u64::MAX encoding still decodes.
+        let mut max = Vec::new();
+        write_varint(&mut max, u64::MAX).unwrap();
+        assert_eq!(max.len(), 10);
+        assert_eq!(read_varint(&mut max.as_slice()).unwrap(), u64::MAX);
     }
 
     #[test]
@@ -194,14 +473,19 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_an_io_error() {
+    fn truncated_files_are_io_errors() {
         let m = gen::uniform_random(8, 8, 20, 1);
-        let path = temp_path("truncated");
-        write_partial(&path, &m).unwrap();
-        let full = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
-        let reader = SpillReader::open(&path).unwrap();
-        assert!(matches!(reader.read_all(), Err(StreamError::Io(_))));
-        let _ = std::fs::remove_file(&path);
+        for codec in [SpillCodec::Raw, SpillCodec::Varint] {
+            let path = temp_path(&format!("truncated_{codec}"));
+            write_partial(&path, &m, codec).unwrap();
+            let full = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+            let reader = SpillReader::open(&path).unwrap();
+            assert!(
+                matches!(reader.read_all(), Err(StreamError::Io(_))),
+                "{codec}"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
     }
 }

@@ -15,8 +15,8 @@
 //! scheduler merges smallest-first, so the largest partials are the ones
 //! consumed last.
 
-use crate::spill::{write_partial, SpillFile, SpillReader};
-use crate::{MemoryBudget, StreamError};
+use crate::spill::{raw_size, write_partial, SpillFile, SpillReader};
+use crate::{MemoryBudget, SpillCodec, StreamError};
 use sparch_sparse::Csr;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -28,6 +28,12 @@ pub(crate) struct StoreStats {
     pub spill_writes: u64,
     pub spill_reads: u64,
     pub spill_bytes_written: u64,
+    /// What the same spills would have cost in the raw format — the
+    /// codec's savings denominator.
+    pub spill_bytes_raw_equivalent: u64,
+    /// Wall time spent encoding + writing spill files (the merge/spill
+    /// stage's disk half; overlaps the reader and multiply stages).
+    pub spill_write_seconds: f64,
 }
 
 /// One merge-round input, as handed to the k-way merge: either a resident
@@ -45,6 +51,7 @@ pub(crate) enum Taken {
 pub(crate) struct PartialStore {
     budget: u64,
     spill_dir: PathBuf,
+    codec: SpillCodec,
     dir_created: bool,
     resident: HashMap<usize, Csr>,
     spilled: HashMap<usize, SpillFile>,
@@ -62,10 +69,11 @@ pub(crate) struct PartialStore {
 }
 
 impl PartialStore {
-    pub fn new(budget: MemoryBudget, spill_dir: PathBuf) -> Self {
+    pub fn new(budget: MemoryBudget, spill_dir: PathBuf, codec: SpillCodec) -> Self {
         PartialStore {
             budget: budget.bytes(),
             spill_dir,
+            codec,
             dir_created: false,
             resident: HashMap::new(),
             spilled: HashMap::new(),
@@ -195,14 +203,17 @@ impl PartialStore {
     }
 
     fn spill(&mut self, id: usize, csr: &Csr) -> Result<(), StreamError> {
+        let t0 = std::time::Instant::now();
         if !self.dir_created {
             std::fs::create_dir_all(&self.spill_dir)?;
             self.dir_created = true;
         }
         let path = self.spill_dir.join(format!("partial-{id}.bin"));
-        let file = write_partial(&path, csr)?;
+        let file = write_partial(&path, csr, self.codec)?;
         self.stats.spill_writes += 1;
         self.stats.spill_bytes_written += file.bytes;
+        self.stats.spill_bytes_raw_equivalent += raw_size(csr);
+        self.stats.spill_write_seconds += t0.elapsed().as_secs_f64();
         self.spilled.insert(id, file);
         Ok(())
     }
@@ -231,7 +242,8 @@ mod tests {
 
     #[test]
     fn unbounded_budget_never_spills() {
-        let mut store = PartialStore::new(MemoryBudget::unbounded(), dir("nospill"));
+        let mut store =
+            PartialStore::new(MemoryBudget::unbounded(), dir("nospill"), SpillCodec::Raw);
         for id in 0..4 {
             store.insert(id, partial(id as u64)).unwrap();
         }
@@ -245,7 +257,11 @@ mod tests {
 
     #[test]
     fn zero_budget_spills_everything_and_streams_back() {
-        let mut store = PartialStore::new(MemoryBudget::from_bytes(0), dir("allspill"));
+        let mut store = PartialStore::new(
+            MemoryBudget::from_bytes(0),
+            dir("allspill"),
+            SpillCodec::Raw,
+        );
         let originals: Vec<Csr> = (0..3).map(|s| partial(s as u64)).collect();
         for (id, p) in originals.iter().enumerate() {
             store.insert(id, p.clone()).unwrap();
@@ -268,7 +284,7 @@ mod tests {
         // Budget fits roughly two partials; the third insert must evict.
         let p = partial(1);
         let budget = MemoryBudget::from_bytes(p.estimated_bytes() * 2 + 16);
-        let mut store = PartialStore::new(budget, dir("invariant"));
+        let mut store = PartialStore::new(budget, dir("invariant"), SpillCodec::Raw);
         for id in 0..5 {
             store.insert(id, partial(id as u64)).unwrap();
             assert!(
@@ -284,7 +300,7 @@ mod tests {
     fn consumers_schedule_evicts_farthest_use_first() {
         let p = partial(7);
         let budget = MemoryBudget::from_bytes(p.estimated_bytes() * 2 + 16);
-        let mut store = PartialStore::new(budget, dir("belady"));
+        let mut store = PartialStore::new(budget, dir("belady"), SpillCodec::Raw);
         // Node 0 is consumed last (round 9), node 1 soon (round 0).
         store.set_consumers(vec![9, 0, 1, 2]);
         store.insert(0, partial(10)).unwrap();
@@ -302,10 +318,15 @@ mod tests {
     #[test]
     fn take_full_round_trips_both_paths() {
         let p = partial(3);
-        let mut resident = PartialStore::new(MemoryBudget::unbounded(), dir("full_mem"));
+        let mut resident =
+            PartialStore::new(MemoryBudget::unbounded(), dir("full_mem"), SpillCodec::Raw);
         resident.insert(0, p.clone()).unwrap();
         assert_eq!(resident.take_full(0).unwrap(), p);
-        let mut spilly = PartialStore::new(MemoryBudget::from_bytes(0), dir("full_disk"));
+        let mut spilly = PartialStore::new(
+            MemoryBudget::from_bytes(0),
+            dir("full_disk"),
+            SpillCodec::Raw,
+        );
         spilly.insert(0, p.clone()).unwrap();
         assert_eq!(spilly.take_full(0).unwrap(), p);
         spilly.cleanup();
@@ -314,7 +335,7 @@ mod tests {
     #[test]
     fn cleanup_removes_the_spill_directory() {
         let d = dir("cleanup");
-        let mut store = PartialStore::new(MemoryBudget::from_bytes(0), d.clone());
+        let mut store = PartialStore::new(MemoryBudget::from_bytes(0), d.clone(), SpillCodec::Raw);
         store.insert(0, partial(1)).unwrap();
         assert!(d.exists());
         store.take_full(0).unwrap();

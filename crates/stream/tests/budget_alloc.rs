@@ -1,24 +1,35 @@
-//! Allocator-audited memory-budget guarantee.
+//! Allocator-audited memory-budget guarantee for the staged pipeline,
+//! covering **both** operands.
 //!
 //! A byte-tracking global allocator (current live bytes + high-water
 //! mark) wraps the system allocator. The test builds a task whose full
-//! set of partials is several times larger than the budget, runs it
-//! unbounded and budgeted, and checks that
+//! set of partials is several times larger than the budget, probes it
+//! unbounded in memory, then runs it through the *pipelined* path with
+//! `A` streamed panel-by-panel from a `.mtx` file and `B` sliced into
+//! row panels from a matrix that lives in the allocator baseline — so
+//! any whole-operand copy made by the pipeline would appear as heap
+//! *growth*. It checks that
 //!
 //! 1. the store-reported `peak_live_bytes` respects the budget exactly,
-//!    with the spill path genuinely exercised,
-//! 2. the *allocator-observed* peak heap growth of the budgeted run is
-//!    bounded by the budget plus the pipeline's documented transients
-//!    (the one in-flight panel product, the merge output under
-//!    construction, and I/O buffers), and
-//! 3. the budgeted run's peak heap growth is well below the unbounded
-//!    run's — the budget is real, not bookkeeping.
+//!    with the spill path genuinely exercised, and the result is
+//!    bit-identical to `gustavson`,
+//! 2. the *allocator-observed* peak heap growth of the budgeted
+//!    pipelined run is bounded by the budget plus the pipeline's
+//!    documented transients — a handful of panel pairs in the bounded
+//!    channels, one un-inserted partial per worker, the merge output
+//!    under construction, and I/O buffers under a fixed slack,
+//! 3. that transient allowance is itself **smaller than either whole
+//!    operand**, so the bound could not hold if the pipeline ever
+//!    materialized `A` or `B` whole on top of an otherwise saturated
+//!    run — this is what makes the bound evidence of streaming, and
+//! 4. the budgeted run's peak heap growth is well below the unbounded
+//!    in-memory run's — the budget is real, not bookkeeping.
 //!
 //! This file holds exactly one test so no neighbouring test's
 //! allocations can race the counters (same discipline as
 //! `crates/core/tests/zero_alloc.rs`).
 
-use sparch_sparse::{algo, gen, linalg};
+use sparch_sparse::{algo, gen, mm, panel_ranges};
 use sparch_stream::{MemoryBudget, StreamConfig, StreamingExecutor};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,47 +74,120 @@ unsafe impl GlobalAlloc for TrackingAlloc {
 #[global_allocator]
 static GLOBAL: TrackingAlloc = TrackingAlloc;
 
-/// Runs one multiply and returns (report, allocator peak growth over the
-/// baseline at call time).
-fn audited_run(a: &sparch_sparse::Csr, budget: MemoryBudget) -> (sparch_stream::StreamReport, u64) {
-    let exec = StreamingExecutor::new(StreamConfig {
+const PANELS: usize = 64;
+const WAYS: usize = 3;
+
+/// Output side length; the inner dimension is `2 * N` (half real, half
+/// zero-flop padding — see the workload construction below).
+const N: usize = 512;
+
+fn round4(v: f64) -> f64 {
+    (v * 4.0).round()
+}
+
+/// Builds the audited operand pair. The trick: claim (3) needs the
+/// pipeline's transient allowance to be *smaller than either whole
+/// operand*, so the operands carry extra structural weight that costs
+/// **zero flops** — `A` gets non-zeros in inner columns `N..3N/2` where
+/// `B`'s rows are empty, `B` gets non-zeros in inner rows `3N/2..2N`
+/// where `A`'s columns are empty. A whole-operand copy would show up in
+/// the heap audit at full (padded) size, while partials, the result and
+/// the runtime stay those of the real `N×N·N×N` product.
+fn operands() -> (sparch_sparse::Csr, sparch_sparse::Csr) {
+    use sparch_sparse::Coo;
+    let real_a = gen::uniform_random(N, N, N * 96, 42);
+    let pad_a = gen::uniform_random(N, N / 2, N * 64, 44);
+    let mut a = Coo::new(N, 2 * N);
+    for (r, c, v) in real_a.iter() {
+        a.push(r, c, round4(v));
+    }
+    for (r, c, v) in pad_a.iter() {
+        a.push(r, c + N as u32, round4(v));
+    }
+    let real_b = gen::uniform_random(N, N, N * 96, 43);
+    let pad_b = gen::uniform_random(N / 2, N, N * 64, 45);
+    let mut b = Coo::new(2 * N, N);
+    for (r, c, v) in real_b.iter() {
+        b.push(r, c, round4(v));
+    }
+    for (r, c, v) in pad_b.iter() {
+        b.push(r + (3 * N / 2) as u32, c, round4(v));
+    }
+    (a.to_csr(), b.to_csr())
+}
+
+fn config(budget: MemoryBudget) -> StreamConfig {
+    StreamConfig {
         budget,
-        panels: 8,
-        merge_ways: 4,
-        threads: Some(1), // one in-flight panel product, the documented transient
-        spill_dir: None,
-    });
+        panels: PANELS,
+        merge_ways: WAYS,
+        threads: Some(1), // one un-inserted partial, the documented transient
+        ..StreamConfig::default()
+    }
+}
+
+/// Runs `f` and returns (its output, allocator peak growth over the live
+/// baseline at call time).
+fn audited<T>(f: impl FnOnce() -> T) -> (T, u64) {
     let baseline = LIVE.load(Ordering::Relaxed);
     PEAK.store(baseline, Ordering::Relaxed);
-    let (c, report) = exec.multiply(a, a).expect("streaming multiply failed");
+    let out = f();
     let peak_growth = PEAK.load(Ordering::Relaxed).saturating_sub(baseline);
-    drop(c);
-    (report, peak_growth)
+    (out, peak_growth)
 }
 
 #[test]
-fn peak_live_bytes_respect_the_budget() {
-    // Integer-valued so the budgeted result is bit-identical to the
-    // in-memory reference — correctness and memory are checked together.
-    let a = linalg::map_values(&gen::uniform_random(192, 192, 192 * 14, 42), |v| {
-        (v * 4.0).round()
-    });
-    let expected = algo::gustavson(&a, &a);
+fn peak_live_bytes_respect_the_budget_with_both_operands_streamed() {
+    // Integer-valued so the budgeted, pipelined result is bit-identical
+    // to the in-memory reference — correctness and memory are checked
+    // together.
+    let (a, b) = operands();
+    let (inner, n) = (a.cols(), N);
+    let expected = algo::gustavson(&a, &b);
+    let a_path = std::env::temp_dir().join(format!("sparch_alloc_a_{}.mtx", std::process::id()));
+    mm::write_file(&a_path, &a.to_coo()).unwrap();
 
-    // Unbounded probe: learn the full partial footprint and the
-    // allocator peak the budget is supposed to beat.
-    let (probe, unbounded_peak) = audited_run(&a, MemoryBudget::unbounded());
+    // Unbounded probe, fully in memory: learn the partial footprint and
+    // the allocator peak the budget is supposed to beat.
+    let exec = StreamingExecutor::new(config(MemoryBudget::unbounded()));
+    let (probe, unbounded_peak) = audited(|| exec.multiply(&a, &b).expect("probe failed").1);
     assert_eq!(probe.spill_writes, 0);
     assert!(
-        probe.partial_bytes_total > 0 && probe.partials >= 6,
+        probe.partial_bytes_total > 0 && probe.partials >= PANELS / 2,
         "workload too small to be meaningful: {probe:?}"
     );
 
     // Budget: a quarter of the footprint — impossible without spilling.
     let budget = probe.partial_bytes_total / 4;
-    let (report, budgeted_peak) = audited_run(&a, MemoryBudget::from_bytes(budget));
+    let exec = StreamingExecutor::new(config(MemoryBudget::from_bytes(budget)));
 
-    // (1) The store's accounting honours the budget and really spilled.
+    // The pipelined run: A panels stream from disk, B row panels are
+    // sliced per panel from the baseline-resident operand. The exact
+    // ranges mirror what `mm::read_panels(path, PANELS)` uses.
+    let ranges = panel_ranges(inner, PANELS);
+    let pair_max: u64 = ranges
+        .iter()
+        .map(|r| {
+            a.col_panel(r.clone()).estimated_bytes() + b.row_panel(r.clone()).estimated_bytes()
+        })
+        .max()
+        .unwrap();
+    let ((c, report), streamed_peak) = audited(|| {
+        let a_stream = mm::read_panels(&a_path, PANELS)
+            .expect("open A")
+            .map(|item| {
+                item.map(|(range, coo)| (range, coo.to_csr()))
+                    .map_err(sparch_stream::StreamError::from)
+            });
+        let b_stream = ranges
+            .iter()
+            .map(|r| Ok((r.clone(), b.row_panel(r.clone()))));
+        exec.multiply_streams(n, inner, n, a_stream, b_stream)
+            .expect("pipelined multiply failed")
+    });
+
+    // (1) The store's accounting honours the budget, really spilled, and
+    // the answer is exactly right.
     assert!(
         report.peak_live_bytes <= budget,
         "peak {} exceeds budget {budget}",
@@ -111,36 +195,46 @@ fn peak_live_bytes_respect_the_budget() {
     );
     assert!(report.spill_writes > 0 && report.spill_reads > 0);
     assert!(report.spill_bytes_written > 0);
+    assert_eq!(c, expected);
 
     // (2) Allocator-observed growth ≤ budget + documented transients:
-    // one in-flight partial (threads = 1), one merge output being built
-    // (bounded by the result's own footprint), spill I/O buffers and
-    // heap/plan bookkeeping under the fixed slack.
+    // up to 4 panel pairs alive in the pipeline (bounded job channel of
+    // threads + 1, one in the worker's hands, one being read), plus one
+    // pair's worth of COO-to-CSR conversion headroom in the mm reader;
+    // `threads` un-inserted partials in the bounded result channel; the
+    // merge output under construction — any merged coordinate set is a
+    // subset of the final result's, so it is bounded by the result's
+    // footprint, times 3 for the instant a Vec-doubling realloc holds
+    // old and new storage at once; spill I/O buffers, the plan and heap
+    // bookkeeping under the fixed slack.
     let result_bytes = expected.estimated_bytes();
-    let slack = 1 << 20;
-    let bound = budget + 2 * report.largest_partial_bytes + 2 * result_bytes + slack;
+    let slack = 512 << 10;
+    let transients = 8 * pair_max + slack;
+    let bound = budget + 2 * report.largest_partial_bytes + 3 * result_bytes + transients;
     assert!(
-        budgeted_peak <= bound,
-        "allocator peak {budgeted_peak} exceeds bound {bound} \
-         (budget {budget}, largest partial {}, result {result_bytes})",
+        streamed_peak <= bound,
+        "allocator peak {streamed_peak} exceeds bound {bound} \
+         (budget {budget}, largest partial {}, result {result_bytes}, pair_max {pair_max})",
         report.largest_partial_bytes
     );
 
-    // (3) The budget visibly shrinks real heap usage versus unbounded.
+    // (3) The transient allowance is smaller than either whole operand,
+    // so bound (2) is incompatible with materializing A or B whole on
+    // top of a saturated run — the pipelined path must be streaming
+    // both. (If this precondition ever fails, the workload is too small
+    // to prove anything: enlarge the operands, don't loosen the bound.)
+    let (a_bytes, b_bytes) = (a.estimated_bytes(), b.estimated_bytes());
     assert!(
-        budgeted_peak < unbounded_peak,
-        "budgeted peak {budgeted_peak} not below unbounded peak {unbounded_peak}"
+        transients < a_bytes && transients < b_bytes,
+        "transient allowance {transients} not below operands ({a_bytes}, {b_bytes}); \
+         workload too small for the streaming claim"
     );
 
-    // And the budgeted result is still exactly right.
-    let (c, _) = StreamingExecutor::new(StreamConfig {
-        budget: MemoryBudget::from_bytes(budget),
-        panels: 8,
-        merge_ways: 4,
-        threads: Some(1),
-        spill_dir: None,
-    })
-    .multiply(&a, &a)
-    .expect("streaming multiply failed");
-    assert_eq!(c, expected);
+    // (4) The budget visibly shrinks real heap usage versus unbounded.
+    assert!(
+        streamed_peak < unbounded_peak,
+        "budgeted peak {streamed_peak} not below unbounded peak {unbounded_peak}"
+    );
+
+    let _ = std::fs::remove_file(&a_path);
 }

@@ -5,7 +5,8 @@
 //! sparch-cli generate --kind rmat --n 4096 --degree 8 --out matrix.mtx
 //! sparch-cli stats --a matrix.mtx
 //! sparch-cli batch --file requests.json [--policy adaptive] [--threads N] [--json out.json]
-//! sparch-cli stream --a matrix.mtx [--b other.mtx] [--budget-mb N] [--panels P] [--threads T]
+//! sparch-cli stream --a matrix.mtx [--b other.mtx] [--budget-mb N] [--panels P] \
+//!     [--balance uniform|nnz] [--spill-codec raw|varint] [--threads T]
 //! ```
 //!
 //! `multiply` simulates `A × B` (B defaults to A), printing the same
@@ -16,9 +17,11 @@
 //! JSON request file through the `sparch-serve` layer — adaptive backend
 //! dispatch, operand caching, sharded execution — and prints the batch
 //! report. `stream` multiplies through the out-of-core `sparch-stream`
-//! pipeline: `A` is ingested panel by panel (never materialized whole),
-//! partials merge in Huffman order under `--budget-mb`, spilling to a
-//! temp directory when they do not fit.
+//! pipeline: **both** operands are ingested panel by panel (neither is
+//! ever materialized whole) and flow through the staged
+//! reader → multiply → merge/spill dataflow; partials merge in Huffman
+//! order under `--budget-mb`, spilling to a temp directory — raw or
+//! delta+varint encoded — when they do not fit.
 
 use sparch::baselines::OuterSpaceModel;
 use sparch::core::{SpArchConfig, SpArchSim};
@@ -37,7 +40,8 @@ fn usage() -> ! {
          sparch-cli stats --a <mtx>\n  sparch-cli batch --file <requests.json> \
          [--policy adaptive|fixed:<backend>] [--threads N] [--reference-calibration] \
          [--json <path>]\n  sparch-cli stream --a <mtx> [--b <mtx>] [--budget-mb N] \
-         [--panels P] [--ways W] [--threads T] [--verify] [--json <path>]"
+         [--panels P] [--balance uniform|nnz] [--ways W] [--spill-codec raw|varint] \
+         [--threads T] [--verify] [--json <path>]"
     );
     std::process::exit(2);
 }
@@ -313,41 +317,89 @@ fn cmd_stream(flags: &HashMap<String, String>) -> ExitCode {
             .map(|v| MemoryBudget::from_mb(v.parse().expect("--budget-mb needs a number of MiB")))
             .unwrap_or(defaults.budget),
         panels: parse_num("panels", defaults.panels).max(1),
+        balance: flags
+            .get("balance")
+            .map(|v| {
+                v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2)
+                })
+            })
+            .unwrap_or(defaults.balance),
         merge_ways: parse_num("ways", defaults.merge_ways).max(2),
+        spill_codec: flags
+            .get("spill-codec")
+            .map(|v| {
+                v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2)
+                })
+            })
+            .unwrap_or(defaults.spill_codec),
         threads: flags
             .get("threads")
             .map(|v| v.parse().expect("--threads needs a number")),
         spill_dir: None,
     };
+    let b_path = flags.get("b").unwrap_or(a_path);
 
-    // B is loaded in full (it is consumed row-panel by row-panel from
-    // memory); A streams through `mm::read_panels`, so it is never
-    // materialized whole — the out-of-core ingestion path. When --b is
-    // omitted, B defaults to A (which is then materialized once, as B).
-    let reader = match mm::read_panels(a_path, config.panels) {
+    // Both operands stream panel by panel through the staged pipeline —
+    // neither is ever materialized whole (--verify re-reads them whole
+    // afterwards, outside the pipelined path). A's column split is
+    // uniform or nnz-balanced (one extra histogram pass over the file);
+    // B's row split mirrors A's ranges exactly.
+    let a_reader = match config.balance {
+        sparch::stream::PanelBalance::Uniform => mm::read_panels(a_path, config.panels),
+        sparch::stream::PanelBalance::Nnz => mm::scan_col_nnz(a_path).and_then(|weights| {
+            mm::PanelReader::open_with_ranges(
+                a_path,
+                sparch::sparse::panel_ranges_by_nnz(&weights, config.panels),
+            )
+        }),
+    };
+    let a_reader = match a_reader {
         Ok(reader) => reader,
         Err(e) => {
             eprintln!("failed to open {a_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let b = load(flags.get("b").unwrap_or(a_path));
-    let (a_rows, inner_dim) = (reader.rows(), reader.cols());
-
-    let executor = StreamingExecutor::new(config);
-    let mut panel_error = None;
-    let panels = reader.map_while(|panel| match panel {
-        Ok((range, coo)) => Some((range, coo.to_csr())),
+    let (a_rows, inner_dim) = (a_reader.rows(), a_reader.cols());
+    let b_probe = match mm::read_row_panels(b_path, 1) {
+        Ok(probe) => probe,
         Err(e) => {
-            panel_error = Some(e);
-            None
+            eprintln!("failed to open {b_path}: {e}");
+            return ExitCode::FAILURE;
         }
-    });
-    let outcome = executor.multiply_from_panels(a_rows, inner_dim, panels, &b);
-    if let Some(e) = panel_error {
-        eprintln!("failed to read {a_path}: {e}");
+    };
+    let (b_rows, b_cols) = (b_probe.rows(), b_probe.cols());
+    if b_rows != inner_dim {
+        eprintln!("shape mismatch: A is {a_rows}x{inner_dim} but B is {b_rows}x{b_cols}");
         return ExitCode::FAILURE;
     }
+    let b_reader = match mm::RowPanelReader::open_with_ranges(b_path, a_reader.ranges().to_vec()) {
+        Ok(reader) => reader,
+        Err(e) => {
+            eprintln!("failed to open {b_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let executor = StreamingExecutor::new(config);
+    let to_csr = |item: Result<
+        (std::ops::Range<usize>, sparch::sparse::Coo),
+        sparch::sparse::SparseError,
+    >| {
+        item.map(|(range, coo)| (range, coo.to_csr()))
+            .map_err(sparch::stream::StreamError::from)
+    };
+    let outcome = executor.multiply_streams(
+        a_rows,
+        inner_dim,
+        b_cols,
+        a_reader.map(to_csr),
+        b_reader.map(to_csr),
+    );
     let (c, report) = match outcome {
         Ok(result) => result,
         Err(e) => {
@@ -358,6 +410,7 @@ fn cmd_stream(flags: &HashMap<String, String>) -> ExitCode {
 
     if flags.contains_key("verify") {
         let a = load(a_path);
+        let b = load(b_path);
         let reference = algo::gustavson(&a, &b);
         if c.approx_eq(&reference, 1e-9) {
             println!("verification: OK ({} non-zeros)", reference.nnz());
@@ -368,13 +421,9 @@ fn cmd_stream(flags: &HashMap<String, String>) -> ExitCode {
     }
 
     println!(
-        "A: {}x{} (streamed in {} panels) | B: {}x{}, {} nnz",
-        a_rows,
-        inner_dim,
-        report.panels,
-        b.rows(),
-        b.cols(),
-        b.nnz()
+        "A: {a_rows}x{inner_dim} | B: {b_rows}x{b_cols} — both streamed in {} panels \
+         ({} balance)",
+        report.panels, report.balance
     );
     println!("result: {} nnz", report.output_nnz);
     println!(
@@ -387,10 +436,23 @@ fn cmd_stream(flags: &HashMap<String, String>) -> ExitCode {
         report.peak_live_bytes as f64 / (1 << 20) as f64
     );
     println!(
-        "spill: {} writes / {} reads, {:.2} MiB written",
+        "spill ({} codec): {} writes / {} reads, {:.2} MiB written ({:.2} MiB raw equivalent)",
+        report.spill_codec,
         report.spill_writes,
         report.spill_reads,
-        report.spill_bytes_written as f64 / (1 << 20) as f64
+        report.spill_bytes_written as f64 / (1 << 20) as f64,
+        report.spill_bytes_raw_equivalent as f64 / (1 << 20) as f64
+    );
+    let s = &report.stages;
+    println!(
+        "stages: reader {:.3}s, multiply {:.3}s, merge {:.3}s (spill write {:.3}s); \
+         overlap: {} reads / {} rounds while multiplies in flight",
+        s.reader_busy_seconds,
+        s.multiply_busy_seconds,
+        s.merge_busy_seconds,
+        s.spill_write_seconds,
+        s.reads_overlapping_multiply,
+        s.rounds_overlapping_multiply
     );
 
     if let Some(path) = flags.get("json") {

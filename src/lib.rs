@@ -58,5 +58,8 @@ pub mod prelude {
         SpgemmService,
     };
     pub use sparch_sparse::{Coo, Csc, Csr, CsrBuilder, Dense, Index, Triple, Value};
-    pub use sparch_stream::{MemoryBudget, StreamConfig, StreamReport, StreamingExecutor};
+    pub use sparch_stream::{
+        MemoryBudget, PanelBalance, SpillCodec, StageReport, StreamConfig, StreamReport,
+        StreamingExecutor,
+    };
 }

@@ -322,7 +322,7 @@ fn streaming_backend_under_every_budget_regime() {
                     panels,
                     merge_ways: 3,
                     threads: Some(2),
-                    spill_dir: None,
+                    ..StreamConfig::default()
                 });
                 let (c, report) = exec.multiply(&p.a, &p.b).expect("streaming multiply");
                 assert!(
