@@ -1,0 +1,158 @@
+//! Merge-kernel snapshot: tracks the k-way merge's triple throughput
+//! from PR to PR.
+//!
+//! Merges a pinned set of random partials (sized by `--scale`) at each
+//! fan-in the streaming executor actually uses — 2 (the galloping
+//! two-way path), 4 and 8 (the loser tree) — through both merge kernels:
+//! the pre-sized chunked [`merge_sources`] and the seed per-triple
+//! `BinaryHeap` kernel [`merge_sources_reference`], kept verbatim as the
+//! baseline. Emits `MERGE_BENCH.json` with input-triples-per-second for
+//! both kernels per fan-in plus the geometric-mean speedup. At the
+//! pinned default scale the snapshot asserts the rewrite holds its
+//! ≥ 1.5× advantage; explicit `--scale` runs (the CI smoke) only
+//! measure.
+//!
+//! ```console
+//! cargo run --release -p sparch-bench --bin merge_snapshot
+//! cargo run --release -p sparch-bench --bin merge_snapshot -- --scale 0.002 --json /tmp/MERGE_BENCH.json
+//! ```
+
+use serde::Serialize;
+use sparch_bench::runner;
+use sparch_bench::{geomean, parse_args_from, ArgsOutcome, USAGE};
+use sparch_sparse::{gen, Csr};
+use sparch_stream::merge::{merge_sources, merge_sources_reference, MergeScratch, PartialSource};
+
+/// Pinned default scale (matches the other snapshot binaries).
+const SNAPSHOT_SCALE: f64 = 0.02;
+
+/// Fan-ins measured: the two-way fast path and two loser-tree widths
+/// (the executor's default `merge_ways` is 8).
+const WAYS: [usize; 3] = [2, 4, 8];
+
+/// Minimum measured time per (kernel, fan-in) cell, so per-run noise
+/// averages out even at tiny scales.
+const MIN_SECONDS: f64 = 0.15;
+const MIN_ITERS: usize = 3;
+
+#[derive(Serialize)]
+struct WaysRow {
+    ways: usize,
+    input_triples: u64,
+    output_nnz: usize,
+    presized_triples_per_second: f64,
+    reference_triples_per_second: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    scale: f64,
+    rows: usize,
+    nnz_per_source: usize,
+    rows_by_ways: Vec<WaysRow>,
+    geomean_speedup: f64,
+}
+
+/// Times `kernel` over repeated merges of `parts`, excluding the
+/// per-iteration source rebuild, and returns (input triples / second,
+/// the merged result).
+fn bench<F>(parts: &[Csr], mut kernel: F) -> (f64, Csr)
+where
+    F: FnMut(Vec<PartialSource>) -> Csr,
+{
+    let triples: u64 = parts.iter().map(|p| p.nnz() as u64).sum();
+    let mut seconds = 0.0;
+    let mut iters = 0usize;
+    let mut out = None;
+    while seconds < MIN_SECONDS || iters < MIN_ITERS {
+        let sources: Vec<PartialSource> =
+            parts.iter().cloned().map(PartialSource::from_csr).collect();
+        let t0 = std::time::Instant::now();
+        out = Some(kernel(sources));
+        seconds += t0.elapsed().as_secs_f64();
+        iters += 1;
+    }
+    (
+        (triples * iters as u64) as f64 / seconds.max(1e-9),
+        out.expect("at least one iteration ran"),
+    )
+}
+
+fn main() {
+    let mut args = match parse_args_from(std::env::args().skip(1)) {
+        Ok(ArgsOutcome::Parsed(args)) => args,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if !args.scale_explicit {
+        args.scale = SNAPSHOT_SCALE;
+    }
+
+    let rows = ((20_000.0 * args.scale) as usize).max(64);
+    let nnz = ((2_000_000.0 * args.scale) as usize).max(1_000);
+    let parts: Vec<Csr> = (0..*WAYS.iter().max().unwrap())
+        .map(|s| gen::uniform_random(rows, rows, nnz, 90 + s as u64))
+        .collect();
+
+    println!(
+        "Merge kernel snapshot — {0}x{0} partials, ~{1} nnz each, scale {2}",
+        rows, nnz, args.scale
+    );
+
+    let mut rows_by_ways = Vec::new();
+    let mut scratch = MergeScratch::new();
+    for ways in WAYS {
+        let fan_in = &parts[..ways];
+        let (presized_tps, merged) = bench(fan_in, |srcs| {
+            merge_sources(rows, rows, srcs, &mut scratch).expect("pre-sized merge failed")
+        });
+        let (reference_tps, reference) = bench(fan_in, |srcs| {
+            merge_sources_reference(rows, rows, srcs).expect("reference merge failed")
+        });
+        assert_eq!(merged, reference, "kernels disagree at fan-in {ways}");
+        let speedup = presized_tps / reference_tps.max(1e-9);
+        println!(
+            "  {ways}-way: presized {presized_tps:.3e} triples/s vs reference \
+             {reference_tps:.3e} triples/s — {speedup:.2}x"
+        );
+        rows_by_ways.push(WaysRow {
+            ways,
+            input_triples: fan_in.iter().map(|p| p.nnz() as u64).sum(),
+            output_nnz: merged.nnz(),
+            presized_triples_per_second: presized_tps,
+            reference_triples_per_second: reference_tps,
+            speedup,
+        });
+    }
+
+    let speedups: Vec<f64> = rows_by_ways.iter().map(|r| r.speedup).collect();
+    let geomean_speedup = geomean(&speedups);
+    println!("geomean speedup: {geomean_speedup:.2}x");
+    if !args.scale_explicit {
+        assert!(
+            geomean_speedup >= 1.5,
+            "merge kernel regressed below the 1.5x floor over the seed \
+             BinaryHeap kernel: {geomean_speedup:.2}x"
+        );
+    }
+
+    let snapshot = Snapshot {
+        scale: args.scale,
+        rows,
+        nnz_per_source: nnz,
+        rows_by_ways,
+        geomean_speedup,
+    };
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("MERGE_BENCH.json"));
+    runner::dump_json(&Some(path), &snapshot);
+}

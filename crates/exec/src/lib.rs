@@ -39,5 +39,5 @@
 pub mod pool;
 pub mod workload;
 
-pub use pool::{env_threads, ShardPool, THREADS_ENV};
+pub use pool::{env_threads, Permits, ShardPool, THREADS_ENV};
 pub use workload::{FnWorkload, ParallelRunner, Timed, Workload};

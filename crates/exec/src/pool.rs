@@ -6,7 +6,7 @@
 //! us submission-ordered output no matter which worker finishes first.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "SPARCH_THREADS";
@@ -158,6 +158,45 @@ impl Default for ShardPool {
     }
 }
 
+/// A counting permit gate — the std-only stand-in for a semaphore.
+///
+/// Producer stages acquire a permit before publishing a result into an
+/// unbounded queue and the consumer releases it when the result is
+/// consumed, which restores the backpressure a bounded channel would
+/// have provided while leaving the queue itself select-free: the
+/// streaming pipeline funnels several producer kinds into one event
+/// channel and bounds each producer with its own `Permits`.
+#[derive(Debug)]
+pub struct Permits {
+    state: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Permits {
+    /// A gate holding `n` permits.
+    pub fn new(n: usize) -> Self {
+        Permits {
+            state: Mutex::new(n),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free, then takes it.
+    pub fn acquire(&self) {
+        let mut available = self.state.lock().expect("permit gate poisoned");
+        while *available == 0 {
+            available = self.cv.wait(available).expect("permit gate poisoned");
+        }
+        *available -= 1;
+    }
+
+    /// Returns a permit, waking one waiting producer.
+    pub fn release(&self) {
+        *self.state.lock().expect("permit gate poisoned") += 1;
+        self.cv.notify_one();
+    }
+}
+
 /// Parses `SPARCH_THREADS`; `None` if unset, empty, zero or malformed.
 pub fn env_threads() -> Option<usize> {
     std::env::var(THREADS_ENV)
@@ -273,6 +312,42 @@ mod tests {
     fn explicit_override_beats_environment() {
         assert_eq!(ShardPool::with_override(Some(3)).threads(), 3);
         assert!(ShardPool::with_override(None).threads() >= 1);
+    }
+
+    #[test]
+    fn permits_bound_outstanding_work() {
+        // With 2 permits and 4 producers, at most 2 unconsumed items can
+        // exist at any instant; every item still flows through.
+        let gate = Permits::new(2);
+        let outstanding = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        gate.acquire();
+                        let now = outstanding.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                while consumed.load(Ordering::SeqCst) < 40 {
+                    if outstanding
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                        .is_ok()
+                    {
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                        gate.release();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        assert_eq!(consumed.load(Ordering::SeqCst), 40);
+        assert!(peak.load(Ordering::SeqCst) <= 2, "gate over-admitted");
     }
 
     #[test]

@@ -612,6 +612,28 @@ impl CsrBuilder {
         self.values.push(value);
     }
 
+    /// Appends one entry whose `(row, col)` the caller guarantees to be
+    /// strictly greater than the previous entry's and in bounds — the
+    /// hot-path twin of [`CsrBuilder::push`] used by kernels that emit
+    /// coordinates in sorted order *by construction* (e.g. a k-way merge
+    /// of sorted streams). The contract is checked in debug builds only.
+    pub fn push_trusted(&mut self, row: Index, col: Index, value: Value) {
+        let row = row as usize;
+        debug_assert!(row < self.rows && (col as usize) < self.cols);
+        debug_assert!(row >= self.current_row);
+        while self.current_row < row {
+            self.row_ptr.push(self.col_idx.len());
+            self.current_row += 1;
+        }
+        debug_assert!(
+            *self.row_ptr.last().unwrap() == self.col_idx.len()
+                || col > *self.col_idx.last().unwrap(),
+            "push_trusted coordinates must strictly increase"
+        );
+        self.col_idx.push(col);
+        self.values.push(value);
+    }
+
     /// Number of entries pushed so far.
     pub fn nnz(&self) -> usize {
         self.col_idx.len()

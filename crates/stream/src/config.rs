@@ -155,6 +155,12 @@ pub struct StreamConfig {
     /// Worker threads for the panel-multiply stage: `Some(n)` pins `n`,
     /// `None` falls back to `SPARCH_THREADS`, then all cores.
     pub threads: Option<usize>,
+    /// Worker threads for the merge stage's round execution: `Some(n)`
+    /// pins `n`, `None` follows the multiply stage's thread count.
+    /// Independent rounds of the Huffman plan dispatch onto these
+    /// workers concurrently; the plan's fold order keeps results
+    /// bit-identical at any worker count.
+    pub merge_workers: Option<usize>,
     /// Where spilled partials go. `None` uses the system temp directory.
     /// Each run creates (and removes) its own unique subdirectory.
     pub spill_dir: Option<PathBuf>,
@@ -169,6 +175,7 @@ impl Default for StreamConfig {
             merge_ways: 8,
             spill_codec: SpillCodec::Varint,
             threads: None,
+            merge_workers: None,
             spill_dir: None,
         }
     }

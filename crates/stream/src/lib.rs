@@ -67,10 +67,12 @@
 
 pub mod config;
 pub mod executor;
-mod merge;
+pub mod merge;
 mod pipeline;
 pub mod spill;
 mod store;
+#[doc(hidden)]
+pub mod tempdir;
 
 pub use config::{MemoryBudget, PanelBalance, SpillCodec, StreamConfig};
 pub use executor::{StageReport, StreamReport, StreamingExecutor};

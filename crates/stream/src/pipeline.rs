@@ -1,51 +1,65 @@
-//! The staged dataflow pipeline: reader → multiply → merge/spill.
+//! The staged dataflow pipeline: reader → multiply → merge → spill.
 //!
 //! SpArch overlaps fetch with compute — the row prefetcher and the
 //! condensed left matrix exist so the comparator array never stalls on
-//! DRAM. The software pipeline mirrors that discipline with three
-//! concurrently running stages connected by bounded channels:
+//! DRAM. The software pipeline mirrors that discipline with four
+//! concurrently running stages around a single orchestrator thread:
 //!
 //! ```text
-//!  reader thread          multiply workers           merge/spill stage
-//!  (both operands,   ──▶  (ShardPool::scoped_   ──▶  (orchestrator
-//!   panel by panel)  ch.   workers, gustavson    ch.   thread: store
-//!                          per panel pair)             inserts, spill
-//!                                                      writes, Huffman
-//!                                                      merge rounds)
+//!  reader thread       multiply workers        merge workers
+//!  (both operands, ──▶ (ShardPool::scoped_ ──┐ (ShardPool::scoped_
+//!   panel by panel) ch. workers, gustavson   │  workers, k-way
+//!                       per panel pair)      │  merge_sources per
+//!                                            │  plan round)
+//!                                            ▼        ▲ round │ done
+//!                                     orchestrator ───┘ jobs  │ events
+//!                                     (store inserts,         │
+//!                                      round dispatch) ◀──────┘
+//!                                            │ spill jobs
+//!                                            ▼
+//!                                      writer thread
+//!                                      (encode + write spill files)
 //! ```
 //!
 //! The reader streams panel *pairs* — `A[:, p]` plus the matching
-//! `B[p, :]` — so neither operand is ever materialized whole; the
+//! `B[p, :]` — so neither operand is ever materialized whole; the job
 //! channel bound (`threads + 1` pairs) caps how much of either operand
-//! is resident. Multiply workers pull pairs and push partials through a
-//! second bounded channel (`threads` un-inserted partials at most), and
-//! the merge/spill stage inserts each arrival into the budgeted
-//! [`PartialStore`] — which is where spill write-back happens, off the
-//! reader's and workers' critical paths — and executes merge rounds the
-//! moment their children are available. Disk ingest, multiplies, spill
-//! writes and merge rounds all overlap instead of alternating.
+//! is resident. Multiply workers pull pairs and publish partials into
+//! the orchestrator's event queue, gated by a [`Permits`] counter so at
+//! most `threads` un-inserted partials exist at once. The orchestrator
+//! inserts each arrival into the budgeted [`PartialStore`] and
+//! dispatches every merge round of the Huffman plan whose children are
+//! all available onto the merge workers — *independent rounds run
+//! concurrently*, up to the merge worker count. Spill write-back is
+//! off the orchestrator too: the store hands [`SpillJob`]s to a
+//! dedicated writer thread and marks the node unavailable until the
+//! write lands. Disk ingest, multiplies, spill writes and merge rounds
+//! all overlap instead of alternating.
 //!
 //! **Determinism.** The Huffman plan's leaf weights are the per-panel
 //! `A`-column non-zero counts, fixed by the panel split alone — known
 //! the moment the reader finishes, *before* the last multiply lands, and
 //! entirely independent of stage timing, thread count, budget or codec.
-//! Rounds execute in plan order on the single merge thread, so the fold
-//! order — and therefore every output bit — depends only on the plan,
-//! never on which stage happened to run first. Arrival order can shift
-//! *when* a partial is evicted (spill counters may vary across timings
-//! at `threads > 1`), but never what any merge round computes.
+//! The plan fixes every round's children up front, so however rounds
+//! interleave across merge workers, each round folds exactly the same
+//! inputs in the same child order — the fold order, and therefore every
+//! output bit, depends only on the plan, never on which worker ran
+//! first. Timing can shift *which* partials spill and *when* a round is
+//! dispatched (spill and overlap counters vary at `threads > 1`), but
+//! never what any round computes.
 
-use crate::merge::{merge_sources, PartialSource};
-use crate::store::{PartialStore, StoreStats};
+use crate::merge::{merge_sources, MergeScratch, PartialSource};
+use crate::spill::{raw_size, write_partial, SpillFile};
+use crate::store::{PartialStore, SpillJob, StoreStats};
 use crate::{StreamConfig, StreamError};
 use serde::{Deserialize, Serialize};
 use sparch_core::sched::{huffman_plan, MergePlan, PlanNode};
-use sparch_exec::ShardPool;
+use sparch_exec::{Permits, ShardPool};
 use sparch_sparse::{algo, Csr};
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -60,35 +74,53 @@ pub(crate) struct PanelPair {
 
 /// Per-stage busy time and overlap evidence for one pipelined multiply.
 ///
-/// Busy seconds are summed per stage (multiply across all workers), so
-/// they can exceed the wall clock — that excess *is* the overlap. The
-/// two counters are direct evidence of pipelining: they count events
-/// that are impossible in a phase-alternating executor.
+/// Busy seconds are summed per stage (multiply and merge across all of
+/// their workers), so they can exceed the wall clock — that excess *is*
+/// the overlap. The counters are direct evidence of pipelining: they
+/// count events that are impossible in a phase-alternating executor.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct StageReport {
     /// Time the reader stage spent pulling + validating panel pairs.
     pub reader_busy_seconds: f64,
     /// Total worker time inside panel multiplies (summed over workers).
     pub multiply_busy_seconds: f64,
-    /// Time the merge/spill stage spent inserting partials, writing
-    /// spills and executing merge rounds.
+    /// Time the merge stage spent on partials end to end: orchestrator
+    /// bookkeeping (store inserts, round dispatch) plus
+    /// `merge_kernel_seconds`. Spill encoding/writing is *not* included
+    /// — it runs on the writer thread (`spill_write_seconds`).
     pub merge_busy_seconds: f64,
-    /// The portion of `merge_busy_seconds` spent encoding + writing
-    /// spill files.
+    /// Time inside the k-way merge kernel itself, summed over merge
+    /// workers — the portion of `merge_busy_seconds` that scales with
+    /// `merge_triples`.
+    pub merge_kernel_seconds: f64,
+    /// Wall time spent encoding + writing spill files (on the writer
+    /// thread once the pipeline is running, so it overlaps every other
+    /// stage).
     pub spill_write_seconds: f64,
+    /// Triples consumed by merge rounds (summed input non-zeros across
+    /// all rounds). `merge_triples / merge_kernel_seconds` is the merge
+    /// kernel's throughput.
+    pub merge_triples: u64,
     /// Panel reads that completed while ≥ 1 multiply was in flight —
     /// the reader ingesting while the compute stage holds unfinished
     /// work. "In flight" spans from the reader handing a pair to the
-    /// multiply stage until the merge stage consumes the partial, so the
-    /// counter measures *pipelining* (stages progressing with upstream
-    /// work outstanding) rather than physical simultaneity, and is
-    /// meaningful even on a single core. A phase-alternating executor
+    /// multiply stage until the orchestrator consumes the partial, so
+    /// the counter measures *pipelining* (stages progressing with
+    /// upstream work outstanding) rather than physical simultaneity, and
+    /// is meaningful even on a single core. A phase-alternating executor
     /// scores 0 by construction.
     pub reads_overlapping_multiply: u64,
-    /// Merge rounds executed while ≥ 1 multiply was in flight (same
+    /// Merge rounds dispatched while ≥ 1 multiply was in flight (same
     /// definition) — the merge stage folding while the compute stage
     /// still holds work.
     pub rounds_overlapping_multiply: u64,
+    /// Merge rounds dispatched while ≥ 1 multiply *or* ≥ 1 other merge
+    /// round was in flight — rounds that ran concurrently with other
+    /// pipeline work instead of strictly after it.
+    pub rounds_merged_concurrently: u64,
+    /// Spill writes handed to the dedicated writer thread instead of
+    /// blocking the orchestrator.
+    pub spill_writeback_offloaded: u64,
 }
 
 /// What one pipeline run produced, before the executor folds it into its
@@ -114,6 +146,47 @@ struct MultiplyJob {
     b: Csr,
 }
 
+/// A merge round handed to a merge worker: the plan round index plus its
+/// already-taken (budget-pinned or spill-streaming) inputs.
+struct RoundJob {
+    round: usize,
+    sources: Vec<PartialSource>,
+}
+
+/// Everything the producer stages funnel into the orchestrator. One
+/// unbounded channel (std has no `select`) carries them all; each
+/// producer kind is individually bounded — multiplies by the [`Permits`]
+/// gate, rounds by the dispatch cap, spills by the writer's
+/// `sync_channel(1)` — so the queue never grows past a few entries.
+enum Event {
+    /// A multiply worker finished leaf `leaf`.
+    MultiplyDone {
+        leaf: usize,
+        partial: Csr,
+        seconds: f64,
+    },
+    /// A merge worker finished plan round `round`.
+    RoundDone {
+        round: usize,
+        outcome: Result<Csr, StreamError>,
+        kernel_seconds: f64,
+        triples: u64,
+    },
+    /// The writer thread finished (or failed) the spill of node `id`;
+    /// on success carries the spill file, its raw-equivalent bytes and
+    /// the write time.
+    SpillDone {
+        id: usize,
+        outcome: Result<(SpillFile, u64, f64), StreamError>,
+    },
+    /// Every multiply worker has exited: all `MultiplyDone` events are
+    /// already queued ahead of this, and the plan weights are published.
+    MultiplyStageClosed,
+    /// Every merge worker has exited. Arrives mid-run only if the stage
+    /// died abnormally — normally the orchestrator outlives it.
+    MergeStageClosed,
+}
+
 /// What the reader thread learned, returned through its join handle.
 struct ReaderOutcome {
     busy_seconds: f64,
@@ -121,6 +194,16 @@ struct ReaderOutcome {
     /// Panel pairs validated, including pruned all-empty `A` panels.
     panels: usize,
     error: Option<StreamError>,
+}
+
+/// The shared plumbing the orchestrator drives: owning `round_tx` means
+/// dropping these links is what lets the merge workers exit.
+struct OrchestratorLinks<'a> {
+    round_tx: SyncSender<RoundJob>,
+    weights_slot: &'a Mutex<Option<Vec<u64>>>,
+    inflight: &'a AtomicUsize,
+    gate: &'a Permits,
+    abort: &'a AtomicBool,
 }
 
 /// Runs the staged pipeline over a stream of panel pairs.
@@ -141,38 +224,51 @@ where
     I: Iterator<Item = Result<PanelPair, StreamError>> + Send,
 {
     let pool = ShardPool::with_override(config.threads);
+    let merge_pool = ShardPool::new(config.merge_workers.unwrap_or(pool.threads()));
     let ways = config.merge_ways.max(2);
-    let store = PartialStore::new(config.budget, spill_dir, config.spill_codec);
+    let mut store = PartialStore::new(config.budget, spill_dir, config.spill_codec);
 
-    // Stage plumbing. Both channels are bounded — that is what makes the
-    // pipeline's transient memory a constant factor of the panel size:
-    // at most `threads + 1` pairs queued for multiply, at most `threads`
-    // finished partials waiting for the merge/spill stage (plus one pair
-    // in each worker's hands).
+    // Stage plumbing. The job channel is bounded (at most `threads + 1`
+    // pairs queued for multiply) and each event producer is bounded (see
+    // `Event`), which is what keeps the pipeline's transient memory a
+    // constant factor of the panel size.
     let (job_tx, job_rx) = sync_channel::<MultiplyJob>(pool.threads() + 1);
-    let (res_tx, res_rx) = sync_channel::<(usize, Csr, f64)>(pool.threads());
-    // The job receiver and the prototype result sender live in Options
-    // so the worker-stage thread can drop both once every worker is done
-    // — even by panic. The result-channel disconnect is what ends the
-    // merge stage's receive loop, and the job-channel disconnect is what
-    // unblocks a reader mid-send; without the unconditional cleanup a
-    // worker panic would wedge both instead of propagating at join.
+    let (evt_tx, evt_rx) = channel::<Event>();
+    // Round jobs never outnumber merge workers (the dispatch cap), so
+    // this capacity means the orchestrator never blocks sending one.
+    let (round_tx, round_rx) = sync_channel::<RoundJob>(merge_pool.threads());
+    // Spill write-back: the orchestrator blocks only when a write is
+    // already in progress *and* one is queued — the natural backpressure
+    // that keeps at most two partial-sized buffers with the writer.
+    let (spill_tx, spill_rx) = sync_channel::<SpillJob>(1);
+    store.set_spill_sink(spill_tx);
+
+    // The job/round receivers live in Options so their worker-stage
+    // threads can drop them once every worker is done — even by panic.
+    // The job-channel disconnect is what unblocks a reader mid-send;
+    // without the unconditional cleanup a worker panic would wedge it
+    // instead of propagating at join.
     let job_rx = Mutex::new(Some(job_rx));
-    let res_tx = Mutex::new(Some(res_tx));
+    let round_rx = Mutex::new(Some(round_rx));
     // Jobs in the submitted-to-consumed window (reader sent the pair,
-    // merge stage has not yet received the partial); the overlap
+    // orchestrator has not yet received the partial); the overlap
     // counters sample this.
     let inflight = AtomicUsize::new(0);
-    // Raised by the merge/spill stage on its first failure so the
-    // reader stops ingesting promptly — a disk-full on the first spill
-    // must not cost the whole remaining ingest + multiply bill.
+    // Bounds un-consumed multiply results (the event channel itself is
+    // unbounded): a worker takes a permit to publish, the orchestrator
+    // returns it on consumption.
+    let gate = Permits::new(pool.threads());
+    // Raised by the orchestrator on its first failure so the reader
+    // stops ingesting promptly — a disk-full on the first spill must not
+    // cost the whole remaining ingest + multiply bill.
     let abort = AtomicBool::new(false);
     // The reader publishes every leaf's weight here when it finishes —
-    // the merge stage builds the Huffman plan from it mid-flight.
+    // the orchestrator builds the Huffman plan from it mid-flight.
     let weights_slot: Mutex<Option<Vec<u64>>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
-        let (weights_ref, inflight_ref, abort_ref) = (&weights_slot, &inflight, &abort);
+        let (weights_ref, inflight_ref, abort_ref, gate_ref) =
+            (&weights_slot, &inflight, &abort, &gate);
         let reader = scope.spawn(move || {
             reader_stage(
                 pairs,
@@ -185,31 +281,78 @@ where
                 abort_ref,
             )
         });
-        let workers = scope.spawn(|| {
+
+        let multiply_evt = evt_tx.clone();
+        let job_rx_ref = &job_rx;
+        let workers = scope.spawn(move || {
+            let evt_proto = Mutex::new(multiply_evt);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 pool.scoped_workers(|_| {
-                    let tx = res_tx
-                        .lock()
-                        .expect("result sender poisoned")
-                        .clone()
-                        .expect("sender alive while workers run");
-                    multiply_worker(&job_rx, &tx)
+                    let tx = evt_proto.lock().expect("event sender poisoned").clone();
+                    multiply_worker(job_rx_ref, &tx, gate_ref);
                 });
             }));
-            // Close both channel ends this stage owns, panic or not (see
-            // the channel setup above).
-            drop(res_tx.lock().unwrap_or_else(|e| e.into_inner()).take());
-            drop(job_rx.lock().unwrap_or_else(|e| e.into_inner()).take());
+            // Close the job channel and announce the stage end, panic or
+            // not (see the channel setup above). The Closed event is what
+            // tells the orchestrator no more partials can arrive.
+            drop(job_rx_ref.lock().unwrap_or_else(|e| e.into_inner()).take());
+            let _ = evt_proto
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .send(Event::MultiplyStageClosed);
             if let Err(panic) = outcome {
                 std::panic::resume_unwind(panic);
             }
         });
 
-        let mut merge = MergeStage::new(store, a_rows, b_cols, ways);
-        merge.run(&res_rx, &weights_slot, &inflight, &abort);
+        let merge_evt = evt_tx.clone();
+        let round_rx_ref = &round_rx;
+        let mergers = scope.spawn(move || {
+            let evt_proto = Mutex::new(merge_evt);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                merge_pool.scoped_workers(|_| {
+                    let tx = evt_proto.lock().expect("event sender poisoned").clone();
+                    merge_worker(round_rx_ref, &tx, a_rows, b_cols);
+                });
+            }));
+            drop(
+                round_rx_ref
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take(),
+            );
+            let _ = evt_proto
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .send(Event::MergeStageClosed);
+            if let Err(panic) = outcome {
+                std::panic::resume_unwind(panic);
+            }
+        });
+
+        let writer_evt = evt_tx.clone();
+        let writer = scope.spawn(move || spill_writer(spill_rx, writer_evt));
+
+        // The orchestrator holds only the receiver: if every stage dies,
+        // the disconnect (rather than a deadlock) ends the loop.
+        drop(evt_tx);
+
+        let mut merge = MergeStage::new(store, a_rows, b_cols, ways, merge_pool.threads());
+        merge.run(
+            &evt_rx,
+            OrchestratorLinks {
+                round_tx,
+                weights_slot: &weights_slot,
+                inflight: &inflight,
+                gate: &gate,
+                abort: &abort,
+            },
+        );
 
         let reader = reader.join().expect("reader stage panicked");
         workers.join().expect("multiply worker panicked");
+        mergers.join().expect("merge worker panicked");
+        writer.join().expect("spill writer panicked");
         merge.finish(reader)
     })
 }
@@ -217,7 +360,7 @@ where
 /// The reader stage: pulls panel pairs, validates tiling and shapes,
 /// tags non-empty `A` panels with leaf ids and feeds them to the
 /// multiply stage, then publishes the plan weights. Stops early when
-/// the merge stage raises `abort` (its failure is the one reported).
+/// the orchestrator raises `abort` (its failure is the one reported).
 #[allow(clippy::too_many_arguments)]
 fn reader_stage<I>(
     mut pairs: I,
@@ -241,7 +384,7 @@ where
     let mut aborted = false;
     loop {
         if abort.load(Ordering::Relaxed) {
-            // The merge stage failed; whatever it recorded is the root
+            // The orchestrator failed; whatever it recorded is the root
             // cause. Skip the coverage check — stopping short is the
             // point.
             aborted = true;
@@ -277,7 +420,7 @@ where
         let leaf = weights.len();
         weights.push(pair.a.nnz() as u64);
         // Count the job in flight *before* handing it over: a fast
-        // worker could otherwise finish it — and the merge stage
+        // worker could otherwise finish it — and the orchestrator
         // decrement — before this thread reached the increment,
         // wrapping the counter below zero and fabricating overlap.
         inflight.fetch_add(1, Ordering::Relaxed);
@@ -301,8 +444,8 @@ where
         )));
     }
     // Publish the plan weights *before* dropping the job sender: by the
-    // time the workers disconnect the result channel, the merge stage is
-    // guaranteed to find them.
+    // time the multiply stage closes, the orchestrator is guaranteed to
+    // find them.
     *weights_slot.lock().expect("weights slot poisoned") = Some(weights);
     drop(job_tx);
     ReaderOutcome {
@@ -347,10 +490,12 @@ fn validate_pair(
 }
 
 /// One multiply worker: pulls jobs until the reader closes the channel,
-/// multiplies, and hands partials (with the time they took) downstream.
+/// multiplies, and publishes partials (with the time they took) into the
+/// event queue, one permit per un-consumed result.
 fn multiply_worker(
     job_rx: &Mutex<Option<Receiver<MultiplyJob>>>,
-    res_tx: &SyncSender<(usize, Csr, f64)>,
+    evt_tx: &Sender<Event>,
+    gate: &Permits,
 ) {
     loop {
         // The lock is held only for the claim (including any blocking
@@ -370,87 +515,317 @@ fn multiply_worker(
         let t0 = Instant::now();
         let partial = algo::gustavson(&job.a, &job.b);
         let seconds = t0.elapsed().as_secs_f64();
-        if res_tx.send((job.leaf, partial, seconds)).is_err() {
+        gate.acquire();
+        if evt_tx
+            .send(Event::MultiplyDone {
+                leaf: job.leaf,
+                partial,
+                seconds,
+            })
+            .is_err()
+        {
+            gate.release();
             break;
         }
     }
 }
 
-/// The merge/spill stage: owns the budgeted store, builds the Huffman
-/// plan as soon as the reader publishes the weights, and executes merge
-/// rounds the moment their children have all arrived.
+/// One merge worker: pulls round jobs until the orchestrator closes the
+/// channel, runs the k-way kernel (reusing its scratch lanes across
+/// rounds), and reports the result.
+fn merge_worker(
+    round_rx: &Mutex<Option<Receiver<RoundJob>>>,
+    evt_tx: &Sender<Event>,
+    a_rows: usize,
+    b_cols: usize,
+) {
+    let mut scratch = MergeScratch::new();
+    loop {
+        let claimed = {
+            let guard = round_rx.lock().expect("round receiver poisoned");
+            match guard.as_ref() {
+                Some(rx) => rx.recv(),
+                None => break,
+            }
+        };
+        let job = match claimed {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let triples: u64 = job.sources.iter().map(|s| s.remaining_nnz() as u64).sum();
+        let t0 = Instant::now();
+        let outcome = merge_sources(a_rows, b_cols, job.sources, &mut scratch);
+        let kernel_seconds = t0.elapsed().as_secs_f64();
+        if evt_tx
+            .send(Event::RoundDone {
+                round: job.round,
+                outcome,
+                kernel_seconds,
+                triples,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// The spill writer: encodes and writes each handed-off partial, then
+/// reports the outcome (never blocking — the event channel is
+/// unbounded), so the orchestrator keeps scheduling while spills land.
+fn spill_writer(spill_rx: Receiver<SpillJob>, evt_tx: Sender<Event>) {
+    while let Ok(SpillJob {
+        id,
+        path,
+        csr,
+        codec,
+    }) = spill_rx.recv()
+    {
+        let t0 = Instant::now();
+        let raw = raw_size(&csr);
+        let outcome =
+            write_partial(&path, &csr, codec).map(|file| (file, raw, t0.elapsed().as_secs_f64()));
+        // The partial's only copy dies here, before the completion is
+        // announced — the store already stopped counting its bytes.
+        drop(csr);
+        if evt_tx.send(Event::SpillDone { id, outcome }).is_err() {
+            break;
+        }
+    }
+}
+
+/// Where a plan round stands in the orchestrator's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundState {
+    Pending,
+    InFlight,
+    Done,
+}
+
+/// The orchestrator: owns the budgeted store, builds the Huffman plan as
+/// soon as the reader publishes the weights, and dispatches every merge
+/// round whose children are all available onto the merge workers —
+/// several at once when the plan allows it.
 struct MergeStage {
     store: PartialStore,
     a_rows: usize,
     b_cols: usize,
     ways: usize,
+    /// Dispatch cap: rounds in flight never exceed the merge worker
+    /// count (also the round channel's capacity, so sends never block).
+    max_rounds_inflight: usize,
     plan: Option<MergePlan>,
     arrived: Vec<bool>,
-    next_round: usize,
+    round_state: Vec<RoundState>,
+    rounds_done: usize,
+    rounds_inflight: usize,
+    multiply_closed: bool,
+    merge_closed: bool,
     result: Option<Csr>,
     partial_bytes_total: u64,
     largest_partial_bytes: u64,
     multiply_busy: f64,
     merge_busy: f64,
+    merge_kernel_seconds: f64,
+    merge_triples: u64,
     rounds_overlapping: u64,
+    rounds_concurrent: u64,
     failure: Option<StreamError>,
 }
 
 impl MergeStage {
-    fn new(store: PartialStore, a_rows: usize, b_cols: usize, ways: usize) -> Self {
+    fn new(
+        store: PartialStore,
+        a_rows: usize,
+        b_cols: usize,
+        ways: usize,
+        max_rounds_inflight: usize,
+    ) -> Self {
         MergeStage {
             store,
             a_rows,
             b_cols,
             ways,
+            max_rounds_inflight: max_rounds_inflight.max(1),
             plan: None,
             arrived: Vec::new(),
-            next_round: 0,
+            round_state: Vec::new(),
+            rounds_done: 0,
+            rounds_inflight: 0,
+            multiply_closed: false,
+            merge_closed: false,
             result: None,
             partial_bytes_total: 0,
             largest_partial_bytes: 0,
             multiply_busy: 0.0,
             merge_busy: 0.0,
+            merge_kernel_seconds: 0.0,
+            merge_triples: 0,
             rounds_overlapping: 0,
+            rounds_concurrent: 0,
             failure: None,
         }
     }
 
-    /// Consumes multiply results until every worker is done, interleaving
-    /// store inserts (spill write-back included) and any merge rounds
-    /// that become ready. On failure it raises `abort` so the reader
-    /// stops ingesting, then keeps draining so the upstream stages can
-    /// always finish — no early return, no deadlock.
-    fn run(
-        &mut self,
-        res_rx: &Receiver<(usize, Csr, f64)>,
-        weights_slot: &Mutex<Option<Vec<u64>>>,
-        inflight: &AtomicUsize,
-        abort: &AtomicBool,
-    ) {
-        while let Ok((leaf, partial, seconds)) = res_rx.recv() {
-            inflight.fetch_sub(1, Ordering::Relaxed);
-            self.multiply_busy += seconds;
+    /// Consumes stage events until the run is complete, interleaving
+    /// store inserts and round dispatches. On failure it raises `abort`
+    /// so the reader stops ingesting, then keeps draining so the other
+    /// stages can always finish — no early return, no deadlock.
+    fn run(&mut self, evt_rx: &Receiver<Event>, links: OrchestratorLinks<'_>) {
+        while !self.finished() {
+            let Ok(event) = evt_rx.recv() else {
+                // Every producer died without announcing itself — a bug,
+                // but one that must surface as an error, not a hang.
+                if self.failure.is_none() {
+                    self.failure =
+                        Some(StreamError::Io("pipeline stages disconnected early".into()));
+                }
+                break;
+            };
+            self.handle(event, &links);
             if self.failure.is_some() {
-                continue;
-            }
-            let t0 = Instant::now();
-            self.insert_leaf(leaf, partial);
-            self.try_build_plan(weights_slot);
-            self.advance_rounds(inflight);
-            self.merge_busy += t0.elapsed().as_secs_f64();
-            if self.failure.is_some() {
-                abort.store(true, Ordering::Relaxed);
+                links.abort.store(true, Ordering::Relaxed);
             }
         }
-        // The last result can land before the reader publishes the
-        // weights; the channel disconnect happens strictly after, so one
-        // final attempt always sees them.
-        if self.failure.is_none() {
-            let t0 = Instant::now();
-            self.try_build_plan(weights_slot);
-            self.advance_rounds(inflight);
-            self.merge_busy += t0.elapsed().as_secs_f64();
+        // Disconnect the merge workers (round_tx drops with `links`) and
+        // the writer: both stages exit once their queues drain.
+        self.store.remove_spill_sink();
+    }
+
+    fn handle(&mut self, event: Event, links: &OrchestratorLinks<'_>) {
+        match event {
+            Event::MultiplyDone {
+                leaf,
+                partial,
+                seconds,
+            } => {
+                links.inflight.fetch_sub(1, Ordering::Relaxed);
+                links.gate.release();
+                self.multiply_busy += seconds;
+                if self.failure.is_some() {
+                    return;
+                }
+                let t0 = Instant::now();
+                self.insert_leaf(leaf, partial);
+                self.try_build_plan(links.weights_slot);
+                self.dispatch_rounds(links);
+                self.merge_busy += t0.elapsed().as_secs_f64();
+            }
+            Event::RoundDone {
+                round,
+                outcome,
+                kernel_seconds,
+                triples,
+            } => {
+                self.rounds_inflight -= 1;
+                self.round_state[round] = RoundState::Done;
+                self.rounds_done += 1;
+                self.merge_kernel_seconds += kernel_seconds;
+                self.merge_triples += triples;
+                match outcome {
+                    Ok(merged) if self.failure.is_none() => {
+                        let t0 = Instant::now();
+                        let (ids, output_id, is_final) = {
+                            let plan = self.plan.as_ref().expect("a dispatched round has a plan");
+                            let n = plan.num_leaves;
+                            let ids: Vec<usize> = plan.rounds[round]
+                                .children
+                                .iter()
+                                .map(|&c| node_id(c, n))
+                                .collect();
+                            (ids, n + round, round + 1 == plan.rounds.len())
+                        };
+                        for &id in &ids {
+                            self.store.release(id);
+                        }
+                        if is_final {
+                            self.result = Some(merged);
+                        } else if let Err(e) = self.store.insert(output_id, merged) {
+                            self.failure = Some(e);
+                        }
+                        if self.failure.is_none() {
+                            self.dispatch_rounds(links);
+                        }
+                        self.merge_busy += t0.elapsed().as_secs_f64();
+                    }
+                    // Failure already recorded — the round only needed
+                    // accounting so the drain can terminate.
+                    Ok(_) => {}
+                    Err(e) => {
+                        if self.failure.is_none() {
+                            self.failure = Some(e);
+                        }
+                    }
+                }
+            }
+            Event::SpillDone { id, outcome } => {
+                match self.store.complete_spill(id, outcome) {
+                    Err(e) => {
+                        if self.failure.is_none() {
+                            self.failure = Some(e);
+                        }
+                    }
+                    Ok(()) if self.failure.is_none() => {
+                        // A node just became available — rounds gated on
+                        // its write-back may be dispatchable now.
+                        let t0 = Instant::now();
+                        self.dispatch_rounds(links);
+                        self.merge_busy += t0.elapsed().as_secs_f64();
+                    }
+                    Ok(()) => {}
+                }
+            }
+            Event::MultiplyStageClosed => {
+                self.multiply_closed = true;
+                if self.failure.is_some() {
+                    return;
+                }
+                let t0 = Instant::now();
+                // Every MultiplyDone is queued ahead of this event, so
+                // all leaves that will ever arrive have arrived; and the
+                // reader published the weights before the stage could
+                // close. Anything else is a lost stage.
+                self.try_build_plan(links.weights_slot);
+                match &self.plan {
+                    None => {
+                        self.failure = Some(StreamError::Io(
+                            "reader stage ended without publishing merge-plan weights".into(),
+                        ));
+                    }
+                    Some(_) if self.arrived.iter().any(|&a| !a) => {
+                        self.failure = Some(StreamError::Io(
+                            "multiply stage ended before every partial arrived".into(),
+                        ));
+                    }
+                    Some(_) => self.dispatch_rounds(links),
+                }
+                self.merge_busy += t0.elapsed().as_secs_f64();
+            }
+            Event::MergeStageClosed => {
+                // Normally sent only after the orchestrator drops the
+                // round channel — seeing it mid-run means the stage died
+                // with rounds unaccounted for.
+                self.merge_closed = true;
+                if self.rounds_inflight > 0 && self.failure.is_none() {
+                    self.failure = Some(StreamError::Io("merge worker stage ended early".into()));
+                }
+            }
+        }
+    }
+
+    /// The run is complete when no more events can change the outcome:
+    /// the multiply stage has closed, nothing is in flight, and (absent
+    /// a failure) the plan has fully executed.
+    fn finished(&self) -> bool {
+        if !self.multiply_closed || self.store.spills_in_flight() > 0 {
+            return false;
+        }
+        if self.failure.is_some() {
+            return self.rounds_inflight == 0 || self.merge_closed;
+        }
+        match &self.plan {
+            Some(plan) => self.rounds_done == plan.rounds.len() && self.rounds_inflight == 0,
+            None => false,
         }
     }
 
@@ -490,67 +865,87 @@ impl MergeStage {
             }
         }
         self.store.set_consumers(consumers);
+        self.round_state = vec![RoundState::Pending; plan.rounds.len()];
         self.plan = Some(plan);
     }
 
-    /// Executes every merge round whose children are all present, in
-    /// plan order. Round children always reference earlier rounds, so
-    /// only leaf availability gates progress.
-    fn advance_rounds(&mut self, inflight: &AtomicUsize) {
-        loop {
-            let Some(plan) = &self.plan else { return };
-            if self.failure.is_some() || self.next_round >= plan.rounds.len() {
-                return;
+    /// Dispatches every pending round whose children are all available,
+    /// lowest round id first, until the in-flight cap is reached. Round
+    /// children always reference earlier rounds, so one ascending scan
+    /// per call suffices; later events re-scan as children land.
+    fn dispatch_rounds(&mut self, links: &OrchestratorLinks<'_>) {
+        let num_rounds = match &self.plan {
+            Some(plan) => plan.rounds.len(),
+            None => return,
+        };
+        let mut r = 0;
+        while r < num_rounds
+            && self.failure.is_none()
+            && self.rounds_inflight < self.max_rounds_inflight
+        {
+            if self.round_state[r] != RoundState::Pending {
+                r += 1;
+                continue;
             }
-            let round = &plan.rounds[self.next_round];
-            let ready = round.children.iter().all(|&c| match c {
-                PlanNode::Leaf(l) => self.arrived[l],
-                PlanNode::Round(r) => r < self.next_round,
-            });
-            if !ready {
-                return;
-            }
-            let n = plan.num_leaves;
-            let ids: Vec<usize> = round.children.iter().map(|&c| node_id(c, n)).collect();
-            let is_final = self.next_round + 1 == plan.rounds.len();
-            if inflight.load(Ordering::Relaxed) > 0 {
-                self.rounds_overlapping += 1;
-            }
-            match self.execute_round(&ids, is_final) {
-                Ok(()) => self.next_round += 1,
-                Err(e) => {
-                    self.failure = Some(e);
-                    return;
+            let ids = {
+                let plan = self.plan.as_ref().expect("plan checked above");
+                let n = plan.num_leaves;
+                let round = &plan.rounds[r];
+                let ready = round.children.iter().all(|&c| {
+                    let produced = match c {
+                        PlanNode::Leaf(l) => self.arrived[l],
+                        PlanNode::Round(prev) => self.round_state[prev] == RoundState::Done,
+                    };
+                    // `available` is false while the node's spill
+                    // write-back is still on the writer thread.
+                    produced && self.store.available(node_id(c, n))
+                });
+                if ready {
+                    Some(
+                        round
+                            .children
+                            .iter()
+                            .map(|&c| node_id(c, n))
+                            .collect::<Vec<usize>>(),
+                    )
+                } else {
+                    None
+                }
+            };
+            let Some(ids) = ids else {
+                r += 1;
+                continue;
+            };
+            let mut sources = Vec::with_capacity(ids.len());
+            for &id in &ids {
+                match self.store.take(id) {
+                    Ok(taken) => sources.push(PartialSource::from(taken)),
+                    Err(e) => {
+                        self.failure = Some(e);
+                        return;
+                    }
                 }
             }
+            if links.round_tx.send(RoundJob { round: r, sources }).is_err() {
+                self.failure = Some(StreamError::Io("merge worker stage is gone".into()));
+                return;
+            }
+            let multiplies = links.inflight.load(Ordering::Relaxed);
+            if multiplies > 0 {
+                self.rounds_overlapping += 1;
+            }
+            if multiplies > 0 || self.rounds_inflight > 0 {
+                self.rounds_concurrent += 1;
+            }
+            self.round_state[r] = RoundState::InFlight;
+            self.rounds_inflight += 1;
+            r += 1;
         }
-    }
-
-    fn execute_round(&mut self, ids: &[usize], is_final: bool) -> Result<(), StreamError> {
-        let mut sources = Vec::with_capacity(ids.len());
-        for &id in ids {
-            sources.push(PartialSource::from(self.store.take(id)?));
-        }
-        let merged = merge_sources(self.a_rows, self.b_cols, sources)?;
-        for &id in ids {
-            self.store.release(id);
-        }
-        let n = self
-            .plan
-            .as_ref()
-            .expect("plan exists in a round")
-            .num_leaves;
-        if is_final {
-            self.result = Some(merged);
-        } else {
-            self.store.insert(n + self.next_round, merged)?;
-        }
-        Ok(())
     }
 
     /// Resolves the run: reader errors win (they are the root cause),
-    /// then merge/spill failures, then the degenerate zero- and one-leaf
-    /// results.
+    /// then orchestrator failures, then the degenerate zero- and
+    /// one-leaf results.
     fn finish(mut self, reader: ReaderOutcome) -> Result<PipelineOutcome, StreamError> {
         if let Some(e) = reader.error {
             self.store.cleanup();
@@ -573,7 +968,7 @@ impl MergeStage {
                 }
             }
         } else {
-            debug_assert_eq!(self.next_round, plan.rounds.len());
+            debug_assert_eq!(self.rounds_done, plan.rounds.len());
             self.result
                 .take()
                 .expect("a multi-leaf plan ends in a final round")
@@ -591,10 +986,14 @@ impl MergeStage {
             stages: StageReport {
                 reader_busy_seconds: reader.busy_seconds,
                 multiply_busy_seconds: self.multiply_busy,
-                merge_busy_seconds: self.merge_busy,
+                merge_busy_seconds: self.merge_busy + self.merge_kernel_seconds,
+                merge_kernel_seconds: self.merge_kernel_seconds,
                 spill_write_seconds: store_stats.spill_write_seconds,
+                merge_triples: self.merge_triples,
                 reads_overlapping_multiply: reader.reads_overlapping_multiply,
                 rounds_overlapping_multiply: self.rounds_overlapping,
+                rounds_merged_concurrently: self.rounds_concurrent,
+                spill_writeback_offloaded: store_stats.spill_writeback_offloaded,
             },
         })
     }

@@ -47,7 +47,7 @@
 use crate::{SpillCodec, StreamError};
 use sparch_sparse::{Csr, CsrBuilder, Index, Triple};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC_RAW: u32 = 0x5350_4d31;
@@ -58,6 +58,10 @@ const RAW_ENTRY_BYTES: u64 = 16;
 /// Read-buffer capacity for streaming a spilled partial back in. Small
 /// by design: this bounds the resident bytes a spilled merge child costs.
 const READ_BUF_BYTES: usize = 64 * 1024;
+
+/// Worst-case encoded size of one varint entry: three 10-byte LEB128
+/// fields (drow, token, value) — the batch decoder's look-ahead bound.
+const MAX_VARINT_ENTRY_BYTES: usize = 30;
 
 /// A partial matrix sitting on disk.
 #[derive(Debug)]
@@ -204,13 +208,119 @@ impl DeltaState {
         self.first = false;
         Ok((r, c, v))
     }
+
+    /// Decodes one entry straight from a byte slice, advancing `i`. The
+    /// caller guarantees at least [`MAX_VARINT_ENTRY_BYTES`] readable
+    /// bytes at `buf[*i..]` — the batch decoder's fast path, sharing this
+    /// state machine with [`DeltaState::decode`] so the two can never
+    /// disagree about the format.
+    fn decode_slice(&mut self, buf: &[u8], i: &mut usize) -> Result<Triple, StreamError> {
+        let drow = take_varint(buf, i)? as Index;
+        let token = take_varint(buf, i)?;
+        let (cval, mode) = ((token >> 1) as Index, token & 1);
+        let r = self.prev_row + drow;
+        let c = if self.first || drow > 0 {
+            cval
+        } else {
+            self.prev_col + cval
+        };
+        let v = if mode == 0 {
+            f64::from_bits(take_varint(buf, i)?.swap_bytes())
+        } else {
+            let bits = u64::from_le_bytes(buf[*i..*i + 8].try_into().expect("8 bytes ensured"));
+            *i += 8;
+            f64::from_bits(bits)
+        };
+        self.prev_row = r;
+        self.prev_col = c;
+        self.first = false;
+        Ok((r, c, v))
+    }
+}
+
+/// The bounded read buffer behind [`SpillReader`]: serves the per-triple
+/// path through [`Read`] and the batch path through raw slice access
+/// (`ensure`/`buffered`/`consume`), over one shared cursor so the two
+/// paths can interleave freely.
+#[derive(Debug)]
+struct SpillBuf {
+    file: File,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+    eof: bool,
+}
+
+impl SpillBuf {
+    fn new(file: File) -> Self {
+        SpillBuf {
+            file,
+            buf: vec![0u8; READ_BUF_BYTES],
+            pos: 0,
+            len: 0,
+            eof: false,
+        }
+    }
+
+    /// Refills until at least `want` unread bytes are buffered or the
+    /// file ends (`want` must be ≤ the buffer capacity). Returns the
+    /// number of unread bytes available afterwards.
+    fn ensure(&mut self, want: usize) -> Result<usize, StreamError> {
+        debug_assert!(want <= self.buf.len());
+        if self.len - self.pos < want && !self.eof {
+            self.buf.copy_within(self.pos..self.len, 0);
+            self.len -= self.pos;
+            self.pos = 0;
+            while self.len < self.buf.len() {
+                let n = self.file.read(&mut self.buf[self.len..])?;
+                if n == 0 {
+                    self.eof = true;
+                    break;
+                }
+                self.len += n;
+            }
+        }
+        Ok(self.len - self.pos)
+    }
+
+    /// The unread bytes currently buffered.
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.pos..self.len]
+    }
+
+    /// Marks `n` buffered bytes as consumed.
+    fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len - self.pos);
+        self.pos += n;
+    }
+}
+
+impl Read for SpillBuf {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.len && !self.eof {
+            self.pos = 0;
+            self.len = 0;
+            while self.len < self.buf.len() {
+                let n = self.file.read(&mut self.buf[self.len..])?;
+                if n == 0 {
+                    self.eof = true;
+                    break;
+                }
+                self.len += n;
+            }
+        }
+        let n = (self.len - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
 }
 
 /// Streams a spilled partial back as sorted triples through a bounded
 /// read buffer, whichever format the writer chose.
 #[derive(Debug)]
 pub struct SpillReader {
-    reader: BufReader<File>,
+    buf: SpillBuf,
     rows: usize,
     cols: usize,
     remaining: u64,
@@ -222,8 +332,8 @@ impl SpillReader {
     /// Opens a spill file, validates its header and selects the decoder
     /// for the format named by the magic.
     pub fn open(path: &Path) -> Result<Self, StreamError> {
-        let mut reader = BufReader::with_capacity(READ_BUF_BYTES, File::open(path)?);
-        let magic = read_u32(&mut reader)?;
+        let mut buf = SpillBuf::new(File::open(path)?);
+        let magic = read_u32(&mut buf)?;
         let delta = match magic {
             MAGIC_RAW => None,
             MAGIC_VARINT => Some(DeltaState::new()),
@@ -234,11 +344,11 @@ impl SpillReader {
                 )))
             }
         };
-        let rows = read_u64(&mut reader)? as usize;
-        let cols = read_u64(&mut reader)? as usize;
-        let remaining = read_u64(&mut reader)?;
+        let rows = read_u64(&mut buf)? as usize;
+        let cols = read_u64(&mut buf)? as usize;
+        let remaining = read_u64(&mut buf)?;
         Ok(SpillReader {
-            reader,
+            buf,
             rows,
             cols,
             remaining,
@@ -251,6 +361,11 @@ impl SpillReader {
         (self.rows, self.cols)
     }
 
+    /// Entries not yet decoded.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
     /// The next triple in `(row, col)` order, or `None` at the end.
     pub fn next_triple(&mut self) -> Result<Option<Triple>, StreamError> {
         if self.remaining == 0 {
@@ -259,13 +374,83 @@ impl SpillReader {
         self.remaining -= 1;
         match &mut self.delta {
             None => {
-                let r = read_u32(&mut self.reader)?;
-                let c = read_u32(&mut self.reader)?;
-                let bits = read_u64(&mut self.reader)?;
+                let r = read_u32(&mut self.buf)?;
+                let c = read_u32(&mut self.buf)?;
+                let bits = read_u64(&mut self.buf)?;
                 Ok(Some((r as Index, c as Index, f64::from_bits(bits))))
             }
-            Some(state) => Ok(Some(state.decode(&mut self.reader)?)),
+            Some(state) => Ok(Some(state.decode(&mut self.buf)?)),
         }
+    }
+
+    /// Decodes up to `max` entries in one batch into the caller's scratch
+    /// columns — packed `(row << 32) | col` keys plus values — returning
+    /// how many were produced (0 only at the end of the file). This is
+    /// the merge kernel's fast path: whole buffered spans decode with
+    /// slice arithmetic instead of per-field `Read` calls, and the
+    /// delta/varint state machine is shared with the per-triple path.
+    pub fn next_chunk(
+        &mut self,
+        max: usize,
+        keys: &mut Vec<u64>,
+        vals: &mut Vec<f64>,
+    ) -> Result<usize, StreamError> {
+        keys.clear();
+        vals.clear();
+        let take = max.min(self.remaining as usize);
+        let SpillReader { buf, delta, .. } = self;
+        match delta {
+            None => {
+                let mut got = 0usize;
+                while got < take {
+                    let avail = buf.ensure(RAW_ENTRY_BYTES as usize)?;
+                    if avail < RAW_ENTRY_BYTES as usize {
+                        return Err(StreamError::Io(
+                            "spill file truncated mid-entry (raw)".into(),
+                        ));
+                    }
+                    let span = (avail / RAW_ENTRY_BYTES as usize).min(take - got);
+                    let bytes = span * RAW_ENTRY_BYTES as usize;
+                    for rec in buf.buffered()[..bytes].chunks_exact(RAW_ENTRY_BYTES as usize) {
+                        let r = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+                        let c = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+                        let bits = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+                        keys.push(pack_key(r, c));
+                        vals.push(f64::from_bits(bits));
+                    }
+                    buf.consume(bytes);
+                    got += span;
+                }
+            }
+            Some(state) => {
+                let mut got = 0usize;
+                while got < take {
+                    let avail = buf.ensure(MAX_VARINT_ENTRY_BYTES)?;
+                    if avail >= MAX_VARINT_ENTRY_BYTES {
+                        // Slice span: decode entries while a worst-case
+                        // entry still fits entirely in the buffer.
+                        let span = buf.buffered();
+                        let mut i = 0usize;
+                        while got < take && span.len() - i >= MAX_VARINT_ENTRY_BYTES {
+                            let (r, c, v) = state.decode_slice(span, &mut i)?;
+                            keys.push(pack_key(r, c));
+                            vals.push(v);
+                            got += 1;
+                        }
+                        buf.consume(i);
+                    } else {
+                        // File tail: fall back to the bounds-checked
+                        // per-field path for the last few entries.
+                        let (r, c, v) = state.decode(buf)?;
+                        keys.push(pack_key(r, c));
+                        vals.push(v);
+                        got += 1;
+                    }
+                }
+            }
+        }
+        self.remaining -= take as u64;
+        Ok(take)
     }
 
     /// Drains the whole file into a CSR — the non-streaming fallback used
@@ -276,6 +461,69 @@ impl SpillReader {
             b.push(r, c, v);
         }
         Ok(b.finish())
+    }
+}
+
+/// Packs `(row, col)` into the single `u64` sort key the chunked merge
+/// kernel compares: row in the high 32 bits, column in the low 32, so
+/// key order is exactly `(row, col)` lexicographic order.
+pub(crate) fn pack_key(r: Index, c: Index) -> u64 {
+    ((r as u64) << 32) | c as u64
+}
+
+/// Decodes one LEB128 value from `buf` at `*i`, advancing `i`. The
+/// caller guarantees at least 8 readable bytes past `*i` (the batch
+/// decoder's look-ahead invariant), which lets every 1–8-byte encoding —
+/// all coordinates and almost all values the writer emits — decode from
+/// a single `u64` load with a branch-free continuation scan instead of a
+/// byte-at-a-time loop.
+fn take_varint(buf: &[u8], i: &mut usize) -> Result<u64, StreamError> {
+    let word = u64::from_le_bytes(buf[*i..*i + 8].try_into().expect("8 bytes ensured"));
+    // A clear top bit marks the final byte of the varint; the lowest
+    // clear top bit tells us how many bytes the encoding spans.
+    let stops = !word & 0x8080_8080_8080_8080;
+    if stops != 0 {
+        let n = stops.trailing_zeros() as usize / 8 + 1;
+        let word = if n == 8 {
+            word
+        } else {
+            word & ((1u64 << (n * 8)) - 1)
+        };
+        let mut value = 0u64;
+        for k in 0..n {
+            value |= ((word >> (k * 8)) & 0x7f) << (k * 7);
+        }
+        *i += n;
+        Ok(value)
+    } else {
+        take_varint_slow(buf, i)
+    }
+}
+
+/// The checked per-byte path behind [`take_varint`]: 9–10-byte
+/// encodings plus corrupt continuation runs, enforcing the same length
+/// and overflow rules as [`read_varint`].
+fn take_varint_slow(buf: &[u8], i: &mut usize) -> Result<u64, StreamError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*i) else {
+            return Err(StreamError::Io("varint truncated".into()));
+        };
+        *i += 1;
+        let bits = u64::from(byte & 0x7f);
+        let shifted = bits << shift;
+        if shifted >> shift != bits {
+            return Err(StreamError::Io("varint overflows u64".into()));
+        }
+        value |= shifted;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(StreamError::Io("varint longer than 10 bytes".into()));
+        }
     }
 }
 
@@ -340,31 +588,29 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64, StreamError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tempdir::TempDir;
     use sparch_sparse::gen;
-
-    fn temp_path(tag: &str) -> PathBuf {
-        std::env::temp_dir().join(format!("sparch_spill_{tag}_{}.bin", std::process::id()))
-    }
 
     #[test]
     fn raw_round_trips_through_disk() {
+        let dir = TempDir::new("spill_roundtrip");
         let m = gen::uniform_random(20, 30, 120, 5);
-        let path = temp_path("roundtrip");
+        let path = dir.file("roundtrip.bin");
         let file = write_partial(&path, &m, SpillCodec::Raw).unwrap();
         assert_eq!(file.bytes, 28 + 16 * m.nnz() as u64);
         assert_eq!(file.bytes, std::fs::metadata(&path).unwrap().len());
         let reader = SpillReader::open(&path).unwrap();
         assert_eq!(reader.shape(), (20, 30));
         assert_eq!(reader.read_all().unwrap(), m);
-        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn varint_round_trips_and_shrinks_small_int_values() {
+        let dir = TempDir::new("spill_varint");
         let m = sparch_sparse::linalg::map_values(&gen::uniform_random(24, 24, 150, 7), |v| {
             (v * 4.0).round()
         });
-        let path = temp_path("varint");
+        let path = dir.file("varint.bin");
         let file = write_partial(&path, &m, SpillCodec::Varint).unwrap();
         assert_eq!(file.bytes, std::fs::metadata(&path).unwrap().len());
         assert!(
@@ -374,14 +620,14 @@ mod tests {
             raw_size(&m)
         );
         assert_eq!(SpillReader::open(&path).unwrap().read_all().unwrap(), m);
-        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn both_codecs_stream_in_sorted_order() {
+        let dir = TempDir::new("spill_sorted");
         let m = gen::rmat_graph500(32, 4, 9);
         for codec in [SpillCodec::Raw, SpillCodec::Varint] {
-            let path = temp_path(&format!("sorted_{codec}"));
+            let path = dir.file(&format!("sorted_{codec}.bin"));
             write_partial(&path, &m, codec).unwrap();
             let mut reader = SpillReader::open(&path).unwrap();
             let mut triples = Vec::new();
@@ -392,43 +638,113 @@ mod tests {
             assert!(triples
                 .windows(2)
                 .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
-            let _ = std::fs::remove_file(&path);
         }
     }
 
     #[test]
     fn explicit_zeros_and_negative_zero_survive_both_codecs() {
+        let dir = TempDir::new("spill_zeros");
         let m = Csr::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![0.0, -0.0]).unwrap();
         for codec in [SpillCodec::Raw, SpillCodec::Varint] {
-            let path = temp_path(&format!("zeros_{codec}"));
+            let path = dir.file(&format!("zeros_{codec}.bin"));
             write_partial(&path, &m, codec).unwrap();
             let back = SpillReader::open(&path).unwrap().read_all().unwrap();
             assert_eq!(back.nnz(), 2);
             assert_eq!(back.values()[0].to_bits(), 0.0f64.to_bits(), "{codec}");
             assert_eq!(back.values()[1].to_bits(), (-0.0f64).to_bits(), "{codec}");
-            let _ = std::fs::remove_file(&path);
         }
     }
 
     #[test]
     fn varint_never_exceeds_raw_and_empty_falls_back() {
+        let dir = TempDir::new("spill_fallback");
         // An empty partial is header-only in both formats, so varint is
         // not strictly smaller and the writer must emit the raw magic.
         let empty = Csr::zero(4, 4);
-        let path = temp_path("empty");
+        let path = dir.file("empty.bin");
         let file = write_partial(&path, &empty, SpillCodec::Varint).unwrap();
         assert_eq!(file.bytes, 28);
         assert_eq!(SpillReader::open(&path).unwrap().read_all().unwrap(), empty);
-        let _ = std::fs::remove_file(&path);
 
         // Incompressible values (full-mantissa floats) still never cost
         // more than raw, thanks to the per-file fallback.
         let m = gen::uniform_random(16, 16, 80, 3);
-        let path = temp_path("fallback");
+        let path = dir.file("fallback.bin");
         let file = write_partial(&path, &m, SpillCodec::Varint).unwrap();
         assert!(file.bytes <= raw_size(&m));
         assert_eq!(SpillReader::open(&path).unwrap().read_all().unwrap(), m);
-        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The batch decoder must produce exactly the per-triple stream, in
+    /// every chunk-size regime: chunks smaller than the file, bigger
+    /// than the file, and size 1 (all slow-path tail decoding).
+    #[test]
+    fn chunked_decode_matches_per_triple_decode() {
+        let dir = TempDir::new("spill_chunks");
+        let int = sparch_sparse::linalg::map_values(&gen::uniform_random(40, 50, 600, 11), |v| {
+            (v * 8.0).round()
+        });
+        let float = gen::uniform_random(40, 50, 600, 13);
+        for (tag, m) in [("int", &int), ("float", &float)] {
+            for codec in [SpillCodec::Raw, SpillCodec::Varint] {
+                let path = dir.file(&format!("chunk_{tag}_{codec}.bin"));
+                write_partial(&path, m, codec).unwrap();
+                let expected: Vec<(u64, u64)> = m
+                    .iter()
+                    .map(|(r, c, v)| (pack_key(r, c), v.to_bits()))
+                    .collect();
+                for chunk in [1usize, 7, 256, usize::MAX] {
+                    let mut reader = SpillReader::open(&path).unwrap();
+                    let (mut keys, mut vals) = (Vec::new(), Vec::new());
+                    let mut got = Vec::new();
+                    loop {
+                        let n = reader.next_chunk(chunk, &mut keys, &mut vals).unwrap();
+                        if n == 0 {
+                            break;
+                        }
+                        assert_eq!(keys.len(), n);
+                        assert_eq!(vals.len(), n);
+                        got.extend(keys.iter().zip(&vals).map(|(&k, &v)| (k, v.to_bits())));
+                    }
+                    assert_eq!(got, expected, "{tag} {codec} chunk {chunk}");
+                    assert_eq!(reader.remaining(), 0);
+                }
+            }
+        }
+    }
+
+    /// Slice varint decoding agrees with the `Read`-based decoder for
+    /// every encoding length, including the 10-byte maximum that takes
+    /// the checked slow path.
+    #[test]
+    fn take_varint_matches_read_varint() {
+        let samples = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            (1 << 56) - 1,
+            1 << 56,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for v in samples {
+            write_varint(&mut buf, v).unwrap();
+        }
+        // Pad so the fast path's 8-byte look-ahead holds at every entry.
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut i = 0usize;
+        for v in samples {
+            assert_eq!(take_varint(&buf, &mut i).unwrap(), v);
+        }
+        // Corrupt continuation runs fail like read_varint, never panic.
+        let mut bad = vec![0xffu8; 11];
+        bad.extend_from_slice(&[0u8; 16]);
+        assert!(take_varint(&bad, &mut 0).is_err());
     }
 
     #[test]
@@ -466,17 +782,18 @@ mod tests {
 
     #[test]
     fn bad_magic_is_an_io_error() {
-        let path = temp_path("badmagic");
+        let dir = TempDir::new("spill_badmagic");
+        let path = dir.file("badmagic.bin");
         std::fs::write(&path, [0u8; 64]).unwrap();
         assert!(matches!(SpillReader::open(&path), Err(StreamError::Io(_))));
-        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn truncated_files_are_io_errors() {
+        let dir = TempDir::new("spill_truncated");
         let m = gen::uniform_random(8, 8, 20, 1);
         for codec in [SpillCodec::Raw, SpillCodec::Varint] {
-            let path = temp_path(&format!("truncated_{codec}"));
+            let path = dir.file(&format!("truncated_{codec}.bin"));
             write_partial(&path, &m, codec).unwrap();
             let full = std::fs::read(&path).unwrap();
             std::fs::write(&path, &full[..full.len() - 5]).unwrap();
@@ -485,7 +802,6 @@ mod tests {
                 matches!(reader.read_all(), Err(StreamError::Io(_))),
                 "{codec}"
             );
-            let _ = std::fs::remove_file(&path);
         }
     }
 }

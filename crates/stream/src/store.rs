@@ -18,8 +18,9 @@
 use crate::spill::{raw_size, write_partial, SpillFile, SpillReader};
 use crate::{MemoryBudget, SpillCodec, StreamError};
 use sparch_sparse::Csr;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
+use std::sync::mpsc::SyncSender;
 
 /// Running spill/residency telemetry, folded into the executor's report.
 #[derive(Debug, Default, Clone)]
@@ -31,9 +32,24 @@ pub(crate) struct StoreStats {
     /// What the same spills would have cost in the raw format — the
     /// codec's savings denominator.
     pub spill_bytes_raw_equivalent: u64,
-    /// Wall time spent encoding + writing spill files (the merge/spill
-    /// stage's disk half; overlaps the reader and multiply stages).
+    /// Wall time spent encoding + writing spill files. With a writer
+    /// thread installed this runs entirely off the orchestrator, so it
+    /// overlaps every other stage.
     pub spill_write_seconds: f64,
+    /// Spill writes handed to the dedicated writer thread instead of
+    /// blocking the merge/spill orchestrator.
+    pub spill_writeback_offloaded: u64,
+}
+
+/// One spill write handed to the dedicated writer thread: the partial to
+/// encode plus where it goes. The store already un-counted its bytes —
+/// the writer owns the only copy until the write completes.
+#[derive(Debug)]
+pub(crate) struct SpillJob {
+    pub id: usize,
+    pub path: PathBuf,
+    pub csr: Csr,
+    pub codec: SpillCodec,
 }
 
 /// One merge-round input, as handed to the k-way merge: either a resident
@@ -65,6 +81,14 @@ pub(crate) struct PartialStore {
     /// `consumers[node] = round that consumes it`, known once the merge
     /// plan is built; enables exact farthest-future-use eviction.
     consumers: Option<Vec<usize>>,
+    /// Where spill writes go when write-back is offloaded to the writer
+    /// thread; `None` writes inline (the seed behavior, kept for unit
+    /// tests and as the no-pipeline fallback).
+    sink: Option<SyncSender<SpillJob>>,
+    /// Nodes whose spill write is in flight on the writer thread: not
+    /// resident, not yet readable. [`PartialStore::available`] is false
+    /// until [`PartialStore::complete_spill`] lands.
+    spilling: HashSet<usize>,
     stats: StoreStats,
 }
 
@@ -81,6 +105,8 @@ impl PartialStore {
             pinned: HashMap::new(),
             pending_delete: HashMap::new(),
             consumers: None,
+            sink: None,
+            spilling: HashSet::new(),
             stats: StoreStats::default(),
         }
     }
@@ -89,6 +115,48 @@ impl PartialStore {
     /// from the largest-first heuristic to exact farthest-future-use.
     pub fn set_consumers(&mut self, consumers: Vec<usize>) {
         self.consumers = Some(consumers);
+    }
+
+    /// Routes spill writes through the dedicated writer thread from now
+    /// on. The caller must feed every resulting [`SpillJob`] outcome back
+    /// via [`PartialStore::complete_spill`].
+    pub fn set_spill_sink(&mut self, sink: SyncSender<SpillJob>) {
+        self.sink = Some(sink);
+    }
+
+    /// Drops the writer-thread sink (disconnecting the writer once the
+    /// last in-flight job drains); later spills, if any, write inline.
+    pub fn remove_spill_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Whether node `id` can be taken right now: resident, or spilled
+    /// with the write completed. False while its write-back is still in
+    /// flight on the writer thread.
+    pub fn available(&self, id: usize) -> bool {
+        self.resident.contains_key(&id) || self.spilled.contains_key(&id)
+    }
+
+    /// Spill writes currently in flight on the writer thread.
+    pub fn spills_in_flight(&self) -> usize {
+        self.spilling.len()
+    }
+
+    /// Records the writer thread's outcome for node `id`: on success the
+    /// node becomes readable (and the byte/time counters land); an I/O
+    /// failure is returned for the orchestrator to report.
+    pub fn complete_spill(
+        &mut self,
+        id: usize,
+        outcome: Result<(SpillFile, u64, f64), StreamError>,
+    ) -> Result<(), StreamError> {
+        assert!(self.spilling.remove(&id), "spill {id} was not in flight");
+        let (file, raw_equivalent, seconds) = outcome?;
+        self.stats.spill_bytes_written += file.bytes;
+        self.stats.spill_bytes_raw_equivalent += raw_equivalent;
+        self.stats.spill_write_seconds += seconds;
+        self.spilled.insert(id, file);
+        Ok(())
     }
 
     /// Accepts a freshly produced partial. If it does not fit alongside
@@ -104,7 +172,7 @@ impl PartialStore {
             }
         }
         if self.live_bytes.saturating_add(bytes) > self.budget {
-            self.spill(id, &csr)?;
+            self.spill(id, csr)?;
             return Ok(());
         }
         self.resident.insert(id, csr);
@@ -117,6 +185,10 @@ impl PartialStore {
     /// against the budget (they remain in memory while the round runs);
     /// spilled partials come back as a bounded-buffer streaming reader.
     pub fn take(&mut self, id: usize) -> Result<Taken, StreamError> {
+        debug_assert!(
+            !self.spilling.contains(&id),
+            "partial {id} taken while its spill write is in flight"
+        );
         if let Some(csr) = self.resident.remove(&id) {
             self.pinned.insert(id, csr.estimated_bytes());
             return Ok(Taken::Mem(csr));
@@ -198,21 +270,38 @@ impl PartialStore {
         };
         let csr = self.resident.remove(&id).expect("victim is resident");
         self.live_bytes -= csr.estimated_bytes();
-        self.spill(id, &csr)?;
+        self.spill(id, csr)?;
         Ok(true)
     }
 
-    fn spill(&mut self, id: usize, csr: &Csr) -> Result<(), StreamError> {
-        let t0 = std::time::Instant::now();
+    /// Writes node `id` out — through the writer thread when a sink is
+    /// installed (the partial's bytes travel with the job and are no
+    /// longer the store's), inline otherwise.
+    fn spill(&mut self, id: usize, csr: Csr) -> Result<(), StreamError> {
         if !self.dir_created {
             std::fs::create_dir_all(&self.spill_dir)?;
             self.dir_created = true;
         }
         let path = self.spill_dir.join(format!("partial-{id}.bin"));
-        let file = write_partial(&path, csr, self.codec)?;
         self.stats.spill_writes += 1;
+        if let Some(sink) = self.sink.clone() {
+            let codec = self.codec;
+            sink.send(SpillJob {
+                id,
+                path,
+                csr,
+                codec,
+            })
+            .map_err(|_| StreamError::Io("spill writer thread is gone".into()))?;
+            self.spilling.insert(id);
+            self.stats.spill_writeback_offloaded += 1;
+            return Ok(());
+        }
+        let t0 = std::time::Instant::now();
+        let raw = raw_size(&csr);
+        let file = write_partial(&path, &csr, self.codec)?;
         self.stats.spill_bytes_written += file.bytes;
-        self.stats.spill_bytes_raw_equivalent += raw_size(csr);
+        self.stats.spill_bytes_raw_equivalent += raw;
         self.stats.spill_write_seconds += t0.elapsed().as_secs_f64();
         self.spilled.insert(id, file);
         Ok(())

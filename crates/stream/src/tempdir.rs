@@ -1,0 +1,84 @@
+//! Panic-safe temporary-directory guard for this crate's tests.
+//!
+//! `#[doc(hidden)]` public so both the unit tests in `src/` and the
+//! integration suites under `tests/` share one implementation. A failed
+//! assertion unwinds through [`TempDir::drop`], which removes the whole
+//! directory — no more spill/merge fixtures leaking into `/tmp` when a
+//! test dies between `write_partial` and its `remove_file`.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes guards created in the same process (tests run
+/// concurrently inside one binary).
+static GUARD_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// An owned temporary directory, removed — with everything in it — when
+/// the guard drops, including on panic unwind.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `sparch_test_<tag>_<pid>_<seq>` under the system temp dir.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — tests have no
+    /// meaningful way to continue without their scratch space.
+    pub fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "sparch_test_{tag}_{}_{}",
+            std::process::id(),
+            GUARD_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create test temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for `name` inside the directory (nothing is created).
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_directory_and_contents_on_drop() {
+        let keep;
+        {
+            let dir = TempDir::new("guard");
+            keep = dir.path().to_path_buf();
+            std::fs::write(dir.file("a.bin"), b"x").unwrap();
+            assert!(keep.exists());
+        }
+        assert!(!keep.exists(), "guard must sweep its directory");
+    }
+
+    #[test]
+    fn removes_directory_on_panic_unwind() {
+        let dir = TempDir::new("unwind");
+        let path = dir.path().to_path_buf();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            std::fs::write(dir.file("leak.bin"), b"x").unwrap();
+            panic!("simulated assertion failure");
+        }));
+        assert!(outcome.is_err());
+        assert!(!path.exists(), "unwind must still sweep the directory");
+    }
+}

@@ -201,16 +201,23 @@ fn peak_live_bytes_respect_the_budget_with_both_operands_streamed() {
     // up to 4 panel pairs alive in the pipeline (bounded job channel of
     // threads + 1, one in the worker's hands, one being read), plus one
     // pair's worth of COO-to-CSR conversion headroom in the mm reader;
-    // `threads` un-inserted partials in the bounded result channel; the
-    // merge output under construction — any merged coordinate set is a
-    // subset of the final result's, so it is bounded by the result's
-    // footprint, times 3 for the instant a Vec-doubling realloc holds
-    // old and new storage at once; spill I/O buffers, the plan and heap
-    // bookkeeping under the fixed slack.
+    // up to 8 partial-sized buffers outside the store's accounting — on
+    // the multiply side one under construction in the worker (2× at the
+    // instant of a Vec-doubling realloc), one published into the event
+    // queue awaiting consumption (the `Permits` gate caps these at
+    // `threads`), one just consumed mid-insert; on the spill-writer side
+    // one queued in the hand-off channel, one being encoded, plus the
+    // writer's encode buffer at raw-equivalent size (≤ 2× a partial's
+    // in-memory footprint); and the merge output under construction —
+    // its coordinate set is a subset of the final result's and the
+    // builder is pre-sized to the round's summed input non-zeros, at
+    // most `merge_ways` (3 here) times the result's footprint; spill
+    // I/O buffers, merge scratch lanes, the plan and heap bookkeeping
+    // under the fixed slack.
     let result_bytes = expected.estimated_bytes();
     let slack = 512 << 10;
     let transients = 8 * pair_max + slack;
-    let bound = budget + 2 * report.largest_partial_bytes + 3 * result_bytes + transients;
+    let bound = budget + 8 * report.largest_partial_bytes + 3 * result_bytes + transients;
     assert!(
         streamed_peak <= bound,
         "allocator peak {streamed_peak} exceeds bound {bound} \

@@ -1,0 +1,178 @@
+//! The parallel merge stage's determinism contract.
+//!
+//! The Huffman plan fixes every round's children before any round runs,
+//! so however rounds interleave across merge workers, each one folds the
+//! same inputs in the same order — results must be **bit-identical** to
+//! the serial (one merge worker, one thread, in-core, raw codec)
+//! reference at every merge-worker count, thread count, budget (zero
+//! budget = every round reads all-spilled children) and spill codec.
+//! Float values make this the strongest possible check: one reordered
+//! fold would shift ulps and fail `assert_eq!`.
+
+use proptest::prelude::*;
+use sparch_sparse::gen::arb::{self, ValueClass};
+use sparch_sparse::{algo, gen, linalg, Csr};
+use sparch_stream::{MemoryBudget, PanelBalance, SpillCodec, StreamConfig, StreamingExecutor};
+
+const WAYS: [usize; 3] = [2, 4, 8];
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+#[allow(clippy::too_many_arguments)]
+fn exec(
+    budget: u64,
+    panels: usize,
+    threads: usize,
+    merge_workers: usize,
+    ways: usize,
+    codec: SpillCodec,
+    balance: PanelBalance,
+) -> StreamingExecutor {
+    StreamingExecutor::new(StreamConfig {
+        budget: MemoryBudget::from_bytes(budget),
+        panels,
+        balance,
+        merge_ways: ways,
+        spill_codec: codec,
+        threads: Some(threads),
+        merge_workers: Some(merge_workers),
+        spill_dir: None,
+    })
+}
+
+/// The serial reference at the same (panels, balance, ways) — the only
+/// knobs the fold order may depend on.
+fn serial_reference(a: &Csr, b: &Csr, panels: usize, ways: usize, balance: PanelBalance) -> Csr {
+    exec(u64::MAX, panels, 1, 1, ways, SpillCodec::Raw, balance)
+        .multiply(a, b)
+        .expect("serial reference multiply failed")
+        .0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_merge_is_bit_identical_to_serial(
+        pair in arb::spgemm_pair(22, 80, ValueClass::Float),
+        ways in prop_oneof![Just(WAYS[0]), Just(WAYS[1]), Just(WAYS[2])],
+        workers in prop_oneof![Just(WORKERS[0]), Just(WORKERS[1]), Just(WORKERS[2])],
+        budget in prop_oneof![Just(0u64), Just(u64::MAX)],
+        codec in prop_oneof![Just(SpillCodec::Raw), Just(SpillCodec::Varint)],
+        balance in prop_oneof![Just(PanelBalance::Uniform), Just(PanelBalance::Nnz)],
+    ) {
+        let (a, b) = pair;
+        let reference = serial_reference(&a, &b, 5, ways, balance);
+        let (c, report) = exec(budget, 5, 2, workers, ways, codec, balance)
+            .multiply(&a, &b)
+            .expect("parallel multiply failed");
+        prop_assert_eq!(c, reference, "ways {} workers {} budget {} {} {}", ways, workers, budget, codec, balance);
+        prop_assert!(report.peak_live_bytes <= budget);
+    }
+}
+
+/// The deterministic tour of the same grid, every combination by name,
+/// including 8 threads (more workers than panels) and telemetry sanity.
+#[test]
+fn merge_worker_grid_sweep() {
+    let pairs = arb::spgemm_pair(24, 90, ValueClass::Float);
+    for seed in 0..3 {
+        let (a, b) = arb::sample(&pairs, seed);
+        for ways in WAYS {
+            let reference = serial_reference(&a, &b, 6, ways, PanelBalance::Nnz);
+            for workers in WORKERS {
+                for threads in [1, 2, 8] {
+                    for budget in [0, u64::MAX] {
+                        let (c, report) = exec(
+                            budget,
+                            6,
+                            threads,
+                            workers,
+                            ways,
+                            SpillCodec::Varint,
+                            PanelBalance::Nnz,
+                        )
+                        .multiply(&a, &b)
+                        .expect("multiply failed");
+                        assert_eq!(
+                            c, reference,
+                            "seed {seed} ways {ways} workers {workers} \
+                             threads {threads} budget {budget}"
+                        );
+                        let stages = &report.stages;
+                        assert!(stages.rounds_merged_concurrently <= report.merge_rounds as u64);
+                        assert!(stages.merge_kernel_seconds <= stages.merge_busy_seconds);
+                        if report.merge_rounds > 0 {
+                            // Every round consumes at least its output's
+                            // worth of triples.
+                            assert!(stages.merge_triples >= report.output_nnz as u64);
+                        }
+                        if budget == 0 {
+                            // Every spill went through the writer thread.
+                            assert_eq!(stages.spill_writeback_offloaded, report.spill_writes);
+                            assert!(report.spill_writes >= report.partials as u64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Zero budget forces every merge round to stream *all* of its children
+/// from disk — the all-spilled regime — while the rounds themselves run
+/// on parallel workers. Results must still match `gustavson` exactly
+/// (integer values ⇒ bit-identical), and the offload accounting must
+/// cover every write.
+#[test]
+fn all_spilled_rounds_merge_in_parallel() {
+    let a = linalg::map_values(&gen::uniform_random(120, 120, 1400, 9), |v| {
+        (v * 4.0).round()
+    });
+    let expected = algo::gustavson(&a, &a);
+    for workers in [2, 8] {
+        let (c, report) = exec(0, 11, 2, workers, 3, SpillCodec::Varint, PanelBalance::Nnz)
+            .multiply(&a, &a)
+            .expect("all-spilled multiply failed");
+        assert_eq!(c, expected, "workers {workers}");
+        assert!(report.merge_rounds >= 4, "want a deep plan: {report:?}");
+        assert_eq!(report.peak_live_bytes, 0);
+        assert!(report.spill_writes >= report.partials as u64);
+        assert_eq!(
+            report.stages.spill_writeback_offloaded, report.spill_writes,
+            "every spill write must ride the writer thread"
+        );
+        assert!(
+            report.stages.spill_write_seconds > 0.0,
+            "offloaded writes must still be timed"
+        );
+        assert!(report.stages.merge_triples > 0);
+    }
+}
+
+/// On a workload with several independent rounds and long multiplies,
+/// the scheduler overlaps rounds with other in-flight work. Scheduling
+/// noise on a loaded machine can serialize one run, so this asserts the
+/// counter over a handful of attempts — any single success proves the
+/// concurrent path is wired.
+#[test]
+fn parallel_rounds_actually_overlap() {
+    let a = linalg::map_values(&gen::uniform_random(160, 160, 3200, 5), |v| {
+        (v * 4.0).round()
+    });
+    let expected = algo::gustavson(&a, &a);
+    let mut best = 0u64;
+    for _attempt in 0..5 {
+        let (c, report) = exec(u64::MAX, 8, 2, 2, 2, SpillCodec::Raw, PanelBalance::Nnz)
+            .multiply(&a, &a)
+            .expect("multiply failed");
+        assert_eq!(c, expected);
+        best = best.max(report.stages.rounds_merged_concurrently);
+        if best > 0 {
+            break;
+        }
+    }
+    assert!(
+        best >= 1,
+        "no merge round ever overlapped other in-flight work across 5 runs"
+    );
+}

@@ -14,19 +14,8 @@ use proptest::prelude::*;
 use sparch_sparse::gen::arb::{self, ValueClass};
 use sparch_sparse::Csr;
 use sparch_stream::spill::{raw_size, varint_size, write_partial, SpillReader};
+use sparch_stream::tempdir::TempDir;
 use sparch_stream::SpillCodec;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-static FILE_SEQ: AtomicU64 = AtomicU64::new(0);
-
-fn temp_path(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!(
-        "sparch_codec_{tag}_{}_{}.bin",
-        std::process::id(),
-        FILE_SEQ.fetch_add(1, Ordering::Relaxed)
-    ))
-}
 
 /// Bit-exact equality: `Csr == Csr` compares values with `f64::eq`,
 /// which conflates `0.0` with `-0.0`; the codec contract is stronger.
@@ -52,8 +41,9 @@ fn assert_bits_identical(back: &Csr, original: &Csr, what: &str) {
 /// Round-trips `m` through both codecs, checking bit-exactness and the
 /// varint-never-larger guarantee.
 fn check_roundtrip(m: &Csr) {
-    let raw_path = temp_path("raw");
-    let varint_path = temp_path("varint");
+    let dir = TempDir::new("codec");
+    let raw_path = dir.file("raw.bin");
+    let varint_path = dir.file("varint.bin");
     let raw = write_partial(&raw_path, m, SpillCodec::Raw).unwrap();
     let varint = write_partial(&varint_path, m, SpillCodec::Varint).unwrap();
     assert_eq!(raw.bytes, raw_size(m));
@@ -71,8 +61,6 @@ fn check_roundtrip(m: &Csr) {
     assert_bits_identical(&from_raw, m, "raw");
     let from_varint = SpillReader::open(&varint_path).unwrap().read_all().unwrap();
     assert_bits_identical(&from_varint, m, "varint");
-    let _ = std::fs::remove_file(&raw_path);
-    let _ = std::fs::remove_file(&varint_path);
 }
 
 proptest! {

@@ -339,6 +339,9 @@ fn cmd_stream(flags: &HashMap<String, String>) -> ExitCode {
         threads: flags
             .get("threads")
             .map(|v| v.parse().expect("--threads needs a number")),
+        merge_workers: flags
+            .get("merge-workers")
+            .map(|v| v.parse().expect("--merge-workers needs a number")),
         spill_dir: None,
     };
     let b_path = flags.get("b").unwrap_or(a_path);
