@@ -1,0 +1,209 @@
+//! Multiply-kernel snapshot: tracks the panel SpGEMM kernel's row
+//! throughput from PR to PR.
+//!
+//! Runs the multiply stage's actual workload — a tall matrix sliced into
+//! condensed column panels, each multiplied against the matching B row
+//! panel — through both kernels: the scratch-reusing
+//! [`gustavson_scratch_on_rows`] the pipeline workers run, and the seed
+//! [`gustavson_reference`], kept verbatim as the baseline. The panel
+//! sweep covers the regimes where the rewrite's three levers engage at
+//! different strengths: few wide panels (pre-sizing and SPA reuse), many
+//! narrow panels (the condensed row index — most A rows are empty in a
+//! narrow panel, and the reference still walks all of them). Emits
+//! `MULT_BENCH.json` with rows-per-second for both kernels per panel
+//! count plus the geometric-mean speedup. At the pinned default scale
+//! the snapshot asserts the rewrite holds its ≥ 1.3× advantage; explicit
+//! `--scale` runs (the CI smoke) only measure.
+//!
+//! ```console
+//! cargo run --release -p sparch-bench --bin multiply_snapshot
+//! cargo run --release -p sparch-bench --bin multiply_snapshot -- --scale 0.002 --json /tmp/MULT_BENCH.json
+//! ```
+
+use serde::Serialize;
+use sparch_bench::runner;
+use sparch_bench::{geomean, parse_args_from, ArgsOutcome, USAGE};
+use sparch_sparse::{algo, gen, Csr, Index};
+
+/// Pinned default scale (matches the other snapshot binaries).
+const SNAPSHOT_SCALE: f64 = 0.02;
+
+/// Panel counts measured: the executor's budget planner lands anywhere
+/// in this range depending on the memory budget.
+const PANELS: [usize; 3] = [4, 16, 64];
+
+/// Minimum measured time per (kernel, panel-count) cell, so per-run
+/// noise averages out even at tiny scales.
+const MIN_SECONDS: f64 = 0.3;
+const MIN_ITERS: usize = 3;
+
+#[derive(Serialize)]
+struct PanelRow {
+    panels: usize,
+    live_rows_total: usize,
+    flops: u64,
+    output_nnz: usize,
+    scratch_rows_per_second: f64,
+    reference_rows_per_second: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    scale: f64,
+    rows: usize,
+    cols: usize,
+    nnz_a: usize,
+    nnz_b: usize,
+    rows_by_panels: Vec<PanelRow>,
+    geomean_speedup: f64,
+}
+
+/// One pre-sliced multiply job: a condensed A column panel, its
+/// occupied-row index, and the matching B row panel.
+struct Job {
+    a: Csr,
+    live: Vec<Index>,
+    b: Csr,
+}
+
+/// Times `kernel` over repeated passes across `jobs` (slicing excluded —
+/// it happens once, outside) and returns (A rows covered / second, the
+/// per-job outputs of the last pass).
+fn bench<F>(rows: usize, jobs: &[Job], mut kernel: F) -> (f64, Vec<Csr>)
+where
+    F: FnMut(&Job) -> Csr,
+{
+    let mut seconds = 0.0;
+    let mut iters = 0usize;
+    let mut out = Vec::new();
+    while seconds < MIN_SECONDS || iters < MIN_ITERS {
+        out.clear();
+        let t0 = std::time::Instant::now();
+        for job in jobs {
+            out.push(kernel(job));
+        }
+        seconds += t0.elapsed().as_secs_f64();
+        iters += 1;
+    }
+    ((rows * jobs.len() * iters) as f64 / seconds.max(1e-9), out)
+}
+
+/// Σ over A entries of nnz(B row) — the multiplication count both
+/// kernels perform for one pass over `jobs`.
+fn flops(jobs: &[Job]) -> u64 {
+    jobs.iter()
+        .map(|job| {
+            (0..job.a.rows())
+                .flat_map(|i| job.a.row(i).0)
+                .map(|&k| job.b.row(k as usize).0.len() as u64)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+fn main() {
+    let mut args = match parse_args_from(std::env::args().skip(1)) {
+        Ok(ArgsOutcome::Parsed(args)) => args,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if !args.scale_explicit {
+        args.scale = SNAPSHOT_SCALE;
+    }
+
+    let rows = ((200_000.0 * args.scale) as usize).max(256);
+    // B is wide on purpose: the SPA arrays are O(cols), so this is the
+    // dimension that decides how much a kernel pays for not reusing them.
+    let cols = ((4_000_000.0 * args.scale) as usize).max(512);
+    let nnz_a = ((750_000.0 * args.scale) as usize).max(2_000);
+    let nnz_b = ((750_000.0 * args.scale) as usize).max(2_000);
+    let a = gen::uniform_random(rows, rows, nnz_a, 41);
+    let b = gen::uniform_random(rows, cols, nnz_b, 42);
+
+    println!(
+        "Multiply kernel snapshot — {rows}x{rows} * {rows}x{cols}, \
+         ~{nnz_a}/{nnz_b} nnz, scale {}",
+        args.scale
+    );
+
+    let mut rows_by_panels = Vec::new();
+    let mut scratch = algo::MultiplyScratch::new();
+    for panels in PANELS {
+        let width = rows.div_ceil(panels);
+        let jobs: Vec<Job> = (0..panels)
+            .map(|p| {
+                // Both ends clamp: at tiny scales the last panels can be
+                // empty, which is exactly what the executor hands workers
+                // when the planner over-partitions.
+                let range = (p * width).min(rows)..((p + 1) * width).min(rows);
+                let (a_panel, live) = a.col_panel_condensed(range.clone());
+                Job {
+                    a: a_panel,
+                    live,
+                    b: b.row_panel(range),
+                }
+            })
+            .collect();
+        let live_rows_total = jobs.iter().map(|j| j.live.len()).sum();
+
+        // One untimed pass warms the scratch: steady-state is what a
+        // pipeline worker sees on every job after its first.
+        for job in &jobs {
+            algo::gustavson_scratch_on_rows(&job.a, &job.b, &job.live, &mut scratch);
+        }
+        let (scratch_rps, outputs) = bench(rows, &jobs, |job| {
+            algo::gustavson_scratch_on_rows(&job.a, &job.b, &job.live, &mut scratch)
+        });
+        let (reference_rps, references) =
+            bench(rows, &jobs, |job| algo::gustavson_reference(&job.a, &job.b));
+        assert_eq!(outputs, references, "kernels disagree at {panels} panels");
+
+        let speedup = scratch_rps / reference_rps.max(1e-9);
+        println!(
+            "  {panels} panels: scratch {scratch_rps:.3e} rows/s vs reference \
+             {reference_rps:.3e} rows/s — {speedup:.2}x"
+        );
+        rows_by_panels.push(PanelRow {
+            panels,
+            live_rows_total,
+            flops: flops(&jobs),
+            output_nnz: outputs.iter().map(Csr::nnz).sum(),
+            scratch_rows_per_second: scratch_rps,
+            reference_rows_per_second: reference_rps,
+            speedup,
+        });
+    }
+
+    let speedups: Vec<f64> = rows_by_panels.iter().map(|r| r.speedup).collect();
+    let geomean_speedup = geomean(&speedups);
+    println!("geomean speedup: {geomean_speedup:.2}x");
+    if !args.scale_explicit {
+        assert!(
+            geomean_speedup >= 1.3,
+            "multiply kernel regressed below the 1.3x floor over the seed \
+             Gustavson kernel: {geomean_speedup:.2}x"
+        );
+    }
+
+    let snapshot = Snapshot {
+        scale: args.scale,
+        rows,
+        cols,
+        nnz_a,
+        nnz_b,
+        rows_by_panels,
+        geomean_speedup,
+    };
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("MULT_BENCH.json"));
+    runner::dump_json(&Some(path), &snapshot);
+}

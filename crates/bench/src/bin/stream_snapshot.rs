@@ -56,6 +56,8 @@ struct Snapshot {
     multiplies_per_second: f64,
     reader_busy_seconds: f64,
     multiply_busy_seconds: f64,
+    multiply_kernel_seconds: f64,
+    multiply_scratch_reuses: u64,
     merge_busy_seconds: f64,
     merge_kernel_seconds: f64,
     spill_write_seconds: f64,
@@ -178,6 +180,8 @@ fn main() {
         multiplies_per_second: multiplies as f64 / wall_seconds.max(1e-9),
         reader_busy_seconds: s.reader_busy_seconds,
         multiply_busy_seconds: s.multiply_busy_seconds,
+        multiply_kernel_seconds: s.multiply_kernel_seconds,
+        multiply_scratch_reuses: s.multiply_scratch_reuses,
         merge_busy_seconds: s.merge_busy_seconds,
         merge_kernel_seconds: s.merge_kernel_seconds,
         spill_write_seconds: s.spill_write_seconds,
@@ -214,12 +218,15 @@ fn main() {
         snapshot.spill_bytes_raw_equivalent
     );
     println!(
-        "stages: reader {:.4}s, multiply {:.4}s, merge {:.4}s (kernel {:.4}s, \
+        "stages: reader {:.4}s, multiply {:.4}s (kernel {:.4}s, \
+         {} warm scratch reuses), merge {:.4}s (kernel {:.4}s, \
          spill write {:.4}s off-thread x{}); \
          {} reads / {} rounds overlapped in-flight multiplies, \
          {} rounds ran concurrently with other work",
         snapshot.reader_busy_seconds,
         snapshot.multiply_busy_seconds,
+        snapshot.multiply_kernel_seconds,
+        snapshot.multiply_scratch_reuses,
         snapshot.merge_busy_seconds,
         snapshot.merge_kernel_seconds,
         snapshot.spill_write_seconds,

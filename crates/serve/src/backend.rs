@@ -94,7 +94,18 @@ impl Backend {
     /// contract).
     pub fn run(self, a: &Csr, b: &Csr) -> Csr {
         match self {
-            Backend::Gustavson => algo::gustavson(a, b),
+            Backend::Gustavson => {
+                // The panel kernel with a per-thread scratch: repeated
+                // requests on one serving thread reuse the warm SPA
+                // instead of allocating two O(b.cols()) arrays per call.
+                // Bit-identical to `algo::gustavson` — the cost model's
+                // asymptotics are unchanged, only the constants improve.
+                thread_local! {
+                    static SCRATCH: std::cell::RefCell<algo::MultiplyScratch> =
+                        std::cell::RefCell::new(algo::MultiplyScratch::new());
+                }
+                SCRATCH.with(|s| algo::gustavson_scratch(a, b, &mut s.borrow_mut()))
+            }
             Backend::Hash => algo::hash_spgemm(a, b),
             Backend::Heap => algo::heap_spgemm(a, b),
             Backend::SortMerge => algo::sort_merge(a, b),
@@ -189,6 +200,24 @@ mod tests {
             assert!(
                 backend.run(&a, &b).approx_eq(&reference, 1e-9),
                 "{backend} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn gustavson_backend_is_bit_identical_to_the_plain_kernel_across_requests() {
+        // The backend runs the scratch kernel behind a thread-local; the
+        // second and later requests hit warm scratch and must still be
+        // bit-identical to the one-shot kernel — varying shapes so the
+        // SPA both grows and shrinks its live region between requests.
+        for seed in 0..6u64 {
+            let cols = [16, 64, 8, 96, 24, 40][seed as usize];
+            let a = gen::uniform_random(20, 24, 90, seed);
+            let b = gen::uniform_random(24, cols, 80, seed + 100);
+            assert_eq!(
+                Backend::Gustavson.run(&a, &b),
+                sparch_sparse::algo::gustavson(&a, &b),
+                "seed {seed}"
             );
         }
     }

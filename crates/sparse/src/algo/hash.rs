@@ -11,8 +11,36 @@
 
 use crate::{Csr, CsrBuilder, Index};
 
-/// One open-addressing slot: empty is marked with `u32::MAX`.
-const EMPTY: Index = Index::MAX;
+/// Open-addressing table reused across output rows: grown once to the
+/// largest row's capacity, invalidated between rows by a generation stamp
+/// instead of an O(capacity) refill-with-EMPTY — the same
+/// scratch-reuse discipline as `MultiplyScratch`, retiring the seed's
+/// per-row `vec![EMPTY; capacity]` / `vec![0.0; capacity]` allocations.
+/// A slot is live for the current row iff its stamp matches; stale slots
+/// behave exactly like the seed's freshly-initialized EMPTY slots, so
+/// probe sequences (and therefore results) are unchanged.
+#[derive(Default)]
+struct RowHashScratch {
+    keys: Vec<Index>,
+    vals: Vec<f64>,
+    stamp: Vec<u64>,
+    generation: u64,
+}
+
+impl RowHashScratch {
+    /// Opens a new row needing `capacity` slots (a power of two); returns
+    /// the probe mask.
+    fn begin_row(&mut self, capacity: usize) -> usize {
+        if self.keys.len() < capacity {
+            self.keys.resize(capacity, 0);
+            self.vals.resize(capacity, 0.0);
+            self.stamp.resize(capacity, 0);
+        }
+        // Stamp 0 is reserved as "never touched" so fresh slots are stale.
+        self.generation += 1;
+        capacity - 1
+    }
+}
 
 /// Multiplies `a * b` with per-row hash-table accumulation.
 ///
@@ -21,8 +49,10 @@ const EMPTY: Index = Index::MAX;
 /// Panics if `a.cols() != b.rows()`.
 pub fn hash_spgemm(a: &Csr, b: &Csr) -> Csr {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    let mut out = CsrBuilder::with_capacity(a.rows(), b.cols(), a.nnz().max(b.nnz()));
+    let bound = super::output_nnz_bound(a, b);
+    let mut out = CsrBuilder::with_capacity(a.rows(), b.cols(), bound);
     let mut pairs: Vec<(Index, f64)> = Vec::new();
+    let mut table = RowHashScratch::default();
 
     for i in 0..a.rows() {
         // Upper bound on this row's fill = Σ nnz(B_k).
@@ -32,9 +62,8 @@ pub fn hash_spgemm(a: &Csr, b: &Csr) -> Csr {
             continue;
         }
         let capacity = (upper * 2).next_power_of_two();
-        let mask = capacity - 1;
-        let mut keys = vec![EMPTY; capacity];
-        let mut vals = vec![0.0f64; capacity];
+        let mask = table.begin_row(capacity);
+        let generation = table.generation;
 
         for (&k, &av) in ka.iter().zip(va) {
             let (jb, vb) = b.row(k as usize);
@@ -42,13 +71,14 @@ pub fn hash_spgemm(a: &Csr, b: &Csr) -> Csr {
                 // Multiplicative hashing (Knuth), linear probing.
                 let mut slot = (j as usize).wrapping_mul(0x9E37_79B9) & mask;
                 loop {
-                    if keys[slot] == j {
-                        vals[slot] += av * bv;
+                    if table.stamp[slot] != generation {
+                        table.stamp[slot] = generation;
+                        table.keys[slot] = j;
+                        table.vals[slot] = av * bv;
                         break;
                     }
-                    if keys[slot] == EMPTY {
-                        keys[slot] = j;
-                        vals[slot] = av * bv;
+                    if table.keys[slot] == j {
+                        table.vals[slot] += av * bv;
                         break;
                     }
                     slot = (slot + 1) & mask;
@@ -57,9 +87,9 @@ pub fn hash_spgemm(a: &Csr, b: &Csr) -> Csr {
         }
 
         pairs.clear();
-        for (slot, &key) in keys.iter().enumerate() {
-            if key != EMPTY {
-                pairs.push((key, vals[slot]));
+        for slot in 0..capacity {
+            if table.stamp[slot] == generation {
+                pairs.push((table.keys[slot], table.vals[slot]));
             }
         }
         pairs.sort_unstable_by_key(|&(j, _)| j);
@@ -77,14 +107,7 @@ mod tests {
 
     #[test]
     fn matches_gustavson_on_random() {
-        let pairs = gen::arb::spgemm_pair(25, 100, gen::arb::ValueClass::Float);
-        for seed in 0..5 {
-            let (a, b) = gen::arb::sample(&pairs, seed);
-            assert!(
-                hash_spgemm(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9),
-                "seed {seed}"
-            );
-        }
+        crate::algo::test_support::assert_matches_gustavson(hash_spgemm, 25, 100, 5);
     }
 
     #[test]

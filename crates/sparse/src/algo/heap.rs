@@ -29,7 +29,10 @@ struct Cursor {
 /// Panics if `a.cols() != b.rows()`.
 pub fn heap_spgemm(a: &Csr, b: &Csr) -> Csr {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    let mut out = CsrBuilder::with_capacity(a.rows(), b.cols(), a.nnz().max(b.nnz()));
+    // Pre-size from the true per-row flop bound (shared with the
+    // Gustavson kernels); the heap itself is reused across rows.
+    let bound = super::output_nnz_bound(a, b);
+    let mut out = CsrBuilder::with_capacity(a.rows(), b.cols(), bound);
     let mut heap: BinaryHeap<Reverse<Cursor>> = BinaryHeap::new();
 
     for i in 0..a.rows() {
@@ -77,18 +80,11 @@ pub fn heap_spgemm(a: &Csr, b: &Csr) -> Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{algo::gustavson, gen, Dense};
+    use crate::{gen, Dense};
 
     #[test]
     fn matches_gustavson_on_random() {
-        let pairs = gen::arb::spgemm_pair(22, 90, gen::arb::ValueClass::Float);
-        for seed in 0..5 {
-            let (a, b) = gen::arb::sample(&pairs, seed);
-            assert!(
-                heap_spgemm(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9),
-                "seed {seed}"
-            );
-        }
+        crate::algo::test_support::assert_matches_gustavson(heap_spgemm, 22, 90, 5);
     }
 
     #[test]

@@ -28,7 +28,10 @@ mod inner;
 mod outer;
 mod sort_merge;
 
-pub use gustavson::gustavson;
+pub use gustavson::{
+    gustavson, gustavson_reference, gustavson_scratch, gustavson_scratch_on_rows, output_nnz_bound,
+    MultiplyScratch,
+};
 pub use hash::hash_spgemm;
 pub use heap::heap_spgemm;
 pub use inner::{inner_product, inner_product_stats, InnerStats};
@@ -91,6 +94,32 @@ pub fn compression_factor(a: &Csr, b: &Csr) -> f64 {
         0.0
     } else {
         flops as f64 / nnz as f64
+    }
+}
+
+/// Shared differential harness for the per-row-accumulator kernels
+/// ([`hash_spgemm`], [`heap_spgemm`], …): every kernel is pinned against
+/// [`gustavson`] on the same deterministic `gen::arb` sample grid instead
+/// of each test re-rolling its own copy of the loop.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::gustavson;
+    use crate::{gen, Csr};
+
+    pub(crate) fn assert_matches_gustavson(
+        kernel: fn(&Csr, &Csr) -> Csr,
+        max_dim: usize,
+        max_nnz: usize,
+        seeds: u64,
+    ) {
+        let pairs = gen::arb::spgemm_pair(max_dim, max_nnz, gen::arb::ValueClass::Float);
+        for seed in 0..seeds {
+            let (a, b) = gen::arb::sample(&pairs, seed);
+            assert!(
+                kernel(&a, &b).approx_eq(&gustavson(&a, &b), 1e-9),
+                "kernel disagrees with gustavson on seed {seed}"
+            );
+        }
     }
 }
 

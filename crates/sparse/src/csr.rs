@@ -364,6 +364,64 @@ impl Csr {
         }
     }
 
+    /// Like [`Csr::col_panel`], but also returns the panel's occupied-row
+    /// index: the rows (in increasing order) that keep at least one entry
+    /// inside the panel. This is the condensed-matrix view of the paper's
+    /// §II-B applied at panel granularity — the multiply kernel
+    /// ([`crate::algo::gustavson_scratch_on_rows`]) then visits only these
+    /// rows instead of scanning all `rows()`, and the index costs nothing
+    /// extra because slicing walks every row anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > cols`.
+    pub fn col_panel_condensed(&self, range: std::ops::Range<usize>) -> (Csr, Vec<Index>) {
+        assert!(
+            range.start <= range.end && range.end <= self.cols,
+            "column panel {range:?} outside 0..{}",
+            self.cols
+        );
+        let (lo, hi) = (range.start as Index, range.end as Index);
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut live = Vec::new();
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let a = cols.partition_point(|&c| c < lo);
+            let b = cols.partition_point(|&c| c < hi);
+            if b > a {
+                live.push(r as Index);
+            }
+            col_idx.extend(cols[a..b].iter().map(|&c| c - lo));
+            values.extend_from_slice(&vals[a..b]);
+            row_ptr.push(col_idx.len());
+        }
+        (
+            Csr {
+                rows: self.rows,
+                cols: range.len(),
+                row_ptr,
+                col_idx,
+                values,
+            },
+            live,
+        )
+    }
+
+    /// The rows holding at least one stored entry, in increasing order —
+    /// the occupied-row index [`crate::algo::gustavson_scratch_on_rows`]
+    /// consumes when the matrix arrives pre-sliced (so no
+    /// [`Csr::col_panel_condensed`] pass saw it). One O(rows) sweep of the
+    /// row pointers.
+    pub fn occupied_rows(&self) -> Vec<Index> {
+        (0..self.rows)
+            .filter(|&r| self.row_ptr[r + 1] > self.row_ptr[r])
+            .map(|r| r as Index)
+            .collect()
+    }
+
     /// Extracts the row panel `A[lo..hi, :]` as a new `(hi-lo) × cols`
     /// matrix — the right-operand half of the streaming pipeline's panel
     /// split (see [`Csr::col_panel`]).
@@ -571,12 +629,20 @@ impl CsrBuilder {
         }
     }
 
-    /// Starts building with capacity for `nnz` non-zeros.
+    /// Starts building with capacity for `nnz` non-zeros. The row-pointer
+    /// array is reserved in full (`rows + 1` slots), so a builder fed a
+    /// true nnz upper bound performs exactly three allocations total.
     pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
-        let mut b = CsrBuilder::new(rows, cols);
-        b.col_idx.reserve(nnz);
-        b.values.reserve(nnz);
-        b
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        CsrBuilder {
+            rows,
+            cols,
+            row_ptr,
+            col_idx: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+            current_row: 0,
+        }
     }
 
     /// Appends one entry.
@@ -920,6 +986,33 @@ mod tests {
         // Empty and full panels.
         assert_eq!(m.col_panel(0..0).nnz(), 0);
         assert_eq!(m.col_panel(0..3), m);
+    }
+
+    #[test]
+    fn col_panel_condensed_matches_and_indexes_live_rows() {
+        let m = sample(); // [[1, 0, 2], [0, 0, 0], [0, 3, 4]]
+        let (p, live) = m.col_panel_condensed(1..3);
+        assert_eq!(p, m.col_panel(1..3));
+        assert_eq!(live, vec![0, 2], "row 1 is empty, rows 0 and 2 survive");
+        // A panel that only row 2 touches.
+        let (p, live) = m.col_panel_condensed(1..2);
+        assert_eq!(p, m.col_panel(1..2));
+        assert_eq!(live, vec![2]);
+        // Empty panel: nothing lives.
+        let (p, live) = m.col_panel_condensed(0..0);
+        assert_eq!(p.nnz(), 0);
+        assert!(live.is_empty());
+    }
+
+    #[test]
+    fn occupied_rows_skips_empty_rows() {
+        let m = sample();
+        assert_eq!(m.occupied_rows(), vec![0, 2]);
+        assert!(Csr::zero(4, 4).occupied_rows().is_empty());
+        assert_eq!(Csr::identity(3).occupied_rows(), vec![0, 1, 2]);
+        // Agrees with the condensed slicer over the full width.
+        let (_, live) = m.col_panel_condensed(0..m.cols());
+        assert_eq!(m.occupied_rows(), live);
     }
 
     #[test]

@@ -123,9 +123,13 @@ impl StreamingExecutor {
             PanelBalance::Nnz => panel_ranges_by_nnz(&a.col_nnz(), self.config.panels),
         };
         let pairs = ranges.into_iter().map(|r| {
+            // The condensed slicer records each panel's occupied rows for
+            // free — the multiply kernel then visits only those.
+            let (a_panel, live) = a.col_panel_condensed(r.clone());
             Ok(PanelPair {
-                a: a.col_panel(r.clone()),
+                a: a_panel,
                 b: b.row_panel(r.clone()),
+                live,
                 range: r,
             })
         });
@@ -169,9 +173,13 @@ impl StreamingExecutor {
                     "panel {range:?} does not tile 0..{inner_dim}"
                 )));
             }
+            // Pre-sliced panels carry no occupied-row index; one
+            // row-pointer sweep recovers it on the reader thread.
+            let live = a_panel.occupied_rows();
             Ok(PanelPair {
                 b: b.row_panel(range.clone()),
                 a: a_panel,
+                live,
                 range,
             })
         });
@@ -226,7 +234,13 @@ impl StreamingExecutor {
                             "operand panel streams disagree: A yields {ra:?}, B yields {rb:?}"
                         )));
                     }
-                    Ok(PanelPair { range: ra, a, b })
+                    let live = a.occupied_rows();
+                    Ok(PanelPair {
+                        range: ra,
+                        a,
+                        b,
+                        live,
+                    })
                 })()),
                 (Some(pa), None) => {
                     finished = true;
@@ -619,6 +633,14 @@ mod tests {
         let s = &report.stages;
         assert!(s.reader_busy_seconds > 0.0);
         assert!(s.multiply_busy_seconds > 0.0);
+        assert!(
+            s.multiply_kernel_seconds > 0.0 && s.multiply_kernel_seconds <= s.multiply_busy_seconds,
+            "kernel time must be a positive share of multiply busy time: {s:?}"
+        );
+        assert!(
+            s.multiply_scratch_reuses > 0,
+            "12 panels on 2 workers must reuse scratch at least once: {s:?}"
+        );
         assert!(s.merge_busy_seconds > 0.0);
         assert!(
             s.reads_overlapping_multiply > 0 || s.rounds_overlapping_multiply > 0,

@@ -55,7 +55,7 @@ use crate::{StreamConfig, StreamError};
 use serde::{Deserialize, Serialize};
 use sparch_core::sched::{huffman_plan, MergePlan, PlanNode};
 use sparch_exec::{Permits, ShardPool};
-use sparch_sparse::{algo, Csr};
+use sparch_sparse::{algo, Csr, Index};
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -65,11 +65,16 @@ use std::time::Instant;
 
 /// One panel pair flowing from the reader into the multiply stage:
 /// `A[:, range]` with localized columns and `B[range, :]` with localized
-/// rows.
+/// rows, plus the `A` panel's occupied-row index — the condensed view the
+/// multiply kernel iterates instead of scanning all rows. The executor
+/// records the index while slicing (or with one row-pointer sweep when
+/// panels arrive pre-sliced), so the multiply workers never pay for it.
 pub(crate) struct PanelPair {
     pub range: Range<usize>,
     pub a: Csr,
     pub b: Csr,
+    /// Rows of `a` with at least one entry, strictly increasing.
+    pub live: Vec<Index>,
 }
 
 /// Per-stage busy time and overlap evidence for one pipelined multiply.
@@ -82,8 +87,18 @@ pub(crate) struct PanelPair {
 pub struct StageReport {
     /// Time the reader stage spent pulling + validating panel pairs.
     pub reader_busy_seconds: f64,
-    /// Total worker time inside panel multiplies (summed over workers).
+    /// Total worker time handling multiply jobs end to end (summed over
+    /// workers): the SpGEMM kernel plus the publish-gate wait for the
+    /// orchestrator to consume earlier partials.
     pub multiply_busy_seconds: f64,
+    /// Time inside the panel SpGEMM kernel itself, summed over multiply
+    /// workers — the portion of `multiply_busy_seconds` that scales with
+    /// the flop count (the multiply twin of `merge_kernel_seconds`).
+    pub multiply_kernel_seconds: f64,
+    /// Multiply jobs served entirely from already-warm worker scratch
+    /// (no SPA allocation or growth). With `p` panels on `w` workers,
+    /// at most `w` jobs are cold, so this is at least `p - w`.
+    pub multiply_scratch_reuses: u64,
     /// Time the merge stage spent on partials end to end: orchestrator
     /// bookkeeping (store inserts, round dispatch) plus
     /// `merge_kernel_seconds`. Spill encoding/writing is *not* included
@@ -144,6 +159,8 @@ struct MultiplyJob {
     leaf: usize,
     a: Csr,
     b: Csr,
+    /// Occupied-row index of `a` (see [`PanelPair::live`]).
+    live: Vec<Index>,
 }
 
 /// A merge round handed to a merge worker: the plan round index plus its
@@ -163,7 +180,12 @@ enum Event {
     MultiplyDone {
         leaf: usize,
         partial: Csr,
+        /// Whole-job worker time (kernel + publish-gate wait).
         seconds: f64,
+        /// Time inside the SpGEMM kernel alone.
+        kernel_seconds: f64,
+        /// Whether the job ran entirely on already-warm worker scratch.
+        warm: bool,
     },
     /// A merge worker finished plan round `round`.
     RoundDone {
@@ -429,6 +451,7 @@ where
                 leaf,
                 a: pair.a,
                 b: pair.b,
+                live: pair.live,
             })
             .is_err()
         {
@@ -492,11 +515,18 @@ fn validate_pair(
 /// One multiply worker: pulls jobs until the reader closes the channel,
 /// multiplies, and publishes partials (with the time they took) into the
 /// event queue, one permit per un-consumed result.
+///
+/// The worker owns one [`algo::MultiplyScratch`] for its whole lifetime
+/// — the SPA arrays warm up on the first job and every later job of
+/// comparable width runs allocation-free (the same per-worker reuse
+/// discipline as [`merge_worker`]'s `MergeScratch`). Each job visits
+/// only the occupied rows recorded at slicing time.
 fn multiply_worker(
     job_rx: &Mutex<Option<Receiver<MultiplyJob>>>,
     evt_tx: &Sender<Event>,
     gate: &Permits,
 ) {
+    let mut scratch = algo::MultiplyScratch::new();
     loop {
         // The lock is held only for the claim (including any blocking
         // wait for the reader), never for the multiply itself — claiming
@@ -512,15 +542,20 @@ fn multiply_worker(
             Ok(job) => job,
             Err(_) => break,
         };
+        let reuses_before = scratch.reuses();
         let t0 = Instant::now();
-        let partial = algo::gustavson(&job.a, &job.b);
-        let seconds = t0.elapsed().as_secs_f64();
+        let partial = algo::gustavson_scratch_on_rows(&job.a, &job.b, &job.live, &mut scratch);
+        let kernel_seconds = t0.elapsed().as_secs_f64();
+        let warm = scratch.reuses() > reuses_before;
         gate.acquire();
+        let seconds = t0.elapsed().as_secs_f64();
         if evt_tx
             .send(Event::MultiplyDone {
                 leaf: job.leaf,
                 partial,
                 seconds,
+                kernel_seconds,
+                warm,
             })
             .is_err()
         {
@@ -625,6 +660,8 @@ struct MergeStage {
     partial_bytes_total: u64,
     largest_partial_bytes: u64,
     multiply_busy: f64,
+    multiply_kernel_seconds: f64,
+    multiply_scratch_reuses: u64,
     merge_busy: f64,
     merge_kernel_seconds: f64,
     merge_triples: u64,
@@ -658,6 +695,8 @@ impl MergeStage {
             partial_bytes_total: 0,
             largest_partial_bytes: 0,
             multiply_busy: 0.0,
+            multiply_kernel_seconds: 0.0,
+            multiply_scratch_reuses: 0,
             merge_busy: 0.0,
             merge_kernel_seconds: 0.0,
             merge_triples: 0,
@@ -698,10 +737,14 @@ impl MergeStage {
                 leaf,
                 partial,
                 seconds,
+                kernel_seconds,
+                warm,
             } => {
                 links.inflight.fetch_sub(1, Ordering::Relaxed);
                 links.gate.release();
                 self.multiply_busy += seconds;
+                self.multiply_kernel_seconds += kernel_seconds;
+                self.multiply_scratch_reuses += u64::from(warm);
                 if self.failure.is_some() {
                     return;
                 }
@@ -986,6 +1029,8 @@ impl MergeStage {
             stages: StageReport {
                 reader_busy_seconds: reader.busy_seconds,
                 multiply_busy_seconds: self.multiply_busy,
+                multiply_kernel_seconds: self.multiply_kernel_seconds,
+                multiply_scratch_reuses: self.multiply_scratch_reuses,
                 merge_busy_seconds: self.merge_busy + self.merge_kernel_seconds,
                 merge_kernel_seconds: self.merge_kernel_seconds,
                 spill_write_seconds: store_stats.spill_write_seconds,
