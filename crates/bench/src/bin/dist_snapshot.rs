@@ -1,0 +1,189 @@
+//! Distributed-sharding snapshot: tracks the coordinator + worker-fleet
+//! layer (`sparch-dist`) from PR to PR.
+//!
+//! Squares a deterministic R-MAT workload (sized by `--scale`) through
+//! the single-node streaming pipeline once for reference, then through
+//! `DistCoordinator` at a ladder of shard counts. Every fleet result is
+//! asserted **bit-identical** to the single-node run — the snapshot is
+//! a conformance gate as much as a measurement. Emits `DIST_BENCH.json`
+//! with per-shard-count wall time, job dispatches and wire traffic, so
+//! protocol overhead regressions (chattier framing, redundant panel
+//! shipping) show up as byte counts, not vibes.
+//!
+//! Requires the `sparch-dist-worker` binary next to this one (any
+//! `cargo build --release --workspace` puts it there) or pointed to by
+//! `SPARCH_DIST_WORKER`.
+//!
+//! ```console
+//! cargo run --release -p sparch-bench --bin dist_snapshot
+//! cargo run --release -p sparch-bench --bin dist_snapshot -- --scale 0.01
+//! ```
+
+use serde::Serialize;
+use sparch_bench::{parse_args_from, ArgsOutcome, USAGE};
+use sparch_dist::{DistConfig, DistCoordinator};
+use sparch_sparse::{algo, gen, Csr};
+use sparch_stream::{StreamConfig, StreamingExecutor};
+
+/// Equality down to the bit pattern of every stored value — stricter
+/// than `==` (which accepts `0.0 == -0.0`): the fleet must reproduce
+/// the single-node pipeline exactly, not approximately.
+fn assert_bits_equal(c: &Csr, reference: &Csr, shards: usize) {
+    assert_eq!(c.rows(), reference.rows(), "{shards}-shard row count");
+    assert_eq!(c.cols(), reference.cols(), "{shards}-shard col count");
+    assert_eq!(c.nnz(), reference.nnz(), "{shards}-shard nnz");
+    for r in 0..c.rows() {
+        let (cc, cv) = c.row(r);
+        let (rc, rv) = reference.row(r);
+        assert_eq!(cc, rc, "{shards}-shard row {r} column pattern");
+        for (a, b) in cv.iter().zip(rv.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{shards}-shard row {r} values");
+        }
+    }
+}
+
+/// Pinned default scale (matches the other snapshot binaries: small
+/// enough for seconds-long runs, fixed so snapshots stay comparable).
+const SNAPSHOT_SCALE: f64 = 0.02;
+
+/// Panels the inner dimension is split into — enough leaves that even
+/// the widest fleet below has work for every shard.
+const PANELS: usize = 8;
+
+/// Shard-count ladder the fleet is measured at.
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+#[derive(Serialize)]
+struct ShardRun {
+    shards: usize,
+    wall_seconds: f64,
+    dispatches: u64,
+    retries: u64,
+    wire_bytes_sent: u64,
+    wire_bytes_received: u64,
+    wire_bytes_per_multiply: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    scale: f64,
+    n: usize,
+    a_nnz: usize,
+    multiplies: u64,
+    panels: usize,
+    partials: usize,
+    merge_rounds: u64,
+    merge_ways: usize,
+    output_nnz: u64,
+    single_node_wall_seconds: f64,
+    runs: Vec<ShardRun>,
+}
+
+fn main() {
+    let mut args = match parse_args_from(std::env::args().skip(1)) {
+        Ok(ArgsOutcome::Parsed(args)) => args,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if !args.scale_explicit {
+        args.scale = SNAPSHOT_SCALE;
+    }
+
+    let n = ((3200.0 * args.scale) as usize).max(48);
+    let a = gen::rmat_graph500(n, 8, 77);
+    let multiplies = algo::multiply_flops(&a, &a);
+
+    let stream = StreamConfig {
+        panels: PANELS,
+        ..StreamConfig::pinned()
+    };
+
+    // Single-node reference under the exact stream config the shards
+    // run: the bit-identity baseline and the wall-clock yardstick.
+    let t0 = std::time::Instant::now();
+    let (reference, _) = StreamingExecutor::new(stream.clone())
+        .multiply(&a, &a)
+        .expect("single-node reference run");
+    let single_node_wall_seconds = t0.elapsed().as_secs_f64();
+
+    let mut runs = Vec::new();
+    let mut fleet_report = None;
+    for shards in SHARDS {
+        let config = DistConfig {
+            shards,
+            stream: stream.clone(),
+            ..DistConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let (c, report) = DistCoordinator::new(config)
+            .multiply(&a, &a)
+            .unwrap_or_else(|e| panic!("{shards}-shard run failed: {e}"));
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        assert_bits_equal(&c, &reference, shards);
+        runs.push(ShardRun {
+            shards: report.shards,
+            wall_seconds,
+            dispatches: report.dispatches,
+            retries: report.retries,
+            wire_bytes_sent: report.wire_bytes_sent,
+            wire_bytes_received: report.wire_bytes_received,
+            wire_bytes_per_multiply: (report.wire_bytes_sent + report.wire_bytes_received) as f64
+                / multiplies.max(1) as f64,
+        });
+        fleet_report = Some(report);
+    }
+    let fleet = fleet_report.expect("at least one fleet run");
+
+    let snapshot = Snapshot {
+        scale: args.scale,
+        n,
+        a_nnz: a.nnz(),
+        multiplies,
+        panels: fleet.panels,
+        partials: fleet.partials,
+        merge_rounds: fleet.merge_rounds,
+        merge_ways: fleet.merge_ways,
+        output_nnz: fleet.output_nnz,
+        single_node_wall_seconds,
+        runs,
+    };
+
+    println!(
+        "Dist snapshot — {n}x{n} R-MAT squared at scale {}, {} panel pairs \
+         -> {} partials, {} merge rounds ({}-way)",
+        snapshot.scale,
+        snapshot.panels,
+        snapshot.partials,
+        snapshot.merge_rounds,
+        snapshot.merge_ways
+    );
+    println!(
+        "single-node streaming reference: {:.4} s ({} output nnz)",
+        snapshot.single_node_wall_seconds, snapshot.output_nnz
+    );
+    println!("shards    wall (s)   dispatches   sent (B)   recv (B)   B/multiply");
+    for run in &snapshot.runs {
+        println!(
+            "{:>6} {:>11.4} {:>12} {:>10} {:>10} {:>12.2}",
+            run.shards,
+            run.wall_seconds,
+            run.dispatches,
+            run.wire_bytes_sent,
+            run.wire_bytes_received,
+            run.wire_bytes_per_multiply
+        );
+    }
+    println!("every shard count verified bit-identical to the single-node pipeline");
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("DIST_BENCH.json"));
+    sparch_bench::runner::dump_json(&Some(path), &snapshot);
+}

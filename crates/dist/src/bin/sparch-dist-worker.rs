@@ -1,0 +1,16 @@
+//! Shard worker process for `sparch-dist`.
+//!
+//! Spawned by [`sparch_dist::DistCoordinator`]; not meant to be invoked
+//! by hand. Usage:
+//!
+//! ```text
+//! sparch-dist-worker <socket> <worker_id> <heartbeat_ms> <stream_config_json>
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = sparch_dist::worker::run_from_args(&args) {
+        eprintln!("sparch-dist-worker: {e}");
+        std::process::exit(1);
+    }
+}

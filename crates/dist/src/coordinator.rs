@@ -1,0 +1,853 @@
+//! The coordinator: placement, liveness, retry, and the global plan.
+//!
+//! [`DistCoordinator::multiply`] owns the run end to end. It splits the
+//! operands into (A-column-panel, B-row-panel) pairs with *exactly* the
+//! split [`StreamingExecutor::multiply`](sparch_stream::StreamingExecutor::multiply)
+//! uses — same [`PanelBalance`], same deterministic pruning of all-empty
+//! `A` panels — and builds the same Huffman merge plan from the same
+//! per-panel non-zero weights. Multiplies and merge rounds become
+//! idempotent **jobs**; shard worker processes claim one at a time over
+//! Unix sockets. Because the plan fixes every round's children and the
+//! workers run the single-node kernels on the same inputs in the same
+//! fold order, the final CSR is bit-identical to the single-node run at
+//! every shard count, whatever the dispatch interleaving.
+//!
+//! **Liveness** is the per-worker reader thread's read deadline: a
+//! healthy worker heartbeats every [`DistConfig::heartbeat_interval`],
+//! so a socket silent for [`DistConfig::heartbeat_timeout`] means the
+//! worker is dead or wedged. Either way the coordinator kills the
+//! process, requeues whatever it held, and spawns a clean replacement —
+//! the same path handles EOF mid-frame (death, truncated result),
+//! corrupt frames, and protocol violations. Per-job retries are bounded
+//! by [`DistConfig::max_retries`]. A job outstanding longer than
+//! [`DistConfig::straggler_after`] while a worker sits idle is
+//! *duplicated* onto the idle worker, not killed; results are
+//! deterministic, so whichever copy lands first is the result and the
+//! race is benign.
+
+use crate::wire::{read_message, write_message, Message};
+use crate::worker::FAULT_ENV;
+use crate::DistError;
+use serde::{Deserialize, Serialize};
+use sparch_core::sched::{huffman_plan, MergePlan, PlanNode};
+use sparch_sparse::{panel_ranges, panel_ranges_by_nnz, Csr};
+use sparch_stream::{PanelBalance, StreamConfig};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// How long a freshly spawned worker gets to connect and say `Hello`.
+const SPAWN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Main-loop tick: straggler checks run at least this often even when
+/// no worker traffic arrives.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Distinguishes socket directories of coordinators in one process.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Configuration for a distributed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistConfig {
+    /// Shard worker processes to spawn (at least 1; capped at the leaf
+    /// count, since a worker holds one job at a time).
+    pub shards: usize,
+    /// Pipeline configuration shipped to every worker — the panel split
+    /// and merge plan derive from it exactly as on a single node.
+    pub stream: StreamConfig,
+    /// How often workers heartbeat.
+    pub heartbeat_interval: Duration,
+    /// Read deadline on each worker socket; silence past this means the
+    /// worker is declared dead and its jobs are retried.
+    pub heartbeat_timeout: Duration,
+    /// Duplicate a job outstanding longer than this onto an idle worker
+    /// (`None` disables straggler re-dispatch).
+    pub straggler_after: Option<Duration>,
+    /// Times a single job may be requeued after worker failures before
+    /// the run fails with [`DistError::Job`].
+    pub max_retries: u64,
+    /// Explicit path to the `sparch-dist-worker` binary. `None` falls
+    /// back to `SPARCH_DIST_WORKER` in the environment, then to the
+    /// coordinator executable's own directory.
+    pub worker: Option<PathBuf>,
+    /// Fault spec passed to *initial* workers via [`FAULT_ENV`]
+    /// (tests only — respawned workers never inherit it).
+    pub fault: Option<String>,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            shards: 2,
+            stream: StreamConfig::default(),
+            heartbeat_interval: Duration::from_millis(25),
+            heartbeat_timeout: Duration::from_secs(2),
+            straggler_after: None,
+            max_retries: 3,
+            worker: None,
+            fault: None,
+        }
+    }
+}
+
+impl DistConfig {
+    /// A deterministic-by-pinning config: `shards` workers, each running
+    /// the single-threaded pipeline ([`StreamConfig::pinned`]). Bit
+    /// identity does not require pinning — this just makes failures
+    /// easier to reason about in tests and benches.
+    pub fn pinned(shards: usize) -> Self {
+        DistConfig {
+            shards,
+            stream: StreamConfig::pinned(),
+            ..DistConfig::default()
+        }
+    }
+}
+
+/// What a distributed run did — the coordinator's flight record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistReport {
+    /// Worker processes requested (the fleet actually spawned is capped
+    /// at `partials`).
+    pub shards: usize,
+    /// Panel pairs in the split, including pruned all-empty `A` panels.
+    pub panels: usize,
+    /// Merge leaves (non-empty panels) — multiply jobs in the run.
+    pub partials: usize,
+    /// Merge rounds in the Huffman plan — merge jobs in the run.
+    pub merge_rounds: u64,
+    /// Merger ways the plan was built with.
+    pub merge_ways: usize,
+    /// Total job dispatches, counting retries and straggler duplicates.
+    pub dispatches: u64,
+    /// Jobs requeued after a worker failure.
+    pub retries: u64,
+    /// Replacement workers spawned after failures.
+    pub respawns: u64,
+    /// Worker failures detected by heartbeat silence (read deadline).
+    pub heartbeat_timeouts: u64,
+    /// Jobs duplicated onto an idle worker past `straggler_after`.
+    pub straggler_redispatches: u64,
+    /// Frame bytes the coordinator wrote to workers.
+    pub wire_bytes_sent: u64,
+    /// Frame bytes the coordinator read from workers.
+    pub wire_bytes_received: u64,
+    /// Stored entries of the result.
+    pub output_nnz: u64,
+}
+
+/// Distributed SpGEMM front end — see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct DistCoordinator {
+    config: DistConfig,
+}
+
+impl DistCoordinator {
+    /// A coordinator with the given configuration.
+    pub fn new(config: DistConfig) -> Self {
+        DistCoordinator { config }
+    }
+
+    /// The coordinator's configuration.
+    pub fn config(&self) -> &DistConfig {
+        &self.config
+    }
+
+    /// Computes `C = A · B` across the shard fleet. Bit-identical to
+    /// [`StreamingExecutor::multiply`](sparch_stream::StreamingExecutor::multiply)
+    /// under `self.config().stream` at every shard count, including runs
+    /// that recover from worker failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()` — the same contract as every
+    /// `sparch_sparse::algo` kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Job`] when a job exhausts `max_retries`;
+    /// [`DistError::Worker`]/[`DistError::Io`] when the fleet cannot be
+    /// spawned or replaced. A corrupt frame or dead socket never aborts
+    /// the run by itself — it fails its worker, whose jobs are retried.
+    pub fn multiply(&self, a: &Csr, b: &Csr) -> Result<(Csr, DistReport), DistError> {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let cfg = &self.config.stream;
+        let ranges = match cfg.balance {
+            PanelBalance::Uniform => panel_ranges(a.cols(), cfg.panels),
+            PanelBalance::Nnz => panel_ranges_by_nnz(&a.col_nnz(), cfg.panels),
+        };
+        let panels = ranges.len();
+        let mut pairs: Vec<(Csr, Csr)> = Vec::new();
+        let mut weights: Vec<u64> = Vec::new();
+        for r in ranges {
+            let (a_panel, _live) = a.col_panel_condensed(r.clone());
+            if a_panel.nnz() == 0 {
+                // Same deterministic pruning as the pipeline's reader
+                // stage: an empty A panel never becomes a merge leaf.
+                continue;
+            }
+            weights.push(a_panel.nnz() as u64);
+            pairs.push((a_panel, b.row_panel(r)));
+        }
+        let ways = cfg.merge_ways.max(2);
+        let mut report = DistReport {
+            shards: self.config.shards.max(1),
+            panels,
+            partials: pairs.len(),
+            merge_rounds: 0,
+            merge_ways: ways,
+            dispatches: 0,
+            retries: 0,
+            respawns: 0,
+            heartbeat_timeouts: 0,
+            straggler_redispatches: 0,
+            wire_bytes_sent: 0,
+            wire_bytes_received: 0,
+            output_nnz: 0,
+        };
+        if pairs.is_empty() {
+            // Nothing to compute; do not spawn a fleet to agree on it.
+            return Ok((Csr::zero(a.rows(), b.cols()), report));
+        }
+        let plan = huffman_plan(&weights, ways);
+        report.merge_rounds = plan.rounds.len() as u64;
+
+        let (evt_tx, evt_rx) = channel();
+        let mut run = Run {
+            config: &self.config,
+            a_rows: a.rows(),
+            b_cols: b.cols(),
+            pairs,
+            plan: &plan,
+            cluster: Cluster::new(&self.config, evt_tx)?,
+            evt_rx,
+            jobs: Vec::new(),
+            results: Vec::new(),
+            ready: VecDeque::new(),
+            done: 0,
+            report: &mut report,
+        };
+        let result = run.drive()?;
+        drop(run);
+        report.output_nnz = result.nnz() as u64;
+        Ok((result, report))
+    }
+}
+
+/// One job of the run: a leaf multiply or a plan merge round. The job
+/// id doubles as the plan node id (`leaf` for leaves, `num_leaves +
+/// round` for rounds), so results index one flat table.
+#[derive(Debug, Clone, Copy)]
+enum JobSpec {
+    Multiply { leaf: usize },
+    Merge { round: usize },
+}
+
+/// Dispatch bookkeeping for one job.
+#[derive(Debug)]
+struct JobState {
+    spec: JobSpec,
+    done: bool,
+    retries: u64,
+    /// Sitting in the ready queue right now.
+    queued: bool,
+    /// Worker generations currently holding a copy of this job.
+    assigned: Vec<u64>,
+    /// When the oldest still-outstanding dispatch happened.
+    dispatched_at: Option<Instant>,
+    /// A straggler duplicate was already issued for this dispatch.
+    duplicated: bool,
+}
+
+/// What a reader thread reports about its worker.
+enum EvKind {
+    /// A decoded frame plus the wire bytes it occupied.
+    Msg(Message, u64),
+    /// The socket closed: `None` for clean EOF, `Some` for a read error
+    /// (a [`DistError::Timeout`] here is a missed heartbeat deadline).
+    Closed(Option<DistError>),
+}
+
+struct Ev {
+    gen: u64,
+    kind: EvKind,
+}
+
+/// Byte-counting [`Read`] adapter so reader threads can report each
+/// frame's wire footprint.
+struct CountingReader<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+}
+
+/// A worker process (live or killed) and the write half of its socket.
+struct Shard {
+    gen: u64,
+    child: Child,
+    stream: UnixStream,
+    /// Job ids currently outstanding on this worker (at most one).
+    busy: Vec<u64>,
+    alive: bool,
+}
+
+/// The spawned fleet plus the socket it listens on. Dropping the
+/// cluster kills every child and removes the socket directory, so every
+/// early-error path cleans up for free.
+struct Cluster<'a> {
+    config: &'a DistConfig,
+    bin: PathBuf,
+    dir: PathBuf,
+    socket: PathBuf,
+    listener: UnixListener,
+    evt_tx: Sender<Ev>,
+    shards: Vec<Shard>,
+    next_gen: u64,
+    stream_json: String,
+}
+
+impl Drop for Cluster<'_> {
+    fn drop(&mut self) {
+        for s in &mut self.shards {
+            let _ = s.child.kill();
+            let _ = s.child.wait();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl<'a> Cluster<'a> {
+    fn new(config: &'a DistConfig, evt_tx: Sender<Ev>) -> Result<Self, DistError> {
+        let bin = resolve_worker_bin(config)?;
+        let dir = std::env::temp_dir().join(format!(
+            "sparch-dist-{}-{}",
+            std::process::id(),
+            RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| DistError::Io(format!("create socket dir {}: {e}", dir.display())))?;
+        let socket = dir.join("sock");
+        let listener = UnixListener::bind(&socket)
+            .and_then(|l| {
+                // Non-blocking accept lets the spawn loop poll the child
+                // for an early exit instead of hanging on a worker that
+                // never connects.
+                l.set_nonblocking(true)?;
+                Ok(l)
+            })
+            .map_err(|e| {
+                let _ = std::fs::remove_dir_all(&dir);
+                DistError::Io(format!("bind {}: {e}", socket.display()))
+            })?;
+        let stream_json = serde_json::to_string(&config.stream).map_err(|e| {
+            let _ = std::fs::remove_dir_all(&dir);
+            DistError::Worker(format!("serialize stream config: {e}"))
+        })?;
+        Ok(Cluster {
+            config,
+            bin,
+            dir,
+            socket,
+            listener,
+            evt_tx,
+            shards: Vec::new(),
+            next_gen: 0,
+            stream_json,
+        })
+    }
+
+    /// Spawns one worker, waits for it to connect and identify itself,
+    /// and starts its reader thread. Only initial workers (the first
+    /// `shards` generations) see the injected fault spec — respawns get
+    /// a scrubbed environment, which is what "retries land on a fresh
+    /// worker" means.
+    fn spawn_worker(&mut self) -> Result<(), DistError> {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let initial = gen < self.config.shards as u64;
+        let mut cmd = Command::new(&self.bin);
+        cmd.arg(&self.socket)
+            .arg(gen.to_string())
+            .arg(self.config.heartbeat_interval.as_millis().to_string())
+            .arg(&self.stream_json)
+            .stdin(Stdio::null());
+        match &self.config.fault {
+            Some(spec) if initial => {
+                cmd.env(FAULT_ENV, spec);
+            }
+            _ => {
+                cmd.env_remove(FAULT_ENV);
+            }
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| DistError::Worker(format!("spawn {}: {e}", self.bin.display())))?;
+
+        let stream = match self.accept_worker(&mut child, gen) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
+        };
+
+        let reader = stream
+            .try_clone()
+            .map_err(|e| DistError::Io(format!("clone worker {gen} socket: {e}")))?;
+        reader
+            .set_read_timeout(Some(self.config.heartbeat_timeout))
+            .map_err(|e| DistError::Io(format!("worker {gen} read deadline: {e}")))?;
+        // A wedged worker stops draining its socket; bound writes too so
+        // dispatch cannot hang past the liveness deadline.
+        stream
+            .set_write_timeout(Some(
+                self.config.heartbeat_timeout.max(Duration::from_secs(1)),
+            ))
+            .map_err(|e| DistError::Io(format!("worker {gen} write deadline: {e}")))?;
+        let tx = self.evt_tx.clone();
+        std::thread::spawn(move || {
+            let mut r = CountingReader {
+                inner: reader,
+                count: 0,
+            };
+            loop {
+                let before = r.count;
+                let kind = match read_message(&mut r) {
+                    Ok(Some(msg)) => EvKind::Msg(msg, r.count - before),
+                    Ok(None) => EvKind::Closed(None),
+                    Err(e) => EvKind::Closed(Some(e)),
+                };
+                let closed = matches!(kind, EvKind::Closed(_));
+                if tx.send(Ev { gen, kind }).is_err() || closed {
+                    return;
+                }
+            }
+        });
+
+        self.shards.push(Shard {
+            gen,
+            child,
+            stream,
+            busy: Vec::new(),
+            alive: true,
+        });
+        Ok(())
+    }
+
+    /// Accepts the connection for generation `gen` and validates its
+    /// `Hello`. Workers are spawned one at a time, so the next accepted
+    /// connection is the worker just spawned.
+    fn accept_worker(&self, child: &mut Child, gen: u64) -> Result<UnixStream, DistError> {
+        let deadline = Instant::now() + SPAWN_TIMEOUT;
+        let stream = loop {
+            match self.listener.accept() {
+                Ok((s, _)) => break s,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        return Err(DistError::Worker(format!(
+                            "worker {gen} exited before connecting: {status}"
+                        )));
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(DistError::Timeout(format!(
+                            "worker {gen} did not connect within {SPAWN_TIMEOUT:?}"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(DistError::Io(format!("accept worker {gen}: {e}"))),
+            }
+        };
+        stream
+            .set_nonblocking(false)
+            .and_then(|()| stream.set_read_timeout(Some(SPAWN_TIMEOUT)))
+            .map_err(|e| DistError::Io(format!("worker {gen} socket setup: {e}")))?;
+        let mut hello_side = stream
+            .try_clone()
+            .map_err(|e| DistError::Io(format!("clone worker {gen} socket: {e}")))?;
+        match read_message(&mut hello_side)? {
+            Some(Message::Hello { worker }) if worker == gen => Ok(stream),
+            Some(Message::Hello { worker }) => Err(DistError::Worker(format!(
+                "worker announced generation {worker}, expected {gen}"
+            ))),
+            Some(other) => Err(DistError::Frame(format!(
+                "expected Hello, got {} frame",
+                other.kind_name()
+            ))),
+            None => Err(DistError::Worker(format!(
+                "worker {gen} closed its socket before Hello"
+            ))),
+        }
+    }
+
+    fn shard_index(&self, gen: u64) -> Option<usize> {
+        self.shards.iter().position(|s| s.gen == gen)
+    }
+
+    fn idle_shard(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.alive && s.busy.is_empty())
+    }
+
+    /// Kills a worker process and reaps it. Idempotent.
+    fn kill_shard(&mut self, idx: usize) {
+        let s = &mut self.shards[idx];
+        s.alive = false;
+        let _ = s.child.kill();
+        let _ = s.child.wait();
+    }
+}
+
+/// Locates the `sparch-dist-worker` binary: explicit config, then the
+/// `SPARCH_DIST_WORKER` environment variable, then next to (or one
+/// directory above) the current executable — which covers both cargo
+/// test binaries (`target/debug/deps/…`) and installed CLIs.
+fn resolve_worker_bin(config: &DistConfig) -> Result<PathBuf, DistError> {
+    if let Some(p) = &config.worker {
+        return Ok(p.clone());
+    }
+    if let Ok(p) = std::env::var("SPARCH_DIST_WORKER") {
+        return Ok(PathBuf::from(p));
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let parents = [exe.parent(), exe.parent().and_then(|p| p.parent())];
+        for dir in parents.into_iter().flatten() {
+            let cand = dir.join("sparch-dist-worker");
+            if cand.is_file() {
+                return Ok(cand);
+            }
+        }
+    }
+    Err(DistError::Worker(
+        "sparch-dist-worker binary not found: set DistConfig.worker, export \
+         SPARCH_DIST_WORKER, or build it with `cargo build -p sparch-dist`"
+            .into(),
+    ))
+}
+
+/// Node id of a plan node in the flat job/result table.
+fn node_id(node: PlanNode, num_leaves: usize) -> usize {
+    match node {
+        PlanNode::Leaf(l) => l,
+        PlanNode::Round(r) => num_leaves + r,
+    }
+}
+
+/// All the state of one in-flight distributed multiply.
+struct Run<'a> {
+    config: &'a DistConfig,
+    a_rows: usize,
+    b_cols: usize,
+    /// Leaf panel pairs, retained for the lifetime of the run so any
+    /// multiply can be re-dispatched after a failure.
+    pairs: Vec<(Csr, Csr)>,
+    plan: &'a MergePlan,
+    cluster: Cluster<'a>,
+    evt_rx: Receiver<Ev>,
+    jobs: Vec<JobState>,
+    /// Result per plan node; children stay resident until the run ends
+    /// so a failed merge can be re-dispatched too.
+    results: Vec<Option<Csr>>,
+    ready: VecDeque<u64>,
+    done: usize,
+    report: &'a mut DistReport,
+}
+
+impl Run<'_> {
+    /// Spawns the fleet, drives the job graph to completion, and hands
+    /// back the final node's result.
+    fn drive(&mut self) -> Result<Csr, DistError> {
+        let n = self.plan.num_leaves;
+        // No point keeping more workers than leaves — a worker holds one
+        // job at a time and the graph is never wider than its leaf row.
+        let fleet = self.config.shards.clamp(1, n);
+        for _ in 0..fleet {
+            self.cluster.spawn_worker()?;
+        }
+
+        self.jobs = (0..n)
+            .map(|leaf| JobSpec::Multiply { leaf })
+            .chain((0..self.plan.rounds.len()).map(|round| JobSpec::Merge { round }))
+            .map(|spec| JobState {
+                spec,
+                done: false,
+                retries: 0,
+                queued: false,
+                assigned: Vec::new(),
+                dispatched_at: None,
+                duplicated: false,
+            })
+            .collect();
+        self.results = (0..self.jobs.len()).map(|_| None).collect();
+        self.ready = (0..n as u64).collect();
+        self.jobs[..n].iter_mut().for_each(|j| j.queued = true);
+
+        while self.done < self.jobs.len() {
+            self.dispatch_ready()?;
+            self.duplicate_stragglers()?;
+            match self.evt_rx.recv_timeout(TICK) {
+                Ok(ev) => self.handle_event(ev)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable while the cluster owns an evt_tx clone,
+                    // but a lost channel must not become a busy loop.
+                    return Err(DistError::Io("coordinator event channel closed".into()));
+                }
+            }
+        }
+
+        // Courteous shutdown; the cluster's Drop then reaps everything,
+        // including wedged workers that will never read the frame.
+        let codec = self.config.stream.spill_codec;
+        for s in self.cluster.shards.iter_mut().filter(|s| s.alive) {
+            let _ = write_message(&mut s.stream, &Message::Shutdown, codec);
+        }
+
+        let final_node = if self.plan.rounds.is_empty() {
+            0
+        } else {
+            n + self.plan.rounds.len() - 1
+        };
+        self.results[final_node]
+            .take()
+            .ok_or_else(|| DistError::Job("run finished without a final result".into()))
+    }
+
+    /// Hands ready jobs to idle workers, one job per worker.
+    fn dispatch_ready(&mut self) -> Result<(), DistError> {
+        while !self.ready.is_empty() {
+            let Some(idx) = self.cluster.idle_shard() else {
+                return Ok(());
+            };
+            let job = self.ready.pop_front().expect("checked non-empty");
+            self.jobs[job as usize].queued = false;
+            self.send_job(idx, job)?;
+        }
+        Ok(())
+    }
+
+    /// Issues at most one duplicate of each overdue job to idle workers.
+    fn duplicate_stragglers(&mut self) -> Result<(), DistError> {
+        let Some(after) = self.config.straggler_after else {
+            return Ok(());
+        };
+        let overdue: Vec<u64> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| {
+                !j.done
+                    && !j.duplicated
+                    && !j.assigned.is_empty()
+                    && j.dispatched_at.is_some_and(|t| t.elapsed() >= after)
+            })
+            .map(|(id, _)| id as u64)
+            .collect();
+        for job in overdue {
+            let Some(idx) = self.cluster.idle_shard() else {
+                return Ok(());
+            };
+            self.jobs[job as usize].duplicated = true;
+            self.report.straggler_redispatches += 1;
+            self.send_job(idx, job)?;
+        }
+        Ok(())
+    }
+
+    /// Writes one job to one worker. A failed write fails the worker
+    /// (requeue + respawn) instead of the run.
+    fn send_job(&mut self, idx: usize, job: u64) -> Result<(), DistError> {
+        let msg = match self.jobs[job as usize].spec {
+            JobSpec::Multiply { leaf } => {
+                let (a, b) = &self.pairs[leaf];
+                Message::Multiply {
+                    job,
+                    leaf: leaf as u64,
+                    a: a.clone(),
+                    b: b.clone(),
+                }
+            }
+            JobSpec::Merge { round } => Message::Merge {
+                job,
+                round: round as u64,
+                rows: self.a_rows as u64,
+                cols: self.b_cols as u64,
+                children: self.plan.rounds[round]
+                    .children
+                    .iter()
+                    .map(|&c| {
+                        self.results[node_id(c, self.plan.num_leaves)]
+                            .clone()
+                            .expect("merge dispatched before its children finished")
+                    })
+                    .collect(),
+            },
+        };
+        // Book the assignment first so a failed write finds the job on
+        // the worker's manifest and requeues it like any other failure.
+        let gen = self.cluster.shards[idx].gen;
+        self.cluster.shards[idx].busy.push(job);
+        let state = &mut self.jobs[job as usize];
+        state.assigned.push(gen);
+        if state.dispatched_at.is_none() {
+            state.dispatched_at = Some(Instant::now());
+        }
+        let codec = self.config.stream.spill_codec;
+        match write_message(&mut self.cluster.shards[idx].stream, &msg, codec) {
+            Ok(bytes) => {
+                self.report.wire_bytes_sent += bytes;
+                self.report.dispatches += 1;
+                Ok(())
+            }
+            Err(e) => self.fail_worker(idx, Some(e)),
+        }
+    }
+
+    /// One event from a worker's reader thread.
+    fn handle_event(&mut self, ev: Ev) -> Result<(), DistError> {
+        let Some(idx) = self.cluster.shard_index(ev.gen) else {
+            return Ok(());
+        };
+        if !self.cluster.shards[idx].alive {
+            // Stale traffic from a worker already failed (e.g. the
+            // reader's Closed after a write error killed it).
+            return Ok(());
+        }
+        match ev.kind {
+            EvKind::Msg(Message::Heartbeat, bytes) => {
+                // The heartbeat's real work happened already: it reset
+                // the reader thread's read deadline.
+                self.report.wire_bytes_received += bytes;
+                Ok(())
+            }
+            EvKind::Msg(Message::Result { job, partial }, bytes) => {
+                self.report.wire_bytes_received += bytes;
+                self.complete_job(idx, job, partial)
+            }
+            EvKind::Msg(other, bytes) => {
+                self.report.wire_bytes_received += bytes;
+                self.fail_worker(
+                    idx,
+                    Some(DistError::Frame(format!(
+                        "worker {} sent an unexpected {} frame",
+                        ev.gen,
+                        other.kind_name()
+                    ))),
+                )
+            }
+            EvKind::Closed(reason) => self.fail_worker(idx, reason),
+        }
+    }
+
+    /// Records a worker's result, frees the worker, and unblocks any
+    /// merge round whose children are now all present.
+    fn complete_job(&mut self, idx: usize, job: u64, partial: Csr) -> Result<(), DistError> {
+        let gen = self.cluster.shards[idx].gen;
+        self.cluster.shards[idx].busy.retain(|&j| j != job);
+        let Some(state) = self.jobs.get_mut(job as usize) else {
+            return self.fail_worker(
+                idx,
+                Some(DistError::Frame(format!(
+                    "worker {gen} answered unknown job {job}"
+                ))),
+            );
+        };
+        state.assigned.retain(|&g| g != gen);
+        if state.done {
+            // The slow copy of a straggler-duplicated job: the bits are
+            // identical by construction, so dropping them loses nothing.
+            return Ok(());
+        }
+        if partial.rows() != self.a_rows || partial.cols() != self.b_cols {
+            return self.fail_worker(
+                idx,
+                Some(DistError::Shape(format!(
+                    "job {job} result is {}x{}, expected {}x{}",
+                    partial.rows(),
+                    partial.cols(),
+                    self.a_rows,
+                    self.b_cols
+                ))),
+            );
+        }
+        state.done = true;
+        state.dispatched_at = None;
+        self.results[job as usize] = Some(partial);
+        self.done += 1;
+
+        // A finished node can complete the child set of exactly the
+        // rounds that consume it; scanning all rounds keeps this simple.
+        let n = self.plan.num_leaves;
+        for (r, round) in self.plan.rounds.iter().enumerate() {
+            let id = n + r;
+            let state = &self.jobs[id];
+            if state.done || state.queued || !state.assigned.is_empty() {
+                continue;
+            }
+            if round
+                .children
+                .iter()
+                .all(|&c| self.results[node_id(c, n)].is_some())
+            {
+                self.jobs[id].queued = true;
+                self.ready.push_back(id as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares a worker dead: kills the process, requeues everything it
+    /// held (bounded by `max_retries` per job), and spawns a clean
+    /// replacement.
+    fn fail_worker(&mut self, idx: usize, reason: Option<DistError>) -> Result<(), DistError> {
+        if !self.cluster.shards[idx].alive {
+            return Ok(());
+        }
+        if matches!(reason, Some(DistError::Timeout(_))) {
+            self.report.heartbeat_timeouts += 1;
+        }
+        let gen = self.cluster.shards[idx].gen;
+        self.cluster.kill_shard(idx);
+        let held = std::mem::take(&mut self.cluster.shards[idx].busy);
+        for job in held {
+            let state = &mut self.jobs[job as usize];
+            state.assigned.retain(|&g| g != gen);
+            if state.done || state.queued || !state.assigned.is_empty() {
+                // A straggler duplicate still runs elsewhere, or the
+                // result already landed — nothing to recover.
+                continue;
+            }
+            state.retries += 1;
+            self.report.retries += 1;
+            if state.retries > self.config.max_retries {
+                return Err(DistError::Job(format!(
+                    "job {job} failed {} times (last worker error: {})",
+                    state.retries,
+                    reason.map_or_else(|| "socket closed".into(), |e| e.to_string())
+                )));
+            }
+            state.dispatched_at = None;
+            state.duplicated = false;
+            state.queued = true;
+            // Retried work goes to the queue's front: it is the oldest
+            // and most likely to be blocking merge rounds.
+            self.ready.push_front(job);
+        }
+        self.report.respawns += 1;
+        self.cluster.spawn_worker()
+    }
+}

@@ -1,0 +1,454 @@
+//! The coordinator ↔ worker wire protocol.
+//!
+//! Every message is one length-prefixed frame:
+//!
+//! ```text
+//! magic   u32   0x5350_4431 ("SPD1", little-endian)
+//! kind    u8    message discriminant
+//! len     u64   payload length in bytes (checked before allocation)
+//! payload len bytes
+//! ```
+//!
+//! Matrices inside a payload travel as **SPM blocks** — a `u64` length
+//! followed by exactly the bytes [`spill::encode_partial`] produces, so
+//! the wire format *is* the spill codec: the same delta+varint encoding
+//! (with its per-file raw fallback), the same untrusting decoder
+//! ([`spill::decode_partial`]) validating shape, order and exact length.
+//! A truncated, corrupted or oversized frame therefore surfaces as a
+//! typed [`DistError`] — never a panic, a hang, or an unbounded
+//! allocation.
+//!
+//! [`read_message`] distinguishes three ends of a stream: a clean EOF at
+//! a frame boundary (`Ok(None)`, the peer closed deliberately), a
+//! timeout ([`DistError::Timeout`], mapped from `TimedOut`/`WouldBlock`
+//! so a socket read deadline doubles as the heartbeat monitor), and
+//! everything else ([`DistError::Frame`]/[`DistError::Io`]).
+
+use crate::DistError;
+use sparch_sparse::Csr;
+use sparch_stream::spill;
+use sparch_stream::SpillCodec;
+use std::io::{ErrorKind, Read, Write};
+
+/// Frame magic: "SPD1" in little-endian byte order.
+pub const MAGIC: u32 = 0x5350_4431;
+
+/// Upper bound on one frame's declared payload length. Checked before
+/// any allocation sized by the header, so a corrupt length cannot
+/// provoke an out-of-memory abort.
+pub const MAX_FRAME_BYTES: u64 = 1 << 30;
+
+const KIND_HELLO: u8 = 0;
+const KIND_MULTIPLY: u8 = 1;
+const KIND_MERGE: u8 = 2;
+const KIND_RESULT: u8 = 3;
+const KIND_HEARTBEAT: u8 = 4;
+const KIND_SHUTDOWN: u8 = 5;
+
+/// One protocol message. The coordinator sends `Multiply`, `Merge` and
+/// `Shutdown`; a worker sends `Hello` once, then `Heartbeat`s and
+/// `Result`s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A worker announcing itself after connecting; `worker` echoes the
+    /// generation id the coordinator spawned it with.
+    Hello { worker: u64 },
+    /// One idempotent panel job: multiply `a · b` (an A column panel,
+    /// condensed, times the matching B row panel) and reply with
+    /// `Result { job, .. }`.
+    Multiply { job: u64, leaf: u64, a: Csr, b: Csr },
+    /// One idempotent merge job: fold `children` — in exactly this
+    /// order, the Huffman plan's child order — into one `rows × cols`
+    /// partial and reply with `Result { job, .. }`.
+    Merge {
+        job: u64,
+        round: u64,
+        rows: u64,
+        cols: u64,
+        children: Vec<Csr>,
+    },
+    /// A finished job's partial product.
+    Result { job: u64, partial: Csr },
+    /// Liveness beacon, sent on an interval by a worker-side thread so
+    /// the coordinator's read deadline only fires when the worker is
+    /// actually gone or wedged.
+    Heartbeat,
+    /// Orderly end of stream; the worker exits.
+    Shutdown,
+}
+
+impl Message {
+    /// Short name for logs and errors.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::Multiply { .. } => "multiply",
+            Message::Merge { .. } => "merge",
+            Message::Result { .. } => "result",
+            Message::Heartbeat => "heartbeat",
+            Message::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Serializes and writes one frame, returning the bytes put on the
+/// wire. The frame is assembled in memory first and written with a
+/// single `write_all`, so concurrent writers serialized by a lock can
+/// never interleave partial frames.
+pub fn write_message<W: Write>(
+    w: &mut W,
+    msg: &Message,
+    codec: SpillCodec,
+) -> Result<u64, DistError> {
+    let (kind, payload) = encode_payload(msg, codec);
+    let mut frame = Vec::with_capacity(13 + payload.len());
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    w.write_all(&frame).map_err(io_err)?;
+    w.flush().map_err(io_err)?;
+    Ok(frame.len() as u64)
+}
+
+fn encode_payload(msg: &Message, codec: SpillCodec) -> (u8, Vec<u8>) {
+    let mut p = Vec::new();
+    let kind = match msg {
+        Message::Hello { worker } => {
+            p.extend_from_slice(&worker.to_le_bytes());
+            KIND_HELLO
+        }
+        Message::Multiply { job, leaf, a, b } => {
+            p.extend_from_slice(&job.to_le_bytes());
+            p.extend_from_slice(&leaf.to_le_bytes());
+            push_block(&mut p, a, codec);
+            push_block(&mut p, b, codec);
+            KIND_MULTIPLY
+        }
+        Message::Merge {
+            job,
+            round,
+            rows,
+            cols,
+            children,
+        } => {
+            p.extend_from_slice(&job.to_le_bytes());
+            p.extend_from_slice(&round.to_le_bytes());
+            p.extend_from_slice(&rows.to_le_bytes());
+            p.extend_from_slice(&cols.to_le_bytes());
+            p.extend_from_slice(&(children.len() as u64).to_le_bytes());
+            for child in children {
+                push_block(&mut p, child, codec);
+            }
+            KIND_MERGE
+        }
+        Message::Result { job, partial } => {
+            p.extend_from_slice(&job.to_le_bytes());
+            push_block(&mut p, partial, codec);
+            KIND_RESULT
+        }
+        Message::Heartbeat => KIND_HEARTBEAT,
+        Message::Shutdown => KIND_SHUTDOWN,
+    };
+    (kind, p)
+}
+
+fn push_block(p: &mut Vec<u8>, csr: &Csr, codec: SpillCodec) {
+    let bytes = spill::encode_partial(csr, codec);
+    p.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    p.extend_from_slice(&bytes);
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF *at a frame boundary*;
+/// EOF mid-frame is [`DistError::Frame`]; a read deadline expiring is
+/// [`DistError::Timeout`]. The declared payload length is validated
+/// against [`MAX_FRAME_BYTES`] before any allocation.
+pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, DistError> {
+    let mut magic = [0u8; 4];
+    match read_full(r, &mut magic)? {
+        0 => return Ok(None),
+        4 => {}
+        n => {
+            return Err(DistError::Frame(format!(
+                "stream ended {n} bytes into a frame header"
+            )))
+        }
+    }
+    let magic = u32::from_le_bytes(magic);
+    if magic != MAGIC {
+        return Err(DistError::Frame(format!(
+            "bad frame magic {magic:#010x} (expected {MAGIC:#010x})"
+        )));
+    }
+    let mut kind = [0u8; 1];
+    read_exact_frame(r, &mut kind, "frame kind")?;
+    let mut len = [0u8; 8];
+    read_exact_frame(r, &mut len, "frame length")?;
+    let len = u64::from_le_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(DistError::Frame(format!(
+            "frame declares {len} payload bytes (limit {MAX_FRAME_BYTES})"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_frame(r, &mut payload, "frame payload")?;
+    decode_payload(kind[0], &payload)
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Option<Message>, DistError> {
+    let mut p = payload;
+    let msg = match kind {
+        KIND_HELLO => Message::Hello {
+            worker: take_u64(&mut p)?,
+        },
+        KIND_MULTIPLY => Message::Multiply {
+            job: take_u64(&mut p)?,
+            leaf: take_u64(&mut p)?,
+            a: take_block(&mut p)?,
+            b: take_block(&mut p)?,
+        },
+        KIND_MERGE => {
+            let job = take_u64(&mut p)?;
+            let round = take_u64(&mut p)?;
+            let rows = take_u64(&mut p)?;
+            let cols = take_u64(&mut p)?;
+            let count = take_u64(&mut p)?;
+            // Each child block costs at least its 8-byte length prefix,
+            // so a lying count is rejected before the loop allocates.
+            if count.saturating_mul(8) > p.len() as u64 {
+                return Err(DistError::Frame(format!(
+                    "merge frame declares {count} children in {} bytes",
+                    p.len()
+                )));
+            }
+            let mut children = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                children.push(take_block(&mut p)?);
+            }
+            Message::Merge {
+                job,
+                round,
+                rows,
+                cols,
+                children,
+            }
+        }
+        KIND_RESULT => Message::Result {
+            job: take_u64(&mut p)?,
+            partial: take_block(&mut p)?,
+        },
+        KIND_HEARTBEAT => Message::Heartbeat,
+        KIND_SHUTDOWN => Message::Shutdown,
+        other => return Err(DistError::Frame(format!("unknown frame kind {other}"))),
+    };
+    if !p.is_empty() {
+        return Err(DistError::Frame(format!(
+            "{} bytes of trailing garbage after a {} frame",
+            p.len(),
+            msg.kind_name()
+        )));
+    }
+    Ok(Some(msg))
+}
+
+fn take_u64(p: &mut &[u8]) -> Result<u64, DistError> {
+    if p.len() < 8 {
+        return Err(DistError::Frame("frame payload truncated mid-field".into()));
+    }
+    let (head, rest) = p.split_at(8);
+    *p = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+}
+
+fn take_block(p: &mut &[u8]) -> Result<Csr, DistError> {
+    let len = take_u64(p)?;
+    if len > p.len() as u64 {
+        return Err(DistError::Frame(format!(
+            "matrix block declares {len} bytes but only {} remain",
+            p.len()
+        )));
+    }
+    let (head, rest) = p.split_at(len as usize);
+    *p = rest;
+    spill::decode_partial(head).map_err(DistError::Codec)
+}
+
+/// Reads until `buf` is full or EOF; returns the bytes read. A timeout
+/// or interrupt maps to the typed errors before any data is consumed
+/// ambiguously (a deadline mid-frame aborts the whole read).
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, DistError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Ok(got)
+}
+
+fn read_exact_frame<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), DistError> {
+    let got = read_full(r, buf)?;
+    if got < buf.len() {
+        return Err(DistError::Frame(format!(
+            "stream ended mid-{what} ({got} of {} bytes)",
+            buf.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Maps an I/O error to the typed split the read loops rely on: a
+/// deadline expiring is [`DistError::Timeout`], everything else
+/// [`DistError::Io`].
+pub(crate) fn io_err(e: std::io::Error) -> DistError {
+    match e.kind() {
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+            DistError::Timeout(format!("socket deadline expired: {e}"))
+        }
+        _ => DistError::Io(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparch_sparse::gen;
+
+    fn sample_messages() -> Vec<Message> {
+        let a = gen::uniform_random(12, 9, 40, 3);
+        let b = gen::uniform_random(9, 14, 50, 4);
+        let c = gen::uniform_random(12, 14, 30, 5);
+        vec![
+            Message::Hello { worker: 7 },
+            Message::Multiply {
+                job: 1,
+                leaf: 0,
+                a: a.clone(),
+                b,
+            },
+            Message::Merge {
+                job: 2,
+                round: 0,
+                rows: 12,
+                cols: 14,
+                children: vec![c.clone(), c.clone(), c],
+            },
+            Message::Result { job: 1, partial: a },
+            Message::Heartbeat,
+            Message::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn messages_round_trip_in_memory() {
+        for codec in [SpillCodec::Raw, SpillCodec::Varint] {
+            let mut buf = Vec::new();
+            let msgs = sample_messages();
+            let mut written = 0u64;
+            for m in &msgs {
+                written += write_message(&mut buf, m, codec).unwrap();
+            }
+            assert_eq!(written, buf.len() as u64);
+            let mut r = buf.as_slice();
+            for m in &msgs {
+                assert_eq!(read_message(&mut r).unwrap().as_ref(), Some(m), "{codec}");
+            }
+            assert_eq!(read_message(&mut r).unwrap(), None, "clean EOF");
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        let mut buf = Vec::new();
+        let m = Message::Result {
+            job: 3,
+            partial: gen::uniform_random(6, 6, 12, 1),
+        };
+        write_message(&mut buf, &m, SpillCodec::Varint).unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            match read_message(&mut r) {
+                Err(DistError::Frame(_) | DistError::Codec(_)) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = MAGIC.to_le_bytes().to_vec();
+        buf.push(KIND_HEARTBEAT);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        // No payload follows; if the length were believed this would
+        // try to allocate 2^64 bytes before noticing.
+        match read_message(&mut buf.as_slice()) {
+            Err(DistError::Frame(msg)) => assert!(msg.contains("limit")),
+            other => panic!("expected Frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_and_kind_and_trailing_garbage_are_rejected() {
+        let mut bad_magic = vec![0xde, 0xad, 0xbe, 0xef];
+        bad_magic.extend_from_slice(&[KIND_HEARTBEAT]);
+        bad_magic.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read_message(&mut bad_magic.as_slice()),
+            Err(DistError::Frame(_))
+        ));
+
+        let mut bad_kind = MAGIC.to_le_bytes().to_vec();
+        bad_kind.push(99);
+        bad_kind.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read_message(&mut bad_kind.as_slice()),
+            Err(DistError::Frame(_))
+        ));
+
+        let mut trailing = MAGIC.to_le_bytes().to_vec();
+        trailing.push(KIND_HEARTBEAT);
+        trailing.extend_from_slice(&3u64.to_le_bytes());
+        trailing.extend_from_slice(b"xyz");
+        assert!(matches!(
+            read_message(&mut trailing.as_slice()),
+            Err(DistError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn merge_frame_with_lying_child_count_is_rejected() {
+        let mut payload = Vec::new();
+        for v in [0u64, 0, 4, 4, u64::MAX] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut frame = MAGIC.to_le_bytes().to_vec();
+        frame.push(KIND_MERGE);
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert!(matches!(
+            read_message(&mut frame.as_slice()),
+            Err(DistError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_matrix_block_surfaces_as_codec_error() {
+        let mut buf = Vec::new();
+        let m = Message::Result {
+            job: 1,
+            partial: gen::uniform_random(6, 6, 12, 2),
+        };
+        write_message(&mut buf, &m, SpillCodec::Raw).unwrap();
+        // Flip a byte inside the SPM block's entry region: offsets past
+        // frame header (13) + job (8) + block len (8) + SPM header (28).
+        let i = 13 + 8 + 8 + 28 + 4;
+        buf[i] ^= 0xff;
+        match read_message(&mut buf.as_slice()) {
+            Err(DistError::Codec(_) | DistError::Frame(_)) => {}
+            other => panic!("expected Codec/Frame error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The shard worker: one process, one socket, the existing pipeline.
+//!
+//! A worker connects to the coordinator's Unix socket, announces itself
+//! with `Hello`, starts a heartbeat thread, and then serves jobs until
+//! `Shutdown` or EOF:
+//!
+//! * **Multiply** — runs the panel pair through the *existing*
+//!   [`StreamingExecutor`] pipeline as a single-panel ingest: one leaf,
+//!   zero merge rounds, so the partial is exactly the bits the
+//!   single-node run computes for that leaf (budget and spill settings
+//!   from the shipped [`StreamConfig`] apply per shard — a zero budget
+//!   spills the partial locally and streams it back, bit-exactly).
+//! * **Merge** — folds the children with the same
+//!   [`merge_sources`](sparch_stream::merge::merge_sources) kernel the
+//!   single-node merge stage runs, in the coordinator-given child order
+//!   (the Huffman plan's order), reusing one scratch across rounds.
+//!
+//! Both job kinds are pure functions of their message, which is what
+//! makes the coordinator's retry/duplicate logic sound.
+//!
+//! **Fault injection** (tests only): `SPARCH_DIST_FAULT=<id>:<kind>[:<ms>]`
+//! arms a fault on the worker whose generation id matches `<id>`:
+//! `die` exits mid-panel after claiming a job, `mute` suppresses all
+//! heartbeats and wedges on the first job (only the read deadline can
+//! notice), `truncate` computes the result but writes only half its
+//! frame before exiting, and `stall:<ms>` sleeps before each job while
+//! heartbeats continue — a straggler, not a corpse. Respawned workers
+//! never inherit the variable, so retries always land on a clean
+//! process.
+
+use crate::wire::{read_message, write_message, Message};
+use crate::DistError;
+use sparch_stream::merge::{merge_sources, MergeScratch, PartialSource};
+use sparch_stream::{SpillCodec, StreamConfig, StreamingExecutor};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Environment variable carrying a fault spec (see module docs).
+pub const FAULT_ENV: &str = "SPARCH_DIST_FAULT";
+
+/// An injected failure mode, parsed from [`FAULT_ENV`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// Exit(3) immediately after claiming a job — death mid-panel.
+    Die,
+    /// Never heartbeat; wedge forever on the first job.
+    Mute,
+    /// Compute the result, write half its frame, exit(4).
+    Truncate,
+    /// Sleep this long before each job; keep heartbeating (straggler).
+    Stall(Duration),
+}
+
+fn fault_for(worker: u64) -> Option<Fault> {
+    let spec = std::env::var(FAULT_ENV).ok()?;
+    let mut parts = spec.splitn(3, ':');
+    let id: u64 = parts.next()?.parse().ok()?;
+    if id != worker {
+        return None;
+    }
+    match (parts.next()?, parts.next()) {
+        ("die", _) => Some(Fault::Die),
+        ("mute", _) => Some(Fault::Mute),
+        ("truncate", _) => Some(Fault::Truncate),
+        ("stall", Some(ms)) => Some(Fault::Stall(Duration::from_millis(ms.parse().ok()?))),
+        _ => None,
+    }
+}
+
+/// Entry point behind the `sparch-dist-worker` binary:
+/// `<socket> <worker_id> <heartbeat_ms> <stream_config_json>`.
+pub fn run_from_args(args: &[String]) -> Result<(), DistError> {
+    if args.len() != 4 {
+        return Err(DistError::Worker(format!(
+            "expected <socket> <worker_id> <heartbeat_ms> <stream_config_json>, got {} args",
+            args.len()
+        )));
+    }
+    let worker: u64 = args[1]
+        .parse()
+        .map_err(|_| DistError::Worker(format!("bad worker id {:?}", args[1])))?;
+    let heartbeat_ms: u64 = args[2]
+        .parse()
+        .map_err(|_| DistError::Worker(format!("bad heartbeat interval {:?}", args[2])))?;
+    let config: StreamConfig = serde_json::from_str(&args[3])
+        .map_err(|e| DistError::Worker(format!("bad stream config: {e}")))?;
+    run(
+        Path::new(&args[0]),
+        worker,
+        Duration::from_millis(heartbeat_ms),
+        config,
+    )
+}
+
+/// Connects to the coordinator and serves jobs until shutdown.
+pub fn run(
+    socket: &Path,
+    worker: u64,
+    heartbeat: Duration,
+    config: StreamConfig,
+) -> Result<(), DistError> {
+    let fault = fault_for(worker);
+    let codec = config.spill_codec;
+    let mut read_side = UnixStream::connect(socket)
+        .map_err(|e| DistError::Io(format!("connect {}: {e}", socket.display())))?;
+    let write_side = Arc::new(Mutex::new(
+        read_side
+            .try_clone()
+            .map_err(|e| DistError::Io(e.to_string()))?,
+    ));
+
+    send(&write_side, &Message::Hello { worker }, codec)?;
+
+    if fault != Some(Fault::Mute) {
+        // The heartbeat thread shares the write lock with result sends,
+        // so frames never interleave. It dies with the process (or when
+        // the peer closes and the write errors out).
+        let beat_side = Arc::clone(&write_side);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(heartbeat);
+            let mut w = beat_side.lock().unwrap_or_else(|e| e.into_inner());
+            if write_message(&mut *w, &Message::Heartbeat, SpillCodec::Raw).is_err() {
+                break;
+            }
+        });
+    }
+
+    let executor = StreamingExecutor::new(config);
+    let mut scratch = MergeScratch::new();
+    loop {
+        let msg = match read_message(&mut read_side)? {
+            None | Some(Message::Shutdown) => return Ok(()),
+            Some(m) => m,
+        };
+        match msg {
+            Message::Multiply { job, leaf: _, a, b } => {
+                on_job_claimed(fault);
+                let width = a.cols();
+                let (partial, _report) = executor
+                    .multiply_from_panels(a.rows(), width, vec![(0..width, a)], &b)
+                    .map_err(DistError::Codec)?;
+                reply(&write_side, job, partial, codec, fault)?;
+            }
+            Message::Merge {
+                job,
+                round: _,
+                rows,
+                cols,
+                children,
+            } => {
+                on_job_claimed(fault);
+                let sources: Vec<PartialSource> =
+                    children.into_iter().map(PartialSource::from_csr).collect();
+                let partial = merge_sources(rows as usize, cols as usize, sources, &mut scratch)
+                    .map_err(DistError::Codec)?;
+                reply(&write_side, job, partial, codec, fault)?;
+            }
+            other => {
+                return Err(DistError::Frame(format!(
+                    "worker received unexpected {} frame",
+                    other.kind_name()
+                )));
+            }
+        }
+    }
+}
+
+/// Applies pre-compute faults the moment a job is claimed.
+fn on_job_claimed(fault: Option<Fault>) {
+    match fault {
+        // Death mid-panel: the job was claimed, no result will come.
+        Some(Fault::Die) => std::process::exit(3),
+        // Heartbeats are already suppressed; wedge so the only signal
+        // the coordinator ever gets is the read deadline expiring.
+        Some(Fault::Mute) => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+        Some(Fault::Stall(delay)) => std::thread::sleep(delay),
+        _ => {}
+    }
+}
+
+fn send(
+    write_side: &Arc<Mutex<UnixStream>>,
+    msg: &Message,
+    codec: SpillCodec,
+) -> Result<u64, DistError> {
+    let mut w = write_side.lock().unwrap_or_else(|e| e.into_inner());
+    write_message(&mut *w, msg, codec)
+}
+
+fn reply(
+    write_side: &Arc<Mutex<UnixStream>>,
+    job: u64,
+    partial: sparch_sparse::Csr,
+    codec: SpillCodec,
+    fault: Option<Fault>,
+) -> Result<(), DistError> {
+    let msg = Message::Result { job, partial };
+    if fault == Some(Fault::Truncate) {
+        // Serialize the full frame, put half of it on the wire, vanish:
+        // the coordinator sees a mid-frame EOF on a claimed job.
+        let mut frame = Vec::new();
+        write_message(&mut frame, &msg, codec)?;
+        use std::io::Write;
+        let mut w = write_side.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.write_all(&frame[..frame.len() / 2]);
+        let _ = w.flush();
+        std::process::exit(4);
+    }
+    send(write_side, &msg, codec)?;
+    Ok(())
+}

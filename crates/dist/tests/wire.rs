@@ -1,0 +1,104 @@
+//! Wire-framing properties across a *real* process boundary, plus the
+//! read-deadline guarantee the liveness detector rests on.
+//!
+//! The in-memory corruption grid (truncation at every byte, bad magic,
+//! lying lengths, corrupt matrix blocks) lives in `src/wire.rs`'s unit
+//! tests; these tests put actual Unix sockets and worker processes on
+//! the other end of the frame.
+
+mod common;
+
+use common::{assert_bits_equal, dist_config};
+use sparch_dist::{read_message, DistCoordinator, DistError};
+use sparch_sparse::gen;
+use sparch_stream::StreamConfig;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+#[test]
+fn frames_round_trip_through_a_worker_process_over_the_arb_grid() {
+    // Every panel pair crosses the socket to a worker and every partial
+    // crosses back, so a 1-shard distributed run over the shared `arb`
+    // strategies is an end-to-end SPM2 round-trip at process scope:
+    // any wire corruption or codec asymmetry would break bit-equality
+    // with the in-process pipeline.
+    let strategy = gen::arb::spgemm_pair(24, 220, gen::arb::ValueClass::Float);
+    let exec = sparch_stream::StreamingExecutor::new(StreamConfig::pinned());
+    for seed in 0..6u64 {
+        let (a, b) = gen::arb::sample(&strategy, seed);
+        let (expected, _) = exec.multiply(&a, &b).expect("single-node run");
+        let coordinator = DistCoordinator::new(dist_config(1));
+        let (c, report) = coordinator
+            .multiply(&a, &b)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_bits_equal(&c, &expected, &format!("arb seed {seed}"));
+        if report.partials > 0 {
+            assert!(
+                report.wire_bytes_sent > 0 && report.wire_bytes_received > 0,
+                "seed {seed}: the result did not cross the wire? report: {report:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn read_deadline_turns_silence_into_a_typed_timeout() {
+    // The coordinator's liveness detector is exactly this: read_message
+    // on a socket with a read timeout. A silent peer must produce
+    // DistError::Timeout at (roughly) the deadline — not a hang, and
+    // not a generic I/O error.
+    let (reader, _writer) = UnixStream::pair().expect("socketpair");
+    reader
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("set read timeout");
+    let mut reader = reader;
+    let start = Instant::now();
+    match read_message(&mut reader) {
+        Err(DistError::Timeout(_)) => {}
+        other => panic!("expected a timeout, got {other:?}"),
+    }
+    let waited = start.elapsed();
+    assert!(
+        waited >= Duration::from_millis(80),
+        "deadline fired early: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_secs(5),
+        "deadline nowhere near the configured 100ms: {waited:?}"
+    );
+}
+
+#[test]
+fn mid_frame_silence_also_hits_the_deadline() {
+    // A peer that sends half a header and stalls must not pin the
+    // reader: each read in the frame assembly inherits the deadline.
+    let (reader, mut writer) = UnixStream::pair().expect("socketpair");
+    reader
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("set read timeout");
+    writer.write_all(&[0x31, 0x44]).expect("partial magic");
+    writer.flush().expect("flush");
+    let mut reader = reader;
+    match read_message(&mut reader) {
+        Err(DistError::Timeout(_)) => {}
+        other => panic!("expected a timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_from_a_peer_is_a_typed_frame_error() {
+    let (reader, mut writer) = UnixStream::pair().expect("socketpair");
+    writer
+        .write_all(b"this is not a SPD1 frame at all........")
+        .expect("write garbage");
+    writer.flush().expect("flush");
+    drop(writer);
+    let mut reader = reader;
+    match read_message(&mut reader) {
+        Err(DistError::Frame(msg)) => {
+            assert!(msg.contains("magic"), "should blame the magic: {msg}");
+        }
+        other => panic!("expected a frame error, got {other:?}"),
+    }
+}

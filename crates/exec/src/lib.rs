@@ -7,11 +7,14 @@
 //! results** — the figure binaries produce bit-identical numbers at
 //! `--threads 1` and `--threads 8`.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`ShardPool`] — a std-only scoped worker pool (the build environment
 //!   is offline, so no rayon): dynamic work claiming over an atomic
 //!   cursor, results returned by submission index,
+//! * [`SharedQueue`] — the worker-side job-claiming protocol for pools
+//!   fed by a channel (the streaming pipeline's stages and the
+//!   distributed shard worker both speak it),
 //! * [`Workload`] — the unit of a sweep: a name, a `build` producing the
 //!   inputs on the worker, and a pure `run` to a serializable record
 //!   ([`FnWorkload`] assembles one from closures),
@@ -37,7 +40,9 @@
 //! ```
 
 pub mod pool;
+pub mod queue;
 pub mod workload;
 
 pub use pool::{env_threads, Permits, ShardPool, THREADS_ENV};
+pub use queue::SharedQueue;
 pub use workload::{FnWorkload, ParallelRunner, Timed, Workload};

@@ -1,14 +1,16 @@
-//! The seven software SpGEMM backends as a closed, dispatchable enum.
+//! The eight software SpGEMM backends as a closed, dispatchable enum.
 
 use serde::{Deserialize, Serialize};
+use sparch_dist::{DistConfig, DistCoordinator};
 use sparch_sparse::{algo, Csr};
 use sparch_stream::{StreamConfig, StreamingExecutor};
 use std::fmt;
 use std::str::FromStr;
 
 /// One of the software SpGEMM implementations the serving layer can
-/// dispatch to: the six in-memory kernels in `sparch_sparse::algo` plus
-/// the out-of-core streaming pipeline in `sparch_stream`.
+/// dispatch to: the six in-memory kernels in `sparch_sparse::algo`, the
+/// out-of-core streaming pipeline in `sparch_stream`, and the
+/// multi-process sharded pipeline in `sparch_dist`.
 ///
 /// SpArch's premise — and SparseZipper's, for CPU SpGEMM — is that no
 /// single insertion strategy wins across matrix structures: Gustavson's
@@ -37,11 +39,17 @@ pub enum Backend {
     /// Panel-partitioned, memory-budgeted out-of-core pipeline
     /// (`sparch_stream` — the paper's partial-matrix merge discipline).
     Streaming,
+    /// Panel-sharded multi-process pipeline (`sparch_dist`): the same
+    /// panels and merge plan as `Streaming`, executed by shard worker
+    /// processes with their own address spaces — the footprint escape
+    /// hatch when even one streaming pipeline's resident set is too
+    /// much for the serving process.
+    Distributed,
 }
 
 impl Backend {
     /// Every backend, in the canonical (tie-breaking) order.
-    pub const ALL: [Backend; 7] = [
+    pub const ALL: [Backend; 8] = [
         Backend::Gustavson,
         Backend::Hash,
         Backend::Heap,
@@ -49,13 +57,14 @@ impl Backend {
         Backend::Inner,
         Backend::Outer,
         Backend::Streaming,
+        Backend::Distributed,
     ];
 
     /// The backends that materialize everything in RAM — the universe
-    /// the adaptive policy's work-model argmin runs over. `Streaming` is
-    /// excluded: it exists to bound memory, not to win on compute, and
-    /// is selected by the dispatcher's footprint rule (or explicitly)
-    /// instead.
+    /// the adaptive policy's work-model argmin runs over. `Streaming`
+    /// and `Distributed` are excluded: they exist to bound memory, not
+    /// to win on compute, and are selected by the dispatcher's
+    /// footprint rules (or explicitly) instead.
     pub const IN_MEMORY: [Backend; 6] = [
         Backend::Gustavson,
         Backend::Hash,
@@ -75,6 +84,7 @@ impl Backend {
             Backend::Inner => "inner_product",
             Backend::Outer => "outer_product",
             Backend::Streaming => "streaming",
+            Backend::Distributed => "distributed",
         }
     }
 
@@ -112,7 +122,25 @@ impl Backend {
             Backend::Inner => algo::inner_product(a, b),
             Backend::Outer => algo::outer_product(a, b),
             Backend::Streaming => run_streaming_with(StreamConfig::pinned(), a, b),
+            Backend::Distributed => run_distributed_with(DistConfig::pinned(2), a, b),
         }
+    }
+}
+
+/// Runs the distributed coordinator under `config`, degrading instead of
+/// dying: if the fleet cannot be spawned (worker binary missing, socket
+/// trouble) or a job exhausts its retries, the step falls back to the
+/// in-process streaming pipeline under the *same* stream configuration.
+/// The fallback is **bit-identical** by construction — the coordinator
+/// and the streaming executor share the panel split, the Huffman plan
+/// and the merge kernels — so degradation costs locality, never
+/// correctness. (The streaming fallback itself degrades to an unbounded
+/// in-core run on spill I/O failure; see [`run_streaming_with`].)
+pub(crate) fn run_distributed_with(config: DistConfig, a: &Csr, b: &Csr) -> Csr {
+    let stream = config.stream.clone();
+    match DistCoordinator::new(config).multiply(a, b) {
+        Ok((c, _)) => c,
+        Err(_) => run_streaming_with(stream, a, b),
     }
 }
 
@@ -161,9 +189,10 @@ impl FromStr for Backend {
             "inner" | "inner_product" => Ok(Backend::Inner),
             "outer" | "outer_product" => Ok(Backend::Outer),
             "stream" | "streaming" => Ok(Backend::Streaming),
+            "dist" | "distributed" => Ok(Backend::Distributed),
             other => Err(format!(
                 "unknown backend {other:?} (expected one of: gustavson, hash, heap, \
-                 sort_merge, inner, outer, streaming)"
+                 sort_merge, inner, outer, streaming, distributed)"
             )),
         }
     }
@@ -242,12 +271,33 @@ mod tests {
     }
 
     #[test]
-    fn in_memory_is_all_minus_streaming() {
-        assert_eq!(Backend::IN_MEMORY.len() + 1, Backend::ALL.len());
+    fn in_memory_is_all_minus_the_footprint_backends() {
+        assert_eq!(Backend::IN_MEMORY.len() + 2, Backend::ALL.len());
         assert!(!Backend::IN_MEMORY.contains(&Backend::Streaming));
+        assert!(!Backend::IN_MEMORY.contains(&Backend::Distributed));
         assert!(Backend::ALL.contains(&Backend::Streaming));
+        assert!(Backend::ALL.contains(&Backend::Distributed));
         for b in Backend::IN_MEMORY {
             assert!(Backend::ALL.contains(&b));
         }
+    }
+
+    #[test]
+    fn distributed_backend_degrades_to_streaming_when_no_worker_exists() {
+        // Point the coordinator at a worker binary that does not exist:
+        // the fleet cannot spawn, and the step must fall back to the
+        // in-process pipeline with the same (bit-identical) result.
+        let a = gen::uniform_random(20, 24, 90, 5);
+        let b = gen::uniform_random(24, 16, 80, 6);
+        let config = sparch_dist::DistConfig {
+            worker: Some(std::path::PathBuf::from("/nonexistent/sparch-dist-worker")),
+            ..sparch_dist::DistConfig::pinned(2)
+        };
+        let c = run_distributed_with(config, &a, &b);
+        assert_eq!(
+            c,
+            run_streaming_with(StreamConfig::pinned(), &a, &b),
+            "degraded result must be bit-identical to the streaming pipeline"
+        );
     }
 }

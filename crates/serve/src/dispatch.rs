@@ -183,7 +183,11 @@ impl TaskFeatures {
 /// * streaming — Gustavson per panel plus every output entry crossing the
 ///   Huffman merge of the default panel count: by construction never
 ///   cheaper than plain Gustavson, so it only wins through the
-///   dispatcher's footprint rule (or an explicit fixed policy).
+///   dispatcher's footprint rule (or an explicit fixed policy),
+/// * distributed — the streaming shape plus every operand and output
+///   entry crossing a socket twice (panel out, partial back): strictly
+///   dominated by streaming in model units, so it is only ever selected
+///   by the dispatcher's *distributed* footprint rule or explicitly.
 pub fn model_cost(backend: Backend, f: &TaskFeatures) -> f64 {
     let m = f.multiplies as f64;
     let o = f.output_nnz as f64;
@@ -208,6 +212,11 @@ pub fn model_cost(backend: Backend, f: &TaskFeatures) -> f64 {
         Backend::Streaming => {
             let panels = sparch_stream::StreamConfig::default().panels as f64;
             m + o * avg_out.log2() + o * (1.0 + panels.max(2.0).log2())
+        }
+        Backend::Distributed => {
+            // The streaming shape, plus wire crossings: both operands
+            // ship out panel by panel and every partial ships back.
+            model_cost(Backend::Streaming, f) + 2.0 * (f.a_nnz + f.b_nnz) as f64 + 2.0 * o
         }
     }
 }
@@ -320,12 +329,18 @@ impl FromStr for DispatchPolicy {
 /// [`TaskFeatures::estimated_footprint_bytes`] exceeds it are routed to
 /// [`Backend::Streaming`] *before* the policy applies — an in-memory
 /// backend would materialize more than the budget allows, so the budget
-/// guard overrides both fixed and adaptive policies.
+/// guard overrides both fixed and adaptive policies. A second, larger
+/// threshold ([`AdaptiveDispatcher::with_distributed_threshold`])
+/// escalates past-streaming tasks to [`Backend::Distributed`]: when even
+/// one pipeline's resident panels are too much for the serving process,
+/// the work moves to shard worker processes with their own address
+/// spaces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveDispatcher {
     policy: DispatchPolicy,
     calibration: Calibration,
     memory_budget: Option<u64>,
+    distributed_threshold: Option<u64>,
 }
 
 impl AdaptiveDispatcher {
@@ -336,6 +351,7 @@ impl AdaptiveDispatcher {
             policy,
             calibration,
             memory_budget: None,
+            distributed_threshold: None,
         }
     }
 
@@ -343,6 +359,16 @@ impl AdaptiveDispatcher {
     /// `bytes` of live memory go to [`Backend::Streaming`].
     pub fn with_memory_budget(mut self, bytes: u64) -> Self {
         self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Enables distributed routing: tasks estimated to need more than
+    /// `bytes` go to [`Backend::Distributed`]. Checked before the
+    /// streaming budget, so set it at or above `with_memory_budget`'s
+    /// value — the biggest tasks shard out, mid-size tasks stream, and
+    /// everything else stays in memory.
+    pub fn with_distributed_threshold(mut self, bytes: u64) -> Self {
+        self.distributed_threshold = Some(bytes);
         self
     }
 
@@ -361,12 +387,25 @@ impl AdaptiveDispatcher {
         self.memory_budget
     }
 
+    /// The configured distributed-routing threshold in bytes, if any.
+    pub fn distributed_threshold(&self) -> Option<u64> {
+        self.distributed_threshold
+    }
+
     /// Picks the backend for one multiply step and returns it with its
     /// calibrated model cost. The footprint rule (see the type docs)
     /// applies first; under the adaptive policy the work-model argmin
     /// then runs over [`Backend::IN_MEMORY`], with ties breaking toward
     /// the earlier entry.
     pub fn choose(&self, features: &TaskFeatures) -> (Backend, f64) {
+        if let Some(threshold) = self.distributed_threshold {
+            if features.estimated_footprint_bytes > threshold {
+                return (
+                    Backend::Distributed,
+                    self.calibrated_cost(Backend::Distributed, features),
+                );
+            }
+        }
         if let Some(budget) = self.memory_budget {
             if features.estimated_footprint_bytes > budget {
                 return (
@@ -520,6 +559,39 @@ mod tests {
         let d = AdaptiveDispatcher::new(DispatchPolicy::Adaptive, Calibration::reference());
         assert_eq!(d.memory_budget(), None);
         assert_ne!(d.choose(&f).0, Backend::Streaming);
+    }
+
+    #[test]
+    fn distributed_threshold_routes_the_biggest_tasks_out_of_process() {
+        let f = features(0);
+        // Threshold below the task's footprint: distributed, under any
+        // policy — the shard fleet is the only place the step fits.
+        for policy in [
+            DispatchPolicy::Adaptive,
+            DispatchPolicy::Fixed(Backend::Hash),
+        ] {
+            let d = AdaptiveDispatcher::new(policy, Calibration::reference())
+                .with_distributed_threshold(f.estimated_footprint_bytes - 1);
+            assert_eq!(d.choose(&f).0, Backend::Distributed, "policy {policy}");
+        }
+        // The distributed threshold outranks the memory budget: a step
+        // over both goes out of process, one over only the budget streams
+        // in-process.
+        let d = AdaptiveDispatcher::new(DispatchPolicy::Adaptive, Calibration::reference())
+            .with_memory_budget(f.estimated_footprint_bytes - 1)
+            .with_distributed_threshold(f.estimated_footprint_bytes - 1);
+        assert_eq!(d.choose(&f).0, Backend::Distributed);
+        let d = AdaptiveDispatcher::new(DispatchPolicy::Adaptive, Calibration::reference())
+            .with_memory_budget(f.estimated_footprint_bytes - 1)
+            .with_distributed_threshold(f.estimated_footprint_bytes);
+        assert_eq!(d.choose(&f).0, Backend::Streaming);
+        assert_eq!(d.distributed_threshold(), Some(f.estimated_footprint_bytes));
+        // Shipping operands over sockets is never modeled as free: the
+        // adaptive argmin must not land on distributed by itself.
+        assert!(model_cost(Backend::Distributed, &f) > model_cost(Backend::Streaming, &f));
+        let d = AdaptiveDispatcher::new(DispatchPolicy::Adaptive, Calibration::reference());
+        assert_eq!(d.distributed_threshold(), None);
+        assert_ne!(d.choose(&f).0, Backend::Distributed);
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct ServiceConfig {
     /// in-memory backend would materialize more than the budget). `None`
     /// disables footprint routing.
     pub memory_budget: Option<u64>,
+    /// Second, larger footprint threshold in bytes: steps estimated
+    /// above it are routed to [`Backend::Distributed`] — shard worker
+    /// processes with their own address spaces — instead of the
+    /// in-process streaming pipeline. Set it at or above
+    /// `memory_budget`. `None` disables distributed routing.
+    pub distributed_threshold: Option<u64>,
     /// Pipeline configuration for streaming steps: panel count and
     /// balance mode, merge fan-in, spill codec. The default is the
     /// deterministic [`sparch_stream::StreamConfig::pinned`] (single
@@ -63,6 +69,7 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             calibration: None,
             memory_budget: None,
+            distributed_threshold: None,
             stream_config: sparch_stream::StreamConfig::pinned(),
         }
     }
@@ -203,6 +210,9 @@ impl SpgemmService {
         let mut dispatcher = AdaptiveDispatcher::new(config.policy, calibration);
         if let Some(budget) = config.memory_budget {
             dispatcher = dispatcher.with_memory_budget(budget);
+        }
+        if let Some(threshold) = config.distributed_threshold {
+            dispatcher = dispatcher.with_distributed_threshold(threshold);
         }
         SpgemmService {
             dispatcher,
@@ -469,6 +479,21 @@ impl<'a> StepLog<'a> {
                     config.budget = sparch_stream::MemoryBudget::from_bytes(budget);
                 }
                 crate::backend::run_streaming_with(config, a, b)
+            }
+            // A distributed step ships the service's stream config (and
+            // budget, applied *per shard*) to the worker fleet; if no
+            // fleet can be spawned it degrades to the streaming pipeline
+            // with the identical result.
+            Backend::Distributed => {
+                let mut stream = self.stream_config.clone();
+                if let Some(budget) = d.memory_budget() {
+                    stream.budget = sparch_stream::MemoryBudget::from_bytes(budget);
+                }
+                let config = sparch_dist::DistConfig {
+                    stream,
+                    ..sparch_dist::DistConfig::default()
+                };
+                crate::backend::run_distributed_with(config, a, b)
             }
             _ => backend.run(a, b),
         }

@@ -215,6 +215,13 @@ fn adaptive_total_model_work_is_within_10_percent_of_best_fixed() {
     let mut best_fixed = f64::INFINITY;
     let mut best_name = "";
     for backend in Backend::ALL {
+        // The distributed backend spawns a worker fleet per step; a
+        // 1000-request batch through it is a process-spawn stress test,
+        // not a dispatch-quality measurement. Its model cost strictly
+        // dominates streaming, so it can never be the best fixed choice.
+        if backend == Backend::Distributed {
+            continue;
+        }
         let report = run(DispatchPolicy::Fixed(backend), 2);
         if report.total_model_cost < best_fixed {
             best_fixed = report.total_model_cost;

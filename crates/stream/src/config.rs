@@ -134,7 +134,10 @@ impl FromStr for SpillCodec {
 }
 
 /// Configuration of a [`StreamingExecutor`](crate::StreamingExecutor).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so the distributed coordinator can hand a shard worker
+/// process its exact pipeline configuration on the command line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamConfig {
     /// Cap on resident partial bytes; see [`MemoryBudget`].
     pub budget: MemoryBudget,
@@ -163,6 +166,7 @@ pub struct StreamConfig {
     pub merge_workers: Option<usize>,
     /// Where spilled partials go. `None` uses the system temp directory.
     /// Each run creates (and removes) its own unique subdirectory.
+    /// Serialized as a string path (lossy for non-UTF-8 paths).
     pub spill_dir: Option<PathBuf>,
 }
 

@@ -54,7 +54,7 @@ use crate::store::{PartialStore, SpillJob, StoreStats};
 use crate::{StreamConfig, StreamError};
 use serde::{Deserialize, Serialize};
 use sparch_core::sched::{huffman_plan, MergePlan, PlanNode};
-use sparch_exec::{Permits, ShardPool};
+use sparch_exec::{Permits, ShardPool, SharedQueue};
 use sparch_sparse::{algo, Csr, Index};
 use std::ops::Range;
 use std::path::PathBuf;
@@ -265,13 +265,14 @@ where
     let (spill_tx, spill_rx) = sync_channel::<SpillJob>(1);
     store.set_spill_sink(spill_tx);
 
-    // The job/round receivers live in Options so their worker-stage
-    // threads can drop them once every worker is done — even by panic.
-    // The job-channel disconnect is what unblocks a reader mid-send;
-    // without the unconditional cleanup a worker panic would wedge it
-    // instead of propagating at join.
-    let job_rx = Mutex::new(Some(job_rx));
-    let round_rx = Mutex::new(Some(round_rx));
+    // The job/round receivers become shared claim queues so any worker
+    // in a stage can take the next job. Each stage *closes* its queue
+    // once every worker is done — even by panic: the job-channel
+    // disconnect is what unblocks a reader mid-send; without the
+    // unconditional close a worker panic would wedge it instead of
+    // propagating at join.
+    let job_rx = SharedQueue::new(job_rx);
+    let round_rx = SharedQueue::new(round_rx);
     // Jobs in the submitted-to-consumed window (reader sent the pair,
     // orchestrator has not yet received the partial); the overlap
     // counters sample this.
@@ -317,7 +318,7 @@ where
             // Close the job channel and announce the stage end, panic or
             // not (see the channel setup above). The Closed event is what
             // tells the orchestrator no more partials can arrive.
-            drop(job_rx_ref.lock().unwrap_or_else(|e| e.into_inner()).take());
+            job_rx_ref.close();
             let _ = evt_proto
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -337,12 +338,7 @@ where
                     merge_worker(round_rx_ref, &tx, a_rows, b_cols);
                 });
             }));
-            drop(
-                round_rx_ref
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .take(),
-            );
+            round_rx_ref.close();
             let _ = evt_proto
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -521,27 +517,9 @@ fn validate_pair(
 /// comparable width runs allocation-free (the same per-worker reuse
 /// discipline as [`merge_worker`]'s `MergeScratch`). Each job visits
 /// only the occupied rows recorded at slicing time.
-fn multiply_worker(
-    job_rx: &Mutex<Option<Receiver<MultiplyJob>>>,
-    evt_tx: &Sender<Event>,
-    gate: &Permits,
-) {
+fn multiply_worker(job_rx: &SharedQueue<MultiplyJob>, evt_tx: &Sender<Event>, gate: &Permits) {
     let mut scratch = algo::MultiplyScratch::new();
-    loop {
-        // The lock is held only for the claim (including any blocking
-        // wait for the reader), never for the multiply itself — claiming
-        // serializes, compute parallelizes.
-        let claimed = {
-            let guard = job_rx.lock().expect("job receiver poisoned");
-            match guard.as_ref() {
-                Some(rx) => rx.recv(),
-                None => break,
-            }
-        };
-        let job = match claimed {
-            Ok(job) => job,
-            Err(_) => break,
-        };
+    while let Some(job) = job_rx.claim() {
         let reuses_before = scratch.reuses();
         let t0 = Instant::now();
         let partial = algo::gustavson_scratch_on_rows(&job.a, &job.b, &job.live, &mut scratch);
@@ -569,24 +547,13 @@ fn multiply_worker(
 /// channel, runs the k-way kernel (reusing its scratch lanes across
 /// rounds), and reports the result.
 fn merge_worker(
-    round_rx: &Mutex<Option<Receiver<RoundJob>>>,
+    round_rx: &SharedQueue<RoundJob>,
     evt_tx: &Sender<Event>,
     a_rows: usize,
     b_cols: usize,
 ) {
     let mut scratch = MergeScratch::new();
-    loop {
-        let claimed = {
-            let guard = round_rx.lock().expect("round receiver poisoned");
-            match guard.as_ref() {
-                Some(rx) => rx.recv(),
-                None => break,
-            }
-        };
-        let job = match claimed {
-            Ok(job) => job,
-            Err(_) => break,
-        };
+    while let Some(job) = round_rx.claim() {
         let triples: u64 = job.sources.iter().map(|s| s.remaining_nnz() as u64).sum();
         let t0 = Instant::now();
         let outcome = merge_sources(a_rows, b_cols, job.sources, &mut scratch);

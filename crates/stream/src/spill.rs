@@ -43,11 +43,18 @@
 //! larger than raw, on any input. The reader dispatches on the magic,
 //! so the choice is invisible to the merge heap: both formats stream
 //! back through the same bounded buffer.
+//!
+//! The same encoding doubles as the **wire format** of the distributed
+//! layer: [`encode_partial`] produces the header + body as bytes for a
+//! socket frame, and [`decode_partial`] is its *untrusting* inverse —
+//! it validates the header, coordinate order and bounds and the exact
+//! payload length, so a truncated or corrupted frame surfaces as a
+//! typed [`StreamError::Io`], never a panic.
 
 use crate::{SpillCodec, StreamError};
 use sparch_sparse::{Csr, CsrBuilder, Index, Triple};
 use std::fs::File;
-use std::io::{BufWriter, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC_RAW: u32 = 0x5350_4d31;
@@ -62,6 +69,14 @@ const READ_BUF_BYTES: usize = 64 * 1024;
 /// Worst-case encoded size of one varint entry: three 10-byte LEB128
 /// fields (drow, token, value) — the batch decoder's look-ahead bound.
 const MAX_VARINT_ENTRY_BYTES: usize = 30;
+
+/// Largest row/column count [`decode_partial`] accepts. The row-pointer
+/// array scales with the declared row count *before* any entry is read,
+/// so a corrupt wire header must not be able to provoke an unbounded
+/// allocation; 16M rows (a 128 MiB row-pointer worst case) sits far
+/// above any shape this system ships while keeping the damage a hostile
+/// frame can do survivable.
+const MAX_WIRE_DIM: u64 = 1 << 24;
 
 /// A partial matrix sitting on disk.
 #[derive(Debug)]
@@ -101,8 +116,33 @@ pub fn varint_size(csr: &Csr) -> u64 {
 /// [`SpillFile::bytes`] never exceeds [`raw_size`]. The magic records
 /// the format actually chosen.
 pub fn write_partial(path: &Path, csr: &Csr, codec: SpillCodec) -> Result<SpillFile, StreamError> {
+    let write = || -> io::Result<u64> {
+        let mut w = BufWriter::new(File::create(path)?);
+        let bytes = encode_into(&mut w, csr, codec)?;
+        w.flush()?;
+        Ok(bytes)
+    };
+    let bytes = write().map_err(|e| spill_io(path, "write", &e))?;
+    Ok(SpillFile {
+        path: path.to_path_buf(),
+        bytes,
+    })
+}
+
+/// An I/O failure on a spill file, with the path it happened on — the
+/// context an operator needs when a temp volume fills up mid-run.
+fn spill_io(path: &Path, verb: &str, detail: &dyn std::fmt::Display) -> StreamError {
+    StreamError::Io(format!(
+        "failed to {verb} spill file {}: {detail}",
+        path.display()
+    ))
+}
+
+/// The shared encoder behind [`write_partial`] and [`encode_partial`]:
+/// header plus body in the format the codec request resolves to (with
+/// the raw fallback applied), returning the bytes written.
+fn encode_into<W: Write>(w: &mut W, csr: &Csr, codec: SpillCodec) -> io::Result<u64> {
     let use_varint = codec == SpillCodec::Varint && varint_size(csr) < raw_size(csr);
-    let mut w = BufWriter::new(File::create(path)?);
     let magic = if use_varint { MAGIC_VARINT } else { MAGIC_RAW };
     w.write_all(&magic.to_le_bytes())?;
     w.write_all(&(csr.rows() as u64).to_le_bytes())?;
@@ -113,10 +153,10 @@ pub fn write_partial(path: &Path, csr: &Csr, codec: SpillCodec) -> Result<SpillF
         let mut enc = DeltaState::new();
         for (r, c, v) in csr.iter() {
             let (drow, token, value) = enc.encode(r, c, v);
-            bytes += write_varint(&mut w, drow)?;
-            bytes += write_varint(&mut w, token)?;
+            bytes += write_varint(w, drow)?;
+            bytes += write_varint(w, token)?;
             match value {
-                ValueEnc::Varint(vbits) => bytes += write_varint(&mut w, vbits)?,
+                ValueEnc::Varint(vbits) => bytes += write_varint(w, vbits)?,
                 ValueEnc::Raw(vbits) => {
                     w.write_all(&vbits.to_le_bytes())?;
                     bytes += 8;
@@ -131,11 +171,101 @@ pub fn write_partial(path: &Path, csr: &Csr, codec: SpillCodec) -> Result<SpillF
         }
         bytes += csr.nnz() as u64 * RAW_ENTRY_BYTES;
     }
-    w.flush()?;
-    Ok(SpillFile {
-        path: path.to_path_buf(),
-        bytes,
-    })
+    Ok(bytes)
+}
+
+/// Encodes `csr` into the spill format in memory — the payload the
+/// distributed layer ships over a socket. Identical bytes to what
+/// [`write_partial`] puts on disk, including the raw fallback.
+pub fn encode_partial(csr: &Csr, codec: SpillCodec) -> Vec<u8> {
+    let cap = match codec {
+        SpillCodec::Raw => raw_size(csr),
+        SpillCodec::Varint => varint_size(csr).min(raw_size(csr)),
+    };
+    let mut buf = Vec::with_capacity(cap as usize);
+    encode_into(&mut buf, csr, codec).expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// Decodes a partial from an **untrusted** byte slice — the inverse of
+/// [`encode_partial`] for frames that crossed a process boundary.
+///
+/// Unlike [`SpillReader`] (which trusts its own spill files), every
+/// declared quantity is validated before it is believed: the magic, the
+/// shape (indices are `u32`), the entry count against the payload's
+/// minimum entry size, strictly increasing `(row, col)` coordinates
+/// within bounds, and an exact-length payload (trailing garbage is an
+/// error). Corruption therefore surfaces as [`StreamError::Io`] — never
+/// a panic, an over-allocation, or a silently wrong matrix.
+pub fn decode_partial(bytes: &[u8]) -> Result<Csr, StreamError> {
+    let mut r = bytes;
+    let magic = read_u32(&mut r).map_err(|_| truncated("header"))?;
+    let mut delta = match magic {
+        MAGIC_RAW => None,
+        MAGIC_VARINT => Some(DeltaState::new()),
+        _ => {
+            return Err(StreamError::Io(format!(
+                "bad partial magic {magic:#010x} in wire payload"
+            )))
+        }
+    };
+    let rows = read_u64(&mut r).map_err(|_| truncated("header"))?;
+    let cols = read_u64(&mut r).map_err(|_| truncated("header"))?;
+    let nnz = read_u64(&mut r).map_err(|_| truncated("header"))?;
+    if rows > MAX_WIRE_DIM || cols > MAX_WIRE_DIM {
+        return Err(StreamError::Io(format!(
+            "partial payload declares implausible shape {rows}x{cols} (limit {MAX_WIRE_DIM})"
+        )));
+    }
+    // Every entry costs at least 3 bytes (varint: drow + token + value,
+    // one byte each) — a declared count the payload cannot possibly hold
+    // is rejected before any allocation sized by it.
+    let min_entry = if delta.is_some() { 3 } else { RAW_ENTRY_BYTES };
+    if nnz.saturating_mul(min_entry) > r.len() as u64 {
+        return Err(StreamError::Io(format!(
+            "partial payload declares {nnz} entries but holds only {} body bytes",
+            r.len()
+        )));
+    }
+    let mut b = CsrBuilder::with_capacity(rows as usize, cols as usize, nnz as usize);
+    let mut prev: Option<(Index, Index)> = None;
+    for _ in 0..nnz {
+        let (row, col, v) = match &mut delta {
+            None => {
+                let row = read_u32(&mut r).map_err(|_| truncated("entry"))?;
+                let col = read_u32(&mut r).map_err(|_| truncated("entry"))?;
+                let bits = read_u64(&mut r).map_err(|_| truncated("entry"))?;
+                (row as Index, col as Index, f64::from_bits(bits))
+            }
+            // A short read mid-entry surfaces as the reader's own
+            // `UnexpectedEof`-derived message; overflow keeps its own.
+            Some(state) => state.decode(&mut r)?,
+        };
+        if row as u64 >= rows || col as u64 >= cols {
+            return Err(StreamError::Io(format!(
+                "partial entry ({row}, {col}) outside declared shape {rows}x{cols}"
+            )));
+        }
+        if prev.is_some_and(|p| p >= (row, col)) {
+            return Err(StreamError::Io(format!(
+                "partial entries not in strictly increasing (row, col) order at ({row}, {col})"
+            )));
+        }
+        prev = Some((row, col));
+        b.push(row, col, v);
+    }
+    if !r.is_empty() {
+        return Err(StreamError::Io(format!(
+            "partial payload has {} trailing bytes past the declared {nnz} entries",
+            r.len()
+        )));
+    }
+    Ok(b.finish())
+}
+
+/// The truncation error every under-long wire payload maps to.
+fn truncated(what: &str) -> StreamError {
+    StreamError::Io(format!("partial payload truncated mid-{what}"))
 }
 
 /// How one value is stored in the varint format.
@@ -187,17 +317,25 @@ impl DeltaState {
         (drow, (cval << 1) | mode, value)
     }
 
-    /// Decodes one entry from `reader`, advancing the state.
+    /// Decodes one entry from `reader`, advancing the state. Delta sums
+    /// are checked: a corrupt stream whose accumulated row or column
+    /// escapes the `u32` index space errors out instead of wrapping.
     fn decode<R: Read>(&mut self, reader: &mut R) -> Result<Triple, StreamError> {
-        let drow = read_varint(reader)? as Index;
+        let drow = read_varint(reader)?;
         let token = read_varint(reader)?;
-        let (cval, mode) = ((token >> 1) as Index, token & 1);
-        let r = self.prev_row + drow;
-        let c = if self.first || drow > 0 {
+        let (cval, mode) = (token >> 1, token & 1);
+        let r64 = self.prev_row as u64 + drow;
+        let c64 = if self.first || drow > 0 {
             cval
         } else {
-            self.prev_col + cval
+            self.prev_col as u64 + cval
         };
+        if r64 > u32::MAX as u64 || c64 > u32::MAX as u64 {
+            return Err(StreamError::Io(
+                "delta-coded coordinate overflows the u32 index space".into(),
+            ));
+        }
+        let (r, c) = (r64 as Index, c64 as Index);
         let v = if mode == 0 {
             f64::from_bits(read_varint(reader)?.swap_bytes())
         } else {
@@ -326,22 +464,35 @@ pub struct SpillReader {
     remaining: u64,
     /// Delta state for the varint format; `None` for raw.
     delta: Option<DeltaState>,
+    /// Where the partial lives — prefixed onto every I/O error so a
+    /// failure deep in a merge names the file that caused it.
+    path: PathBuf,
+}
+
+/// Prefixes the spill file's path onto an I/O error's message.
+fn with_path(path: &Path, e: StreamError) -> StreamError {
+    match e {
+        StreamError::Io(msg) => StreamError::Io(format!("spill file {}: {msg}", path.display())),
+        other => other,
+    }
 }
 
 impl SpillReader {
     /// Opens a spill file, validates its header and selects the decoder
-    /// for the format named by the magic.
+    /// for the format named by the magic. Errors from here and from
+    /// every read that follows carry the file's path.
     pub fn open(path: &Path) -> Result<Self, StreamError> {
+        Self::open_inner(path).map_err(|e| with_path(path, e))
+    }
+
+    fn open_inner(path: &Path) -> Result<Self, StreamError> {
         let mut buf = SpillBuf::new(File::open(path)?);
         let magic = read_u32(&mut buf)?;
         let delta = match magic {
             MAGIC_RAW => None,
             MAGIC_VARINT => Some(DeltaState::new()),
             _ => {
-                return Err(StreamError::Io(format!(
-                    "bad spill magic {magic:#010x} in {}",
-                    path.display()
-                )))
+                return Err(StreamError::Io(format!("bad spill magic {magic:#010x}")));
             }
         };
         let rows = read_u64(&mut buf)? as usize;
@@ -353,6 +504,7 @@ impl SpillReader {
             cols,
             remaining,
             delta,
+            path: path.to_path_buf(),
         })
     }
 
@@ -368,6 +520,11 @@ impl SpillReader {
 
     /// The next triple in `(row, col)` order, or `None` at the end.
     pub fn next_triple(&mut self) -> Result<Option<Triple>, StreamError> {
+        self.next_triple_inner()
+            .map_err(|e| with_path(&self.path, e))
+    }
+
+    fn next_triple_inner(&mut self) -> Result<Option<Triple>, StreamError> {
         if self.remaining == 0 {
             return Ok(None);
         }
@@ -390,6 +547,18 @@ impl SpillReader {
     /// slice arithmetic instead of per-field `Read` calls, and the
     /// delta/varint state machine is shared with the per-triple path.
     pub fn next_chunk(
+        &mut self,
+        max: usize,
+        keys: &mut Vec<u64>,
+        vals: &mut Vec<f64>,
+    ) -> Result<usize, StreamError> {
+        match self.next_chunk_inner(max, keys, vals) {
+            Ok(n) => Ok(n),
+            Err(e) => Err(with_path(&self.path, e)),
+        }
+    }
+
+    fn next_chunk_inner(
         &mut self,
         max: usize,
         keys: &mut Vec<u64>,
@@ -533,7 +702,7 @@ fn varint_len(v: u64) -> u64 {
 }
 
 /// Writes `v` as LEB128, returning the bytes written.
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> Result<u64, StreamError> {
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<u64> {
     let mut written = 0u64;
     loop {
         let byte = (v & 0x7f) as u8;
@@ -803,5 +972,148 @@ mod tests {
                 "{codec}"
             );
         }
+    }
+
+    /// The in-memory encoder is byte-for-byte the on-disk writer, and
+    /// the untrusting decoder inverts it bit-exactly — the contract the
+    /// distributed wire format stands on.
+    #[test]
+    fn encode_partial_matches_disk_bytes_and_round_trips() {
+        let dir = TempDir::new("spill_wire");
+        let int = sparch_sparse::linalg::map_values(&gen::uniform_random(16, 20, 90, 3), |v| {
+            (v * 4.0).round()
+        });
+        let float = gen::uniform_random(16, 20, 90, 5);
+        let empty = Csr::zero(6, 9);
+        for (tag, m) in [("int", &int), ("float", &float), ("empty", &empty)] {
+            for codec in [SpillCodec::Raw, SpillCodec::Varint] {
+                let wire = encode_partial(m, codec);
+                let path = dir.file(&format!("wire_{tag}_{codec}.bin"));
+                write_partial(&path, m, codec).unwrap();
+                assert_eq!(wire, std::fs::read(&path).unwrap(), "{tag} {codec}");
+                let back = decode_partial(&wire).unwrap();
+                assert_eq!(&back, m, "{tag} {codec}");
+                for ((_, _, a), (_, _, b)) in back.iter().zip(m.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{tag} {codec}");
+                }
+            }
+        }
+    }
+
+    /// Every class of wire corruption maps to a typed error: truncation
+    /// at any byte, bad magic, lying headers, out-of-order or
+    /// out-of-bounds entries, trailing garbage. Never a panic, and the
+    /// entry-count check runs before any count-sized allocation.
+    #[test]
+    fn decode_partial_rejects_corruption() {
+        let m = sparch_sparse::linalg::map_values(&gen::uniform_random(10, 12, 40, 9), |v| {
+            (v * 2.0).round()
+        });
+        for codec in [SpillCodec::Raw, SpillCodec::Varint] {
+            let wire = encode_partial(&m, codec);
+            for cut in 0..wire.len() {
+                assert!(
+                    matches!(decode_partial(&wire[..cut]), Err(StreamError::Io(_))),
+                    "{codec} truncated at {cut} must error"
+                );
+            }
+            let mut trailing = wire.clone();
+            trailing.push(0);
+            assert!(matches!(decode_partial(&trailing), Err(StreamError::Io(_))));
+            let mut bad_magic = wire.clone();
+            bad_magic[0] ^= 0xff;
+            assert!(matches!(
+                decode_partial(&bad_magic),
+                Err(StreamError::Io(_))
+            ));
+            // Header lies: an absurd dimension and an entry count the
+            // body cannot hold are both rejected up front.
+            let mut huge_dim = wire.clone();
+            huge_dim[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+            assert!(matches!(decode_partial(&huge_dim), Err(StreamError::Io(_))));
+            let mut fat_nnz = wire.clone();
+            fat_nnz[20..28].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+            assert!(matches!(decode_partial(&fat_nnz), Err(StreamError::Io(_))));
+        }
+        // Hand-built raw payloads: out-of-bounds and out-of-order entries.
+        let entry = |r: u32, c: u32, v: f64| {
+            let mut e = r.to_le_bytes().to_vec();
+            e.extend_from_slice(&c.to_le_bytes());
+            e.extend_from_slice(&v.to_bits().to_le_bytes());
+            e
+        };
+        let header = |nnz: u64| {
+            let mut h = MAGIC_RAW.to_le_bytes().to_vec();
+            h.extend_from_slice(&4u64.to_le_bytes());
+            h.extend_from_slice(&4u64.to_le_bytes());
+            h.extend_from_slice(&nnz.to_le_bytes());
+            h
+        };
+        let mut oob = header(1);
+        oob.extend_from_slice(&entry(2, 7, 1.0));
+        assert!(matches!(decode_partial(&oob), Err(StreamError::Io(_))));
+        let mut unsorted = header(2);
+        unsorted.extend_from_slice(&entry(1, 3, 1.0));
+        unsorted.extend_from_slice(&entry(1, 3, 2.0));
+        assert!(matches!(decode_partial(&unsorted), Err(StreamError::Io(_))));
+    }
+
+    /// Spill I/O failures carry the path of the file that failed — the
+    /// injected-ENOSPC-style guarantee: writing under a non-directory
+    /// fails like a full volume does, and the error names the path.
+    #[test]
+    fn spill_errors_carry_path_context() {
+        let dir = TempDir::new("spill_patherr");
+        let blocker = dir.file("not_a_dir");
+        std::fs::write(&blocker, b"plain file").unwrap();
+        let target = blocker.join("partial.bin");
+        let m = gen::uniform_random(4, 4, 6, 2);
+        match write_partial(&target, &m, SpillCodec::Raw) {
+            Err(StreamError::Io(msg)) => assert!(
+                msg.contains("not_a_dir") && msg.contains("write"),
+                "write error must name the path: {msg}"
+            ),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+
+        // Reader-side: truncate a valid file and check every read path
+        // names it.
+        let path = dir.file("truncated.bin");
+        write_partial(&path, &m, SpillCodec::Raw).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let mut reader = SpillReader::open(&path).unwrap();
+        let err = loop {
+            match reader.next_triple() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("truncated file read to completion"),
+                Err(e) => break e,
+            }
+        };
+        match err {
+            StreamError::Io(msg) => assert!(
+                msg.contains("truncated.bin"),
+                "read error must name the path: {msg}"
+            ),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        let mut reader = SpillReader::open(&path).unwrap();
+        let (mut keys, mut vals) = (Vec::new(), Vec::new());
+        let err = loop {
+            match reader.next_chunk(usize::MAX, &mut keys, &mut vals) {
+                Ok(0) => panic!("truncated file chunked to completion"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(&err, StreamError::Io(msg) if msg.contains("truncated.bin")),
+            "chunk error must name the path: {err:?}"
+        );
+        // Opening a missing file names it too.
+        let missing = dir.file("missing.bin");
+        assert!(
+            matches!(SpillReader::open(&missing), Err(StreamError::Io(msg)) if msg.contains("missing.bin")),
+        );
     }
 }

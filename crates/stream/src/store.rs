@@ -279,7 +279,12 @@ impl PartialStore {
     /// longer the store's), inline otherwise.
     fn spill(&mut self, id: usize, csr: Csr) -> Result<(), StreamError> {
         if !self.dir_created {
-            std::fs::create_dir_all(&self.spill_dir)?;
+            std::fs::create_dir_all(&self.spill_dir).map_err(|e| {
+                StreamError::Io(format!(
+                    "failed to create spill dir {}: {e}",
+                    self.spill_dir.display()
+                ))
+            })?;
             self.dir_created = true;
         }
         let path = self.spill_dir.join(format!("partial-{id}.bin"));

@@ -7,6 +7,8 @@
 //! sparch-cli batch --file requests.json [--policy adaptive] [--threads N] [--json out.json]
 //! sparch-cli stream --a matrix.mtx [--b other.mtx] [--budget-mb N] [--panels P] \
 //!     [--balance uniform|nnz] [--spill-codec raw|varint] [--threads T]
+//! sparch-cli dist --a matrix.mtx [--b other.mtx] [--shards S] [--panels P] \
+//!     [--budget-mb N] [--verify] [--json out.json]
 //! ```
 //!
 //! `multiply` simulates `A × B` (B defaults to A), printing the same
@@ -21,10 +23,16 @@
 //! ever materialized whole) and flow through the staged
 //! reader → multiply → merge/spill dataflow; partials merge in Huffman
 //! order under `--budget-mb`, spilling to a temp directory — raw or
-//! delta+varint encoded — when they do not fit.
+//! delta+varint encoded — when they do not fit. `dist` runs the same
+//! panel decomposition across a fleet of shard worker *processes*
+//! (`sparch-dist-worker`, found next to this binary or via
+//! `SPARCH_DIST_WORKER`) connected over Unix sockets, with heartbeat
+//! liveness, retry and straggler re-dispatch — the result is
+//! bit-identical to the single-node pipeline at every shard count.
 
 use sparch::baselines::OuterSpaceModel;
 use sparch::core::{SpArchConfig, SpArchSim};
+use sparch::dist::{DistConfig, DistCoordinator};
 use sparch::mem::TrafficCategory;
 use sparch::serve::{Batch, Calibration, DispatchPolicy, ServiceConfig, SpgemmService};
 use sparch::sparse::{algo, gen, mm, stats, Csr};
@@ -41,7 +49,8 @@ fn usage() -> ! {
          [--policy adaptive|fixed:<backend>] [--threads N] [--reference-calibration] \
          [--json <path>]\n  sparch-cli stream --a <mtx> [--b <mtx>] [--budget-mb N] \
          [--panels P] [--balance uniform|nnz] [--ways W] [--spill-codec raw|varint] \
-         [--threads T] [--verify] [--json <path>]"
+         [--threads T] [--verify] [--json <path>]\n  sparch-cli dist --a <mtx> [--b <mtx>] \
+         [--shards S] [--panels P] [--budget-mb N] [--verify] [--json <path>]"
     );
     std::process::exit(2);
 }
@@ -469,6 +478,101 @@ fn cmd_stream(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_dist(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(a_path) = flags.get("a") else {
+        usage()
+    };
+    let a = load(a_path);
+    let b = flags.get("b").map(|p| load(p));
+    let b = b.as_ref().unwrap_or(&a);
+    if a.cols() != b.rows() {
+        eprintln!(
+            "shape mismatch: A is {}x{} but B is {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let shards: usize = flags
+        .get("shards")
+        .map(|v| v.parse().expect("--shards needs a number"))
+        .unwrap_or(2);
+    let mut config = DistConfig {
+        shards: shards.max(1),
+        ..DistConfig::default()
+    };
+    if let Some(panels) = flags.get("panels") {
+        config.stream.panels = panels
+            .parse::<usize>()
+            .expect("--panels needs a number")
+            .max(1);
+    }
+    if let Some(mb) = flags.get("budget-mb") {
+        config.stream.budget =
+            MemoryBudget::from_mb(mb.parse().expect("--budget-mb needs a number of MiB"));
+    }
+
+    let (c, report) = match DistCoordinator::new(config).multiply(&a, b) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("distributed multiply failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if flags.contains_key("verify") {
+        let reference = algo::gustavson(&a, b);
+        if c.approx_eq(&reference, 1e-9) {
+            println!("verification: OK ({} non-zeros)", reference.nnz());
+        } else {
+            eprintln!("verification FAILED");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "A: {}x{}, {} nnz | B: {}x{}, {} nnz",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        b.rows(),
+        b.cols(),
+        b.nnz()
+    );
+    println!("result: {} nnz", report.output_nnz);
+    println!(
+        "fleet: {} shard worker(s), {} panel pair(s) -> {} partial(s), \
+         {} merge round(s) ({}-way)",
+        report.shards, report.panels, report.partials, report.merge_rounds, report.merge_ways
+    );
+    println!(
+        "jobs: {} dispatched, {} retried, {} straggler re-dispatch(es)",
+        report.dispatches, report.retries, report.straggler_redispatches
+    );
+    println!(
+        "fleet health: {} respawn(s), {} heartbeat timeout(s)",
+        report.respawns, report.heartbeat_timeouts
+    );
+    println!(
+        "wire: {:.2} MiB sent, {:.2} MiB received",
+        report.wire_bytes_sent as f64 / (1 << 20) as f64,
+        report.wire_bytes_received as f64 / (1 << 20) as f64
+    );
+
+    if let Some(path) = flags.get("json") {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report).expect("serialize"),
+        )
+        .expect("write json");
+        println!("\nreport written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -481,6 +585,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "batch" => cmd_batch(&flags),
         "stream" => cmd_stream(&flags),
+        "dist" => cmd_dist(&flags),
         _ => usage(),
     }
 }

@@ -16,6 +16,10 @@
 //! * [`stream`] — the streaming out-of-core SpGEMM pipeline
 //!   ([`stream::StreamingExecutor`]: panel-partitioned multiply,
 //!   memory-budgeted Huffman-ordered partial merge, disk spill),
+//! * [`dist`] — distributed panel sharding ([`dist::DistCoordinator`]:
+//!   panel jobs shipped to shard worker processes over Unix sockets,
+//!   heartbeat liveness, retry and straggler re-dispatch, bit-identical
+//!   to the single-node streaming pipeline),
 //! * [`serve`] — the request-serving layer ([`serve::SpgemmService`],
 //!   adaptive backend dispatch, operand caching, batch reports),
 //! * [`baselines`] — the OuterSPACE model and software baseline proxies.
@@ -38,6 +42,7 @@
 
 pub use sparch_baselines as baselines;
 pub use sparch_core as core;
+pub use sparch_dist as dist;
 pub use sparch_engine as engine;
 pub use sparch_exec as exec;
 pub use sparch_mem as mem;
@@ -51,6 +56,7 @@ pub mod prelude {
     pub use sparch_core::{
         PrefetchConfig, SchedulerKind, SimReport, SimScratch, SpArchConfig, SpArchSim,
     };
+    pub use sparch_dist::{DistConfig, DistCoordinator, DistReport};
     pub use sparch_engine::{Clock, Clocked, MergeItem, MergeTree, MergeTreeConfig};
     pub use sparch_exec::{FnWorkload, ParallelRunner, ShardPool, Workload};
     pub use sparch_serve::{

@@ -1,6 +1,7 @@
-//! Differential conformance harness for the seven software SpGEMM
-//! backends — the six in-memory kernels plus the out-of-core streaming
-//! pipeline.
+//! Differential conformance harness for the eight software SpGEMM
+//! backends — the six in-memory kernels, the out-of-core streaming
+//! pipeline, and the distributed shard fleet (which degrades to
+//! streaming, bit-identically, when no worker binary is around).
 //!
 //! Every backend is run over a grid of generator classes — R-MAT,
 //! structured (Poisson / banded / block-sparse / power-law), rectangular,
@@ -48,8 +49,8 @@ fn point(class: &'static str, seed: u64, a: Csr, b: Csr) -> GridPoint {
 fn check_point(p: &GridPoint) -> Result<(), (String, String)> {
     let oracle = p.a.to_dense().matmul(&p.b.to_dense());
     let reference = algo::gustavson(&p.a, &p.b);
-    // Backend::ALL is the serving layer's dispatch universe: a seventh
-    // backend added there automatically inherits every grid class here.
+    // Backend::ALL is the serving layer's dispatch universe: a backend
+    // added there automatically inherits every grid class here.
     for backend in Backend::ALL {
         let name = backend.name();
         let c = backend.run(&p.a, &p.b);

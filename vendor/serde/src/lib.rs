@@ -210,6 +210,19 @@ impl Deserialize for String {
             .ok_or_else(|| Error::new("expected string"))
     }
 }
+impl Serialize for std::path::PathBuf {
+    /// Paths travel as strings; non-UTF-8 components serialize lossily.
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string_lossy().into_owned())
+    }
+}
+impl Deserialize for std::path::PathBuf {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        v.as_str()
+            .map(std::path::PathBuf::from)
+            .ok_or_else(|| Error::new("expected path string"))
+    }
+}
 
 impl Serialize for str {
     fn to_json(&self) -> Json {
