@@ -186,4 +186,21 @@ fn main() {
         .clone()
         .unwrap_or_else(|| std::path::PathBuf::from("DIST_BENCH.json"));
     sparch_bench::runner::dump_json(&Some(path), &snapshot);
+
+    // `--trace` reruns the widest fleet with the recorder on — outside
+    // the timed ladder, so tracing never skews the measurements.
+    if args.trace.is_some() {
+        let config = DistConfig {
+            shards: *SHARDS.last().expect("ladder is non-empty"),
+            stream,
+            ..DistConfig::default()
+        };
+        let coordinator =
+            DistCoordinator::new(config).with_recorder(sparch_obs::Recorder::enabled());
+        let (c, _) = coordinator
+            .multiply(&a, &a)
+            .expect("traced fleet run must succeed");
+        assert_bits_equal(&c, &reference, *SHARDS.last().expect("ladder is non-empty"));
+        sparch_bench::runner::dump_trace(&args.trace, &coordinator.recorder().drain("dist"));
+    }
 }

@@ -249,4 +249,13 @@ fn main() {
         .clone()
         .unwrap_or_else(|| std::path::PathBuf::from("STREAM.json"));
     runner::dump_json(&Some(path), &snapshot);
+
+    // `--trace` runs one extra budgeted pass with the recorder on —
+    // outside the timed attempts, so tracing never skews the snapshot.
+    if args.trace.is_some() {
+        let executor =
+            StreamingExecutor::new(config(budget)).with_recorder(sparch_obs::Recorder::enabled());
+        executor.multiply(&a, &a).expect("traced run must succeed");
+        runner::dump_trace(&args.trace, &executor.recorder().drain("stream"));
+    }
 }

@@ -29,6 +29,9 @@ pub struct Args {
     /// Whether `--scale` was given explicitly (binaries with their own
     /// pinned default, like `perf_snapshot`, key on this).
     pub scale_explicit: bool,
+    /// Optional path for a Chrome trace-event export (`--trace PATH`);
+    /// snapshot binaries that run a recorder-aware layer honor it.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -39,6 +42,7 @@ impl Default for Args {
             sweep: None,
             threads: None,
             scale_explicit: false,
+            trace: None,
         }
     }
 }
@@ -49,6 +53,7 @@ pub const USAGE: &str = "options:
   --json PATH  dump machine-readable JSON results to PATH
   --sweep NAME sub-selector for multi-sweep binaries (e.g. fig17)
   --threads N  worker threads (default: SPARCH_THREADS, else all cores)
+  --trace PATH dump a Chrome trace-event export (recorder-aware snapshots)
   --help, -h   print this message";
 
 /// Successful outcomes of [`parse_args_from`].
@@ -98,6 +103,9 @@ where
                     return Err(format!("--threads must be at least 1\n{USAGE}"));
                 }
                 parsed.threads = Some(n);
+            }
+            "--trace" => {
+                parsed.trace = Some(PathBuf::from(it.next().ok_or_else(|| missing("--trace"))?));
             }
             "--help" | "-h" => return Ok(ArgsOutcome::Help),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
@@ -215,6 +223,18 @@ pub fn dump_json<T: Serialize>(path: &Option<PathBuf>, value: &T) {
     }
 }
 
+/// Writes the Chrome trace-event export of `trace` to `path` if given.
+///
+/// # Panics
+///
+/// Panics on I/O failure (benchmarks want loud errors).
+pub fn dump_trace(path: &Option<PathBuf>, trace: &sparch_obs::Trace) {
+    if let Some(path) = path {
+        std::fs::write(path, sparch_obs::chrome_trace_json(trace)).expect("write trace");
+        eprintln!("trace written to {}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +289,8 @@ mod tests {
             "line",
             "--threads",
             "8",
+            "--trace",
+            "trace.json",
         ])
         .unwrap();
         assert_eq!(a.scale, 0.5);
@@ -276,6 +298,7 @@ mod tests {
         assert_eq!(a.sweep.as_deref(), Some("line"));
         assert_eq!(a.threads, Some(8));
         assert!(a.scale_explicit);
+        assert_eq!(a.trace, Some(PathBuf::from("trace.json")));
     }
 
     #[test]

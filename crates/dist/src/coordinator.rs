@@ -30,9 +30,10 @@ use crate::worker::FAULT_ENV;
 use crate::DistError;
 use serde::{Deserialize, Serialize};
 use sparch_core::sched::{huffman_plan, MergePlan, PlanNode};
+use sparch_obs::{Counter, Recorder, ThreadRecorder, WireSpan};
 use sparch_sparse::{panel_ranges, panel_ranges_by_nnz, Csr};
 use sparch_stream::{PanelBalance, StreamConfig};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -112,6 +113,10 @@ impl DistConfig {
 /// What a distributed run did — the coordinator's flight record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DistReport {
+    /// Stable layout version of this report
+    /// ([`DistReport::SCHEMA_VERSION`]); bump on any field change so
+    /// archived snapshot JSONs stay diffable across PRs.
+    pub schema_version: u32,
     /// Worker processes requested (the fleet actually spawned is capped
     /// at `partials`).
     pub shards: usize,
@@ -141,16 +146,58 @@ pub struct DistReport {
     pub output_nnz: u64,
 }
 
+impl DistReport {
+    /// Current value of [`DistReport::schema_version`].
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// A deterministic view for snapshot diffing: the same report with
+    /// every scheduling-dependent quantity zeroed — dispatch, retry and
+    /// liveness counters, and the wire traffic (which counts
+    /// heartbeats, so it varies with run duration).
+    pub fn without_timing(&self) -> DistReport {
+        DistReport {
+            dispatches: 0,
+            retries: 0,
+            respawns: 0,
+            heartbeat_timeouts: 0,
+            straggler_redispatches: 0,
+            wire_bytes_sent: 0,
+            wire_bytes_received: 0,
+            ..self.clone()
+        }
+    }
+}
+
 /// Distributed SpGEMM front end — see the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct DistCoordinator {
     config: DistConfig,
+    recorder: Recorder,
 }
 
 impl DistCoordinator {
-    /// A coordinator with the given configuration.
+    /// A coordinator with the given configuration and tracing disabled.
     pub fn new(config: DistConfig) -> Self {
-        DistCoordinator { config }
+        DistCoordinator {
+            config,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a recorder. Subsequent runs record a per-worker lane of
+    /// dispatch/job spans, re-based worker-side compute spans (shipped
+    /// back in each `Result` frame — workers are spawned with the extra
+    /// `trace` argument), instant events for heartbeat timeouts,
+    /// retries and straggler re-dispatches, and wire-byte counters.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The coordinator's recorder (disabled unless set by
+    /// [`with_recorder`](Self::with_recorder)).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The coordinator's configuration.
@@ -196,6 +243,7 @@ impl DistCoordinator {
         }
         let ways = cfg.merge_ways.max(2);
         let mut report = DistReport {
+            schema_version: DistReport::SCHEMA_VERSION,
             shards: self.config.shards.max(1),
             panels,
             partials: pairs.len(),
@@ -224,13 +272,17 @@ impl DistCoordinator {
             b_cols: b.cols(),
             pairs,
             plan: &plan,
-            cluster: Cluster::new(&self.config, evt_tx)?,
+            cluster: Cluster::new(&self.config, evt_tx, self.recorder.is_enabled())?,
             evt_rx,
             jobs: Vec::new(),
             results: Vec::new(),
             ready: VecDeque::new(),
             done: 0,
             report: &mut report,
+            recorder: &self.recorder,
+            lanes: HashMap::new(),
+            wire_sent: self.recorder.counter("dist.wire_bytes_sent"),
+            wire_received: self.recorder.counter("dist.wire_bytes_received"),
         };
         let result = run.drive()?;
         drop(run);
@@ -260,6 +312,9 @@ struct JobState {
     assigned: Vec<u64>,
     /// When the oldest still-outstanding dispatch happened.
     dispatched_at: Option<Instant>,
+    /// The same moment in recorder-anchor nanoseconds — start of the
+    /// synthesized dispatch→reply "job" span (0 when tracing is off).
+    dispatch_ns: u64,
     /// A straggler duplicate was already issued for this dispatch.
     duplicated: bool,
 }
@@ -316,6 +371,9 @@ struct Cluster<'a> {
     shards: Vec<Shard>,
     next_gen: u64,
     stream_json: String,
+    /// Spawn workers with the extra `trace` argument so they record and
+    /// ship per-job compute spans in their `Result` frames.
+    trace: bool,
 }
 
 impl Drop for Cluster<'_> {
@@ -329,7 +387,7 @@ impl Drop for Cluster<'_> {
 }
 
 impl<'a> Cluster<'a> {
-    fn new(config: &'a DistConfig, evt_tx: Sender<Ev>) -> Result<Self, DistError> {
+    fn new(config: &'a DistConfig, evt_tx: Sender<Ev>, trace: bool) -> Result<Self, DistError> {
         let bin = resolve_worker_bin(config)?;
         let dir = std::env::temp_dir().join(format!(
             "sparch-dist-{}-{}",
@@ -365,6 +423,7 @@ impl<'a> Cluster<'a> {
             shards: Vec::new(),
             next_gen: 0,
             stream_json,
+            trace,
         })
     }
 
@@ -383,6 +442,9 @@ impl<'a> Cluster<'a> {
             .arg(self.config.heartbeat_interval.as_millis().to_string())
             .arg(&self.stream_json)
             .stdin(Stdio::null());
+        if self.trace {
+            cmd.arg("trace");
+        }
         match &self.config.fault {
             Some(spec) if initial => {
                 cmd.env(FAULT_ENV, spec);
@@ -565,6 +627,26 @@ struct Run<'a> {
     ready: VecDeque<u64>,
     done: usize,
     report: &'a mut DistReport,
+    recorder: &'a Recorder,
+    /// One trace lane per worker generation, created on first use; each
+    /// carries that worker's dispatch spans, synthesized dispatch→reply
+    /// "job" spans, re-based compute spans, and failure events.
+    lanes: HashMap<u64, ThreadRecorder>,
+    wire_sent: Counter,
+    wire_received: Counter,
+}
+
+/// The lane for worker generation `gen`, created on demand. A free
+/// function over the two fields so callers can hold the lane and other
+/// `Run` fields mutably at once.
+fn lane_for<'l>(
+    lanes: &'l mut HashMap<u64, ThreadRecorder>,
+    recorder: &Recorder,
+    gen: u64,
+) -> &'l mut ThreadRecorder {
+    lanes
+        .entry(gen)
+        .or_insert_with(|| recorder.thread_for("worker", gen))
 }
 
 impl Run<'_> {
@@ -589,6 +671,7 @@ impl Run<'_> {
                 queued: false,
                 assigned: Vec::new(),
                 dispatched_at: None,
+                dispatch_ns: 0,
                 duplicated: false,
             })
             .collect();
@@ -663,6 +746,12 @@ impl Run<'_> {
             };
             self.jobs[job as usize].duplicated = true;
             self.report.straggler_redispatches += 1;
+            let gen = self.cluster.shards[idx].gen;
+            lane_for(&mut self.lanes, self.recorder, gen).event_with(
+                "dist",
+                "straggler-redispatch",
+                &[("job", job)],
+            );
             self.send_job(idx, job)?;
         }
         Ok(())
@@ -701,15 +790,21 @@ impl Run<'_> {
         // the worker's manifest and requeues it like any other failure.
         let gen = self.cluster.shards[idx].gen;
         self.cluster.shards[idx].busy.push(job);
+        let lane = lane_for(&mut self.lanes, self.recorder, gen);
         let state = &mut self.jobs[job as usize];
         state.assigned.push(gen);
         if state.dispatched_at.is_none() {
             state.dispatched_at = Some(Instant::now());
+            state.dispatch_ns = lane.now_ns();
         }
         let codec = self.config.stream.spill_codec;
-        match write_message(&mut self.cluster.shards[idx].stream, &msg, codec) {
+        let span = lane.begin("dist", "dispatch");
+        let written = write_message(&mut self.cluster.shards[idx].stream, &msg, codec);
+        lane.end_with(span, &[("job", job)]);
+        match written {
             Ok(bytes) => {
                 self.report.wire_bytes_sent += bytes;
+                self.wire_sent.add(bytes);
                 self.report.dispatches += 1;
                 Ok(())
             }
@@ -732,14 +827,24 @@ impl Run<'_> {
                 // The heartbeat's real work happened already: it reset
                 // the reader thread's read deadline.
                 self.report.wire_bytes_received += bytes;
+                self.wire_received.add(bytes);
                 Ok(())
             }
-            EvKind::Msg(Message::Result { job, partial }, bytes) => {
+            EvKind::Msg(
+                Message::Result {
+                    job,
+                    partial,
+                    spans,
+                },
+                bytes,
+            ) => {
                 self.report.wire_bytes_received += bytes;
-                self.complete_job(idx, job, partial)
+                self.wire_received.add(bytes);
+                self.complete_job(idx, job, partial, spans)
             }
             EvKind::Msg(other, bytes) => {
                 self.report.wire_bytes_received += bytes;
+                self.wire_received.add(bytes);
                 self.fail_worker(
                     idx,
                     Some(DistError::Frame(format!(
@@ -755,7 +860,13 @@ impl Run<'_> {
 
     /// Records a worker's result, frees the worker, and unblocks any
     /// merge round whose children are now all present.
-    fn complete_job(&mut self, idx: usize, job: u64, partial: Csr) -> Result<(), DistError> {
+    fn complete_job(
+        &mut self,
+        idx: usize,
+        job: u64,
+        partial: Csr,
+        spans: Vec<WireSpan>,
+    ) -> Result<(), DistError> {
         let gen = self.cluster.shards[idx].gen;
         self.cluster.shards[idx].busy.retain(|&j| j != job);
         let Some(state) = self.jobs.get_mut(job as usize) else {
@@ -786,8 +897,35 @@ impl Run<'_> {
         }
         state.done = true;
         state.dispatched_at = None;
+        let dispatch_ns = state.dispatch_ns;
         self.results[job as usize] = Some(partial);
         self.done += 1;
+
+        if self.recorder.is_enabled() {
+            let lane = lane_for(&mut self.lanes, self.recorder, gen);
+            let reply_ns = lane.now_ns();
+            // The worker's clock anchor differs from ours; align its
+            // spans so the latest one ends at the reply's arrival —
+            // a lower bound on the true offset (wire latency shifts
+            // spans slightly late, never early).
+            if let Some(max_end) = spans.iter().map(|s| s.end_ns).max() {
+                let base = reply_ns.saturating_sub(max_end);
+                lane.import_rebased(&spans, base);
+            }
+            // The dispatch→reply interval as one synthesized span on
+            // our own timeline; the compute span nests inside it, and
+            // the difference between the two is wire + queue time.
+            lane.import_rebased(
+                &[WireSpan {
+                    name: "job".into(),
+                    cat: "dist".into(),
+                    start_ns: dispatch_ns,
+                    end_ns: reply_ns,
+                    depth: 0,
+                }],
+                0,
+            );
+        }
 
         // A finished node can complete the child set of exactly the
         // rounds that consume it; scanning all rounds keeps this simple.
@@ -817,10 +955,11 @@ impl Run<'_> {
         if !self.cluster.shards[idx].alive {
             return Ok(());
         }
+        let gen = self.cluster.shards[idx].gen;
         if matches!(reason, Some(DistError::Timeout(_))) {
             self.report.heartbeat_timeouts += 1;
+            lane_for(&mut self.lanes, self.recorder, gen).event("dist", "heartbeat-timeout");
         }
-        let gen = self.cluster.shards[idx].gen;
         self.cluster.kill_shard(idx);
         let held = std::mem::take(&mut self.cluster.shards[idx].busy);
         for job in held {
@@ -833,6 +972,11 @@ impl Run<'_> {
             }
             state.retries += 1;
             self.report.retries += 1;
+            lane_for(&mut self.lanes, self.recorder, gen).event_with(
+                "dist",
+                "retry",
+                &[("job", job)],
+            );
             if state.retries > self.config.max_retries {
                 return Err(DistError::Job(format!(
                     "job {job} failed {} times (last worker error: {})",

@@ -25,6 +25,7 @@
 //! everything else ([`DistError::Frame`]/[`DistError::Io`]).
 
 use crate::DistError;
+use sparch_obs::WireSpan;
 use sparch_sparse::Csr;
 use sparch_stream::spill;
 use sparch_stream::SpillCodec;
@@ -67,8 +68,15 @@ pub enum Message {
         cols: u64,
         children: Vec<Csr>,
     },
-    /// A finished job's partial product.
-    Result { job: u64, partial: Csr },
+    /// A finished job's partial product, plus the worker-side trace
+    /// spans for that job (empty unless the coordinator asked for
+    /// tracing). Span timestamps are relative to the *worker's* clock
+    /// anchor; the coordinator re-bases them onto its own timeline.
+    Result {
+        job: u64,
+        partial: Csr,
+        spans: Vec<WireSpan>,
+    },
     /// Liveness beacon, sent on an interval by a worker-side thread so
     /// the coordinator's read deadline only fires when the worker is
     /// actually gone or wedged.
@@ -142,9 +150,23 @@ fn encode_payload(msg: &Message, codec: SpillCodec) -> (u8, Vec<u8>) {
             }
             KIND_MERGE
         }
-        Message::Result { job, partial } => {
+        Message::Result {
+            job,
+            partial,
+            spans,
+        } => {
             p.extend_from_slice(&job.to_le_bytes());
             push_block(&mut p, partial, codec);
+            // Spans ride *after* the partial block so a span-free frame
+            // is byte-compatible with the old layout plus a zero count.
+            p.extend_from_slice(&(spans.len() as u64).to_le_bytes());
+            for s in spans {
+                push_str(&mut p, &s.name);
+                push_str(&mut p, &s.cat);
+                p.extend_from_slice(&s.start_ns.to_le_bytes());
+                p.extend_from_slice(&s.end_ns.to_le_bytes());
+                p.extend_from_slice(&u64::from(s.depth).to_le_bytes());
+            }
             KIND_RESULT
         }
         Message::Heartbeat => KIND_HEARTBEAT,
@@ -157,6 +179,11 @@ fn push_block(p: &mut Vec<u8>, csr: &Csr, codec: SpillCodec) {
     let bytes = spill::encode_partial(csr, codec);
     p.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
     p.extend_from_slice(&bytes);
+}
+
+fn push_str(p: &mut Vec<u8>, s: &str) {
+    p.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    p.extend_from_slice(s.as_bytes());
 }
 
 /// Reads one frame. `Ok(None)` is a clean EOF *at a frame boundary*;
@@ -233,10 +260,29 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Option<Message>, DistError
                 children,
             }
         }
-        KIND_RESULT => Message::Result {
-            job: take_u64(&mut p)?,
-            partial: take_block(&mut p)?,
-        },
+        KIND_RESULT => {
+            let job = take_u64(&mut p)?;
+            let partial = take_block(&mut p)?;
+            let count = take_u64(&mut p)?;
+            // Each span costs at least its five fixed u64 fields (two
+            // empty-string length prefixes, both timestamps, the
+            // depth), so a lying count is rejected before allocating.
+            if count.saturating_mul(40) > p.len() as u64 {
+                return Err(DistError::Frame(format!(
+                    "result frame declares {count} spans in {} bytes",
+                    p.len()
+                )));
+            }
+            let mut spans = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                spans.push(take_span(&mut p)?);
+            }
+            Message::Result {
+                job,
+                partial,
+                spans,
+            }
+        }
         KIND_HEARTBEAT => Message::Heartbeat,
         KIND_SHUTDOWN => Message::Shutdown,
         other => return Err(DistError::Frame(format!("unknown frame kind {other}"))),
@@ -258,6 +304,35 @@ fn take_u64(p: &mut &[u8]) -> Result<u64, DistError> {
     let (head, rest) = p.split_at(8);
     *p = rest;
     Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+}
+
+fn take_str(p: &mut &[u8]) -> Result<String, DistError> {
+    let len = take_u64(p)?;
+    if len > p.len() as u64 {
+        return Err(DistError::Frame(format!(
+            "span label declares {len} bytes but only {} remain",
+            p.len()
+        )));
+    }
+    let (head, rest) = p.split_at(len as usize);
+    *p = rest;
+    String::from_utf8(head.to_vec()).map_err(|_| DistError::Frame("span label is not UTF-8".into()))
+}
+
+fn take_span(p: &mut &[u8]) -> Result<WireSpan, DistError> {
+    let name = take_str(p)?;
+    let cat = take_str(p)?;
+    let start_ns = take_u64(p)?;
+    let end_ns = take_u64(p)?;
+    let depth = u32::try_from(take_u64(p)?)
+        .map_err(|_| DistError::Frame("span depth exceeds u32".into()))?;
+    Ok(WireSpan {
+        name,
+        cat,
+        start_ns,
+        end_ns,
+        depth,
+    })
 }
 
 fn take_block(p: &mut &[u8]) -> Result<Csr, DistError> {
@@ -336,7 +411,31 @@ mod tests {
                 cols: 14,
                 children: vec![c.clone(), c.clone(), c],
             },
-            Message::Result { job: 1, partial: a },
+            Message::Result {
+                job: 1,
+                partial: a.clone(),
+                spans: vec![],
+            },
+            Message::Result {
+                job: 4,
+                partial: a,
+                spans: vec![
+                    WireSpan {
+                        name: "compute-multiply".into(),
+                        cat: "dist".into(),
+                        start_ns: 100,
+                        end_ns: 2_500,
+                        depth: 0,
+                    },
+                    WireSpan {
+                        name: "kernel".into(),
+                        cat: "dist".into(),
+                        start_ns: 150,
+                        end_ns: 2_400,
+                        depth: 1,
+                    },
+                ],
+            },
             Message::Heartbeat,
             Message::Shutdown,
         ]
@@ -366,6 +465,13 @@ mod tests {
         let m = Message::Result {
             job: 3,
             partial: gen::uniform_random(6, 6, 12, 1),
+            spans: vec![WireSpan {
+                name: "compute-multiply".into(),
+                cat: "dist".into(),
+                start_ns: 5,
+                end_ns: 95,
+                depth: 0,
+            }],
         };
         write_message(&mut buf, &m, SpillCodec::Varint).unwrap();
         for cut in 1..buf.len() {
@@ -435,11 +541,32 @@ mod tests {
     }
 
     #[test]
+    fn result_frame_with_lying_span_count_is_rejected() {
+        // A valid result frame whose span count claims more spans than
+        // the remaining payload could possibly hold.
+        let mut buf = Vec::new();
+        let m = Message::Result {
+            job: 2,
+            partial: gen::uniform_random(4, 4, 6, 9),
+            spans: vec![],
+        };
+        write_message(&mut buf, &m, SpillCodec::Raw).unwrap();
+        // The span count is the payload's final 8 bytes.
+        let at = buf.len() - 8;
+        buf[at..].copy_from_slice(&u64::MAX.to_le_bytes());
+        match read_message(&mut buf.as_slice()) {
+            Err(DistError::Frame(msg)) => assert!(msg.contains("spans"), "{msg}"),
+            other => panic!("expected Frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn corrupt_matrix_block_surfaces_as_codec_error() {
         let mut buf = Vec::new();
         let m = Message::Result {
             job: 1,
             partial: gen::uniform_random(6, 6, 12, 2),
+            spans: vec![],
         };
         write_message(&mut buf, &m, SpillCodec::Raw).unwrap();
         // Flip a byte inside the SPM block's entry region: offsets past

@@ -30,6 +30,7 @@
 
 use crate::wire::{read_message, write_message, Message};
 use crate::DistError;
+use sparch_obs::{Recorder, WireSpan};
 use sparch_stream::merge::{merge_sources, MergeScratch, PartialSource};
 use sparch_stream::{SpillCodec, StreamConfig, StreamingExecutor};
 use std::os::unix::net::UnixStream;
@@ -70,14 +71,26 @@ fn fault_for(worker: u64) -> Option<Fault> {
 }
 
 /// Entry point behind the `sparch-dist-worker` binary:
-/// `<socket> <worker_id> <heartbeat_ms> <stream_config_json>`.
+/// `<socket> <worker_id> <heartbeat_ms> <stream_config_json> [trace]`.
+/// The optional trailing `trace` literal turns on per-job span
+/// recording; spans ship back inside each `Result` frame.
 pub fn run_from_args(args: &[String]) -> Result<(), DistError> {
-    if args.len() != 4 {
+    if args.len() != 4 && args.len() != 5 {
         return Err(DistError::Worker(format!(
-            "expected <socket> <worker_id> <heartbeat_ms> <stream_config_json>, got {} args",
+            "expected <socket> <worker_id> <heartbeat_ms> <stream_config_json> [trace], \
+             got {} args",
             args.len()
         )));
     }
+    let trace = match args.get(4).map(String::as_str) {
+        None => false,
+        Some("trace") => true,
+        Some(other) => {
+            return Err(DistError::Worker(format!(
+                "unknown trailing argument {other:?} (expected \"trace\")"
+            )))
+        }
+    };
     let worker: u64 = args[1]
         .parse()
         .map_err(|_| DistError::Worker(format!("bad worker id {:?}", args[1])))?;
@@ -91,15 +104,19 @@ pub fn run_from_args(args: &[String]) -> Result<(), DistError> {
         worker,
         Duration::from_millis(heartbeat_ms),
         config,
+        trace,
     )
 }
 
-/// Connects to the coordinator and serves jobs until shutdown.
+/// Connects to the coordinator and serves jobs until shutdown. With
+/// `trace` on, each job's compute interval is recorded as a span
+/// (worker-clock timestamps) and shipped in the job's `Result` frame.
 pub fn run(
     socket: &Path,
     worker: u64,
     heartbeat: Duration,
     config: StreamConfig,
+    trace: bool,
 ) -> Result<(), DistError> {
     let fault = fault_for(worker);
     let codec = config.spill_codec;
@@ -127,6 +144,12 @@ pub fn run(
         });
     }
 
+    let recorder = if trace {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let mut lane = recorder.thread_for("shard", worker);
     let executor = StreamingExecutor::new(config);
     let mut scratch = MergeScratch::new();
     loop {
@@ -137,11 +160,20 @@ pub fn run(
         match msg {
             Message::Multiply { job, leaf: _, a, b } => {
                 on_job_claimed(fault);
+                let span = lane.begin("dist", "compute-multiply");
                 let width = a.cols();
                 let (partial, _report) = executor
                     .multiply_from_panels(a.rows(), width, vec![(0..width, a)], &b)
                     .map_err(DistError::Codec)?;
-                reply(&write_side, job, partial, codec, fault)?;
+                lane.end(span);
+                reply(
+                    &write_side,
+                    job,
+                    partial,
+                    lane.take_wire_spans(),
+                    codec,
+                    fault,
+                )?;
             }
             Message::Merge {
                 job,
@@ -151,11 +183,20 @@ pub fn run(
                 children,
             } => {
                 on_job_claimed(fault);
+                let span = lane.begin("dist", "compute-merge");
                 let sources: Vec<PartialSource> =
                     children.into_iter().map(PartialSource::from_csr).collect();
                 let partial = merge_sources(rows as usize, cols as usize, sources, &mut scratch)
                     .map_err(DistError::Codec)?;
-                reply(&write_side, job, partial, codec, fault)?;
+                lane.end(span);
+                reply(
+                    &write_side,
+                    job,
+                    partial,
+                    lane.take_wire_spans(),
+                    codec,
+                    fault,
+                )?;
             }
             other => {
                 return Err(DistError::Frame(format!(
@@ -195,10 +236,15 @@ fn reply(
     write_side: &Arc<Mutex<UnixStream>>,
     job: u64,
     partial: sparch_sparse::Csr,
+    spans: Vec<WireSpan>,
     codec: SpillCodec,
     fault: Option<Fault>,
 ) -> Result<(), DistError> {
-    let msg = Message::Result { job, partial };
+    let msg = Message::Result {
+        job,
+        partial,
+        spans,
+    };
     if fault == Some(Fault::Truncate) {
         // Serialize the full frame, put half of it on the wire, vanish:
         // the coordinator sees a mid-frame EOF on a claimed job.

@@ -1,0 +1,112 @@
+//! End-to-end tracing for a distributed run.
+//!
+//! A two-shard run with an enabled recorder must record, per worker
+//! lane: a `dispatch` span per job write, a synthesized `job` span
+//! covering dispatch→reply, and the worker-side `compute-multiply` /
+//! `compute-merge` spans shipped back in `Result` frames and re-based
+//! onto the coordinator's timeline. Wire-byte counters must equal the
+//! report's wire accounting, and the Chrome export must parse.
+
+mod common;
+
+use common::{assert_bits_equal, dist_config};
+use serde_json::Value;
+use sparch_dist::DistCoordinator;
+use sparch_obs::{chrome_trace_json, Recorder};
+use sparch_sparse::{algo, gen, linalg};
+
+#[test]
+fn two_shard_run_traces_dispatch_compute_and_reply() {
+    let a = linalg::map_values(&gen::uniform_random(72, 72, 500, 51), |v| (v * 4.0).round());
+    let b = linalg::map_values(&gen::uniform_random(72, 60, 400, 52), |v| (v * 4.0).round());
+
+    let mut config = dist_config(2);
+    config.stream.panels = 6;
+    let coordinator = DistCoordinator::new(config).with_recorder(Recorder::enabled());
+    let (c, report) = coordinator.multiply(&a, &b).unwrap();
+    assert_bits_equal(&c, &algo::gustavson(&a, &b), "traced dist run");
+    assert_eq!(
+        report.schema_version,
+        sparch_dist::DistReport::SCHEMA_VERSION
+    );
+
+    let trace = coordinator.recorder().drain("dist");
+
+    // Every dispatch wrote one dispatch span; every job produced one
+    // dispatch→reply span; every job's compute span came back over the
+    // wire (multiply leaves + merge rounds).
+    let jobs = report.partials as u64 + report.merge_rounds;
+    assert_eq!(trace.count_named("dispatch") as u64, report.dispatches);
+    assert_eq!(trace.count_named("job") as u64, jobs);
+    assert!(trace.count_named("compute-multiply") >= report.partials);
+    assert!(trace.count_named("compute-merge") as u64 >= report.merge_rounds);
+
+    // Re-based worker spans sit inside their job span's interval: for
+    // each lane, every compute span is contained in *some* job span.
+    for compute in trace
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("compute-"))
+    {
+        assert!(
+            trace.spans.iter().any(|j| j.name == "job"
+                && j.tid == compute.tid
+                && j.start_ns <= compute.start_ns
+                && compute.end_ns <= j.end_ns),
+            "re-based {} span escapes every job span on its lane",
+            compute.name
+        );
+    }
+
+    // One lane per worker generation, labelled worker-<gen>.
+    assert!(
+        trace
+            .threads
+            .iter()
+            .filter(|t| t.label.starts_with("worker-"))
+            .count()
+            >= 2
+    );
+
+    // Wire counters mirror the report's byte accounting exactly.
+    assert_eq!(
+        trace.metrics.counter("dist.wire_bytes_sent"),
+        report.wire_bytes_sent
+    );
+    assert_eq!(
+        trace.metrics.counter("dist.wire_bytes_received"),
+        report.wire_bytes_received
+    );
+
+    // The Chrome export parses and carries the dist categories.
+    let json = chrome_trace_json(&trace);
+    let root: Value = serde_json::from_str(&json).expect("exporter must emit valid JSON");
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    for name in ["dispatch", "job", "compute-multiply"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Value::as_str) == Some(name)),
+            "no {name} event in the Chrome export"
+        );
+    }
+
+    // The deterministic view drops the scheduling-dependent counters.
+    let view = report.without_timing();
+    assert_eq!(view.dispatches, 0);
+    assert_eq!(view.wire_bytes_sent, 0);
+    assert_eq!(view.output_nnz, report.output_nnz);
+}
+
+#[test]
+fn untraced_run_ships_no_spans_and_empty_trace() {
+    let a = linalg::map_values(&gen::uniform_random(32, 32, 150, 53), |v| (v * 4.0).round());
+    let coordinator = DistCoordinator::new(dist_config(2));
+    let (c, _) = coordinator.multiply(&a, &a).unwrap();
+    assert_bits_equal(&c, &algo::gustavson(&a, &a), "untraced dist run");
+    let trace = coordinator.recorder().drain("dist");
+    assert!(trace.spans.is_empty() && trace.threads.is_empty());
+}

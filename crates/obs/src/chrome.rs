@@ -1,0 +1,81 @@
+//! Chrome trace-event JSON export.
+//!
+//! The output is the "JSON object format" both `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) load directly: a `traceEvents`
+//! array of metadata (`"ph": "M"`) events naming the process and each
+//! thread lane, complete (`"ph": "X"`) events for spans, and instant
+//! (`"ph": "i"`) events for zero-duration marks. Timestamps and
+//! durations are microseconds relative to the recorder anchor.
+
+use crate::span::Trace;
+use serde::Json;
+
+const PID: u64 = 1;
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn meta_event(name: &str, tid: u64, value: &str) -> Json {
+    obj(vec![
+        ("ph", Json::Str("M".to_string())),
+        ("name", Json::Str(name.to_string())),
+        ("pid", Json::U64(PID)),
+        ("tid", Json::U64(tid)),
+        ("args", obj(vec![("name", Json::Str(value.to_string()))])),
+    ])
+}
+
+/// Renders a [`Trace`] as a Chrome trace-event JSON string.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut events = Vec::with_capacity(trace.spans.len() + trace.threads.len() + 1);
+    let process = if trace.process.is_empty() {
+        "sparch"
+    } else {
+        &trace.process
+    };
+    events.push(meta_event("process_name", 0, process));
+    for lane in &trace.threads {
+        events.push(meta_event("thread_name", lane.tid, &lane.label));
+    }
+    for span in &trace.spans {
+        let ts = span.start_ns as f64 / 1e3;
+        let mut fields = vec![
+            ("name", Json::Str(span.name.clone())),
+            ("cat", Json::Str(span.cat.clone())),
+            ("pid", Json::U64(PID)),
+            ("tid", Json::U64(span.tid)),
+            ("ts", Json::F64(ts)),
+        ];
+        if span.is_instant() {
+            fields.push(("ph", Json::Str("i".to_string())));
+            fields.push(("s", Json::Str("t".to_string())));
+        } else {
+            fields.push(("ph", Json::Str("X".to_string())));
+            let dur = span.end_ns.saturating_sub(span.start_ns) as f64 / 1e3;
+            fields.push(("dur", Json::F64(dur)));
+        }
+        if !span.args.is_empty() {
+            fields.push((
+                "args",
+                Json::Obj(
+                    span.args
+                        .iter()
+                        .map(|a| (a.key.clone(), Json::U64(a.value)))
+                        .collect(),
+                ),
+            ));
+        }
+        events.push(obj(fields));
+    }
+    let root = obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&root).expect("trace events always serialize")
+}

@@ -1,0 +1,340 @@
+//! Named counters, gauges and log-bucketed histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Option<Arc<_>>`
+//! wrappers: on a disabled [`Metrics`] registry every operation is a
+//! no-op with no allocation. Registration takes a registry lock once per
+//! handle; updates are plain atomic ops.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// Bucket k holds values of bit-width k; u64 values need widths 0..=64.
+const HIST_BUCKETS: usize = 65;
+
+struct HistCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistCells {
+    fn new() -> Self {
+        HistCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Index of the log2 bucket holding `v`: bucket `k` covers
+/// `[2^(k-1), 2^k - 1]` for `k >= 1`, bucket 0 holds zero.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, Arc<AtomicU64>>,
+    gauges: BTreeMap<&'static str, Arc<AtomicU64>>,
+    histograms: BTreeMap<&'static str, Arc<HistCells>>,
+}
+
+/// The metrics registry half of a recorder. Cloning shares the registry.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    shared: Option<Arc<Mutex<Registry>>>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.shared.is_some())
+            .finish()
+    }
+}
+
+impl Metrics {
+    pub fn disabled() -> Self {
+        Metrics { shared: None }
+    }
+
+    pub fn enabled() -> Self {
+        Metrics {
+            shared: Some(Arc::new(Mutex::new(Registry::default()))),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Registers (or re-fetches) the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        Counter(self.shared.as_ref().map(|reg| {
+            Arc::clone(
+                reg.lock()
+                    .unwrap()
+                    .counters
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            )
+        }))
+    }
+
+    /// Registers (or re-fetches) the gauge named `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        Gauge(self.shared.as_ref().map(|reg| {
+            Arc::clone(
+                reg.lock()
+                    .unwrap()
+                    .gauges
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            )
+        }))
+    }
+
+    /// Registers (or re-fetches) the log2-bucketed histogram `name`.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        Histogram(self.shared.as_ref().map(|reg| {
+            Arc::clone(
+                reg.lock()
+                    .unwrap()
+                    .histograms
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(HistCells::new())),
+            )
+        }))
+    }
+
+    /// A flat, serializable copy of every registered metric, names
+    /// sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(reg) = &self.shared else {
+            return MetricsSnapshot::default();
+        };
+        let reg = reg.lock().unwrap();
+        MetricsSnapshot {
+            counters: reg
+                .counters
+                .iter()
+                .map(|(name, cell)| CounterEntry {
+                    name: (*name).to_string(),
+                    value: cell.load(Ordering::Relaxed),
+                })
+                .collect(),
+            gauges: reg
+                .gauges
+                .iter()
+                .map(|(name, cell)| GaugeEntry {
+                    name: (*name).to_string(),
+                    value: f64::from_bits(cell.load(Ordering::Relaxed)),
+                })
+                .collect(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(name, cells)| HistogramEntry {
+                    name: (*name).to_string(),
+                    count: cells.count.load(Ordering::Relaxed),
+                    sum: cells.sum.load(Ordering::Relaxed),
+                    buckets: cells
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(k, cell)| {
+                            let count = cell.load(Ordering::Relaxed);
+                            (count > 0).then(|| BucketEntry {
+                                le: if k >= 64 { u64::MAX } else { (1u64 << k) - 1 },
+                                count,
+                            })
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Monotonically increasing counter handle (no-op when disabled).
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins gauge handle storing an `f64` (no-op when disabled).
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn value(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+/// Log2-bucketed histogram handle (no-op when disabled).
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistCells>>);
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        if let Some(cells) = &self.0 {
+            cells.count.fetch_add(1, Ordering::Relaxed);
+            cells.sum.fetch_add(v, Ordering::Relaxed);
+            cells.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    pub name: String,
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    pub name: String,
+    pub value: f64,
+}
+
+/// One non-empty histogram bucket: `count` samples with value `<= le`
+/// (and above the previous bucket's bound).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketEntry {
+    pub le: u64,
+    pub count: u64,
+}
+
+/// One histogram in a [`MetricsSnapshot`]; only occupied buckets appear.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<BucketEntry>,
+}
+
+/// Flat serializable mirror of the registry at one point in time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterEntry>,
+    pub gauges: Vec<GaugeEntry>,
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl MetricsSnapshot {
+    /// The value of the named counter, or 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let m = Metrics::disabled();
+        let c = m.counter("x");
+        c.add(5);
+        m.gauge("g").set(1.5);
+        m.histogram("h").record(9);
+        assert_eq!(c.value(), 0);
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_reflects_updates_and_sorts_names() {
+        let m = Metrics::enabled();
+        m.counter("z.bytes").add(10);
+        m.counter("a.bytes").add(3);
+        m.counter("a.bytes").add(4); // same cell via re-registration
+        m.gauge("peak").set(2.5);
+        let h = m.histogram("sizes");
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![
+                CounterEntry {
+                    name: "a.bytes".into(),
+                    value: 7
+                },
+                CounterEntry {
+                    name: "z.bytes".into(),
+                    value: 10
+                },
+            ]
+        );
+        assert_eq!(snap.gauges[0].value, 2.5);
+        let hist = &snap.histograms[0];
+        assert_eq!((hist.count, hist.sum), (3, 6));
+        assert_eq!(
+            hist.buckets,
+            vec![
+                BucketEntry { le: 0, count: 1 },
+                BucketEntry { le: 3, count: 2 },
+            ]
+        );
+        assert_eq!(snap.counter("a.bytes"), 7);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::enabled();
+        m.counter("c").add(1);
+        m.gauge("g").set(0.5);
+        m.histogram("h").record(100);
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,141 @@
+//! The Chrome trace-event exporter emits valid, loadable JSON.
+//!
+//! Each test round-trips the exported string through the strict JSON
+//! parser and checks the fields `chrome://tracing` / Perfetto require:
+//! `ph`, `ts`, `pid`, `tid` on every event and `dur` on complete spans.
+
+use serde_json::Value;
+use sparch_obs::{chrome_trace_json, Recorder};
+
+fn events(json: &str) -> Vec<Value> {
+    let root: Value = serde_json::from_str(json).expect("exporter must emit valid JSON");
+    let Some(events) = root.get("traceEvents").and_then(Value::as_arr) else {
+        panic!("missing traceEvents array in {json}");
+    };
+    events.to_vec()
+}
+
+fn field<'a>(event: &'a Value, key: &str) -> &'a Value {
+    event
+        .get(key)
+        .unwrap_or_else(|| panic!("event missing {key:?}: {event:?}"))
+}
+
+fn str_field(event: &Value, key: &str) -> String {
+    field(event, key)
+        .as_str()
+        .unwrap_or_else(|| panic!("{key} not a string"))
+        .to_string()
+}
+
+fn num_field(event: &Value, key: &str) -> f64 {
+    match field(event, key) {
+        Value::F64(x) => *x,
+        Value::U64(x) => *x as f64,
+        Value::I64(x) => *x as f64,
+        other => panic!("{key} not numeric: {other:?}"),
+    }
+}
+
+fn uint_field(event: &Value, key: &str) -> u64 {
+    match field(event, key) {
+        Value::U64(x) => *x,
+        other => panic!("{key} not an unsigned integer: {other:?}"),
+    }
+}
+
+#[test]
+fn empty_trace_exports_process_metadata_only() {
+    let rec = Recorder::enabled();
+    let trace = rec.drain("empty-proc");
+    let evts = events(&chrome_trace_json(&trace));
+    assert_eq!(evts.len(), 1);
+    assert_eq!(str_field(&evts[0], "ph"), "M");
+    assert_eq!(str_field(&evts[0], "name"), "process_name");
+    let args = field(&evts[0], "args");
+    assert_eq!(args.get("name").and_then(Value::as_str), Some("empty-proc"));
+}
+
+#[test]
+fn single_span_has_complete_event_fields() {
+    let rec = Recorder::enabled();
+    {
+        let mut lane = rec.thread("main");
+        let h = lane.begin("stream", "read-panel");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        lane.end_with(h, &[("panel", 4)]);
+    }
+    let trace = rec.drain("p");
+    let evts = events(&chrome_trace_json(&trace));
+
+    // process_name + thread_name metadata, then exactly one X event.
+    let metas: Vec<_> = evts.iter().filter(|e| str_field(e, "ph") == "M").collect();
+    assert_eq!(metas.len(), 2);
+    assert!(metas.iter().any(|e| str_field(e, "name") == "thread_name"));
+
+    let spans: Vec<_> = evts.iter().filter(|e| str_field(e, "ph") == "X").collect();
+    assert_eq!(spans.len(), 1);
+    let span = spans[0];
+    assert_eq!(str_field(span, "name"), "read-panel");
+    assert_eq!(str_field(span, "cat"), "stream");
+    let ts = num_field(span, "ts");
+    let dur = num_field(span, "dur");
+    assert!(ts >= 0.0);
+    assert!(
+        dur >= 1_000.0,
+        "1ms sleep must show as >= 1000us, got {dur}"
+    );
+    uint_field(span, "pid");
+    uint_field(span, "tid");
+    let args = field(span, "args");
+    assert!(matches!(args.get("panel"), Some(Value::U64(4))));
+}
+
+#[test]
+fn cross_thread_trace_keeps_lanes_apart() {
+    let rec = Recorder::enabled();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let rec = rec.clone();
+            scope.spawn(move || {
+                let mut lane = rec.thread("worker");
+                let h = lane.begin("t", "work");
+                lane.end(h);
+            });
+        }
+    });
+    let trace = rec.drain("p");
+    let evts = events(&chrome_trace_json(&trace));
+    let tids: Vec<u64> = evts
+        .iter()
+        .filter(|e| str_field(e, "ph") == "X")
+        .map(|e| uint_field(e, "tid"))
+        .collect();
+    assert_eq!(tids.len(), 2);
+    assert_ne!(tids[0], tids[1], "each thread must get its own lane");
+    // Every span tid is declared by a thread_name metadata event.
+    let declared: Vec<u64> = evts
+        .iter()
+        .filter(|e| str_field(e, "ph") == "M" && str_field(e, "name") == "thread_name")
+        .map(|e| uint_field(e, "tid"))
+        .collect();
+    for tid in &tids {
+        assert!(declared.contains(tid), "span tid {tid} has no thread_name");
+    }
+}
+
+#[test]
+fn instant_events_use_instant_phase() {
+    let rec = Recorder::enabled();
+    {
+        let mut lane = rec.thread("coord");
+        lane.event("dist", "heartbeat-timeout");
+    }
+    let trace = rec.drain("p");
+    let evts = events(&chrome_trace_json(&trace));
+    let instants: Vec<_> = evts.iter().filter(|e| str_field(e, "ph") == "i").collect();
+    assert_eq!(instants.len(), 1);
+    assert_eq!(str_field(instants[0], "name"), "heartbeat-timeout");
+    assert_eq!(str_field(instants[0], "s"), "t");
+    num_field(instants[0], "ts");
+}

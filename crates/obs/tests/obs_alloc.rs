@@ -1,0 +1,96 @@
+//! Allocator audit: a **disabled** recorder is allocation-free.
+//!
+//! Every hot-path operation — opening a lane, begin/end, annotated end,
+//! instant events, counter/gauge/histogram updates, handle registration,
+//! draining — must perform **zero** heap allocations when tracing is off,
+//! because these calls now sit inside the streaming multiply/merge loops
+//! whose allocation counts are pinned by the PR 6/PR 7 audits.
+//!
+//! This file holds exactly one test so no neighbouring test's
+//! allocations can race the counters (same discipline as
+//! `crates/core/tests/zero_alloc.rs`).
+
+use sparch_obs::Recorder;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct TrackingAlloc;
+
+static ALL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+/// Runs `f` and returns (its output, allocations made during the call).
+fn audited<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALL_ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALL_ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+#[test]
+fn disabled_recorder_hot_path_makes_zero_allocations() {
+    let recorder = Recorder::disabled();
+    // Handle creation outside the audited region mirrors real call
+    // sites: stages register counters once, then update in the loop.
+    let counter = recorder.counter("bytes");
+    let gauge = recorder.metrics().gauge("peak");
+    let histogram = recorder.metrics().histogram("sizes");
+
+    // The counter is process-global, so a stray allocation on a harness
+    // thread during the window would count against the hot path; the
+    // *floor* over several runs is the hot path's own deterministic
+    // allocation count.
+    let mut floor = u64::MAX;
+    let mut total = 0.0f64;
+    for _ in 0..5 {
+        let (run_total, allocs) = audited(|| {
+            let mut total = 0.0f64;
+            for round in 0..10_000u64 {
+                let mut lane = recorder.thread("worker");
+                let outer = lane.begin("audit", "job");
+                let inner = lane.begin("audit", "kernel");
+                total += lane.end(inner);
+                lane.event_with("audit", "mark", &[("round", round)]);
+                total += lane.end_with(outer, &[("round", round), ("bytes", 64)]);
+                counter.add(round);
+                gauge.set(round as f64);
+                histogram.record(round);
+                // In-loop registration must also be free when disabled.
+                recorder.counter("bytes").incr();
+            }
+            let trace = recorder.drain("audit");
+            assert!(trace.spans.is_empty());
+            total
+        });
+        floor = floor.min(allocs);
+        total += run_total;
+    }
+
+    assert!(total >= 0.0);
+    assert_eq!(
+        floor, 0,
+        "disabled recorder allocated {floor} times on the hot path"
+    );
+}

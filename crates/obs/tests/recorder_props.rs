@@ -1,0 +1,128 @@
+//! Property tests for the recorder's trace invariants.
+//!
+//! N real threads concurrently emit nesting patterns drawn by proptest;
+//! whatever the interleaving, the drained trace must be **well-nested**
+//! (every span's interval lies inside its parent's, depth and parent
+//! linkage consistent with the emission stack) and **monotonically
+//! timestamped** (per thread, `begin` order equals start-timestamp
+//! order, and no span ends before it starts).
+
+use proptest::prelude::*;
+use sparch_obs::{Recorder, Span, Trace};
+use std::collections::HashMap;
+
+/// One thread's emission program: a balanced bracket sequence encoded as
+/// "open a span, then recursively run children, then close". Depths are
+/// drawn as a vector of child counts, bounded to keep traces small.
+#[derive(Debug, Clone)]
+struct Program {
+    /// `shape[d]` = number of spans opened at depth `d` under each span
+    /// at depth `d - 1` (depth 0: top-level spans).
+    shape: Vec<u8>,
+    /// Emit a zero-duration event inside every span at the deepest level.
+    with_events: bool,
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (vec(1u8..4, 1..4), 0u8..2).prop_map(|(shape, events)| Program {
+        shape,
+        with_events: events == 1,
+    })
+}
+
+fn emit(lane: &mut sparch_obs::ThreadRecorder, program: &Program, depth: usize) {
+    let Some(&count) = program.shape.get(depth) else {
+        if program.with_events {
+            lane.event("prop", "leaf-event");
+        }
+        return;
+    };
+    for _ in 0..count {
+        let h = lane.begin("prop", "span");
+        emit(lane, program, depth + 1);
+        lane.end(h);
+    }
+}
+
+fn check_thread(spans: &[&Span]) {
+    // Emission order (seq) must match start-timestamp order, every span
+    // must close no earlier than it opened, and parent linkage must
+    // describe proper nesting.
+    let by_seq: HashMap<u64, &Span> = spans.iter().map(|s| (s.seq, *s)).collect();
+    let mut last_start = 0u64;
+    for s in spans {
+        assert!(
+            s.start_ns >= last_start,
+            "start timestamps must be monotone in seq order: {s:?}"
+        );
+        last_start = s.start_ns;
+        assert!(s.end_ns >= s.start_ns, "span ends before it starts: {s:?}");
+        if s.parent < 0 {
+            assert_eq!(s.depth, 0, "top-level span with nonzero depth: {s:?}");
+        } else {
+            let parent = by_seq[&(s.parent as u64)];
+            assert_eq!(s.depth, parent.depth + 1, "depth != parent depth + 1");
+            assert!(
+                s.start_ns >= parent.start_ns && s.end_ns <= parent.end_ns,
+                "child interval escapes parent: child {s:?} parent {parent:?}"
+            );
+        }
+    }
+}
+
+fn check_trace(trace: &Trace, expected_threads: usize) {
+    assert_eq!(trace.threads.len(), expected_threads);
+    let mut by_tid: HashMap<u64, Vec<&Span>> = HashMap::new();
+    for s in &trace.spans {
+        by_tid.entry(s.tid).or_default().push(s);
+    }
+    for spans in by_tid.values() {
+        // drain() sorts by (tid, seq); re-assert to make the premise of
+        // check_thread explicit.
+        assert!(spans.windows(2).all(|w| w[0].seq < w[1].seq));
+        check_thread(spans);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_emission_yields_well_nested_monotone_traces(
+        programs in vec(arb_program(), 1..5),
+    ) {
+        let rec = Recorder::enabled();
+        std::thread::scope(|scope| {
+            for program in &programs {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    let mut lane = rec.thread("prop-worker");
+                    emit(&mut lane, program, 0);
+                });
+            }
+        });
+        let trace = rec.drain("prop");
+        check_trace(&trace, programs.len());
+        prop_assert!(!trace.spans.is_empty());
+    }
+}
+
+#[test]
+fn two_drains_partition_the_spans() {
+    let rec = Recorder::enabled();
+    {
+        let mut lane = rec.thread("a");
+        let h = lane.begin("t", "first");
+        lane.end(h);
+    }
+    let first = rec.drain("p");
+    assert_eq!(first.spans.len(), 1);
+    {
+        let mut lane = rec.thread("b");
+        let h = lane.begin("t", "second");
+        lane.end(h);
+    }
+    let second = rec.drain("p");
+    assert_eq!(second.spans.len(), 1);
+    assert_eq!(second.spans[0].name, "second");
+}

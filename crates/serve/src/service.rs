@@ -22,6 +22,7 @@ use crate::request::{Batch, Request};
 use crate::{Backend, ServeError};
 use serde::{Deserialize, Serialize};
 use sparch_exec::{ParallelRunner, ShardPool, Workload};
+use sparch_obs::{Counter, Recorder, ThreadRecorder};
 use sparch_sparse::{linalg, Csr};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -114,6 +115,10 @@ pub struct BackendSteps {
 /// The serializable result of serving one batch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchReport {
+    /// Report schema version ([`BatchReport::SCHEMA_VERSION`]). Bumped
+    /// whenever a field is added, removed, or changes meaning, so
+    /// archived reports stay comparable.
+    pub schema_version: u32,
     /// The dispatch policy, as text (`adaptive` / `fixed:<backend>`).
     pub policy: String,
     /// Worker threads used for the execute phase.
@@ -140,6 +145,9 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
+    /// Current value written into [`BatchReport::schema_version`].
+    pub const SCHEMA_VERSION: u32 = 1;
+
     /// A copy with every wall-clock field zeroed — the model-driven view
     /// that must be bit-identical across worker counts (pinned by
     /// `crates/serve/tests/service_batch.rs`).
@@ -197,6 +205,7 @@ pub struct SpgemmService {
     cache: OperandCache,
     pool: ShardPool,
     stream_config: sparch_stream::StreamConfig,
+    recorder: Recorder,
 }
 
 impl SpgemmService {
@@ -219,7 +228,25 @@ impl SpgemmService {
             cache: OperandCache::new(config.cache_capacity),
             pool: ShardPool::with_override(config.threads),
             stream_config: config.stream_config,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Replaces the service's recorder. With an enabled recorder every
+    /// multiply step records a span named after the chosen backend (one
+    /// lane per request, labelled `req-<index>`) carrying the model's
+    /// cost estimate, and the `serve.model_cost_us` /
+    /// `serve.actual_cost_us` counters accumulate predicted vs measured
+    /// step time in microseconds.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The recorder this service reports spans and metrics to.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The dispatcher (policy + calibration) this service runs with.
@@ -247,12 +274,14 @@ impl SpgemmService {
 
         let dispatcher = &self.dispatcher;
         let stream_config = &self.stream_config;
+        let recorder = &self.recorder;
         let jobs: Vec<RequestJob<'_>> = plans
             .into_iter()
             .map(|plan| RequestJob {
                 plan,
                 dispatcher,
                 stream_config,
+                recorder,
             })
             .collect();
         let timed = ParallelRunner::new(self.pool).quiet().run_all_timed(&jobs);
@@ -274,6 +303,7 @@ impl SpgemmService {
             }
         }
         Ok(BatchReport {
+            schema_version: BatchReport::SCHEMA_VERSION,
             policy: self.dispatcher.policy().to_string(),
             threads: self.pool.threads(),
             total_requests: requests.len(),
@@ -420,6 +450,13 @@ struct RequestJob<'a> {
     plan: PlannedRequest,
     dispatcher: &'a AdaptiveDispatcher,
     stream_config: &'a sparch_stream::StreamConfig,
+    recorder: &'a Recorder,
+}
+
+/// Seconds → whole microseconds, the fixed-point unit the serve cost
+/// counters accumulate in.
+fn cost_micros(seconds: f64) -> u64 {
+    (seconds * 1e6).round() as u64
 }
 
 /// Running tally of one request's multiply steps.
@@ -427,14 +464,24 @@ struct StepLog<'a> {
     backends: Vec<String>,
     model_cost: f64,
     stream_config: &'a sparch_stream::StreamConfig,
+    lane: ThreadRecorder,
+    model_cost_us: Counter,
+    actual_cost_us: Counter,
 }
 
 impl<'a> StepLog<'a> {
-    fn new(stream_config: &'a sparch_stream::StreamConfig) -> Self {
+    fn new(
+        stream_config: &'a sparch_stream::StreamConfig,
+        recorder: &Recorder,
+        index: u64,
+    ) -> Self {
         StepLog {
             backends: Vec::new(),
             model_cost: 0.0,
             stream_config,
+            lane: recorder.thread_for("req", index),
+            model_cost_us: recorder.counter("serve.model_cost_us"),
+            actual_cost_us: recorder.counter("serve.actual_cost_us"),
         }
     }
 
@@ -467,7 +514,12 @@ impl<'a> StepLog<'a> {
         let (backend, cost) = d.choose(features);
         self.backends.push(backend.name().to_string());
         self.model_cost += cost;
-        match backend {
+        // The span is named after the *chosen* backend, so a trace shows
+        // the dispatch decision and its duration in one event; the
+        // model's estimate rides along as an arg for side-by-side
+        // comparison with the span's measured duration.
+        let span = self.lane.begin("serve", backend.name());
+        let result = match backend {
             // A streaming step runs the *service's* pipeline
             // configuration (panel balance, codec, fan-in), with the
             // budget field overridden by the service budget when one is
@@ -496,7 +548,13 @@ impl<'a> StepLog<'a> {
                 crate::backend::run_distributed_with(config, a, b)
             }
             _ => backend.run(a, b),
-        }
+        };
+        let actual = self
+            .lane
+            .end_with(span, &[("model_cost_us", cost_micros(cost))]);
+        self.model_cost_us.add(cost_micros(cost));
+        self.actual_cost_us.add(cost_micros(actual));
+        result
     }
 }
 
@@ -513,7 +571,7 @@ impl Workload for RequestJob<'_> {
     fn run(&self, (): ()) -> RequestReport {
         let d = self.dispatcher;
         let ops = &self.plan.ops;
-        let mut log = StepLog::new(self.stream_config);
+        let mut log = StepLog::new(self.stream_config, self.recorder, self.plan.index as u64);
         let result = match &self.plan.request {
             Request::Single { .. } => log.multiply_pair(d, &ops[0], &ops[1]),
             Request::Chain { .. } => {
@@ -870,8 +928,40 @@ mod tests {
     fn report_serializes_and_round_trips() {
         let mut service = fixed_service(Backend::Hash);
         let report = service.serve(&small_batch()).unwrap();
+        assert_eq!(report.schema_version, BatchReport::SCHEMA_VERSION);
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: BatchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn recorder_traces_every_dispatch_decision() {
+        let mut service = fixed_service(Backend::Gustavson).with_recorder(Recorder::enabled());
+        let report = service.serve(&small_batch()).unwrap();
+        let trace = service.recorder().drain("serve");
+
+        // One span per multiply step, named after the chosen backend,
+        // on a lane per request.
+        assert_eq!(trace.count_named("gustavson"), report.total_steps);
+        assert_eq!(trace.spans.len(), report.total_steps);
+        assert_eq!(trace.threads.len(), report.total_requests);
+        assert!(trace.threads.iter().all(|t| t.label.starts_with("req-")));
+
+        // The cost counters accumulate in whole microseconds: the model
+        // counter matches the report's model cost to per-step rounding,
+        // and real work took measurable time.
+        let model_us = trace.metrics.counter("serve.model_cost_us");
+        let expected = report.total_model_cost * 1e6;
+        assert!(
+            (model_us as f64 - expected).abs() <= report.total_steps as f64,
+            "{model_us} vs {expected}"
+        );
+        assert!(trace.metrics.counter("serve.actual_cost_us") > 0);
+
+        // A service without a recorder traces nothing.
+        let mut untraced = fixed_service(Backend::Gustavson);
+        untraced.serve(&small_batch()).unwrap();
+        let empty = untraced.recorder().drain("serve");
+        assert!(empty.spans.is_empty() && empty.threads.is_empty());
     }
 }

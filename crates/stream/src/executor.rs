@@ -7,6 +7,7 @@
 use crate::pipeline::{self, PanelPair};
 use crate::{PanelBalance, StreamConfig, StreamError};
 use serde::{Deserialize, Serialize};
+use sparch_obs::Recorder;
 use sparch_sparse::{panel_ranges, panel_ranges_by_nnz, Csr};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +20,10 @@ pub use crate::pipeline::StageReport;
 /// per-stage busy/overlap accounting of the staged dataflow.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamReport {
+    /// Stable layout version of this report
+    /// ([`StreamReport::SCHEMA_VERSION`]); bump on any field change so
+    /// archived snapshot JSONs stay diffable across PRs.
+    pub schema_version: u32,
     /// Rows of `A` (= rows of the output).
     pub a_rows: usize,
     /// The shared inner dimension (`A` cols = `B` rows).
@@ -66,6 +71,27 @@ pub struct StreamReport {
     pub stages: StageReport,
 }
 
+impl StreamReport {
+    /// Current value of [`StreamReport::schema_version`].
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// A deterministic view for snapshot diffing: the same report with
+    /// every wall-clock-dependent quantity zeroed — stage timings, the
+    /// budget high-water mark, and the spill traffic counters, all of
+    /// which vary with scheduling when `threads > 1`.
+    pub fn without_timing(&self) -> StreamReport {
+        StreamReport {
+            peak_live_bytes: 0,
+            spill_writes: 0,
+            spill_reads: 0,
+            spill_bytes_written: 0,
+            spill_bytes_raw_equivalent: 0,
+            stages: StageReport::default(),
+            ..self.clone()
+        }
+    }
+}
+
 /// Monotone counter making every run's spill directory unique within the
 /// process (the process id distinguishes concurrent processes).
 static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -91,12 +117,31 @@ static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 #[derive(Debug, Clone)]
 pub struct StreamingExecutor {
     config: StreamConfig,
+    recorder: Recorder,
 }
 
 impl StreamingExecutor {
-    /// An executor with the given configuration.
+    /// An executor with the given configuration and tracing disabled.
     pub fn new(config: StreamConfig) -> Self {
-        StreamingExecutor { config }
+        StreamingExecutor {
+            config,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a recorder; every pipeline stage of subsequent runs
+    /// emits spans and metrics into it (see `pipeline::run` for the
+    /// span taxonomy). With the default disabled recorder the
+    /// instrumentation is allocation-free no-ops.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The executor's recorder (disabled unless set by
+    /// [`with_recorder`](Self::with_recorder)).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The executor's configuration.
@@ -282,9 +327,15 @@ impl StreamingExecutor {
             b_cols,
             pairs,
             self.spill_dir(),
+            &self.recorder,
         )?;
         let threads = sparch_exec::ShardPool::with_override(self.config.threads).threads();
+        self.recorder
+            .metrics()
+            .gauge("stream.peak_live_bytes")
+            .set(outcome.store_stats.peak_live_bytes as f64);
         let report = StreamReport {
+            schema_version: StreamReport::SCHEMA_VERSION,
             a_rows,
             inner_dim,
             b_cols,
@@ -654,8 +705,84 @@ mod tests {
         let (_, report) = exec(MemoryBudget::from_kb(1), 4, 1)
             .multiply(&a, &a)
             .unwrap();
+        assert_eq!(report.schema_version, StreamReport::SCHEMA_VERSION);
         let json = serde_json::to_string(&report).unwrap();
         let back: StreamReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn without_timing_is_deterministic_across_runs() {
+        let a = int_matrix(64, 64, 400, 13);
+        let run = || {
+            exec(MemoryBudget::from_kb(2), 5, 4)
+                .multiply(&a, &a)
+                .unwrap()
+                .1
+        };
+        let first = run().without_timing();
+        let second = run().without_timing();
+        assert_eq!(first, second);
+        assert_eq!(first.stages, StageReport::default());
+        assert_eq!(first.peak_live_bytes, 0);
+        // The structural facts survive the projection.
+        assert!(first.partials > 0 && first.output_nnz > 0);
+    }
+
+    #[test]
+    fn recorder_captures_every_pipeline_stage() {
+        let a = int_matrix(96, 96, 700, 17);
+        let executor = exec(MemoryBudget::from_bytes(0), 6, 2).with_recorder(Recorder::enabled());
+        let (_, report) = executor.multiply(&a, &a).unwrap();
+        let trace = executor.recorder().drain("stream");
+        for name in [
+            "read-panel",
+            "multiply-job",
+            "kernel",
+            "merge-round",
+            "spill-write",
+        ] {
+            assert!(
+                trace.count_named(name) > 0,
+                "no {name} span in the trace: {:?}",
+                trace
+                    .spans
+                    .iter()
+                    .map(|s| s.name.as_str())
+                    .collect::<Vec<_>>()
+            );
+        }
+        // Span sums are the same accumulations the report publishes.
+        let tol = |x: f64| 0.05 * x + 1e-4;
+        let s = &report.stages;
+        assert!(
+            (trace.seconds_named("read-panel") - s.reader_busy_seconds).abs()
+                <= tol(s.reader_busy_seconds)
+        );
+        assert!(
+            (trace.seconds_named("multiply-job") - s.multiply_busy_seconds).abs()
+                <= tol(s.multiply_busy_seconds)
+        );
+        assert!(
+            (trace.seconds_named("kernel") - s.multiply_kernel_seconds).abs()
+                <= tol(s.multiply_kernel_seconds)
+        );
+        assert!(
+            (trace.seconds_named("spill-write") - s.spill_write_seconds).abs()
+                <= tol(s.spill_write_seconds)
+        );
+        // Spill counters mirror the report's byte accounting exactly.
+        assert_eq!(
+            trace.metrics.counter("stream.spill_bytes_written"),
+            report.spill_bytes_written
+        );
+        assert_eq!(
+            trace.metrics.counter("stream.spill_bytes_raw_equivalent"),
+            report.spill_bytes_raw_equivalent
+        );
+        assert_eq!(
+            trace.metrics.counter("stream.spill_files_written"),
+            report.spill_writes
+        );
     }
 }

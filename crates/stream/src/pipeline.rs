@@ -55,13 +55,13 @@ use crate::{StreamConfig, StreamError};
 use serde::{Deserialize, Serialize};
 use sparch_core::sched::{huffman_plan, MergePlan, PlanNode};
 use sparch_exec::{Permits, ShardPool, SharedQueue};
+use sparch_obs::{Counter, Recorder, ThreadRecorder};
 use sparch_sparse::{algo, Csr, Index};
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// One panel pair flowing from the reader into the multiply stage:
 /// `A[:, range]` with localized columns and `B[range, :]` with localized
@@ -234,6 +234,15 @@ struct OrchestratorLinks<'a> {
 /// reader validates that ranges tile `0..inner_dim` and that panel
 /// shapes agree with `a_rows`/`b_cols`. Iterator errors (e.g. a disk
 /// reader failing mid-file) abort the run with that error.
+/// Every stage runs its timing through an [`sparch_obs`] span lane: the
+/// busy-seconds in [`StageReport`] are the `end()` return values of the
+/// very spans an enabled recorder exports, so the report is a view of
+/// the trace (span taxonomy: `read-panel` on the reader lane;
+/// `multiply-job` wrapping `kernel` + `publish-wait` on each multiply
+/// lane; `merge-round` on merge lanes; `spill-write` on the writer lane;
+/// `orchestrate` on the orchestrator lane; `claim-wait` measures channel
+/// waits outside every busy figure). With a disabled recorder the lanes
+/// allocate nothing.
 pub(crate) fn run<I>(
     config: &StreamConfig,
     a_rows: usize,
@@ -241,6 +250,7 @@ pub(crate) fn run<I>(
     b_cols: usize,
     pairs: I,
     spill_dir: PathBuf,
+    recorder: &Recorder,
 ) -> Result<PipelineOutcome, StreamError>
 where
     I: Iterator<Item = Result<PanelPair, StreamError>> + Send,
@@ -292,6 +302,7 @@ where
     std::thread::scope(|scope| {
         let (weights_ref, inflight_ref, abort_ref, gate_ref) =
             (&weights_slot, &inflight, &abort, &gate);
+        let reader_lane = recorder.thread("reader");
         let reader = scope.spawn(move || {
             reader_stage(
                 pairs,
@@ -302,6 +313,7 @@ where
                 weights_ref,
                 inflight_ref,
                 abort_ref,
+                reader_lane,
             )
         });
 
@@ -312,7 +324,8 @@ where
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 pool.scoped_workers(|_| {
                     let tx = evt_proto.lock().expect("event sender poisoned").clone();
-                    multiply_worker(job_rx_ref, &tx, gate_ref);
+                    let lane = recorder.thread("multiply");
+                    multiply_worker(job_rx_ref, &tx, gate_ref, lane);
                 });
             }));
             // Close the job channel and announce the stage end, panic or
@@ -335,7 +348,8 @@ where
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 merge_pool.scoped_workers(|_| {
                     let tx = evt_proto.lock().expect("event sender poisoned").clone();
-                    merge_worker(round_rx_ref, &tx, a_rows, b_cols);
+                    let lane = recorder.thread("merge");
+                    merge_worker(round_rx_ref, &tx, a_rows, b_cols, lane);
                 });
             }));
             round_rx_ref.close();
@@ -349,13 +363,27 @@ where
         });
 
         let writer_evt = evt_tx.clone();
-        let writer = scope.spawn(move || spill_writer(spill_rx, writer_evt));
+        let writer_lane = recorder.thread("spill-writer");
+        let spill_counters = SpillCounters {
+            files: recorder.counter("stream.spill_files_written"),
+            bytes: recorder.counter("stream.spill_bytes_written"),
+            raw_bytes: recorder.counter("stream.spill_bytes_raw_equivalent"),
+        };
+        let writer =
+            scope.spawn(move || spill_writer(spill_rx, writer_evt, writer_lane, spill_counters));
 
         // The orchestrator holds only the receiver: if every stage dies,
         // the disconnect (rather than a deadlock) ends the loop.
         drop(evt_tx);
 
-        let mut merge = MergeStage::new(store, a_rows, b_cols, ways, merge_pool.threads());
+        let mut merge = MergeStage::new(
+            store,
+            a_rows,
+            b_cols,
+            ways,
+            merge_pool.threads(),
+            recorder.thread("orchestrator"),
+        );
         merge.run(
             &evt_rx,
             OrchestratorLinks {
@@ -389,6 +417,7 @@ fn reader_stage<I>(
     weights_slot: &Mutex<Option<Vec<u64>>>,
     inflight: &AtomicUsize,
     abort: &AtomicBool,
+    mut lane: ThreadRecorder,
 ) -> ReaderOutcome
 where
     I: Iterator<Item = Result<PanelPair, StreamError>> + Send,
@@ -408,15 +437,17 @@ where
             aborted = true;
             break;
         }
-        let t0 = Instant::now();
+        // One span per pull + validate; its duration *is* the report's
+        // reader busy time (the final, empty pull included).
+        let span = lane.begin("stream", "read-panel");
         let Some(item) = pairs.next() else {
-            busy += t0.elapsed().as_secs_f64();
+            busy += lane.end(span);
             break;
         };
         let verdict = item.and_then(|pair| {
             validate_pair(&pair, covered, a_rows, inner_dim, b_cols).map(|()| pair)
         });
-        busy += t0.elapsed().as_secs_f64();
+        busy += lane.end_with(span, &[("panel", panels as u64)]);
         if inflight.load(Ordering::Relaxed) > 0 {
             overlapping += 1;
         }
@@ -517,16 +548,34 @@ fn validate_pair(
 /// comparable width runs allocation-free (the same per-worker reuse
 /// discipline as [`merge_worker`]'s `MergeScratch`). Each job visits
 /// only the occupied rows recorded at slicing time.
-fn multiply_worker(job_rx: &SharedQueue<MultiplyJob>, evt_tx: &Sender<Event>, gate: &Permits) {
+fn multiply_worker(
+    job_rx: &SharedQueue<MultiplyJob>,
+    evt_tx: &Sender<Event>,
+    gate: &Permits,
+    mut lane: ThreadRecorder,
+) {
     let mut scratch = algo::MultiplyScratch::new();
-    while let Some(job) = job_rx.claim() {
+    loop {
+        let wait = lane.begin("stream", "claim-wait");
+        let job = job_rx.claim();
+        lane.end(wait);
+        let Some(job) = job else { break };
         let reuses_before = scratch.reuses();
-        let t0 = Instant::now();
+        // The whole-job span (kernel + publish-gate wait) is what the
+        // report sums as multiply busy seconds; the nested spans split
+        // the attribution.
+        let job_span = lane.begin("stream", "multiply-job");
+        let kernel_span = lane.begin("stream", "kernel");
         let partial = algo::gustavson_scratch_on_rows(&job.a, &job.b, &job.live, &mut scratch);
-        let kernel_seconds = t0.elapsed().as_secs_f64();
+        let kernel_seconds = lane.end(kernel_span);
         let warm = scratch.reuses() > reuses_before;
+        let gate_span = lane.begin("stream", "publish-wait");
         gate.acquire();
-        let seconds = t0.elapsed().as_secs_f64();
+        lane.end(gate_span);
+        let seconds = lane.end_with(
+            job_span,
+            &[("leaf", job.leaf as u64), ("nnz", partial.nnz() as u64)],
+        );
         if evt_tx
             .send(Event::MultiplyDone {
                 leaf: job.leaf,
@@ -551,13 +600,19 @@ fn merge_worker(
     evt_tx: &Sender<Event>,
     a_rows: usize,
     b_cols: usize,
+    mut lane: ThreadRecorder,
 ) {
     let mut scratch = MergeScratch::new();
-    while let Some(job) = round_rx.claim() {
+    loop {
+        let wait = lane.begin("stream", "claim-wait");
+        let job = round_rx.claim();
+        lane.end(wait);
+        let Some(job) = job else { break };
         let triples: u64 = job.sources.iter().map(|s| s.remaining_nnz() as u64).sum();
-        let t0 = Instant::now();
+        let span = lane.begin("stream", "merge-round");
         let outcome = merge_sources(a_rows, b_cols, job.sources, &mut scratch);
-        let kernel_seconds = t0.elapsed().as_secs_f64();
+        let kernel_seconds =
+            lane.end_with(span, &[("round", job.round as u64), ("triples", triples)]);
         if evt_tx
             .send(Event::RoundDone {
                 round: job.round,
@@ -575,7 +630,12 @@ fn merge_worker(
 /// The spill writer: encodes and writes each handed-off partial, then
 /// reports the outcome (never blocking — the event channel is
 /// unbounded), so the orchestrator keeps scheduling while spills land.
-fn spill_writer(spill_rx: Receiver<SpillJob>, evt_tx: Sender<Event>) {
+fn spill_writer(
+    spill_rx: Receiver<SpillJob>,
+    evt_tx: Sender<Event>,
+    mut lane: ThreadRecorder,
+    counters: SpillCounters,
+) {
     while let Ok(SpillJob {
         id,
         path,
@@ -583,10 +643,22 @@ fn spill_writer(spill_rx: Receiver<SpillJob>, evt_tx: Sender<Event>) {
         codec,
     }) = spill_rx.recv()
     {
-        let t0 = Instant::now();
         let raw = raw_size(&csr);
-        let outcome =
-            write_partial(&path, &csr, codec).map(|file| (file, raw, t0.elapsed().as_secs_f64()));
+        let span = lane.begin("stream", "spill-write");
+        let outcome = write_partial(&path, &csr, codec);
+        let seconds = lane.end_with(
+            span,
+            &[
+                ("node", id as u64),
+                ("bytes", outcome.as_ref().map_or(0, |f| f.bytes)),
+            ],
+        );
+        if let Ok(file) = &outcome {
+            counters.files.incr();
+            counters.bytes.add(file.bytes);
+            counters.raw_bytes.add(raw);
+        }
+        let outcome = outcome.map(|file| (file, raw, seconds));
         // The partial's only copy dies here, before the completion is
         // announced — the store already stopped counting its bytes.
         drop(csr);
@@ -594,6 +666,14 @@ fn spill_writer(spill_rx: Receiver<SpillJob>, evt_tx: Sender<Event>) {
             break;
         }
     }
+}
+
+/// Spill-traffic counters the writer thread feeds (no-ops when tracing
+/// is off; mirrored in `StreamReport`'s spill fields).
+struct SpillCounters {
+    files: Counter,
+    bytes: Counter,
+    raw_bytes: Counter,
 }
 
 /// Where a plan round stands in the orchestrator's schedule.
@@ -635,6 +715,10 @@ struct MergeStage {
     rounds_overlapping: u64,
     rounds_concurrent: u64,
     failure: Option<StreamError>,
+    /// Span lane for orchestrator bookkeeping (`orchestrate` spans); the
+    /// sum of those spans plus the merge workers' `merge-round` spans is
+    /// exactly `merge_busy_seconds`.
+    lane: ThreadRecorder,
 }
 
 impl MergeStage {
@@ -644,6 +728,7 @@ impl MergeStage {
         b_cols: usize,
         ways: usize,
         max_rounds_inflight: usize,
+        lane: ThreadRecorder,
     ) -> Self {
         MergeStage {
             store,
@@ -670,6 +755,7 @@ impl MergeStage {
             rounds_overlapping: 0,
             rounds_concurrent: 0,
             failure: None,
+            lane,
         }
     }
 
@@ -715,11 +801,11 @@ impl MergeStage {
                 if self.failure.is_some() {
                     return;
                 }
-                let t0 = Instant::now();
+                let span = self.lane.begin("stream", "orchestrate");
                 self.insert_leaf(leaf, partial);
                 self.try_build_plan(links.weights_slot);
                 self.dispatch_rounds(links);
-                self.merge_busy += t0.elapsed().as_secs_f64();
+                self.merge_busy += self.lane.end(span);
             }
             Event::RoundDone {
                 round,
@@ -734,7 +820,7 @@ impl MergeStage {
                 self.merge_triples += triples;
                 match outcome {
                     Ok(merged) if self.failure.is_none() => {
-                        let t0 = Instant::now();
+                        let span = self.lane.begin("stream", "orchestrate");
                         let (ids, output_id, is_final) = {
                             let plan = self.plan.as_ref().expect("a dispatched round has a plan");
                             let n = plan.num_leaves;
@@ -756,7 +842,7 @@ impl MergeStage {
                         if self.failure.is_none() {
                             self.dispatch_rounds(links);
                         }
-                        self.merge_busy += t0.elapsed().as_secs_f64();
+                        self.merge_busy += self.lane.end(span);
                     }
                     // Failure already recorded — the round only needed
                     // accounting so the drain can terminate.
@@ -778,9 +864,9 @@ impl MergeStage {
                     Ok(()) if self.failure.is_none() => {
                         // A node just became available — rounds gated on
                         // its write-back may be dispatchable now.
-                        let t0 = Instant::now();
+                        let span = self.lane.begin("stream", "orchestrate");
                         self.dispatch_rounds(links);
-                        self.merge_busy += t0.elapsed().as_secs_f64();
+                        self.merge_busy += self.lane.end(span);
                     }
                     Ok(()) => {}
                 }
@@ -790,7 +876,7 @@ impl MergeStage {
                 if self.failure.is_some() {
                     return;
                 }
-                let t0 = Instant::now();
+                let span = self.lane.begin("stream", "orchestrate");
                 // Every MultiplyDone is queued ahead of this event, so
                 // all leaves that will ever arrive have arrived; and the
                 // reader published the weights before the stage could
@@ -809,7 +895,7 @@ impl MergeStage {
                     }
                     Some(_) => self.dispatch_rounds(links),
                 }
-                self.merge_busy += t0.elapsed().as_secs_f64();
+                self.merge_busy += self.lane.end(span);
             }
             Event::MergeStageClosed => {
                 // Normally sent only after the orchestrator drops the

@@ -1,0 +1,109 @@
+//! End-to-end trace export for the streaming pipeline.
+//!
+//! A budgeted two-thread run with an enabled recorder must produce a
+//! Chrome trace that (a) parses as strict JSON, (b) contains at least
+//! one complete event for every pipeline stage — `read-panel`,
+//! `multiply-job`, `merge-round`, `spill-write` — on correctly labelled
+//! thread lanes, and (c) attributes per-stage span time within 5% of
+//! the `StageReport` busy figures the same run publishes.
+
+use serde_json::Value;
+use sparch_obs::{chrome_trace_json, Recorder};
+use sparch_sparse::{algo, gen};
+use sparch_stream::{MemoryBudget, StreamConfig, StreamingExecutor};
+
+fn int_matrix(rows: usize, cols: usize, nnz: usize, seed: u64) -> sparch_sparse::Csr {
+    sparch_sparse::linalg::map_values(&gen::uniform_random(rows, cols, nnz, seed), |v| {
+        (v * 4.0).round()
+    })
+}
+
+fn str_field(event: &Value, key: &str) -> String {
+    event
+        .get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("event missing string {key:?}: {event:?}"))
+        .to_string()
+}
+
+#[test]
+fn budgeted_two_thread_run_exports_full_stage_coverage() {
+    let a = int_matrix(128, 128, 128 * 8, 31);
+    let executor = StreamingExecutor::new(StreamConfig {
+        budget: MemoryBudget::from_bytes(0), // force the spill path
+        panels: 8,
+        merge_ways: 3,
+        threads: Some(2),
+        ..StreamConfig::default()
+    })
+    .with_recorder(Recorder::enabled());
+
+    let (c, report) = executor.multiply(&a, &a).unwrap();
+    assert_eq!(c, algo::gustavson(&a, &a));
+
+    let trace = executor.recorder().drain("stream");
+
+    // Stage attribution: span sums vs the report's busy-seconds, within
+    // 5% plus a small absolute slack for sub-microsecond stages.
+    let tol = |x: f64| 0.05 * x + 1e-4;
+    let s = &report.stages;
+    let close = |name: &str, expect: f64| {
+        let got = trace.seconds_named(name);
+        assert!(
+            (got - expect).abs() <= tol(expect),
+            "{name} spans sum to {got}s, report says {expect}s"
+        );
+    };
+    close("read-panel", s.reader_busy_seconds);
+    close("multiply-job", s.multiply_busy_seconds);
+    close("kernel", s.multiply_kernel_seconds);
+    close("merge-round", s.merge_kernel_seconds);
+    close("spill-write", s.spill_write_seconds);
+    // Orchestrator bookkeeping + merge rounds together are the merge
+    // stage's busy time.
+    let merge_busy = trace.seconds_named("orchestrate") + trace.seconds_named("merge-round");
+    assert!(
+        (merge_busy - s.merge_busy_seconds).abs() <= tol(s.merge_busy_seconds),
+        "orchestrate + merge-round = {merge_busy}s, report says {}s",
+        s.merge_busy_seconds
+    );
+
+    // The exported Chrome trace parses strictly and covers every stage.
+    let json = chrome_trace_json(&trace);
+    let root: Value = serde_json::from_str(&json).expect("exporter must emit valid JSON");
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    for stage in ["read-panel", "multiply-job", "merge-round", "spill-write"] {
+        let count = events
+            .iter()
+            .filter(|e| str_field(e, "ph") == "X" && str_field(e, "name") == stage)
+            .count();
+        assert!(count > 0, "no complete {stage} event in the export");
+    }
+    // Every pipeline lane announces itself by name.
+    let lane_names: Vec<String> = events
+        .iter()
+        .filter(|e| str_field(e, "ph") == "M" && str_field(e, "name") == "thread_name")
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                .expect("thread_name args.name")
+                .to_string()
+        })
+        .collect();
+    for lane in [
+        "reader",
+        "multiply",
+        "merge",
+        "spill-writer",
+        "orchestrator",
+    ] {
+        assert!(
+            lane_names.iter().any(|n| n.starts_with(lane)),
+            "no {lane} lane declared; lanes: {lane_names:?}"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Allocator audit: with tracing **off**, the instrumented pipeline's
+//! warm-run allocation count is exactly that of an identical run — the
+//! disabled recorder adds zero heap allocations to the hot path.
+//!
+//! The default `StreamingExecutor` carries a disabled recorder, so two
+//! identical single-threaded in-memory runs must allocate the same
+//! number of times: every span begin/end, counter update and lane
+//! creation compiles down to no-ops (the per-operation proof lives in
+//! `crates/obs/tests/obs_alloc.rs`; this test pins the composition into
+//! the real pipeline audited by the PR 6/PR 7 allocation tests).
+//!
+//! This file holds exactly one test so no neighbouring test's
+//! allocations can race the counters (same discipline as
+//! `crates/core/tests/zero_alloc.rs`).
+
+use sparch_sparse::gen;
+use sparch_stream::{MemoryBudget, StreamConfig, StreamingExecutor};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct TrackingAlloc;
+
+static ALL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+/// Runs `f` and returns (its output, allocations made during the call).
+fn audited<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALL_ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALL_ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+/// Warm-run allocation floor: the minimum count over several identical
+/// runs. Thread/channel scheduling jitters individual runs by a couple
+/// of allocations (an extra channel block here or there); the *floor*
+/// is deterministic, so any systematic allocation added to the hot path
+/// — one per span, per panel, per counter update — shifts it.
+fn alloc_floor(runs: usize, f: impl Fn() -> u64) -> u64 {
+    (0..runs).map(|_| f()).min().unwrap()
+}
+
+#[test]
+fn disabled_tracing_adds_zero_allocations_to_warm_runs() {
+    let a = sparch_sparse::linalg::map_values(&gen::uniform_random(96, 96, 700, 19), |v| {
+        (v * 4.0).round()
+    });
+    let config = StreamConfig {
+        budget: MemoryBudget::unbounded(), // in-memory: no spill I/O jitter
+        panels: 6,
+        merge_ways: 3,
+        threads: Some(1), // a single multiply worker keeps the schedule fixed
+        ..StreamConfig::default()
+    };
+    let executor = StreamingExecutor::new(config.clone());
+
+    // Warm-up: thread-local scratch, channel blocks, the result shape.
+    let ((expected, _), _) = audited(|| executor.multiply(&a, &a).unwrap());
+
+    // With tracing disabled every recorder call must be free, so two
+    // independently measured warm floors can only differ if the
+    // recorder — the sole conditional code on this path — allocates.
+    let floor = |exec: &StreamingExecutor| {
+        alloc_floor(5, || {
+            let ((c, _), allocs) = audited(|| exec.multiply(&a, &a).unwrap());
+            assert_eq!(c, expected);
+            allocs
+        })
+    };
+    let first = floor(&executor);
+    let second = floor(&executor);
+    assert_eq!(
+        first, second,
+        "identical warm runs hit different allocation floors ({first} vs {second}): \
+         the disabled recorder must be allocation-free"
+    );
+
+    // Positive control: the same workload with tracing *on* must sit
+    // visibly above the disabled floor (span storage, lane labels, the
+    // sink) — proof this audit can see recorder allocations at all.
+    let traced = StreamingExecutor::new(config).with_recorder(sparch_obs::Recorder::enabled());
+    let enabled = floor(&traced);
+    drop(traced.recorder().drain("audit"));
+    assert!(
+        enabled > first,
+        "enabled tracing allocated no more than disabled ({enabled} vs {first}): \
+         the audit has lost its sensitivity"
+    );
+}

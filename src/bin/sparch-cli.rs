@@ -30,10 +30,12 @@
 //! liveness, retry and straggler re-dispatch — the result is
 //! bit-identical to the single-node pipeline at every shard count.
 
+use serde_json::Value;
 use sparch::baselines::OuterSpaceModel;
 use sparch::core::{SpArchConfig, SpArchSim};
 use sparch::dist::{DistConfig, DistCoordinator};
 use sparch::mem::TrafficCategory;
+use sparch::obs::{chrome_trace_json, Recorder, Trace};
 use sparch::serve::{Batch, Calibration, DispatchPolicy, ServiceConfig, SpgemmService};
 use sparch::sparse::{algo, gen, mm, stats, Csr};
 use sparch::stream::{MemoryBudget, StreamConfig, StreamingExecutor};
@@ -47,10 +49,13 @@ fn usage() -> ! {
          <rmat|uniform|poisson|banded> --n <N> [--degree D] [--seed S] --out <mtx>\n  \
          sparch-cli stats --a <mtx>\n  sparch-cli batch --file <requests.json> \
          [--policy adaptive|fixed:<backend>] [--threads N] [--reference-calibration] \
-         [--json <path>]\n  sparch-cli stream --a <mtx> [--b <mtx>] [--budget-mb N] \
-         [--panels P] [--balance uniform|nnz] [--ways W] [--spill-codec raw|varint] \
-         [--threads T] [--verify] [--json <path>]\n  sparch-cli dist --a <mtx> [--b <mtx>] \
-         [--shards S] [--panels P] [--budget-mb N] [--verify] [--json <path>]"
+         [--json <path>] [--trace <path>]\n  sparch-cli stream --a <mtx> [--b <mtx>] \
+         [--budget-mb N] [--panels P] [--balance uniform|nnz] [--ways W] \
+         [--spill-codec raw|varint] [--threads T] [--verify] [--json <path>] \
+         [--trace <path>]\n  sparch-cli dist --a <mtx> [--b <mtx>] \
+         [--shards S] [--panels P] [--budget-mb N] [--verify] [--json <path>] \
+         [--trace <path>]\n  sparch-cli trace-check --file <trace.json> \
+         --expect <name>[,<name>...]"
     );
     std::process::exit(2);
 }
@@ -80,6 +85,23 @@ fn load(path: &str) -> Csr {
             eprintln!("failed to read {path}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// The recorder a command runs with: enabled iff `--trace` was given.
+fn recorder_for(flags: &HashMap<String, String>) -> Recorder {
+    if flags.contains_key("trace") {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    }
+}
+
+/// Writes the Chrome trace-event export to the `--trace` path, if any.
+fn write_trace(flags: &HashMap<String, String>, trace: &Trace) {
+    if let Some(path) = flags.get("trace") {
+        std::fs::write(path, chrome_trace_json(trace)).expect("write trace");
+        println!("trace written to {path} (load it in Perfetto or chrome://tracing)");
     }
 }
 
@@ -266,7 +288,8 @@ fn cmd_batch(flags: &HashMap<String, String>) -> ExitCode {
         threads,
         calibration,
         ..ServiceConfig::default()
-    });
+    })
+    .with_recorder(recorder_for(flags));
     let report = match service.serve(&batch) {
         Ok(report) => report,
         Err(e) => {
@@ -303,6 +326,7 @@ fn cmd_batch(flags: &HashMap<String, String>) -> ExitCode {
         .expect("write json");
         println!("\nreport written to {path}");
     }
+    write_trace(flags, &service.recorder().drain("serve"));
     ExitCode::SUCCESS
 }
 
@@ -397,7 +421,7 @@ fn cmd_stream(flags: &HashMap<String, String>) -> ExitCode {
         }
     };
 
-    let executor = StreamingExecutor::new(config);
+    let executor = StreamingExecutor::new(config).with_recorder(recorder_for(flags));
     let to_csr = |item: Result<
         (std::ops::Range<usize>, sparch::sparse::Coo),
         sparch::sparse::SparseError,
@@ -475,6 +499,7 @@ fn cmd_stream(flags: &HashMap<String, String>) -> ExitCode {
         .expect("write json");
         println!("\nreport written to {path}");
     }
+    write_trace(flags, &executor.recorder().drain("stream"));
     ExitCode::SUCCESS
 }
 
@@ -515,7 +540,8 @@ fn cmd_dist(flags: &HashMap<String, String>) -> ExitCode {
             MemoryBudget::from_mb(mb.parse().expect("--budget-mb needs a number of MiB"));
     }
 
-    let (c, report) = match DistCoordinator::new(config).multiply(&a, b) {
+    let coordinator = DistCoordinator::new(config).with_recorder(recorder_for(flags));
+    let (c, report) = match coordinator.multiply(&a, b) {
         Ok(result) => result,
         Err(e) => {
             eprintln!("distributed multiply failed: {e}");
@@ -570,6 +596,58 @@ fn cmd_dist(flags: &HashMap<String, String>) -> ExitCode {
         .expect("write json");
         println!("\nreport written to {path}");
     }
+    write_trace(flags, &coordinator.recorder().drain("dist"));
+    ExitCode::SUCCESS
+}
+
+/// Validates a Chrome trace export: the file must parse, and every
+/// `--expect`ed span name must appear as at least one complete ("X")
+/// event. Exit code 1 on any miss — CI smoke tests gate on this.
+fn cmd_trace_check(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(file) = flags.get("file") else {
+        usage()
+    };
+    let Some(expect) = flags.get("expect") else {
+        usage()
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("failed to read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root: Value = match serde_json::from_str(&text) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("{file} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(events) = root.get("traceEvents").and_then(Value::as_arr) else {
+        eprintln!("{file} has no traceEvents array");
+        return ExitCode::FAILURE;
+    };
+    let mut missing = 0;
+    for name in expect.split(',').filter(|n| !n.is_empty()) {
+        let spans = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("X")
+                    && e.get("name").and_then(Value::as_str) == Some(name)
+            })
+            .count();
+        if spans == 0 {
+            eprintln!("missing: no {name:?} span in {file}");
+            missing += 1;
+        } else {
+            println!("{name}: {spans} span(s)");
+        }
+    }
+    if missing > 0 {
+        return ExitCode::FAILURE;
+    }
+    println!("trace OK: {} events", events.len());
     ExitCode::SUCCESS
 }
 
@@ -586,6 +664,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&flags),
         "stream" => cmd_stream(&flags),
         "dist" => cmd_dist(&flags),
+        "trace-check" => cmd_trace_check(&flags),
         _ => usage(),
     }
 }

@@ -13,6 +13,9 @@
 //!   execute → writeback with reusable [`core::SimScratch`] buffers,
 //! * [`exec`] — the parallel sharded execution layer ([`exec::ShardPool`],
 //!   [`exec::Workload`], [`exec::ParallelRunner`]) for multi-core sweeps,
+//! * [`obs`] — unified tracing and metrics ([`obs::Recorder`] span lanes
+//!   feeding Chrome-trace export, counters/gauges/histograms; the report
+//!   structs across stream/dist/serve derive from the same recorder),
 //! * [`stream`] — the streaming out-of-core SpGEMM pipeline
 //!   ([`stream::StreamingExecutor`]: panel-partitioned multiply,
 //!   memory-budgeted Huffman-ordered partial merge, disk spill),
@@ -46,6 +49,7 @@ pub use sparch_dist as dist;
 pub use sparch_engine as engine;
 pub use sparch_exec as exec;
 pub use sparch_mem as mem;
+pub use sparch_obs as obs;
 pub use sparch_serve as serve;
 pub use sparch_sparse as sparse;
 pub use sparch_stream as stream;
@@ -59,6 +63,7 @@ pub mod prelude {
     pub use sparch_dist::{DistConfig, DistCoordinator, DistReport};
     pub use sparch_engine::{Clock, Clocked, MergeItem, MergeTree, MergeTreeConfig};
     pub use sparch_exec::{FnWorkload, ParallelRunner, ShardPool, Workload};
+    pub use sparch_obs::{MetricsSnapshot, Recorder, Stopwatch, Trace};
     pub use sparch_serve::{
         Backend, Batch, BatchReport, Calibration, DispatchPolicy, Request, ServiceConfig,
         SpgemmService,
