@@ -5,8 +5,10 @@
 //! requests over eight structurally distinct operands, sized by
 //! `--scale`), serves it through `SpgemmService` under the adaptive
 //! policy with the pinned reference calibration, and emits `SERVE.json` —
-//! requests/second, operand-cache hit rate, total model-side work and
-//! the per-backend dispatch distribution.
+//! requests/second, operand-cache hit rate, total model-side work, the
+//! per-backend dispatch distribution, and the dispatch model's accuracy
+//! (mean |predicted − measured| step cost and the ranking-inversion
+//! mispredict rate) so calibration changes are regression-visible.
 //!
 //! ```console
 //! cargo run --release -p sparch-bench --bin serve_snapshot
@@ -38,6 +40,13 @@ struct Snapshot {
     requests_per_second: f64,
     cache_hit_rate: f64,
     total_model_cost: f64,
+    /// Mean |predicted − measured| step cost in seconds — how far the
+    /// dispatch calibration sits from the machine on this batch.
+    mean_abs_cost_error_seconds: f64,
+    /// Fraction of step pairs the model ranks in the wrong order
+    /// ([`sparch_serve::BatchReport::mispredict_rate`]): the
+    /// regression-visible signal for future calibration changes.
+    dispatch_mispredict_rate: f64,
     backend_steps: Vec<(String, u64)>,
 }
 
@@ -194,6 +203,8 @@ fn main() {
         requests_per_second: report.total_requests as f64 / report.wall_seconds.max(1e-9),
         cache_hit_rate: report.cache_hit_rate,
         total_model_cost: report.total_model_cost,
+        mean_abs_cost_error_seconds: report.mean_abs_cost_error_seconds,
+        dispatch_mispredict_rate: report.mispredict_rate(),
         backend_steps: report
             .backend_steps
             .iter()
@@ -217,6 +228,11 @@ fn main() {
         snapshot.requests_per_second,
         snapshot.cache_hit_rate * 100.0,
         snapshot.total_model_cost
+    );
+    println!(
+        "dispatch model: mean |cost error| {:.3e} s, mispredict rate {:.1}%",
+        snapshot.mean_abs_cost_error_seconds,
+        snapshot.dispatch_mispredict_rate * 100.0
     );
 
     let path = args

@@ -1,0 +1,429 @@
+//! Self-tuning snapshot: tracks the `sparch-tune` loop from PR to PR.
+//!
+//! Three measurements over a deterministic R-MAT workload (sized by
+//! `--scale`), emitted as `TUNE_BENCH.json`:
+//!
+//! 1. **Planner vs sweep** — a fig17-style grid sweep over panels ×
+//!    merge fan-in × balance under a tight budget (a quarter of the full
+//!    partial footprint, so the spill path is live), against the single
+//!    configuration `KnobPlanner` derives without timing anything. At the
+//!    pinned scale the planned point must land within 0.9× of the best
+//!    swept throughput and not lose to the naive default config.
+//! 2. **Bit-identity grid** — the planned config is executed across
+//!    threads × budgets and every result compared `==` against
+//!    `gustavson`: tuning moves timing, never bits.
+//! 3. **Online calibration** — a serve batch repeated on one service
+//!    with the EWMA feedback loop on: the mean |predicted − measured|
+//!    step cost must shrink from the cold batch to the warm one.
+//!
+//! ```console
+//! cargo run --release -p sparch-bench --bin tune_snapshot
+//! cargo run --release -p sparch-bench --bin tune_snapshot -- --scale 0.005 --json /tmp/t.json
+//! ```
+
+use serde::Serialize;
+use sparch_bench::{parse_args_from, runner, ArgsOutcome, USAGE};
+use sparch_serve::prelude::*;
+use sparch_sparse::gen::Recipe;
+use sparch_sparse::{algo, gen, Csr};
+use sparch_sparse::{panel_ranges, panel_ranges_by_nnz};
+use sparch_stream::{MemoryBudget, PanelBalance, SpillCodec, StreamConfig, StreamingExecutor};
+use sparch_tune::{row_nnz_histogram, BRows, KnobPlanner, OperandStats, Plan};
+
+/// Pinned default scale (matches the other snapshot binaries).
+const SNAPSHOT_SCALE: f64 = 0.02;
+
+/// Timed attempts per configuration; the minimum is reported (the
+/// workload is deterministic, so noise is one-sided). Attempts are
+/// interleaved round-robin across every configuration so a slow window
+/// (CPU contention, thermal drift) cannot bias one point's minimum.
+const ATTEMPTS: usize = 15;
+
+#[derive(Serialize, Clone, PartialEq)]
+struct Knobs {
+    panels: usize,
+    merge_ways: usize,
+    balance: String,
+    spill_codec: String,
+}
+
+impl Knobs {
+    fn of(config: &StreamConfig) -> Knobs {
+        Knobs {
+            panels: config.panels,
+            merge_ways: config.merge_ways,
+            balance: config.balance.to_string(),
+            spill_codec: config.spill_codec.to_string(),
+        }
+    }
+}
+
+#[derive(Serialize, Clone)]
+struct MeasuredPoint {
+    knobs: Knobs,
+    wall_seconds: f64,
+    multiplies_per_second: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    scale: f64,
+    threads: usize,
+    n: usize,
+    a_nnz: usize,
+    multiplies: u64,
+    budget_bytes: u64,
+    partial_bytes_total: u64,
+    /// The planner's full decision record (projections included).
+    plan: Plan,
+    auto: MeasuredPoint,
+    default: MeasuredPoint,
+    best_sweep: MeasuredPoint,
+    sweep_points: usize,
+    /// Every swept point (the fig17-style grid), measurement order.
+    sweep: Vec<MeasuredPoint>,
+    /// `auto.multiplies_per_second / best_sweep.multiplies_per_second`.
+    auto_vs_best_sweep: f64,
+    /// `auto.multiplies_per_second / default.multiplies_per_second`.
+    auto_vs_default: f64,
+    /// Planned-config runs compared bit-for-bit against `gustavson`
+    /// across the threads × budgets grid.
+    identity_checks: usize,
+    /// Mean |predicted − measured| step cost, first (cold) serve batch.
+    calibration_cold_error_seconds: f64,
+    /// Same, second (warm) batch — after one online EWMA fold.
+    calibration_warm_error_seconds: f64,
+    /// `warm / cold`: how much of the error one fold removes.
+    calibration_error_ratio: f64,
+}
+
+/// What a configuration *actually executes*: the panel ranges its
+/// balance mode produces, the merge fan-in after clamping to the
+/// partial count (a 2-panel run merges 2-way no matter what
+/// `merge_ways` says), and the spill codec. Grid points with equal keys
+/// are one execution under different labels — they share a single
+/// measurement, so the sweep's "best" can never be the luckiest of
+/// several identical runs.
+type FamilyKey = (Vec<(usize, usize)>, usize, String);
+
+fn family_key(config: &StreamConfig, col_nnz: &[usize]) -> FamilyKey {
+    let ranges = match config.balance {
+        PanelBalance::Uniform => panel_ranges(col_nnz.len(), config.panels),
+        PanelBalance::Nnz => panel_ranges_by_nnz(col_nnz, config.panels),
+    };
+    let partials = ranges
+        .iter()
+        .filter(|r| col_nnz[r.start..r.end].iter().any(|&c| c > 0))
+        .count();
+    let ways = config.merge_ways.clamp(2, partials.max(2));
+    let ranges = ranges.into_iter().map(|r| (r.start, r.end)).collect();
+    (ranges, ways, config.spill_codec.to_string())
+}
+
+/// Minimum wall time per configuration over [`ATTEMPTS`] interleaved
+/// rounds (every config runs once per round), asserting each result
+/// matches `expected` on the first round.
+fn measure_all(configs: &[StreamConfig], a: &Csr, expected: &Csr) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; configs.len()];
+    for round in 0..ATTEMPTS {
+        for (i, config) in configs.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            let (c, _) = StreamingExecutor::new(config.clone())
+                .multiply(a, a)
+                .expect("measured run must succeed");
+            let wall = t0.elapsed().as_secs_f64();
+            if round == 0 {
+                assert_eq!(&c, expected, "knobs changed result bits: {config:?}");
+            }
+            best[i] = best[i].min(wall);
+        }
+    }
+    best
+}
+
+/// A serve batch for the online-calibration measurement: all four
+/// request kinds over two operand structures.
+fn serve_batch() -> Batch {
+    let operand = |name: &str, recipe: Recipe, seed: u64| OperandDef {
+        name: name.into(),
+        spec: OperandSpec::Gen { recipe, seed },
+    };
+    Batch {
+        operands: vec![
+            operand(
+                "g",
+                Recipe::Rmat {
+                    n: 96,
+                    avg_degree: 5,
+                },
+                21,
+            ),
+            operand(
+                "u",
+                Recipe::Uniform {
+                    rows: 96,
+                    cols: 96,
+                    nnz: 600,
+                },
+                22,
+            ),
+        ],
+        requests: vec![
+            Request::Single {
+                a: "g".into(),
+                b: "u".into(),
+            },
+            Request::Chain {
+                operands: vec!["g".into(), "u".into(), "g".into()],
+            },
+            Request::Power {
+                a: "g".into(),
+                k: 3,
+                threshold: 0.0,
+            },
+            Request::Masked {
+                a: "g".into(),
+                b: "g".into(),
+                mask: "u".into(),
+            },
+        ],
+    }
+}
+
+fn main() {
+    let mut args = match parse_args_from(std::env::args().skip(1)) {
+        Ok(ArgsOutcome::Parsed(args)) => args,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if !args.scale_explicit {
+        args.scale = SNAPSHOT_SCALE;
+    }
+
+    let n = ((3200.0 * args.scale) as usize).max(48);
+    let a = gen::rmat_graph500(n, 8, 77);
+    let multiplies = algo::multiply_flops(&a, &a);
+    let expected = algo::gustavson(&a, &a);
+    let threads = args.threads.unwrap_or(1);
+
+    // Tight budget: a quarter of the full partial footprint, learned
+    // from one unbounded probe run, so the spill path is always live
+    // for configurations that ignore it.
+    let probe = StreamingExecutor::new(StreamConfig {
+        budget: MemoryBudget::unbounded(),
+        threads: args.threads,
+        ..StreamConfig::default()
+    })
+    .multiply(&a, &a)
+    .expect("probe run must succeed");
+    let budget_bytes = probe.1.partial_bytes_total / 4;
+    let budget = MemoryBudget::from_bytes(budget_bytes);
+
+    // The planner's pick, from structure alone — no timing.
+    let stats = OperandStats::from_csr(&a);
+    let b_rows = row_nnz_histogram(&a);
+    let plan = KnobPlanner::new(budget)
+        .with_threads(threads)
+        .plan(&stats, &BRows::Histogram(&b_rows));
+    let auto_config = StreamConfig {
+        threads: args.threads,
+        ..plan.config.clone()
+    };
+
+    // The naive point of comparison: default knobs, same budget.
+    let default_config = StreamConfig {
+        budget,
+        threads: args.threads,
+        ..StreamConfig::default()
+    };
+
+    // Fig17-style sweep: panels × fan-in × balance under the same
+    // budget (varint codec, like the planner picks when spilling). The
+    // planned and default configs join the same interleaved measurement
+    // so every point sees the same noise; identical knobs share one
+    // measurement so they can never differ by noise.
+    let mut configs: Vec<StreamConfig> = Vec::new();
+    for panels in [2usize, 4, 8, 16] {
+        for ways in [2usize, 4, 8] {
+            for balance in [PanelBalance::Uniform, PanelBalance::Nnz] {
+                configs.push(StreamConfig {
+                    budget,
+                    panels,
+                    merge_ways: ways,
+                    balance,
+                    spill_codec: SpillCodec::Varint,
+                    threads: args.threads,
+                    ..StreamConfig::default()
+                });
+            }
+        }
+    }
+    let sweep_points = configs.len();
+    configs.push(auto_config.clone());
+    configs.push(default_config.clone());
+
+    // Group the labeled configs into execution families and measure one
+    // representative per family, interleaved.
+    let col_nnz = a.col_nnz();
+    let mut family_of = Vec::with_capacity(configs.len());
+    let mut keys: Vec<FamilyKey> = Vec::new();
+    let mut representatives: Vec<StreamConfig> = Vec::new();
+    for config in &configs {
+        let key = family_key(config, &col_nnz);
+        let family = keys.iter().position(|k| *k == key).unwrap_or_else(|| {
+            keys.push(key);
+            representatives.push(config.clone());
+            keys.len() - 1
+        });
+        family_of.push(family);
+    }
+    let walls = measure_all(&representatives, &a, &expected);
+    let points: Vec<MeasuredPoint> = configs
+        .iter()
+        .zip(&family_of)
+        .map(|(config, &family)| MeasuredPoint {
+            knobs: Knobs::of(config),
+            wall_seconds: walls[family],
+            multiplies_per_second: multiplies as f64 / walls[family].max(1e-9),
+        })
+        .collect();
+    let best_sweep = points[..sweep_points]
+        .iter()
+        .min_by(|x, y| x.wall_seconds.total_cmp(&y.wall_seconds))
+        .expect("sweep is non-empty")
+        .clone();
+    let auto = points[sweep_points].clone();
+    let default = points[sweep_points + 1].clone();
+
+    // Bit-identity grid: the planned config must reproduce `gustavson`
+    // exactly at any thread count and budget.
+    let mut identity_checks = 0;
+    for grid_threads in [1usize, 2] {
+        for grid_budget in [
+            MemoryBudget::unbounded(),
+            MemoryBudget::from_bytes(budget_bytes),
+            MemoryBudget::from_bytes(probe.1.partial_bytes_total / 10),
+        ] {
+            let grid_plan = KnobPlanner::new(grid_budget)
+                .with_threads(grid_threads)
+                .plan(&stats, &BRows::Histogram(&b_rows));
+            let (c, _) = StreamingExecutor::new(grid_plan.config)
+                .multiply(&a, &a)
+                .expect("grid run must succeed");
+            assert_eq!(
+                c, expected,
+                "planned run diverged at {grid_threads} threads, budget {grid_budget:?}"
+            );
+            identity_checks += 1;
+        }
+    }
+
+    // Online calibration: cold batch vs warm batch on one service. The
+    // reference table prices steps in raw model units, so the first fold
+    // must collapse the error by orders of magnitude.
+    let mut service = SpgemmService::new(ServiceConfig {
+        policy: DispatchPolicy::Fixed(Backend::Gustavson),
+        threads: args.threads,
+        calibration: Some(Calibration::reference()),
+        online_calibration: Some(0.5),
+        ..ServiceConfig::default()
+    });
+    let cold = service.serve(&serve_batch()).expect("cold batch");
+    let warm = service.serve(&serve_batch()).expect("warm batch");
+
+    let snapshot = Snapshot {
+        scale: args.scale,
+        threads,
+        n,
+        a_nnz: a.nnz(),
+        multiplies,
+        budget_bytes,
+        partial_bytes_total: probe.1.partial_bytes_total,
+        plan,
+        auto_vs_best_sweep: auto.multiplies_per_second / best_sweep.multiplies_per_second,
+        auto_vs_default: auto.multiplies_per_second / default.multiplies_per_second,
+        auto,
+        default,
+        best_sweep,
+        sweep_points,
+        sweep: points[..sweep_points].to_vec(),
+        identity_checks,
+        calibration_cold_error_seconds: cold.mean_abs_cost_error_seconds,
+        calibration_warm_error_seconds: warm.mean_abs_cost_error_seconds,
+        calibration_error_ratio: warm.mean_abs_cost_error_seconds
+            / cold.mean_abs_cost_error_seconds.max(1e-300),
+    };
+
+    println!(
+        "Tune snapshot — {n}x{n} R-MAT squared at scale {} on {} thread(s), \
+         budget {} B (quarter of {} B footprint)",
+        snapshot.scale, snapshot.threads, snapshot.budget_bytes, snapshot.partial_bytes_total
+    );
+    println!(
+        "auto plan: {} panels ({} balance), {}-way merge, {} codec (budget formula {})",
+        snapshot.auto.knobs.panels,
+        snapshot.auto.knobs.balance,
+        snapshot.auto.knobs.merge_ways,
+        snapshot.auto.knobs.spill_codec,
+        if snapshot.plan.budget_satisfied {
+            "satisfied"
+        } else {
+            "unachievable"
+        }
+    );
+    println!(
+        "auto {:.3e} mult/s | default ({}p/{}w) {:.3e} | best of {} swept ({}p/{}w/{}) {:.3e}",
+        snapshot.auto.multiplies_per_second,
+        snapshot.default.knobs.panels,
+        snapshot.default.knobs.merge_ways,
+        snapshot.default.multiplies_per_second,
+        snapshot.sweep_points,
+        snapshot.best_sweep.knobs.panels,
+        snapshot.best_sweep.knobs.merge_ways,
+        snapshot.best_sweep.knobs.balance,
+        snapshot.best_sweep.multiplies_per_second
+    );
+    println!(
+        "auto/best {:.3}, auto/default {:.3}; {} bit-identity checks passed",
+        snapshot.auto_vs_best_sweep, snapshot.auto_vs_default, snapshot.identity_checks
+    );
+    println!(
+        "online calibration: cold error {:.3e} s -> warm {:.3e} s (x{:.2e})",
+        snapshot.calibration_cold_error_seconds,
+        snapshot.calibration_warm_error_seconds,
+        snapshot.calibration_error_ratio
+    );
+
+    // Floors hold at the pinned snapshot scale only — explicit --scale
+    // runs are exploratory.
+    if !args.scale_explicit {
+        assert!(
+            snapshot.auto_vs_best_sweep >= 0.9,
+            "auto-planned knobs fell below 0.9x the best swept point: {:.3}",
+            snapshot.auto_vs_best_sweep
+        );
+        assert!(
+            snapshot.auto_vs_default >= 1.0,
+            "auto-planned knobs lost to the naive default config: {:.3}",
+            snapshot.auto_vs_default
+        );
+        assert!(
+            snapshot.calibration_warm_error_seconds < snapshot.calibration_cold_error_seconds,
+            "online calibration failed to shrink the cost error: cold {:.3e} warm {:.3e}",
+            snapshot.calibration_cold_error_seconds,
+            snapshot.calibration_warm_error_seconds
+        );
+    }
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("TUNE_BENCH.json"));
+    runner::dump_json(&Some(path), &snapshot);
+}

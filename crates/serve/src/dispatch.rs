@@ -382,6 +382,14 @@ impl AdaptiveDispatcher {
         &self.calibration
     }
 
+    /// Replaces the calibration table — the refresh hook for online
+    /// calibration and `recalibrate()`. Call *between* batches only:
+    /// dispatch decisions inside one batch must share a frozen table so
+    /// the choices stay thread-count-invariant.
+    pub fn set_calibration(&mut self, calibration: Calibration) {
+        self.calibration = calibration;
+    }
+
     /// The configured memory budget in bytes, if any.
     pub fn memory_budget(&self) -> Option<u64> {
         self.memory_budget

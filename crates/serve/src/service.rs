@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use sparch_exec::{ParallelRunner, ShardPool, Workload};
 use sparch_obs::{Counter, Recorder, ThreadRecorder};
 use sparch_sparse::{linalg, Csr};
+use sparch_tune::OnlineCalibration;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -60,6 +61,23 @@ pub struct ServiceConfig {
     /// parallelism axis). [`ServiceConfig::memory_budget`] overrides the
     /// budget field per step; the other knobs pass through as-is.
     pub stream_config: sparch_stream::StreamConfig,
+    /// Plan streaming/distributed steps' knobs per task instead of using
+    /// [`ServiceConfig::stream_config`] verbatim: each out-of-core step
+    /// runs a [`sparch_tune::KnobPlanner`] over the step's operand
+    /// structure and the effective budget, deriving panels, balance,
+    /// fan-in and codec (thread-count knobs and the spill directory still
+    /// come from `stream_config`). Deterministic — the plan is a pure
+    /// function of matrix structure — and bit-identity to the in-memory
+    /// backends holds at any planned setting.
+    pub auto_tune: bool,
+    /// Enables online calibration with the given EWMA smoothing factor
+    /// (see [`sparch_tune::OnlineCalibration`]): after every batch, each
+    /// step's predicted-vs-measured cost folds back into the dispatcher's
+    /// calibration table, so the cost model tracks the machine it is
+    /// actually running on. Wall-clock feedback, so later batches'
+    /// dispatch choices are *not* run-to-run reproducible — leave `None`
+    /// (the default) when determinism matters more than fidelity.
+    pub online_calibration: Option<f64>,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +90,8 @@ impl Default for ServiceConfig {
             memory_budget: None,
             distributed_threshold: None,
             stream_config: sparch_stream::StreamConfig::pinned(),
+            auto_tune: false,
+            online_calibration: None,
         }
     }
 }
@@ -101,6 +121,12 @@ pub struct RequestReport {
     pub cache_misses: u32,
     /// Wall-clock seconds on the worker (not deterministic).
     pub wall_seconds: f64,
+    /// Calibrated model cost of each multiply step, in order —
+    /// deterministic given the batch-start calibration table.
+    pub step_model_seconds: Vec<f64>,
+    /// Measured wall-clock seconds of each multiply step, in order (not
+    /// deterministic; zeroed by [`BatchReport::without_timing`]).
+    pub step_actual_seconds: Vec<f64>,
 }
 
 /// Steps executed per backend over a batch.
@@ -140,13 +166,25 @@ pub struct BatchReport {
     pub backend_steps: Vec<BackendSteps>,
     /// Wall-clock seconds for the whole batch (not deterministic).
     pub wall_seconds: f64,
+    /// Batches served since the calibration table was last fully
+    /// (re)measured, *before* this one — `0` right after service start or
+    /// [`SpgemmService::recalibrate`]. Online EWMA folds do not reset it:
+    /// it counts distance from the last ground-truth measurement.
+    pub calibration_age: u64,
+    /// Mean over steps of `|predicted − measured|` step cost in seconds —
+    /// the quantity online calibration drives down (not deterministic;
+    /// zeroed by [`BatchReport::without_timing`]).
+    pub mean_abs_cost_error_seconds: f64,
     /// Per-request telemetry, in submission order.
     pub requests: Vec<RequestReport>,
 }
 
 impl BatchReport {
     /// Current value written into [`BatchReport::schema_version`].
-    pub const SCHEMA_VERSION: u32 = 1;
+    /// Version history: 1 — initial schema; 2 — added `calibration_age`,
+    /// `mean_abs_cost_error_seconds`, and per-step
+    /// `step_model_seconds` / `step_actual_seconds`.
+    pub const SCHEMA_VERSION: u32 = 2;
 
     /// A copy with every wall-clock field zeroed — the model-driven view
     /// that must be bit-identical across worker counts (pinned by
@@ -154,10 +192,50 @@ impl BatchReport {
     pub fn without_timing(&self) -> BatchReport {
         let mut stripped = self.clone();
         stripped.wall_seconds = 0.0;
+        stripped.mean_abs_cost_error_seconds = 0.0;
         for r in &mut stripped.requests {
             r.wall_seconds = 0.0;
+            r.step_actual_seconds.iter_mut().for_each(|s| *s = 0.0);
         }
         stripped
+    }
+
+    /// Dispatch mispredict rate: over every pair of steps in the batch
+    /// whose *predicted* costs differ, the fraction the model ranked in
+    /// the opposite order from their *measured* times (a Kendall-style
+    /// inversion count). `0.0` is a perfect ranking — the dispatcher's
+    /// argmin would have made the same choices with hindsight — and a
+    /// batch with fewer than two comparable steps scores `0.0`.
+    pub fn mispredict_rate(&self) -> f64 {
+        let steps: Vec<(f64, f64)> = self
+            .requests
+            .iter()
+            .flat_map(|r| {
+                r.step_model_seconds
+                    .iter()
+                    .zip(&r.step_actual_seconds)
+                    .map(|(&m, &a)| (m, a))
+            })
+            .collect();
+        let mut comparable = 0u64;
+        let mut inversions = 0u64;
+        for i in 0..steps.len() {
+            for j in i + 1..steps.len() {
+                let dm = steps[i].0 - steps[j].0;
+                let da = steps[i].1 - steps[j].1;
+                if dm != 0.0 && da != 0.0 {
+                    comparable += 1;
+                    if (dm > 0.0) != (da > 0.0) {
+                        inversions += 1;
+                    }
+                }
+            }
+        }
+        if comparable == 0 {
+            0.0
+        } else {
+            inversions as f64 / comparable as f64
+        }
     }
 }
 
@@ -206,16 +284,24 @@ pub struct SpgemmService {
     pool: ShardPool,
     stream_config: sparch_stream::StreamConfig,
     recorder: Recorder,
+    auto_tune: bool,
+    online: Option<OnlineCalibration>,
+    /// The config's pinned table, kept so [`SpgemmService::recalibrate`]
+    /// can restore it instead of re-measuring.
+    pinned_calibration: Option<Calibration>,
+    calibration_age: u64,
 }
 
 impl SpgemmService {
     /// Builds a service, measuring a calibration table at start if the
     /// config does not pin one (see [`ServiceConfig::calibration`]).
     pub fn new(config: ServiceConfig) -> Self {
+        let pinned_calibration = config.calibration.clone();
         let calibration = config.calibration.unwrap_or_else(|| match config.policy {
             DispatchPolicy::Adaptive => Calibration::measure(0x5bac4),
             DispatchPolicy::Fixed(_) => Calibration::reference(),
         });
+        let slots = calibration.seconds_per_unit.len();
         let mut dispatcher = AdaptiveDispatcher::new(config.policy, calibration);
         if let Some(budget) = config.memory_budget {
             dispatcher = dispatcher.with_memory_budget(budget);
@@ -229,7 +315,45 @@ impl SpgemmService {
             pool: ShardPool::with_override(config.threads),
             stream_config: config.stream_config,
             recorder: Recorder::disabled(),
+            auto_tune: config.auto_tune,
+            online: config
+                .online_calibration
+                .map(|alpha| OnlineCalibration::new(alpha, slots)),
+            pinned_calibration,
+            calibration_age: 0,
         }
+    }
+
+    /// Batches served since the calibration table was last fully
+    /// (re)measured ([`SpgemmService::new`] or
+    /// [`SpgemmService::recalibrate`]).
+    pub fn calibration_age(&self) -> u64 {
+        self.calibration_age
+    }
+
+    /// Refreshes the calibration table from scratch: restores the
+    /// config's pinned table if one was given, otherwise re-measures
+    /// (adaptive policy) or resets to [`Calibration::reference`] (fixed).
+    /// Any accumulated online-calibration state is dropped — the EWMA
+    /// estimates were relative to a table this call replaces — and
+    /// [`SpgemmService::calibration_age`] returns to `0`.
+    ///
+    /// The model-driven view of a batch served right after `recalibrate`
+    /// on a pinned-calibration service is bit-identical to one served
+    /// right after service start ([`BatchReport::without_timing`]).
+    pub fn recalibrate(&mut self) {
+        let calibration =
+            self.pinned_calibration
+                .clone()
+                .unwrap_or_else(|| match self.dispatcher.policy() {
+                    DispatchPolicy::Adaptive => Calibration::measure(0x5bac4),
+                    DispatchPolicy::Fixed(_) => Calibration::reference(),
+                });
+        self.dispatcher.set_calibration(calibration);
+        if let Some(online) = &mut self.online {
+            online.reset();
+        }
+        self.calibration_age = 0;
     }
 
     /// Replaces the service's recorder. With an enabled recorder every
@@ -275,6 +399,7 @@ impl SpgemmService {
         let dispatcher = &self.dispatcher;
         let stream_config = &self.stream_config;
         let recorder = &self.recorder;
+        let auto_tune = self.auto_tune;
         let jobs: Vec<RequestJob<'_>> = plans
             .into_iter()
             .map(|plan| RequestJob {
@@ -282,6 +407,7 @@ impl SpgemmService {
                 dispatcher,
                 stream_config,
                 recorder,
+                auto_tune,
             })
             .collect();
         let timed = ParallelRunner::new(self.pool).quiet().run_all_timed(&jobs);
@@ -292,6 +418,8 @@ impl SpgemmService {
             report.wall_seconds = t.run_seconds;
             requests.push(report);
         }
+
+        let (mean_abs_cost_error_seconds, calibration_age) = self.fold_online_feedback(&requests);
 
         let cache_hits: u64 = requests.iter().map(|r| r.cache_hits as u64).sum();
         let cache_misses: u64 = requests.iter().map(|r| r.cache_misses as u64).sum();
@@ -324,8 +452,62 @@ impl SpgemmService {
                 })
                 .collect(),
             wall_seconds: wall_start.elapsed().as_secs_f64(),
+            calibration_age,
+            mean_abs_cost_error_seconds,
             requests,
         })
+    }
+
+    /// Post-batch bookkeeping for the calibration loop: computes the
+    /// batch's mean absolute prediction error, feeds every step's
+    /// predicted-vs-measured cost into the online EWMA (when enabled) and
+    /// folds the refreshed estimates into the dispatcher's table — always
+    /// *between* batches, never mid-batch — then advances the age
+    /// counter. Returns `(mean_abs_error, age_before_this_batch)`.
+    fn fold_online_feedback(&mut self, requests: &[RequestReport]) -> (f64, u64) {
+        let mut abs_error = 0.0;
+        let mut steps = 0u64;
+        for r in requests {
+            for (&model, &actual) in r.step_model_seconds.iter().zip(&r.step_actual_seconds) {
+                abs_error += (model - actual).abs();
+                steps += 1;
+            }
+        }
+        let mean_abs_error = if steps == 0 {
+            0.0
+        } else {
+            abs_error / steps as f64
+        };
+
+        if let Some(online) = &mut self.online {
+            // The table was frozen for the whole batch, so dividing each
+            // step's calibrated cost by its backend's seconds-per-unit
+            // recovers the model's abstract units exactly.
+            let table = self.dispatcher.calibration().clone();
+            for r in requests {
+                for ((name, &model), &actual) in r
+                    .backends
+                    .iter()
+                    .zip(&r.step_model_seconds)
+                    .zip(&r.step_actual_seconds)
+                {
+                    let Some(slot) = Backend::ALL.iter().position(|b| b.name() == name) else {
+                        continue;
+                    };
+                    let per_unit = table.seconds_per_unit.get(slot).copied().unwrap_or(1.0);
+                    if per_unit > 0.0 && per_unit.is_finite() {
+                        online.observe(slot, model / per_unit, actual);
+                    }
+                }
+            }
+            let mut folded = table;
+            online.fold_into(&mut folded.seconds_per_unit);
+            self.dispatcher.set_calibration(folded);
+        }
+
+        let age = self.calibration_age;
+        self.calibration_age += 1;
+        (mean_abs_error, age)
     }
 
     /// Phase 1: materialize operands, probe the cache in submission
@@ -451,6 +633,7 @@ struct RequestJob<'a> {
     dispatcher: &'a AdaptiveDispatcher,
     stream_config: &'a sparch_stream::StreamConfig,
     recorder: &'a Recorder,
+    auto_tune: bool,
 }
 
 /// Seconds → whole microseconds, the fixed-point unit the serve cost
@@ -463,7 +646,10 @@ fn cost_micros(seconds: f64) -> u64 {
 struct StepLog<'a> {
     backends: Vec<String>,
     model_cost: f64,
+    step_model_seconds: Vec<f64>,
+    step_actual_seconds: Vec<f64>,
     stream_config: &'a sparch_stream::StreamConfig,
+    auto_tune: bool,
     lane: ThreadRecorder,
     model_cost_us: Counter,
     actual_cost_us: Counter,
@@ -472,17 +658,52 @@ struct StepLog<'a> {
 impl<'a> StepLog<'a> {
     fn new(
         stream_config: &'a sparch_stream::StreamConfig,
+        auto_tune: bool,
         recorder: &Recorder,
         index: u64,
     ) -> Self {
         StepLog {
             backends: Vec::new(),
             model_cost: 0.0,
+            step_model_seconds: Vec::new(),
+            step_actual_seconds: Vec::new(),
             stream_config,
+            auto_tune,
             lane: recorder.thread_for("req", index),
             model_cost_us: recorder.counter("serve.model_cost_us"),
             actual_cost_us: recorder.counter("serve.actual_cost_us"),
         }
+    }
+
+    /// The pipeline configuration for one out-of-core step: the service's
+    /// `stream_config` with the dispatcher's budget override — and, under
+    /// `auto_tune`, with data knobs (panels, balance, fan-in, codec)
+    /// re-planned per task from the step's operand structure. Thread
+    /// knobs and the spill directory always come from the service config.
+    fn stream_config_for(
+        &self,
+        d: &AdaptiveDispatcher,
+        a: &Csr,
+        b: &Csr,
+    ) -> sparch_stream::StreamConfig {
+        let mut config = self.stream_config.clone();
+        if let Some(budget) = d.memory_budget() {
+            config.budget = sparch_stream::MemoryBudget::from_bytes(budget);
+        }
+        if self.auto_tune {
+            let stats = sparch_tune::OperandStats::from_csr(a);
+            let b_rows = sparch_tune::row_nnz_histogram(b);
+            let plan = sparch_tune::KnobPlanner::new(config.budget)
+                .with_threads(config.threads.unwrap_or(1))
+                .plan(&stats, &sparch_tune::BRows::Histogram(&b_rows));
+            config = sparch_stream::StreamConfig {
+                threads: config.threads,
+                merge_workers: config.merge_workers,
+                spill_dir: config.spill_dir.clone(),
+                ..plan.config
+            };
+        }
+        config
     }
 
     /// One multiply step with both operands from the cache: every cached
@@ -525,24 +746,17 @@ impl<'a> StepLog<'a> {
             // budget field overridden by the service budget when one is
             // set — the bound the footprint routing promised — rather
             // than the pinned default `Backend::run` uses standalone.
+            // Under `auto_tune` the data knobs are re-planned per task.
             Backend::Streaming => {
-                let mut config = self.stream_config.clone();
-                if let Some(budget) = d.memory_budget() {
-                    config.budget = sparch_stream::MemoryBudget::from_bytes(budget);
-                }
-                crate::backend::run_streaming_with(config, a, b)
+                crate::backend::run_streaming_with(self.stream_config_for(d, a, b), a, b)
             }
             // A distributed step ships the service's stream config (and
             // budget, applied *per shard*) to the worker fleet; if no
             // fleet can be spawned it degrades to the streaming pipeline
             // with the identical result.
             Backend::Distributed => {
-                let mut stream = self.stream_config.clone();
-                if let Some(budget) = d.memory_budget() {
-                    stream.budget = sparch_stream::MemoryBudget::from_bytes(budget);
-                }
                 let config = sparch_dist::DistConfig {
-                    stream,
+                    stream: self.stream_config_for(d, a, b),
                     ..sparch_dist::DistConfig::default()
                 };
                 crate::backend::run_distributed_with(config, a, b)
@@ -554,6 +768,8 @@ impl<'a> StepLog<'a> {
             .end_with(span, &[("model_cost_us", cost_micros(cost))]);
         self.model_cost_us.add(cost_micros(cost));
         self.actual_cost_us.add(cost_micros(actual));
+        self.step_model_seconds.push(cost);
+        self.step_actual_seconds.push(actual);
         result
     }
 }
@@ -571,7 +787,12 @@ impl Workload for RequestJob<'_> {
     fn run(&self, (): ()) -> RequestReport {
         let d = self.dispatcher;
         let ops = &self.plan.ops;
-        let mut log = StepLog::new(self.stream_config, self.recorder, self.plan.index as u64);
+        let mut log = StepLog::new(
+            self.stream_config,
+            self.auto_tune,
+            self.recorder,
+            self.plan.index as u64,
+        );
         let result = match &self.plan.request {
             Request::Single { .. } => log.multiply_pair(d, &ops[0], &ops[1]),
             Request::Chain { .. } => {
@@ -613,6 +834,8 @@ impl Workload for RequestJob<'_> {
             cache_hits: self.plan.cache_hits,
             cache_misses: self.plan.cache_misses,
             wall_seconds: 0.0, // filled from the runner's measurement
+            step_model_seconds: log.step_model_seconds,
+            step_actual_seconds: log.step_actual_seconds,
         }
     }
 }

@@ -1,0 +1,220 @@
+//! The calibration loop, end to end (ISSUE 10):
+//!
+//! * online calibration demonstrably shrinks the mean |predicted −
+//!   measured| step cost over a warm batch — the reference table prices
+//!   steps in raw model units ("seconds" off by orders of magnitude),
+//!   and one EWMA fold pulls the model onto the machine's real scale;
+//! * `recalibrate()` restores the pinned table and resets the age
+//!   counter, and a batch served right after it is bit-identical
+//!   (without timing) to one served right after service start;
+//! * `auto_tune` re-plans streaming knobs per step without changing a
+//!   single output bit relative to the in-memory baseline;
+//! * the mispredict rate is a well-formed fraction.
+
+use sparch_serve::prelude::*;
+use sparch_sparse::gen::Recipe;
+
+fn operand(name: &str, recipe: Recipe, seed: u64) -> OperandDef {
+    OperandDef {
+        name: name.into(),
+        spec: OperandSpec::Gen { recipe, seed },
+    }
+}
+
+/// A small mixed batch: two operand structures, all four request kinds.
+fn batch() -> Batch {
+    Batch {
+        operands: vec![
+            operand(
+                "g",
+                Recipe::Rmat {
+                    n: 64,
+                    avg_degree: 4,
+                },
+                1,
+            ),
+            operand(
+                "u",
+                Recipe::Uniform {
+                    rows: 64,
+                    cols: 64,
+                    nnz: 400,
+                },
+                2,
+            ),
+        ],
+        requests: vec![
+            Request::Single {
+                a: "g".into(),
+                b: "u".into(),
+            },
+            Request::Chain {
+                operands: vec!["g".into(), "u".into(), "g".into()],
+            },
+            Request::Power {
+                a: "g".into(),
+                k: 3,
+                threshold: 0.0,
+            },
+            Request::Masked {
+                a: "g".into(),
+                b: "g".into(),
+                mask: "u".into(),
+            },
+        ],
+    }
+}
+
+#[test]
+fn online_calibration_shrinks_cost_error_over_a_warm_batch() {
+    let mut service = SpgemmService::new(ServiceConfig {
+        policy: DispatchPolicy::Fixed(Backend::Gustavson),
+        threads: Some(2),
+        calibration: Some(Calibration::reference()),
+        online_calibration: Some(0.5),
+        ..ServiceConfig::default()
+    });
+    let cold = service.serve(&batch()).expect("cold batch");
+    let warm = service.serve(&batch()).expect("warm batch");
+
+    // The reference table prices steps at 1 s/model-unit — off from the
+    // real machine by orders of magnitude — so one fold of measured
+    // feedback must collapse the error, not just nudge it.
+    assert!(cold.mean_abs_cost_error_seconds > 0.0);
+    assert!(
+        warm.mean_abs_cost_error_seconds < cold.mean_abs_cost_error_seconds * 0.1,
+        "online calibration did not shrink the cost error: cold {} warm {}",
+        cold.mean_abs_cost_error_seconds,
+        warm.mean_abs_cost_error_seconds
+    );
+
+    // The fold really rewrote the dispatcher's table.
+    assert_ne!(
+        *service.dispatcher().calibration(),
+        Calibration::reference()
+    );
+
+    // Age counts batches since the last full measurement; folds don't
+    // reset it.
+    assert_eq!(cold.calibration_age, 0);
+    assert_eq!(warm.calibration_age, 1);
+}
+
+#[test]
+fn recalibrate_restores_the_pinned_table_and_determinism() {
+    let mut service = SpgemmService::new(ServiceConfig {
+        policy: DispatchPolicy::Fixed(Backend::Gustavson),
+        threads: Some(2),
+        calibration: Some(Calibration::reference()),
+        online_calibration: Some(1.0),
+        ..ServiceConfig::default()
+    });
+
+    // Warm the operand cache, then reset so the reference table is live.
+    service.serve(&batch()).expect("warmup");
+    service.recalibrate();
+    assert_eq!(service.calibration_age(), 0);
+    assert_eq!(
+        *service.dispatcher().calibration(),
+        Calibration::reference()
+    );
+
+    let first = service.serve(&batch()).expect("first");
+    let drifted = service.serve(&batch()).expect("drifted");
+    service.recalibrate();
+    let refreshed = service.serve(&batch()).expect("refreshed");
+
+    // Between folds the model costs track the machine (tiny per-unit
+    // estimates), after recalibrate they are back on the reference scale.
+    assert_eq!(first.calibration_age, 0);
+    assert_eq!(drifted.calibration_age, 1);
+    assert_eq!(refreshed.calibration_age, 0);
+    assert!(drifted.total_model_cost < first.total_model_cost);
+    assert_eq!(
+        refreshed.without_timing(),
+        first.without_timing(),
+        "a batch after recalibrate must be bit-identical to one after start"
+    );
+}
+
+#[test]
+fn auto_tuned_streaming_matches_the_in_memory_baseline() {
+    // Budget of one byte: every step routes to streaming, and auto_tune
+    // re-plans its knobs per task.
+    let mut tuned = SpgemmService::new(ServiceConfig {
+        policy: DispatchPolicy::Adaptive,
+        threads: Some(2),
+        calibration: Some(Calibration::reference()),
+        memory_budget: Some(1),
+        auto_tune: true,
+        ..ServiceConfig::default()
+    });
+    let report = tuned.serve(&batch()).expect("auto-tuned batch");
+    assert!(report.total_steps > 0);
+    assert!(report
+        .requests
+        .iter()
+        .flat_map(|r| &r.backends)
+        .all(|b| b == "streaming"));
+
+    let mut baseline = SpgemmService::new(ServiceConfig {
+        policy: DispatchPolicy::Fixed(Backend::Gustavson),
+        threads: Some(2),
+        calibration: Some(Calibration::reference()),
+        ..ServiceConfig::default()
+    });
+    let expected = baseline.serve(&batch()).expect("baseline batch");
+    for (r, e) in report.requests.iter().zip(&expected.requests) {
+        assert_eq!(r.output_nnz, e.output_nnz, "request {}", r.index);
+        assert_eq!(r.output_rows, e.output_rows, "request {}", r.index);
+        assert_eq!(r.output_cols, e.output_cols, "request {}", r.index);
+    }
+
+    // The planner is deterministic, so the model-driven view stays
+    // bit-identical across worker counts even with auto_tune on.
+    let view = report.without_timing();
+    let mut other = SpgemmService::new(ServiceConfig {
+        policy: DispatchPolicy::Adaptive,
+        threads: Some(1),
+        calibration: Some(Calibration::reference()),
+        memory_budget: Some(1),
+        auto_tune: true,
+        ..ServiceConfig::default()
+    });
+    let mut single = other.serve(&batch()).expect("single-thread batch");
+    single.threads = view.threads; // the only legitimately varying model field
+    assert_eq!(single.without_timing(), view);
+}
+
+#[test]
+fn mispredict_rate_is_a_well_formed_fraction() {
+    let mut service = SpgemmService::new(ServiceConfig {
+        policy: DispatchPolicy::Adaptive,
+        threads: Some(2),
+        calibration: Some(Calibration::reference()),
+        ..ServiceConfig::default()
+    });
+    let report = service.serve(&batch()).expect("batch");
+    let rate = report.mispredict_rate();
+    assert!((0.0..=1.0).contains(&rate), "rate {rate}");
+    // Every step carries a (model, actual) pair for the rate to rank.
+    let steps: usize = report
+        .requests
+        .iter()
+        .map(|r| r.step_model_seconds.len())
+        .sum();
+    assert_eq!(steps, report.total_steps);
+    assert!(report
+        .requests
+        .iter()
+        .all(|r| r.step_model_seconds.len() == r.step_actual_seconds.len()));
+
+    // An empty batch scores 0 by definition.
+    let empty = service
+        .serve(&Batch {
+            operands: vec![],
+            requests: vec![],
+        })
+        .expect("empty batch");
+    assert_eq!(empty.mispredict_rate(), 0.0);
+}

@@ -1,0 +1,185 @@
+//! Online calibration: an EWMA feedback layer over predicted-vs-measured
+//! step costs.
+//!
+//! The serving layer's dispatch model prices each multiply step in
+//! abstract work units and multiplies by a per-backend seconds-per-unit
+//! table measured once at service start. That table goes stale: the
+//! machine's load changes, the traffic's structure drifts away from the
+//! startup probes. This module closes the loop — each served step yields
+//! one observation `actual_seconds / model_units` (exactly a
+//! seconds-per-unit sample for the backend that ran it), an exponentially
+//! weighted moving average smooths the samples per slot, and
+//! [`OnlineCalibration::fold_into`] writes the smoothed estimates back
+//! over the table *between* batches, so every within-batch dispatch
+//! decision still sees one frozen table.
+//!
+//! The layer is index-based — it never names backends — so it layers
+//! under any table shaped like "seconds per unit per slot" without a
+//! dependency cycle back into the serving crate.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-slot EWMA of observed seconds-per-model-unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineCalibration {
+    alpha: f64,
+    estimates: Vec<Option<f64>>,
+    samples: Vec<u64>,
+}
+
+impl OnlineCalibration {
+    /// A calibration layer over `slots` table entries with smoothing
+    /// factor `alpha` (clamped into `(0, 1]`): each new observation moves
+    /// a slot's estimate by `alpha` toward the sample, so `alpha = 1`
+    /// always trusts the latest step and small `alpha` averages over a
+    /// long horizon. The first observation of a slot seeds its estimate
+    /// directly.
+    pub fn new(alpha: f64, slots: usize) -> Self {
+        OnlineCalibration {
+            alpha: if alpha.is_finite() {
+                alpha.clamp(f64::MIN_POSITIVE, 1.0)
+            } else {
+                1.0
+            },
+            estimates: vec![None; slots],
+            samples: vec![0; slots],
+        }
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of table slots this layer covers.
+    pub fn slots(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Feeds one predicted-vs-measured observation for `slot`: a step the
+    /// model priced at `model_units` abstract units took
+    /// `actual_seconds`. Observations with non-positive or non-finite
+    /// units or seconds are ignored (a zero-unit step carries no
+    /// per-unit information).
+    pub fn observe(&mut self, slot: usize, model_units: f64, actual_seconds: f64) {
+        if slot >= self.estimates.len()
+            || !(model_units.is_finite() && model_units > 0.0)
+            || !(actual_seconds.is_finite() && actual_seconds >= 0.0)
+        {
+            return;
+        }
+        let sample = actual_seconds / model_units;
+        self.estimates[slot] = Some(match self.estimates[slot] {
+            None => sample,
+            Some(est) => (1.0 - self.alpha) * est + self.alpha * sample,
+        });
+        self.samples[slot] += 1;
+    }
+
+    /// The current seconds-per-unit estimate for `slot`, if it has ever
+    /// been observed.
+    pub fn estimate(&self, slot: usize) -> Option<f64> {
+        self.estimates.get(slot).copied().flatten()
+    }
+
+    /// Observations folded into `slot` so far.
+    pub fn samples(&self, slot: usize) -> u64 {
+        self.samples.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Total observations across all slots.
+    pub fn total_samples(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Writes the smoothed estimates over `table`: every slot with at
+    /// least one observation is replaced by its EWMA estimate, unobserved
+    /// slots keep their prior value. Call between batches — never
+    /// mid-batch — so dispatch decisions inside one batch share a frozen
+    /// table.
+    pub fn fold_into(&self, table: &mut [f64]) {
+        for (entry, est) in table.iter_mut().zip(&self.estimates) {
+            if let Some(est) = est {
+                *entry = *est;
+            }
+        }
+    }
+
+    /// Drops all estimates and sample counts — the companion to a full
+    /// recalibration, which replaces the table the estimates were
+    /// relative to.
+    pub fn reset(&mut self) {
+        self.estimates.iter_mut().for_each(|e| *e = None);
+        self.samples.iter_mut().for_each(|s| *s = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_seeds_the_estimate() {
+        let mut c = OnlineCalibration::new(0.25, 4);
+        assert_eq!(c.estimate(1), None);
+        c.observe(1, 100.0, 2.0);
+        assert_eq!(c.estimate(1), Some(0.02));
+        assert_eq!(c.samples(1), 1);
+        assert_eq!(c.samples(0), 0);
+    }
+
+    #[test]
+    fn later_observations_move_by_alpha() {
+        let mut c = OnlineCalibration::new(0.5, 1);
+        c.observe(0, 1.0, 4.0);
+        c.observe(0, 1.0, 8.0);
+        // 0.5 * 4 + 0.5 * 8.
+        assert_eq!(c.estimate(0), Some(6.0));
+        assert_eq!(c.samples(0), 2);
+    }
+
+    #[test]
+    fn fold_replaces_only_observed_slots() {
+        let mut c = OnlineCalibration::new(1.0, 3);
+        c.observe(0, 10.0, 1.0);
+        c.observe(2, 10.0, 3.0);
+        let mut table = vec![7.0, 7.0, 7.0];
+        c.fold_into(&mut table);
+        assert_eq!(table, vec![0.1, 7.0, 0.3]);
+    }
+
+    #[test]
+    fn degenerate_observations_are_ignored() {
+        let mut c = OnlineCalibration::new(0.5, 2);
+        c.observe(0, 0.0, 1.0);
+        c.observe(0, -3.0, 1.0);
+        c.observe(0, f64::NAN, 1.0);
+        c.observe(0, 1.0, f64::INFINITY);
+        c.observe(5, 1.0, 1.0); // out of range
+        assert_eq!(c.total_samples(), 0);
+        assert_eq!(c.estimate(0), None);
+    }
+
+    #[test]
+    fn alpha_is_clamped_and_reset_clears() {
+        let c = OnlineCalibration::new(f64::NAN, 1);
+        assert_eq!(c.alpha(), 1.0);
+        let c = OnlineCalibration::new(7.0, 1);
+        assert_eq!(c.alpha(), 1.0);
+        let mut c = OnlineCalibration::new(0.5, 2);
+        c.observe(0, 1.0, 1.0);
+        c.reset();
+        assert_eq!(c.total_samples(), 0);
+        assert_eq!(c.estimate(0), None);
+        assert_eq!(c.slots(), 2);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let mut c = OnlineCalibration::new(0.3, 3);
+        c.observe(1, 4.0, 2.0);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: OnlineCalibration = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

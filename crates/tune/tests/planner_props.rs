@@ -1,0 +1,146 @@
+//! The planner's contract, pinned over the shared `gen::arb` grid:
+//!
+//! 1. **Budget invariant** — the chosen config always has `panels ≥ 1`
+//!    and `merge_ways ≥ 2`, carries the planner's budget verbatim, and
+//!    whenever the plan claims `budget_satisfied` the largest projected
+//!    partial fits `budget / merge_ways`. When it does not claim it, the
+//!    formula was genuinely unachievable: even the finest split leaves a
+//!    single column over `budget / 2`.
+//! 2. **Bit-identity** — a run under the planned config is bit-identical
+//!    to `gustavson` (knobs change timing, never bits), at any budget or
+//!    thread count the planner was pointed at.
+
+use proptest::prelude::*;
+use sparch_sparse::gen::arb::{self, ValueClass};
+use sparch_sparse::{algo, Csr};
+use sparch_stream::{MemoryBudget, StreamingExecutor};
+use sparch_tune::{row_nnz_histogram, BRows, KnobPlanner, OperandStats, Plan};
+
+/// Budgets swept: fits-nothing, tight, roomy, in-core.
+const BUDGETS: [u64; 4] = [0, 4 << 10, 64 << 10, u64::MAX];
+
+fn check_plan(plan: &Plan, budget: MemoryBudget, a: &Csr, b: &Csr) {
+    let config = &plan.config;
+    assert!(config.panels >= 1);
+    assert!(config.merge_ways >= 2);
+    assert_eq!(config.budget, budget);
+    assert_eq!(
+        plan.projected_largest_partial_bytes,
+        plan.projected_partial_bytes
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or((a.rows() as u64 + 1) * 8)
+    );
+    assert_eq!(
+        plan.projected_total_partial_bytes,
+        plan.projected_partial_bytes.iter().sum::<u64>()
+    );
+
+    if plan.budget_satisfied {
+        assert!(
+            plan.projected_largest_partial_bytes
+                .saturating_mul(config.merge_ways as u64)
+                <= budget.bytes(),
+            "satisfied plan violates largest ({} B) * ways ({}) <= budget ({} B)",
+            plan.projected_largest_partial_bytes,
+            config.merge_ways,
+            budget.bytes()
+        );
+    } else {
+        // The formula must really be unachievable: even a lone column —
+        // the finest possible split — overflows budget / 2.
+        let row_ptr_bytes = (a.rows() as u64 + 1) * 8;
+        let b_rows = row_nnz_histogram(b);
+        let finest_largest = a
+            .col_nnz()
+            .iter()
+            .zip(&b_rows)
+            .map(|(&ac, &br)| ac as u64 * br as u64 * 12 + row_ptr_bytes)
+            .max()
+            .unwrap_or(row_ptr_bytes);
+        assert!(
+            finest_largest.saturating_mul(2) > budget.bytes(),
+            "planner gave up although a split with largest {} B fits budget {} B",
+            finest_largest,
+            budget.bytes()
+        );
+    }
+}
+
+fn assert_planned_run_is_bit_identical(a: &Csr, b: &Csr, plan: &Plan) {
+    let expected = algo::gustavson(a, b);
+    let (c, report) = StreamingExecutor::new(plan.config.clone())
+        .multiply(a, b)
+        .expect("planned streaming run failed");
+    assert_eq!(
+        c, expected,
+        "planned config {:?} changed result bits",
+        plan.config
+    );
+    assert!(report.panels >= 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn planned_configs_satisfy_the_budget_invariant_and_bits(
+        pair in arb::spgemm_pair(20, 70, ValueClass::SmallInt),
+        budget in prop_oneof![
+            Just(BUDGETS[0]), Just(BUDGETS[1]), Just(BUDGETS[2]), Just(BUDGETS[3])
+        ],
+        threads in 1usize..3,
+    ) {
+        let (a, b) = pair;
+        let budget = MemoryBudget::from_bytes(budget);
+        let stats = OperandStats::from_csr(&a);
+        let b_rows = row_nnz_histogram(&b);
+        let plan = KnobPlanner::new(budget)
+            .with_threads(threads)
+            .plan(&stats, &BRows::Histogram(&b_rows));
+        check_plan(&plan, budget, &a, &b);
+        assert_planned_run_is_bit_identical(&a, &b, &plan);
+    }
+}
+
+/// The deterministic tour the property test samples: seeds × budgets ×
+/// threads, so failures name their reproducer. Also pins that the
+/// average-fill projection (the disk path, where `B`'s row histogram is
+/// unknown) obeys the same invariants.
+#[test]
+fn deterministic_grid_sweep() {
+    let pairs = arb::spgemm_pair(24, 90, ValueClass::SmallInt);
+    for seed in 0..6u64 {
+        let (a, b) = arb::sample(&pairs, seed);
+        let stats = OperandStats::from_csr(&a);
+        let b_rows = row_nnz_histogram(&b);
+        for bytes in BUDGETS {
+            for threads in [1usize, 2] {
+                let budget = MemoryBudget::from_bytes(bytes);
+                let planner = KnobPlanner::new(budget).with_threads(threads);
+                for b_view in [
+                    BRows::Histogram(&b_rows),
+                    BRows::Average {
+                        nnz: b.nnz() as u64,
+                    },
+                ] {
+                    let plan = planner.plan(&stats, &b_view);
+                    assert!(plan.config.panels >= 1 && plan.config.merge_ways >= 2);
+                    assert_eq!(plan.config.budget, budget);
+                    if plan.budget_satisfied {
+                        assert!(
+                            plan.projected_largest_partial_bytes
+                                .saturating_mul(plan.config.merge_ways as u64)
+                                <= bytes,
+                            "seed {seed} budget {bytes} threads {threads}"
+                        );
+                    }
+                }
+                let plan = planner.plan(&stats, &BRows::Histogram(&b_rows));
+                check_plan(&plan, budget, &a, &b);
+                assert_planned_run_is_bit_identical(&a, &b, &plan);
+            }
+        }
+    }
+}

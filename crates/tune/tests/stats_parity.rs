@@ -1,0 +1,50 @@
+//! Satellite: one stats API, two operand homes. The planner consumes
+//! [`OperandStats`] whether the operand lives in memory
+//! ([`OperandStats::from_csr`]) or on disk
+//! ([`OperandStats::scan_file`]); this suite pins that both paths
+//! report the same shape, entry count, and column histogram — and that
+//! the histogram is exactly what `mm::scan_col_nnz` (the panel reader's
+//! own pass) sees.
+
+use sparch_sparse::{gen, mm};
+use sparch_tune::OperandStats;
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sparch-tune-parity-{}-{}.mtx",
+        std::process::id(),
+        tag
+    ))
+}
+
+#[test]
+fn scan_file_matches_from_csr() {
+    let matrices = [
+        ("rmat", gen::rmat_graph500(96, 5, 3)),
+        ("rect", gen::uniform_random(40, 56, 300, 7)),
+        ("banded", gen::banded(64, 2, 10, 9)),
+    ];
+    for (tag, m) in &matrices {
+        let path = temp_path(tag);
+        mm::write_file(&path, &m.to_coo()).expect("write matrix");
+
+        let disk = OperandStats::scan_file(&path).expect("scan matrix");
+        let memory = OperandStats::from_csr(m);
+        assert_eq!(disk, memory, "disk vs in-memory stats diverge for {tag}");
+        assert_eq!(
+            disk.col_nnz,
+            mm::scan_col_nnz(&path).expect("scan histogram"),
+            "stats histogram diverges from mm::scan_col_nnz for {tag}"
+        );
+        assert_eq!(disk.nnz, disk.col_nnz.iter().sum::<usize>() as u64);
+
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn scan_file_reports_io_errors() {
+    let missing = temp_path("does-not-exist");
+    assert!(OperandStats::scan_file(&missing).is_err());
+}

@@ -5,9 +5,9 @@
 //! sparch-cli generate --kind rmat --n 4096 --degree 8 --out matrix.mtx
 //! sparch-cli stats --a matrix.mtx
 //! sparch-cli batch --file requests.json [--policy adaptive] [--threads N] [--json out.json]
-//! sparch-cli stream --a matrix.mtx [--b other.mtx] [--budget-mb N] [--panels P] \
+//! sparch-cli stream --a matrix.mtx [--b other.mtx] [--budget-mb N] [--panels P|auto] \
 //!     [--balance uniform|nnz] [--spill-codec raw|varint] [--threads T]
-//! sparch-cli dist --a matrix.mtx [--b other.mtx] [--shards S] [--panels P] \
+//! sparch-cli dist --a matrix.mtx [--b other.mtx] [--shards S] [--panels P|auto] \
 //!     [--budget-mb N] [--verify] [--json out.json]
 //! ```
 //!
@@ -23,7 +23,11 @@
 //! ever materialized whole) and flow through the staged
 //! reader → multiply → merge/spill dataflow; partials merge in Huffman
 //! order under `--budget-mb`, spilling to a temp directory — raw or
-//! delta+varint encoded — when they do not fit. `dist` runs the same
+//! delta+varint encoded — when they do not fit. With `--panels auto` (or
+//! `--tune`) the pipeline knobs — panel count and balance, merge fan-in,
+//! spill codec — are derived by the `sparch-tune` planner from the
+//! operand's column histogram and the budget instead of taken from
+//! flags; the result is bit-identical either way. `dist` runs the same
 //! panel decomposition across a fleet of shard worker *processes*
 //! (`sparch-dist-worker`, found next to this binary or via
 //! `SPARCH_DIST_WORKER`) connected over Unix sockets, with heartbeat
@@ -49,12 +53,13 @@ fn usage() -> ! {
          <rmat|uniform|poisson|banded> --n <N> [--degree D] [--seed S] --out <mtx>\n  \
          sparch-cli stats --a <mtx>\n  sparch-cli batch --file <requests.json> \
          [--policy adaptive|fixed:<backend>] [--threads N] [--reference-calibration] \
-         [--json <path>] [--trace <path>]\n  sparch-cli stream --a <mtx> [--b <mtx>] \
-         [--budget-mb N] [--panels P] [--balance uniform|nnz] [--ways W] \
+         [--tune] [--online-alpha A] [--json <path>] [--trace <path>]\n  \
+         sparch-cli stream --a <mtx> [--b <mtx>] \
+         [--budget-mb N] [--panels P|auto] [--tune] [--balance uniform|nnz] [--ways W] \
          [--spill-codec raw|varint] [--threads T] [--verify] [--json <path>] \
          [--trace <path>]\n  sparch-cli dist --a <mtx> [--b <mtx>] \
-         [--shards S] [--panels P] [--budget-mb N] [--verify] [--json <path>] \
-         [--trace <path>]\n  sparch-cli trace-check --file <trace.json> \
+         [--shards S] [--panels P|auto] [--tune] [--budget-mb N] [--verify] \
+         [--json <path>] [--trace <path>]\n  sparch-cli trace-check --file <trace.json> \
          --expect <name>[,<name>...]"
     );
     std::process::exit(2);
@@ -287,6 +292,13 @@ fn cmd_batch(flags: &HashMap<String, String>) -> ExitCode {
         policy,
         threads,
         calibration,
+        // `--tune` plans out-of-core steps' knobs per task; `--online-alpha`
+        // folds measured step costs back into the calibration table after
+        // the batch (EWMA smoothing factor in (0, 1]).
+        auto_tune: flags.contains_key("tune"),
+        online_calibration: flags
+            .get("online-alpha")
+            .map(|v| v.parse().expect("--online-alpha needs a number in (0, 1]")),
         ..ServiceConfig::default()
     })
     .with_recorder(recorder_for(flags));
@@ -343,41 +355,87 @@ fn cmd_stream(flags: &HashMap<String, String>) -> ExitCode {
             })
             .unwrap_or(default)
     };
-    let defaults = StreamConfig::default();
-    let config = StreamConfig {
-        budget: flags
-            .get("budget-mb")
-            .map(|v| MemoryBudget::from_mb(v.parse().expect("--budget-mb needs a number of MiB")))
-            .unwrap_or(defaults.budget),
-        panels: parse_num("panels", defaults.panels).max(1),
-        balance: flags
-            .get("balance")
-            .map(|v| {
-                v.parse().unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2)
-                })
-            })
-            .unwrap_or(defaults.balance),
-        merge_ways: parse_num("ways", defaults.merge_ways).max(2),
-        spill_codec: flags
-            .get("spill-codec")
-            .map(|v| {
-                v.parse().unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2)
-                })
-            })
-            .unwrap_or(defaults.spill_codec),
-        threads: flags
-            .get("threads")
-            .map(|v| v.parse().expect("--threads needs a number")),
-        merge_workers: flags
-            .get("merge-workers")
-            .map(|v| v.parse().expect("--merge-workers needs a number")),
-        spill_dir: None,
-    };
     let b_path = flags.get("b").unwrap_or(a_path);
+    let defaults = StreamConfig::default();
+    let budget = flags
+        .get("budget-mb")
+        .map(|v| MemoryBudget::from_mb(v.parse().expect("--budget-mb needs a number of MiB")))
+        .unwrap_or(defaults.budget);
+    let threads = flags
+        .get("threads")
+        .map(|v| v.parse().expect("--threads needs a number"));
+    let merge_workers = flags
+        .get("merge-workers")
+        .map(|v| v.parse().expect("--merge-workers needs a number"));
+    let tuned =
+        flags.get("panels").map(String::as_str) == Some("auto") || flags.contains_key("tune");
+    let config = if tuned {
+        // Derive the data knobs from the operand's structure: one
+        // histogram pass over A's file, B priced at its average row fill
+        // (only its declared entry count is known without a second scan).
+        let stats = match sparch::tune::OperandStats::scan_file(a_path) {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("failed to scan {a_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let b_nnz = match mm::read_row_panels(b_path, 1) {
+            Ok(probe) => probe.declared_nnz() as u64,
+            Err(e) => {
+                eprintln!("failed to open {b_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let plan = sparch::tune::KnobPlanner::new(budget)
+            .with_threads(threads.unwrap_or(1))
+            .plan(&stats, &sparch::tune::BRows::Average { nnz: b_nnz });
+        println!(
+            "auto-tuned: {} panels ({} balance), {}-way merge, {} spill codec{}",
+            plan.config.panels,
+            plan.config.balance,
+            plan.config.merge_ways,
+            plan.config.spill_codec,
+            if plan.budget_satisfied {
+                ""
+            } else {
+                " (budget formula unachievable; best effort)"
+            }
+        );
+        StreamConfig {
+            threads,
+            merge_workers,
+            spill_dir: None,
+            ..plan.config
+        }
+    } else {
+        StreamConfig {
+            budget,
+            panels: parse_num("panels", defaults.panels).max(1),
+            balance: flags
+                .get("balance")
+                .map(|v| {
+                    v.parse().unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2)
+                    })
+                })
+                .unwrap_or(defaults.balance),
+            merge_ways: parse_num("ways", defaults.merge_ways).max(2),
+            spill_codec: flags
+                .get("spill-codec")
+                .map(|v| {
+                    v.parse().unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2)
+                    })
+                })
+                .unwrap_or(defaults.spill_codec),
+            threads,
+            merge_workers,
+            spill_dir: None,
+        }
+    };
 
     // Both operands stream panel by panel through the staged pipeline —
     // neither is ever materialized whole (--verify re-reads them whole
@@ -529,15 +587,46 @@ fn cmd_dist(flags: &HashMap<String, String>) -> ExitCode {
         shards: shards.max(1),
         ..DistConfig::default()
     };
+    let tuned =
+        flags.get("panels").map(String::as_str) == Some("auto") || flags.contains_key("tune");
     if let Some(panels) = flags.get("panels") {
-        config.stream.panels = panels
-            .parse::<usize>()
-            .expect("--panels needs a number")
-            .max(1);
+        if panels != "auto" {
+            config.stream.panels = panels
+                .parse::<usize>()
+                .expect("--panels needs a number (or \"auto\")")
+                .max(1);
+        }
     }
     if let Some(mb) = flags.get("budget-mb") {
         config.stream.budget =
             MemoryBudget::from_mb(mb.parse().expect("--budget-mb needs a number of MiB"));
+    }
+    if tuned {
+        // Both operands are in memory here, so the planner gets exact
+        // histograms on both sides; thread knobs keep their defaults.
+        let stats = sparch::tune::OperandStats::from_csr(&a);
+        let b_rows = sparch::tune::row_nnz_histogram(b);
+        let plan = sparch::tune::KnobPlanner::new(config.stream.budget)
+            .with_threads(config.stream.threads.unwrap_or(1))
+            .plan(&stats, &sparch::tune::BRows::Histogram(&b_rows));
+        println!(
+            "auto-tuned: {} panels ({} balance), {}-way merge, {} spill codec{}",
+            plan.config.panels,
+            plan.config.balance,
+            plan.config.merge_ways,
+            plan.config.spill_codec,
+            if plan.budget_satisfied {
+                ""
+            } else {
+                " (budget formula unachievable; best effort)"
+            }
+        );
+        config.stream = StreamConfig {
+            threads: config.stream.threads,
+            merge_workers: config.stream.merge_workers,
+            spill_dir: config.stream.spill_dir.clone(),
+            ..plan.config
+        };
     }
 
     let coordinator = DistCoordinator::new(config).with_recorder(recorder_for(flags));

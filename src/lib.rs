@@ -25,6 +25,10 @@
 //!   to the single-node streaming pipeline),
 //! * [`serve`] — the request-serving layer ([`serve::SpgemmService`],
 //!   adaptive backend dispatch, operand caching, batch reports),
+//! * [`tune`] — the self-tuning loop ([`tune::KnobPlanner`] derives a
+//!   full stream configuration from operand structure and a memory
+//!   budget; [`tune::OnlineCalibration`] folds predicted-vs-measured
+//!   step costs back into the serving layer's calibration table),
 //! * [`baselines`] — the OuterSPACE model and software baseline proxies.
 //!
 //! # Quickstart
@@ -53,6 +57,7 @@ pub use sparch_obs as obs;
 pub use sparch_serve as serve;
 pub use sparch_sparse as sparse;
 pub use sparch_stream as stream;
+pub use sparch_tune as tune;
 
 /// Commonly used items, importable in one line.
 pub mod prelude {
@@ -73,4 +78,5 @@ pub mod prelude {
         MemoryBudget, PanelBalance, SpillCodec, StageReport, StreamConfig, StreamReport,
         StreamingExecutor,
     };
+    pub use sparch_tune::{BRows, KnobPlanner, OnlineCalibration, OperandStats, Plan};
 }
